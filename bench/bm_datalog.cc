@@ -1,0 +1,89 @@
+// Micro-benchmarks for the Datalog substrate: parsing, fact lookup,
+// matching, and SLD proof search.
+
+#include <benchmark/benchmark.h>
+
+#include "datalog/evaluator.h"
+#include "datalog/parser.h"
+#include "util/string_util.h"
+
+namespace stratlearn {
+namespace {
+
+void BM_ParseProgram(benchmark::State& state) {
+  std::string program;
+  for (int i = 0; i < state.range(0); ++i) {
+    program += StrFormat("edge(n%d, n%d).", i, i + 1);
+  }
+  for (auto _ : state) {
+    SymbolTable symbols;
+    Parser parser(&symbols);
+    benchmark::DoNotOptimize(parser.ParseProgram(program));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParseProgram)->Arg(100)->Arg(1000);
+
+void BM_DatabaseContains(benchmark::State& state) {
+  SymbolTable symbols;
+  Database db;
+  SymbolId pred = symbols.Intern("person");
+  for (int i = 0; i < state.range(0); ++i) {
+    (void)db.Insert(pred, {symbols.Intern(StrFormat("p%d", i))});
+  }
+  FactTuple hit = {symbols.Intern("p0")};
+  FactTuple miss = {symbols.Intern("nobody")};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.Contains(pred, hit));
+    benchmark::DoNotOptimize(db.Contains(pred, miss));
+  }
+}
+BENCHMARK(BM_DatabaseContains)->Arg(1000)->Arg(100000);
+
+void BM_DatabaseMatchIndexed(benchmark::State& state) {
+  SymbolTable symbols;
+  Database db;
+  SymbolId pred = symbols.Intern("age");
+  for (int i = 0; i < state.range(0); ++i) {
+    (void)db.Insert(pred, {symbols.Intern(StrFormat("p%d", i)),
+                           symbols.Intern(StrFormat("%d", i % 90))});
+  }
+  Atom pattern;
+  pattern.predicate = pred;
+  pattern.args = {Term::Constant(symbols.Intern("p7")),
+                  Term::Variable(symbols.Intern("X"))};
+  for (auto _ : state) {
+    std::vector<FactTuple> out;
+    db.Match(pattern, &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_DatabaseMatchIndexed)->Arg(1000)->Arg(100000);
+
+void BM_SldProof(benchmark::State& state) {
+  SymbolTable symbols;
+  Parser parser(&symbols);
+  Database db;
+  RuleBase rules;
+  std::string program =
+      "path(X, Y) :- edge(X, Y)."
+      "path(X, Y) :- edge(X, Z), path(Z, Y).";
+  for (int i = 0; i < state.range(0); ++i) {
+    program += StrFormat("edge(n%d, n%d).", i, i + 1);
+  }
+  (void)parser.LoadProgram(program, &db, &rules);
+  Result<Atom> query = parser.ParseAtom(
+      StrFormat("path(n0, n%d)", static_cast<int>(state.range(0))));
+  EvaluatorOptions options;
+  options.max_depth = static_cast<int>(state.range(0)) + 8;
+  Evaluator evaluator(&db, &rules, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.Prove(*query, &symbols));
+  }
+}
+BENCHMARK(BM_SldProof)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace stratlearn
+
+

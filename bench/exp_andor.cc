@@ -1,0 +1,100 @@
+// E16 — Note 4's hypergraph extension: learning conjunct and rule order
+// in AND/OR search structures.
+//
+// A conjunctive rule "goal :- e1, e2, e3." is an AND node whose children
+// must all succeed; ordering its conjuncts is the deductive-database
+// version of join/selection ordering. We sweep the selectivity of one
+// conjunct and show (a) the optimal AND-order follows failure-rate per
+// unit cost, (b) AndOrPib learns both the conjunct order and the rule
+// (OR) order online, approaching the brute-force optimum.
+
+#include <cstdio>
+
+#include "andor/and_or_pib.h"
+#include "andor/and_or_strategy.h"
+#include "harness.h"
+#include "workload/synthetic_oracle.h"
+
+using namespace stratlearn;
+using namespace stratlearn::bench;
+
+int main() {
+  uint64_t seed = ExperimentSeed();
+  Banner("E16",
+         "Note 4 hypergraphs: AND/OR strategy learning (conjunct + rule "
+         "ordering)",
+         seed);
+  Rng rng(seed);
+
+  // goal :- cheap_filter, mid_join, big_scan.   (rule 1, an AND)
+  // goal :- fallback.                           (rule 2, a plain leaf)
+  // Leaf costs model operator costs; we sweep cheap_filter's selectivity.
+  Table table({"p(filter)", "C[naive]", "C[PIB]", "C[optimal]",
+               "filter position (PIB)", "moves"});
+  bool ok = true;
+  for (double p_filter : {0.9, 0.5, 0.2, 0.05}) {
+    AndOrGraph g;
+    AndOrNodeId root = g.AddRoot(AndOrKind::kOr, "goal");
+    AndOrNodeId conj = g.AddInternal(root, AndOrKind::kAnd, "rule1");
+    g.AddLeaf(conj, "big_scan", 6.0);
+    g.AddLeaf(conj, "mid_join", 2.0);
+    AndOrNodeId filter = g.AddLeaf(conj, "cheap_filter", 0.5);
+    g.AddLeaf(root, "fallback", 3.0);
+    std::vector<double> probs = {0.7, 0.6, p_filter, 0.4};
+
+    AndOrStrategy naive = AndOrStrategy::Default(g);
+    double c_naive = AndOrExactExpectedCost(g, naive, probs);
+    Result<AndOrOptimalResult> best = AndOrBruteForceOptimal(g, probs);
+    if (!best.ok()) return 1;
+
+    AndOrPib pib(&g, naive, AndOrPibOptions{.delta = 0.02});
+    IndependentOracle oracle(probs);
+    for (int i = 0; i < 30000; ++i) {
+      pib.Observe(oracle.Next(rng));
+    }
+    double c_pib = AndOrExactExpectedCost(g, pib.strategy(), probs);
+
+    // Where did PIB put the filter inside the AND?
+    int position = -1;
+    const auto& order = pib.strategy().OrderAt(conj);
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == filter) position = static_cast<int>(i);
+    }
+    ok &= c_pib <= c_naive + 1e-9;
+    table.AddRow({Num(p_filter), Num(c_naive), Num(c_pib), Num(best->cost),
+                  Int(position), Int(static_cast<int64_t>(
+                                     pib.moves().size()))});
+  }
+  table.Print();
+
+  // Shape: with a selective filter (low p) the filter must migrate to
+  // the front of the AND, and PIB must recover most of the optimal gap.
+  // Re-run the most selective configuration and check the final order.
+  {
+    AndOrGraph g;
+    AndOrNodeId root = g.AddRoot(AndOrKind::kOr, "goal");
+    AndOrNodeId conj = g.AddInternal(root, AndOrKind::kAnd, "rule1");
+    g.AddLeaf(conj, "big_scan", 6.0);
+    g.AddLeaf(conj, "mid_join", 2.0);
+    AndOrNodeId filter = g.AddLeaf(conj, "cheap_filter", 0.5);
+    g.AddLeaf(root, "fallback", 3.0);
+    std::vector<double> probs = {0.7, 0.6, 0.05, 0.4};
+    AndOrPib pib(&g, AndOrStrategy::Default(g),
+                 AndOrPibOptions{.delta = 0.02});
+    IndependentOracle oracle(probs);
+    for (int i = 0; i < 30000; ++i) pib.Observe(oracle.Next(rng));
+    ok &= pib.strategy().OrderAt(conj)[0] == filter;
+    Result<AndOrOptimalResult> best = AndOrBruteForceOptimal(g, probs);
+    double c_pib = AndOrExactExpectedCost(g, pib.strategy(), probs);
+    double c_naive =
+        AndOrExactExpectedCost(g, AndOrStrategy::Default(g), probs);
+    ok &= (c_naive - c_pib) >= 0.8 * (c_naive - best->cost);
+  }
+
+  Verdict("E16", ok,
+          "PIB on the AND/OR structure never regresses, moves the "
+          "selective cheap conjunct to the front of the AND, and "
+          "recovers >= 80% of the optimal saving in the selective "
+          "regime");
+  return ok ? 0 : 1;
+}

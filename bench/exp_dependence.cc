@@ -1,0 +1,129 @@
+// E14 — Footnote 8 / Conclusions: dependent retrievals.
+//
+// Upsilon (and hence PAO) assumes the retrieval success probabilities
+// are independent; PIB does not. We build a workload where two
+// retrievals are perfectly correlated (they fail together), so the
+// marginal-probability optimum differs from the true optimum:
+//
+//   leaves A, B, C, unit costs; B fails exactly when A fails;
+//   p(A) = p(B) = 0.55, C independent with p(C) = 0.5.
+//   Marginal ordering: A, B, C with true cost 1 + .45 + .45  = 1.90
+//   True optimum:      A, C, B with cost      1 + .45 + .225 = 1.675
+//   (after A fails, B is *known* to fail, so C must cut in between).
+//
+// PAO, fed the perfectly-estimated marginals, picks the worse order;
+// PIB, which only ever compares whole-context costs, climbs to the true
+// optimum. This is the paper's "PIB ... does not require that the
+// success probabilities of the retrievals be independent" (Section 5.3).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/pao.h"
+#include "core/pib.h"
+#include "core/upsilon.h"
+#include "harness.h"
+#include "workload/random_tree.h"
+#include "workload/synthetic_oracle.h"
+
+using namespace stratlearn;
+using namespace stratlearn::bench;
+
+namespace {
+
+double TrueCost(const InferenceGraph& graph, const Strategy& strategy,
+                MixtureOracle& oracle, Rng& rng) {
+  QueryProcessor qp(&graph);
+  double total = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    total += qp.Cost(strategy, oracle.Next(rng));
+  }
+  return total / n;
+}
+
+}  // namespace
+
+int main() {
+  uint64_t seed = ExperimentSeed();
+  Banner("E14",
+         "Footnote 8: dependent retrievals — PAO's independence "
+         "assumption vs PIB",
+         seed);
+  Rng rng(seed);
+
+  // Flat three-leaf graph A, B, C (unit costs).
+  RandomTreeOptions unit;
+  unit.min_cost = unit.max_cost = 1.0;
+  Rng graph_rng(1);
+  RandomTree tree = MakeFlatTree(graph_rng, 3, unit);
+  const InferenceGraph& g = tree.graph;
+  std::vector<ArcId> leaves = g.SuccessArcs();
+
+  // Mixture: with weight .55 both A and B succeed; with .45 both fail.
+  // C succeeds independently half the time in either profile.
+  MixtureOracle oracle({{0.55, {1.0, 1.0, 0.5}}, {0.45, {0.0, 0.0, 0.5}}});
+  std::vector<double> marginals = oracle.MarginalProbs();
+  std::printf("Marginals: p(A) = %.2f, p(B) = %.2f, p(C) = %.2f — but A "
+              "and B are perfectly correlated.\n\n",
+              marginals[0], marginals[1], marginals[2]);
+
+  // What the marginal-based Upsilon (the inner step of PAO) picks.
+  Result<UpsilonResult> upsilon = UpsilonAot(g, marginals);
+  if (!upsilon.ok()) return 1;
+  double upsilon_cost = TrueCost(g, upsilon->strategy, oracle, rng);
+
+  // PAO end to end (its estimates converge to the same marginals).
+  PaoOptions pao_options;
+  pao_options.epsilon = 0.2;
+  pao_options.delta = 0.1;
+  Result<PaoResult> pao = Pao::Run(g, oracle, rng, pao_options);
+  if (!pao.ok()) return 1;
+  double pao_cost = TrueCost(g, pao->strategy, oracle, rng);
+
+  // PIB from the marginal-optimal strategy.
+  Pib pib(&g, upsilon->strategy, PibOptions{.delta = 0.02});
+  QueryProcessor qp(&g);
+  for (int i = 0; i < 60000; ++i) {
+    pib.Observe(qp.Execute(pib.strategy(), oracle.Next(rng)));
+  }
+  double pib_cost = TrueCost(g, pib.strategy(), oracle, rng);
+
+  // True optimum over all 6 leaf orders, by Monte Carlo.
+  double best_cost = 1e300;
+  Strategy best;
+  std::vector<ArcId> order = leaves;
+  std::sort(order.begin(), order.end());
+  do {
+    Strategy candidate = Strategy::FromLeafOrder(g, order);
+    double cost = TrueCost(g, candidate, oracle, rng);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = candidate;
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+
+  Table table({"strategy", "chosen by", "true expected cost"});
+  table.AddRow({upsilon->strategy.ToString(g), "Upsilon on marginals",
+                Num(upsilon_cost)});
+  table.AddRow({pao->strategy.ToString(g), "PAO (end to end)",
+                Num(pao_cost)});
+  table.AddRow({pib.strategy().ToString(g), "PIB (dependence-free)",
+                Num(pib_cost)});
+  table.AddRow({best.ToString(g), "exhaustive (truth)", Num(best_cost)});
+  table.Print();
+
+  // Shape: the exact-marginal Upsilon strategy is measurably worse than
+  // the true optimum (PAO's own pick wobbles with sampling noise between
+  // that order and other sub-optimal ones — it has no way to see the
+  // correlation); PIB lands (statistically) at the optimum.
+  bool marginals_fooled = upsilon_cost > best_cost + 0.1;
+  bool pao_suboptimal = pao_cost > best_cost - 0.02;
+  bool pib_wins = pib_cost < upsilon_cost - 0.1 &&
+                  pib_cost < best_cost + 0.05;
+  Verdict("E14", marginals_fooled && pao_suboptimal && pib_wins,
+          "with correlated retrievals the marginal-probability optimum "
+          "(PAO's target) pays ~0.22 extra per query while PIB converges "
+          "to the true optimum — PIB needs no independence assumption");
+  return (marginals_fooled && pao_suboptimal && pib_wins) ? 0 : 1;
+}

@@ -1,0 +1,115 @@
+// E6 — Theorem 2 / Equation 7: PAO's sample complexity and guarantee.
+//
+// Table (a): the per-retrieval quota m(d_i) for a sweep of (epsilon,
+// delta) on G_A — the sample-complexity surface Equation 7 defines.
+// Table (b): empirical success of the guarantee
+//   Pr[C[Theta_pao] <= C[Theta_opt] + epsilon] >= 1 - delta
+// over independent PAO runs on G_A (near-tie distribution, the hardest
+// case) and on random AOT trees.
+
+#include <cstdio>
+
+#include "core/expected_cost.h"
+#include "core/pao.h"
+#include "core/upsilon.h"
+#include "graph/examples.h"
+#include "harness.h"
+#include "workload/random_tree.h"
+#include "workload/synthetic_oracle.h"
+
+using namespace stratlearn;
+using namespace stratlearn::bench;
+
+int main() {
+  uint64_t seed = ExperimentSeed();
+  Banner("E6", "Theorem 2 / Equation 7: PAO sample quotas and guarantee",
+         seed);
+  Rng rng(seed);
+  FigureOneGraph g = MakeFigureOne();
+
+  std::printf("(a) Equation 7 quota m(d_i) per retrieval of G_A "
+              "(n = 2, F_not = 2)\n\n");
+  Table quotas({"epsilon", "delta=0.2", "delta=0.1", "delta=0.05"});
+  for (double epsilon : {2.0, 1.0, 0.5, 0.25}) {
+    std::vector<std::string> row = {Num(epsilon)};
+    for (double delta : {0.2, 0.1, 0.05}) {
+      PaoOptions options;
+      options.epsilon = epsilon;
+      options.delta = delta;
+      row.push_back(Int(Pao::ComputeQuotas(g.graph, options)[0]));
+    }
+    quotas.AddRow(row);
+  }
+  quotas.Print();
+
+  std::printf("\n(b) empirical guarantee over independent runs\n\n");
+  Table runs_table({"graph", "epsilon", "delta", "runs", "violations",
+                    "mean contexts"});
+  bool ok = true;
+
+  // G_A near-tie.
+  {
+    std::vector<double> probs = {0.48, 0.52};
+    Result<OptimalResult> opt = BruteForceOptimal(g.graph, probs);
+    const double epsilon = 0.5, delta = 0.2;
+    const int runs = 40;
+    int violations = 0;
+    int64_t contexts = 0;
+    for (int r = 0; r < runs; ++r) {
+      IndependentOracle oracle(probs);
+      Rng run_rng = rng.Fork();
+      PaoOptions options;
+      options.epsilon = epsilon;
+      options.delta = delta;
+      Result<PaoResult> result = Pao::Run(g.graph, oracle, run_rng, options);
+      if (!result.ok()) return 1;
+      contexts += result->contexts_used;
+      double cost = ExactExpectedCost(g.graph, result->strategy, probs);
+      if (cost > opt->cost + epsilon) ++violations;
+    }
+    double rate = static_cast<double>(violations) / runs;
+    ok &= rate <= delta;
+    runs_table.AddRow({"G_A near-tie", Num(epsilon), Num(delta), Int(runs),
+                       Int(violations), Int(contexts / runs)});
+  }
+
+  // Random trees.
+  {
+    const double delta = 0.2;
+    const int runs = 15;
+    int violations = 0;
+    int64_t contexts = 0;
+    for (int r = 0; r < runs; ++r) {
+      RandomTree tree = MakeRandomTree(rng);
+      double epsilon = 0.3 * tree.graph.TotalCost();
+      Result<UpsilonResult> opt = UpsilonAot(tree.graph, tree.probs);
+      if (!opt.ok()) return 1;
+      IndependentOracle oracle(tree.probs);
+      Rng run_rng = rng.Fork();
+      PaoOptions options;
+      options.epsilon = epsilon;
+      options.delta = delta;
+      options.max_contexts = 20'000'000;
+      Result<PaoResult> result =
+          Pao::Run(tree.graph, oracle, run_rng, options);
+      if (!result.ok()) {
+        std::printf("run %d: %s\n", r, result.status().ToString().c_str());
+        return 1;
+      }
+      contexts += result->contexts_used;
+      double cost =
+          ExactExpectedCost(tree.graph, result->strategy, tree.probs);
+      if (cost > opt->expected_cost + epsilon) ++violations;
+    }
+    double rate = static_cast<double>(violations) / runs;
+    ok &= rate <= delta;
+    runs_table.AddRow({"random AOT trees", "0.3*totalcost", Num(delta),
+                       Int(runs), Int(violations), Int(contexts / runs)});
+  }
+  runs_table.Print();
+
+  Verdict("E6", ok,
+          "quotas scale as (nF/eps)^2 ln(2n/delta); the epsilon-"
+          "optimality guarantee holds with violation rate <= delta");
+  return ok ? 0 : 1;
+}

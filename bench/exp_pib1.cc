@@ -1,0 +1,122 @@
+// E3 — PIB_1 / Equation 3 behaviour on G_A.
+//
+// Two tables:
+//  (a) samples-to-switch as a function of the true improvement gap
+//      D = C[Theta_1] - C[Theta_2] (bigger gap -> faster approval) for
+//      several confidence levels delta;
+//  (b) the false-positive rate when the proposed switch is *not* an
+//      improvement, which Theorem-style soundness requires to stay
+//      below delta.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/expected_cost.h"
+#include "core/pib1.h"
+#include "graph/examples.h"
+#include "harness.h"
+#include "workload/synthetic_oracle.h"
+
+using namespace stratlearn;
+using namespace stratlearn::bench;
+
+namespace {
+
+/// Runs PIB_1 until it approves the switch or `max_samples` is hit.
+/// Returns samples used, or -1 if it never approved.
+int64_t SamplesToSwitch(const FigureOneGraph& g, double p_prof,
+                        double p_grad, double delta, Rng& rng,
+                        int64_t max_samples) {
+  Strategy theta1 = Strategy::FromLeafOrder(g.graph, {g.d_p, g.d_g});
+  Pib1 pib1(&g.graph, theta1, AllSiblingSwaps(g.graph)[0],
+            {.delta = delta});
+  IndependentOracle oracle({p_prof, p_grad});
+  QueryProcessor qp(&g.graph);
+  for (int64_t i = 1; i <= max_samples; ++i) {
+    pib1.Observe(qp.Execute(theta1, oracle.Next(rng)));
+    if (pib1.ShouldSwitch()) return i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main() {
+  uint64_t seed = ExperimentSeed();
+  Banner("E3", "PIB_1 (Equation 3): samples-to-switch and soundness", seed);
+  FigureOneGraph g = MakeFigureOne();
+  Rng rng(seed);
+
+  // (a) samples-to-switch vs true gap. Fix p_prof = 0.1 and raise
+  // p_grad, so the grad-first alternative improves by an increasing gap.
+  std::printf("(a) median samples until the Theta1 -> Theta2 switch is "
+              "approved (20 runs each; '-' = not within 20000)\n\n");
+  Table speed({"p_grad", "true gap D", "delta=0.2", "delta=0.05",
+               "delta=0.01"});
+  std::vector<double> medians_strong, medians_weak;
+  for (double p_grad : {0.3, 0.5, 0.7, 0.9}) {
+    std::vector<std::string> row;
+    double p_prof = 0.1;
+    Strategy theta1 = Strategy::FromLeafOrder(g.graph, {g.d_p, g.d_g});
+    Strategy theta2 = Strategy::FromLeafOrder(g.graph, {g.d_g, g.d_p});
+    double gap = ExactExpectedCost(g.graph, theta1, {p_prof, p_grad}) -
+                 ExactExpectedCost(g.graph, theta2, {p_prof, p_grad});
+    row.push_back(Num(p_grad));
+    row.push_back(Num(gap));
+    for (double delta : {0.2, 0.05, 0.01}) {
+      std::vector<int64_t> samples;
+      for (int run = 0; run < 20; ++run) {
+        int64_t s = SamplesToSwitch(g, p_prof, p_grad, delta, rng, 20000);
+        samples.push_back(s < 0 ? 20000 : s);
+      }
+      std::sort(samples.begin(), samples.end());
+      int64_t median = samples[samples.size() / 2];
+      if (delta == 0.05) {
+        if (p_grad <= 0.31) {
+          medians_weak.push_back(static_cast<double>(median));
+        }
+        if (p_grad >= 0.89) {
+          medians_strong.push_back(static_cast<double>(median));
+        }
+      }
+      row.push_back(median >= 20000 ? "-" : Int(median));
+    }
+    speed.AddRow(row);
+  }
+  speed.Print();
+
+  // (b) false positives: the alternative is strictly worse.
+  std::printf("\n(b) false-positive rate over 300 runs x 500 samples when "
+              "Theta2 is WORSE (p = <0.6, 0.3>)\n\n");
+  Table soundness({"delta", "false positives", "rate", "bound"});
+  bool sound = true;
+  for (double delta : {0.2, 0.1, 0.05}) {
+    int positives = 0;
+    const int runs = 300;
+    for (int run = 0; run < runs; ++run) {
+      Strategy theta1 = Strategy::FromLeafOrder(g.graph, {g.d_p, g.d_g});
+      Pib1 pib1(&g.graph, theta1, AllSiblingSwaps(g.graph)[0],
+                {.delta = delta});
+      IndependentOracle oracle({0.6, 0.3});
+      QueryProcessor qp(&g.graph);
+      Rng run_rng = rng.Fork();
+      for (int i = 0; i < 500; ++i) {
+        pib1.Observe(qp.Execute(theta1, oracle.Next(run_rng)));
+        if (pib1.ShouldSwitch()) break;
+      }
+      if (pib1.ShouldSwitch()) ++positives;
+    }
+    double rate = static_cast<double>(positives) / runs;
+    sound &= rate <= delta + 0.02;  // small sampling slack
+    soundness.AddRow({Num(delta), Int(positives), Num(rate), Num(delta)});
+  }
+  soundness.Print();
+
+  bool faster_with_gap =
+      !medians_strong.empty() && !medians_weak.empty() &&
+      medians_strong.front() < medians_weak.front();
+  Verdict("E3", sound && faster_with_gap,
+          "bigger true gaps and looser deltas switch sooner; the "
+          "false-positive rate stays below delta");
+  return (sound && faster_with_gap) ? 0 : 1;
+}

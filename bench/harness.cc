@@ -1,0 +1,70 @@
+#include "harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace stratlearn::bench {
+
+Table::Table(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    std::printf("  ");
+    for (size_t c = 0; c < cells.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), cells[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(columns_);
+  std::string rule;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    rule += std::string(widths[c], '-') + "  ";
+  }
+  std::printf("  %s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Banner(const std::string& exp_id, const std::string& artifact,
+            uint64_t seed) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", exp_id.c_str(), artifact.c_str());
+  std::printf("seed = %llu\n", static_cast<unsigned long long>(seed));
+  std::printf("================================================================\n");
+}
+
+void Verdict(const std::string& exp_id, bool ok, const std::string& claim) {
+  std::printf("[%s] SHAPE %s: %s\n", exp_id.c_str(),
+              ok ? "OK" : "VIOLATED", claim.c_str());
+}
+
+std::string Num(double value) { return FormatDouble(value, 4); }
+
+std::string Int(int64_t value) {
+  return StrFormat("%lld", static_cast<long long>(value));
+}
+
+uint64_t ExperimentSeed() {
+  const char* env = std::getenv("STRATLEARN_SEED");
+  if (env != nullptr) {
+    return static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+  }
+  return 19920602;  // PODS'92, San Diego
+}
+
+}  // namespace stratlearn::bench

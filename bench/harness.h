@@ -1,0 +1,46 @@
+#ifndef STRATLEARN_BENCH_HARNESS_H_
+#define STRATLEARN_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stratlearn::bench {
+
+/// Minimal fixed-width table printer for the exp_* experiment drivers.
+/// Every experiment binary prints: a header naming the paper artifact it
+/// regenerates, one or more tables, and a PASS/FAIL verdict line for the
+/// shape EXPERIMENTS.md promises.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Adds a row; cells are pre-formatted strings.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with padded columns to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints the standard experiment banner (id, paper artifact, seed).
+void Banner(const std::string& exp_id, const std::string& artifact,
+            uint64_t seed);
+
+/// Prints the verdict line: "[exp_id] SHAPE <OK|VIOLATED>: <claim>".
+void Verdict(const std::string& exp_id, bool ok, const std::string& claim);
+
+/// Formats a double with 4 significant digits.
+std::string Num(double value);
+/// Formats an integer.
+std::string Int(int64_t value);
+
+/// Seed used by all experiments; override with STRATLEARN_SEED env var.
+uint64_t ExperimentSeed();
+
+}  // namespace stratlearn::bench
+
+#endif  // STRATLEARN_BENCH_HARNESS_H_

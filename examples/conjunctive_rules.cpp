@@ -1,0 +1,69 @@
+// Note 4's hypergraph setting as a runnable example: a knowledge base
+// whose rules have conjunctive antecedents becomes an AND/OR search
+// structure, and AndOrPib learns both which rule to try first (OR order)
+// and in which order to check each rule's conjuncts (AND order) from
+// the query stream.
+//
+//   eligible :- enrolled, paid, attested.    (three conjuncts)
+//   eligible :- sponsored, vetted.           (two conjuncts)
+//   eligible :- legacy.                      (single retrieval)
+//
+// Run: ./build/examples/conjunctive_rules
+
+#include <cstdio>
+
+#include "andor/and_or_pib.h"
+#include "andor/and_or_strategy.h"
+#include "workload/synthetic_oracle.h"
+
+using namespace stratlearn;
+
+int main() {
+  AndOrGraph g;
+  AndOrNodeId root = g.AddRoot(AndOrKind::kOr, "eligible");
+
+  AndOrNodeId rule1 = g.AddInternal(root, AndOrKind::kAnd, "rule1");
+  g.AddLeaf(rule1, "enrolled", 1.0);
+  g.AddLeaf(rule1, "paid", 2.0);
+  g.AddLeaf(rule1, "attested", 0.5);
+
+  AndOrNodeId rule2 = g.AddInternal(root, AndOrKind::kAnd, "rule2");
+  g.AddLeaf(rule2, "sponsored", 1.0);
+  g.AddLeaf(rule2, "vetted", 4.0);
+
+  g.AddLeaf(root, "legacy", 1.5);
+
+  // Workload truth: most people satisfy rule2 (sponsored & vetted);
+  // rule1's 'attested' conjunct is rarely satisfied, so checking it first
+  // dismisses rule1 cheaply.
+  //                 enrolled paid attested sponsored vetted legacy
+  std::vector<double> probs = {0.8, 0.7, 0.15, 0.75, 0.9, 0.1};
+
+  AndOrStrategy naive = AndOrStrategy::Default(g);
+  std::printf("Structure:\n%s\n", g.ToDot("eligibility").c_str());
+  std::printf("Naive strategy   %s\n  expected cost %.3f\n",
+              naive.ToString(g).c_str(),
+              AndOrExactExpectedCost(g, naive, probs));
+
+  AndOrPib pib(&g, naive, AndOrPibOptions{.delta = 0.02});
+  IndependentOracle oracle(probs);
+  Rng rng(2026);
+  for (int i = 0; i < 40000; ++i) {
+    if (pib.Observe(oracle.Next(rng))) {
+      const AndOrPib::Move& m = pib.moves().back();
+      std::printf("  move at query %lld: swap children %zu<->%zu of %s\n",
+                  static_cast<long long>(m.at_context), m.child_i,
+                  m.child_j, g.node(m.node).label.c_str());
+    }
+  }
+  std::printf("Learned strategy %s\n  expected cost %.3f\n",
+              pib.strategy().ToString(g).c_str(),
+              AndOrExactExpectedCost(g, pib.strategy(), probs));
+
+  Result<AndOrOptimalResult> best = AndOrBruteForceOptimal(g, probs);
+  if (best.ok()) {
+    std::printf("Optimal strategy %s\n  expected cost %.3f\n",
+                best->strategy.ToString(g).c_str(), best->cost);
+  }
+  return 0;
+}

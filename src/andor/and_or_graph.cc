@@ -1,0 +1,106 @@
+#include "andor/and_or_graph.h"
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace stratlearn {
+
+AndOrNodeId AndOrGraph::AddRoot(AndOrKind kind, std::string label,
+                                double cost) {
+  STRATLEARN_CHECK_MSG(nodes_.empty(), "AddRoot must be the first call");
+  AndOrNode node;
+  node.kind = kind;
+  node.label = std::move(label);
+  if (kind == AndOrKind::kLeaf) {
+    STRATLEARN_CHECK(cost > 0.0);
+    node.cost = cost;
+    node.experiment = 0;
+    leaves_.push_back(0);
+  }
+  nodes_.push_back(std::move(node));
+  return 0;
+}
+
+AndOrNodeId AndOrGraph::AddInternal(AndOrNodeId parent, AndOrKind kind,
+                                    std::string label) {
+  STRATLEARN_CHECK(parent < nodes_.size());
+  STRATLEARN_CHECK(kind != AndOrKind::kLeaf);
+  STRATLEARN_CHECK_MSG(nodes_[parent].kind != AndOrKind::kLeaf,
+                       "leaves cannot have children");
+  AndOrNodeId id = static_cast<AndOrNodeId>(nodes_.size());
+  AndOrNode node;
+  node.kind = kind;
+  node.label = std::move(label);
+  node.parent = parent;
+  nodes_.push_back(std::move(node));
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+AndOrNodeId AndOrGraph::AddLeaf(AndOrNodeId parent, std::string label,
+                                double cost) {
+  STRATLEARN_CHECK(parent < nodes_.size());
+  STRATLEARN_CHECK_MSG(nodes_[parent].kind != AndOrKind::kLeaf,
+                       "leaves cannot have children");
+  STRATLEARN_CHECK(cost > 0.0);
+  AndOrNodeId id = static_cast<AndOrNodeId>(nodes_.size());
+  AndOrNode node;
+  node.kind = AndOrKind::kLeaf;
+  node.label = std::move(label);
+  node.parent = parent;
+  node.cost = cost;
+  node.experiment = static_cast<int>(leaves_.size());
+  nodes_.push_back(std::move(node));
+  nodes_[parent].children.push_back(id);
+  leaves_.push_back(id);
+  return id;
+}
+
+const AndOrNode& AndOrGraph::node(AndOrNodeId id) const {
+  STRATLEARN_CHECK(id < nodes_.size());
+  return nodes_[id];
+}
+
+double AndOrGraph::TotalLeafCost() const {
+  double total = 0.0;
+  for (AndOrNodeId leaf : leaves_) total += nodes_[leaf].cost;
+  return total;
+}
+
+Status AndOrGraph::Validate() const {
+  if (nodes_.empty()) return Status::FailedPrecondition("graph has no root");
+  for (AndOrNodeId n = 0; n < nodes_.size(); ++n) {
+    const AndOrNode& node = nodes_[n];
+    if (node.kind == AndOrKind::kLeaf) {
+      if (node.cost <= 0.0) {
+        return Status::Internal(StrFormat("leaf %u has non-positive cost", n));
+      }
+      if (!node.children.empty()) {
+        return Status::Internal(StrFormat("leaf %u has children", n));
+      }
+    } else if (node.children.empty()) {
+      return Status::Internal(
+          StrFormat("internal node %u has no children", n));
+    }
+  }
+  return Status::OK();
+}
+
+std::string AndOrGraph::ToDot(const std::string& name) const {
+  std::string out = "digraph " + name + " {\n";
+  for (AndOrNodeId n = 0; n < nodes_.size(); ++n) {
+    const AndOrNode& node = nodes_[n];
+    const char* shape = node.kind == AndOrKind::kAnd      ? "triangle"
+                        : node.kind == AndOrKind::kOr     ? "ellipse"
+                                                          : "box";
+    out += StrFormat("  n%u [label=\"%s\", shape=%s];\n", n,
+                     node.label.c_str(), shape);
+    for (AndOrNodeId c : node.children) {
+      out += StrFormat("  n%u -> n%u;\n", n, c);
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace stratlearn

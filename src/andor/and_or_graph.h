@@ -1,0 +1,80 @@
+#ifndef STRATLEARN_ANDOR_AND_OR_GRAPH_H_
+#define STRATLEARN_ANDOR_AND_OR_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace stratlearn {
+
+/// Note 4's directed-hypergraph generalisation: rules whose antecedents
+/// are conjunctions ("A :- B, C.") need AND nodes whose children must
+/// ALL succeed, alongside the OR nodes (alternative rules) of the simple
+/// inference graphs. This module models the resulting search structures
+/// (in the sense of [OG90]) as AND/OR trees whose leaves are the
+/// probabilistic experiments (database retrievals).
+///
+/// Costs live at the leaves (the retrieval attempts); internal AND/OR
+/// structure is free, matching the hypergraph reading where a hyper-arc's
+/// cost is charged at its retrievals.
+
+using AndOrNodeId = uint32_t;
+inline constexpr AndOrNodeId kInvalidAndOrNode = 0xffffffffu;
+
+enum class AndOrKind : uint8_t { kOr, kAnd, kLeaf };
+
+struct AndOrNode {
+  AndOrKind kind = AndOrKind::kLeaf;
+  std::string label;
+  AndOrNodeId parent = kInvalidAndOrNode;
+  std::vector<AndOrNodeId> children;
+  /// Leaf-only: attempt cost and experiment index.
+  double cost = 1.0;
+  int experiment = -1;
+};
+
+/// An AND/OR tree over probabilistic leaf experiments.
+class AndOrGraph {
+ public:
+  AndOrGraph() = default;
+
+  /// Creates the root (first call). `kind` may also be kLeaf for the
+  /// degenerate one-retrieval query.
+  AndOrNodeId AddRoot(AndOrKind kind, std::string label, double cost = 1.0);
+
+  /// Adds an internal AND/OR child.
+  AndOrNodeId AddInternal(AndOrNodeId parent, AndOrKind kind,
+                          std::string label);
+
+  /// Adds a leaf experiment with the given attempt cost.
+  AndOrNodeId AddLeaf(AndOrNodeId parent, std::string label, double cost);
+
+  AndOrNodeId root() const { return 0; }
+  size_t num_nodes() const { return nodes_.size(); }
+  const AndOrNode& node(AndOrNodeId id) const;
+
+  /// Leaves in experiment-index order.
+  const std::vector<AndOrNodeId>& experiments() const { return leaves_; }
+  size_t num_experiments() const { return leaves_.size(); }
+
+  /// Sum of all leaf costs: an upper bound on any execution's cost (and
+  /// hence a valid Lambda range for the learners).
+  double TotalLeafCost() const;
+
+  /// Structural checks: root exists, internal nodes have children,
+  /// leaves have positive costs.
+  Status Validate() const;
+
+  /// Graphviz rendering (AND nodes drawn as triangles).
+  std::string ToDot(const std::string& name = "G") const;
+
+ private:
+  std::vector<AndOrNode> nodes_;
+  std::vector<AndOrNodeId> leaves_;
+};
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_ANDOR_AND_OR_GRAPH_H_

@@ -1,0 +1,59 @@
+#ifndef STRATLEARN_ANDOR_AND_OR_PAO_H_
+#define STRATLEARN_ANDOR_AND_OR_PAO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "andor/and_or_strategy.h"
+#include "andor/and_or_upsilon.h"
+#include "util/rng.h"
+#include "workload/oracle.h"
+
+namespace stratlearn {
+
+struct AndOrPaoOptions {
+  double epsilon = 1.0;
+  double delta = 0.1;
+  int64_t max_contexts = 10'000'000;
+};
+
+struct AndOrPaoResult {
+  AndOrStrategy strategy;
+  std::vector<double> estimates;
+  std::vector<int64_t> quotas;
+  int64_t contexts_used = 0;
+};
+
+/// PAO for AND/OR search structures: the Section 4 pipeline transplanted
+/// to the hypergraph setting.
+///
+/// 1. Per-leaf sample quotas from Equation 7 with the natural F_not
+///    analogue (the total cost of the *other* leaves — the most any
+///    mis-ordering triggered by this leaf's estimate can waste).
+/// 2. An adaptive sampler: each context aims at the most under-sampled
+///    leaf by rotating, at every internal node on its path, the child
+///    leading toward it to the front; every attempted leaf yields a
+///    sample (cross-crediting, as in Section 4.1), and blocked aims are
+///    counted so rarely-reachable leaves cannot stall the loop (the
+///    Theorem 3 idea).
+/// 3. AndOrUpsilon on the measured frequencies (0.5 fallback for
+///    never-reached leaves).
+///
+/// The paper proves Theorem 2/3 only for the disjunctive tree class; for
+/// AND/OR structures this carries the same Chernoff machinery and is
+/// validated empirically (andor_test: epsilon-optimality rate over
+/// independent runs).
+class AndOrPao {
+ public:
+  static std::vector<int64_t> ComputeQuotas(const AndOrGraph& graph,
+                                            const AndOrPaoOptions& options);
+
+  static Result<AndOrPaoResult> Run(const AndOrGraph& graph,
+                                    ContextOracle& oracle, Rng& rng,
+                                    const AndOrPaoOptions& options =
+                                        AndOrPaoOptions());
+};
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_ANDOR_AND_OR_PAO_H_

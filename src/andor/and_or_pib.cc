@@ -1,0 +1,71 @@
+#include "andor/and_or_pib.h"
+
+#include <algorithm>
+
+#include "stats/sequential.h"
+#include "util/check.h"
+
+namespace stratlearn {
+
+AndOrPib::AndOrPib(const AndOrGraph* graph, AndOrStrategy initial,
+                   AndOrPibOptions options)
+    : graph_(graph),
+      processor_(graph),
+      current_(std::move(initial)),
+      options_(options),
+      range_(graph->TotalLeafCost()) {
+  STRATLEARN_CHECK(options_.delta > 0.0 && options_.delta < 1.0);
+  STRATLEARN_CHECK(options_.test_every >= 1);
+  STRATLEARN_CHECK(current_.Validate(*graph_).ok());
+  RebuildNeighborhood();
+}
+
+void AndOrPib::RebuildNeighborhood() {
+  neighbors_.clear();
+  for (AndOrNodeId n = 0; n < graph_->num_nodes(); ++n) {
+    const std::vector<AndOrNodeId>& order = current_.OrderAt(n);
+    for (size_t i = 0; i < order.size(); ++i) {
+      for (size_t j = i + 1; j < order.size(); ++j) {
+        Neighbor neighbor;
+        neighbor.node = n;
+        neighbor.child_i = i;
+        neighbor.child_j = j;
+        neighbor.strategy = current_.WithSwappedChildren(n, i, j);
+        neighbors_.push_back(std::move(neighbor));
+      }
+    }
+  }
+  samples_ = 0;
+}
+
+bool AndOrPib::Observe(const Context& context) {
+  ++contexts_;
+  ++samples_;
+  trials_ += static_cast<int64_t>(neighbors_.size());
+  double current_cost = processor_.Cost(current_, context);
+  for (Neighbor& n : neighbors_) {
+    n.delta_sum += current_cost - processor_.Cost(n.strategy, context);
+  }
+  if (contexts_ % options_.test_every != 0) return false;
+
+  for (const Neighbor& n : neighbors_) {
+    double threshold = SequentialSumThreshold(
+        samples_, std::max<int64_t>(1, trials_), options_.delta, range_);
+    if (n.delta_sum > 0.0 && n.delta_sum >= threshold) {
+      Move move;
+      move.at_context = contexts_;
+      move.node = n.node;
+      move.child_i = n.child_i;
+      move.child_j = n.child_j;
+      move.delta_sum = n.delta_sum;
+      move.threshold = threshold;
+      moves_.push_back(move);
+      current_ = n.strategy;
+      RebuildNeighborhood();
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace stratlearn

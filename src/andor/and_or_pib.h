@@ -1,0 +1,76 @@
+#ifndef STRATLEARN_ANDOR_AND_OR_PIB_H_
+#define STRATLEARN_ANDOR_AND_OR_PIB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "andor/and_or_strategy.h"
+
+namespace stratlearn {
+
+struct AndOrPibOptions {
+  double delta = 0.05;
+  int test_every = 1;
+};
+
+/// PIB for AND/OR search structures (the Note 4 hypergraph setting).
+///
+/// The transformation set is all child-pair swaps at every AND and OR
+/// node (conjunct reordering and rule reordering respectively). Because
+/// hypergraph traces do not support the paper's one-sided Delta~
+/// completion (an unobserved conjunct's outcome can move the difference
+/// in either direction), this learner consumes full contexts and uses
+/// the exact per-context Delta — available whenever the monitor can
+/// replay the query against the database, and always available from the
+/// synthetic oracles. The Equation 6 sequential/Bonferroni machinery is
+/// unchanged, so Theorem 1's lifetime guarantee carries over with the
+/// exact Delta being trivially a valid under-estimate.
+class AndOrPib {
+ public:
+  struct Move {
+    int64_t at_context = 0;
+    AndOrNodeId node = kInvalidAndOrNode;
+    size_t child_i = 0, child_j = 0;
+    double delta_sum = 0.0;
+    double threshold = 0.0;
+  };
+
+  AndOrPib(const AndOrGraph* graph, AndOrStrategy initial,
+           AndOrPibOptions options = AndOrPibOptions());
+
+  /// Consumes one full context (the current strategy is assumed to have
+  /// served the query; the exact Delta to every neighbour is computed by
+  /// counterfactual replay). Returns true on a hill-climbing move.
+  bool Observe(const Context& context);
+
+  const AndOrStrategy& strategy() const { return current_; }
+  int64_t contexts_processed() const { return contexts_; }
+  const std::vector<Move>& moves() const { return moves_; }
+  size_t num_neighbors() const { return neighbors_.size(); }
+
+ private:
+  struct Neighbor {
+    AndOrNodeId node;
+    size_t child_i, child_j;
+    AndOrStrategy strategy;
+    double delta_sum = 0.0;
+  };
+
+  void RebuildNeighborhood();
+
+  const AndOrGraph* graph_;
+  AndOrProcessor processor_;
+  AndOrStrategy current_;
+  AndOrPibOptions options_;
+  double range_;
+
+  std::vector<Neighbor> neighbors_;
+  int64_t contexts_ = 0;
+  int64_t trials_ = 0;
+  int64_t samples_ = 0;
+  std::vector<Move> moves_;
+};
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_ANDOR_AND_OR_PIB_H_

@@ -1,0 +1,184 @@
+#include "andor/and_or_serialization.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace stratlearn {
+
+namespace {
+
+constexpr std::string_view kGraphHeader = "stratlearn-andor v1";
+constexpr std::string_view kStrategyHeader = "stratlearn-andor-strategy v1";
+
+char KindChar(AndOrKind kind) {
+  switch (kind) {
+    case AndOrKind::kAnd:
+      return 'A';
+    case AndOrKind::kOr:
+      return 'O';
+    case AndOrKind::kLeaf:
+      return 'L';
+  }
+  return '?';
+}
+
+bool ParseUint(std::string_view token, uint32_t* out) {
+  std::string buffer(token);
+  char* end = nullptr;
+  unsigned long value = std::strtoul(buffer.c_str(), &end, 10);
+  if (end != buffer.c_str() + buffer.size()) return false;
+  *out = static_cast<uint32_t>(value);
+  return true;
+}
+
+}  // namespace
+
+std::string SerializeAndOrGraph(const AndOrGraph& graph) {
+  std::string out(kGraphHeader);
+  out += "\n";
+  for (AndOrNodeId n = 0; n < graph.num_nodes(); ++n) {
+    const AndOrNode& node = graph.node(n);
+    std::string parent = node.parent == kInvalidAndOrNode
+                             ? "-"
+                             : StrFormat("%u", node.parent);
+    out += StrFormat("node %c %s %.17g %s\n", KindChar(node.kind),
+                     parent.c_str(), node.cost, node.label.c_str());
+  }
+  return out;
+}
+
+Result<AndOrGraph> DeserializeAndOrGraph(std::string_view text) {
+  std::vector<std::string> lines = Split(text, '\n');
+  if (lines.empty() || Trim(lines[0]) != kGraphHeader) {
+    return Status::InvalidArgument("missing 'stratlearn-andor v1' header");
+  }
+  AndOrGraph graph;
+  size_t node_count = 0;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::string_view line = Trim(lines[i]);
+    if (line.empty()) continue;
+    if (!StartsWith(line, "node ")) {
+      return Status::InvalidArgument(
+          StrFormat("unrecognised record on line %zu", i + 1));
+    }
+    // node <kind> <parent|-> <cost> <label...>
+    std::vector<std::string> fields = Split(line.substr(5), ' ');
+    if (fields.size() < 3) {
+      return Status::InvalidArgument(
+          StrFormat("malformed node record on line %zu", i + 1));
+    }
+    AndOrKind kind;
+    if (fields[0] == "A") {
+      kind = AndOrKind::kAnd;
+    } else if (fields[0] == "O") {
+      kind = AndOrKind::kOr;
+    } else if (fields[0] == "L") {
+      kind = AndOrKind::kLeaf;
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("unknown node kind on line %zu", i + 1));
+    }
+    double cost = std::atof(fields[2].c_str());
+    // Label: everything after the third field.
+    std::string label;
+    for (size_t f = 3; f < fields.size(); ++f) {
+      if (f > 3) label += " ";
+      label += fields[f];
+    }
+    if (node_count == 0) {
+      if (fields[1] != "-") {
+        return Status::InvalidArgument("root must have parent '-'");
+      }
+      if (kind == AndOrKind::kLeaf && cost <= 0.0) {
+        return Status::InvalidArgument("root leaf needs positive cost");
+      }
+      graph.AddRoot(kind, label, kind == AndOrKind::kLeaf ? cost : 1.0);
+    } else {
+      uint32_t parent = 0;
+      if (!ParseUint(fields[1], &parent) || parent >= node_count) {
+        return Status::InvalidArgument(
+            StrFormat("bad parent on line %zu", i + 1));
+      }
+      if (graph.node(parent).kind == AndOrKind::kLeaf) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu hangs a child off a leaf", i + 1));
+      }
+      if (kind == AndOrKind::kLeaf) {
+        if (cost <= 0.0) {
+          return Status::InvalidArgument(
+              StrFormat("leaf on line %zu needs positive cost", i + 1));
+        }
+        graph.AddLeaf(parent, label, cost);
+      } else {
+        graph.AddInternal(parent, kind, label);
+      }
+    }
+    ++node_count;
+  }
+  if (node_count == 0) {
+    return Status::InvalidArgument("graph has no nodes");
+  }
+  STRATLEARN_RETURN_IF_ERROR(graph.Validate());
+  return graph;
+}
+
+std::string SerializeAndOrStrategy(const AndOrGraph& graph,
+                                   const AndOrStrategy& strategy) {
+  std::string out(kStrategyHeader);
+  for (AndOrNodeId n = 0; n < graph.num_nodes(); ++n) {
+    const std::vector<AndOrNodeId>& order = strategy.OrderAt(n);
+    if (order.size() < 2) continue;
+    out += StrFormat(" %u:", n);
+    for (size_t i = 0; i < order.size(); ++i) {
+      out += StrFormat(i == 0 ? "%u" : ",%u", order[i]);
+    }
+  }
+  return out;
+}
+
+Result<AndOrStrategy> DeserializeAndOrStrategy(const AndOrGraph& graph,
+                                               std::string_view text) {
+  std::string_view trimmed = Trim(text);
+  if (!StartsWith(trimmed, kStrategyHeader)) {
+    return Status::InvalidArgument(
+        "missing 'stratlearn-andor-strategy v1' header");
+  }
+  AndOrStrategy strategy = AndOrStrategy::Default(graph);
+  std::vector<std::string> tokens =
+      Split(trimmed.substr(kStrategyHeader.size()), ' ');
+  for (const std::string& token : tokens) {
+    if (Trim(token).empty()) continue;
+    std::vector<std::string> parts = Split(token, ':');
+    uint32_t node = 0;
+    if (parts.size() != 2 || !ParseUint(parts[0], &node) ||
+        node >= graph.num_nodes()) {
+      return Status::InvalidArgument("bad strategy token '" + token + "'");
+    }
+    std::vector<std::string> ids = Split(parts[1], ',');
+    if (ids.size() != graph.node(node).children.size()) {
+      return Status::InvalidArgument(
+          StrFormat("node %u order has wrong length", node));
+    }
+    // Apply the order via selection swaps so validity is preserved.
+    for (size_t i = 0; i < ids.size(); ++i) {
+      uint32_t child = 0;
+      if (!ParseUint(ids[i], &child)) {
+        return Status::InvalidArgument("bad child id '" + ids[i] + "'");
+      }
+      const std::vector<AndOrNodeId>& now = strategy.OrderAt(node);
+      size_t j = i;
+      while (j < now.size() && now[j] != child) ++j;
+      if (j >= now.size()) {
+        return Status::InvalidArgument(StrFormat(
+            "node %u order is not a permutation of its children", node));
+      }
+      if (j != i) strategy = strategy.WithSwappedChildren(node, i, j);
+    }
+  }
+  STRATLEARN_RETURN_IF_ERROR(strategy.Validate(graph));
+  return strategy;
+}
+
+}  // namespace stratlearn

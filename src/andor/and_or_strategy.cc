@@ -1,0 +1,224 @@
+#include "andor/and_or_strategy.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/math_util.h"
+#include "util/string_util.h"
+
+namespace stratlearn {
+
+AndOrStrategy AndOrStrategy::Default(const AndOrGraph& graph) {
+  AndOrStrategy strategy;
+  strategy.orders_.resize(graph.num_nodes());
+  for (AndOrNodeId n = 0; n < graph.num_nodes(); ++n) {
+    strategy.orders_[n] = graph.node(n).children;
+  }
+  return strategy;
+}
+
+const std::vector<AndOrNodeId>& AndOrStrategy::OrderAt(
+    AndOrNodeId node) const {
+  STRATLEARN_CHECK(node < orders_.size());
+  return orders_[node];
+}
+
+AndOrStrategy AndOrStrategy::WithSwappedChildren(AndOrNodeId node, size_t i,
+                                                 size_t j) const {
+  STRATLEARN_CHECK(node < orders_.size());
+  STRATLEARN_CHECK(i < orders_[node].size());
+  STRATLEARN_CHECK(j < orders_[node].size());
+  AndOrStrategy out = *this;
+  std::swap(out.orders_[node][i], out.orders_[node][j]);
+  return out;
+}
+
+Status AndOrStrategy::Validate(const AndOrGraph& graph) const {
+  if (orders_.size() != graph.num_nodes()) {
+    return Status::InvalidArgument("strategy does not match graph size");
+  }
+  for (AndOrNodeId n = 0; n < graph.num_nodes(); ++n) {
+    std::vector<AndOrNodeId> expected = graph.node(n).children;
+    std::vector<AndOrNodeId> actual = orders_[n];
+    std::sort(expected.begin(), expected.end());
+    std::sort(actual.begin(), actual.end());
+    if (expected != actual) {
+      return Status::InvalidArgument(StrFormat(
+          "node %u's order is not a permutation of its children", n));
+    }
+  }
+  return Status::OK();
+}
+
+std::string AndOrStrategy::ToString(const AndOrGraph& graph) const {
+  std::string out = "{";
+  bool first = true;
+  for (AndOrNodeId n = 0; n < graph.num_nodes(); ++n) {
+    if (orders_[n].size() < 2) continue;  // trivial orders are noise
+    if (!first) out += ", ";
+    first = false;
+    out += graph.node(n).label + ": [";
+    for (size_t i = 0; i < orders_[n].size(); ++i) {
+      if (i > 0) out += " ";
+      out += graph.node(orders_[n][i]).label;
+    }
+    out += "]";
+  }
+  out += "}";
+  return out;
+}
+
+bool AndOrProcessor::Solve(const AndOrStrategy& strategy,
+                           const Context& context, AndOrNodeId id,
+                           AndOrTrace* trace) const {
+  const AndOrNode& node = graph_->node(id);
+  switch (node.kind) {
+    case AndOrKind::kLeaf: {
+      trace->cost += node.cost;
+      bool ok = context.Unblocked(static_cast<size_t>(node.experiment));
+      trace->attempts.push_back({id, ok});
+      return ok;
+    }
+    case AndOrKind::kOr: {
+      for (AndOrNodeId c : strategy.OrderAt(id)) {
+        if (Solve(strategy, context, c, trace)) return true;
+      }
+      return false;
+    }
+    case AndOrKind::kAnd: {
+      for (AndOrNodeId c : strategy.OrderAt(id)) {
+        if (!Solve(strategy, context, c, trace)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+AndOrTrace AndOrProcessor::Execute(const AndOrStrategy& strategy,
+                                   const Context& context) const {
+  STRATLEARN_CHECK(context.num_experiments() == graph_->num_experiments());
+  AndOrTrace trace;
+  trace.success = Solve(strategy, context, graph_->root(), &trace);
+  return trace;
+}
+
+double AndOrEnumeratedExpectedCost(const AndOrGraph& graph,
+                                   const AndOrStrategy& strategy,
+                                   const std::vector<double>& probs) {
+  size_t n = graph.num_experiments();
+  STRATLEARN_CHECK_MSG(n <= 20, "enumeration is a test oracle");
+  STRATLEARN_CHECK(probs.size() == n);
+  AndOrProcessor processor(&graph);
+  double expected = 0.0;
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    double weight = 1.0;
+    for (size_t i = 0; i < n && weight > 0.0; ++i) {
+      weight *= ((mask >> i) & 1) ? probs[i] : 1.0 - probs[i];
+    }
+    if (weight == 0.0) continue;
+    expected += weight * processor.Cost(strategy, Context::FromMask(n, mask));
+  }
+  return expected;
+}
+
+namespace {
+
+/// Bottom-up (expected cost when started, success probability) for a
+/// subtree; exact because distinct subtrees own distinct independent
+/// leaves.
+struct CostProb {
+  double cost = 0.0;
+  double prob = 0.0;
+};
+
+CostProb Evaluate(const AndOrGraph& graph, const AndOrStrategy& strategy,
+                  const std::vector<double>& probs, AndOrNodeId id) {
+  const AndOrNode& node = graph.node(id);
+  if (node.kind == AndOrKind::kLeaf) {
+    return {node.cost, probs[static_cast<size_t>(node.experiment)]};
+  }
+  CostProb out;
+  double reach = 1.0;  // probability this child is started
+  for (AndOrNodeId c : strategy.OrderAt(id)) {
+    CostProb child = Evaluate(graph, strategy, probs, c);
+    out.cost += reach * child.cost;
+    if (node.kind == AndOrKind::kOr) {
+      reach *= 1.0 - child.prob;   // continue only on failure
+    } else {
+      reach *= child.prob;         // continue only on success
+    }
+  }
+  out.prob = node.kind == AndOrKind::kOr ? 1.0 - reach : reach;
+  return out;
+}
+
+/// Recursively enumerates child permutations of internal nodes.
+bool EnumerateOrders(const AndOrGraph& graph,
+                     std::vector<AndOrNodeId>& internals, size_t index,
+                     AndOrStrategy& current,
+                     const std::vector<double>& probs, int64_t* budget,
+                     AndOrOptimalResult* best) {
+  if (index == internals.size()) {
+    if (--(*budget) < 0) return false;
+    double cost = AndOrExactExpectedCost(graph, current, probs);
+    if (best->cost < 0.0 || cost < best->cost) {
+      best->cost = cost;
+      best->strategy = current;
+    }
+    return true;
+  }
+  AndOrNodeId node = internals[index];
+  std::vector<AndOrNodeId> order = graph.node(node).children;
+  std::sort(order.begin(), order.end());
+  do {
+    // Rewrite `node`'s order into this permutation via selection swaps.
+    AndOrStrategy candidate = current;
+    for (size_t i = 0; i < order.size(); ++i) {
+      const std::vector<AndOrNodeId>& now = candidate.OrderAt(node);
+      size_t j = i;
+      while (now[j] != order[i]) ++j;
+      if (j != i) candidate = candidate.WithSwappedChildren(node, i, j);
+    }
+    if (!EnumerateOrders(graph, internals, index + 1, candidate, probs,
+                         budget, best)) {
+      return false;
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+  return true;
+}
+
+}  // namespace
+
+double AndOrExactExpectedCost(const AndOrGraph& graph,
+                              const AndOrStrategy& strategy,
+                              const std::vector<double>& probs) {
+  STRATLEARN_CHECK(probs.size() == graph.num_experiments());
+  return Evaluate(graph, strategy, probs, graph.root()).cost;
+}
+
+Result<AndOrOptimalResult> AndOrBruteForceOptimal(
+    const AndOrGraph& graph, const std::vector<double>& probs,
+    int64_t max_strategies) {
+  std::vector<AndOrNodeId> internals;
+  for (AndOrNodeId n = 0; n < graph.num_nodes(); ++n) {
+    if (graph.node(n).kind != AndOrKind::kLeaf &&
+        graph.node(n).children.size() > 1) {
+      internals.push_back(n);
+    }
+  }
+  AndOrOptimalResult best;
+  best.cost = -1.0;
+  AndOrStrategy current = AndOrStrategy::Default(graph);
+  int64_t budget = max_strategies;
+  if (!EnumerateOrders(graph, internals, 0, current, probs, &budget,
+                       &best)) {
+    return Status::InvalidArgument(
+        "strategy space exceeds max_strategies; graph too large for brute "
+        "force");
+  }
+  STRATLEARN_CHECK(best.cost >= 0.0);
+  return best;
+}
+
+}  // namespace stratlearn

@@ -1,0 +1,112 @@
+#ifndef STRATLEARN_ANDOR_AND_OR_STRATEGY_H_
+#define STRATLEARN_ANDOR_AND_OR_STRATEGY_H_
+
+#include <string>
+#include <vector>
+
+#include "andor/and_or_graph.h"
+#include "engine/context.h"
+#include "util/status.h"
+
+namespace stratlearn {
+
+/// A strategy for an AND/OR tree: the order in which each internal
+/// node's children are pursued (OR nodes stop at the first success, AND
+/// nodes at the first failure). This is the natural strategy space of
+/// [GO91, Appendix A]'s hypergraph satisficing search, specialised to
+/// trees: a depth-first policy determined by per-node child permutations.
+class AndOrStrategy {
+ public:
+  AndOrStrategy() = default;
+
+  /// Children in construction order at every node.
+  static AndOrStrategy Default(const AndOrGraph& graph);
+
+  /// The child visit order at `node`.
+  const std::vector<AndOrNodeId>& OrderAt(AndOrNodeId node) const;
+
+  /// Swaps two child positions at `node` (returns a new strategy).
+  AndOrStrategy WithSwappedChildren(AndOrNodeId node, size_t i,
+                                    size_t j) const;
+
+  /// Checks the strategy is a permutation of every node's children.
+  Status Validate(const AndOrGraph& graph) const;
+
+  /// Human-readable form "{n0: [c2 c1], n3: [...]}" using labels.
+  std::string ToString(const AndOrGraph& graph) const;
+
+  friend bool operator==(const AndOrStrategy& a, const AndOrStrategy& b) {
+    return a.orders_ == b.orders_;
+  }
+  friend bool operator!=(const AndOrStrategy& a, const AndOrStrategy& b) {
+    return !(a == b);
+  }
+
+ private:
+  /// orders_[node] = visit order of that node's children (empty for
+  /// leaves).
+  std::vector<std::vector<AndOrNodeId>> orders_;
+};
+
+/// One leaf attempt in an AND/OR execution.
+struct AndOrAttempt {
+  AndOrNodeId leaf = kInvalidAndOrNode;
+  bool succeeded = false;
+};
+
+/// The record of one AND/OR execution.
+struct AndOrTrace {
+  std::vector<AndOrAttempt> attempts;
+  double cost = 0.0;
+  bool success = false;
+};
+
+/// Depth-first satisficing executor for AND/OR trees: an OR node returns
+/// success at its first successful child, an AND node returns failure at
+/// its first failed child; every attempted leaf charges its cost.
+class AndOrProcessor {
+ public:
+  explicit AndOrProcessor(const AndOrGraph* graph) : graph_(graph) {}
+
+  AndOrTrace Execute(const AndOrStrategy& strategy,
+                     const Context& context) const;
+
+  double Cost(const AndOrStrategy& strategy, const Context& context) const {
+    return Execute(strategy, context).cost;
+  }
+
+ private:
+  bool Solve(const AndOrStrategy& strategy, const Context& context,
+             AndOrNodeId node, AndOrTrace* trace) const;
+
+  const AndOrGraph* graph_;
+};
+
+/// Exact expected cost by exhaustive context enumeration (independent
+/// leaf probabilities; <= 20 leaves).
+double AndOrEnumeratedExpectedCost(const AndOrGraph& graph,
+                                   const AndOrStrategy& strategy,
+                                   const std::vector<double>& probs);
+
+/// O(|N|) exact expected cost for independent leaves, by bottom-up
+/// recursion: each subtree yields (expected cost when started, success
+/// probability); AND and OR nodes combine their ordered children with
+/// the appropriate early-exit weighting.
+double AndOrExactExpectedCost(const AndOrGraph& graph,
+                              const AndOrStrategy& strategy,
+                              const std::vector<double>& probs);
+
+/// Exhaustive minimisation over all per-node child permutations; the
+/// product of factorials explodes quickly, so `max_strategies` caps the
+/// search (error when exceeded). Test oracle.
+struct AndOrOptimalResult {
+  AndOrStrategy strategy;
+  double cost = 0.0;
+};
+Result<AndOrOptimalResult> AndOrBruteForceOptimal(
+    const AndOrGraph& graph, const std::vector<double>& probs,
+    int64_t max_strategies = 100000);
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_ANDOR_AND_OR_STRATEGY_H_

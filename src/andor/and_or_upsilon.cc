@@ -1,0 +1,83 @@
+#include "andor/and_or_upsilon.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace stratlearn {
+
+namespace {
+
+struct CostProb {
+  double cost = 0.0;
+  double prob = 0.0;
+};
+
+/// Bottom-up: computes the optimal child order at every node (written
+/// into `strategy` via swaps) and returns the subtree's (C, P).
+CostProb Solve(const AndOrGraph& graph, const std::vector<double>& probs,
+               AndOrNodeId id, AndOrStrategy* strategy) {
+  const AndOrNode& node = graph.node(id);
+  if (node.kind == AndOrKind::kLeaf) {
+    return {node.cost, probs[static_cast<size_t>(node.experiment)]};
+  }
+
+  struct ChildEntry {
+    AndOrNodeId child;
+    CostProb value;
+  };
+  std::vector<ChildEntry> children;
+  children.reserve(node.children.size());
+  for (AndOrNodeId c : node.children) {
+    children.push_back({c, Solve(graph, probs, c, strategy)});
+  }
+
+  const bool is_or = node.kind == AndOrKind::kOr;
+  std::stable_sort(children.begin(), children.end(),
+                   [is_or](const ChildEntry& a, const ChildEntry& b) {
+                     double ra = is_or ? a.value.prob : 1.0 - a.value.prob;
+                     double rb = is_or ? b.value.prob : 1.0 - b.value.prob;
+                     return ra * b.value.cost > rb * a.value.cost;
+                   });
+
+  // Write the chosen order into the strategy via selection swaps.
+  for (size_t i = 0; i < children.size(); ++i) {
+    const std::vector<AndOrNodeId>& now = strategy->OrderAt(id);
+    size_t j = i;
+    while (now[j] != children[i].child) ++j;
+    if (j != i) *strategy = strategy->WithSwappedChildren(id, i, j);
+  }
+
+  CostProb out;
+  double reach = 1.0;
+  for (const ChildEntry& entry : children) {
+    out.cost += reach * entry.value.cost;
+    reach *= is_or ? 1.0 - entry.value.prob : entry.value.prob;
+  }
+  out.prob = is_or ? 1.0 - reach : reach;
+  return out;
+}
+
+}  // namespace
+
+Result<AndOrUpsilonResult> AndOrUpsilon(const AndOrGraph& graph,
+                                        const std::vector<double>& probs) {
+  if (probs.size() != graph.num_experiments()) {
+    return Status::InvalidArgument(
+        "probability vector size does not match leaf count");
+  }
+  for (double p : probs) {
+    if (p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument("probabilities must lie in [0, 1]");
+    }
+  }
+  STRATLEARN_RETURN_IF_ERROR(graph.Validate());
+
+  AndOrUpsilonResult out;
+  out.strategy = AndOrStrategy::Default(graph);
+  CostProb root = Solve(graph, probs, graph.root(), &out.strategy);
+  out.expected_cost = root.cost;
+  return out;
+}
+
+}  // namespace stratlearn

@@ -1,0 +1,40 @@
+#ifndef STRATLEARN_ANDOR_AND_OR_UPSILON_H_
+#define STRATLEARN_ANDOR_AND_OR_UPSILON_H_
+
+#include <vector>
+
+#include "andor/and_or_strategy.h"
+#include "util/status.h"
+
+namespace stratlearn {
+
+struct AndOrUpsilonResult {
+  AndOrStrategy strategy;
+  double expected_cost = 0.0;
+};
+
+/// The Upsilon analogue for AND/OR search structures: the optimal
+/// *depth-first* strategy (per-node child orders — exactly the class
+/// AndOrStrategy models and AndOrBruteForceOptimal enumerates) for
+/// independent leaf probabilities.
+///
+/// Computed bottom-up in O(|N| log |N|): each subtree reduces to a pair
+/// (C = expected cost when started, P = success probability); an OR
+/// node orders its children by P/C descending (find a success as
+/// cheaply as possible), an AND node by (1 - P)/C descending (find a
+/// refutation as cheaply as possible); the node's own (C, P) then follow
+/// from the early-exit products. The pairwise-exchange optimality of
+/// each local order is the classical satisficing-ordering argument
+/// (Simon–Kadane; Natarajan's AND/OR version), and the andor_test
+/// property suite cross-validates against brute force on random trees.
+///
+/// N.b. non-depth-first strategies (suspending one subtree to probe
+/// another) can beat the best depth-first strategy on AND/OR trees; the
+/// paper's framework (and this library's AndOrStrategy class) is
+/// depth-first, so "optimal" here means optimal within that class.
+Result<AndOrUpsilonResult> AndOrUpsilon(const AndOrGraph& graph,
+                                        const std::vector<double>& probs);
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_ANDOR_AND_OR_UPSILON_H_

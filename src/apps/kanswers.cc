@@ -1,0 +1,40 @@
+#include "apps/kanswers.h"
+
+#include "engine/context.h"
+#include "util/check.h"
+
+namespace stratlearn {
+
+double EnumeratedExpectedCostK(const InferenceGraph& graph,
+                               const Strategy& strategy,
+                               const std::vector<double>& probs, int64_t k) {
+  size_t n = graph.num_experiments();
+  STRATLEARN_CHECK_MSG(n <= 20, "EnumeratedExpectedCostK is a test oracle");
+  STRATLEARN_CHECK(probs.size() == n);
+  KAnswersProcessor processor(&graph, k);
+  double expected = 0.0;
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    double weight = 1.0;
+    for (size_t i = 0; i < n && weight > 0.0; ++i) {
+      weight *= ((mask >> i) & 1) ? probs[i] : 1.0 - probs[i];
+    }
+    if (weight == 0.0) continue;
+    expected += weight * processor.Cost(strategy, Context::FromMask(n, mask));
+  }
+  return expected;
+}
+
+double MonteCarloExpectedCostK(const InferenceGraph& graph,
+                               const Strategy& strategy,
+                               ContextOracle& oracle, int64_t k,
+                               int64_t samples, Rng& rng) {
+  STRATLEARN_CHECK(samples > 0);
+  KAnswersProcessor processor(&graph, k);
+  double total = 0.0;
+  for (int64_t i = 0; i < samples; ++i) {
+    total += processor.Cost(strategy, oracle.Next(rng));
+  }
+  return total / static_cast<double>(samples);
+}
+
+}  // namespace stratlearn

@@ -1,0 +1,54 @@
+#ifndef STRATLEARN_APPS_KANSWERS_H_
+#define STRATLEARN_APPS_KANSWERS_H_
+
+#include <cstdint>
+
+#include "engine/query_processor.h"
+#include "engine/strategy.h"
+#include "graph/inference_graph.h"
+#include "util/rng.h"
+#include "workload/oracle.h"
+
+namespace stratlearn {
+
+/// Section 5.2's first-k-answers variant: the search stops only after k
+/// success nodes have been reached (useful when a query is known to have
+/// exactly k answers, e.g. parent(x, Y)).
+class KAnswersProcessor {
+ public:
+  KAnswersProcessor(const InferenceGraph* graph, int64_t k)
+      : processor_(graph), k_(k) {}
+
+  Trace Execute(const Strategy& strategy, const Context& context) const {
+    ExecutionOptions options;
+    options.stop_after_successes = k_;
+    return processor_.Execute(strategy, context, options);
+  }
+
+  double Cost(const Strategy& strategy, const Context& context) const {
+    return Execute(strategy, context).cost;
+  }
+
+  int64_t k() const { return k_; }
+
+ private:
+  QueryProcessor processor_;
+  int64_t k_;
+};
+
+/// Exact expected cost of the k-answers search under independent
+/// experiment probabilities, by exhaustive context enumeration (test /
+/// small-graph oracle; requires <= 20 experiments).
+double EnumeratedExpectedCostK(const InferenceGraph& graph,
+                               const Strategy& strategy,
+                               const std::vector<double>& probs, int64_t k);
+
+/// Monte-Carlo expected cost of the k-answers search over any oracle.
+double MonteCarloExpectedCostK(const InferenceGraph& graph,
+                               const Strategy& strategy,
+                               ContextOracle& oracle, int64_t k,
+                               int64_t samples, Rng& rng);
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_APPS_KANSWERS_H_

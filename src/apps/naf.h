@@ -1,0 +1,39 @@
+#ifndef STRATLEARN_APPS_NAF_H_
+#define STRATLEARN_APPS_NAF_H_
+
+#include "datalog/evaluator.h"
+
+namespace stratlearn {
+
+/// Negation as failure over the satisficing evaluator (Section 5.2's
+/// pauper example): "pauper(X) :- not owns(X, Y)" holds exactly when the
+/// satisficing search for a *single* owned item fails — the searcher
+/// never needs to enumerate all possessions, which is why satisficing
+/// strategies (and hence PIB/PAO) matter for NAF.
+class NafEvaluator {
+ public:
+  NafEvaluator(const Database* db, const RuleBase* rules,
+               EvaluatorOptions options = {})
+      : evaluator_(db, rules, options) {}
+
+  /// True when `atom` is NOT provable (closed-world negation). Returns
+  /// an error if the underlying proof search exhausted its budget, since
+  /// then neither answer is safe.
+  Result<bool> Holds(const Atom& atom, SymbolTable* symbols) {
+    Result<ProofResult> proof = evaluator_.Prove(atom, symbols);
+    if (!proof.ok()) return proof.status();
+    return !proof->proved;
+  }
+
+  /// The positive counterpart, exposing the satisficing search stats.
+  Result<ProofResult> Prove(const Atom& atom, SymbolTable* symbols) {
+    return evaluator_.Prove(atom, symbols);
+  }
+
+ private:
+  Evaluator evaluator_;
+};
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_APPS_NAF_H_

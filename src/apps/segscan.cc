@@ -1,0 +1,40 @@
+#include "apps/segscan.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace stratlearn {
+
+std::vector<double> SegmentGraph::HitProbabilities() const {
+  std::vector<double> probs;
+  probs.reserve(segments.size());
+  for (const Segment& s : segments) probs.push_back(s.hit_probability);
+  return probs;
+}
+
+SegmentGraph MakeSegmentGraph(std::vector<Segment> segments) {
+  STRATLEARN_CHECK(!segments.empty());
+  SegmentGraph out;
+  NodeId root = out.graph.AddRoot("query");
+  for (const Segment& s : segments) {
+    STRATLEARN_CHECK(s.scan_cost > 0.0);
+    STRATLEARN_CHECK(s.hit_probability >= 0.0 && s.hit_probability <= 1.0);
+    out.graph.AddRetrieval(root, s.scan_cost, "scan:" + s.name);
+  }
+  out.segments = std::move(segments);
+  return out;
+}
+
+std::vector<size_t> OptimalScanOrder(const std::vector<Segment>& segments) {
+  std::vector<size_t> order(segments.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return segments[a].hit_probability / segments[a].scan_cost >
+           segments[b].hit_probability / segments[b].scan_cost;
+  });
+  return order;
+}
+
+}  // namespace stratlearn

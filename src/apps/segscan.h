@@ -1,0 +1,48 @@
+#ifndef STRATLEARN_APPS_SEGSCAN_H_
+#define STRATLEARN_APPS_SEGSCAN_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/inference_graph.h"
+
+namespace stratlearn {
+
+/// Section 5.2's horizontally-segmented distributed-database application:
+/// the same relation is split across physical files (segments); answering
+/// "age(russ, X)" means scanning segments until the one holding russ's
+/// facts is found. Choosing the scan order is exactly the satisficing
+/// strategy problem on a flat inference graph — one retrieval arc per
+/// segment, cost = that segment's scan cost.
+struct Segment {
+  std::string name;
+  /// Cost of scanning this segment once.
+  double scan_cost = 1.0;
+  /// Probability that a query's subject lives in this segment (used by
+  /// synthetic workloads; the probabilities over segments of one relation
+  /// typically sum to <= 1).
+  double hit_probability = 0.0;
+};
+
+/// A flat inference graph over the segments. Experiment i corresponds to
+/// segments[i]; strategies over this graph are scan orders.
+struct SegmentGraph {
+  InferenceGraph graph;
+  std::vector<Segment> segments;
+
+  /// The true per-experiment success probabilities.
+  std::vector<double> HitProbabilities() const;
+};
+
+/// Builds the scan-order graph. Requires at least one segment with
+/// positive scan cost.
+SegmentGraph MakeSegmentGraph(std::vector<Segment> segments);
+
+/// The classical optimal scan order for independent segments: descending
+/// p_i / c_i ratio (the flat special case of Upsilon_AOT). Returns the
+/// segment indexes in optimal order.
+std::vector<size_t> OptimalScanOrder(const std::vector<Segment>& segments);
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_APPS_SEGSCAN_H_

@@ -1,0 +1,136 @@
+#include "core/delta_estimator.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace stratlearn {
+
+namespace {
+
+/// Executes `strategy` under `context` like QueryProcessor::Execute, but
+/// charges arcs whose experiment was NOT observed a bound on their
+/// attempt cost instead of the outcome-dependent value: MaxCost when
+/// `charge_max`, the minimum attempt cost otherwise. With the paper's
+/// basic fixed-cost model this is identical to the plain execution; with
+/// outcome-dependent costs it keeps the completions' costs valid upper /
+/// lower bounds on c(Theta', I_true).
+double BoundedCost(const InferenceGraph& graph, const Strategy& strategy,
+                   const Context& context, const std::vector<char>& observed,
+                   bool charge_max) {
+  std::vector<char> visited(graph.num_nodes(), 0);
+  visited[graph.root()] = 1;
+  double cost = 0.0;
+  for (ArcId a : strategy.arcs()) {
+    const Arc& arc = graph.arc(a);
+    if (!visited[arc.from]) continue;
+    bool unblocked = arc.experiment < 0 ||
+                     context.Unblocked(static_cast<size_t>(arc.experiment));
+    if (arc.experiment >= 0 &&
+        !observed[static_cast<size_t>(arc.experiment)]) {
+      double extra = charge_max
+                         ? std::max(arc.success_cost, arc.failure_cost)
+                         : std::min(arc.success_cost, arc.failure_cost);
+      cost += arc.cost + extra;
+    } else {
+      cost += arc.cost + (unblocked ? arc.success_cost : arc.failure_cost);
+    }
+    if (!unblocked) continue;
+    visited[arc.to] = 1;
+    if (graph.node(arc.to).is_success) break;
+  }
+  return cost;
+}
+
+}  // namespace
+
+double DeltaEstimator::ExactDelta(const Strategy& strategy,
+                                  const Strategy& alternative,
+                                  const Context& context) const {
+  return processor_.Cost(strategy, context) -
+         processor_.Cost(alternative, context);
+}
+
+std::vector<char> DeltaEstimator::ObservedOutcomes(const Trace& trace,
+                                                   Context* outcomes) const {
+  std::vector<char> observed(graph_->num_experiments(), 0);
+  for (const ArcAttempt& at : trace.attempts) {
+    int e = graph_->arc(at.arc).experiment;
+    if (e < 0) continue;
+    observed[static_cast<size_t>(e)] = 1;
+    outcomes->Set(static_cast<size_t>(e), at.unblocked);
+  }
+  return observed;
+}
+
+double DeltaEstimator::UnderEstimate(const Trace& trace,
+                                     const Strategy& alternative) const {
+  // Pessimistic completion J: observed outcomes kept; unobserved success
+  // arcs blocked (Theta' cannot succeed anywhere Theta did not verify);
+  // unobserved internal experiments unblocked (Theta' pays their
+  // subtrees); unobserved arcs charged their maximum attempt cost.
+  // c_max(Theta', J) >= c(Theta', I_true), hence the estimate is an
+  // under-estimate of Delta.
+  Context pessimistic(graph_->num_experiments());
+  std::vector<char> observed = ObservedOutcomes(trace, &pessimistic);
+  for (size_t e = 0; e < graph_->num_experiments(); ++e) {
+    if (observed[e]) continue;
+    ArcId arc = graph_->experiments()[e];
+    bool is_success_arc = graph_->node(graph_->arc(arc).to).is_success;
+    pessimistic.Set(e, !is_success_arc);
+  }
+  return trace.cost - BoundedCost(*graph_, alternative, pessimistic,
+                                  observed, /*charge_max=*/true);
+}
+
+double DeltaEstimator::OverEstimate(const Trace& trace,
+                                    const Strategy& alternative) const {
+  // Optimistic bound: a lower bound on c(Theta', I_true), minimised over
+  // the "single favoured success path" family of consistent completions.
+  // For each success arc s not observed blocked, complete with s's whole
+  // root path unblocked and every other unobserved experiment blocked
+  // (suppressing all other subtree costs); also consider the all-blocked
+  // completion. Unobserved arcs are charged their minimum attempt cost.
+  // Every consistent context's Theta' execution pays at least the
+  // cheapest of these (see delta_estimator_test's exhaustive check).
+  Context observed_ctx(graph_->num_experiments());
+  std::vector<char> observed = ObservedOutcomes(trace, &observed_ctx);
+
+  auto completion_base = [&]() {
+    Context c(graph_->num_experiments());
+    for (size_t e = 0; e < graph_->num_experiments(); ++e) {
+      if (observed[e]) c.Set(e, observed_ctx.Unblocked(e));
+    }
+    return c;
+  };
+
+  // All-unobserved-blocked completion.
+  double best = BoundedCost(*graph_, alternative, completion_base(),
+                            observed, /*charge_max=*/false);
+
+  for (ArcId s : graph_->SuccessArcs()) {
+    // Check consistency: no arc on s's root path (or s itself) was
+    // observed blocked.
+    bool consistent = true;
+    Context c = completion_base();
+    auto force_unblocked = [&](ArcId a) {
+      int e = graph_->arc(a).experiment;
+      if (e < 0) return;
+      if (observed[static_cast<size_t>(e)]) {
+        if (!observed_ctx.Unblocked(static_cast<size_t>(e))) {
+          consistent = false;
+        }
+      } else {
+        c.Set(static_cast<size_t>(e), true);
+      }
+    };
+    for (ArcId a : graph_->Pi(s)) force_unblocked(a);
+    force_unblocked(s);
+    if (!consistent) continue;
+    best = std::min(best, BoundedCost(*graph_, alternative, c, observed,
+                                      /*charge_max=*/false));
+  }
+  return trace.cost - best;
+}
+
+}  // namespace stratlearn

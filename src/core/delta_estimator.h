@@ -1,0 +1,63 @@
+#ifndef STRATLEARN_CORE_DELTA_ESTIMATOR_H_
+#define STRATLEARN_CORE_DELTA_ESTIMATOR_H_
+
+#include "engine/context.h"
+#include "engine/query_processor.h"
+#include "engine/strategy.h"
+#include "graph/inference_graph.h"
+
+namespace stratlearn {
+
+/// Estimates Delta[Theta, Theta', I] = c(Theta, I) - c(Theta', I)
+/// (Section 3.1) — the per-context cost saving of switching to an
+/// alternative strategy.
+///
+/// The exact value needs the full context; the learners only have the
+/// *trace* of the current strategy's run, which reveals the outcomes of
+/// the attempted experiments only. From a trace the estimator produces:
+///
+///  * `UnderEstimate` (the paper's Delta~): completes the unobserved part
+///    pessimistically for Theta' — unobserved success-bearing arcs are
+///    assumed blocked (no early success for Theta') and unobserved
+///    internal experiments assumed traversable (Theta' pays their
+///    subtrees). Both choices over-estimate c(Theta', I), so
+///    Delta~ <= Delta always. This is what PIB feeds into Equation 6.
+///
+///  * `OverEstimate` (Delta^): the symmetric optimistic completion used
+///    by PALO's stopping rule — a lower bound on c(Theta', I) obtained by
+///    minimising over the single-success-path completions, giving
+///    Delta^ >= Delta.
+///
+/// With outcome-dependent arc costs (Note 4 / [OG90]) the completions
+/// additionally charge unobserved experiments their maximum (resp.
+/// minimum) attempt cost, keeping both bounds sound; this reduces to the
+/// plain execution cost in the paper's fixed-cost model.
+class DeltaEstimator {
+ public:
+  explicit DeltaEstimator(const InferenceGraph* graph)
+      : graph_(graph), processor_(graph) {}
+
+  /// Exact Delta given the full context.
+  double ExactDelta(const Strategy& strategy, const Strategy& alternative,
+                    const Context& context) const;
+
+  /// Delta~ <= Delta from the current strategy's trace alone.
+  double UnderEstimate(const Trace& trace,
+                       const Strategy& alternative) const;
+
+  /// Delta^ >= Delta from the current strategy's trace alone.
+  double OverEstimate(const Trace& trace, const Strategy& alternative) const;
+
+ private:
+  /// Reconstructs which experiments the trace observed, and their
+  /// outcomes. Returns a mask of observed experiments.
+  std::vector<char> ObservedOutcomes(const Trace& trace,
+                                     Context* outcomes) const;
+
+  const InferenceGraph* graph_;
+  QueryProcessor processor_;
+};
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_CORE_DELTA_ESTIMATOR_H_

@@ -1,0 +1,77 @@
+#include "core/palo.h"
+
+#include "stats/chernoff.h"
+#include "stats/sequential.h"
+#include "util/check.h"
+
+namespace stratlearn {
+
+Palo::Palo(const InferenceGraph* graph, Strategy initial, Options options)
+    : graph_(graph),
+      estimator_(graph),
+      current_(std::move(initial)),
+      options_(options) {
+  STRATLEARN_CHECK(options_.delta > 0.0 && options_.delta < 1.0);
+  STRATLEARN_CHECK(options_.epsilon > 0.0);
+  STRATLEARN_CHECK(options_.test_every >= 1);
+  RebuildNeighborhood();
+}
+
+void Palo::RebuildNeighborhood() {
+  neighbors_.clear();
+  for (const SiblingSwap& swap : AllSiblingSwaps(*graph_)) {
+    Neighbor n;
+    n.swap = swap;
+    n.strategy = ApplySwap(*graph_, current_, swap);
+    if (n.strategy == current_) continue;
+    n.range = SwapRange(*graph_, current_, swap);
+    neighbors_.push_back(std::move(n));
+  }
+  samples_ = 0;
+  if (neighbors_.empty()) finished_ = true;  // nothing to improve
+}
+
+bool Palo::CheckStop() {
+  if (samples_ == 0) return false;
+  // delta/2 budget for stopping, spread over the sequential schedule and
+  // the |T| simultaneous neighbours.
+  double delta_i =
+      SequentialDelta(std::max<int64_t>(1, trials_), options_.delta / 2.0) /
+      static_cast<double>(std::max<size_t>(1, neighbors_.size()));
+  if (delta_i <= 0.0 || delta_i >= 1.0) delta_i = options_.delta / 2.0;
+  for (const Neighbor& n : neighbors_) {
+    double mean_over = n.over_sum / static_cast<double>(samples_);
+    double dev = HoeffdingDeviation(samples_, delta_i, n.range);
+    if (mean_over + dev > options_.epsilon) return false;
+  }
+  return true;
+}
+
+bool Palo::Observe(const Trace& trace) {
+  if (finished_) return false;
+  ++contexts_;
+  ++samples_;
+  trials_ += static_cast<int64_t>(neighbors_.size());
+  for (Neighbor& n : neighbors_) {
+    n.under_sum += estimator_.UnderEstimate(trace, n.strategy);
+    n.over_sum += estimator_.OverEstimate(trace, n.strategy);
+  }
+  if (contexts_ % options_.test_every != 0) return false;
+
+  // Climb exactly like PIB, at confidence delta/2.
+  for (const Neighbor& n : neighbors_) {
+    double threshold = SequentialSumThreshold(samples_, std::max<int64_t>(
+                                                  1, trials_),
+                                              options_.delta / 2.0, n.range);
+    if (n.under_sum > 0.0 && n.under_sum >= threshold) {
+      current_ = n.strategy;
+      ++moves_;
+      RebuildNeighborhood();
+      return true;
+    }
+  }
+  if (CheckStop()) finished_ = true;
+  return false;
+}
+
+}  // namespace stratlearn

@@ -1,0 +1,71 @@
+#include "core/pao.h"
+
+#include "stats/chernoff.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace stratlearn {
+
+std::vector<int64_t> Pao::ComputeQuotas(const InferenceGraph& graph,
+                                        const PaoOptions& options) {
+  const int64_t n = static_cast<int64_t>(graph.num_experiments());
+  std::vector<int64_t> quotas;
+  quotas.reserve(graph.num_experiments());
+  for (ArcId arc : graph.experiments()) {
+    double f_neg = graph.FNeg(arc);
+    if (options.mode == PaoOptions::Mode::kTheorem2) {
+      quotas.push_back(
+          PaoRetrievalQuota(n, f_neg, options.epsilon, options.delta));
+    } else {
+      quotas.push_back(
+          PaoReachQuota(n, f_neg, options.epsilon, options.delta));
+    }
+  }
+  return quotas;
+}
+
+Result<PaoResult> Pao::Run(const InferenceGraph& graph, ContextOracle& oracle,
+                           Rng& rng, const PaoOptions& options) {
+  if (oracle.num_experiments() != graph.num_experiments()) {
+    return Status::InvalidArgument(
+        "oracle and graph disagree on the number of experiments");
+  }
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (options.delta <= 0.0 || options.delta >= 1.0) {
+    return Status::InvalidArgument("delta must lie in (0, 1)");
+  }
+
+  PaoResult result;
+  result.quotas = ComputeQuotas(graph, options);
+
+  AdaptiveQueryProcessor::QuotaMode mode =
+      options.mode == PaoOptions::Mode::kTheorem2
+          ? AdaptiveQueryProcessor::QuotaMode::kAttempts
+          : AdaptiveQueryProcessor::QuotaMode::kReachAttempts;
+  AdaptiveQueryProcessor qpa(&graph, result.quotas, mode);
+
+  while (!qpa.QuotasMet()) {
+    if (qpa.contexts_processed() >= options.max_contexts) {
+      return Status::ResourceExhausted(StrFormat(
+          "PAO sampling did not meet its quotas within %lld contexts; "
+          "some experiment may be rarely reachable — use Theorem 3 mode "
+          "(Section 4.1)",
+          static_cast<long long>(options.max_contexts)));
+    }
+    qpa.Process(oracle.Next(rng));
+  }
+
+  result.contexts_used = qpa.contexts_processed();
+  result.estimates = qpa.SuccessFrequencies(/*fallback=*/0.5);
+
+  Result<UpsilonResult> upsilon =
+      UpsilonAot(graph, result.estimates, options.upsilon);
+  if (!upsilon.ok()) return upsilon.status();
+  result.strategy = upsilon->strategy;
+  result.upsilon_exact = upsilon->exact;
+  return result;
+}
+
+}  // namespace stratlearn

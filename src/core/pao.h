@@ -1,0 +1,77 @@
+#ifndef STRATLEARN_CORE_PAO_H_
+#define STRATLEARN_CORE_PAO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/upsilon.h"
+#include "engine/adaptive_qp.h"
+#include "graph/inference_graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "workload/oracle.h"
+
+namespace stratlearn {
+
+/// Options for the PAO algorithm (Section 4).
+struct PaoOptions {
+  /// Optimality slack: with probability >= 1 - delta,
+  /// C[Theta_pao] <= C[Theta_opt] + epsilon.
+  double epsilon = 1.0;
+  double delta = 0.1;
+
+  /// Which sample-complexity theorem drives the quotas.
+  enum class Mode {
+    /// Theorem 2 / Equation 7: each retrieval must be *attempted*
+    /// m(d_i) times. Can stall when some experiment is rarely reachable.
+    kTheorem2,
+    /// Theorem 3 / Equation 8: each experiment must be *aimed at*
+    /// (Definition 1) m'(e_i) times; unreachable experiments fall back
+    /// to the neutral estimate 0.5.
+    kTheorem3,
+  };
+  Mode mode = Mode::kTheorem2;
+
+  /// Safety valve for the sampling loop.
+  int64_t max_contexts = 10'000'000;
+
+  UpsilonOptions upsilon;
+};
+
+/// The outcome of a PAO run.
+struct PaoResult {
+  Strategy strategy;
+  /// p^: the measured success frequencies handed to Upsilon.
+  std::vector<double> estimates;
+  /// The per-experiment quotas PAO computed (Equation 7 or 8).
+  std::vector<int64_t> quotas;
+  int64_t contexts_used = 0;
+  /// Whether the final Upsilon step was provably optimal for p^.
+  bool upsilon_exact = true;
+};
+
+/// PAO — "Probably Approximately Optimal" strategy identification.
+///
+/// 1. Computes per-experiment sample quotas from (epsilon, delta) and the
+///    graph's F_not values (Theorem 2's Equation 7, or Theorem 3's
+///    Equation 8 in aim-counting mode).
+/// 2. Drives an adaptive query processor QP^A over oracle-supplied
+///    contexts until every quota is met, collecting success frequencies.
+/// 3. Returns Upsilon_AOT(G, p^).
+class Pao {
+ public:
+  /// The quota vector alone (for reporting sample-complexity tables).
+  static std::vector<int64_t> ComputeQuotas(const InferenceGraph& graph,
+                                            const PaoOptions& options);
+
+  /// Runs the full pipeline. Returns ResourceExhausted if the quotas are
+  /// not met within options.max_contexts (the Theorem 2 failure mode that
+  /// motivates Theorem 3), or the Upsilon error for unsupported graphs.
+  static Result<PaoResult> Run(const InferenceGraph& graph,
+                               ContextOracle& oracle, Rng& rng,
+                               const PaoOptions& options = {});
+};
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_CORE_PAO_H_

@@ -1,0 +1,77 @@
+#include "core/pib.h"
+
+#include "stats/sequential.h"
+#include "util/check.h"
+
+namespace stratlearn {
+
+Pib::Pib(const InferenceGraph* graph, Strategy initial, Options options)
+    : Pib(graph, std::move(initial), AllSiblingSwaps(*graph), options) {}
+
+Pib::Pib(const InferenceGraph* graph, Strategy initial,
+         std::vector<SiblingSwap> transformations, Options options)
+    : graph_(graph),
+      estimator_(graph),
+      current_(std::move(initial)),
+      transformations_(std::move(transformations)),
+      options_(options) {
+  STRATLEARN_CHECK(options_.delta > 0.0 && options_.delta < 1.0);
+  STRATLEARN_CHECK(options_.test_every >= 1);
+  RebuildNeighborhood();
+}
+
+void Pib::RebuildNeighborhood() {
+  neighbors_.clear();
+  neighbors_.reserve(transformations_.size());
+  for (const SiblingSwap& swap : transformations_) {
+    Neighbor n;
+    n.swap = swap;
+    n.strategy = ApplySwap(*graph_, current_, swap);
+    if (n.strategy == current_) continue;  // no-op swap (e.g. dead ends)
+    n.range = SwapRange(*graph_, current_, swap);
+    neighbors_.push_back(std::move(n));
+  }
+  samples_ = 0;
+}
+
+double Pib::ThresholdFor(size_t neighbor) const {
+  STRATLEARN_CHECK(neighbor < neighbors_.size());
+  if (samples_ == 0 || trials_ == 0) return 0.0;
+  return SequentialSumThreshold(samples_, trials_, options_.delta,
+                                neighbors_[neighbor].range);
+}
+
+double Pib::DeltaSumFor(size_t neighbor) const {
+  STRATLEARN_CHECK(neighbor < neighbors_.size());
+  return neighbors_[neighbor].delta_sum;
+}
+
+bool Pib::Observe(const Trace& trace) {
+  ++contexts_;
+  ++samples_;
+  trials_ += static_cast<int64_t>(neighbors_.size());
+  for (Neighbor& n : neighbors_) {
+    n.delta_sum += estimator_.UnderEstimate(trace, n.strategy);
+  }
+  if (contexts_ % options_.test_every != 0) return false;
+
+  for (size_t j = 0; j < neighbors_.size(); ++j) {
+    const Neighbor& n = neighbors_[j];
+    double threshold = ThresholdFor(j);
+    if (n.delta_sum > 0.0 && n.delta_sum >= threshold) {
+      Move move;
+      move.at_context = contexts_;
+      move.samples_used = samples_;
+      move.swap = n.swap;
+      move.delta_sum = n.delta_sum;
+      move.threshold = threshold;
+      moves_.push_back(move);
+      current_ = n.strategy;
+      RebuildNeighborhood();
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace stratlearn

@@ -1,0 +1,100 @@
+#ifndef STRATLEARN_CORE_PIB_H_
+#define STRATLEARN_CORE_PIB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/delta_estimator.h"
+#include "core/transformations.h"
+#include "engine/query_processor.h"
+#include "engine/strategy.h"
+#include "graph/inference_graph.h"
+
+namespace stratlearn {
+
+/// The anytime PIB hill-climber of Figure 3 (Section 3.2).
+///
+/// PIB watches the query processor run its current strategy Theta_j.
+/// After each query it updates, for every neighbour Theta' in the
+/// transformation set T(Theta_j), the running sum of the under-estimates
+/// Delta~[Theta_j, Theta', I], and climbs to the first neighbour whose
+/// sum crosses the Equation-6 threshold
+///    Lambda[Theta_j, Theta'] * sqrt(|S|/2 * ln(i^2 pi^2 / (6 delta))),
+/// where i is the cumulative number of (strategy, neighbour) trials. The
+/// i^2 pi^2/6 term implements the sequential-test schedule, and Lambda's
+/// ln argument also absorbs the |T| simultaneous hypotheses (Equation 5)
+/// because i grows by |T| per context. Theorem 1: the probability that
+/// *any* climb in the infinite run increases expected cost is < delta.
+struct PibOptions {
+  double delta = 0.05;
+  /// Evaluate the switch condition only every k-th context (Section
+  /// 3.2's closing remark: Theorem 1 continues to hold).
+  int test_every = 1;
+};
+
+class Pib {
+ public:
+  using Options = PibOptions;
+
+  /// One hill-climbing move, for reporting/anytime curves.
+  struct Move {
+    int64_t at_context = 0;      // total contexts processed when it fired
+    int64_t samples_used = 0;    // |S| of the test that fired
+    SiblingSwap swap;
+    double delta_sum = 0.0;
+    double threshold = 0.0;
+  };
+
+  /// Uses T = all sibling swaps of the graph.
+  Pib(const InferenceGraph* graph, Strategy initial,
+      Options options = PibOptions());
+
+  /// Uses a caller-selected transformation set.
+  Pib(const InferenceGraph* graph, Strategy initial,
+      std::vector<SiblingSwap> transformations, Options options);
+
+  /// Records the trace of the *current* strategy solving one context.
+  /// Returns true when a hill-climbing move occurred (the caller must
+  /// then run `strategy()` — the new strategy — on subsequent queries).
+  bool Observe(const Trace& trace);
+
+  const Strategy& strategy() const { return current_; }
+  int64_t contexts_processed() const { return contexts_; }
+  /// Figure 3's i: cumulative neighbour trials.
+  int64_t trial_count() const { return trials_; }
+  /// |S|: contexts observed since the last move.
+  int64_t samples_in_epoch() const { return samples_; }
+  const std::vector<Move>& moves() const { return moves_; }
+
+  /// The current Equation-6 threshold for neighbour `j` (for
+  /// introspection and the ablation benches).
+  double ThresholdFor(size_t neighbor) const;
+  double DeltaSumFor(size_t neighbor) const;
+  size_t num_neighbors() const { return neighbors_.size(); }
+
+ private:
+  struct Neighbor {
+    SiblingSwap swap;
+    Strategy strategy;
+    double range = 0.0;
+    double delta_sum = 0.0;
+  };
+
+  void RebuildNeighborhood();
+
+  const InferenceGraph* graph_;
+  DeltaEstimator estimator_;
+  Strategy current_;
+  std::vector<SiblingSwap> transformations_;
+  Options options_;
+
+  std::vector<Neighbor> neighbors_;
+  int64_t contexts_ = 0;
+  int64_t trials_ = 0;
+  int64_t samples_ = 0;
+  std::vector<Move> moves_;
+};
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_CORE_PIB_H_

@@ -1,0 +1,57 @@
+#include "core/pib1.h"
+
+#include "stats/chernoff.h"
+#include "util/check.h"
+
+namespace stratlearn {
+
+Pib1::Pib1(const InferenceGraph* graph, Strategy current, SiblingSwap swap,
+           Options options)
+    : graph_(graph),
+      estimator_(graph),
+      current_(std::move(current)),
+      alternative_(ApplySwap(*graph, current_, swap)),
+      options_(options),
+      range_(SwapRange(*graph, current_, swap)) {
+  STRATLEARN_CHECK(options_.delta > 0.0 && options_.delta < 1.0);
+}
+
+void Pib1::Observe(const Trace& trace) {
+  delta_sum_ += estimator_.UnderEstimate(trace, alternative_);
+  ++samples_;
+}
+
+double Pib1::Threshold() const {
+  if (samples_ == 0) return 0.0;
+  return SumThreshold(samples_, options_.delta, range_);
+}
+
+bool Pib1::ShouldSwitch() const {
+  if (samples_ == 0) return false;
+  return delta_sum_ >= Threshold() && delta_sum_ > 0.0;
+}
+
+ThreeCounterPib1::ThreeCounterPib1(double fstar_first, double fstar_second,
+                                   double delta)
+    : fstar_first_(fstar_first), fstar_second_(fstar_second), delta_(delta) {
+  STRATLEARN_CHECK(fstar_first_ > 0.0);
+  STRATLEARN_CHECK(fstar_second_ > 0.0);
+  STRATLEARN_CHECK(delta_ > 0.0 && delta_ < 1.0);
+}
+
+double ThreeCounterPib1::DeltaSum() const {
+  return static_cast<double>(k_second_) * fstar_first_ -
+         static_cast<double>(k_first_) * fstar_second_;
+}
+
+double ThreeCounterPib1::Threshold() const {
+  if (m_ == 0) return 0.0;
+  return SumThreshold(m_, delta_, fstar_first_ + fstar_second_);
+}
+
+bool ThreeCounterPib1::ShouldSwitch() const {
+  if (m_ == 0) return false;
+  return DeltaSum() >= Threshold() && DeltaSum() > 0.0;
+}
+
+}  // namespace stratlearn

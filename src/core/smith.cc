@@ -1,0 +1,34 @@
+#include "core/smith.h"
+
+#include <algorithm>
+
+#include "util/math_util.h"
+
+namespace stratlearn {
+
+std::vector<double> SmithFactCountEstimates(const BuiltGraph& built,
+                                            const Database& db,
+                                            int64_t universe_size) {
+  const InferenceGraph& graph = built.graph;
+  std::vector<int64_t> counts(graph.num_experiments(), -1);
+  int64_t max_count = 1;
+  for (size_t e = 0; e < graph.num_experiments(); ++e) {
+    ArcId arc = graph.experiments()[e];
+    auto it = built.retrievals.find(arc);
+    if (it == built.retrievals.end()) continue;  // guard: no fact model
+    counts[e] = db.CountFacts(it->second.predicate);
+    max_count = std::max(max_count, counts[e]);
+  }
+  double denominator = universe_size > 0
+                           ? static_cast<double>(universe_size)
+                           : static_cast<double>(max_count);
+  std::vector<double> estimates(graph.num_experiments(), 0.5);
+  for (size_t e = 0; e < graph.num_experiments(); ++e) {
+    if (counts[e] < 0) continue;
+    estimates[e] =
+        ClampProbability(static_cast<double>(counts[e]) / denominator);
+  }
+  return estimates;
+}
+
+}  // namespace stratlearn

@@ -1,0 +1,34 @@
+#ifndef STRATLEARN_CORE_SMITH_H_
+#define STRATLEARN_CORE_SMITH_H_
+
+#include <vector>
+
+#include "datalog/database.h"
+#include "graph/builder.h"
+
+namespace stratlearn {
+
+/// The [Smi89] baseline probability model that Section 2 critiques: it
+/// assumes retrieval success probabilities are proportional to the
+/// number of matching facts in the database — e.g. with 2,000 prof facts
+/// and 500 grad facts, a prof retrieval is taken to be 4x as likely to
+/// succeed as a grad retrieval, regardless of what queries users
+/// actually pose.
+///
+/// Returns one estimate per experiment of `built.graph`:
+///  * retrieval arcs get count(predicate) / `universe_size`, clamped to
+///    [0, 1] — `universe_size` <= 0 uses the maximum per-predicate count
+///    so the most numerous predicate maps to probability 1;
+///  * guard experiments (which a fact-count model cannot see) get 0.5.
+///
+/// Feeding these estimates to UpsilonAot yields the strategy a static
+/// database-statistics optimizer would pick; the paper's point (and
+/// bench exp_smith_pitfall) is that it can be arbitrarily wrong about
+/// the true query distribution.
+std::vector<double> SmithFactCountEstimates(const BuiltGraph& built,
+                                            const Database& db,
+                                            int64_t universe_size = 0);
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_CORE_SMITH_H_

@@ -1,0 +1,146 @@
+#include "core/transformations.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace stratlearn {
+
+std::string SiblingSwap::ToString(const InferenceGraph& graph) const {
+  return StrFormat("swap(%s, %s)", graph.arc(arc_a).label.c_str(),
+                   graph.arc(arc_b).label.c_str());
+}
+
+std::vector<SiblingSwap> AllSiblingSwaps(const InferenceGraph& graph) {
+  std::vector<SiblingSwap> swaps;
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    const auto& out = graph.node(n).out_arcs;
+    for (size_t i = 0; i < out.size(); ++i) {
+      for (size_t j = i + 1; j < out.size(); ++j) {
+        swaps.push_back({n, out[i], out[j]});
+      }
+    }
+  }
+  return swaps;
+}
+
+namespace {
+
+/// Marks the arcs of `root`'s subtree in a membership vector.
+std::vector<char> SubtreeMask(const InferenceGraph& graph, ArcId root) {
+  std::vector<char> mask(graph.num_arcs(), 0);
+  for (ArcId a : graph.SubtreeArcs(root)) mask[a] = 1;
+  return mask;
+}
+
+}  // namespace
+
+Strategy ApplySwap(const InferenceGraph& graph, const Strategy& strategy,
+                   const SiblingSwap& swap) {
+  STRATLEARN_CHECK(graph.arc(swap.arc_a).from == swap.parent);
+  STRATLEARN_CHECK(graph.arc(swap.arc_b).from == swap.parent);
+
+  std::vector<char> in_a = SubtreeMask(graph, swap.arc_a);
+  std::vector<char> in_b = SubtreeMask(graph, swap.arc_b);
+
+  std::vector<ArcId> leaves = strategy.LeafOrder(graph);
+  std::vector<ArcId> leaves_a, leaves_b;
+  for (ArcId leaf : leaves) {
+    if (in_a[leaf]) leaves_a.push_back(leaf);
+    if (in_b[leaf]) leaves_b.push_back(leaf);
+  }
+  if (leaves_a.empty() || leaves_b.empty()) return strategy;  // no-op
+
+  // Block semantics: each subtree's whole leaf block is emitted where the
+  // *other* subtree's block used to start; everything else keeps its
+  // relative order. For hierarchically contiguous strategies this swaps
+  // two consecutive-run blocks (possibly with sibling blocks in between,
+  // which simply shift).
+  std::vector<ArcId> out;
+  out.reserve(leaves.size());
+  bool emitted_at_a = false, emitted_at_b = false;
+  for (ArcId leaf : leaves) {
+    if (in_a[leaf]) {
+      if (!emitted_at_a) {
+        emitted_at_a = true;
+        out.insert(out.end(), leaves_b.begin(), leaves_b.end());
+      }
+      continue;
+    }
+    if (in_b[leaf]) {
+      if (!emitted_at_b) {
+        emitted_at_b = true;
+        out.insert(out.end(), leaves_a.begin(), leaves_a.end());
+      }
+      continue;
+    }
+    out.push_back(leaf);
+  }
+  return Strategy::FromLeafOrder(graph, out);
+}
+
+double SwapRange(const InferenceGraph& graph, const SiblingSwap& swap) {
+  // Conservative form of the paper's Equation 5 remark: the f* sum over
+  // every arc descending from the deviation node.
+  double total = 0.0;
+  for (ArcId c : graph.node(swap.parent).out_arcs) total += graph.FStar(c);
+  return total;
+}
+
+double SwapRange(const InferenceGraph& graph, const Strategy& strategy,
+                 const SiblingSwap& swap) {
+  std::vector<char> in_a = SubtreeMask(graph, swap.arc_a);
+  std::vector<char> in_b = SubtreeMask(graph, swap.arc_b);
+
+  std::vector<ArcId> leaves = strategy.LeafOrder(graph);
+  // The affected region: from the first to the last leaf of the two
+  // blocks.
+  size_t first = leaves.size(), last = 0;
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    if (in_a[leaves[i]] || in_b[leaves[i]]) {
+      first = std::min(first, i);
+      last = std::max(last, i);
+    }
+  }
+  if (first >= leaves.size()) return 0.0;  // no leaves involved: no-op
+
+  // Every leaf in the region must belong to a child subtree of the
+  // deviation node; sum f* over the distinct children touched.
+  const std::vector<ArcId>& children = graph.node(swap.parent).out_arcs;
+  std::vector<char> child_touched(children.size(), 0);
+  for (size_t i = first; i <= last; ++i) {
+    // Find the child of swap.parent on this leaf's root path.
+    ArcId leaf = leaves[i];
+    bool found = false;
+    ArcId walk = leaf;
+    for (;;) {
+      const Arc& arc = graph.arc(walk);
+      if (arc.from == swap.parent) {
+        for (size_t c = 0; c < children.size(); ++c) {
+          if (children[c] == walk) {
+            child_touched[c] = 1;
+            found = true;
+          }
+        }
+        break;
+      }
+      NodeId tail = arc.from;
+      if (graph.node(tail).incoming == kInvalidArc) break;  // hit root
+      walk = graph.node(tail).incoming;
+    }
+    if (!found) {
+      // A foreign leaf interleaves into the region: fall back to the
+      // conservative bound.
+      return SwapRange(graph, swap);
+    }
+  }
+  double total = 0.0;
+  for (size_t c = 0; c < children.size(); ++c) {
+    if (child_touched[c]) total += graph.FStar(children[c]);
+  }
+  return total;
+}
+
+}  // namespace stratlearn

@@ -1,0 +1,62 @@
+#ifndef STRATLEARN_CORE_TRANSFORMATIONS_H_
+#define STRATLEARN_CORE_TRANSFORMATIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/strategy.h"
+#include "graph/inference_graph.h"
+
+namespace stratlearn {
+
+/// The transformation family the paper uses throughout: exchanging the
+/// visiting order of two arcs that descend from a common node, together
+/// with their subtrees (Section 3.1: Theta_2 differs from Theta_1 by
+/// interchanging R_p and its descendant D_p with R_g and D_g).
+struct SiblingSwap {
+  NodeId parent = kInvalidNode;
+  ArcId arc_a = kInvalidArc;
+  ArcId arc_b = kInvalidArc;
+
+  std::string ToString(const InferenceGraph& graph) const;
+};
+
+/// Every unordered pair of sibling arcs in the graph. This is the
+/// default transformation set T of the PIB system; |T| = sum over nodes
+/// of C(children, 2).
+std::vector<SiblingSwap> AllSiblingSwaps(const InferenceGraph& graph);
+
+/// Applies `swap` to `strategy`: the two subtrees' leaf *blocks* trade
+/// places in the visiting sequence (each block anchored where the other
+/// used to start, internal order preserved, every other leaf keeping its
+/// relative order). Block semantics keep hierarchical contiguity — every
+/// subtree's leaves stay consecutive — which the Lambda range analysis
+/// below relies on. The result is re-canonicalised (lazy form); swapping
+/// subtrees with no success leaves is a no-op.
+Strategy ApplySwap(const InferenceGraph& graph, const Strategy& strategy,
+                   const SiblingSwap& swap);
+
+/// Lambda[Theta, tau(Theta)] (Equation 5's range term): an upper bound on
+/// the per-context |Delta| of a sibling swap.
+///
+/// N.b. the sum f*(r1) + f*(r2) the paper's two-child examples use is NOT
+/// sufficient in general: when other sibling subtrees sit *between* the
+/// two swapped blocks, whether they are explored at all flips with the
+/// swap, so their arcs enter Delta too (our exhaustive invariant test
+/// exposes this). The paper's own general statement — "never more than
+/// the sum of the costs of the arcs under the node where Theta deviates"
+/// — covers this; the strategy-free overload below returns exactly that
+/// (the f* sum over ALL of the parent's children).
+double SwapRange(const InferenceGraph& graph, const SiblingSwap& swap);
+
+/// Tighter, strategy-aware range: the f* sum over the swapped subtrees
+/// plus every sibling subtree whose leaves lie between the two blocks in
+/// `strategy`'s visiting order (equals the paper's f*(r1) + f*(r2) when
+/// the blocks are adjacent). Falls back to the conservative overload if
+/// the strategy interleaves foreign leaves into the region.
+double SwapRange(const InferenceGraph& graph, const Strategy& strategy,
+                 const SiblingSwap& swap);
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_CORE_TRANSFORMATIONS_H_

@@ -1,0 +1,33 @@
+#include "datalog/atom.h"
+
+namespace stratlearn {
+
+bool Atom::IsGround() const {
+  for (const Term& t : args) {
+    if (t.is_variable()) return false;
+  }
+  return true;
+}
+
+std::string Atom::ToString(const SymbolTable& symbols) const {
+  std::string out = symbols.Name(predicate);
+  if (args.empty()) return out;
+  out += "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += symbols.Name(args[i].symbol);
+  }
+  out += ")";
+  return out;
+}
+
+size_t AtomHash::operator()(const Atom& a) const {
+  size_t h = std::hash<uint32_t>()(a.predicate);
+  TermHash th;
+  for (const Term& t : a.args) {
+    h = h * 1000003u + th(t);
+  }
+  return h;
+}
+
+}  // namespace stratlearn

@@ -1,0 +1,41 @@
+#ifndef STRATLEARN_DATALOG_ATOM_H_
+#define STRATLEARN_DATALOG_ATOM_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/symbol_table.h"
+#include "datalog/term.h"
+
+namespace stratlearn {
+
+/// An atomic formula p(t1, ..., tn). Arity 0 is allowed.
+struct Atom {
+  SymbolId predicate = kInvalidSymbol;
+  std::vector<Term> args;
+
+  Atom() = default;
+  Atom(SymbolId pred, std::vector<Term> a)
+      : predicate(pred), args(std::move(a)) {}
+
+  size_t arity() const { return args.size(); }
+
+  /// True when every argument is a constant.
+  bool IsGround() const;
+
+  /// Renders "p(a, X)" using `symbols` for names.
+  std::string ToString(const SymbolTable& symbols) const;
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.predicate == b.predicate && a.args == b.args;
+  }
+  friend bool operator!=(const Atom& a, const Atom& b) { return !(a == b); }
+};
+
+struct AtomHash {
+  size_t operator()(const Atom& a) const;
+};
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_DATALOG_ATOM_H_

@@ -1,0 +1,34 @@
+#include "datalog/clause.h"
+
+#include <unordered_set>
+
+namespace stratlearn {
+
+bool Clause::IsRangeRestricted() const {
+  if (IsFact()) return head.IsGround();
+  std::unordered_set<SymbolId> body_vars;
+  for (const Atom& a : body) {
+    for (const Term& t : a.args) {
+      if (t.is_variable()) body_vars.insert(t.symbol);
+    }
+  }
+  for (const Term& t : head.args) {
+    if (t.is_variable() && body_vars.count(t.symbol) == 0) return false;
+  }
+  return true;
+}
+
+std::string Clause::ToString(const SymbolTable& symbols) const {
+  std::string out = head.ToString(symbols);
+  if (!body.empty()) {
+    out += " :- ";
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += body[i].ToString(symbols);
+    }
+  }
+  out += ".";
+  return out;
+}
+
+}  // namespace stratlearn

@@ -1,0 +1,37 @@
+#ifndef STRATLEARN_DATALOG_CLAUSE_H_
+#define STRATLEARN_DATALOG_CLAUSE_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/atom.h"
+
+namespace stratlearn {
+
+/// A definite clause: head :- body_1, ..., body_k. A fact is a clause
+/// with an empty body and a ground head.
+struct Clause {
+  Atom head;
+  std::vector<Atom> body;
+
+  Clause() = default;
+  Clause(Atom h, std::vector<Atom> b)
+      : head(std::move(h)), body(std::move(b)) {}
+
+  bool IsFact() const { return body.empty(); }
+
+  /// A clause is *range restricted* (safe) when every variable of the
+  /// head also appears in the body. Facts must be ground.
+  bool IsRangeRestricted() const;
+
+  /// "head :- b1, b2." or "head." for facts.
+  std::string ToString(const SymbolTable& symbols) const;
+
+  friend bool operator==(const Clause& a, const Clause& b) {
+    return a.head == b.head && a.body == b.body;
+  }
+};
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_DATALOG_CLAUSE_H_

@@ -1,0 +1,131 @@
+#include "datalog/database.h"
+
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace stratlearn {
+
+std::string Database::EncodeTuple(const FactTuple& t) {
+  std::string key;
+  key.reserve(t.size() * sizeof(SymbolId));
+  for (SymbolId s : t) {
+    key.append(reinterpret_cast<const char*>(&s), sizeof(SymbolId));
+  }
+  return key;
+}
+
+Status Database::Insert(const Atom& fact) {
+  if (!fact.IsGround()) {
+    return Status::InvalidArgument("database facts must be ground");
+  }
+  FactTuple tuple;
+  tuple.reserve(fact.args.size());
+  for (const Term& t : fact.args) tuple.push_back(t.symbol);
+  return Insert(fact.predicate, std::move(tuple));
+}
+
+Status Database::Insert(SymbolId predicate, FactTuple args) {
+  Relation& rel = relations_[predicate];
+  if (rel.arity < 0) {
+    rel.arity = static_cast<int>(args.size());
+  } else if (rel.arity != static_cast<int>(args.size())) {
+    return Status::FailedPrecondition(
+        StrFormat("arity mismatch for predicate %u: have %d, got %zu",
+                  predicate, rel.arity, args.size()));
+  }
+  std::string key = EncodeTuple(args);
+  if (rel.members.insert(key).second) {
+    if (!args.empty()) {
+      rel.first_arg_index[args[0]].push_back(
+          static_cast<uint32_t>(rel.tuples.size()));
+    }
+    rel.tuples.push_back(std::move(args));
+  }
+  return Status::OK();
+}
+
+bool Database::Contains(const Atom& fact) const {
+  if (!fact.IsGround()) return false;
+  FactTuple tuple;
+  tuple.reserve(fact.args.size());
+  for (const Term& t : fact.args) tuple.push_back(t.symbol);
+  return Contains(fact.predicate, tuple);
+}
+
+bool Database::Contains(SymbolId predicate, const FactTuple& args) const {
+  auto it = relations_.find(predicate);
+  if (it == relations_.end()) return false;
+  if (it->second.arity != static_cast<int>(args.size())) return false;
+  return it->second.members.count(EncodeTuple(args)) > 0;
+}
+
+void Database::Match(const Atom& pattern, std::vector<FactTuple>* out) const {
+  auto it = relations_.find(pattern.predicate);
+  if (it == relations_.end()) return;
+  const Relation& rel = it->second;
+  if (rel.arity != static_cast<int>(pattern.args.size())) return;
+
+  // Matches `tuple` against the pattern, honouring repeated variables.
+  auto matches = [&pattern](const FactTuple& tuple) {
+    std::unordered_map<SymbolId, SymbolId> bindings;
+    for (size_t i = 0; i < pattern.args.size(); ++i) {
+      const Term& t = pattern.args[i];
+      if (t.is_constant()) {
+        if (tuple[i] != t.symbol) return false;
+      } else {
+        auto [bit, inserted] = bindings.emplace(t.symbol, tuple[i]);
+        if (!inserted && bit->second != tuple[i]) return false;
+      }
+    }
+    return true;
+  };
+
+  // Use the first-argument index when the first position is bound.
+  if (!pattern.args.empty() && pattern.args[0].is_constant()) {
+    auto idx = rel.first_arg_index.find(pattern.args[0].symbol);
+    if (idx == rel.first_arg_index.end()) return;
+    for (uint32_t ti : idx->second) {
+      if (matches(rel.tuples[ti])) out->push_back(rel.tuples[ti]);
+    }
+    return;
+  }
+  for (const FactTuple& tuple : rel.tuples) {
+    if (matches(tuple)) out->push_back(tuple);
+  }
+}
+
+int64_t Database::CountFacts(SymbolId predicate) const {
+  auto it = relations_.find(predicate);
+  if (it == relations_.end()) return 0;
+  return static_cast<int64_t>(it->second.tuples.size());
+}
+
+int64_t Database::TotalFacts() const {
+  int64_t total = 0;
+  for (const auto& [pred, rel] : relations_) {
+    (void)pred;
+    total += static_cast<int64_t>(rel.tuples.size());
+  }
+  return total;
+}
+
+int Database::Arity(SymbolId predicate) const {
+  auto it = relations_.find(predicate);
+  if (it == relations_.end()) return -1;
+  return it->second.arity;
+}
+
+std::vector<SymbolId> Database::Predicates() const {
+  std::vector<SymbolId> out;
+  out.reserve(relations_.size());
+  for (const auto& [pred, rel] : relations_) {
+    (void)rel;
+    out.push_back(pred);
+  }
+  return out;
+}
+
+void Database::Clear() { relations_.clear(); }
+
+}  // namespace stratlearn

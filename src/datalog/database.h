@@ -1,0 +1,79 @@
+#ifndef STRATLEARN_DATALOG_DATABASE_H_
+#define STRATLEARN_DATALOG_DATABASE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "datalog/atom.h"
+#include "util/status.h"
+
+namespace stratlearn {
+
+/// A fact tuple: the constant arguments of one ground atom.
+using FactTuple = std::vector<SymbolId>;
+
+/// Store of ground atomic facts, grouped by predicate.
+///
+/// Supports the operations the query processor needs:
+///  * `Contains` — exact ground-atom membership (the "attempted database
+///    retrieval" of the paper), O(1) expected;
+///  * `Match` — enumerate tuples compatible with a partially-bound
+///    pattern, accelerated by a first-bound-argument index;
+///  * `CountFacts` — per-predicate fact counts, which the Smith [Smi89]
+///    baseline uses as (questionable) probability surrogates.
+class Database {
+ public:
+  Database() = default;
+
+  /// Inserts a ground fact. Returns InvalidArgument for non-ground atoms
+  /// and FailedPrecondition on arity mismatch with earlier facts of the
+  /// same predicate. Duplicate inserts are OK (set semantics).
+  Status Insert(const Atom& fact);
+
+  /// Convenience: insert predicate + constant arguments directly.
+  Status Insert(SymbolId predicate, FactTuple args);
+
+  /// True when the exact ground atom is present.
+  bool Contains(const Atom& fact) const;
+  bool Contains(SymbolId predicate, const FactTuple& args) const;
+
+  /// Appends every stored tuple of `pattern.predicate` that agrees with
+  /// `pattern` on its constant positions. Variable positions match
+  /// anything (repeated variables must bind consistently).
+  void Match(const Atom& pattern, std::vector<FactTuple>* out) const;
+
+  /// Number of facts stored for `predicate` (0 if unknown).
+  int64_t CountFacts(SymbolId predicate) const;
+
+  /// Total number of facts across predicates.
+  int64_t TotalFacts() const;
+
+  /// Arity recorded for `predicate`, or -1 if no facts were inserted.
+  int Arity(SymbolId predicate) const;
+
+  /// All predicates that have at least one fact.
+  std::vector<SymbolId> Predicates() const;
+
+  void Clear();
+
+ private:
+  struct Relation {
+    int arity = -1;
+    std::vector<FactTuple> tuples;
+    // Encoded-tuple membership set for O(1) Contains.
+    std::unordered_set<std::string> members;
+    // (arg position, symbol) -> tuple indexes, built lazily for position 0.
+    std::unordered_map<SymbolId, std::vector<uint32_t>> first_arg_index;
+  };
+
+  static std::string EncodeTuple(const FactTuple& t);
+
+  std::unordered_map<SymbolId, Relation> relations_;
+};
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_DATALOG_DATABASE_H_

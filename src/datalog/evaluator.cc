@@ -1,0 +1,85 @@
+#include "datalog/evaluator.h"
+
+#include "util/check.h"
+
+namespace stratlearn {
+
+Result<ProofResult> Evaluator::Prove(const Atom& query,
+                                     SymbolTable* symbols) {
+  STRATLEARN_CHECK(symbols != nullptr);
+  SearchState state;
+  std::vector<Atom> goals = {query};
+  SolveGoals(goals, 0, Substitution(), 0, symbols, &state);
+  if (state.exhausted && state.stats.answers_found == 0) {
+    return Status::ResourceExhausted(
+        "proof search exceeded its step budget before finding an answer");
+  }
+  state.stats.proved = state.stats.answers_found > 0;
+  return state.stats;
+}
+
+bool Evaluator::SolveGoals(const std::vector<Atom>& goals, size_t goal_index,
+                           Substitution subst, int depth,
+                           SymbolTable* symbols, SearchState* state) {
+  if (state->exhausted) return true;
+  if (goal_index == goals.size()) {
+    ++state->stats.answers_found;
+    return state->stats.answers_found >= options_.max_answers;
+  }
+  if (depth > options_.max_depth) return false;
+  if (++state->steps > options_.max_steps) {
+    state->exhausted = true;
+    return true;
+  }
+
+  Atom goal = subst.Apply(goals[goal_index]);
+
+  // Extensional branch: try facts in the database.
+  if (goal.IsGround()) {
+    ++state->stats.retrievals;
+    if (db_->Contains(goal)) {
+      if (SolveGoals(goals, goal_index + 1, subst, depth, symbols, state)) {
+        return true;
+      }
+    }
+  } else {
+    std::vector<FactTuple> matches;
+    db_->Match(goal, &matches);
+    state->stats.retrievals += static_cast<int64_t>(matches.size()) + 1;
+    for (const FactTuple& tuple : matches) {
+      Substitution extended = subst;
+      bool ok = true;
+      for (size_t i = 0; i < goal.args.size() && ok; ++i) {
+        if (goal.args[i].is_variable()) {
+          ok = extended.Bind(goal.args[i].symbol, Term::Constant(tuple[i]));
+        }
+      }
+      if (!ok) continue;
+      if (SolveGoals(goals, goal_index + 1, extended, depth, symbols,
+                     state)) {
+        return true;
+      }
+    }
+  }
+
+  // Intensional branch: try each rule whose head unifies with the goal.
+  for (const Clause& rule : rules_->RulesFor(goal.predicate)) {
+    Clause fresh = RenameClause(rule, state->rename_counter++, symbols);
+    Substitution extended = subst;
+    if (!UnifyAtoms(goal, fresh.head, &extended)) continue;
+    ++state->stats.reductions;
+    // Splice the rule body in front of the remaining goals.
+    std::vector<Atom> next_goals;
+    next_goals.reserve(fresh.body.size() + goals.size() - goal_index - 1);
+    for (const Atom& b : fresh.body) next_goals.push_back(b);
+    for (size_t i = goal_index + 1; i < goals.size(); ++i) {
+      next_goals.push_back(goals[i]);
+    }
+    if (SolveGoals(next_goals, 0, extended, depth + 1, symbols, state)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace stratlearn

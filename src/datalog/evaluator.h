@@ -1,0 +1,77 @@
+#ifndef STRATLEARN_DATALOG_EVALUATOR_H_
+#define STRATLEARN_DATALOG_EVALUATOR_H_
+
+#include <cstdint>
+
+#include "datalog/atom.h"
+#include "datalog/database.h"
+#include "datalog/rule_base.h"
+#include "datalog/unify.h"
+#include "util/status.h"
+
+namespace stratlearn {
+
+/// Options for the reference evaluator.
+struct EvaluatorOptions {
+  /// Maximum resolution depth before a branch is abandoned. Guards
+  /// against recursive rule sets.
+  int max_depth = 64;
+  /// Total budget of resolution + retrieval steps; exceeding it aborts the
+  /// proof attempt with ResourceExhausted.
+  int64_t max_steps = 1'000'000;
+  /// Stop after this many distinct proofs have been found (satisficing
+  /// search uses 1; Section 5.2's first-k-answers variant uses k).
+  int64_t max_answers = 1;
+};
+
+/// Outcome of a proof attempt.
+struct ProofResult {
+  bool proved = false;
+  /// Number of proofs found (<= options.max_answers).
+  int64_t answers_found = 0;
+  /// Resolution (rule reduction) steps performed.
+  int64_t reductions = 0;
+  /// Database retrievals attempted (ground membership checks plus
+  /// enumerated match candidates).
+  int64_t retrievals = 0;
+};
+
+/// Reference top-down SLD evaluator over a Database + RuleBase. This is
+/// the general substrate evaluator: it handles conjunctive rule bodies,
+/// non-ground subgoals (enumerating database matches) and recursion (via
+/// the depth/step budgets). The strategy-learning layer uses the
+/// specialised engine in src/engine instead; this evaluator grounds the
+/// Datalog-backed workloads and the examples, and serves as an oracle in
+/// integration tests.
+class Evaluator {
+ public:
+  Evaluator(const Database* db, const RuleBase* rules,
+            EvaluatorOptions options = {})
+      : db_(db), rules_(rules), options_(options) {}
+
+  /// Attempts to prove `query` (ground or existential). Returns
+  /// ResourceExhausted if the step budget is hit before a decision.
+  Result<ProofResult> Prove(const Atom& query, SymbolTable* symbols);
+
+ private:
+  struct SearchState {
+    ProofResult stats;
+    int64_t steps = 0;
+    int rename_counter = 0;
+    bool exhausted = false;
+  };
+
+  /// Proves the goal list `goals[goal_index..]` under `subst`. Returns
+  /// true if enough answers were found to stop the whole search.
+  bool SolveGoals(const std::vector<Atom>& goals, size_t goal_index,
+                  Substitution subst, int depth, SymbolTable* symbols,
+                  SearchState* state);
+
+  const Database* db_;
+  const RuleBase* rules_;
+  EvaluatorOptions options_;
+};
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_DATALOG_EVALUATOR_H_

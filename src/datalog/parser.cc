@@ -1,0 +1,175 @@
+#include "datalog/parser.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace stratlearn {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+void Parser::SkipSpace(Cursor& c) {
+  while (c.pos < c.text.size()) {
+    char ch = c.text[c.pos];
+    if (ch == '\n') {
+      ++c.line;
+      ++c.pos;
+    } else if (std::isspace(static_cast<unsigned char>(ch))) {
+      ++c.pos;
+    } else if (ch == '%' || ch == '#') {
+      while (c.pos < c.text.size() && c.text[c.pos] != '\n') ++c.pos;
+    } else {
+      break;
+    }
+  }
+}
+
+bool Parser::Consume(Cursor& c, char ch) {
+  SkipSpace(c);
+  if (c.pos < c.text.size() && c.text[c.pos] == ch) {
+    ++c.pos;
+    return true;
+  }
+  return false;
+}
+
+Status Parser::ErrorAt(const Cursor& c, const std::string& what) {
+  return Status::InvalidArgument(
+      StrFormat("parse error at line %d: %s", c.line, what.c_str()));
+}
+
+Result<Term> Parser::ParseTerm(Cursor& c) {
+  SkipSpace(c);
+  if (c.pos >= c.text.size()) return ErrorAt(c, "expected term");
+  char first = c.text[c.pos];
+
+  if (first == '\'') {
+    // Quoted constant.
+    size_t start = ++c.pos;
+    while (c.pos < c.text.size() && c.text[c.pos] != '\'') ++c.pos;
+    if (c.pos >= c.text.size()) return ErrorAt(c, "unterminated quote");
+    std::string_view name = c.text.substr(start, c.pos - start);
+    ++c.pos;  // closing quote
+    return Term::Constant(symbols_->Intern(name));
+  }
+  if (std::isdigit(static_cast<unsigned char>(first))) {
+    size_t start = c.pos;
+    while (c.pos < c.text.size() &&
+           std::isdigit(static_cast<unsigned char>(c.text[c.pos]))) {
+      ++c.pos;
+    }
+    return Term::Constant(symbols_->Intern(c.text.substr(start, c.pos - start)));
+  }
+  if (!IsIdentStart(first)) return ErrorAt(c, "expected term");
+  size_t start = c.pos;
+  while (c.pos < c.text.size() && IsIdentChar(c.text[c.pos])) ++c.pos;
+  std::string_view name = c.text.substr(start, c.pos - start);
+  bool is_var = std::isupper(static_cast<unsigned char>(first)) || first == '_';
+  SymbolId id = symbols_->Intern(name);
+  return is_var ? Term::Variable(id) : Term::Constant(id);
+}
+
+Result<Atom> Parser::ParseAtomAt(Cursor& c) {
+  SkipSpace(c);
+  if (c.pos >= c.text.size() || !IsIdentStart(c.text[c.pos]) ||
+      std::isupper(static_cast<unsigned char>(c.text[c.pos]))) {
+    return ErrorAt(c, "expected predicate name");
+  }
+  size_t start = c.pos;
+  while (c.pos < c.text.size() && IsIdentChar(c.text[c.pos])) ++c.pos;
+  SymbolId pred = symbols_->Intern(c.text.substr(start, c.pos - start));
+
+  Atom atom;
+  atom.predicate = pred;
+  if (!Consume(c, '(')) return atom;  // propositional atom
+  if (Consume(c, ')')) return atom;   // empty argument list
+  for (;;) {
+    Result<Term> term = ParseTerm(c);
+    if (!term.ok()) return term.status();
+    atom.args.push_back(*term);
+    if (Consume(c, ')')) break;
+    if (!Consume(c, ',')) return ErrorAt(c, "expected ',' or ')'");
+  }
+  return atom;
+}
+
+Result<Clause> Parser::ParseClauseAt(Cursor& c) {
+  Result<Atom> head = ParseAtomAt(c);
+  if (!head.ok()) return head.status();
+  Clause clause;
+  clause.head = *head;
+
+  SkipSpace(c);
+  if (c.pos + 1 < c.text.size() && c.text[c.pos] == ':' &&
+      c.text[c.pos + 1] == '-') {
+    c.pos += 2;
+    for (;;) {
+      Result<Atom> body_atom = ParseAtomAt(c);
+      if (!body_atom.ok()) return body_atom.status();
+      clause.body.push_back(*body_atom);
+      SkipSpace(c);
+      if (!Consume(c, ',')) break;
+    }
+  }
+  if (!Consume(c, '.')) return ErrorAt(c, "expected '.' at end of clause");
+  return clause;
+}
+
+Result<Program> Parser::ParseProgram(std::string_view text) {
+  Cursor c{text, 0, 1};
+  Program program;
+  for (;;) {
+    SkipSpace(c);
+    if (c.pos >= c.text.size()) break;
+    Result<Clause> clause = ParseClauseAt(c);
+    if (!clause.ok()) return clause.status();
+    if (clause->IsFact()) {
+      if (!clause->head.IsGround()) {
+        return ErrorAt(c, "fact '" + clause->head.ToString(*symbols_) +
+                              "' is not ground");
+      }
+      program.facts.push_back(std::move(*clause));
+    } else {
+      program.rules.push_back(std::move(*clause));
+    }
+  }
+  return program;
+}
+
+Result<Atom> Parser::ParseAtom(std::string_view text) {
+  Cursor c{text, 0, 1};
+  Result<Atom> atom = ParseAtomAt(c);
+  if (!atom.ok()) return atom;
+  SkipSpace(c);
+  Consume(c, '.');  // trailing period is optional for queries
+  SkipSpace(c);
+  if (c.pos != c.text.size()) {
+    return ErrorAt(c, "trailing input after atom");
+  }
+  return atom;
+}
+
+Status Parser::LoadProgram(std::string_view text, Database* db,
+                           RuleBase* rules) {
+  Result<Program> program = ParseProgram(text);
+  if (!program.ok()) return program.status();
+  for (const Clause& fact : program->facts) {
+    STRATLEARN_RETURN_IF_ERROR(db->Insert(fact.head));
+  }
+  for (Clause& rule : program->rules) {
+    STRATLEARN_RETURN_IF_ERROR(rules->AddRule(std::move(rule)));
+  }
+  return Status::OK();
+}
+
+}  // namespace stratlearn

@@ -1,0 +1,62 @@
+#ifndef STRATLEARN_DATALOG_PARSER_H_
+#define STRATLEARN_DATALOG_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "datalog/clause.h"
+#include "datalog/database.h"
+#include "datalog/rule_base.h"
+#include "util/status.h"
+
+namespace stratlearn {
+
+/// A parsed Datalog program: ground facts plus rules.
+struct Program {
+  std::vector<Clause> facts;
+  std::vector<Clause> rules;
+};
+
+/// Recursive-descent parser for a small Datalog syntax:
+///
+///   prof(russ).                       % fact
+///   instructor(X) :- prof(X).        % rule
+///   path(X, Y) :- edge(X, Z), path(Z, Y).
+///
+/// Identifiers starting with a lowercase letter (or digits, or quoted
+/// 'strings') are constants/predicates; identifiers starting with an
+/// uppercase letter or '_' are variables. '%' and '#' start comments that
+/// run to end of line. Every clause ends with '.'.
+class Parser {
+ public:
+  explicit Parser(SymbolTable* symbols) : symbols_(symbols) {}
+
+  /// Parses a whole program text.
+  Result<Program> ParseProgram(std::string_view text);
+
+  /// Parses a single atom, e.g. a query "instructor(manolis)".
+  Result<Atom> ParseAtom(std::string_view text);
+
+  /// Loads a program's facts into `db` and rules into `rules`.
+  Status LoadProgram(std::string_view text, Database* db, RuleBase* rules);
+
+ private:
+  struct Cursor {
+    std::string_view text;
+    size_t pos = 0;
+    int line = 1;
+  };
+
+  void SkipSpace(Cursor& c);
+  bool Consume(Cursor& c, char ch);
+  Result<Term> ParseTerm(Cursor& c);
+  Result<Atom> ParseAtomAt(Cursor& c);
+  Result<Clause> ParseClauseAt(Cursor& c);
+  Status ErrorAt(const Cursor& c, const std::string& what);
+
+  SymbolTable* symbols_;
+};
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_DATALOG_PARSER_H_

@@ -1,0 +1,51 @@
+#include "datalog/rule_base.h"
+
+#include <unordered_set>
+
+namespace stratlearn {
+
+Status RuleBase::AddRule(Clause rule) {
+  if (rule.IsFact()) {
+    return Status::InvalidArgument(
+        "facts belong in the Database, not the RuleBase");
+  }
+  if (!rule.IsRangeRestricted()) {
+    return Status::InvalidArgument("rule is not range restricted");
+  }
+  by_head_[rule.head.predicate].push_back(rule);
+  rules_.push_back(std::move(rule));
+  return Status::OK();
+}
+
+const std::vector<Clause>& RuleBase::RulesFor(SymbolId predicate) const {
+  static const std::vector<Clause>* empty = new std::vector<Clause>();
+  auto it = by_head_.find(predicate);
+  if (it == by_head_.end()) return *empty;
+  return it->second;
+}
+
+bool RuleBase::IsRecursive(SymbolId predicate) const {
+  // DFS over the predicate-dependency graph looking for a cycle back to
+  // `predicate`.
+  std::unordered_set<SymbolId> visited;
+  std::vector<SymbolId> stack = {predicate};
+  bool first = true;
+  while (!stack.empty()) {
+    SymbolId p = stack.back();
+    stack.pop_back();
+    if (!first && p == predicate) return true;
+    first = false;
+    if (!visited.insert(p).second && p != predicate) continue;
+    auto it = by_head_.find(p);
+    if (it == by_head_.end()) continue;
+    for (const Clause& rule : it->second) {
+      for (const Atom& b : rule.body) {
+        if (b.predicate == predicate) return true;
+        if (visited.count(b.predicate) == 0) stack.push_back(b.predicate);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace stratlearn

@@ -1,0 +1,48 @@
+#ifndef STRATLEARN_DATALOG_RULE_BASE_H_
+#define STRATLEARN_DATALOG_RULE_BASE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/clause.h"
+#include "util/status.h"
+
+namespace stratlearn {
+
+/// The static rule component of a knowledge base: all non-atomic definite
+/// clauses, grouped by head predicate and kept in insertion order (the
+/// initial strategy of a query processor follows rule order).
+class RuleBase {
+ public:
+  RuleBase() = default;
+
+  /// Adds a rule. Returns InvalidArgument for facts (empty body) or
+  /// clauses that are not range restricted.
+  Status AddRule(Clause rule);
+
+  /// All rules whose head predicate is `predicate`, in insertion order.
+  const std::vector<Clause>& RulesFor(SymbolId predicate) const;
+
+  /// Every rule, in insertion order.
+  const std::vector<Clause>& AllRules() const { return rules_; }
+
+  size_t size() const { return rules_.size(); }
+
+  /// True when `predicate` can (transitively) invoke itself through the
+  /// rule set. The inference-graph builder refuses such predicates.
+  bool IsRecursive(SymbolId predicate) const;
+
+  /// Predicates that head at least one rule. A predicate with no rules is
+  /// a database (extensional) predicate.
+  bool IsIntensional(SymbolId predicate) const {
+    return by_head_.count(predicate) > 0;
+  }
+
+ private:
+  std::vector<Clause> rules_;
+  std::unordered_map<SymbolId, std::vector<Clause>> by_head_;
+};
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_DATALOG_RULE_BASE_H_

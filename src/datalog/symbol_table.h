@@ -1,0 +1,44 @@
+#ifndef STRATLEARN_DATALOG_SYMBOL_TABLE_H_
+#define STRATLEARN_DATALOG_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace stratlearn {
+
+/// Interned identifier for a predicate name, constant, or variable name.
+using SymbolId = uint32_t;
+
+inline constexpr SymbolId kInvalidSymbol = 0xffffffffu;
+
+/// Bidirectional string <-> SymbolId interning table. All Datalog
+/// structures store SymbolIds; the table is needed only to print them or
+/// to parse text. Not thread-safe.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = default;
+  SymbolTable& operator=(const SymbolTable&) = default;
+
+  /// Returns the id for `name`, interning it on first use.
+  SymbolId Intern(std::string_view name);
+
+  /// Returns the id for `name` or kInvalidSymbol if it was never interned.
+  SymbolId Lookup(std::string_view name) const;
+
+  /// Returns the string for an id interned earlier. Aborts on bad ids.
+  const std::string& Name(SymbolId id) const;
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, SymbolId> ids_;
+};
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_DATALOG_SYMBOL_TABLE_H_

@@ -1,0 +1,40 @@
+#ifndef STRATLEARN_DATALOG_TERM_H_
+#define STRATLEARN_DATALOG_TERM_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "datalog/symbol_table.h"
+
+namespace stratlearn {
+
+/// A Datalog term: either a constant or a variable (the language is
+/// function-free, so there are no compound terms).
+struct Term {
+  enum class Kind : uint8_t { kConstant, kVariable };
+
+  Kind kind = Kind::kConstant;
+  SymbolId symbol = kInvalidSymbol;
+
+  static Term Constant(SymbolId s) { return Term{Kind::kConstant, s}; }
+  static Term Variable(SymbolId s) { return Term{Kind::kVariable, s}; }
+
+  bool is_constant() const { return kind == Kind::kConstant; }
+  bool is_variable() const { return kind == Kind::kVariable; }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.kind == b.kind && a.symbol == b.symbol;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+};
+
+struct TermHash {
+  size_t operator()(const Term& t) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(t.symbol) << 1) |
+                                 static_cast<uint64_t>(t.kind));
+  }
+};
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_DATALOG_TERM_H_

@@ -1,0 +1,80 @@
+#include "datalog/unify.h"
+
+#include "util/string_util.h"
+
+namespace stratlearn {
+
+Term Substitution::Walk(Term t) const {
+  while (t.is_variable()) {
+    auto it = bindings_.find(t.symbol);
+    if (it == bindings_.end()) break;
+    t = it->second;
+  }
+  return t;
+}
+
+bool Substitution::Bind(SymbolId var, Term value) {
+  Term existing = Walk(Term::Variable(var));
+  Term target = Walk(value);
+  if (existing.is_variable()) {
+    if (target.is_variable() && target.symbol == existing.symbol) return true;
+    bindings_[existing.symbol] = target;
+    return true;
+  }
+  // existing is a constant; target must match.
+  if (target.is_variable()) {
+    bindings_[target.symbol] = existing;
+    return true;
+  }
+  return existing.symbol == target.symbol;
+}
+
+Atom Substitution::Apply(const Atom& atom) const {
+  Atom out;
+  out.predicate = atom.predicate;
+  out.args.reserve(atom.args.size());
+  for (const Term& t : atom.args) out.args.push_back(Walk(t));
+  return out;
+}
+
+bool UnifyAtoms(const Atom& a, const Atom& b, Substitution* subst) {
+  if (a.predicate != b.predicate || a.arity() != b.arity()) return false;
+  for (size_t i = 0; i < a.args.size(); ++i) {
+    Term ta = subst->Walk(a.args[i]);
+    Term tb = subst->Walk(b.args[i]);
+    if (ta.is_constant() && tb.is_constant()) {
+      if (ta.symbol != tb.symbol) return false;
+    } else if (ta.is_variable()) {
+      if (!subst->Bind(ta.symbol, tb)) return false;
+    } else {  // tb variable, ta constant
+      if (!subst->Bind(tb.symbol, ta)) return false;
+    }
+  }
+  return true;
+}
+
+Clause RenameClause(const Clause& clause, int invocation,
+                    SymbolTable* symbols) {
+  auto rename_atom = [&](const Atom& atom) {
+    Atom out;
+    out.predicate = atom.predicate;
+    out.args.reserve(atom.args.size());
+    for (const Term& t : atom.args) {
+      if (t.is_variable()) {
+        std::string fresh =
+            StrFormat("%s@%d", symbols->Name(t.symbol).c_str(), invocation);
+        out.args.push_back(Term::Variable(symbols->Intern(fresh)));
+      } else {
+        out.args.push_back(t);
+      }
+    }
+    return out;
+  };
+  Clause out;
+  out.head = rename_atom(clause.head);
+  out.body.reserve(clause.body.size());
+  for (const Atom& b : clause.body) out.body.push_back(rename_atom(b));
+  return out;
+}
+
+}  // namespace stratlearn

@@ -1,0 +1,47 @@
+#ifndef STRATLEARN_DATALOG_UNIFY_H_
+#define STRATLEARN_DATALOG_UNIFY_H_
+
+#include <optional>
+#include <unordered_map>
+
+#include "datalog/atom.h"
+#include "datalog/clause.h"
+
+namespace stratlearn {
+
+/// A substitution mapping variable symbols to terms. Function-free, so a
+/// variable binds either to a constant or to another variable.
+class Substitution {
+ public:
+  Substitution() = default;
+
+  /// Resolves `t` through the binding chain until a constant or an
+  /// unbound variable is reached.
+  Term Walk(Term t) const;
+
+  /// Binds variable `var` to `value`. Returns false on a conflicting
+  /// existing binding.
+  bool Bind(SymbolId var, Term value);
+
+  /// Applies the substitution to every argument of `atom`.
+  Atom Apply(const Atom& atom) const;
+
+  bool empty() const { return bindings_.empty(); }
+  size_t size() const { return bindings_.size(); }
+
+ private:
+  std::unordered_map<SymbolId, Term> bindings_;
+};
+
+/// Unifies two atoms (same predicate and arity required), extending
+/// `subst`. Returns false and leaves `subst` in an unspecified state on
+/// failure; callers should copy first when they need rollback.
+bool UnifyAtoms(const Atom& a, const Atom& b, Substitution* subst);
+
+/// Renames every variable in `clause` by suffixing a fresh index, so
+/// different rule invocations cannot capture each other's variables.
+Clause RenameClause(const Clause& clause, int invocation, SymbolTable* symbols);
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_DATALOG_UNIFY_H_

@@ -1,0 +1,94 @@
+#include "engine/adaptive_qp.h"
+
+#include "util/check.h"
+
+namespace stratlearn {
+
+AdaptiveQueryProcessor::AdaptiveQueryProcessor(const InferenceGraph* graph,
+                                               std::vector<int64_t> quotas,
+                                               QuotaMode mode)
+    : graph_(graph),
+      processor_(graph),
+      remaining_(std::move(quotas)),
+      mode_(mode),
+      counters_(graph->num_experiments()) {
+  STRATLEARN_CHECK(remaining_.size() == graph_->num_experiments());
+}
+
+int AdaptiveQueryProcessor::PickTarget() const {
+  int best = -1;
+  int64_t best_remaining = 0;
+  for (size_t i = 0; i < remaining_.size(); ++i) {
+    if (remaining_[i] > best_remaining) {
+      best_remaining = remaining_[i];
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+Strategy AdaptiveQueryProcessor::AimingStrategy(int target_experiment) const {
+  if (target_experiment < 0) return Strategy::DepthFirst(*graph_);
+  ArcId target_arc = graph_->experiments()[target_experiment];
+  std::vector<ArcId> order = graph_->Pi(target_arc);
+  order.push_back(target_arc);
+  std::vector<char> included(graph_->num_arcs(), 0);
+  for (ArcId a : order) included[a] = 1;
+  Strategy depth_first = Strategy::DepthFirst(*graph_);
+  for (ArcId a : depth_first.arcs()) {
+    if (!included[a]) order.push_back(a);
+  }
+  Result<Strategy> strategy = Strategy::FromArcOrder(*graph_, std::move(order));
+  STRATLEARN_CHECK_MSG(strategy.ok(), "aiming strategy must be valid");
+  return *std::move(strategy);
+}
+
+AdaptiveQueryProcessor::StepResult AdaptiveQueryProcessor::Process(
+    const Context& context) {
+  ++contexts_processed_;
+  StepResult result;
+  result.aimed_experiment = PickTarget();
+  Strategy strategy = AimingStrategy(result.aimed_experiment);
+  result.trace = processor_.Execute(strategy, context);
+
+  // Every attempted experiment yields a sample (and, having been reached,
+  // an attempted reach as well).
+  std::vector<char> attempted(graph_->num_experiments(), 0);
+  for (const ArcAttempt& at : result.trace.attempts) {
+    int e = graph_->arc(at.arc).experiment;
+    if (e < 0) continue;
+    attempted[e] = 1;
+    counters_[e].RecordAttempt(at.unblocked);
+    --remaining_[e];
+  }
+  if (result.aimed_experiment >= 0) {
+    result.reached = attempted[result.aimed_experiment] != 0;
+    if (!result.reached) {
+      // Aimed but blocked en route: Definition 1's attempted reach.
+      counters_[result.aimed_experiment].RecordBlockedAim();
+      if (mode_ == QuotaMode::kReachAttempts) {
+        --remaining_[result.aimed_experiment];
+      }
+    }
+  }
+  return result;
+}
+
+bool AdaptiveQueryProcessor::QuotasMet() const {
+  for (int64_t r : remaining_) {
+    if (r > 0) return false;
+  }
+  return true;
+}
+
+std::vector<double> AdaptiveQueryProcessor::SuccessFrequencies(
+    double fallback) const {
+  std::vector<double> p;
+  p.reserve(counters_.size());
+  for (const ExperimentCounter& c : counters_) {
+    p.push_back(c.SuccessFrequency(fallback));
+  }
+  return p;
+}
+
+}  // namespace stratlearn

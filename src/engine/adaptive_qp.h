@@ -1,0 +1,84 @@
+#ifndef STRATLEARN_ENGINE_ADAPTIVE_QP_H_
+#define STRATLEARN_ENGINE_ADAPTIVE_QP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/query_processor.h"
+#include "stats/counters.h"
+
+namespace stratlearn {
+
+/// The adaptive query processor QP^A of Section 4.1. A fixed strategy
+/// cannot guarantee samples of every retrieval (if D_p always succeeds,
+/// D_g is never attempted), so QP^A re-plans per context: it *aims* at
+/// the experiment with the largest remaining sample quota by putting that
+/// experiment's root path first, then answers the query normally with the
+/// remaining arcs in default order. Each context still gets answered;
+/// sampling is a side effect, as the paper's unobtrusiveness goal
+/// requires.
+class AdaptiveQueryProcessor {
+ public:
+  /// Which events count against the quotas.
+  enum class QuotaMode {
+    /// Theorem 2: quota counts actual attempts of the experiment
+    /// (retrieval samples).
+    kAttempts,
+    /// Theorem 3: quota counts attempted reaches (Definition 1) —
+    /// arrivals plus aims blocked en route.
+    kReachAttempts,
+  };
+
+  /// `quotas[i]` is the required number of samples of experiment i
+  /// (Equation 7 or 8).
+  AdaptiveQueryProcessor(const InferenceGraph* graph,
+                         std::vector<int64_t> quotas, QuotaMode mode);
+
+  struct StepResult {
+    Trace trace;
+    /// Which experiment this context aimed at (-1 if all quotas were
+    /// already met and a plain depth-first strategy was used).
+    int aimed_experiment = -1;
+    /// Whether the aimed experiment was actually attempted.
+    bool reached = false;
+  };
+
+  /// Processes one context, updating counters and quotas.
+  StepResult Process(const Context& context);
+
+  /// True when every experiment's remaining quota is <= 0.
+  bool QuotasMet() const;
+
+  /// Remaining quota per experiment (may be negative after overshoot).
+  const std::vector<int64_t>& remaining() const { return remaining_; }
+
+  /// Per-experiment attempt/success/aim counters.
+  const std::vector<ExperimentCounter>& counters() const { return counters_; }
+
+  /// Success-frequency vector p^ (fallback 0.5 for never-attempted
+  /// experiments, as in Theorem 3).
+  std::vector<double> SuccessFrequencies(double fallback = 0.5) const;
+
+  /// Total contexts processed.
+  int64_t contexts_processed() const { return contexts_processed_; }
+
+ private:
+  /// Index of the experiment with the largest remaining quota (> 0), or
+  /// -1 when all quotas are met.
+  int PickTarget() const;
+
+  /// Strategy that visits `target`'s root path first, then the rest of
+  /// the graph depth-first.
+  Strategy AimingStrategy(int target_experiment) const;
+
+  const InferenceGraph* graph_;
+  QueryProcessor processor_;
+  std::vector<int64_t> remaining_;
+  QuotaMode mode_;
+  std::vector<ExperimentCounter> counters_;
+  int64_t contexts_processed_ = 0;
+};
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_ENGINE_ADAPTIVE_QP_H_

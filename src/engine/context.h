@@ -1,0 +1,70 @@
+#ifndef STRATLEARN_ENGINE_CONTEXT_H_
+#define STRATLEARN_ENGINE_CONTEXT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace stratlearn {
+
+/// A query-processing context, reduced to what determines every
+/// strategy's cost (Note 2): the blocked/unblocked outcome of each
+/// probabilistic experiment of the graph, indexed by experiment index.
+///
+/// A concrete <query, database> pair maps to a Context by attempting each
+/// retrieval/guard; the synthetic oracles sample Contexts directly.
+class Context {
+ public:
+  /// All experiments blocked by default.
+  explicit Context(size_t num_experiments)
+      : unblocked_(num_experiments, 0) {}
+
+  static Context AllBlocked(size_t n) { return Context(n); }
+  static Context AllUnblocked(size_t n) {
+    Context c(n);
+    for (size_t i = 0; i < n; ++i) c.unblocked_[i] = 1;
+    return c;
+  }
+
+  /// Decodes a bitmask (bit i = experiment i unblocked); n <= 64. Used to
+  /// enumerate all 2^n equivalence classes exhaustively in tests.
+  static Context FromMask(size_t n, uint64_t mask) {
+    STRATLEARN_CHECK(n <= 64);
+    Context c(n);
+    for (size_t i = 0; i < n; ++i) c.unblocked_[i] = (mask >> i) & 1;
+    return c;
+  }
+
+  void Set(size_t experiment, bool unblocked) {
+    STRATLEARN_CHECK(experiment < unblocked_.size());
+    unblocked_[experiment] = unblocked ? 1 : 0;
+  }
+
+  bool Unblocked(size_t experiment) const {
+    STRATLEARN_CHECK(experiment < unblocked_.size());
+    return unblocked_[experiment] != 0;
+  }
+
+  size_t num_experiments() const { return unblocked_.size(); }
+
+  uint64_t EncodeMask() const {
+    STRATLEARN_CHECK(unblocked_.size() <= 64);
+    uint64_t mask = 0;
+    for (size_t i = 0; i < unblocked_.size(); ++i) {
+      if (unblocked_[i]) mask |= (uint64_t{1} << i);
+    }
+    return mask;
+  }
+
+  friend bool operator==(const Context& a, const Context& b) {
+    return a.unblocked_ == b.unblocked_;
+  }
+
+ private:
+  std::vector<uint8_t> unblocked_;
+};
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_ENGINE_CONTEXT_H_

@@ -1,0 +1,47 @@
+#include "engine/query_processor.h"
+
+#include "util/check.h"
+
+namespace stratlearn {
+
+bool Trace::Attempted(const InferenceGraph& graph, int experiment) const {
+  for (const ArcAttempt& a : attempts) {
+    if (graph.arc(a.arc).experiment == experiment) return true;
+  }
+  return false;
+}
+
+Trace QueryProcessor::Execute(const Strategy& strategy,
+                              const Context& context,
+                              const ExecutionOptions& options) const {
+  STRATLEARN_CHECK(context.num_experiments() == graph_->num_experiments());
+  Trace trace;
+  std::vector<char> visited(graph_->num_nodes(), 0);
+  visited[graph_->root()] = 1;
+
+  for (ArcId a : strategy.arcs()) {
+    const Arc& arc = graph_->arc(a);
+    if (!visited[arc.from]) continue;  // unreachable: skipped at no cost
+    bool unblocked = arc.experiment < 0 ||
+                     context.Unblocked(static_cast<size_t>(arc.experiment));
+    trace.cost += arc.cost +
+                  (unblocked ? arc.success_cost : arc.failure_cost);
+    trace.attempts.push_back({a, unblocked});
+    if (!unblocked) continue;
+    visited[arc.to] = 1;
+    if (graph_->node(arc.to).is_success) {
+      ++trace.successes;
+      if (trace.first_success_arc == kInvalidArc) trace.first_success_arc = a;
+      if (trace.successes >= options.stop_after_successes) break;
+    }
+  }
+  trace.success = trace.successes >= options.stop_after_successes;
+  return trace;
+}
+
+double QueryProcessor::Cost(const Strategy& strategy,
+                            const Context& context) const {
+  return Execute(strategy, context).cost;
+}
+
+}  // namespace stratlearn

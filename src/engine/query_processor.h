@@ -1,0 +1,66 @@
+#ifndef STRATLEARN_ENGINE_QUERY_PROCESSOR_H_
+#define STRATLEARN_ENGINE_QUERY_PROCESSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/context.h"
+#include "engine/strategy.h"
+#include "graph/inference_graph.h"
+
+namespace stratlearn {
+
+/// One attempted arc traversal and its outcome.
+struct ArcAttempt {
+  ArcId arc = kInvalidArc;
+  bool unblocked = false;
+};
+
+/// The record of one query execution: what the learners observe
+/// (Section 5.1: everything PIB/PAO need can be read off this trace).
+struct Trace {
+  std::vector<ArcAttempt> attempts;
+  double cost = 0.0;
+  /// Number of success nodes reached (0 or 1 for satisficing search).
+  int64_t successes = 0;
+  /// True when the required number of answers was found.
+  bool success = false;
+  /// The arc whose traversal reached the first success node.
+  ArcId first_success_arc = kInvalidArc;
+
+  /// True iff the experiment with this index was attempted.
+  bool Attempted(const InferenceGraph& graph, int experiment) const;
+};
+
+struct ExecutionOptions {
+  /// Stop after this many success nodes have been reached. 1 is the
+  /// paper's satisficing search; Section 5.2's first-k-answers variant
+  /// uses k > 1.
+  int64_t stop_after_successes = 1;
+};
+
+/// Executes strategies over contexts: QP = <G, Theta> applied to I.
+///
+/// Traversal semantics (Section 2.1): arcs are considered in strategy
+/// order; an arc whose tail node has not been reached is skipped at no
+/// cost; attempting an arc always costs f(arc); a blocked arc does not
+/// make its head reachable; reaching a success node counts an answer.
+class QueryProcessor {
+ public:
+  explicit QueryProcessor(const InferenceGraph* graph) : graph_(graph) {}
+
+  Trace Execute(const Strategy& strategy, const Context& context,
+                const ExecutionOptions& options = {}) const;
+
+  /// Convenience: the cost c(Theta, I) alone.
+  double Cost(const Strategy& strategy, const Context& context) const;
+
+  const InferenceGraph& graph() const { return *graph_; }
+
+ private:
+  const InferenceGraph* graph_;
+};
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_ENGINE_QUERY_PROCESSOR_H_

@@ -1,0 +1,158 @@
+#include "engine/strategy.h"
+
+#include <cstdlib>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace stratlearn {
+
+Result<Strategy> Strategy::FromArcOrder(const InferenceGraph& graph,
+                                        std::vector<ArcId> arcs) {
+  if (arcs.size() != graph.num_arcs()) {
+    return Status::InvalidArgument(
+        StrFormat("strategy has %zu arcs; graph has %zu", arcs.size(),
+                  graph.num_arcs()));
+  }
+  std::vector<char> seen(graph.num_arcs(), 0);
+  std::vector<char> visited(graph.num_nodes(), 0);
+  visited[graph.root()] = 1;
+  for (ArcId a : arcs) {
+    if (a >= graph.num_arcs()) {
+      return Status::InvalidArgument(StrFormat("unknown arc id %u", a));
+    }
+    if (seen[a]) {
+      return Status::InvalidArgument(
+          StrFormat("arc %u appears twice in strategy", a));
+    }
+    seen[a] = 1;
+    const Arc& arc = graph.arc(a);
+    if (!visited[arc.from]) {
+      return Status::InvalidArgument(StrFormat(
+          "arc %u (%s) appears before its tail node is reachable", a,
+          arc.label.c_str()));
+    }
+    visited[arc.to] = 1;
+  }
+  return Strategy(std::move(arcs));
+}
+
+Strategy Strategy::FromLeafOrder(const InferenceGraph& graph,
+                                 const std::vector<ArcId>& leaf_arcs) {
+  std::vector<ArcId> arcs;
+  arcs.reserve(graph.num_arcs());
+  std::vector<char> included(graph.num_arcs(), 0);
+  for (ArcId leaf : leaf_arcs) {
+    for (ArcId a : graph.Pi(leaf)) {
+      if (!included[a]) {
+        included[a] = 1;
+        arcs.push_back(a);
+      }
+    }
+    if (!included[leaf]) {
+      included[leaf] = 1;
+      arcs.push_back(leaf);
+    }
+  }
+  // Any arcs not on a success path (dead ends) are appended last so the
+  // strategy still covers the whole graph.
+  for (ArcId a = 0; a < graph.num_arcs(); ++a) {
+    if (!included[a]) {
+      for (ArcId p : graph.Pi(a)) {
+        if (!included[p]) {
+          included[p] = 1;
+          arcs.push_back(p);
+        }
+      }
+      included[a] = 1;
+      arcs.push_back(a);
+    }
+  }
+  return Strategy(std::move(arcs));
+}
+
+Strategy Strategy::DepthFirst(const InferenceGraph& graph) {
+  std::vector<ArcId> arcs;
+  arcs.reserve(graph.num_arcs());
+  // Preorder DFS from the root, children in rule order.
+  std::vector<ArcId> stack;
+  const Node& root = graph.node(graph.root());
+  for (auto it = root.out_arcs.rbegin(); it != root.out_arcs.rend(); ++it) {
+    stack.push_back(*it);
+  }
+  while (!stack.empty()) {
+    ArcId a = stack.back();
+    stack.pop_back();
+    arcs.push_back(a);
+    const Node& head = graph.node(graph.arc(a).to);
+    for (auto it = head.out_arcs.rbegin(); it != head.out_arcs.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return Strategy(std::move(arcs));
+}
+
+std::vector<ArcId> Strategy::LeafOrder(const InferenceGraph& graph) const {
+  std::vector<ArcId> leaves;
+  for (ArcId a : arcs_) {
+    if (graph.node(graph.arc(a).to).is_success) leaves.push_back(a);
+  }
+  return leaves;
+}
+
+std::vector<std::vector<ArcId>> Strategy::Paths(
+    const InferenceGraph& graph) const {
+  std::vector<std::vector<ArcId>> paths;
+  for (size_t i = 0; i < arcs_.size(); ++i) {
+    bool continues = false;
+    if (i > 0) {
+      continues = graph.arc(arcs_[i]).from == graph.arc(arcs_[i - 1]).to;
+    }
+    if (!continues) paths.emplace_back();
+    paths.back().push_back(arcs_[i]);
+  }
+  return paths;
+}
+
+Strategy Strategy::Canonicalized(const InferenceGraph& graph) const {
+  return FromLeafOrder(graph, LeafOrder(graph));
+}
+
+std::string Strategy::Serialize() const {
+  std::string out = "stratlearn-strategy v1";
+  for (ArcId a : arcs_) out += StrFormat(" %u", a);
+  return out;
+}
+
+Result<Strategy> Strategy::Deserialize(const InferenceGraph& graph,
+                                       std::string_view text) {
+  std::vector<std::string> tokens;
+  for (const std::string& piece : Split(Trim(text), ' ')) {
+    if (!piece.empty()) tokens.push_back(piece);
+  }
+  if (tokens.size() < 2 || tokens[0] != "stratlearn-strategy" ||
+      tokens[1] != "v1") {
+    return Status::InvalidArgument(
+        "missing 'stratlearn-strategy v1' header");
+  }
+  std::vector<ArcId> arcs;
+  arcs.reserve(tokens.size() - 2);
+  for (size_t i = 2; i < tokens.size(); ++i) {
+    char* end = nullptr;
+    unsigned long value = std::strtoul(tokens[i].c_str(), &end, 10);
+    if (end != tokens[i].c_str() + tokens[i].size()) {
+      return Status::InvalidArgument("bad arc id '" + tokens[i] + "'");
+    }
+    arcs.push_back(static_cast<ArcId>(value));
+  }
+  return FromArcOrder(graph, std::move(arcs));
+}
+
+std::string Strategy::ToString(const InferenceGraph& graph) const {
+  std::vector<std::string> labels;
+  labels.reserve(arcs_.size());
+  for (ArcId a : arcs_) labels.push_back(graph.arc(a).label);
+  return "<" + Join(labels, " ") + ">";
+}
+
+}  // namespace stratlearn

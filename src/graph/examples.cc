@@ -1,0 +1,44 @@
+#include "graph/examples.h"
+
+namespace stratlearn {
+
+FigureOneGraph MakeFigureOne() {
+  FigureOneGraph g;
+  NodeId root = g.graph.AddRoot("instructor(k)");
+  auto prof = g.graph.AddChild(root, "prof(k)", ArcKind::kReduction, 1.0,
+                               "R_p");
+  g.r_p = prof.arc;
+  g.d_p = g.graph.AddRetrieval(prof.node, 1.0, "D_p").arc;
+  auto grad = g.graph.AddChild(root, "grad(k)", ArcKind::kReduction, 1.0,
+                               "R_g");
+  g.r_g = grad.arc;
+  g.d_g = g.graph.AddRetrieval(grad.node, 1.0, "D_g").arc;
+  return g;
+}
+
+FigureTwoGraph MakeFigureTwo() {
+  FigureTwoGraph g;
+  NodeId root = g.graph.AddRoot("G");
+  auto a = g.graph.AddChild(root, "A", ArcKind::kReduction, 1.0, "R_ga");
+  g.r_ga = a.arc;
+  g.d_a = g.graph.AddRetrieval(a.node, 1.0, "D_a").arc;
+
+  auto s = g.graph.AddChild(root, "S", ArcKind::kReduction, 1.0, "R_gs");
+  g.r_gs = s.arc;
+  auto b = g.graph.AddChild(s.node, "B", ArcKind::kReduction, 1.0, "R_sb");
+  g.r_sb = b.arc;
+  g.d_b = g.graph.AddRetrieval(b.node, 1.0, "D_b").arc;
+
+  auto t = g.graph.AddChild(s.node, "T", ArcKind::kReduction, 1.0, "R_st");
+  g.r_st = t.arc;
+  auto c = g.graph.AddChild(t.node, "C", ArcKind::kReduction, 1.0, "R_tc");
+  g.r_tc = c.arc;
+  g.d_c = g.graph.AddRetrieval(c.node, 1.0, "D_c").arc;
+
+  auto d = g.graph.AddChild(t.node, "D", ArcKind::kReduction, 1.0, "R_td");
+  g.r_td = d.arc;
+  g.d_d = g.graph.AddRetrieval(d.node, 1.0, "D_d").arc;
+  return g;
+}
+
+}  // namespace stratlearn

@@ -1,0 +1,40 @@
+#ifndef STRATLEARN_GRAPH_EXAMPLES_H_
+#define STRATLEARN_GRAPH_EXAMPLES_H_
+
+#include "graph/inference_graph.h"
+
+namespace stratlearn {
+
+/// Arc handles for the paper's Figure 1 graph G_A (the instructor /
+/// prof / grad knowledge base). All arcs cost 1.
+struct FigureOneGraph {
+  InferenceGraph graph;
+  ArcId r_p;  // instructor(k) -> prof(k) reduction
+  ArcId d_p;  // prof(k) retrieval (experiment 0)
+  ArcId r_g;  // instructor(k) -> grad(k) reduction
+  ArcId d_g;  // grad(k) retrieval (experiment 1)
+};
+
+/// Builds Figure 1's G_A.
+FigureOneGraph MakeFigureOne();
+
+/// Arc handles for the paper's Figure 2 graph G_B. The tree is
+///   G -> A (retrieval D_a)
+///   G -> S -> B (retrieval D_b)
+///        S -> T -> C (retrieval D_c)
+///             T -> D (retrieval D_d)
+/// All arcs cost 1. Experiments are D_a..D_d, in that index order.
+struct FigureTwoGraph {
+  InferenceGraph graph;
+  ArcId r_ga, d_a;
+  ArcId r_gs, r_sb, d_b;
+  ArcId r_st, r_tc, d_c;
+  ArcId r_td, d_d;
+};
+
+/// Builds Figure 2's G_B.
+FigureTwoGraph MakeFigureTwo();
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_GRAPH_EXAMPLES_H_

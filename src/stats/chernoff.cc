@@ -1,0 +1,77 @@
+#include "stats/chernoff.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace stratlearn {
+
+double HoeffdingTailProbability(int64_t n, double beta, double range) {
+  STRATLEARN_CHECK(n >= 0);
+  STRATLEARN_CHECK(range > 0.0);
+  if (n == 0) return 1.0;
+  double z = beta / range;
+  return std::exp(-2.0 * static_cast<double>(n) * z * z);
+}
+
+double HoeffdingDeviation(int64_t n, double delta, double range) {
+  STRATLEARN_CHECK(n > 0);
+  STRATLEARN_CHECK(delta > 0.0 && delta < 1.0);
+  STRATLEARN_CHECK(range > 0.0);
+  return range * std::sqrt(std::log(1.0 / delta) /
+                           (2.0 * static_cast<double>(n)));
+}
+
+double SumThreshold(int64_t n, double delta, double range) {
+  STRATLEARN_CHECK(n > 0);
+  STRATLEARN_CHECK(delta > 0.0 && delta < 1.0);
+  STRATLEARN_CHECK(range > 0.0);
+  return range *
+         std::sqrt(static_cast<double>(n) / 2.0 * std::log(1.0 / delta));
+}
+
+double SumThresholdBonferroni(int64_t n, double delta, double range,
+                              int64_t k) {
+  STRATLEARN_CHECK(n > 0);
+  STRATLEARN_CHECK(delta > 0.0 && delta < 1.0);
+  STRATLEARN_CHECK(range > 0.0);
+  STRATLEARN_CHECK(k >= 1);
+  return range * std::sqrt(static_cast<double>(n) / 2.0 *
+                           std::log(static_cast<double>(k) / delta));
+}
+
+int64_t SampleSizeForDeviation(double beta, double delta, double range) {
+  STRATLEARN_CHECK(beta > 0.0);
+  STRATLEARN_CHECK(delta > 0.0 && delta < 1.0);
+  STRATLEARN_CHECK(range > 0.0);
+  double z = range / beta;
+  return static_cast<int64_t>(
+      std::ceil(z * z * std::log(1.0 / delta) / 2.0));
+}
+
+int64_t PaoRetrievalQuota(int64_t n, double f_neg, double epsilon,
+                          double delta) {
+  STRATLEARN_CHECK(n >= 1);
+  STRATLEARN_CHECK(epsilon > 0.0);
+  STRATLEARN_CHECK(delta > 0.0 && delta < 1.0);
+  STRATLEARN_CHECK(f_neg >= 0.0);
+  if (f_neg == 0.0) return 0;
+  double z = static_cast<double>(n) * f_neg / epsilon;
+  return static_cast<int64_t>(
+      std::ceil(2.0 * z * z * std::log(2.0 * static_cast<double>(n) / delta)));
+}
+
+int64_t PaoReachQuota(int64_t n, double f_neg, double epsilon, double delta) {
+  STRATLEARN_CHECK(n >= 1);
+  STRATLEARN_CHECK(epsilon > 0.0);
+  STRATLEARN_CHECK(delta > 0.0 && delta < 1.0);
+  STRATLEARN_CHECK(f_neg >= 0.0);
+  if (f_neg == 0.0) return 0;
+  double inner =
+      std::sqrt(2.0 * epsilon / (static_cast<double>(n) * f_neg) + 1.0) - 1.0;
+  STRATLEARN_CHECK(inner > 0.0);
+  return static_cast<int64_t>(std::ceil(
+      2.0 / (inner * inner) * std::log(4.0 * static_cast<double>(n) / delta)));
+}
+
+}  // namespace stratlearn

@@ -1,0 +1,52 @@
+#ifndef STRATLEARN_STATS_CHERNOFF_H_
+#define STRATLEARN_STATS_CHERNOFF_H_
+
+#include <cstdint>
+
+namespace stratlearn {
+
+/// Chernoff/Hoeffding bound utilities (Equation 1 of the paper and its
+/// inversions). All functions treat `range` as the width Λ of the support
+/// of the underlying bounded random variable.
+
+/// Pr[Y_n > mu + beta] bound from Equation 1: exp(-2 n (beta/range)^2).
+double HoeffdingTailProbability(int64_t n, double beta, double range);
+
+/// The deviation beta such that the Equation-1 tail bound equals `delta`
+/// for a sample mean of `n` observations:
+///   beta = range * sqrt(ln(1/delta) / (2 n)).
+double HoeffdingDeviation(int64_t n, double delta, double range);
+
+/// Equation 2's threshold on the *sum* of n observations: a strategy pair
+/// passes the comparison when the observed sum of cost differences exceeds
+///   range * sqrt(n/2 * ln(1/delta)).
+double SumThreshold(int64_t n, double delta, double range);
+
+/// Equation 5's threshold when `k` candidate transformations are tested
+/// simultaneously (Bonferroni over the neighbourhood):
+///   range * sqrt(n/2 * ln(k/delta)).
+double SumThresholdBonferroni(int64_t n, double delta, double range,
+                              int64_t k);
+
+/// Smallest n such that HoeffdingDeviation(n, delta, range) <= beta:
+///   n = ceil((range/beta)^2 * ln(1/delta) / 2).
+int64_t SampleSizeForDeviation(double beta, double delta, double range);
+
+/// Equation 7: per-retrieval sample quota for the PAO algorithm
+/// (Theorem 2). `n` is the number of retrievals in the graph and
+/// `f_neg` is F_not[d_i], the total cost of the arcs on paths other than
+/// d_i's own root-to-leaf path.
+///   m(d_i) = ceil(2 * (n * f_neg / epsilon)^2 * ln(2n / delta)).
+int64_t PaoRetrievalQuota(int64_t n, double f_neg, double epsilon,
+                          double delta);
+
+/// Equation 8: per-experiment *attempted-reach* quota for the Theorem 3
+/// variant of PAO:
+///   m'(e_i) = ceil(2 * (sqrt(2 eps/(n f_neg) + 1) - 1)^-2 * ln(4n/delta)).
+/// When f_neg == 0 the experiment cannot affect any other path's cost and
+/// the quota is 0.
+int64_t PaoReachQuota(int64_t n, double f_neg, double epsilon, double delta);
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_STATS_CHERNOFF_H_

@@ -1,0 +1,64 @@
+#ifndef STRATLEARN_STATS_COUNTERS_H_
+#define STRATLEARN_STATS_COUNTERS_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace stratlearn {
+
+/// Success/attempt bookkeeping for one probabilistic experiment (database
+/// retrieval or blockable reduction). This is the paper's "one or two
+/// counters per retrieval" (Section 5.1): the entire data-collection cost
+/// of PIB and PAO.
+class ExperimentCounter {
+ public:
+  /// Records one attempt of the experiment and whether it succeeded
+  /// (the retrieval found its literal / the arc was not blocked).
+  void RecordAttempt(bool success) {
+    ++attempts_;
+    if (success) ++successes_;
+  }
+
+  /// Records that the query processor *aimed* for this experiment
+  /// (Definition 1) but was blocked before reaching it.
+  void RecordBlockedAim() { ++blocked_aims_; }
+
+  int64_t attempts() const { return attempts_; }
+  int64_t successes() const { return successes_; }
+  int64_t failures() const { return attempts_ - successes_; }
+
+  /// Number of times the processor attempted to reach the experiment:
+  /// attempts that arrived plus aims that were blocked en route.
+  int64_t reach_attempts() const { return attempts_ + blocked_aims_; }
+
+  /// Empirical success frequency p^ = successes/attempts, or `fallback`
+  /// (Theorem 3 uses 0.5) when the experiment was never reached.
+  double SuccessFrequency(double fallback = 0.5) const {
+    if (attempts_ == 0) return fallback;
+    return static_cast<double>(successes_) / static_cast<double>(attempts_);
+  }
+
+  /// Empirical estimate of the reach probability rho(e): the fraction of
+  /// aim attempts that actually arrived at the experiment.
+  double ReachFrequency() const {
+    int64_t n = reach_attempts();
+    if (n == 0) return 0.0;
+    return static_cast<double>(attempts_) / static_cast<double>(n);
+  }
+
+  void Reset() {
+    attempts_ = 0;
+    successes_ = 0;
+    blocked_aims_ = 0;
+  }
+
+ private:
+  int64_t attempts_ = 0;
+  int64_t successes_ = 0;
+  int64_t blocked_aims_ = 0;
+};
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_STATS_COUNTERS_H_

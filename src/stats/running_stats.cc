@@ -1,0 +1,14 @@
+#include "stats/running_stats.h"
+
+#include <cmath>
+
+namespace stratlearn {
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::stderr_mean() const {
+  if (n_ < 1) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+}  // namespace stratlearn

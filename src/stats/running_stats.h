@@ -1,0 +1,49 @@
+#ifndef STRATLEARN_STATS_RUNNING_STATS_H_
+#define STRATLEARN_STATS_RUNNING_STATS_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace stratlearn {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+/// Used by the benchmark harness and the Monte-Carlo cost estimators.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  int64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for fewer than two observations).
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const;
+  /// Standard error of the mean.
+  double stderr_mean() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+  void Reset() { *this = RunningStats(); }
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_STATS_RUNNING_STATS_H_

@@ -1,0 +1,41 @@
+#ifndef STRATLEARN_UTIL_CHECK_H_
+#define STRATLEARN_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace stratlearn::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace stratlearn::internal
+
+/// Aborts with a diagnostic if `cond` is false. Used for invariants whose
+/// violation is a programming error (never for user input — that returns
+/// Status).
+#define STRATLEARN_CHECK(cond)                                              \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::stratlearn::internal::CheckFailed(__FILE__, __LINE__, #cond, "");   \
+  } while (false)
+
+#define STRATLEARN_CHECK_MSG(cond, msg)                                     \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::stratlearn::internal::CheckFailed(__FILE__, __LINE__, #cond, (msg)); \
+  } while (false)
+
+#ifdef NDEBUG
+#define STRATLEARN_DCHECK(cond) \
+  do {                          \
+  } while (false)
+#else
+#define STRATLEARN_DCHECK(cond) STRATLEARN_CHECK(cond)
+#endif
+
+#endif  // STRATLEARN_UTIL_CHECK_H_

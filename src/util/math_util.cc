@@ -1,0 +1,14 @@
+#include "util/math_util.h"
+
+#include "util/check.h"
+
+namespace stratlearn {
+
+uint64_t Factorial(unsigned n) {
+  STRATLEARN_CHECK(n <= 20);
+  uint64_t out = 1;
+  for (unsigned i = 2; i <= n; ++i) out *= i;
+  return out;
+}
+
+}  // namespace stratlearn

@@ -1,0 +1,32 @@
+#ifndef STRATLEARN_UTIL_MATH_UTIL_H_
+#define STRATLEARN_UTIL_MATH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace stratlearn {
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// Approximate equality for floating-point comparisons in tests and
+/// invariant checks: |a - b| <= tol * max(1, |a|, |b|).
+inline bool AlmostEqual(double a, double b, double tol = 1e-9) {
+  double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tol * scale;
+}
+
+/// Clamps `p` into [0, 1].
+inline double ClampProbability(double p) {
+  return std::min(1.0, std::max(0.0, p));
+}
+
+/// Integer ceiling of a / b for positive b.
+inline int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+/// n! for small n (n <= 20 fits in uint64_t).
+uint64_t Factorial(unsigned n);
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_UTIL_MATH_UTIL_H_

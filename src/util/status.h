@@ -1,0 +1,137 @@
+#ifndef STRATLEARN_UTIL_STATUS_H_
+#define STRATLEARN_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace stratlearn {
+
+/// Canonical error codes, modelled on the RocksDB/Abseil Status idiom.
+/// Library code never throws; every fallible operation returns a Status
+/// (or a Result<T> that wraps one).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+};
+
+/// Returns a stable human-readable name for `code` ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value. Cheap to copy in the OK case
+/// (no allocation); carries a message string otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// error result aborts (programming error), matching CHECK semantics.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error keeps call sites
+  /// (`return MakeGraph(...)` / `return Status::InvalidArgument(...)`)
+  /// readable; this mirrors absl::StatusOr.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : payload_(std::move(value)) {}
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : payload_(std::move(status)) {
+    STRATLEARN_CHECK(!std::get<Status>(payload_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    STRATLEARN_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    STRATLEARN_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    STRATLEARN_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define STRATLEARN_RETURN_IF_ERROR(expr)                  \
+  do {                                                    \
+    ::stratlearn::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                            \
+  } while (false)
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_UTIL_STATUS_H_

@@ -1,0 +1,64 @@
+#include "workload/datalog_oracle.h"
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace stratlearn {
+
+DatalogOracle::DatalogOracle(const BuiltGraph* built, const Database* db,
+                             QueryWorkload workload)
+    : built_(built), db_(db), workload_(std::move(workload)) {
+  STRATLEARN_CHECK(!workload_.entries.empty());
+  weights_.reserve(workload_.entries.size());
+  for (const auto& e : workload_.entries) {
+    STRATLEARN_CHECK(e.weight >= 0.0);
+    weights_.push_back(e.weight);
+  }
+}
+
+size_t DatalogOracle::num_experiments() const {
+  return built_->graph.num_experiments();
+}
+
+Context DatalogOracle::ContextFor(
+    const std::vector<SymbolId>& query_args) const {
+  Context c(built_->graph.num_experiments());
+  for (size_t e = 0; e < built_->graph.num_experiments(); ++e) {
+    ArcId arc = built_->graph.experiments()[e];
+    auto retrieval = built_->retrievals.find(arc);
+    if (retrieval != built_->retrievals.end()) {
+      c.Set(e, retrieval->second.Succeeds(*db_, query_args));
+      continue;
+    }
+    auto guard = built_->guards.find(arc);
+    STRATLEARN_CHECK_MSG(guard != built_->guards.end(),
+                         "experiment arc has neither retrieval nor guard");
+    c.Set(e, guard->second.Satisfied(query_args));
+  }
+  return c;
+}
+
+Context DatalogOracle::Next(Rng& rng) {
+  const auto& entry = workload_.entries[rng.NextDiscrete(weights_)];
+  last_args_ = entry.args;
+  return ContextFor(entry.args);
+}
+
+std::vector<double> DatalogOracle::TrueMarginalProbs() const {
+  double total_weight = 0.0;
+  for (const auto& e : workload_.entries) total_weight += e.weight;
+  STRATLEARN_CHECK(total_weight > 0.0);
+  std::vector<double> probs(built_->graph.num_experiments(), 0.0);
+  for (const auto& e : workload_.entries) {
+    Context c = ContextFor(e.args);
+    for (size_t i = 0; i < probs.size(); ++i) {
+      if (c.Unblocked(i)) probs[i] += e.weight / total_weight;
+    }
+  }
+  // Accumulated floating-point error can push a certain event a hair
+  // past 1.0; clamp so the probabilities stay valid.
+  for (double& p : probs) p = ClampProbability(p);
+  return probs;
+}
+
+}  // namespace stratlearn

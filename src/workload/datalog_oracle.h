@@ -1,0 +1,58 @@
+#ifndef STRATLEARN_WORKLOAD_DATALOG_ORACLE_H_
+#define STRATLEARN_WORKLOAD_DATALOG_ORACLE_H_
+
+#include <vector>
+
+#include "datalog/database.h"
+#include "graph/builder.h"
+#include "workload/oracle.h"
+
+namespace stratlearn {
+
+/// A workload of concrete queries: each entry is a tuple of constants for
+/// the query form's bound positions, with a sampling weight. This models
+/// "the system's user" of Section 3.1 — e.g. 60% instructor(russ), 15%
+/// instructor(manolis), 25% instructor(fred).
+struct QueryWorkload {
+  struct Entry {
+    std::vector<SymbolId> args;
+    double weight = 1.0;
+  };
+  std::vector<Entry> entries;
+};
+
+/// Materialises contexts from real <query, database> pairs: samples a
+/// query from the workload, then determines each experiment's outcome by
+/// actually attempting its retrieval (or evaluating its guard) against
+/// the database. This is the bridge between the Datalog substrate and
+/// the blocked-arc-set view of Note 2.
+class DatalogOracle : public ContextOracle {
+ public:
+  /// `built` and `db` must outlive the oracle.
+  DatalogOracle(const BuiltGraph* built, const Database* db,
+                QueryWorkload workload);
+
+  Context Next(Rng& rng) override;
+  size_t num_experiments() const override;
+
+  /// Deterministically maps one concrete query to its context.
+  Context ContextFor(const std::vector<SymbolId>& query_args) const;
+
+  /// The last sampled query's arguments (for tracing/examples).
+  const std::vector<SymbolId>& last_query_args() const { return last_args_; }
+
+  /// Exact per-experiment marginal success probabilities under the
+  /// workload distribution (the "true" p vector PAO is estimating).
+  std::vector<double> TrueMarginalProbs() const;
+
+ private:
+  const BuiltGraph* built_;
+  const Database* db_;
+  QueryWorkload workload_;
+  std::vector<double> weights_;
+  std::vector<SymbolId> last_args_;
+};
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_WORKLOAD_DATALOG_ORACLE_H_

@@ -1,0 +1,26 @@
+#ifndef STRATLEARN_WORKLOAD_ORACLE_H_
+#define STRATLEARN_WORKLOAD_ORACLE_H_
+
+#include "engine/context.h"
+#include "util/rng.h"
+
+namespace stratlearn {
+
+/// Source of query-processing contexts drawn i.i.d. from a stationary
+/// distribution (Section 2.1). In production this is the user posing
+/// queries; here it is a workload model. PIB and PAO consume contexts
+/// only through this interface.
+class ContextOracle {
+ public:
+  virtual ~ContextOracle() = default;
+
+  /// Draws the next context.
+  virtual Context Next(Rng& rng) = 0;
+
+  /// Number of experiments of the graph the contexts are for.
+  virtual size_t num_experiments() const = 0;
+};
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_WORKLOAD_ORACLE_H_

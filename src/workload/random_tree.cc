@@ -1,0 +1,89 @@
+#include "workload/random_tree.h"
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace stratlearn {
+
+namespace {
+
+/// Recursively grows the tree below `parent`.
+void MaybeAddOutcomeCosts(InferenceGraph& g, ArcId arc, Rng& rng,
+                          const RandomTreeOptions& opt) {
+  if (opt.max_outcome_cost <= 0.0) return;
+  g.SetOutcomeCosts(arc, rng.NextUniform(0.0, opt.max_outcome_cost),
+                    rng.NextUniform(0.0, opt.max_outcome_cost));
+}
+
+void Grow(InferenceGraph& g, std::vector<double>& probs, Rng& rng,
+          const RandomTreeOptions& opt, NodeId parent, int depth_left,
+          int* counter) {
+  int children = static_cast<int>(
+      rng.NextInt(opt.min_branch, opt.max_branch));
+  for (int i = 0; i < children; ++i) {
+    double cost = rng.NextUniform(opt.min_cost, opt.max_cost);
+    bool leaf = depth_left <= 1 || rng.NextBernoulli(opt.early_leaf_prob);
+    int id = (*counter)++;
+    if (leaf) {
+      ArcId arc = g.AddRetrieval(parent, cost, StrFormat("d%d", id)).arc;
+      MaybeAddOutcomeCosts(g, arc, rng, opt);
+      probs.push_back(rng.NextUniform(opt.min_prob, opt.max_prob));
+    } else {
+      bool guarded = rng.NextBernoulli(opt.internal_experiment_prob);
+      auto added = g.AddChild(parent, StrFormat("n%d", id),
+                              ArcKind::kReduction, cost,
+                              StrFormat("r%d", id), guarded);
+      MaybeAddOutcomeCosts(g, added.arc, rng, opt);
+      if (guarded) probs.push_back(rng.NextUniform(opt.min_prob, opt.max_prob));
+      Grow(g, probs, rng, opt, added.node, depth_left - 1, counter);
+    }
+  }
+}
+
+}  // namespace
+
+RandomTree MakeRandomTree(Rng& rng, const RandomTreeOptions& options) {
+  STRATLEARN_CHECK(options.depth >= 1);
+  STRATLEARN_CHECK(options.min_branch >= 1);
+  STRATLEARN_CHECK(options.max_branch >= options.min_branch);
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    RandomTree tree;
+    tree.graph.AddRoot("goal");
+    int counter = 0;
+    Grow(tree.graph, tree.probs, rng, options, tree.graph.root(),
+         options.depth, &counter);
+    if (tree.graph.SuccessArcs().size() >= 2) {
+      STRATLEARN_CHECK(tree.graph.Validate().ok());
+      STRATLEARN_CHECK(tree.probs.size() == tree.graph.num_experiments());
+      return tree;
+    }
+  }
+  // Degenerate options: fall back to a guaranteed two-leaf tree.
+  RandomTree tree;
+  NodeId root = tree.graph.AddRoot("goal");
+  for (int i = 0; i < 2; ++i) {
+    tree.graph.AddRetrieval(root, rng.NextUniform(options.min_cost,
+                                                  options.max_cost),
+                            StrFormat("d%d", i));
+    tree.probs.push_back(rng.NextUniform(options.min_prob, options.max_prob));
+  }
+  return tree;
+}
+
+RandomTree MakeFlatTree(Rng& rng, int n, const RandomTreeOptions& options) {
+  STRATLEARN_CHECK(n >= 1);
+  RandomTree tree;
+  NodeId root = tree.graph.AddRoot("goal");
+  for (int i = 0; i < n; ++i) {
+    ArcId arc = tree.graph
+                    .AddRetrieval(root, rng.NextUniform(options.min_cost,
+                                                        options.max_cost),
+                                  StrFormat("d%d", i))
+                    .arc;
+    MaybeAddOutcomeCosts(tree.graph, arc, rng, options);
+    tree.probs.push_back(rng.NextUniform(options.min_prob, options.max_prob));
+  }
+  return tree;
+}
+
+}  // namespace stratlearn

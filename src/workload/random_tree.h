@@ -1,0 +1,55 @@
+#ifndef STRATLEARN_WORKLOAD_RANDOM_TREE_H_
+#define STRATLEARN_WORKLOAD_RANDOM_TREE_H_
+
+#include <vector>
+
+#include "graph/inference_graph.h"
+#include "util/rng.h"
+
+namespace stratlearn {
+
+/// Parameters for random AOT inference-graph generation.
+struct RandomTreeOptions {
+  /// Depth of the reduction tree above the retrievals.
+  int depth = 3;
+  /// Number of children per internal node, drawn uniformly per node.
+  int min_branch = 2;
+  int max_branch = 3;
+  /// Arc cost range (uniform).
+  double min_cost = 0.5;
+  double max_cost = 2.0;
+  /// Success-probability range for leaf retrievals (uniform).
+  double min_prob = 0.05;
+  double max_prob = 0.95;
+  /// With this probability an internal node's subtree is cut short and
+  /// replaced by a retrieval leaf (varies tree shapes).
+  double early_leaf_prob = 0.25;
+  /// Probability that a reduction arc is itself a guarded experiment
+  /// (Theorem 3's internal probabilistic experiments). 0 keeps the graph
+  /// in the simple disjunctive class where Upsilon_AOT is exact.
+  double internal_experiment_prob = 0.0;
+  /// Upper bound for the Note 4 / [OG90] outcome-dependent extra costs:
+  /// each arc gets success/failure extras uniform in [0, this]. 0 (the
+  /// default) keeps the paper's basic fixed-cost model.
+  double max_outcome_cost = 0.0;
+};
+
+/// A random tree-shaped inference graph plus the true per-experiment
+/// success probabilities of its generating distribution.
+struct RandomTree {
+  InferenceGraph graph;
+  std::vector<double> probs;  // indexed by experiment index
+};
+
+/// Generates a random AOT graph. Always produces at least two leaves.
+RandomTree MakeRandomTree(Rng& rng, const RandomTreeOptions& options = {});
+
+/// Generates a flat one-level graph: root with `n` retrieval children.
+/// Costs/probabilities uniform in the option ranges. This is the shape
+/// of the horizontally-segmented scan application (Section 5.2) and the
+/// classic satisficing-ordering testbed.
+RandomTree MakeFlatTree(Rng& rng, int n, const RandomTreeOptions& options = {});
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_WORKLOAD_RANDOM_TREE_H_

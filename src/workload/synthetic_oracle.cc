@@ -1,0 +1,57 @@
+#include "workload/synthetic_oracle.h"
+
+#include "util/check.h"
+
+namespace stratlearn {
+
+IndependentOracle::IndependentOracle(std::vector<double> success_probs)
+    : probs_(std::move(success_probs)) {
+  for (double p : probs_) STRATLEARN_CHECK(p >= 0.0 && p <= 1.0);
+}
+
+Context IndependentOracle::Next(Rng& rng) {
+  Context c(probs_.size());
+  for (size_t i = 0; i < probs_.size(); ++i) {
+    c.Set(i, rng.NextBernoulli(probs_[i]));
+  }
+  return c;
+}
+
+MixtureOracle::MixtureOracle(std::vector<Profile> profiles)
+    : profiles_(std::move(profiles)) {
+  STRATLEARN_CHECK(!profiles_.empty());
+  weights_.reserve(profiles_.size());
+  for (const Profile& p : profiles_) {
+    STRATLEARN_CHECK(p.weight >= 0.0);
+    STRATLEARN_CHECK(p.success_probs.size() ==
+                     profiles_[0].success_probs.size());
+    weights_.push_back(p.weight);
+  }
+}
+
+Context MixtureOracle::Next(Rng& rng) {
+  const Profile& profile = profiles_[rng.NextDiscrete(weights_)];
+  Context c(profile.success_probs.size());
+  for (size_t i = 0; i < profile.success_probs.size(); ++i) {
+    c.Set(i, rng.NextBernoulli(profile.success_probs[i]));
+  }
+  return c;
+}
+
+size_t MixtureOracle::num_experiments() const {
+  return profiles_[0].success_probs.size();
+}
+
+std::vector<double> MixtureOracle::MarginalProbs() const {
+  double total = 0.0;
+  for (double w : weights_) total += w;
+  std::vector<double> out(num_experiments(), 0.0);
+  for (const Profile& p : profiles_) {
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] += p.weight / total * p.success_probs[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace stratlearn

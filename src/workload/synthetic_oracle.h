@@ -1,0 +1,54 @@
+#ifndef STRATLEARN_WORKLOAD_SYNTHETIC_ORACLE_H_
+#define STRATLEARN_WORKLOAD_SYNTHETIC_ORACLE_H_
+
+#include <vector>
+
+#include "workload/oracle.h"
+
+namespace stratlearn {
+
+/// Samples each experiment's outcome independently: experiment i is
+/// unblocked with probability p[i]. This realises the independence
+/// assumption under which Upsilon_AOT (and hence PAO) is exact.
+class IndependentOracle : public ContextOracle {
+ public:
+  explicit IndependentOracle(std::vector<double> success_probs);
+
+  Context Next(Rng& rng) override;
+  size_t num_experiments() const override { return probs_.size(); }
+
+  const std::vector<double>& success_probs() const { return probs_; }
+
+ private:
+  std::vector<double> probs_;
+};
+
+/// A finite mixture of independent profiles: each draw first picks a
+/// profile by weight, then samples outcomes from that profile's
+/// probability vector. With distinct profiles the per-experiment
+/// marginals become *dependent*, exercising the caveat of footnote 8 —
+/// PIB stays correct on such workloads, PAO's optimality guarantee does
+/// not apply.
+class MixtureOracle : public ContextOracle {
+ public:
+  struct Profile {
+    double weight = 1.0;
+    std::vector<double> success_probs;
+  };
+
+  explicit MixtureOracle(std::vector<Profile> profiles);
+
+  Context Next(Rng& rng) override;
+  size_t num_experiments() const override;
+
+  /// Marginal success probability of each experiment under the mixture.
+  std::vector<double> MarginalProbs() const;
+
+ private:
+  std::vector<Profile> profiles_;
+  std::vector<double> weights_;
+};
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_WORKLOAD_SYNTHETIC_ORACLE_H_

@@ -1,0 +1,212 @@
+#include "graph/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace stratlearn {
+namespace {
+
+class BuilderTest : public ::testing::Test {
+ protected:
+  void Load(const std::string& program) {
+    Status s = parser_.LoadProgram(program, &db_, &rules_);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+
+  Result<BuiltGraph> Build(const std::string& form_text,
+                           BuildOptions options = {}) {
+    Result<QueryForm> form = QueryForm::Parse(form_text, &symbols_);
+    EXPECT_TRUE(form.ok()) << form.status().ToString();
+    return BuildInferenceGraph(rules_, *form, &symbols_, options);
+  }
+
+  SymbolTable symbols_;
+  Parser parser_{&symbols_};
+  Database db_;
+  RuleBase rules_;
+};
+
+TEST_F(BuilderTest, QueryFormParsing) {
+  Result<QueryForm> f = QueryForm::Parse("instructor(b)", &symbols_);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->bound, std::vector<bool>{true});
+  Result<QueryForm> f2 = QueryForm::Parse("path(b, f)", &symbols_);
+  ASSERT_TRUE(f2.ok());
+  EXPECT_EQ(f2->bound, (std::vector<bool>{true, false}));
+  EXPECT_FALSE(QueryForm::Parse("p(x)", &symbols_).ok());
+}
+
+TEST_F(BuilderTest, FigureOneUnfolding) {
+  Load(R"(
+    instructor(X) :- prof(X).
+    instructor(X) :- grad(X).
+  )");
+  Result<BuiltGraph> built = Build("instructor(b)");
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const InferenceGraph& g = built->graph;
+  // Two reduction arcs + two retrieval arcs, as in Figure 1.
+  EXPECT_EQ(g.num_arcs(), 4u);
+  EXPECT_EQ(g.num_experiments(), 2u);
+  EXPECT_EQ(g.SuccessArcs().size(), 2u);
+  EXPECT_EQ(built->retrievals.size(), 2u);
+  EXPECT_TRUE(built->guards.empty());
+}
+
+TEST_F(BuilderTest, RetrievalSpecsBindQueryArguments) {
+  Load("instructor(X) :- prof(X).");
+  Result<BuiltGraph> built = Build("instructor(b)");
+  ASSERT_TRUE(built.ok());
+  ASSERT_EQ(built->retrievals.size(), 1u);
+  const RetrievalSpec& spec = built->retrievals.begin()->second;
+  EXPECT_EQ(symbols_.Name(spec.predicate), "prof");
+  ASSERT_EQ(spec.args.size(), 1u);
+  EXPECT_EQ(spec.args[0].source, 0);  // takes query argument 0
+  EXPECT_FALSE(spec.IsExistential());
+
+  // Evaluate against a concrete database.
+  ASSERT_TRUE(parser_.LoadProgram("prof(russ).", &db_, &rules_).ok());
+  EXPECT_TRUE(spec.Succeeds(db_, {symbols_.Intern("russ")}));
+  EXPECT_FALSE(spec.Succeeds(db_, {symbols_.Intern("fred")}));
+}
+
+TEST_F(BuilderTest, NestedRulesUnfoldRecursively) {
+  Load(R"(
+    a(X) :- b(X).
+    b(X) :- c(X).
+    b(X) :- d(X).
+  )");
+  Result<BuiltGraph> built = Build("a(b)");
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  // a->b reduction, then two branches each reduction+retrieval: 5 arcs.
+  EXPECT_EQ(built->graph.num_arcs(), 5u);
+  EXPECT_EQ(built->graph.SuccessArcs().size(), 2u);
+}
+
+TEST_F(BuilderTest, ConjunctiveExtensionalBodyBecomesChain) {
+  Load("happy(X) :- employed(X), healthy(X).");
+  Result<BuiltGraph> built = Build("happy(b)");
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  // Reduction + two retrievals in series; only the last is a success arc.
+  EXPECT_EQ(built->graph.num_arcs(), 3u);
+  EXPECT_EQ(built->graph.num_experiments(), 2u);
+  EXPECT_EQ(built->graph.SuccessArcs().size(), 1u);
+}
+
+TEST_F(BuilderTest, GuardedRuleProducesGuardExperiment) {
+  // Section 4.1's example: the rule only applies to fred.
+  Load(R"(
+    grad(X) :- enrolled(X).
+    grad(fred) :- admitted(fred, Y).
+  )");
+  Result<BuiltGraph> built = Build("grad(b)");
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  ASSERT_EQ(built->guards.size(), 1u);
+  const GuardSpec& guard = built->guards.begin()->second;
+  ASSERT_EQ(guard.equalities.size(), 1u);
+  EXPECT_EQ(guard.equalities[0].first, 0);
+  EXPECT_EQ(symbols_.Name(guard.equalities[0].second), "fred");
+  EXPECT_TRUE(guard.Satisfied({symbols_.Intern("fred")}));
+  EXPECT_FALSE(guard.Satisfied({symbols_.Intern("russ")}));
+}
+
+TEST_F(BuilderTest, ExistentialRetrievalSpec) {
+  Load("grad(fred) :- admitted(fred, Y).");
+  Result<BuiltGraph> built = Build("grad(b)");
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  ASSERT_EQ(built->retrievals.size(), 1u);
+  const RetrievalSpec& spec = built->retrievals.begin()->second;
+  EXPECT_TRUE(spec.IsExistential());
+  ASSERT_TRUE(db_.Insert(symbols_.Intern("admitted"),
+                         {symbols_.Intern("fred"), symbols_.Intern("csc")})
+                  .ok());
+  EXPECT_TRUE(spec.Succeeds(db_, {symbols_.Intern("fred")}));
+}
+
+TEST_F(BuilderTest, FreeQueryPositionsAreExistential) {
+  Load("knows(X, Y) :- met(X, Y).");
+  Result<BuiltGraph> built = Build("knows(b, f)");
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const RetrievalSpec& spec = built->retrievals.begin()->second;
+  EXPECT_TRUE(spec.IsExistential());
+  EXPECT_EQ(spec.args[0].source, 0);
+  EXPECT_EQ(spec.args[1].source, RetrievalSpec::ArgSpec::kExistential);
+}
+
+TEST_F(BuilderTest, RecursionRejected) {
+  Load(R"(
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- step(X, Y), path(Y, Y).
+  )");
+  Result<BuiltGraph> built = Build("path(b, b)");
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BuilderTest, DirectRecursionRejected) {
+  Load("p(X) :- p(X).");
+  Result<BuiltGraph> built = Build("p(b)");
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BuilderTest, JoinVariablesRejected) {
+  Load("g(X) :- p(X, Z), q(Z).");
+  Result<BuiltGraph> built = Build("g(b)");
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(BuilderTest, IntensionalTailAfterExtensionalPrefix) {
+  Load(R"(
+    senior(X) :- employed(X), veteran(X).
+    veteran(X) :- tenured(X).
+  )");
+  Result<BuiltGraph> built = Build("senior(b)");
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  // reduction, employed retrieval, veteran-subgoal unfolds: reduction +
+  // tenured retrieval.
+  EXPECT_EQ(built->graph.num_arcs(), 4u);
+}
+
+TEST_F(BuilderTest, IntensionalMidBodyRejected) {
+  Load(R"(
+    g(X) :- helper(X), plain(X).
+    helper(X) :- base(X).
+  )");
+  Result<BuiltGraph> built = Build("g(b)");
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(BuilderTest, UnknownPredicateFails) {
+  Load("a(X) :- b(X).");
+  // Query on a predicate with no rules builds a single direct retrieval.
+  Result<BuiltGraph> built = Build("zzz(b)");
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_EQ(built->graph.num_arcs(), 1u);
+}
+
+TEST_F(BuilderTest, MaxArcsEnforced) {
+  Load(R"(
+    a(X) :- b1(X). a(X) :- b2(X). a(X) :- b3(X). a(X) :- b4(X).
+  )");
+  BuildOptions options;
+  options.max_arcs = 3;
+  Result<BuiltGraph> built = Build("a(b)", options);
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(BuilderTest, CustomCosts) {
+  Load("a(X) :- b(X).");
+  BuildOptions options;
+  options.reduction_cost = 0.25;
+  options.retrieval_cost = 4.0;
+  Result<BuiltGraph> built = Build("a(b)", options);
+  ASSERT_TRUE(built.ok());
+  EXPECT_DOUBLE_EQ(built->graph.TotalCost(), 4.25);
+}
+
+}  // namespace
+}  // namespace stratlearn

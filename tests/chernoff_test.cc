@@ -1,0 +1,127 @@
+#include "stats/chernoff.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace stratlearn {
+namespace {
+
+TEST(HoeffdingTest, TailProbabilityMatchesFormula) {
+  // exp(-2 * 100 * (0.1/1)^2) = exp(-2).
+  EXPECT_NEAR(HoeffdingTailProbability(100, 0.1, 1.0), std::exp(-2.0), 1e-12);
+}
+
+TEST(HoeffdingTest, TailShrinksWithSamplesAndDeviation) {
+  EXPECT_GT(HoeffdingTailProbability(10, 0.1, 1.0),
+            HoeffdingTailProbability(100, 0.1, 1.0));
+  EXPECT_GT(HoeffdingTailProbability(100, 0.05, 1.0),
+            HoeffdingTailProbability(100, 0.2, 1.0));
+}
+
+TEST(HoeffdingTest, DeviationInvertsTail) {
+  // Tail probability at the deviation bound equals delta.
+  for (double delta : {0.2, 0.05, 0.01}) {
+    for (int64_t n : {int64_t{10}, int64_t{500}}) {
+      double beta = HoeffdingDeviation(n, delta, 2.0);
+      EXPECT_NEAR(HoeffdingTailProbability(n, beta, 2.0), delta, 1e-10);
+    }
+  }
+}
+
+TEST(HoeffdingTest, SumThresholdIsNTimesMeanDeviation) {
+  int64_t n = 77;
+  double delta = 0.03, range = 1.5;
+  EXPECT_NEAR(SumThreshold(n, delta, range),
+              static_cast<double>(n) * HoeffdingDeviation(n, delta, range),
+              1e-9);
+}
+
+TEST(HoeffdingTest, BonferroniThresholdGrowsWithK) {
+  double t1 = SumThresholdBonferroni(100, 0.05, 1.0, 1);
+  double t4 = SumThresholdBonferroni(100, 0.05, 1.0, 4);
+  EXPECT_NEAR(t1, SumThreshold(100, 0.05, 1.0), 1e-12);
+  EXPECT_GT(t4, t1);
+}
+
+TEST(HoeffdingTest, SampleSizeSufficesForDeviation) {
+  double beta = 0.05, delta = 0.01, range = 1.0;
+  int64_t n = SampleSizeForDeviation(beta, delta, range);
+  EXPECT_LE(HoeffdingDeviation(n, delta, range), beta + 1e-12);
+  // And n-1 would not suffice (tightness up to ceiling).
+  if (n > 1) {
+    EXPECT_GT(HoeffdingDeviation(n - 1, delta, range), beta - 1e-3);
+  }
+}
+
+TEST(PaoQuotaTest, Equation7Value) {
+  // m = ceil(2 (n F / eps)^2 ln(2n/delta)), n=2, F=2, eps=1, delta=0.1:
+  // 2 * 16 * ln(40) = 118.04... -> 119.
+  int64_t m = PaoRetrievalQuota(2, 2.0, 1.0, 0.1);
+  EXPECT_EQ(m, static_cast<int64_t>(
+                   std::ceil(2.0 * 16.0 * std::log(40.0))));
+}
+
+TEST(PaoQuotaTest, Equation7Monotonicity) {
+  EXPECT_GT(PaoRetrievalQuota(2, 2.0, 0.5, 0.1),
+            PaoRetrievalQuota(2, 2.0, 1.0, 0.1));
+  EXPECT_GT(PaoRetrievalQuota(2, 2.0, 1.0, 0.01),
+            PaoRetrievalQuota(2, 2.0, 1.0, 0.1));
+  EXPECT_GT(PaoRetrievalQuota(4, 2.0, 1.0, 0.1),
+            PaoRetrievalQuota(2, 2.0, 1.0, 0.1));
+  EXPECT_GT(PaoRetrievalQuota(2, 4.0, 1.0, 0.1),
+            PaoRetrievalQuota(2, 2.0, 1.0, 0.1));
+}
+
+TEST(PaoQuotaTest, ZeroFNegNeedsNoSamples) {
+  EXPECT_EQ(PaoRetrievalQuota(3, 0.0, 1.0, 0.1), 0);
+  EXPECT_EQ(PaoReachQuota(3, 0.0, 1.0, 0.1), 0);
+}
+
+TEST(PaoQuotaTest, Equation8Value) {
+  // m' = ceil(2 (sqrt(2 eps/(n F) + 1) - 1)^-2 ln(4n/delta)).
+  int64_t n = 2;
+  double f = 2.0, eps = 1.0, delta = 0.1;
+  double inner = std::sqrt(2.0 * eps / (n * f) + 1.0) - 1.0;
+  int64_t expected = static_cast<int64_t>(
+      std::ceil(2.0 / (inner * inner) * std::log(4.0 * n / delta)));
+  EXPECT_EQ(PaoReachQuota(n, f, eps, delta), expected);
+}
+
+TEST(PaoQuotaTest, Footnote11AsymptoticAgreement) {
+  // The paper's footnote 11: the leading term of m'(e) as the per-arc
+  // slack shrinks is 2 (nF/eps)^2 ln(4n/delta) — within a factor ~2 of
+  // Equation 7 (whose log is ln(2n/delta)) for small eps.
+  int64_t n = 4;
+  double f = 3.0, delta = 0.05;
+  for (double eps : {0.1, 0.01}) {
+    double ratio = static_cast<double>(PaoReachQuota(n, f, eps, delta)) /
+                   static_cast<double>(PaoRetrievalQuota(n, f, eps, delta));
+    double log_ratio = std::log(4.0 * n / delta) / std::log(2.0 * n / delta);
+    EXPECT_NEAR(ratio, log_ratio, 0.1);
+  }
+}
+
+// Empirical validation of Equation 1 on Bernoulli sums: the observed
+// violation rate of the bound must be below the bound's value.
+TEST(HoeffdingTest, EmpiricalCoverage) {
+  Rng rng(1234);
+  const int64_t n = 50;
+  const double p = 0.3;
+  const double beta = 0.15;
+  const int trials = 4000;
+  int violations = 0;
+  for (int t = 0; t < trials; ++t) {
+    double sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) sum += rng.NextBernoulli(p) ? 1.0 : 0.0;
+    if (sum / n > p + beta) ++violations;
+  }
+  double bound = HoeffdingTailProbability(n, beta, 1.0);
+  EXPECT_LE(static_cast<double>(violations) / trials, bound + 0.02);
+}
+
+}  // namespace
+}  // namespace stratlearn

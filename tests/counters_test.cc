@@ -1,0 +1,92 @@
+#include "stats/counters.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/running_stats.h"
+
+namespace stratlearn {
+namespace {
+
+TEST(ExperimentCounterTest, StartsEmpty) {
+  ExperimentCounter c;
+  EXPECT_EQ(c.attempts(), 0);
+  EXPECT_EQ(c.successes(), 0);
+  EXPECT_EQ(c.reach_attempts(), 0);
+  EXPECT_EQ(c.SuccessFrequency(0.5), 0.5);  // fallback
+  EXPECT_EQ(c.ReachFrequency(), 0.0);
+}
+
+TEST(ExperimentCounterTest, TracksAttempts) {
+  ExperimentCounter c;
+  c.RecordAttempt(true);
+  c.RecordAttempt(false);
+  c.RecordAttempt(true);
+  EXPECT_EQ(c.attempts(), 3);
+  EXPECT_EQ(c.successes(), 2);
+  EXPECT_EQ(c.failures(), 1);
+  EXPECT_DOUBLE_EQ(c.SuccessFrequency(), 2.0 / 3.0);
+}
+
+TEST(ExperimentCounterTest, BlockedAimsCountTowardReaches) {
+  ExperimentCounter c;
+  c.RecordAttempt(true);
+  c.RecordBlockedAim();
+  c.RecordBlockedAim();
+  EXPECT_EQ(c.attempts(), 1);
+  EXPECT_EQ(c.reach_attempts(), 3);
+  EXPECT_DOUBLE_EQ(c.ReachFrequency(), 1.0 / 3.0);
+}
+
+TEST(ExperimentCounterTest, ResetClears) {
+  ExperimentCounter c;
+  c.RecordAttempt(true);
+  c.RecordBlockedAim();
+  c.Reset();
+  EXPECT_EQ(c.attempts(), 0);
+  EXPECT_EQ(c.reach_attempts(), 0);
+}
+
+TEST(RunningStatsTest, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(4.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Population variance is 4; sample variance 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, StdErrShrinksWithN) {
+  RunningStats a, b;
+  for (int i = 0; i < 10; ++i) a.Add(i % 2);
+  for (int i = 0; i < 1000; ++i) b.Add(i % 2);
+  EXPECT_GT(a.stderr_mean(), b.stderr_mean());
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats s;
+  s.Add(1.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0);
+}
+
+}  // namespace
+}  // namespace stratlearn

@@ -1,0 +1,145 @@
+#include "datalog/database.h"
+
+#include <gtest/gtest.h>
+
+namespace stratlearn {
+namespace {
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  Atom MakeAtom(const std::string& pred,
+                const std::vector<std::string>& consts) {
+    Atom a;
+    a.predicate = symbols_.Intern(pred);
+    for (const auto& c : consts) {
+      a.args.push_back(Term::Constant(symbols_.Intern(c)));
+    }
+    return a;
+  }
+
+  SymbolTable symbols_;
+  Database db_;
+};
+
+TEST_F(DatabaseTest, InsertAndContains) {
+  ASSERT_TRUE(db_.Insert(MakeAtom("prof", {"russ"})).ok());
+  EXPECT_TRUE(db_.Contains(MakeAtom("prof", {"russ"})));
+  EXPECT_FALSE(db_.Contains(MakeAtom("prof", {"manolis"})));
+  EXPECT_FALSE(db_.Contains(MakeAtom("grad", {"russ"})));
+}
+
+TEST_F(DatabaseTest, DuplicateInsertIsSetSemantics) {
+  ASSERT_TRUE(db_.Insert(MakeAtom("prof", {"russ"})).ok());
+  ASSERT_TRUE(db_.Insert(MakeAtom("prof", {"russ"})).ok());
+  EXPECT_EQ(db_.CountFacts(symbols_.Intern("prof")), 1);
+}
+
+TEST_F(DatabaseTest, NonGroundInsertRejected) {
+  Atom open;
+  open.predicate = symbols_.Intern("p");
+  open.args.push_back(Term::Variable(symbols_.Intern("X")));
+  EXPECT_EQ(db_.Insert(open).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DatabaseTest, ArityMismatchRejected) {
+  ASSERT_TRUE(db_.Insert(MakeAtom("p", {"a"})).ok());
+  EXPECT_EQ(db_.Insert(MakeAtom("p", {"a", "b"})).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(DatabaseTest, CountsAndTotals) {
+  ASSERT_TRUE(db_.Insert(MakeAtom("p", {"a"})).ok());
+  ASSERT_TRUE(db_.Insert(MakeAtom("p", {"b"})).ok());
+  ASSERT_TRUE(db_.Insert(MakeAtom("q", {"a", "b"})).ok());
+  EXPECT_EQ(db_.CountFacts(symbols_.Intern("p")), 2);
+  EXPECT_EQ(db_.CountFacts(symbols_.Intern("q")), 1);
+  EXPECT_EQ(db_.CountFacts(symbols_.Intern("zzz")), 0);
+  EXPECT_EQ(db_.TotalFacts(), 3);
+  EXPECT_EQ(db_.Arity(symbols_.Intern("q")), 2);
+  EXPECT_EQ(db_.Arity(symbols_.Intern("zzz")), -1);
+}
+
+TEST_F(DatabaseTest, MatchWithBoundFirstArgument) {
+  ASSERT_TRUE(db_.Insert(MakeAtom("age", {"russ", "40"})).ok());
+  ASSERT_TRUE(db_.Insert(MakeAtom("age", {"russ", "41"})).ok());
+  ASSERT_TRUE(db_.Insert(MakeAtom("age", {"fred", "30"})).ok());
+  Atom pattern;
+  pattern.predicate = symbols_.Intern("age");
+  pattern.args = {Term::Constant(symbols_.Intern("russ")),
+                  Term::Variable(symbols_.Intern("X"))};
+  std::vector<FactTuple> out;
+  db_.Match(pattern, &out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(DatabaseTest, MatchWithUnboundFirstArgument) {
+  ASSERT_TRUE(db_.Insert(MakeAtom("age", {"russ", "40"})).ok());
+  ASSERT_TRUE(db_.Insert(MakeAtom("age", {"fred", "40"})).ok());
+  ASSERT_TRUE(db_.Insert(MakeAtom("age", {"mark", "30"})).ok());
+  Atom pattern;
+  pattern.predicate = symbols_.Intern("age");
+  pattern.args = {Term::Variable(symbols_.Intern("X")),
+                  Term::Constant(symbols_.Intern("40"))};
+  std::vector<FactTuple> out;
+  db_.Match(pattern, &out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(DatabaseTest, MatchHonoursRepeatedVariables) {
+  ASSERT_TRUE(db_.Insert(MakeAtom("edge", {"a", "a"})).ok());
+  ASSERT_TRUE(db_.Insert(MakeAtom("edge", {"a", "b"})).ok());
+  Atom pattern;
+  pattern.predicate = symbols_.Intern("edge");
+  SymbolId x = symbols_.Intern("X");
+  pattern.args = {Term::Variable(x), Term::Variable(x)};
+  std::vector<FactTuple> out;
+  db_.Match(pattern, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0][0], out[0][1]);
+}
+
+TEST_F(DatabaseTest, MatchUnknownPredicateIsEmpty) {
+  Atom pattern;
+  pattern.predicate = symbols_.Intern("ghost");
+  std::vector<FactTuple> out;
+  db_.Match(pattern, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(DatabaseTest, MatchArityMismatchIsEmpty) {
+  ASSERT_TRUE(db_.Insert(MakeAtom("p", {"a"})).ok());
+  Atom pattern;
+  pattern.predicate = symbols_.Intern("p");
+  pattern.args = {Term::Variable(symbols_.Intern("X")),
+                  Term::Variable(symbols_.Intern("Y"))};
+  std::vector<FactTuple> out;
+  db_.Match(pattern, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(DatabaseTest, PredicatesEnumerates) {
+  ASSERT_TRUE(db_.Insert(MakeAtom("p", {"a"})).ok());
+  ASSERT_TRUE(db_.Insert(MakeAtom("q", {"b"})).ok());
+  EXPECT_EQ(db_.Predicates().size(), 2u);
+}
+
+TEST_F(DatabaseTest, ClearEmpties) {
+  ASSERT_TRUE(db_.Insert(MakeAtom("p", {"a"})).ok());
+  db_.Clear();
+  EXPECT_EQ(db_.TotalFacts(), 0);
+  EXPECT_FALSE(db_.Contains(MakeAtom("p", {"a"})));
+}
+
+TEST_F(DatabaseTest, LargeRelationLookupIsCorrect) {
+  SymbolId pred = symbols_.Intern("big");
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(db_.Insert(pred, {symbols_.Intern("c" + std::to_string(i))})
+                    .ok());
+  }
+  EXPECT_EQ(db_.CountFacts(pred), 5000);
+  EXPECT_TRUE(db_.Contains(pred, {symbols_.Intern("c4999")}));
+  EXPECT_FALSE(db_.Contains(pred, {symbols_.Intern("c5000")}));
+}
+
+}  // namespace
+}  // namespace stratlearn

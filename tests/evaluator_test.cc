@@ -1,0 +1,163 @@
+#include "datalog/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace stratlearn {
+namespace {
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  void Load(const std::string& program) {
+    Status s = parser_.LoadProgram(program, &db_, &rules_);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+
+  Result<ProofResult> Prove(const std::string& query,
+                            EvaluatorOptions options = {}) {
+    Result<Atom> atom = parser_.ParseAtom(query);
+    EXPECT_TRUE(atom.ok()) << atom.status().ToString();
+    Evaluator evaluator(&db_, &rules_, options);
+    return evaluator.Prove(*atom, &symbols_);
+  }
+
+  bool Proved(const std::string& query) {
+    Result<ProofResult> r = Prove(query);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r->proved;
+  }
+
+  SymbolTable symbols_;
+  Parser parser_{&symbols_};
+  Database db_;
+  RuleBase rules_;
+};
+
+TEST_F(EvaluatorTest, DirectFactLookup) {
+  Load("prof(russ).");
+  EXPECT_TRUE(Proved("prof(russ)"));
+  EXPECT_FALSE(Proved("prof(manolis)"));
+}
+
+TEST_F(EvaluatorTest, FigureOneKnowledgeBase) {
+  Load(R"(
+    instructor(X) :- prof(X).
+    instructor(X) :- grad(X).
+    grad(manolis).
+    prof(russ).
+  )");
+  EXPECT_TRUE(Proved("instructor(manolis)"));
+  EXPECT_TRUE(Proved("instructor(russ)"));
+  EXPECT_FALSE(Proved("instructor(fred)"));
+}
+
+TEST_F(EvaluatorTest, ExistentialQuery) {
+  Load("age(russ, 40). age(fred, 30).");
+  EXPECT_TRUE(Proved("age(russ, X)"));
+  EXPECT_FALSE(Proved("age(manolis, X)"));
+}
+
+TEST_F(EvaluatorTest, ConjunctiveBodyWithJoin) {
+  Load(R"(
+    grandparent(X, Y) :- parent(X, Z), parent(Z, Y).
+    parent(ann, bob).
+    parent(bob, cho).
+    parent(bob, dee).
+  )");
+  EXPECT_TRUE(Proved("grandparent(ann, cho)"));
+  EXPECT_TRUE(Proved("grandparent(ann, dee)"));
+  EXPECT_FALSE(Proved("grandparent(bob, bob)"));
+  EXPECT_TRUE(Proved("grandparent(ann, W)"));
+}
+
+TEST_F(EvaluatorTest, RecursiveRulesWithinDepthBudget) {
+  Load(R"(
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+    edge(a, b). edge(b, c). edge(c, d).
+  )");
+  EXPECT_TRUE(Proved("path(a, d)"));
+  EXPECT_FALSE(Proved("path(d, a)"));
+}
+
+TEST_F(EvaluatorTest, SatisficingStopsAtFirstProof) {
+  Load(R"(
+    instructor(X) :- prof(X).
+    instructor(X) :- grad(X).
+    prof(russ).
+    grad(russ).
+  )");
+  Result<ProofResult> r = Prove("instructor(russ)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->answers_found, 1);  // stops after the first proof
+}
+
+TEST_F(EvaluatorTest, FirstKAnswersVariant) {
+  Load(R"(
+    parent_of(X, Y) :- father(X, Y).
+    parent_of(X, Y) :- mother(X, Y).
+    father(kid, dad).
+    mother(kid, mom).
+  )");
+  EvaluatorOptions options;
+  options.max_answers = 2;
+  Result<ProofResult> r = Prove("parent_of(kid, Y)", options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->answers_found, 2);
+}
+
+TEST_F(EvaluatorTest, GuardedRuleOnlyFiresForItsConstant) {
+  // Section 4.1's example rule shape.
+  Load(R"(
+    grad(X) :- enrolled(X).
+    grad(fred) :- admitted(fred, Y).
+    admitted(fred, csc).
+  )");
+  EXPECT_TRUE(Proved("grad(fred)"));
+  EXPECT_FALSE(Proved("grad(russ)"));
+}
+
+TEST_F(EvaluatorTest, StepBudgetExhaustion) {
+  Load(R"(
+    loop(X) :- loop(X).
+    loop(X) :- base(X).
+  )");
+  EvaluatorOptions options;
+  options.max_depth = 1000000;  // force the step budget to trigger first
+  options.max_steps = 200;
+  Result<ProofResult> r = Prove("loop(a)", options);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(EvaluatorTest, DepthBudgetTerminatesRecursion) {
+  Load("loop(X) :- loop(X).");
+  EvaluatorOptions options;
+  options.max_depth = 16;
+  Result<ProofResult> r = Prove("loop(a)", options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->proved);
+}
+
+TEST_F(EvaluatorTest, CountsReductionsAndRetrievals) {
+  Load(R"(
+    instructor(X) :- prof(X).
+    instructor(X) :- grad(X).
+    grad(manolis).
+  )");
+  Result<ProofResult> r = Prove("instructor(manolis)");
+  ASSERT_TRUE(r.ok());
+  // Tried prof (1 retrieval, failed), then grad (1 retrieval, succeeded),
+  // two rule reductions.
+  EXPECT_EQ(r->reductions, 2);
+  EXPECT_GE(r->retrievals, 2);
+}
+
+TEST_F(EvaluatorTest, PropositionalChaining) {
+  Load("wet :- raining. raining.");
+  EXPECT_TRUE(Proved("wet"));
+}
+
+}  // namespace
+}  // namespace stratlearn

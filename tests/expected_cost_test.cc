@@ -1,0 +1,166 @@
+#include "core/expected_cost.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/examples.h"
+#include "util/math_util.h"
+#include "workload/random_tree.h"
+#include "workload/synthetic_oracle.h"
+
+namespace stratlearn {
+namespace {
+
+TEST(ExpectedCostTest, PaperFigureOneValues) {
+  // Section 2 computes the pair {3.7, 2.8} for p_prof = 0.6 and
+  // p_grad = 0.15. N.b. the paper's paragraph swaps the two labels (an
+  // erratum): by its own per-context costs (c(Theta_1, I_2) = 2 for the
+  // 60%-weight russ context), the prof-first Theta_1 costs
+  // 2 + (1 - 0.6) * 2 = 2.8 and the grad-first Theta_2 costs
+  // 2 + (1 - 0.15) * 2 = 3.7. See EXPERIMENTS.md (E1).
+  FigureOneGraph g = MakeFigureOne();
+  std::vector<double> probs = {0.6, 0.15};
+  Strategy theta1 = Strategy::FromLeafOrder(g.graph, {g.d_p, g.d_g});
+  Strategy theta2 = Strategy::FromLeafOrder(g.graph, {g.d_g, g.d_p});
+  EXPECT_NEAR(ExactExpectedCost(g.graph, theta1, probs), 2.8, 1e-12);
+  EXPECT_NEAR(ExactExpectedCost(g.graph, theta2, probs), 3.7, 1e-12);
+  // Direct weighted-context check: 0.6*2 + 0.15*4 + 0.25*4 = 2.8.
+  EXPECT_NEAR(0.6 * 2 + 0.15 * 4 + 0.25 * 4, 2.8, 1e-12);
+}
+
+TEST(ExpectedCostTest, LeafOnlyMatchesEnumerationOnFigures) {
+  FigureTwoGraph g = MakeFigureTwo();
+  std::vector<double> probs = {0.3, 0.5, 0.2, 0.8};
+  for (const Strategy& theta :
+       {Strategy::DepthFirst(g.graph),
+        Strategy::FromLeafOrder(g.graph, {g.d_d, g.d_c, g.d_b, g.d_a}),
+        Strategy::FromLeafOrder(g.graph, {g.d_b, g.d_d, g.d_a, g.d_c})}) {
+    double fast = LeafOnlyExpectedCost(g.graph, theta, probs);
+    double exact = ExactExpectedCost(g.graph, theta, probs);
+    double enumerated = EnumeratedExpectedCost(g.graph, theta, probs);
+    EXPECT_TRUE(AlmostEqual(fast, enumerated)) << theta.ToString(g.graph);
+    EXPECT_TRUE(AlmostEqual(exact, enumerated)) << theta.ToString(g.graph);
+  }
+}
+
+TEST(ExpectedCostTest, ZeroProbabilityLeafNeverTerminatesEarly) {
+  FigureOneGraph g = MakeFigureOne();
+  Strategy theta1 = Strategy::FromLeafOrder(g.graph, {g.d_p, g.d_g});
+  // p = 0 everywhere: always explores everything -> total cost.
+  EXPECT_DOUBLE_EQ(ExactExpectedCost(g.graph, theta1, {0.0, 0.0}), 4.0);
+  // p = 1 on the first leaf: stops after 2 arcs.
+  EXPECT_DOUBLE_EQ(ExactExpectedCost(g.graph, theta1, {1.0, 0.3}), 2.0);
+}
+
+// Property: on random leaf-only trees, the O(|A|) fast path, the general
+// DP, and exhaustive enumeration all agree for random strategies.
+class LeafOnlyCostProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LeafOnlyCostProperty, AllMethodsAgree) {
+  Rng rng(1000 + GetParam());
+  RandomTreeOptions options;
+  options.depth = 2 + GetParam() % 3;
+  RandomTree tree = MakeRandomTree(rng, options);
+  if (tree.graph.num_experiments() > 14) GTEST_SKIP() << "too large to enumerate";
+
+  std::vector<ArcId> leaves = tree.graph.SuccessArcs();
+  for (int trial = 0; trial < 3; ++trial) {
+    rng.Shuffle(leaves);
+    Strategy theta = Strategy::FromLeafOrder(tree.graph, leaves);
+    double fast = LeafOnlyExpectedCost(tree.graph, theta, tree.probs);
+    double exact = ExactExpectedCost(tree.graph, theta, tree.probs);
+    double enumerated = EnumeratedExpectedCost(tree.graph, theta, tree.probs);
+    EXPECT_TRUE(AlmostEqual(fast, enumerated, 1e-7))
+        << "fast=" << fast << " enum=" << enumerated;
+    EXPECT_TRUE(AlmostEqual(exact, enumerated, 1e-7))
+        << "exact=" << exact << " enum=" << enumerated;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTrees, LeafOnlyCostProperty,
+                         ::testing::Range(0, 25));
+
+// Property: with internal experiments (guards), the general DP still
+// matches enumeration.
+class InternalExperimentCostProperty : public ::testing::TestWithParam<int> {
+};
+
+TEST_P(InternalExperimentCostProperty, ExactMatchesEnumeration) {
+  Rng rng(2000 + GetParam());
+  RandomTreeOptions options;
+  options.depth = 3;
+  options.internal_experiment_prob = 0.5;
+  options.min_branch = 2;
+  options.max_branch = 2;
+  RandomTree tree = MakeRandomTree(rng, options);
+  if (tree.graph.num_experiments() > 14) GTEST_SKIP() << "too large";
+
+  std::vector<ArcId> leaves = tree.graph.SuccessArcs();
+  for (int trial = 0; trial < 3; ++trial) {
+    rng.Shuffle(leaves);
+    Strategy theta = Strategy::FromLeafOrder(tree.graph, leaves);
+    double exact = ExactExpectedCost(tree.graph, theta, tree.probs);
+    double enumerated = EnumeratedExpectedCost(tree.graph, theta, tree.probs);
+    EXPECT_TRUE(AlmostEqual(exact, enumerated, 1e-7))
+        << "exact=" << exact << " enum=" << enumerated
+        << " arcs=" << tree.graph.num_arcs();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGuardedTrees, InternalExperimentCostProperty,
+                         ::testing::Range(0, 25));
+
+TEST(ExpectedCostTest, ChainGraphExactCost) {
+  // root -r(1)-> n -e1(2, p=0.5)-> n2 -e2(4, p=0.8, success).
+  InferenceGraph g;
+  NodeId root = g.AddRoot("goal");
+  auto n = g.AddChild(root, "n", ArcKind::kReduction, 1.0, "r");
+  auto n2 = g.AddChild(n.node, "n2", ArcKind::kRetrieval, 2.0, "e1",
+                       /*is_experiment=*/true);
+  g.AddChild(n2.node, "[e2]", ArcKind::kRetrieval, 4.0, "e2",
+             /*is_experiment=*/true, /*is_success=*/true);
+  Strategy theta = Strategy::DepthFirst(g);
+  // Cost = 1 + 2 + P(e1)*4 = 3 + 0.5*4 = 5.
+  EXPECT_NEAR(ExactExpectedCost(g, theta, {0.5, 0.8}), 5.0, 1e-12);
+  EXPECT_NEAR(EnumeratedExpectedCost(g, theta, {0.5, 0.8}), 5.0, 1e-12);
+}
+
+TEST(ExpectedCostTest, MonteCarloConvergesToExact) {
+  FigureOneGraph g = MakeFigureOne();
+  std::vector<double> probs = {0.6, 0.15};
+  Strategy theta1 = Strategy::FromLeafOrder(g.graph, {g.d_p, g.d_g});
+  IndependentOracle oracle(probs);
+  Rng rng(77);
+  double mc = MonteCarloExpectedCost(g.graph, theta1, oracle, 200000, rng);
+  EXPECT_NEAR(mc, 2.8, 0.02);
+}
+
+TEST(BruteForceOptimalTest, FigureOnePicksProfFirst) {
+  FigureOneGraph g = MakeFigureOne();
+  Result<OptimalResult> best = BruteForceOptimal(g.graph, {0.6, 0.15});
+  ASSERT_TRUE(best.ok());
+  EXPECT_NEAR(best->cost, 2.8, 1e-12);
+  EXPECT_EQ(best->strategy.LeafOrder(g.graph),
+            (std::vector<ArcId>{g.d_p, g.d_g}));
+}
+
+TEST(BruteForceOptimalTest, RejectsTooManyLeaves) {
+  Rng rng(3);
+  RandomTree tree = MakeFlatTree(rng, 12);
+  Result<OptimalResult> r = BruteForceOptimal(tree.graph, tree.probs, 8);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExpectedCostTest, IsLeafOnlyDetection) {
+  FigureTwoGraph g = MakeFigureTwo();
+  EXPECT_TRUE(IsLeafOnlyExperiments(g.graph));
+  InferenceGraph guarded;
+  NodeId root = guarded.AddRoot("goal");
+  auto sub = guarded.AddChild(root, "s", ArcKind::kReduction, 1.0, "g",
+                              /*is_experiment=*/true);
+  guarded.AddRetrieval(sub.node, 1.0, "d");
+  EXPECT_FALSE(IsLeafOnlyExperiments(guarded));
+}
+
+}  // namespace
+}  // namespace stratlearn

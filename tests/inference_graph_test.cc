@@ -1,0 +1,138 @@
+#include "graph/inference_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/examples.h"
+#include "util/math_util.h"
+
+namespace stratlearn {
+namespace {
+
+TEST(InferenceGraphTest, FigureOneShape) {
+  FigureOneGraph g = MakeFigureOne();
+  EXPECT_EQ(g.graph.num_nodes(), 5u);  // root, prof, grad, two boxes
+  EXPECT_EQ(g.graph.num_arcs(), 4u);
+  EXPECT_EQ(g.graph.num_experiments(), 2u);
+  EXPECT_TRUE(g.graph.Validate().ok());
+  // Experiments are D_p then D_g, in construction order.
+  EXPECT_EQ(g.graph.experiments()[0], g.d_p);
+  EXPECT_EQ(g.graph.experiments()[1], g.d_g);
+  // Reductions are deterministic.
+  EXPECT_EQ(g.graph.ExperimentIndex(g.r_p), -1);
+  EXPECT_EQ(g.graph.ExperimentIndex(g.d_p), 0);
+}
+
+TEST(InferenceGraphTest, FigureOneCostFunctions) {
+  FigureOneGraph g = MakeFigureOne();
+  // Note 5's worked values: f*(R_p) = f(R_p) + f(D_p) = 2, etc.
+  EXPECT_DOUBLE_EQ(g.graph.FStar(g.r_p), 2.0);
+  EXPECT_DOUBLE_EQ(g.graph.FStar(g.r_g), 2.0);
+  EXPECT_DOUBLE_EQ(g.graph.FStar(g.d_p), 1.0);
+  // F_not[D_g] = f(R_p) + f(D_p) = 2; F_not[D_p] = f(R_g) + f(D_g) = 2.
+  EXPECT_DOUBLE_EQ(g.graph.FNeg(g.d_g), 2.0);
+  EXPECT_DOUBLE_EQ(g.graph.FNeg(g.d_p), 2.0);
+  EXPECT_DOUBLE_EQ(g.graph.TotalCost(), 4.0);
+}
+
+TEST(InferenceGraphTest, FigureTwoShape) {
+  FigureTwoGraph g = MakeFigureTwo();
+  EXPECT_EQ(g.graph.num_arcs(), 10u);
+  EXPECT_EQ(g.graph.num_experiments(), 4u);
+  EXPECT_TRUE(g.graph.Validate().ok());
+}
+
+TEST(InferenceGraphTest, FigureTwoCostFunctions) {
+  FigureTwoGraph g = MakeFigureTwo();
+  // f*(R_gs) covers R_gs, R_sb, D_b, R_st, R_tc, D_c, R_td, D_d = 8 arcs.
+  EXPECT_DOUBLE_EQ(g.graph.FStar(g.r_gs), 8.0);
+  EXPECT_DOUBLE_EQ(g.graph.FStar(g.r_st), 5.0);
+  EXPECT_DOUBLE_EQ(g.graph.FStar(g.r_tc), 2.0);
+  EXPECT_DOUBLE_EQ(g.graph.FStar(g.d_d), 1.0);
+  // F_not[D_d]: total 10 minus Pi(D_d) = {R_gs, R_st, R_td} (3) minus
+  // f*(D_d) = 1 -> 6.
+  EXPECT_DOUBLE_EQ(g.graph.FNeg(g.d_d), 6.0);
+}
+
+TEST(InferenceGraphTest, PiIsRootPath) {
+  FigureTwoGraph g = MakeFigureTwo();
+  std::vector<ArcId> pi = g.graph.Pi(g.d_c);
+  ASSERT_EQ(pi.size(), 3u);
+  EXPECT_EQ(pi[0], g.r_gs);
+  EXPECT_EQ(pi[1], g.r_st);
+  EXPECT_EQ(pi[2], g.r_tc);
+  EXPECT_TRUE(g.graph.Pi(g.r_ga).empty());
+}
+
+TEST(InferenceGraphTest, SubtreeArcs) {
+  FigureTwoGraph g = MakeFigureTwo();
+  std::vector<ArcId> sub = g.graph.SubtreeArcs(g.r_st);
+  // R_st, R_tc, D_c, R_td, D_d.
+  EXPECT_EQ(sub.size(), 5u);
+  EXPECT_EQ(sub[0], g.r_st);
+}
+
+TEST(InferenceGraphTest, ArcDepth) {
+  FigureTwoGraph g = MakeFigureTwo();
+  EXPECT_EQ(g.graph.ArcDepth(g.r_ga), 0);
+  EXPECT_EQ(g.graph.ArcDepth(g.d_a), 1);
+  EXPECT_EQ(g.graph.ArcDepth(g.d_c), 3);
+}
+
+TEST(InferenceGraphTest, AllFStarMatchesPerArc) {
+  FigureTwoGraph g = MakeFigureTwo();
+  std::vector<double> all = g.graph.AllFStar();
+  for (ArcId a = 0; a < g.graph.num_arcs(); ++a) {
+    EXPECT_TRUE(AlmostEqual(all[a], g.graph.FStar(a))) << "arc " << a;
+  }
+}
+
+TEST(InferenceGraphTest, RetrievalAndSuccessArcs) {
+  FigureTwoGraph g = MakeFigureTwo();
+  std::vector<ArcId> retrievals = g.graph.RetrievalArcs();
+  std::vector<ArcId> successes = g.graph.SuccessArcs();
+  EXPECT_EQ(retrievals.size(), 4u);
+  EXPECT_EQ(successes, retrievals);  // all retrievals end in boxes here
+}
+
+TEST(InferenceGraphTest, GuardedReductionIsExperiment) {
+  InferenceGraph g;
+  NodeId root = g.AddRoot("goal");
+  auto guarded = g.AddChild(root, "sub", ArcKind::kReduction, 1.0, "guard",
+                            /*is_experiment=*/true);
+  g.AddRetrieval(guarded.node, 1.0, "d");
+  EXPECT_EQ(g.num_experiments(), 2u);
+  EXPECT_EQ(g.ExperimentIndex(guarded.arc), 0);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(InferenceGraphTest, ToDotContainsStructure) {
+  FigureOneGraph g = MakeFigureOne();
+  std::string dot = g.graph.ToDot("GA");
+  EXPECT_NE(dot.find("digraph GA"), std::string::npos);
+  EXPECT_NE(dot.find("R_p"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(InferenceGraphTest, ValidateCatchesNoRoot) {
+  InferenceGraph g;
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(InferenceGraphDeathTest, SuccessNodesCannotHaveChildren) {
+  InferenceGraph g;
+  NodeId root = g.AddRoot("goal");
+  auto box = g.AddRetrieval(root, 1.0, "d");
+  EXPECT_DEATH(g.AddChild(box.node, "x", ArcKind::kReduction, 1.0, "r"),
+               "success");
+}
+
+TEST(InferenceGraphDeathTest, NonPositiveCostRejected) {
+  InferenceGraph g;
+  NodeId root = g.AddRoot("goal");
+  EXPECT_DEATH(g.AddChild(root, "x", ArcKind::kReduction, 0.0, "r"),
+               "positive");
+}
+
+}  // namespace
+}  // namespace stratlearn

@@ -1,0 +1,199 @@
+// Cross-cutting invariants checked by randomized sweeps: properties that
+// tie modules together rather than belonging to any single one.
+
+#include <gtest/gtest.h>
+
+#include "core/expected_cost.h"
+#include "core/pao.h"
+#include "core/transformations.h"
+#include "core/upsilon.h"
+#include "engine/query_processor.h"
+#include "graph/examples.h"
+#include "util/math_util.h"
+#include "workload/random_tree.h"
+#include "workload/synthetic_oracle.h"
+
+namespace stratlearn {
+namespace {
+
+/// Produces a random VALID (possibly eager) arc order: repeatedly picks
+/// any arc whose tail is already reachable.
+Strategy RandomValidStrategy(const InferenceGraph& graph, Rng& rng) {
+  std::vector<char> used(graph.num_arcs(), 0);
+  std::vector<char> visited(graph.num_nodes(), 0);
+  visited[graph.root()] = 1;
+  std::vector<ArcId> order;
+  while (order.size() < graph.num_arcs()) {
+    std::vector<ArcId> frontier;
+    for (ArcId a = 0; a < graph.num_arcs(); ++a) {
+      if (!used[a] && visited[graph.arc(a).from]) frontier.push_back(a);
+    }
+    ArcId pick = frontier[rng.NextBounded(frontier.size())];
+    used[pick] = 1;
+    visited[graph.arc(pick).to] = 1;
+    order.push_back(pick);
+  }
+  Result<Strategy> strategy = Strategy::FromArcOrder(graph, order);
+  EXPECT_TRUE(strategy.ok());
+  return *strategy;
+}
+
+class StrategyFuzz : public ::testing::TestWithParam<int> {};
+
+// Lazy dominance: canonicalising a strategy (deferring prefix arcs until
+// their subtree is visited) never increases the cost on ANY context.
+TEST_P(StrategyFuzz, CanonicalizationDominatesPointwise) {
+  Rng rng(20000 + GetParam());
+  RandomTreeOptions options;
+  options.depth = 2 + GetParam() % 2;
+  options.internal_experiment_prob = (GetParam() % 2) ? 0.3 : 0.0;
+  RandomTree tree = MakeRandomTree(rng, options);
+  size_t n = tree.graph.num_experiments();
+  if (n > 12) GTEST_SKIP();
+
+  Strategy eager = RandomValidStrategy(tree.graph, rng);
+  Strategy lazy = eager.Canonicalized(tree.graph);
+  QueryProcessor qp(&tree.graph);
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    Context ctx = Context::FromMask(n, mask);
+    EXPECT_LE(qp.Cost(lazy, ctx), qp.Cost(eager, ctx) + 1e-9)
+        << "mask=" << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTrees, StrategyFuzz, ::testing::Range(0, 25));
+
+// Every execution's cost is bounded by the graph's total (max) cost, and
+// success occurs iff some success arc's whole path is unblocked.
+TEST(EngineInvariantsTest, CostBoundAndSuccessCharacterisation) {
+  Rng rng(3);
+  for (int t = 0; t < 20; ++t) {
+    RandomTreeOptions options;
+    options.internal_experiment_prob = 0.25;
+    options.max_outcome_cost = 2.0;
+    RandomTree tree = MakeRandomTree(rng, options);
+    size_t n = tree.graph.num_experiments();
+    if (n > 12) continue;
+    Strategy theta = Strategy::DepthFirst(tree.graph);
+    QueryProcessor qp(&tree.graph);
+    for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+      Context ctx = Context::FromMask(n, mask);
+      Trace trace = qp.Execute(theta, ctx);
+      EXPECT_LE(trace.cost, tree.graph.TotalCost() + 1e-9);
+      bool reachable_success = false;
+      for (ArcId s : tree.graph.SuccessArcs()) {
+        bool open = true;
+        for (ArcId a : tree.graph.Pi(s)) {
+          int e = tree.graph.arc(a).experiment;
+          if (e >= 0 && !ctx.Unblocked(e)) open = false;
+        }
+        int e = tree.graph.arc(s).experiment;
+        if (e >= 0 && !ctx.Unblocked(e)) open = false;
+        if (open) reachable_success = true;
+      }
+      EXPECT_EQ(trace.success, reachable_success) << "mask=" << mask;
+    }
+  }
+}
+
+TEST(ContextInvariantsTest, MaskRoundTrip) {
+  Rng rng(5);
+  for (int t = 0; t < 100; ++t) {
+    size_t n = 1 + rng.NextBounded(20);
+    uint64_t mask = rng.NextUint64() & ((uint64_t{1} << n) - 1);
+    Context ctx = Context::FromMask(n, mask);
+    EXPECT_EQ(ctx.EncodeMask(), mask);
+    EXPECT_EQ(ctx.num_experiments(), n);
+    Context same = Context::FromMask(n, mask);
+    EXPECT_TRUE(ctx == same);
+  }
+}
+
+// Upsilon's output cost is invariant under permuting sibling insertion
+// order (determinism up to ties) and always <= the default strategy's.
+TEST(UpsilonInvariantsTest, NeverWorseThanDefault) {
+  Rng rng(7);
+  for (int t = 0; t < 30; ++t) {
+    RandomTree tree = MakeRandomTree(rng);
+    Result<UpsilonResult> upsilon = UpsilonAot(tree.graph, tree.probs);
+    ASSERT_TRUE(upsilon.ok());
+    double default_cost = ExactExpectedCost(
+        tree.graph, Strategy::DepthFirst(tree.graph), tree.probs);
+    EXPECT_LE(upsilon->expected_cost, default_cost + 1e-9);
+  }
+}
+
+// Swapping twice restores the strategy; the swap's Lambda bounds the
+// per-context |Delta| on every context (the Equation 5 range soundness).
+TEST(TransformationInvariantsTest, RangeBoundsDeltaEverywhere) {
+  Rng rng(9);
+  for (int t = 0; t < 15; ++t) {
+    RandomTree tree = MakeRandomTree(rng);
+    size_t n = tree.graph.num_experiments();
+    if (n > 10) continue;
+    Strategy theta = Strategy::DepthFirst(tree.graph);
+    QueryProcessor qp(&tree.graph);
+    for (const SiblingSwap& swap : AllSiblingSwaps(tree.graph)) {
+      Strategy alt = ApplySwap(tree.graph, theta, swap);
+      EXPECT_EQ(ApplySwap(tree.graph, alt, swap), theta);
+      double conservative = SwapRange(tree.graph, swap);
+      double tight = SwapRange(tree.graph, theta, swap);
+      EXPECT_LE(tight, conservative + 1e-9);
+      for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+        Context ctx = Context::FromMask(n, mask);
+        double delta = qp.Cost(theta, ctx) - qp.Cost(alt, ctx);
+        EXPECT_LE(std::fabs(delta), tight + 1e-9)
+            << swap.ToString(tree.graph) << " mask=" << mask;
+      }
+    }
+  }
+}
+
+// PAO quota vectors respond monotonically to every parameter, including
+// on graphs with outcome costs (MaxCost-based F_not).
+TEST(PaoInvariantsTest, QuotaMonotonicity) {
+  Rng rng(11);
+  RandomTreeOptions options;
+  options.max_outcome_cost = 1.0;
+  RandomTree tree = MakeRandomTree(rng, options);
+  PaoOptions base;
+  base.epsilon = 1.0;
+  base.delta = 0.1;
+  std::vector<int64_t> q0 = Pao::ComputeQuotas(tree.graph, base);
+
+  PaoOptions tighter_eps = base;
+  tighter_eps.epsilon = 0.5;
+  PaoOptions tighter_delta = base;
+  tighter_delta.delta = 0.01;
+  std::vector<int64_t> q1 = Pao::ComputeQuotas(tree.graph, tighter_eps);
+  std::vector<int64_t> q2 = Pao::ComputeQuotas(tree.graph, tighter_delta);
+  for (size_t i = 0; i < q0.size(); ++i) {
+    EXPECT_GE(q1[i], q0[i]);
+    EXPECT_GE(q2[i], q0[i]);
+  }
+  // Theorem 3 quotas are finite and positive wherever Theorem 2's are.
+  PaoOptions t3 = base;
+  t3.mode = PaoOptions::Mode::kTheorem3;
+  std::vector<int64_t> q3 = Pao::ComputeQuotas(tree.graph, t3);
+  for (size_t i = 0; i < q0.size(); ++i) {
+    EXPECT_EQ(q3[i] > 0, q0[i] > 0);
+  }
+}
+
+// Monte-Carlo and exact expected costs agree on mixtures when fed the
+// same distribution through different paths (oracle vs marginals) only
+// when the mixture is actually independent.
+TEST(OracleInvariantsTest, IndependentMixtureMatchesMarginalCost) {
+  FigureTwoGraph g = MakeFigureTwo();
+  // A mixture of two identical profiles IS independent.
+  std::vector<double> p = {0.3, 0.6, 0.2, 0.7};
+  MixtureOracle oracle({{1.0, p}, {2.0, p}});
+  Strategy theta = Strategy::DepthFirst(g.graph);
+  Rng rng(13);
+  double mc = MonteCarloExpectedCost(g.graph, theta, oracle, 200000, rng);
+  double exact = ExactExpectedCost(g.graph, theta, oracle.MarginalProbs());
+  EXPECT_NEAR(mc, exact, 0.03);
+}
+
+}  // namespace
+}  // namespace stratlearn

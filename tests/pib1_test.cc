@@ -1,0 +1,145 @@
+#include "core/pib1.h"
+
+#include <gtest/gtest.h>
+
+#include "core/expected_cost.h"
+#include "graph/examples.h"
+#include "stats/chernoff.h"
+#include "workload/synthetic_oracle.h"
+
+namespace stratlearn {
+namespace {
+
+/// Feeds `n` oracle contexts through the current strategy into `pib1`.
+void Feed(Pib1& pib1, const InferenceGraph& graph, ContextOracle& oracle,
+          Rng& rng, int n) {
+  QueryProcessor qp(&graph);
+  for (int i = 0; i < n; ++i) {
+    pib1.Observe(qp.Execute(pib1.current(), oracle.Next(rng)));
+  }
+}
+
+TEST(Pib1Test, ApprovesGoodSwitch) {
+  // Current strategy prof-first, but grad succeeds far more often: the
+  // swap to grad-first should be approved.
+  FigureOneGraph g = MakeFigureOne();
+  Strategy theta1 = Strategy::FromLeafOrder(g.graph, {g.d_p, g.d_g});
+  Pib1 pib1(&g.graph, theta1, AllSiblingSwaps(g.graph)[0], {.delta = 0.05});
+  IndependentOracle oracle({0.05, 0.9});
+  Rng rng(1);
+  Feed(pib1, g.graph, oracle, rng, 500);
+  EXPECT_TRUE(pib1.ShouldSwitch());
+  EXPECT_GT(pib1.delta_sum(), 0.0);
+  EXPECT_EQ(pib1.samples(), 500);
+}
+
+TEST(Pib1Test, RejectsBadSwitch) {
+  // Current strategy is already the good one.
+  FigureOneGraph g = MakeFigureOne();
+  Strategy theta1 = Strategy::FromLeafOrder(g.graph, {g.d_p, g.d_g});
+  Pib1 pib1(&g.graph, theta1, AllSiblingSwaps(g.graph)[0], {.delta = 0.05});
+  IndependentOracle oracle({0.9, 0.05});
+  Rng rng(2);
+  Feed(pib1, g.graph, oracle, rng, 500);
+  EXPECT_FALSE(pib1.ShouldSwitch());
+}
+
+TEST(Pib1Test, NoDecisionWithoutSamples) {
+  FigureOneGraph g = MakeFigureOne();
+  Strategy theta1 = Strategy::FromLeafOrder(g.graph, {g.d_p, g.d_g});
+  Pib1 pib1(&g.graph, theta1, AllSiblingSwaps(g.graph)[0]);
+  EXPECT_FALSE(pib1.ShouldSwitch());
+  EXPECT_EQ(pib1.Threshold(), 0.0);
+}
+
+TEST(Pib1Test, RangeIsFStarSum) {
+  FigureOneGraph g = MakeFigureOne();
+  Strategy theta1 = Strategy::FromLeafOrder(g.graph, {g.d_p, g.d_g});
+  Pib1 pib1(&g.graph, theta1, AllSiblingSwaps(g.graph)[0]);
+  EXPECT_DOUBLE_EQ(pib1.range(), 4.0);  // f*(R_p) + f*(R_g)
+}
+
+TEST(Pib1Test, FalsePositiveRateBelowDelta) {
+  // When the alternative is strictly worse, the switch must be approved
+  // with probability < delta over independent runs.
+  FigureOneGraph g = MakeFigureOne();
+  Strategy theta1 = Strategy::FromLeafOrder(g.graph, {g.d_p, g.d_g});
+  const double delta = 0.1;
+  int false_positives = 0;
+  const int runs = 200;
+  Rng seed_rng(42);
+  for (int r = 0; r < runs; ++r) {
+    Pib1 pib1(&g.graph, theta1, AllSiblingSwaps(g.graph)[0],
+              {.delta = delta});
+    IndependentOracle oracle({0.6, 0.3});  // prof-first is optimal
+    Rng rng = seed_rng.Fork();
+    QueryProcessor qp(&g.graph);
+    bool switched = false;
+    for (int i = 0; i < 200 && !switched; ++i) {
+      pib1.Observe(qp.Execute(pib1.current(), oracle.Next(rng)));
+      switched = pib1.ShouldSwitch();
+    }
+    if (switched) ++false_positives;
+  }
+  EXPECT_LE(static_cast<double>(false_positives) / runs, delta);
+}
+
+TEST(ThreeCounterPib1Test, EquationThreeArithmetic) {
+  ThreeCounterPib1 counter(2.0, 2.0, 0.05);
+  for (int i = 0; i < 10; ++i) counter.RecordSolutionUnderSecondOnly();
+  for (int i = 0; i < 2; ++i) counter.RecordSolutionUnderFirst();
+  counter.RecordNoSolution();
+  EXPECT_EQ(counter.m(), 13);
+  EXPECT_EQ(counter.k_first(), 2);
+  EXPECT_EQ(counter.k_second(), 10);
+  // Delta sum = 10*2 - 2*2 = 16; threshold = 4*sqrt(13/2 ln 20).
+  EXPECT_DOUBLE_EQ(counter.DeltaSum(), 16.0);
+  EXPECT_DOUBLE_EQ(counter.Threshold(), SumThreshold(13, 0.05, 4.0));
+  EXPECT_EQ(counter.ShouldSwitch(), 16.0 >= counter.Threshold());
+}
+
+TEST(ThreeCounterPib1Test, MatchesGenericPib1OnFigureOne) {
+  // On G_A the literal three-counter version and the generic trace-based
+  // version accumulate identical sums and thresholds.
+  FigureOneGraph g = MakeFigureOne();
+  Strategy theta1 = Strategy::FromLeafOrder(g.graph, {g.d_p, g.d_g});
+  Pib1 generic(&g.graph, theta1, AllSiblingSwaps(g.graph)[0],
+               {.delta = 0.05});
+  ThreeCounterPib1 counters(g.graph.FStar(g.r_p), g.graph.FStar(g.r_g),
+                            0.05);
+  IndependentOracle oracle({0.3, 0.5});
+  Rng rng(7);
+  QueryProcessor qp(&g.graph);
+  for (int i = 0; i < 300; ++i) {
+    Context ctx = oracle.Next(rng);
+    Trace trace = qp.Execute(theta1, ctx);
+    generic.Observe(trace);
+    if (trace.success && trace.first_success_arc == g.d_p) {
+      counters.RecordSolutionUnderFirst();
+    } else if (trace.success && trace.first_success_arc == g.d_g) {
+      counters.RecordSolutionUnderSecondOnly();
+    } else {
+      counters.RecordNoSolution();
+    }
+    ASSERT_DOUBLE_EQ(generic.delta_sum(), counters.DeltaSum()) << "i=" << i;
+    ASSERT_DOUBLE_EQ(generic.Threshold(), counters.Threshold());
+    ASSERT_EQ(generic.ShouldSwitch(), counters.ShouldSwitch());
+  }
+}
+
+TEST(Pib1Test, SwitchDecisionIsCorrectDirection) {
+  // After a confident switch, the alternative really is cheaper.
+  FigureOneGraph g = MakeFigureOne();
+  Strategy theta1 = Strategy::FromLeafOrder(g.graph, {g.d_p, g.d_g});
+  std::vector<double> probs = {0.1, 0.8};
+  Pib1 pib1(&g.graph, theta1, AllSiblingSwaps(g.graph)[0], {.delta = 0.02});
+  IndependentOracle oracle(probs);
+  Rng rng(11);
+  Feed(pib1, g.graph, oracle, rng, 1000);
+  ASSERT_TRUE(pib1.ShouldSwitch());
+  EXPECT_LT(ExactExpectedCost(g.graph, pib1.alternative(), probs),
+            ExactExpectedCost(g.graph, pib1.current(), probs));
+}
+
+}  // namespace
+}  // namespace stratlearn

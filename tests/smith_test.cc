@@ -1,0 +1,128 @@
+#include "core/smith.h"
+
+#include <gtest/gtest.h>
+
+#include "core/expected_cost.h"
+#include "core/upsilon.h"
+#include "datalog/parser.h"
+#include "util/string_util.h"
+#include "workload/datalog_oracle.h"
+
+namespace stratlearn {
+namespace {
+
+class SmithTest : public ::testing::Test {
+ protected:
+  /// Loads the Section 2 DB_2 scenario: 2000 prof facts, 500 grad facts.
+  void LoadDbTwo() {
+    ASSERT_TRUE(parser_
+                    .LoadProgram(
+                        "instructor(X) :- prof(X)."
+                        "instructor(X) :- grad(X).",
+                        &db_, &rules_)
+                    .ok());
+    SymbolId prof = symbols_.Intern("prof");
+    SymbolId grad = symbols_.Intern("grad");
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_TRUE(
+          db_.Insert(prof, {symbols_.Intern(StrFormat("prof%d", i))}).ok());
+    }
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE(
+          db_.Insert(grad, {symbols_.Intern(StrFormat("grad%d", i))}).ok());
+    }
+    Result<QueryForm> form = QueryForm::Parse("instructor(b)", &symbols_);
+    ASSERT_TRUE(form.ok());
+    Result<BuiltGraph> built = BuildInferenceGraph(rules_, *form, &symbols_);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    built_ = std::make_unique<BuiltGraph>(std::move(*built));
+  }
+
+  SymbolTable symbols_;
+  Parser parser_{&symbols_};
+  Database db_;
+  RuleBase rules_;
+  std::unique_ptr<BuiltGraph> built_;
+};
+
+TEST_F(SmithTest, FactCountRatiosMatchPaper) {
+  LoadDbTwo();
+  // With the default normaliser (max count), prof -> 1.0, grad -> 0.25:
+  // the paper's 4x likelihood ratio.
+  std::vector<double> est = SmithFactCountEstimates(*built_, db_);
+  ASSERT_EQ(est.size(), 2u);
+  EXPECT_DOUBLE_EQ(est[0] / est[1], 4.0);
+  EXPECT_DOUBLE_EQ(est[0], 1.0);
+  EXPECT_DOUBLE_EQ(est[1], 0.25);
+}
+
+TEST_F(SmithTest, ExplicitUniverseNormalisation) {
+  LoadDbTwo();
+  std::vector<double> est = SmithFactCountEstimates(*built_, db_, 10000);
+  EXPECT_DOUBLE_EQ(est[0], 0.2);
+  EXPECT_DOUBLE_EQ(est[1], 0.05);
+}
+
+TEST_F(SmithTest, SmithPicksProfFirstRegardlessOfWorkload) {
+  LoadDbTwo();
+  std::vector<double> est = SmithFactCountEstimates(*built_, db_);
+  Result<UpsilonResult> smith = UpsilonAot(built_->graph, est);
+  ASSERT_TRUE(smith.ok());
+  // Smith's strategy tries prof before grad (its leaf visits prof first).
+  std::vector<ArcId> order = smith->strategy.LeafOrder(built_->graph);
+  ASSERT_EQ(order.size(), 2u);
+  auto pred_of = [&](ArcId arc) {
+    return symbols_.Name(built_->retrievals.at(arc).predicate);
+  };
+  EXPECT_EQ(pred_of(order[0]), "prof");
+  EXPECT_EQ(pred_of(order[1]), "grad");
+}
+
+TEST_F(SmithTest, MinorsWorkloadMakesSmithSuboptimal) {
+  // Section 2's punchline: a query stream about minors (grads only) makes
+  // the fact-count strategy strictly worse than the true optimum.
+  LoadDbTwo();
+  QueryWorkload workload;
+  // Every query is about a grad student; prof retrievals always fail.
+  for (int i = 0; i < 10; ++i) {
+    workload.entries.push_back(
+        {{symbols_.Intern(StrFormat("grad%d", i))}, 1.0});
+  }
+  DatalogOracle oracle(built_.get(), &db_, workload);
+  std::vector<double> truth = oracle.TrueMarginalProbs();
+  EXPECT_DOUBLE_EQ(truth[0], 0.0);  // prof never succeeds
+  EXPECT_DOUBLE_EQ(truth[1], 1.0);  // grad always succeeds
+
+  std::vector<double> smith_est = SmithFactCountEstimates(*built_, db_);
+  Result<UpsilonResult> smith = UpsilonAot(built_->graph, smith_est);
+  Result<UpsilonResult> optimal = UpsilonAot(built_->graph, truth);
+  ASSERT_TRUE(smith.ok());
+  ASSERT_TRUE(optimal.ok());
+  double smith_cost =
+      ExactExpectedCost(built_->graph, smith->strategy, truth);
+  double optimal_cost =
+      ExactExpectedCost(built_->graph, optimal->strategy, truth);
+  EXPECT_DOUBLE_EQ(smith_cost, 4.0);    // always tries prof first in vain
+  EXPECT_DOUBLE_EQ(optimal_cost, 2.0);  // straight to grad
+  EXPECT_GT(smith_cost, optimal_cost);
+}
+
+TEST_F(SmithTest, GuardExperimentsGetNeutralEstimate) {
+  ASSERT_TRUE(parser_
+                  .LoadProgram(
+                      "grad(X) :- enrolled(X)."
+                      "grad(fred) :- admitted(fred, Y).",
+                      &db_, &rules_)
+                  .ok());
+  Result<QueryForm> form = QueryForm::Parse("grad(b)", &symbols_);
+  ASSERT_TRUE(form.ok());
+  Result<BuiltGraph> built = BuildInferenceGraph(rules_, *form, &symbols_);
+  ASSERT_TRUE(built.ok());
+  std::vector<double> est = SmithFactCountEstimates(*built, db_);
+  ArcId guard_arc = built->guards.begin()->first;
+  int guard_exp = built->graph.ExperimentIndex(guard_arc);
+  EXPECT_DOUBLE_EQ(est[guard_exp], 0.5);
+}
+
+}  // namespace
+}  // namespace stratlearn

@@ -1,0 +1,108 @@
+#include "engine/strategy.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/examples.h"
+
+namespace stratlearn {
+namespace {
+
+TEST(StrategyTest, DepthFirstMatchesEquationFour) {
+  FigureTwoGraph g = MakeFigureTwo();
+  Strategy theta = Strategy::DepthFirst(g.graph);
+  // Theta_ABCD = <R_ga D_a R_gs R_sb D_b R_st R_tc D_c R_td D_d>.
+  std::vector<ArcId> expected = {g.r_ga, g.d_a, g.r_gs, g.r_sb, g.d_b,
+                                 g.r_st, g.r_tc, g.d_c, g.r_td, g.d_d};
+  EXPECT_EQ(theta.arcs(), expected);
+}
+
+TEST(StrategyTest, FromArcOrderValidates) {
+  FigureOneGraph g = MakeFigureOne();
+  // Theta_1 = <R_p D_p R_g D_g>.
+  Result<Strategy> ok =
+      Strategy::FromArcOrder(g.graph, {g.r_p, g.d_p, g.r_g, g.d_g});
+  EXPECT_TRUE(ok.ok());
+  // D_p before R_p: tail not yet reachable.
+  Result<Strategy> bad =
+      Strategy::FromArcOrder(g.graph, {g.d_p, g.r_p, g.r_g, g.d_g});
+  EXPECT_FALSE(bad.ok());
+  // Missing arc.
+  EXPECT_FALSE(Strategy::FromArcOrder(g.graph, {g.r_p, g.d_p, g.r_g}).ok());
+  // Duplicate arc.
+  EXPECT_FALSE(
+      Strategy::FromArcOrder(g.graph, {g.r_p, g.d_p, g.r_g, g.r_g}).ok());
+}
+
+TEST(StrategyTest, FromLeafOrderBuildsLazyStrategy) {
+  FigureTwoGraph g = MakeFigureTwo();
+  Strategy theta = Strategy::FromLeafOrder(g.graph,
+                                           {g.d_d, g.d_a, g.d_b, g.d_c});
+  // D_d first requires R_gs R_st R_td first.
+  std::vector<ArcId> expected = {g.r_gs, g.r_st, g.r_td, g.d_d, g.r_ga,
+                                 g.d_a,  g.r_sb, g.d_b,  g.r_tc, g.d_c};
+  EXPECT_EQ(theta.arcs(), expected);
+  EXPECT_TRUE(Strategy::FromArcOrder(g.graph, theta.arcs()).ok());
+}
+
+TEST(StrategyTest, LeafOrderRoundTrips) {
+  FigureTwoGraph g = MakeFigureTwo();
+  std::vector<ArcId> order = {g.d_c, g.d_a, g.d_d, g.d_b};
+  Strategy theta = Strategy::FromLeafOrder(g.graph, order);
+  EXPECT_EQ(theta.LeafOrder(g.graph), order);
+}
+
+TEST(StrategyTest, PathsDecompositionMatchesNoteThree) {
+  FigureTwoGraph g = MakeFigureTwo();
+  Strategy theta = Strategy::DepthFirst(g.graph);
+  auto paths = theta.Paths(g.graph);
+  // <<R_ga D_a>, <R_gs R_sb D_b>, <R_st R_tc D_c>, <R_td D_d>>.
+  ASSERT_EQ(paths.size(), 4u);
+  EXPECT_EQ(paths[0], (std::vector<ArcId>{g.r_ga, g.d_a}));
+  EXPECT_EQ(paths[1], (std::vector<ArcId>{g.r_gs, g.r_sb, g.d_b}));
+  EXPECT_EQ(paths[2], (std::vector<ArcId>{g.r_st, g.r_tc, g.d_c}));
+  EXPECT_EQ(paths[3], (std::vector<ArcId>{g.r_td, g.d_d}));
+}
+
+TEST(StrategyTest, CanonicalizedIsIdempotentOnLazyStrategies) {
+  FigureTwoGraph g = MakeFigureTwo();
+  Strategy theta = Strategy::DepthFirst(g.graph);
+  EXPECT_EQ(theta.Canonicalized(g.graph), theta);
+}
+
+TEST(StrategyTest, CanonicalizedMakesEagerStrategiesLazy) {
+  FigureOneGraph g = MakeFigureOne();
+  // Eager: both reductions first.
+  Result<Strategy> eager =
+      Strategy::FromArcOrder(g.graph, {g.r_p, g.r_g, g.d_p, g.d_g});
+  ASSERT_TRUE(eager.ok());
+  Strategy lazy = eager->Canonicalized(g.graph);
+  EXPECT_EQ(lazy.arcs(), (std::vector<ArcId>{g.r_p, g.d_p, g.r_g, g.d_g}));
+}
+
+TEST(StrategyTest, ToStringUsesLabels) {
+  FigureOneGraph g = MakeFigureOne();
+  Strategy theta = Strategy::DepthFirst(g.graph);
+  EXPECT_EQ(theta.ToString(g.graph), "<R_p D_p R_g D_g>");
+}
+
+TEST(StrategyTest, FromLeafOrderCoversDeadEnds) {
+  // A graph with a dead-end reduction (no retrieval below).
+  InferenceGraph g;
+  NodeId root = g.AddRoot("goal");
+  ArcId leaf = g.AddRetrieval(root, 1.0, "d").arc;
+  g.AddChild(root, "dead", ArcKind::kReduction, 1.0, "r_dead");
+  Strategy theta = Strategy::FromLeafOrder(g, {leaf});
+  EXPECT_EQ(theta.size(), g.num_arcs());
+  EXPECT_TRUE(Strategy::FromArcOrder(g, theta.arcs()).ok());
+}
+
+TEST(StrategyTest, EqualityComparesArcOrder) {
+  FigureOneGraph g = MakeFigureOne();
+  Strategy a = Strategy::FromLeafOrder(g.graph, {g.d_p, g.d_g});
+  Strategy b = Strategy::FromLeafOrder(g.graph, {g.d_g, g.d_p});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, Strategy::FromLeafOrder(g.graph, {g.d_p, g.d_g}));
+}
+
+}  // namespace
+}  // namespace stratlearn

@@ -1,0 +1,95 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+#include "util/math_util.h"
+
+namespace stratlearn {
+namespace {
+
+TEST(SplitTest, Basic) {
+  std::vector<std::string> parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyPieces) {
+  std::vector<std::string> parts = Split(",a,,b,", ',');
+  ASSERT_EQ(parts.size(), 5u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[4], "");
+}
+
+TEST(SplitTest, EmptyInput) {
+  std::vector<std::string> parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(TrimTest, RemovesWhitespace) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("instructor", "inst"));
+  EXPECT_FALSE(StartsWith("inst", "instructor"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrFormatTest, LongOutput) {
+  std::string long_arg(500, 'z');
+  std::string out = StrFormat("[%s]", long_arg.c_str());
+  EXPECT_EQ(out.size(), 502u);
+}
+
+TEST(FormatDoubleTest, TrimsZeros) {
+  EXPECT_EQ(FormatDouble(3.7), "3.7");
+  EXPECT_EQ(FormatDouble(2.0), "2");
+  EXPECT_EQ(FormatDouble(0.012, 2), "0.012");
+}
+
+TEST(MathUtilTest, AlmostEqual) {
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(AlmostEqual(1.0, 1.001));
+  EXPECT_TRUE(AlmostEqual(1e12, 1e12 + 1.0, 1e-9));
+}
+
+TEST(MathUtilTest, ClampProbability) {
+  EXPECT_EQ(ClampProbability(-0.5), 0.0);
+  EXPECT_EQ(ClampProbability(1.5), 1.0);
+  EXPECT_EQ(ClampProbability(0.25), 0.25);
+}
+
+TEST(MathUtilTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(10, 3), 4);
+  EXPECT_EQ(CeilDiv(9, 3), 3);
+  EXPECT_EQ(CeilDiv(1, 100), 1);
+}
+
+TEST(MathUtilTest, Factorial) {
+  EXPECT_EQ(Factorial(0), 1u);
+  EXPECT_EQ(Factorial(1), 1u);
+  EXPECT_EQ(Factorial(5), 120u);
+  EXPECT_EQ(Factorial(10), 3628800u);
+}
+
+}  // namespace
+}  // namespace stratlearn

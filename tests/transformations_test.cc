@@ -1,0 +1,92 @@
+#include "core/transformations.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/examples.h"
+
+namespace stratlearn {
+namespace {
+
+TEST(SiblingSwapTest, AllSwapsEnumerated) {
+  FigureOneGraph ga = MakeFigureOne();
+  // Only the root has two children.
+  std::vector<SiblingSwap> swaps = AllSiblingSwaps(ga.graph);
+  ASSERT_EQ(swaps.size(), 1u);
+  EXPECT_EQ(swaps[0].arc_a, ga.r_p);
+  EXPECT_EQ(swaps[0].arc_b, ga.r_g);
+
+  FigureTwoGraph gb = MakeFigureTwo();
+  // Root: (R_ga, R_gs); S: (R_sb, R_st); T: (R_tc, R_td).
+  EXPECT_EQ(AllSiblingSwaps(gb.graph).size(), 3u);
+}
+
+TEST(SiblingSwapTest, SwapTurnsTheta1IntoTheta2) {
+  FigureOneGraph g = MakeFigureOne();
+  Strategy theta1 = Strategy::FromLeafOrder(g.graph, {g.d_p, g.d_g});
+  SiblingSwap swap = AllSiblingSwaps(g.graph)[0];
+  Strategy theta2 = ApplySwap(g.graph, theta1, swap);
+  EXPECT_EQ(theta2.LeafOrder(g.graph), (std::vector<ArcId>{g.d_g, g.d_p}));
+  // Applying twice restores the original.
+  EXPECT_EQ(ApplySwap(g.graph, theta2, swap), theta1);
+}
+
+TEST(SiblingSwapTest, PaperSectionThreeTwoExamples) {
+  FigureTwoGraph g = MakeFigureTwo();
+  Strategy theta_abcd = Strategy::DepthFirst(g.graph);
+
+  // tau_{d,c}: swap R_td and R_tc -> Theta_ABDC.
+  SiblingSwap tau_dc{g.graph.arc(g.r_tc).from, g.r_tc, g.r_td};
+  Strategy theta_abdc = ApplySwap(g.graph, theta_abcd, tau_dc);
+  EXPECT_EQ(theta_abdc.LeafOrder(g.graph),
+            (std::vector<ArcId>{g.d_a, g.d_b, g.d_d, g.d_c}));
+
+  // Swapping R_sb with R_st -> Theta_ACDB.
+  SiblingSwap tau_bt{g.graph.arc(g.r_sb).from, g.r_sb, g.r_st};
+  Strategy theta_acdb = ApplySwap(g.graph, theta_abcd, tau_bt);
+  EXPECT_EQ(theta_acdb.LeafOrder(g.graph),
+            (std::vector<ArcId>{g.d_a, g.d_c, g.d_d, g.d_b}));
+}
+
+TEST(SiblingSwapTest, SwapRangeIsFStarSum) {
+  FigureTwoGraph g = MakeFigureTwo();
+  // Lambda[Theta_ABCD, Theta_ABDC] = f*(R_tc) + f*(R_td) = 2 + 2 = 4.
+  SiblingSwap tau_dc{g.graph.arc(g.r_tc).from, g.r_tc, g.r_td};
+  EXPECT_DOUBLE_EQ(SwapRange(g.graph, tau_dc), 4.0);
+  // Lambda[Theta_ABCD, Theta_ACDB] = f*(R_sb) + f*(R_st) = 2 + 5 = 7.
+  SiblingSwap tau_bt{g.graph.arc(g.r_sb).from, g.r_sb, g.r_st};
+  EXPECT_DOUBLE_EQ(SwapRange(g.graph, tau_bt), 7.0);
+}
+
+TEST(SiblingSwapTest, SwapOnInterleavedStrategyPreservesOtherLeaves) {
+  FigureTwoGraph g = MakeFigureTwo();
+  // Interleaved order: d_b, d_a, d_c, d_d.
+  Strategy theta =
+      Strategy::FromLeafOrder(g.graph, {g.d_b, g.d_a, g.d_c, g.d_d});
+  // Swap the S subtree (b, c, d) with the A subtree (a).
+  SiblingSwap swap{g.graph.root(), g.r_ga, g.r_gs};
+  Strategy swapped = ApplySwap(g.graph, theta, swap);
+  // S leaves currently occupy positions 0, 2, 3; A leaf position 1.
+  // S came first, so A's leaves move in front: a, b, c, d.
+  EXPECT_EQ(swapped.LeafOrder(g.graph),
+            (std::vector<ArcId>{g.d_a, g.d_b, g.d_c, g.d_d}));
+}
+
+TEST(SiblingSwapTest, DeadEndSwapIsNoOp) {
+  InferenceGraph g;
+  NodeId root = g.AddRoot("goal");
+  ArcId dead = g.AddChild(root, "dead", ArcKind::kReduction, 1.0, "r").arc;
+  ArcId leaf = g.AddRetrieval(root, 1.0, "d").arc;
+  Strategy theta = Strategy::FromLeafOrder(g, {leaf});
+  SiblingSwap swap{root, dead, leaf};
+  // The dead subtree has no success leaves: leaf order is unchanged.
+  EXPECT_EQ(ApplySwap(g, theta, swap), theta);
+}
+
+TEST(SiblingSwapTest, ToStringNamesArcs) {
+  FigureOneGraph g = MakeFigureOne();
+  SiblingSwap swap = AllSiblingSwaps(g.graph)[0];
+  EXPECT_EQ(swap.ToString(g.graph), "swap(R_p, R_g)");
+}
+
+}  // namespace
+}  // namespace stratlearn

@@ -1,0 +1,104 @@
+#include "datalog/unify.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace stratlearn {
+namespace {
+
+class UnifyTest : public ::testing::Test {
+ protected:
+  Atom ParseAtom(const std::string& text) {
+    Result<Atom> a = parser_.ParseAtom(text);
+    EXPECT_TRUE(a.ok()) << a.status().ToString();
+    return *a;
+  }
+
+  SymbolTable symbols_;
+  Parser parser_{&symbols_};
+};
+
+TEST_F(UnifyTest, GroundToVariableBinds) {
+  Substitution s;
+  ASSERT_TRUE(UnifyAtoms(ParseAtom("p(a)"), ParseAtom("p(X)"), &s));
+  EXPECT_EQ(s.Apply(ParseAtom("q(X)")).ToString(symbols_), "q(a)");
+}
+
+TEST_F(UnifyTest, MismatchedConstantsFail) {
+  Substitution s;
+  EXPECT_FALSE(UnifyAtoms(ParseAtom("p(a)"), ParseAtom("p(b)"), &s));
+}
+
+TEST_F(UnifyTest, DifferentPredicatesFail) {
+  Substitution s;
+  EXPECT_FALSE(UnifyAtoms(ParseAtom("p(a)"), ParseAtom("q(a)"), &s));
+}
+
+TEST_F(UnifyTest, DifferentArityFails) {
+  Substitution s;
+  EXPECT_FALSE(UnifyAtoms(ParseAtom("p(a)"), ParseAtom("p(a, b)"), &s));
+}
+
+TEST_F(UnifyTest, VariableToVariableChains) {
+  Substitution s;
+  ASSERT_TRUE(UnifyAtoms(ParseAtom("p(X, X)"), ParseAtom("p(Y, a)"), &s));
+  // X ~ Y and X ~ a, so both walk to a.
+  EXPECT_EQ(s.Apply(ParseAtom("q(X, Y)")).ToString(symbols_), "q(a, a)");
+}
+
+TEST_F(UnifyTest, RepeatedVariableConflictFails) {
+  Substitution s;
+  EXPECT_FALSE(UnifyAtoms(ParseAtom("p(X, X)"), ParseAtom("p(a, b)"), &s));
+}
+
+TEST_F(UnifyTest, BindRejectsConflict) {
+  SymbolTable& t = symbols_;
+  Substitution s;
+  SymbolId x = t.Intern("X");
+  EXPECT_TRUE(s.Bind(x, Term::Constant(t.Intern("a"))));
+  EXPECT_TRUE(s.Bind(x, Term::Constant(t.Intern("a"))));  // idempotent
+  EXPECT_FALSE(s.Bind(x, Term::Constant(t.Intern("b"))));
+}
+
+TEST_F(UnifyTest, WalkUnboundVariableIsIdentity) {
+  Substitution s;
+  Term v = Term::Variable(symbols_.Intern("Z"));
+  EXPECT_EQ(s.Walk(v), v);
+}
+
+TEST_F(UnifyTest, ApplyLeavesUnboundVariables) {
+  Substitution s;
+  ASSERT_TRUE(UnifyAtoms(ParseAtom("p(a)"), ParseAtom("p(X)"), &s));
+  Atom out = s.Apply(ParseAtom("q(X, Y)"));
+  EXPECT_TRUE(out.args[0].is_constant());
+  EXPECT_TRUE(out.args[1].is_variable());
+}
+
+TEST_F(UnifyTest, RenameClauseFreshensVariables) {
+  Result<Program> p =
+      parser_.ParseProgram("path(X, Y) :- edge(X, Z), path(Z, Y).");
+  ASSERT_TRUE(p.ok());
+  Clause r1 = RenameClause(p->rules[0], 1, &symbols_);
+  Clause r2 = RenameClause(p->rules[0], 2, &symbols_);
+  // Same shape, disjoint variables.
+  EXPECT_NE(r1.head.args[0].symbol, r2.head.args[0].symbol);
+  EXPECT_NE(r1.head.args[0].symbol, p->rules[0].head.args[0].symbol);
+  // Constants untouched.
+  Result<Program> q = parser_.ParseProgram("grad(fred) :- admitted(fred, X).");
+  ASSERT_TRUE(q.ok());
+  Clause renamed = RenameClause(q->rules[0], 7, &symbols_);
+  EXPECT_EQ(renamed.head.args[0].symbol, symbols_.Intern("fred"));
+  EXPECT_TRUE(renamed.body[0].args[1].is_variable());
+}
+
+TEST_F(UnifyTest, UnifyIsSymmetricInBindings) {
+  Substitution s1, s2;
+  ASSERT_TRUE(UnifyAtoms(ParseAtom("p(X, b)"), ParseAtom("p(a, Y)"), &s1));
+  ASSERT_TRUE(UnifyAtoms(ParseAtom("p(a, Y)"), ParseAtom("p(X, b)"), &s2));
+  EXPECT_EQ(s1.Apply(ParseAtom("q(X, Y)")).ToString(symbols_), "q(a, b)");
+  EXPECT_EQ(s2.Apply(ParseAtom("q(X, Y)")).ToString(symbols_), "q(a, b)");
+}
+
+}  // namespace
+}  // namespace stratlearn

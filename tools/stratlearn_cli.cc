@@ -1,0 +1,342 @@
+// stratlearn command-line tool.
+//
+// Subcommands:
+//   query <program.dl> <atom>
+//       Prove a query with the reference SLD evaluator.
+//   dot <program.dl> <query-form>
+//       Unfold the rules for a query form and print the inference graph
+//       as Graphviz DOT.
+//   learn-pib <program.dl> <query-form> <workload.txt> [options]
+//       Watch the query stream with PIB and print the learned strategy.
+//   learn-pao <program.dl> <query-form> <workload.txt> [options]
+//       Run PAO sampling and print the (probably approximately) optimal
+//       strategy.
+//   eval <program.dl> <query-form> <workload.txt> [strategy-file]
+//       Report expected costs: the given (or default) strategy, the
+//       Smith fact-count baseline, and the workload optimum.
+//
+// Options: --delta=D --epsilon=E --queries=N --theorem3 --seed=S
+//          --strategy-out=FILE
+//
+// Program files are Datalog ("instructor(X) :- prof(X). prof(russ).").
+// Workload files hold one query per line: "<weight> <arg1> [<arg2> ...]";
+// '#' starts a comment.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/expected_cost.h"
+#include "core/pao.h"
+#include "core/pib.h"
+#include "core/smith.h"
+#include "core/upsilon.h"
+#include "datalog/evaluator.h"
+#include "datalog/parser.h"
+#include "engine/query_processor.h"
+#include "graph/serialization.h"
+#include "util/string_util.h"
+#include "workload/datalog_oracle.h"
+
+namespace stratlearn {
+namespace {
+
+struct CliOptions {
+  double delta = 0.05;
+  double epsilon = 0.5;
+  int64_t queries = 5000;
+  bool theorem3 = false;
+  uint64_t seed = 1;
+  std::string strategy_out;
+  std::vector<std::string> positional;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+CliOptions ParseArgs(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (StartsWith(arg, "--delta=")) {
+      options.delta = std::atof(arg.c_str() + 8);
+    } else if (StartsWith(arg, "--epsilon=")) {
+      options.epsilon = std::atof(arg.c_str() + 10);
+    } else if (StartsWith(arg, "--queries=")) {
+      options.queries = std::atoll(arg.c_str() + 10);
+    } else if (arg == "--theorem3") {
+      options.theorem3 = true;
+    } else if (StartsWith(arg, "--seed=")) {
+      options.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (StartsWith(arg, "--strategy-out=")) {
+      options.strategy_out = arg.substr(15);
+    } else {
+      options.positional.push_back(arg);
+    }
+  }
+  return options;
+}
+
+/// Shared loading pipeline for the graph-based subcommands.
+struct Loaded {
+  SymbolTable symbols;
+  Database db;
+  RuleBase rules;
+  BuiltGraph built;
+  QueryWorkload workload;
+};
+
+Result<std::unique_ptr<Loaded>> Load(const std::string& program_path,
+                                     const std::string& form_text,
+                                     const std::string& workload_path) {
+  auto loaded = std::make_unique<Loaded>();
+  Result<std::string> program = ReadFile(program_path);
+  if (!program.ok()) return program.status();
+  Parser parser(&loaded->symbols);
+  STRATLEARN_RETURN_IF_ERROR(
+      parser.LoadProgram(*program, &loaded->db, &loaded->rules));
+
+  Result<QueryForm> form = QueryForm::Parse(form_text, &loaded->symbols);
+  if (!form.ok()) return form.status();
+  Result<BuiltGraph> built =
+      BuildInferenceGraph(loaded->rules, *form, &loaded->symbols);
+  if (!built.ok()) return built.status();
+  loaded->built = std::move(*built);
+
+  if (!workload_path.empty()) {
+    Result<std::string> workload_text = ReadFile(workload_path);
+    if (!workload_text.ok()) return workload_text.status();
+    int line_number = 0;
+    for (const std::string& raw : Split(*workload_text, '\n')) {
+      ++line_number;
+      std::string clipped = raw.substr(0, raw.find('#'));
+      std::string_view line = Trim(clipped);
+      if (line.empty()) continue;
+      std::vector<std::string> fields;
+      for (const std::string& f : Split(line, ' ')) {
+        if (!Trim(f).empty()) fields.emplace_back(Trim(f));
+      }
+      if (fields.size() < 2) {
+        return Status::InvalidArgument(StrFormat(
+            "workload line %d needs '<weight> <args...>'", line_number));
+      }
+      QueryWorkload::Entry entry;
+      entry.weight = std::atof(fields[0].c_str());
+      if (entry.weight <= 0.0) {
+        return Status::InvalidArgument(
+            StrFormat("workload line %d has non-positive weight",
+                      line_number));
+      }
+      for (size_t i = 1; i < fields.size(); ++i) {
+        entry.args.push_back(loaded->symbols.Intern(fields[i]));
+      }
+      if (entry.args.size() != loaded->built.form.bound.size()) {
+        return Status::InvalidArgument(StrFormat(
+            "workload line %d has %zu args; the query form expects %zu "
+            "(free positions still take a placeholder constant)",
+            line_number, entry.args.size(),
+            loaded->built.form.bound.size()));
+      }
+      loaded->workload.entries.push_back(std::move(entry));
+    }
+    if (loaded->workload.entries.empty()) {
+      return Status::InvalidArgument("workload file has no entries");
+    }
+  }
+  return loaded;
+}
+
+void PrintStrategyReport(const Loaded& loaded, const char* label,
+                         const Strategy& strategy,
+                         const std::vector<double>& truth) {
+  std::printf("%-14s %s\n", label,
+              strategy.ToString(loaded.built.graph).c_str());
+  std::printf("%-14s expected cost %.4f\n", "",
+              ExactExpectedCost(loaded.built.graph, strategy, truth));
+}
+
+Status MaybeWriteStrategy(const CliOptions& options,
+                          const Strategy& strategy) {
+  if (options.strategy_out.empty()) return Status::OK();
+  std::ofstream out(options.strategy_out);
+  if (!out) {
+    return Status::Internal("cannot write '" + options.strategy_out + "'");
+  }
+  out << strategy.Serialize() << "\n";
+  std::printf("strategy written to %s\n", options.strategy_out.c_str());
+  return Status::OK();
+}
+
+int CmdQuery(const CliOptions& options) {
+  if (options.positional.size() != 2) {
+    return Fail("usage: stratlearn_cli query <program.dl> <atom>");
+  }
+  SymbolTable symbols;
+  Parser parser(&symbols);
+  Database db;
+  RuleBase rules;
+  Result<std::string> program = ReadFile(options.positional[0]);
+  if (!program.ok()) return Fail(program.status().ToString());
+  Status loaded = parser.LoadProgram(*program, &db, &rules);
+  if (!loaded.ok()) return Fail(loaded.ToString());
+  Result<Atom> atom = parser.ParseAtom(options.positional[1]);
+  if (!atom.ok()) return Fail(atom.status().ToString());
+  Evaluator evaluator(&db, &rules);
+  Result<ProofResult> proof = evaluator.Prove(*atom, &symbols);
+  if (!proof.ok()) return Fail(proof.status().ToString());
+  std::printf("%s: %s (%lld reductions, %lld retrievals)\n",
+              atom->ToString(symbols).c_str(),
+              proof->proved ? "proved" : "not provable",
+              static_cast<long long>(proof->reductions),
+              static_cast<long long>(proof->retrievals));
+  return proof->proved ? 0 : 2;
+}
+
+int CmdDot(const CliOptions& options) {
+  if (options.positional.size() != 2) {
+    return Fail("usage: stratlearn_cli dot <program.dl> <query-form>");
+  }
+  Result<std::unique_ptr<Loaded>> loaded =
+      Load(options.positional[0], options.positional[1], "");
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  std::printf("%s", (*loaded)->built.graph.ToDot("inference_graph").c_str());
+  return 0;
+}
+
+int CmdLearnPib(const CliOptions& options) {
+  if (options.positional.size() != 3) {
+    return Fail(
+        "usage: stratlearn_cli learn-pib <program.dl> <query-form> "
+        "<workload.txt> [--delta= --queries= --strategy-out= --seed=]");
+  }
+  Result<std::unique_ptr<Loaded>> loaded_or = Load(
+      options.positional[0], options.positional[1], options.positional[2]);
+  if (!loaded_or.ok()) return Fail(loaded_or.status().ToString());
+  Loaded& loaded = **loaded_or;
+
+  DatalogOracle oracle(&loaded.built, &loaded.db, loaded.workload);
+  std::vector<double> truth = oracle.TrueMarginalProbs();
+  Strategy initial = Strategy::DepthFirst(loaded.built.graph);
+  PrintStrategyReport(loaded, "initial:", initial, truth);
+
+  Pib pib(&loaded.built.graph, initial, PibOptions{.delta = options.delta});
+  QueryProcessor qp(&loaded.built.graph);
+  Rng rng(options.seed);
+  for (int64_t i = 0; i < options.queries; ++i) {
+    if (pib.Observe(qp.Execute(pib.strategy(), oracle.Next(rng)))) {
+      std::printf("  move at query %lld: %s\n",
+                  static_cast<long long>(pib.contexts_processed()),
+                  pib.moves().back().swap.ToString(loaded.built.graph)
+                      .c_str());
+    }
+  }
+  PrintStrategyReport(loaded, "learned:", pib.strategy(), truth);
+  Status written = MaybeWriteStrategy(options, pib.strategy());
+  if (!written.ok()) return Fail(written.ToString());
+  return 0;
+}
+
+int CmdLearnPao(const CliOptions& options) {
+  if (options.positional.size() != 3) {
+    return Fail(
+        "usage: stratlearn_cli learn-pao <program.dl> <query-form> "
+        "<workload.txt> [--epsilon= --delta= --theorem3 --strategy-out= "
+        "--seed=]");
+  }
+  Result<std::unique_ptr<Loaded>> loaded_or = Load(
+      options.positional[0], options.positional[1], options.positional[2]);
+  if (!loaded_or.ok()) return Fail(loaded_or.status().ToString());
+  Loaded& loaded = **loaded_or;
+
+  DatalogOracle oracle(&loaded.built, &loaded.db, loaded.workload);
+  std::vector<double> truth = oracle.TrueMarginalProbs();
+  PaoOptions pao_options;
+  pao_options.epsilon = options.epsilon;
+  pao_options.delta = options.delta;
+  if (options.theorem3) pao_options.mode = PaoOptions::Mode::kTheorem3;
+  Rng rng(options.seed);
+  Result<PaoResult> result =
+      Pao::Run(loaded.built.graph, oracle, rng, pao_options);
+  if (!result.ok()) return Fail(result.status().ToString());
+  std::printf("sampling used %lld contexts (upsilon %s)\n",
+              static_cast<long long>(result->contexts_used),
+              result->upsilon_exact ? "exact" : "approximate");
+  PrintStrategyReport(loaded, "learned:", result->strategy, truth);
+  Status written = MaybeWriteStrategy(options, result->strategy);
+  if (!written.ok()) return Fail(written.ToString());
+  return 0;
+}
+
+int CmdEval(const CliOptions& options) {
+  if (options.positional.size() < 3 || options.positional.size() > 4) {
+    return Fail(
+        "usage: stratlearn_cli eval <program.dl> <query-form> "
+        "<workload.txt> [strategy-file]");
+  }
+  Result<std::unique_ptr<Loaded>> loaded_or = Load(
+      options.positional[0], options.positional[1], options.positional[2]);
+  if (!loaded_or.ok()) return Fail(loaded_or.status().ToString());
+  Loaded& loaded = **loaded_or;
+
+  DatalogOracle oracle(&loaded.built, &loaded.db, loaded.workload);
+  std::vector<double> truth = oracle.TrueMarginalProbs();
+
+  Strategy strategy = Strategy::DepthFirst(loaded.built.graph);
+  const char* label = "default:";
+  if (options.positional.size() == 4) {
+    Result<std::string> text = ReadFile(options.positional[3]);
+    if (!text.ok()) return Fail(text.status().ToString());
+    Result<Strategy> parsed =
+        Strategy::Deserialize(loaded.built.graph, *text);
+    if (!parsed.ok()) return Fail(parsed.status().ToString());
+    strategy = *parsed;
+    label = "given:";
+  }
+  PrintStrategyReport(loaded, label, strategy, truth);
+
+  std::vector<double> smith = SmithFactCountEstimates(loaded.built, loaded.db);
+  Result<UpsilonResult> smith_strategy =
+      UpsilonAot(loaded.built.graph, smith);
+  if (smith_strategy.ok()) {
+    PrintStrategyReport(loaded, "smith:", smith_strategy->strategy, truth);
+  }
+  Result<UpsilonResult> optimal = UpsilonAot(loaded.built.graph, truth);
+  if (!optimal.ok()) return Fail(optimal.status().ToString());
+  PrintStrategyReport(loaded, "optimal:", optimal->strategy, truth);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: stratlearn_cli <query|dot|learn-pib|learn-pao|eval> "
+                 "...\n");
+    return 1;
+  }
+  std::string command = argv[1];
+  CliOptions options = ParseArgs(argc, argv);
+  if (command == "query") return CmdQuery(options);
+  if (command == "dot") return CmdDot(options);
+  if (command == "learn-pib") return CmdLearnPib(options);
+  if (command == "learn-pao") return CmdLearnPao(options);
+  if (command == "eval") return CmdEval(options);
+  return Fail("unknown command '" + command + "'");
+}
+
+}  // namespace
+}  // namespace stratlearn
+
+int main(int argc, char** argv) { return stratlearn::Main(argc, argv); }
