@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_core.dir/bm_core.cc.o"
+  "CMakeFiles/bm_core.dir/bm_core.cc.o.d"
+  "bm_core"
+  "bm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

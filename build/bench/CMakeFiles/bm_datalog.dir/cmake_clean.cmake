@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_datalog.dir/bm_datalog.cc.o"
+  "CMakeFiles/bm_datalog.dir/bm_datalog.cc.o.d"
+  "bm_datalog"
+  "bm_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

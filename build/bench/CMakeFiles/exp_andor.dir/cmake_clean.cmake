@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_andor.dir/exp_andor.cc.o"
+  "CMakeFiles/exp_andor.dir/exp_andor.cc.o.d"
+  "CMakeFiles/exp_andor.dir/harness.cc.o"
+  "CMakeFiles/exp_andor.dir/harness.cc.o.d"
+  "exp_andor"
+  "exp_andor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_andor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

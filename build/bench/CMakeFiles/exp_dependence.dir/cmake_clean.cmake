@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_dependence.dir/exp_dependence.cc.o"
+  "CMakeFiles/exp_dependence.dir/exp_dependence.cc.o.d"
+  "CMakeFiles/exp_dependence.dir/harness.cc.o"
+  "CMakeFiles/exp_dependence.dir/harness.cc.o.d"
+  "exp_dependence"
+  "exp_dependence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_dependence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

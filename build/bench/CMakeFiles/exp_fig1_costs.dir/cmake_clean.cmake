@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig1_costs.dir/exp_fig1_costs.cc.o"
+  "CMakeFiles/exp_fig1_costs.dir/exp_fig1_costs.cc.o.d"
+  "CMakeFiles/exp_fig1_costs.dir/harness.cc.o"
+  "CMakeFiles/exp_fig1_costs.dir/harness.cc.o.d"
+  "exp_fig1_costs"
+  "exp_fig1_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig1_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

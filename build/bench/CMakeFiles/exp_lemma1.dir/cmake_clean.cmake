@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_lemma1.dir/exp_lemma1.cc.o"
+  "CMakeFiles/exp_lemma1.dir/exp_lemma1.cc.o.d"
+  "CMakeFiles/exp_lemma1.dir/harness.cc.o"
+  "CMakeFiles/exp_lemma1.dir/harness.cc.o.d"
+  "exp_lemma1"
+  "exp_lemma1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_lemma1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

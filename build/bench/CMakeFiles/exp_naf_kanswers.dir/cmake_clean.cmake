@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_naf_kanswers.dir/exp_naf_kanswers.cc.o"
+  "CMakeFiles/exp_naf_kanswers.dir/exp_naf_kanswers.cc.o.d"
+  "CMakeFiles/exp_naf_kanswers.dir/harness.cc.o"
+  "CMakeFiles/exp_naf_kanswers.dir/harness.cc.o.d"
+  "exp_naf_kanswers"
+  "exp_naf_kanswers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_naf_kanswers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_naf_kanswers.
+# This may be replaced when dependencies are built.

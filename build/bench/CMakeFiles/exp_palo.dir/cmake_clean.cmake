@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_palo.dir/exp_palo.cc.o"
+  "CMakeFiles/exp_palo.dir/exp_palo.cc.o.d"
+  "CMakeFiles/exp_palo.dir/harness.cc.o"
+  "CMakeFiles/exp_palo.dir/harness.cc.o.d"
+  "exp_palo"
+  "exp_palo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_palo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_palo.
+# This may be replaced when dependencies are built.

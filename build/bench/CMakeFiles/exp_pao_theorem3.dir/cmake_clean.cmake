@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_pao_theorem3.dir/exp_pao_theorem3.cc.o"
+  "CMakeFiles/exp_pao_theorem3.dir/exp_pao_theorem3.cc.o.d"
+  "CMakeFiles/exp_pao_theorem3.dir/harness.cc.o"
+  "CMakeFiles/exp_pao_theorem3.dir/harness.cc.o.d"
+  "exp_pao_theorem3"
+  "exp_pao_theorem3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_pao_theorem3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_pib_gb.dir/exp_pib_gb.cc.o"
+  "CMakeFiles/exp_pib_gb.dir/exp_pib_gb.cc.o.d"
+  "CMakeFiles/exp_pib_gb.dir/harness.cc.o"
+  "CMakeFiles/exp_pib_gb.dir/harness.cc.o.d"
+  "exp_pib_gb"
+  "exp_pib_gb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_pib_gb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_pib_gb.
+# This may be replaced when dependencies are built.

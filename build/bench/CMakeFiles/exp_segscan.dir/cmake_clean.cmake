@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_segscan.dir/exp_segscan.cc.o"
+  "CMakeFiles/exp_segscan.dir/exp_segscan.cc.o.d"
+  "CMakeFiles/exp_segscan.dir/harness.cc.o"
+  "CMakeFiles/exp_segscan.dir/harness.cc.o.d"
+  "exp_segscan"
+  "exp_segscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_segscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_smith_pitfall.dir/exp_smith_pitfall.cc.o"
+  "CMakeFiles/exp_smith_pitfall.dir/exp_smith_pitfall.cc.o.d"
+  "CMakeFiles/exp_smith_pitfall.dir/harness.cc.o"
+  "CMakeFiles/exp_smith_pitfall.dir/harness.cc.o.d"
+  "exp_smith_pitfall"
+  "exp_smith_pitfall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_smith_pitfall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

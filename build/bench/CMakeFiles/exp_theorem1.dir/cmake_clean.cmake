@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_theorem1.dir/exp_theorem1.cc.o"
+  "CMakeFiles/exp_theorem1.dir/exp_theorem1.cc.o.d"
+  "CMakeFiles/exp_theorem1.dir/harness.cc.o"
+  "CMakeFiles/exp_theorem1.dir/harness.cc.o.d"
+  "exp_theorem1"
+  "exp_theorem1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_theorem1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

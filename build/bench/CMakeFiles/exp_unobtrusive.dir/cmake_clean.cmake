@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_unobtrusive.dir/exp_unobtrusive.cc.o"
+  "CMakeFiles/exp_unobtrusive.dir/exp_unobtrusive.cc.o.d"
+  "CMakeFiles/exp_unobtrusive.dir/harness.cc.o"
+  "CMakeFiles/exp_unobtrusive.dir/harness.cc.o.d"
+  "exp_unobtrusive"
+  "exp_unobtrusive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_unobtrusive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_upsilon.dir/exp_upsilon.cc.o"
+  "CMakeFiles/exp_upsilon.dir/exp_upsilon.cc.o.d"
+  "CMakeFiles/exp_upsilon.dir/harness.cc.o"
+  "CMakeFiles/exp_upsilon.dir/harness.cc.o.d"
+  "exp_upsilon"
+  "exp_upsilon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_upsilon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

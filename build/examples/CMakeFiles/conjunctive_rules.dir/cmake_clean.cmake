@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conjunctive_rules.dir/conjunctive_rules.cpp.o"
+  "CMakeFiles/conjunctive_rules.dir/conjunctive_rules.cpp.o.d"
+  "conjunctive_rules"
+  "conjunctive_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conjunctive_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

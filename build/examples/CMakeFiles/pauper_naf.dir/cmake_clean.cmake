@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pauper_naf.dir/pauper_naf.cpp.o"
+  "CMakeFiles/pauper_naf.dir/pauper_naf.cpp.o.d"
+  "pauper_naf"
+  "pauper_naf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pauper_naf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

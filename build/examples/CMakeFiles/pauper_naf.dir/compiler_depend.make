@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pauper_naf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segmented_scan.dir/segmented_scan.cpp.o"
+  "CMakeFiles/segmented_scan.dir/segmented_scan.cpp.o.d"
+  "segmented_scan"
+  "segmented_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segmented_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

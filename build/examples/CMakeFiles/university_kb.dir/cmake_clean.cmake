@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/university_kb.dir/university_kb.cpp.o"
+  "CMakeFiles/university_kb.dir/university_kb.cpp.o.d"
+  "university_kb"
+  "university_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/university_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/andor/and_or_graph.cc" "src/andor/CMakeFiles/stratlearn_andor.dir/and_or_graph.cc.o" "gcc" "src/andor/CMakeFiles/stratlearn_andor.dir/and_or_graph.cc.o.d"
+  "/root/repo/src/andor/and_or_pao.cc" "src/andor/CMakeFiles/stratlearn_andor.dir/and_or_pao.cc.o" "gcc" "src/andor/CMakeFiles/stratlearn_andor.dir/and_or_pao.cc.o.d"
+  "/root/repo/src/andor/and_or_pib.cc" "src/andor/CMakeFiles/stratlearn_andor.dir/and_or_pib.cc.o" "gcc" "src/andor/CMakeFiles/stratlearn_andor.dir/and_or_pib.cc.o.d"
+  "/root/repo/src/andor/and_or_serialization.cc" "src/andor/CMakeFiles/stratlearn_andor.dir/and_or_serialization.cc.o" "gcc" "src/andor/CMakeFiles/stratlearn_andor.dir/and_or_serialization.cc.o.d"
+  "/root/repo/src/andor/and_or_strategy.cc" "src/andor/CMakeFiles/stratlearn_andor.dir/and_or_strategy.cc.o" "gcc" "src/andor/CMakeFiles/stratlearn_andor.dir/and_or_strategy.cc.o.d"
+  "/root/repo/src/andor/and_or_upsilon.cc" "src/andor/CMakeFiles/stratlearn_andor.dir/and_or_upsilon.cc.o" "gcc" "src/andor/CMakeFiles/stratlearn_andor.dir/and_or_upsilon.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/stratlearn_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/stratlearn_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/stratlearn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stratlearn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/stratlearn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/stratlearn_datalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

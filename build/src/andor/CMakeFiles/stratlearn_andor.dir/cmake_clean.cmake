@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stratlearn_andor.dir/and_or_graph.cc.o"
+  "CMakeFiles/stratlearn_andor.dir/and_or_graph.cc.o.d"
+  "CMakeFiles/stratlearn_andor.dir/and_or_pao.cc.o"
+  "CMakeFiles/stratlearn_andor.dir/and_or_pao.cc.o.d"
+  "CMakeFiles/stratlearn_andor.dir/and_or_pib.cc.o"
+  "CMakeFiles/stratlearn_andor.dir/and_or_pib.cc.o.d"
+  "CMakeFiles/stratlearn_andor.dir/and_or_serialization.cc.o"
+  "CMakeFiles/stratlearn_andor.dir/and_or_serialization.cc.o.d"
+  "CMakeFiles/stratlearn_andor.dir/and_or_strategy.cc.o"
+  "CMakeFiles/stratlearn_andor.dir/and_or_strategy.cc.o.d"
+  "CMakeFiles/stratlearn_andor.dir/and_or_upsilon.cc.o"
+  "CMakeFiles/stratlearn_andor.dir/and_or_upsilon.cc.o.d"
+  "libstratlearn_andor.a"
+  "libstratlearn_andor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stratlearn_andor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stratlearn_apps.dir/kanswers.cc.o"
+  "CMakeFiles/stratlearn_apps.dir/kanswers.cc.o.d"
+  "CMakeFiles/stratlearn_apps.dir/segscan.cc.o"
+  "CMakeFiles/stratlearn_apps.dir/segscan.cc.o.d"
+  "libstratlearn_apps.a"
+  "libstratlearn_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stratlearn_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/delta_estimator.cc" "src/core/CMakeFiles/stratlearn_core.dir/delta_estimator.cc.o" "gcc" "src/core/CMakeFiles/stratlearn_core.dir/delta_estimator.cc.o.d"
+  "/root/repo/src/core/expected_cost.cc" "src/core/CMakeFiles/stratlearn_core.dir/expected_cost.cc.o" "gcc" "src/core/CMakeFiles/stratlearn_core.dir/expected_cost.cc.o.d"
+  "/root/repo/src/core/palo.cc" "src/core/CMakeFiles/stratlearn_core.dir/palo.cc.o" "gcc" "src/core/CMakeFiles/stratlearn_core.dir/palo.cc.o.d"
+  "/root/repo/src/core/pao.cc" "src/core/CMakeFiles/stratlearn_core.dir/pao.cc.o" "gcc" "src/core/CMakeFiles/stratlearn_core.dir/pao.cc.o.d"
+  "/root/repo/src/core/pib.cc" "src/core/CMakeFiles/stratlearn_core.dir/pib.cc.o" "gcc" "src/core/CMakeFiles/stratlearn_core.dir/pib.cc.o.d"
+  "/root/repo/src/core/pib1.cc" "src/core/CMakeFiles/stratlearn_core.dir/pib1.cc.o" "gcc" "src/core/CMakeFiles/stratlearn_core.dir/pib1.cc.o.d"
+  "/root/repo/src/core/smith.cc" "src/core/CMakeFiles/stratlearn_core.dir/smith.cc.o" "gcc" "src/core/CMakeFiles/stratlearn_core.dir/smith.cc.o.d"
+  "/root/repo/src/core/transformations.cc" "src/core/CMakeFiles/stratlearn_core.dir/transformations.cc.o" "gcc" "src/core/CMakeFiles/stratlearn_core.dir/transformations.cc.o.d"
+  "/root/repo/src/core/upsilon.cc" "src/core/CMakeFiles/stratlearn_core.dir/upsilon.cc.o" "gcc" "src/core/CMakeFiles/stratlearn_core.dir/upsilon.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/stratlearn_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/stratlearn_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/stratlearn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/stratlearn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stratlearn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/stratlearn_datalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

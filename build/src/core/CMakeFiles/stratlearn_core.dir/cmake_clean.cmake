@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stratlearn_core.dir/delta_estimator.cc.o"
+  "CMakeFiles/stratlearn_core.dir/delta_estimator.cc.o.d"
+  "CMakeFiles/stratlearn_core.dir/expected_cost.cc.o"
+  "CMakeFiles/stratlearn_core.dir/expected_cost.cc.o.d"
+  "CMakeFiles/stratlearn_core.dir/palo.cc.o"
+  "CMakeFiles/stratlearn_core.dir/palo.cc.o.d"
+  "CMakeFiles/stratlearn_core.dir/pao.cc.o"
+  "CMakeFiles/stratlearn_core.dir/pao.cc.o.d"
+  "CMakeFiles/stratlearn_core.dir/pib.cc.o"
+  "CMakeFiles/stratlearn_core.dir/pib.cc.o.d"
+  "CMakeFiles/stratlearn_core.dir/pib1.cc.o"
+  "CMakeFiles/stratlearn_core.dir/pib1.cc.o.d"
+  "CMakeFiles/stratlearn_core.dir/smith.cc.o"
+  "CMakeFiles/stratlearn_core.dir/smith.cc.o.d"
+  "CMakeFiles/stratlearn_core.dir/transformations.cc.o"
+  "CMakeFiles/stratlearn_core.dir/transformations.cc.o.d"
+  "CMakeFiles/stratlearn_core.dir/upsilon.cc.o"
+  "CMakeFiles/stratlearn_core.dir/upsilon.cc.o.d"
+  "libstratlearn_core.a"
+  "libstratlearn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stratlearn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

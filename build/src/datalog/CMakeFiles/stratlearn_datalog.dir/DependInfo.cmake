@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datalog/atom.cc" "src/datalog/CMakeFiles/stratlearn_datalog.dir/atom.cc.o" "gcc" "src/datalog/CMakeFiles/stratlearn_datalog.dir/atom.cc.o.d"
+  "/root/repo/src/datalog/clause.cc" "src/datalog/CMakeFiles/stratlearn_datalog.dir/clause.cc.o" "gcc" "src/datalog/CMakeFiles/stratlearn_datalog.dir/clause.cc.o.d"
+  "/root/repo/src/datalog/database.cc" "src/datalog/CMakeFiles/stratlearn_datalog.dir/database.cc.o" "gcc" "src/datalog/CMakeFiles/stratlearn_datalog.dir/database.cc.o.d"
+  "/root/repo/src/datalog/evaluator.cc" "src/datalog/CMakeFiles/stratlearn_datalog.dir/evaluator.cc.o" "gcc" "src/datalog/CMakeFiles/stratlearn_datalog.dir/evaluator.cc.o.d"
+  "/root/repo/src/datalog/parser.cc" "src/datalog/CMakeFiles/stratlearn_datalog.dir/parser.cc.o" "gcc" "src/datalog/CMakeFiles/stratlearn_datalog.dir/parser.cc.o.d"
+  "/root/repo/src/datalog/rule_base.cc" "src/datalog/CMakeFiles/stratlearn_datalog.dir/rule_base.cc.o" "gcc" "src/datalog/CMakeFiles/stratlearn_datalog.dir/rule_base.cc.o.d"
+  "/root/repo/src/datalog/symbol_table.cc" "src/datalog/CMakeFiles/stratlearn_datalog.dir/symbol_table.cc.o" "gcc" "src/datalog/CMakeFiles/stratlearn_datalog.dir/symbol_table.cc.o.d"
+  "/root/repo/src/datalog/unify.cc" "src/datalog/CMakeFiles/stratlearn_datalog.dir/unify.cc.o" "gcc" "src/datalog/CMakeFiles/stratlearn_datalog.dir/unify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/stratlearn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stratlearn_datalog.dir/atom.cc.o"
+  "CMakeFiles/stratlearn_datalog.dir/atom.cc.o.d"
+  "CMakeFiles/stratlearn_datalog.dir/clause.cc.o"
+  "CMakeFiles/stratlearn_datalog.dir/clause.cc.o.d"
+  "CMakeFiles/stratlearn_datalog.dir/database.cc.o"
+  "CMakeFiles/stratlearn_datalog.dir/database.cc.o.d"
+  "CMakeFiles/stratlearn_datalog.dir/evaluator.cc.o"
+  "CMakeFiles/stratlearn_datalog.dir/evaluator.cc.o.d"
+  "CMakeFiles/stratlearn_datalog.dir/parser.cc.o"
+  "CMakeFiles/stratlearn_datalog.dir/parser.cc.o.d"
+  "CMakeFiles/stratlearn_datalog.dir/rule_base.cc.o"
+  "CMakeFiles/stratlearn_datalog.dir/rule_base.cc.o.d"
+  "CMakeFiles/stratlearn_datalog.dir/symbol_table.cc.o"
+  "CMakeFiles/stratlearn_datalog.dir/symbol_table.cc.o.d"
+  "CMakeFiles/stratlearn_datalog.dir/unify.cc.o"
+  "CMakeFiles/stratlearn_datalog.dir/unify.cc.o.d"
+  "libstratlearn_datalog.a"
+  "libstratlearn_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stratlearn_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

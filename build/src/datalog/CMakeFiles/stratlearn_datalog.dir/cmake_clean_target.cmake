@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstratlearn_datalog.a"
+)

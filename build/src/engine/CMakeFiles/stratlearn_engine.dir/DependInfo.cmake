@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/adaptive_qp.cc" "src/engine/CMakeFiles/stratlearn_engine.dir/adaptive_qp.cc.o" "gcc" "src/engine/CMakeFiles/stratlearn_engine.dir/adaptive_qp.cc.o.d"
+  "/root/repo/src/engine/query_processor.cc" "src/engine/CMakeFiles/stratlearn_engine.dir/query_processor.cc.o" "gcc" "src/engine/CMakeFiles/stratlearn_engine.dir/query_processor.cc.o.d"
+  "/root/repo/src/engine/strategy.cc" "src/engine/CMakeFiles/stratlearn_engine.dir/strategy.cc.o" "gcc" "src/engine/CMakeFiles/stratlearn_engine.dir/strategy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/stratlearn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/stratlearn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stratlearn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/stratlearn_datalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stratlearn_engine.dir/adaptive_qp.cc.o"
+  "CMakeFiles/stratlearn_engine.dir/adaptive_qp.cc.o.d"
+  "CMakeFiles/stratlearn_engine.dir/query_processor.cc.o"
+  "CMakeFiles/stratlearn_engine.dir/query_processor.cc.o.d"
+  "CMakeFiles/stratlearn_engine.dir/strategy.cc.o"
+  "CMakeFiles/stratlearn_engine.dir/strategy.cc.o.d"
+  "libstratlearn_engine.a"
+  "libstratlearn_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stratlearn_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builder.cc" "src/graph/CMakeFiles/stratlearn_graph.dir/builder.cc.o" "gcc" "src/graph/CMakeFiles/stratlearn_graph.dir/builder.cc.o.d"
+  "/root/repo/src/graph/examples.cc" "src/graph/CMakeFiles/stratlearn_graph.dir/examples.cc.o" "gcc" "src/graph/CMakeFiles/stratlearn_graph.dir/examples.cc.o.d"
+  "/root/repo/src/graph/inference_graph.cc" "src/graph/CMakeFiles/stratlearn_graph.dir/inference_graph.cc.o" "gcc" "src/graph/CMakeFiles/stratlearn_graph.dir/inference_graph.cc.o.d"
+  "/root/repo/src/graph/serialization.cc" "src/graph/CMakeFiles/stratlearn_graph.dir/serialization.cc.o" "gcc" "src/graph/CMakeFiles/stratlearn_graph.dir/serialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datalog/CMakeFiles/stratlearn_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stratlearn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stratlearn_graph.dir/builder.cc.o"
+  "CMakeFiles/stratlearn_graph.dir/builder.cc.o.d"
+  "CMakeFiles/stratlearn_graph.dir/examples.cc.o"
+  "CMakeFiles/stratlearn_graph.dir/examples.cc.o.d"
+  "CMakeFiles/stratlearn_graph.dir/inference_graph.cc.o"
+  "CMakeFiles/stratlearn_graph.dir/inference_graph.cc.o.d"
+  "CMakeFiles/stratlearn_graph.dir/serialization.cc.o"
+  "CMakeFiles/stratlearn_graph.dir/serialization.cc.o.d"
+  "libstratlearn_graph.a"
+  "libstratlearn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stratlearn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stratlearn_stats.dir/chernoff.cc.o"
+  "CMakeFiles/stratlearn_stats.dir/chernoff.cc.o.d"
+  "CMakeFiles/stratlearn_stats.dir/running_stats.cc.o"
+  "CMakeFiles/stratlearn_stats.dir/running_stats.cc.o.d"
+  "CMakeFiles/stratlearn_stats.dir/sequential.cc.o"
+  "CMakeFiles/stratlearn_stats.dir/sequential.cc.o.d"
+  "libstratlearn_stats.a"
+  "libstratlearn_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stratlearn_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stratlearn_util.dir/math_util.cc.o"
+  "CMakeFiles/stratlearn_util.dir/math_util.cc.o.d"
+  "CMakeFiles/stratlearn_util.dir/rng.cc.o"
+  "CMakeFiles/stratlearn_util.dir/rng.cc.o.d"
+  "CMakeFiles/stratlearn_util.dir/status.cc.o"
+  "CMakeFiles/stratlearn_util.dir/status.cc.o.d"
+  "CMakeFiles/stratlearn_util.dir/string_util.cc.o"
+  "CMakeFiles/stratlearn_util.dir/string_util.cc.o.d"
+  "libstratlearn_util.a"
+  "libstratlearn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stratlearn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stratlearn_workload.dir/datalog_oracle.cc.o"
+  "CMakeFiles/stratlearn_workload.dir/datalog_oracle.cc.o.d"
+  "CMakeFiles/stratlearn_workload.dir/random_tree.cc.o"
+  "CMakeFiles/stratlearn_workload.dir/random_tree.cc.o.d"
+  "CMakeFiles/stratlearn_workload.dir/synthetic_oracle.cc.o"
+  "CMakeFiles/stratlearn_workload.dir/synthetic_oracle.cc.o.d"
+  "libstratlearn_workload.a"
+  "libstratlearn_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stratlearn_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_qp_test.dir/adaptive_qp_test.cc.o"
+  "CMakeFiles/adaptive_qp_test.dir/adaptive_qp_test.cc.o.d"
+  "adaptive_qp_test"
+  "adaptive_qp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_qp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

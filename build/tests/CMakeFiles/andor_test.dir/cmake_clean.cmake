@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/andor_test.dir/andor_test.cc.o"
+  "CMakeFiles/andor_test.dir/andor_test.cc.o.d"
+  "andor_test"
+  "andor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/andor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chernoff_test.dir/chernoff_test.cc.o"
+  "CMakeFiles/chernoff_test.dir/chernoff_test.cc.o.d"
+  "chernoff_test"
+  "chernoff_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chernoff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_basics_test.dir/datalog_basics_test.cc.o"
+  "CMakeFiles/datalog_basics_test.dir/datalog_basics_test.cc.o.d"
+  "datalog_basics_test"
+  "datalog_basics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_basics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_estimator_test.dir/delta_estimator_test.cc.o"
+  "CMakeFiles/delta_estimator_test.dir/delta_estimator_test.cc.o.d"
+  "delta_estimator_test"
+  "delta_estimator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

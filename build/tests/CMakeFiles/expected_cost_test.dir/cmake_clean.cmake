@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expected_cost_test.dir/expected_cost_test.cc.o"
+  "CMakeFiles/expected_cost_test.dir/expected_cost_test.cc.o.d"
+  "expected_cost_test"
+  "expected_cost_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expected_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

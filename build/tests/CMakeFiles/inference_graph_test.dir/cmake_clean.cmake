@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_graph_test.dir/inference_graph_test.cc.o"
+  "CMakeFiles/inference_graph_test.dir/inference_graph_test.cc.o.d"
+  "inference_graph_test"
+  "inference_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outcome_costs_test.dir/outcome_costs_test.cc.o"
+  "CMakeFiles/outcome_costs_test.dir/outcome_costs_test.cc.o.d"
+  "outcome_costs_test"
+  "outcome_costs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outcome_costs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

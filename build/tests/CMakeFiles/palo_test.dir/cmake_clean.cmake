@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/palo_test.dir/palo_test.cc.o"
+  "CMakeFiles/palo_test.dir/palo_test.cc.o.d"
+  "palo_test"
+  "palo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/palo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pao_test.dir/pao_test.cc.o"
+  "CMakeFiles/pao_test.dir/pao_test.cc.o.d"
+  "pao_test"
+  "pao_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pao_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pib1_test.dir/pib1_test.cc.o"
+  "CMakeFiles/pib1_test.dir/pib1_test.cc.o.d"
+  "pib1_test"
+  "pib1_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pib1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pib_test.dir/pib_test.cc.o"
+  "CMakeFiles/pib_test.dir/pib_test.cc.o.d"
+  "pib_test"
+  "pib_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

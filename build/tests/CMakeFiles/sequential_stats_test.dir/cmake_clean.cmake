@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequential_stats_test.dir/sequential_stats_test.cc.o"
+  "CMakeFiles/sequential_stats_test.dir/sequential_stats_test.cc.o.d"
+  "sequential_stats_test"
+  "sequential_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequential_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/smith_test.cc" "tests/CMakeFiles/smith_test.dir/smith_test.cc.o" "gcc" "tests/CMakeFiles/smith_test.dir/smith_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/stratlearn_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/andor/CMakeFiles/stratlearn_andor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/stratlearn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/stratlearn_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/stratlearn_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/stratlearn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/stratlearn_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/stratlearn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stratlearn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsilon_test.dir/upsilon_test.cc.o"
+  "CMakeFiles/upsilon_test.dir/upsilon_test.cc.o.d"
+  "upsilon_test"
+  "upsilon_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsilon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

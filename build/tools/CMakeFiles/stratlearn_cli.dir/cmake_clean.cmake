@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stratlearn_cli.dir/stratlearn_cli.cc.o"
+  "CMakeFiles/stratlearn_cli.dir/stratlearn_cli.cc.o.d"
+  "stratlearn_cli"
+  "stratlearn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stratlearn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

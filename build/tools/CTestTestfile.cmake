@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_query "/root/repo/build/tools/stratlearn_cli" "query" "/root/repo/tests/testdata/university.dl" "instructor(manolis)")
+set_tests_properties(cli_query PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_dot "/root/repo/build/tools/stratlearn_cli" "dot" "/root/repo/tests/testdata/university.dl" "instructor(b)")
+set_tests_properties(cli_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_learn_pib "/root/repo/build/tools/stratlearn_cli" "learn-pib" "/root/repo/tests/testdata/university.dl" "instructor(b)" "/root/repo/tests/testdata/university_workload.txt" "--queries=300" "--seed=7")
+set_tests_properties(cli_learn_pib PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_learn_pao "/root/repo/build/tools/stratlearn_cli" "learn-pao" "/root/repo/tests/testdata/university.dl" "instructor(b)" "/root/repo/tests/testdata/university_workload.txt" "--epsilon=0.5" "--delta=0.2" "--seed=7")
+set_tests_properties(cli_learn_pao PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_eval "/root/repo/build/tools/stratlearn_cli" "eval" "/root/repo/tests/testdata/university.dl" "instructor(b)" "/root/repo/tests/testdata/university_workload.txt")
+set_tests_properties(cli_eval PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
