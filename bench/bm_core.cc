@@ -10,6 +10,7 @@
 #include "core/transformations.h"
 #include "core/upsilon.h"
 #include "engine/query_processor.h"
+#include "obs/observer.h"
 #include "workload/random_tree.h"
 #include "workload/synthetic_oracle.h"
 
@@ -40,6 +41,24 @@ void BM_ExecuteStrategy(benchmark::State& state) {
   state.counters["arcs"] = static_cast<double>(tree.graph.num_arcs());
 }
 BENCHMARK(BM_ExecuteStrategy)->Arg(3)->Arg(5)->Arg(7);
+
+// Same hot path with a metrics-only observer attached: the price of
+// qp.* counters and wall-time histograms (no trace sink).
+void BM_ExecuteStrategyObserved(benchmark::State& state) {
+  RandomTree tree = MakeTree(static_cast<int>(state.range(0)));
+  Strategy theta = Strategy::DepthFirst(tree.graph);
+  obs::MetricsRegistry registry;
+  obs::Observer observer(&registry, nullptr);
+  QueryProcessor qp(&tree.graph, &observer);
+  IndependentOracle oracle(tree.probs);
+  Rng rng(7);
+  Context ctx = oracle.Next(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qp.Execute(theta, ctx));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExecuteStrategyObserved)->Arg(3)->Arg(5)->Arg(7);
 
 void BM_LeafOnlyExpectedCost(benchmark::State& state) {
   RandomTree tree = MakeTree(static_cast<int>(state.range(0)));

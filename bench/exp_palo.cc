@@ -11,6 +11,7 @@
 #include "core/palo.h"
 #include "core/pib.h"
 #include "harness.h"
+#include "obs/observer.h"
 #include "stats/running_stats.h"
 #include "util/string_util.h"
 #include "workload/random_tree.h"
@@ -77,19 +78,23 @@ int main() {
   table.Print();
 
   // Contrast: PIB never stops — after the same budget it is still
-  // collecting statistics.
+  // collecting statistics. This run is instrumented so the experiment's
+  // output is self-describing (arc attempts, wall time, moves).
   {
     RandomTree tree = MakeRandomTree(rng);
+    obs::MetricsRegistry registry;
+    obs::Observer observer(&registry, nullptr);
     Pib pib(&tree.graph, Strategy::DepthFirst(tree.graph),
-            PibOptions{.delta = 0.1});
+            PibOptions{.delta = 0.1}, &observer);
     IndependentOracle oracle(tree.probs);
-    QueryProcessor qp(&tree.graph);
+    QueryProcessor qp(&tree.graph, &observer);
     for (int64_t i = 0; i < 20000; ++i) {
       pib.Observe(qp.Execute(pib.strategy(), oracle.Next(rng)));
     }
     std::printf("\nPIB after 20000 contexts: still running (anytime, no "
                 "stopping rule), %zu moves so far\n",
                 pib.moves().size());
+    PrintMetricsSummary(registry);
   }
 
   Verdict("E12", all_certified && faster_with_looser,

@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
+#include "obs/json_writer.h"
 #include "util/string_util.h"
 
 namespace stratlearn::bench {
@@ -38,19 +40,110 @@ void Table::Print() const {
   }
   std::printf("  %s\n", rule.c_str());
   for (const auto& row : rows_) print_row(row);
+  JsonReport::Global().AddTable(columns_, rows_);
+}
+
+JsonReport& JsonReport::Global() {
+  static JsonReport* report = new JsonReport();
+  return *report;
+}
+
+void JsonReport::SetExperiment(const std::string& exp_id,
+                               const std::string& artifact, uint64_t seed,
+                               bool seed_from_env) {
+  exp_id_ = exp_id;
+  artifact_ = artifact;
+  seed_ = seed;
+  seed_from_env_ = seed_from_env;
+}
+
+void JsonReport::AddTable(const std::vector<std::string>& columns,
+                          const std::vector<std::vector<std::string>>& rows) {
+  tables_.push_back({columns, rows});
+}
+
+void JsonReport::AddVerdict(const std::string& exp_id, bool ok,
+                            const std::string& claim) {
+  verdicts_.push_back({exp_id, ok, claim});
+}
+
+std::string JsonReport::ToJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("experiment").Value(exp_id_);
+  w.Key("artifact").Value(artifact_);
+  w.Key("seed").Value(static_cast<int64_t>(seed_));
+  w.Key("seed_from_env").Value(seed_from_env_);
+  w.Key("tables").BeginArray();
+  for (const TableData& t : tables_) {
+    w.BeginObject();
+    w.Key("columns").BeginArray();
+    for (const std::string& c : t.columns) w.Value(c);
+    w.EndArray();
+    w.Key("rows").BeginArray();
+    for (const auto& row : t.rows) {
+      w.BeginArray();
+      for (const std::string& cell : row) w.Value(cell);
+      w.EndArray();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("verdicts").BeginArray();
+  for (const VerdictData& v : verdicts_) {
+    w.BeginObject();
+    w.Key("exp_id").Value(v.exp_id);
+    w.Key("ok").Value(v.ok);
+    w.Key("claim").Value(v.claim);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
+bool JsonReport::WriteJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ToJson() << "\n";
+  return out.good();
+}
+
+void JsonReport::MaybeAutoWrite() const {
+  const char* path = std::getenv("STRATLEARN_JSON_OUT");
+  if (path == nullptr || path[0] == '\0') return;
+  if (!WriteJson(path)) {
+    std::fprintf(stderr, "warning: cannot write STRATLEARN_JSON_OUT=%s\n",
+                 path);
+  }
 }
 
 void Banner(const std::string& exp_id, const std::string& artifact,
             uint64_t seed) {
+  JsonReport::Global().SetExperiment(exp_id, artifact, seed, SeedFromEnv());
   std::printf("\n================================================================\n");
   std::printf("%s — %s\n", exp_id.c_str(), artifact.c_str());
-  std::printf("seed = %llu\n", static_cast<unsigned long long>(seed));
+  std::printf("seed = %llu (%s)\n", static_cast<unsigned long long>(seed),
+              SeedFromEnv() ? "env STRATLEARN_SEED" : "default");
+  const char* json_out = std::getenv("STRATLEARN_JSON_OUT");
+  if (json_out != nullptr && json_out[0] != '\0') {
+    std::printf("json report -> %s\n", json_out);
+  }
   std::printf("================================================================\n");
 }
 
 void Verdict(const std::string& exp_id, bool ok, const std::string& claim) {
   std::printf("[%s] SHAPE %s: %s\n", exp_id.c_str(),
               ok ? "OK" : "VIOLATED", claim.c_str());
+  JsonReport::Global().AddVerdict(exp_id, ok, claim);
+  JsonReport::Global().MaybeAutoWrite();
+}
+
+void PrintMetricsSummary(const obs::MetricsRegistry& registry) {
+  std::string summary = registry.Summary();
+  if (summary.empty()) return;
+  std::printf("metrics summary:\n%s", summary.c_str());
 }
 
 std::string Num(double value) { return FormatDouble(value, 4); }
@@ -66,5 +159,7 @@ uint64_t ExperimentSeed() {
   }
   return 19920602;  // PODS'92, San Diego
 }
+
+bool SeedFromEnv() { return std::getenv("STRATLEARN_SEED") != nullptr; }
 
 }  // namespace stratlearn::bench

@@ -5,12 +5,15 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace stratlearn::bench {
 
 /// Minimal fixed-width table printer for the exp_* experiment drivers.
 /// Every experiment binary prints: a header naming the paper artifact it
 /// regenerates, one or more tables, and a PASS/FAIL verdict line for the
-/// shape EXPERIMENTS.md promises.
+/// shape EXPERIMENTS.md promises. Printed tables are also recorded in
+/// the process-wide JsonReport.
 class Table {
  public:
   explicit Table(std::vector<std::string> columns);
@@ -26,12 +29,61 @@ class Table {
   std::vector<std::vector<std::string>> rows_;
 };
 
-/// Prints the standard experiment banner (id, paper artifact, seed).
+/// Machine-readable mirror of an experiment's output: banner metadata,
+/// every printed table, every verdict. When the STRATLEARN_JSON_OUT
+/// environment variable names a file, each Verdict() call rewrites it
+/// with the accumulated report, so exp_* binaries emit JSON trajectories
+/// with no per-experiment changes.
+class JsonReport {
+ public:
+  /// The report for this process (one experiment binary == one report).
+  static JsonReport& Global();
+
+  void SetExperiment(const std::string& exp_id, const std::string& artifact,
+                     uint64_t seed, bool seed_from_env);
+  void AddTable(const std::vector<std::string>& columns,
+                const std::vector<std::vector<std::string>>& rows);
+  void AddVerdict(const std::string& exp_id, bool ok,
+                  const std::string& claim);
+
+  std::string ToJson() const;
+  /// Writes ToJson() to `path`; returns false on I/O failure.
+  bool WriteJson(const std::string& path) const;
+  /// WriteJson($STRATLEARN_JSON_OUT) when that env var is set.
+  void MaybeAutoWrite() const;
+
+ private:
+  struct TableData {
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+  };
+  struct VerdictData {
+    std::string exp_id;
+    bool ok = false;
+    std::string claim;
+  };
+
+  std::string exp_id_;
+  std::string artifact_;
+  uint64_t seed_ = 0;
+  bool seed_from_env_ = false;
+  std::vector<TableData> tables_;
+  std::vector<VerdictData> verdicts_;
+};
+
+/// Prints the standard experiment banner (id, paper artifact, seed with
+/// its provenance, JSON output destination if any) and registers the
+/// experiment with the global JsonReport.
 void Banner(const std::string& exp_id, const std::string& artifact,
             uint64_t seed);
 
-/// Prints the verdict line: "[exp_id] SHAPE <OK|VIOLATED>: <claim>".
+/// Prints the verdict line: "[exp_id] SHAPE <OK|VIOLATED>: <claim>",
+/// records it in the JsonReport, and auto-writes STRATLEARN_JSON_OUT.
 void Verdict(const std::string& exp_id, bool ok, const std::string& claim);
+
+/// Prints a "metrics summary" block for instrumented experiments (no
+/// output when the registry is empty).
+void PrintMetricsSummary(const obs::MetricsRegistry& registry);
 
 /// Formats a double with 4 significant digits.
 std::string Num(double value);
@@ -40,6 +92,8 @@ std::string Int(int64_t value);
 
 /// Seed used by all experiments; override with STRATLEARN_SEED env var.
 uint64_t ExperimentSeed();
+/// True when STRATLEARN_SEED is set (the banner reports provenance).
+bool SeedFromEnv();
 
 }  // namespace stratlearn::bench
 

@@ -6,7 +6,8 @@
 
 namespace stratlearn {
 
-Palo::Palo(const InferenceGraph* graph, Strategy initial, Options options)
+Palo::Palo(const InferenceGraph* graph, Strategy initial, Options options,
+           obs::Observer* observer)
     : graph_(graph),
       estimator_(graph),
       current_(std::move(initial)),
@@ -15,6 +16,17 @@ Palo::Palo(const InferenceGraph* graph, Strategy initial, Options options)
   STRATLEARN_CHECK(options_.epsilon > 0.0);
   STRATLEARN_CHECK(options_.test_every >= 1);
   RebuildNeighborhood();
+  set_observer(observer);
+}
+
+void Palo::set_observer(obs::Observer* observer) {
+  observer_ = observer;
+  handles_ = Handles{};
+  if (observer_ == nullptr || observer_->metrics() == nullptr) return;
+  obs::MetricsRegistry* r = observer_->metrics();
+  handles_.contexts = &r->GetCounter("palo.contexts");
+  handles_.moves = &r->GetCounter("palo.moves");
+  handles_.stops = &r->GetCounter("palo.stops");
 }
 
 void Palo::RebuildNeighborhood() {
@@ -31,7 +43,8 @@ void Palo::RebuildNeighborhood() {
   if (neighbors_.empty()) finished_ = true;  // nothing to improve
 }
 
-bool Palo::CheckStop() {
+bool Palo::CheckStop(double* worst_certificate) {
+  *worst_certificate = 0.0;
   if (samples_ == 0) return false;
   // delta/2 budget for stopping, spread over the sequential schedule and
   // the |T| simultaneous neighbours.
@@ -42,6 +55,9 @@ bool Palo::CheckStop() {
   for (const Neighbor& n : neighbors_) {
     double mean_over = n.over_sum / static_cast<double>(samples_);
     double dev = HoeffdingDeviation(samples_, delta_i, n.range);
+    if (mean_over + dev > *worst_certificate) {
+      *worst_certificate = mean_over + dev;
+    }
     if (mean_over + dev > options_.epsilon) return false;
   }
   return true;
@@ -56,6 +72,7 @@ bool Palo::Observe(const Trace& trace) {
     n.under_sum += estimator_.UnderEstimate(trace, n.strategy);
     n.over_sum += estimator_.OverEstimate(trace, n.strategy);
   }
+  if (handles_.contexts != nullptr) handles_.contexts->Increment();
   if (contexts_ % options_.test_every != 0) return false;
 
   // Climb exactly like PIB, at confidence delta/2.
@@ -64,13 +81,42 @@ bool Palo::Observe(const Trace& trace) {
                                                   1, trials_),
                                               options_.delta / 2.0, n.range);
     if (n.under_sum > 0.0 && n.under_sum >= threshold) {
-      current_ = n.strategy;
       ++moves_;
+      if (handles_.moves != nullptr) handles_.moves->Increment();
+      if (observer_ != nullptr) {
+        if (obs::TraceSink* sink = observer_->sink()) {
+          obs::ClimbMoveEvent event;
+          event.t_us = observer_->NowUs();
+          event.learner = "palo";
+          event.move_index = moves_ - 1;
+          event.at_context = contexts_;
+          event.samples_used = samples_;
+          event.swap = n.swap.ToString(*graph_);
+          event.delta_sum = n.under_sum;
+          event.threshold = threshold;
+          event.margin = n.under_sum - threshold;
+          event.delta_spent =
+              SequentialDelta(std::max<int64_t>(1, trials_),
+                              options_.delta / 2.0);
+          sink->OnClimbMove(event);
+        }
+      }
+      current_ = n.strategy;
       RebuildNeighborhood();
       return true;
     }
   }
-  if (CheckStop()) finished_ = true;
+  double worst_certificate = 0.0;
+  if (CheckStop(&worst_certificate)) {
+    finished_ = true;
+    if (handles_.stops != nullptr) handles_.stops->Increment();
+    if (observer_ != nullptr) {
+      if (obs::TraceSink* sink = observer_->sink()) {
+        sink->OnPaloStop({observer_->NowUs(), contexts_, moves_,
+                          options_.epsilon, worst_certificate});
+      }
+    }
+  }
   return false;
 }
 

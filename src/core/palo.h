@@ -37,7 +37,11 @@ class Palo {
   using Options = PaloOptions;
 
   Palo(const InferenceGraph* graph, Strategy initial,
-       Options options = PaloOptions());
+       Options options = PaloOptions(), obs::Observer* observer = nullptr);
+
+  /// Attaches an observer: palo.* metrics plus ClimbMove events and the
+  /// PaloStop certificate event.
+  void set_observer(obs::Observer* observer);
 
   /// Records the trace of the current strategy on one context. Returns
   /// true if a hill-climbing move occurred.
@@ -61,7 +65,9 @@ class Palo {
   };
 
   void RebuildNeighborhood();
-  bool CheckStop();
+  /// Sets `*worst_certificate` to the max over neighbours of
+  /// (mean over-estimate + Hoeffding deviation) it saw before deciding.
+  bool CheckStop(double* worst_certificate);
 
   const InferenceGraph* graph_;
   DeltaEstimator estimator_;
@@ -74,6 +80,13 @@ class Palo {
   int64_t samples_ = 0;
   int64_t moves_ = 0;
   bool finished_ = false;
+  obs::Observer* observer_ = nullptr;
+  struct Handles {
+    obs::Counter* contexts = nullptr;
+    obs::Counter* moves = nullptr;
+    obs::Counter* stops = nullptr;
+  };
+  Handles handles_;
 };
 
 }  // namespace stratlearn

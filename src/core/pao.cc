@@ -25,7 +25,8 @@ std::vector<int64_t> Pao::ComputeQuotas(const InferenceGraph& graph,
 }
 
 Result<PaoResult> Pao::Run(const InferenceGraph& graph, ContextOracle& oracle,
-                           Rng& rng, const PaoOptions& options) {
+                           Rng& rng, const PaoOptions& options,
+                           obs::Observer* observer) {
   if (oracle.num_experiments() != graph.num_experiments()) {
     return Status::InvalidArgument(
         "oracle and graph disagree on the number of experiments");
@@ -44,7 +45,7 @@ Result<PaoResult> Pao::Run(const InferenceGraph& graph, ContextOracle& oracle,
       options.mode == PaoOptions::Mode::kTheorem2
           ? AdaptiveQueryProcessor::QuotaMode::kAttempts
           : AdaptiveQueryProcessor::QuotaMode::kReachAttempts;
-  AdaptiveQueryProcessor qpa(&graph, result.quotas, mode);
+  AdaptiveQueryProcessor qpa(&graph, result.quotas, mode, observer);
 
   while (!qpa.QuotasMet()) {
     if (qpa.contexts_processed() >= options.max_contexts) {
@@ -59,6 +60,13 @@ Result<PaoResult> Pao::Run(const InferenceGraph& graph, ContextOracle& oracle,
 
   result.contexts_used = qpa.contexts_processed();
   result.estimates = qpa.SuccessFrequencies(/*fallback=*/0.5);
+  if (observer != nullptr && observer->metrics() != nullptr) {
+    obs::MetricsRegistry* r = observer->metrics();
+    r->GetCounter("pao.contexts_used").Increment(result.contexts_used);
+    int64_t quota_total = 0;
+    for (int64_t q : result.quotas) quota_total += q;
+    r->GetGauge("pao.quota_total").Set(static_cast<double>(quota_total));
+  }
 
   Result<UpsilonResult> upsilon =
       UpsilonAot(graph, result.estimates, options.upsilon);

@@ -67,9 +67,12 @@ class Pao {
   /// Runs the full pipeline. Returns ResourceExhausted if the quotas are
   /// not met within options.max_contexts (the Theorem 2 failure mode that
   /// motivates Theorem 3), or the Upsilon error for unsupported graphs.
+  /// An optional observer is threaded into QP^A (qp.*/qpa.* metrics and
+  /// QuotaProgress events) and records pao.* summary metrics.
   static Result<PaoResult> Run(const InferenceGraph& graph,
                                ContextOracle& oracle, Rng& rng,
-                               const PaoOptions& options = {});
+                               const PaoOptions& options = {},
+                               obs::Observer* observer = nullptr);
 };
 
 }  // namespace stratlearn

@@ -5,11 +5,14 @@
 
 namespace stratlearn {
 
-Pib::Pib(const InferenceGraph* graph, Strategy initial, Options options)
-    : Pib(graph, std::move(initial), AllSiblingSwaps(*graph), options) {}
+Pib::Pib(const InferenceGraph* graph, Strategy initial, Options options,
+         obs::Observer* observer)
+    : Pib(graph, std::move(initial), AllSiblingSwaps(*graph), options,
+          observer) {}
 
 Pib::Pib(const InferenceGraph* graph, Strategy initial,
-         std::vector<SiblingSwap> transformations, Options options)
+         std::vector<SiblingSwap> transformations, Options options,
+         obs::Observer* observer)
     : graph_(graph),
       estimator_(graph),
       current_(std::move(initial)),
@@ -18,6 +21,18 @@ Pib::Pib(const InferenceGraph* graph, Strategy initial,
   STRATLEARN_CHECK(options_.delta > 0.0 && options_.delta < 1.0);
   STRATLEARN_CHECK(options_.test_every >= 1);
   RebuildNeighborhood();
+  set_observer(observer);
+}
+
+void Pib::set_observer(obs::Observer* observer) {
+  observer_ = observer;
+  handles_ = Handles{};
+  if (observer_ == nullptr || observer_->metrics() == nullptr) return;
+  obs::MetricsRegistry* r = observer_->metrics();
+  handles_.contexts = &r->GetCounter("pib.contexts");
+  handles_.trials = &r->GetCounter("pib.trials");
+  handles_.tests = &r->GetCounter("pib.tests");
+  handles_.moves = &r->GetCounter("pib.moves");
 }
 
 void Pib::RebuildNeighborhood() {
@@ -53,25 +68,75 @@ bool Pib::Observe(const Trace& trace) {
   for (Neighbor& n : neighbors_) {
     n.delta_sum += estimator_.UnderEstimate(trace, n.strategy);
   }
+  if (handles_.contexts != nullptr) {
+    handles_.contexts->Increment();
+    handles_.trials->Increment(static_cast<int64_t>(neighbors_.size()));
+  }
   if (contexts_ % options_.test_every != 0) return false;
 
+  // One test round: the first neighbour (in T order) whose sum crosses
+  // its Equation-6 threshold wins; the largest-margin neighbour is
+  // reported either way so traces show how close the round came.
+  size_t fired = neighbors_.size();
+  size_t best = neighbors_.size();
+  double best_margin = 0.0;
+  double fired_threshold = 0.0;
   for (size_t j = 0; j < neighbors_.size(); ++j) {
     const Neighbor& n = neighbors_[j];
     double threshold = ThresholdFor(j);
-    if (n.delta_sum > 0.0 && n.delta_sum >= threshold) {
-      Move move;
-      move.at_context = contexts_;
-      move.samples_used = samples_;
-      move.swap = n.swap;
-      move.delta_sum = n.delta_sum;
-      move.threshold = threshold;
-      moves_.push_back(move);
-      current_ = n.strategy;
-      RebuildNeighborhood();
-      return true;
+    double margin = n.delta_sum - threshold;
+    if (best == neighbors_.size() || margin > best_margin) {
+      best = j;
+      best_margin = margin;
+    }
+    if (fired == neighbors_.size() && n.delta_sum > 0.0 &&
+        n.delta_sum >= threshold) {
+      fired = j;
+      fired_threshold = threshold;
     }
   }
-  return false;
+  if (handles_.tests != nullptr && !neighbors_.empty()) {
+    handles_.tests->Increment();
+  }
+  if (observer_ != nullptr && !neighbors_.empty()) {
+    if (obs::TraceSink* sink = observer_->sink()) {
+      sink->OnSequentialTest({observer_->NowUs(), "pib", contexts_, samples_,
+                              trials_, static_cast<int64_t>(best),
+                              neighbors_[best].delta_sum,
+                              ThresholdFor(best),
+                              fired != neighbors_.size()});
+    }
+  }
+  if (fired == neighbors_.size()) return false;
+
+  const Neighbor& n = neighbors_[fired];
+  Move move;
+  move.at_context = contexts_;
+  move.samples_used = samples_;
+  move.swap = n.swap;
+  move.delta_sum = n.delta_sum;
+  move.threshold = fired_threshold;
+  moves_.push_back(move);
+  if (handles_.moves != nullptr) handles_.moves->Increment();
+  if (observer_ != nullptr) {
+    if (obs::TraceSink* sink = observer_->sink()) {
+      obs::ClimbMoveEvent event;
+      event.t_us = observer_->NowUs();
+      event.learner = "pib";
+      event.move_index = static_cast<int64_t>(moves_.size()) - 1;
+      event.at_context = contexts_;
+      event.samples_used = samples_;
+      event.swap = n.swap.ToString(*graph_);
+      event.delta_sum = n.delta_sum;
+      event.threshold = fired_threshold;
+      event.margin = n.delta_sum - fired_threshold;
+      event.delta_spent = SequentialDelta(trials_, options_.delta);
+      sink->OnClimbMove(event);
+    }
+  }
+  current_ = n.strategy;
+  RebuildNeighborhood();
+  return true;
 }
 
 }  // namespace stratlearn

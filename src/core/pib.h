@@ -47,11 +47,16 @@ class Pib {
 
   /// Uses T = all sibling swaps of the graph.
   Pib(const InferenceGraph* graph, Strategy initial,
-      Options options = PibOptions());
+      Options options = PibOptions(), obs::Observer* observer = nullptr);
 
   /// Uses a caller-selected transformation set.
   Pib(const InferenceGraph* graph, Strategy initial,
-      std::vector<SiblingSwap> transformations, Options options);
+      std::vector<SiblingSwap> transformations, Options options,
+      obs::Observer* observer = nullptr);
+
+  /// Attaches an observer: pib.* metrics plus SequentialTest/ClimbMove
+  /// events from every test round.
+  void set_observer(obs::Observer* observer);
 
   /// Records the trace of the *current* strategy solving one context.
   /// Returns true when a hill-climbing move occurred (the caller must
@@ -93,6 +98,14 @@ class Pib {
   int64_t trials_ = 0;
   int64_t samples_ = 0;
   std::vector<Move> moves_;
+  obs::Observer* observer_ = nullptr;
+  struct Handles {
+    obs::Counter* contexts = nullptr;
+    obs::Counter* trials = nullptr;
+    obs::Counter* tests = nullptr;
+    obs::Counter* moves = nullptr;
+  };
+  Handles handles_;
 };
 
 }  // namespace stratlearn

@@ -6,7 +6,7 @@
 namespace stratlearn {
 
 Pib1::Pib1(const InferenceGraph* graph, Strategy current, SiblingSwap swap,
-           Options options)
+           Options options, obs::Observer* observer)
     : graph_(graph),
       estimator_(graph),
       current_(std::move(current)),
@@ -14,11 +14,33 @@ Pib1::Pib1(const InferenceGraph* graph, Strategy current, SiblingSwap swap,
       options_(options),
       range_(SwapRange(*graph, current_, swap)) {
   STRATLEARN_CHECK(options_.delta > 0.0 && options_.delta < 1.0);
+  set_observer(observer);
+}
+
+void Pib1::set_observer(obs::Observer* observer) {
+  observer_ = observer;
+  handles_ = Handles{};
+  if (observer_ == nullptr || observer_->metrics() == nullptr) return;
+  obs::MetricsRegistry* r = observer_->metrics();
+  handles_.samples = &r->GetCounter("pib1.samples");
+  handles_.delta_sum = &r->GetGauge("pib1.delta_sum");
+  handles_.threshold = &r->GetGauge("pib1.threshold");
 }
 
 void Pib1::Observe(const Trace& trace) {
   delta_sum_ += estimator_.UnderEstimate(trace, alternative_);
   ++samples_;
+  if (observer_ == nullptr) return;
+  if (handles_.samples != nullptr) {
+    handles_.samples->Increment();
+    handles_.delta_sum->Set(delta_sum_);
+    handles_.threshold->Set(Threshold());
+  }
+  if (obs::TraceSink* sink = observer_->sink()) {
+    sink->OnSequentialTest({observer_->NowUs(), "pib1", samples_, samples_,
+                            /*trial_count=*/1, /*best_neighbor=*/0,
+                            delta_sum_, Threshold(), ShouldSwitch()});
+  }
 }
 
 double Pib1::Threshold() const {

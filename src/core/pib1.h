@@ -28,7 +28,11 @@ class Pib1 {
   using Options = Pib1Options;
 
   Pib1(const InferenceGraph* graph, Strategy current, SiblingSwap swap,
-       Options options = Pib1Options());
+       Options options = Pib1Options(), obs::Observer* observer = nullptr);
+
+  /// Attaches an observer: pib1.* metrics plus one SequentialTest event
+  /// per observed query (the filter re-tests continuously).
+  void set_observer(obs::Observer* observer);
 
   /// Records one solved query of the current strategy.
   void Observe(const Trace& trace);
@@ -56,6 +60,13 @@ class Pib1 {
   double range_;
   double delta_sum_ = 0.0;
   int64_t samples_ = 0;
+  obs::Observer* observer_ = nullptr;
+  struct Handles {
+    obs::Counter* samples = nullptr;
+    obs::Gauge* delta_sum = nullptr;
+    obs::Gauge* threshold = nullptr;
+  };
+  Handles handles_;
 };
 
 /// The paper's literal three-counter realisation of PIB_1 for the

@@ -6,13 +6,26 @@ namespace stratlearn {
 
 AdaptiveQueryProcessor::AdaptiveQueryProcessor(const InferenceGraph* graph,
                                                std::vector<int64_t> quotas,
-                                               QuotaMode mode)
+                                               QuotaMode mode,
+                                               obs::Observer* observer)
     : graph_(graph),
       processor_(graph),
       remaining_(std::move(quotas)),
       mode_(mode),
       counters_(graph->num_experiments()) {
   STRATLEARN_CHECK(remaining_.size() == graph_->num_experiments());
+  set_observer(observer);
+}
+
+void AdaptiveQueryProcessor::set_observer(obs::Observer* observer) {
+  observer_ = observer;
+  processor_.set_observer(observer);
+  handles_ = Handles{};
+  if (observer_ == nullptr || observer_->metrics() == nullptr) return;
+  obs::MetricsRegistry* r = observer_->metrics();
+  handles_.contexts = &r->GetCounter("qpa.contexts");
+  handles_.blocked_aims = &r->GetCounter("qpa.blocked_aims");
+  handles_.quota_remaining = &r->GetGauge("qpa.quota_remaining");
 }
 
 int AdaptiveQueryProcessor::PickTarget() const {
@@ -69,6 +82,28 @@ AdaptiveQueryProcessor::StepResult AdaptiveQueryProcessor::Process(
       if (mode_ == QuotaMode::kReachAttempts) {
         --remaining_[result.aimed_experiment];
       }
+      if (handles_.blocked_aims != nullptr) {
+        handles_.blocked_aims->Increment();
+      }
+    }
+  }
+  if (observer_ != nullptr) {
+    int64_t remaining_max = 0;
+    int64_t remaining_total = 0;
+    for (int64_t r : remaining_) {
+      if (r > 0) {
+        remaining_total += r;
+        if (r > remaining_max) remaining_max = r;
+      }
+    }
+    if (handles_.contexts != nullptr) {
+      handles_.contexts->Increment();
+      handles_.quota_remaining->Set(static_cast<double>(remaining_total));
+    }
+    if (obs::TraceSink* sink = observer_->sink()) {
+      sink->OnQuotaProgress({observer_->NowUs(), contexts_processed_,
+                             result.aimed_experiment, result.reached,
+                             remaining_max, remaining_total});
     }
   }
   return result;

@@ -30,9 +30,13 @@ class AdaptiveQueryProcessor {
   };
 
   /// `quotas[i]` is the required number of samples of experiment i
-  /// (Equation 7 or 8).
+  /// (Equation 7 or 8). An optional observer records qpa.* metrics and
+  /// QuotaProgress events (and is forwarded to the inner processor).
   AdaptiveQueryProcessor(const InferenceGraph* graph,
-                         std::vector<int64_t> quotas, QuotaMode mode);
+                         std::vector<int64_t> quotas, QuotaMode mode,
+                         obs::Observer* observer = nullptr);
+
+  void set_observer(obs::Observer* observer);
 
   struct StepResult {
     Trace trace;
@@ -77,6 +81,13 @@ class AdaptiveQueryProcessor {
   QuotaMode mode_;
   std::vector<ExperimentCounter> counters_;
   int64_t contexts_processed_ = 0;
+  obs::Observer* observer_ = nullptr;
+  struct Handles {
+    obs::Counter* contexts = nullptr;
+    obs::Counter* blocked_aims = nullptr;
+    obs::Gauge* quota_remaining = nullptr;
+  };
+  Handles handles_;
 };
 
 }  // namespace stratlearn

@@ -11,9 +11,58 @@ bool Trace::Attempted(const InferenceGraph& graph, int experiment) const {
   return false;
 }
 
-Trace QueryProcessor::Execute(const Strategy& strategy,
-                              const Context& context,
-                              const ExecutionOptions& options) const {
+void QueryProcessor::set_observer(obs::Observer* observer) {
+  observer_ = observer;
+  handles_ = Handles{};
+  if (observer_ == nullptr || observer_->metrics() == nullptr) return;
+  obs::MetricsRegistry* r = observer_->metrics();
+  handles_.queries = &r->GetCounter("qp.queries");
+  handles_.arc_attempts = &r->GetCounter("qp.arc_attempts");
+  handles_.arcs_unblocked = &r->GetCounter("qp.arcs_unblocked");
+  handles_.successes = &r->GetCounter("qp.successes");
+  handles_.query_cost = &r->GetHistogram("qp.query_cost");
+  handles_.query_wall_us = &r->GetHistogram("qp.query_wall_us");
+}
+
+Trace QueryProcessor::ExecuteObserved(const Strategy& strategy,
+                                      const Context& context,
+                                      const ExecutionOptions& options) const {
+  int64_t query_index = queries_executed_++;
+  int64_t t0 = observer_->NowUs();
+  obs::TraceSink* sink = observer_->sink();
+  if (sink != nullptr) sink->OnQueryStart({query_index, t0});
+
+  Trace trace = ExecuteImpl(strategy, context, options);
+  int64_t t1 = observer_->NowUs();
+
+  if (handles_.queries != nullptr) {
+    handles_.queries->Increment();
+    handles_.arc_attempts->Increment(
+        static_cast<int64_t>(trace.attempts.size()));
+    int64_t unblocked = 0;
+    for (const ArcAttempt& a : trace.attempts) {
+      if (a.unblocked) ++unblocked;
+    }
+    handles_.arcs_unblocked->Increment(unblocked);
+    handles_.successes->Increment(trace.successes);
+    handles_.query_cost->Record(trace.cost);
+    handles_.query_wall_us->Record(static_cast<double>(t1 - t0));
+  }
+  if (sink != nullptr) {
+    for (const ArcAttempt& a : trace.attempts) {
+      sink->OnArcAttempt({query_index, t1, a.arc,
+                          graph_->arc(a.arc).experiment, a.unblocked});
+    }
+    sink->OnQueryEnd({query_index, t0, t1 - t0, trace.cost,
+                      static_cast<int64_t>(trace.attempts.size()),
+                      trace.successes, trace.success});
+  }
+  return trace;
+}
+
+Trace QueryProcessor::ExecuteImpl(const Strategy& strategy,
+                                  const Context& context,
+                                  const ExecutionOptions& options) const {
   STRATLEARN_CHECK(context.num_experiments() == graph_->num_experiments());
   Trace trace;
   std::vector<char> visited(graph_->num_nodes(), 0);

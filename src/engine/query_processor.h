@@ -7,6 +7,7 @@
 #include "engine/context.h"
 #include "engine/strategy.h"
 #include "graph/inference_graph.h"
+#include "obs/observer.h"
 
 namespace stratlearn {
 
@@ -47,10 +48,28 @@ struct ExecutionOptions {
 /// make its head reachable; reaching a success node counts an answer.
 class QueryProcessor {
  public:
-  explicit QueryProcessor(const InferenceGraph* graph) : graph_(graph) {}
+  explicit QueryProcessor(const InferenceGraph* graph,
+                          obs::Observer* observer = nullptr)
+      : graph_(graph) {
+    set_observer(observer);
+  }
 
+  /// Attaches (or detaches, with nullptr) an observer. When attached,
+  /// Execute records qp.* metrics and emits QueryStart/ArcAttempt/
+  /// QueryEnd events; when absent the hot loop is untouched.
+  void set_observer(obs::Observer* observer);
+  obs::Observer* observer() const { return observer_; }
+
+  /// Inline dispatch keeps the unobserved path at the same call depth
+  /// as an uninstrumented processor: one predicted branch, then the
+  /// hot loop.
   Trace Execute(const Strategy& strategy, const Context& context,
-                const ExecutionOptions& options = {}) const;
+                const ExecutionOptions& options = {}) const {
+    if (observer_ != nullptr) [[unlikely]] {
+      return ExecuteObserved(strategy, context, options);
+    }
+    return ExecuteImpl(strategy, context, options);
+  }
 
   /// Convenience: the cost c(Theta, I) alone.
   double Cost(const Strategy& strategy, const Context& context) const;
@@ -58,7 +77,26 @@ class QueryProcessor {
   const InferenceGraph& graph() const { return *graph_; }
 
  private:
+  Trace ExecuteImpl(const Strategy& strategy, const Context& context,
+                    const ExecutionOptions& options) const;
+  Trace ExecuteObserved(const Strategy& strategy, const Context& context,
+                        const ExecutionOptions& options) const;
+
   const InferenceGraph* graph_;
+  obs::Observer* observer_ = nullptr;
+  /// Metric handles resolved once in set_observer (null when no
+  /// registry) so the observed path does no name lookups per query.
+  struct Handles {
+    obs::Counter* queries = nullptr;
+    obs::Counter* arc_attempts = nullptr;
+    obs::Counter* arcs_unblocked = nullptr;
+    obs::Counter* successes = nullptr;
+    obs::Histogram* query_cost = nullptr;
+    obs::Histogram* query_wall_us = nullptr;
+  };
+  Handles handles_;
+  /// Query ordinal for span events (Execute stays const for callers).
+  mutable int64_t queries_executed_ = 0;
 };
 
 }  // namespace stratlearn

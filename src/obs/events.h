@@ -1,0 +1,92 @@
+#ifndef STRATLEARN_OBS_EVENTS_H_
+#define STRATLEARN_OBS_EVENTS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace stratlearn::obs {
+
+/// Structured runtime events. Timestamps (`t_us`) are microseconds of
+/// steady-clock time since the owning Observer was constructed; arc and
+/// experiment ids are plain integers so this header stays independent of
+/// the graph layer.
+
+/// A query execution is starting (opens a span; closed by QueryEnd).
+struct QueryStartEvent {
+  int64_t query_index = 0;
+  int64_t t_us = 0;
+};
+
+/// A query execution finished. `t_us` is the span's *start*; pairing it
+/// with `duration_us` makes the event self-contained for span renderers.
+struct QueryEndEvent {
+  int64_t query_index = 0;
+  int64_t t_us = 0;
+  int64_t duration_us = 0;
+  double cost = 0.0;
+  int64_t attempts = 0;
+  int64_t successes = 0;
+  bool success = false;
+};
+
+/// One arc traversal attempt inside a query.
+struct ArcAttemptEvent {
+  int64_t query_index = 0;
+  int64_t t_us = 0;
+  uint32_t arc = 0;
+  int experiment = -1;  // -1: deterministic arc
+  bool unblocked = false;
+};
+
+/// A hill-climber (PIB/PALO) adopted a neighbour strategy.
+struct ClimbMoveEvent {
+  int64_t t_us = 0;
+  std::string learner;      // "pib" | "palo"
+  int64_t move_index = 0;   // 0-based move ordinal
+  int64_t at_context = 0;   // contexts processed when the move fired
+  int64_t samples_used = 0; // |S| of the epoch that fired
+  std::string swap;         // human-readable sibling swap
+  double delta_sum = 0.0;   // winning sum of Delta~ under-estimates
+  double threshold = 0.0;   // the Equation-6 threshold it crossed
+  double margin = 0.0;      // delta_sum - threshold
+  double delta_spent = 0.0; // delta_i consumed from the lifetime budget
+};
+
+/// Outcome of one sequential-test round (the best neighbour's numbers,
+/// whether or not it crossed the threshold).
+struct SequentialTestEvent {
+  int64_t t_us = 0;
+  std::string learner;  // "pib" | "pib1" | "palo"
+  int64_t at_context = 0;
+  int64_t samples = 0;
+  int64_t trial_count = 0;
+  int64_t best_neighbor = -1;
+  double best_delta_sum = 0.0;
+  double best_threshold = 0.0;
+  bool fired = false;
+};
+
+/// Per-context progress of QP^A toward its Equation 7/8 sample quotas.
+struct QuotaProgressEvent {
+  int64_t t_us = 0;
+  int64_t context = 0;
+  int aimed_experiment = -1;
+  bool reached = false;
+  int64_t remaining_max = 0;    // largest single remaining quota
+  int64_t remaining_total = 0;  // sum of positive remaining quotas
+};
+
+/// PALO certified an epsilon-local optimum and stopped.
+struct PaloStopEvent {
+  int64_t t_us = 0;
+  int64_t at_context = 0;
+  int64_t moves = 0;
+  double epsilon = 0.0;
+  /// max over neighbours of (mean over-estimate + Hoeffding deviation);
+  /// the stop fired because this dropped below epsilon.
+  double worst_certificate = 0.0;
+};
+
+}  // namespace stratlearn::obs
+
+#endif  // STRATLEARN_OBS_EVENTS_H_

@@ -1,0 +1,178 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/json_writer.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace stratlearn::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  STRATLEARN_CHECK_MSG(!bounds_.empty(), "histogram needs >= 1 bound");
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    STRATLEARN_CHECK_MSG(bounds_[i - 1] < bounds_[i],
+                         "histogram bounds must be strictly increasing");
+  }
+}
+
+void Histogram::Record(double value) {
+  size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  ++counts_[bucket];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+double Histogram::bucket_upper(size_t i) const {
+  if (i < bounds_.size()) return bounds_[i];
+  return std::numeric_limits<double>::infinity();
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  double rank = p / 100.0 * static_cast<double>(count_);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    double lower = i == 0 ? std::min(min_, bounds_[0]) : bounds_[i - 1];
+    if (cumulative + counts_[i] >= rank) {
+      double upper = i < bounds_.size() ? bounds_[i] : max_;
+      double within =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(counts_[i]);
+      double estimate = lower + (upper - lower) * within;
+      return std::clamp(estimate, min_, max_);
+    }
+    cumulative += counts_[i];
+  }
+  return max_;
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count) {
+  STRATLEARN_CHECK(start > 0.0 && factor > 1.0 && count >= 1);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double v = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(v);
+    v *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> LinearBuckets(double start, double step, int count) {
+  STRATLEARN_CHECK(step > 0.0 && count >= 1);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(start + step * i);
+  }
+  return bounds;
+}
+
+std::vector<double> DefaultBuckets() {
+  std::vector<double> bounds;
+  for (double decade = 1.0; decade <= 1e6; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(2.0 * decade);
+    bounds.push_back(5.0 * decade);
+  }
+  return bounds;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds) {
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  if (upper_bounds.empty()) upper_bounds = DefaultBuckets();
+  return histograms_.emplace(name, Histogram(std::move(upper_bounds)))
+      .first->second;
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    w.Key(name).Value(counter.value());
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    w.Key(name).Value(gauge.value());
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, h] : histograms_) {
+    w.Key(name).BeginObject();
+    w.Key("count").Value(h.count());
+    w.Key("sum").Value(h.sum());
+    w.Key("min").Value(h.min());
+    w.Key("max").Value(h.max());
+    w.Key("mean").Value(h.Mean());
+    w.Key("p50").Value(h.Percentile(50));
+    w.Key("p90").Value(h.Percentile(90));
+    w.Key("p99").Value(h.Percentile(99));
+    w.Key("buckets").BeginArray();
+    for (size_t i = 0; i < h.num_buckets(); ++i) {
+      w.BeginObject();
+      if (i < h.bounds().size()) {
+        w.Key("le").Value(h.bounds()[i]);
+      } else {
+        w.Key("le").Value("+Inf");
+      }
+      w.Key("count").Value(h.bucket_count(i));
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
+}
+
+std::string MetricsRegistry::Summary() const {
+  if (counters_.empty() && gauges_.empty() && histograms_.empty()) return "";
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += StrFormat("  %-28s %lld\n", name.c_str(),
+                     static_cast<long long>(counter.value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += StrFormat("  %-28s %s\n", name.c_str(),
+                     FormatDouble(gauge.value(), 6).c_str());
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += StrFormat(
+        "  %-28s count=%lld mean=%s p50=%s p95=%s max=%s\n", name.c_str(),
+        static_cast<long long>(h.count()), FormatDouble(h.Mean(), 4).c_str(),
+        FormatDouble(h.Percentile(50), 4).c_str(),
+        FormatDouble(h.Percentile(95), 4).c_str(),
+        FormatDouble(h.max(), 4).c_str());
+  }
+  return out;
+}
+
+}  // namespace stratlearn::obs

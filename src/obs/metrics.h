@@ -1,0 +1,116 @@
+#ifndef STRATLEARN_OBS_METRICS_H_
+#define STRATLEARN_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace stratlearn::obs {
+
+/// A monotonically increasing integer metric.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) { value_ += delta; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// A last-write-wins floating-point metric.
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// A fixed-bucket histogram. Bucket i counts values <= bounds[i] (and
+/// greater than bounds[i-1]); one implicit overflow bucket catches
+/// everything above the last bound. Tracks count/sum/min/max exactly;
+/// percentiles are estimated by linear interpolation inside the bucket
+/// that contains the requested rank.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Record(double value);
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+  /// Number of buckets including the overflow bucket.
+  size_t num_buckets() const { return counts_.size(); }
+  int64_t bucket_count(size_t i) const { return counts_[i]; }
+  /// Upper bound of bucket i; +infinity for the overflow bucket.
+  double bucket_upper(size_t i) const;
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Estimated value at percentile `p` in [0, 100]. Returns 0 with no
+  /// samples; clamps to the observed min/max so the estimate never
+  /// leaves the data's range.
+  double Percentile(double p) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<int64_t> counts_;  // bounds_.size() + 1 (overflow last)
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Bucket helpers. Exponential: {start, start*factor, ...} (count bounds).
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count);
+std::vector<double> LinearBuckets(double start, double step, int count);
+/// Default 1-2-5 decade series from 1 to 5e6 — suits both microsecond
+/// wall times and abstract arc costs.
+std::vector<double> DefaultBuckets();
+
+/// Named metrics, created on first use. Pointers returned by the Get*
+/// methods remain valid for the registry's lifetime (node-based map
+/// storage). Not thread-safe; one registry per run/experiment.
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// `upper_bounds` is used only when the histogram does not exist yet;
+  /// empty means DefaultBuckets().
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> upper_bounds = {});
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Serializes every metric to one deterministic JSON object:
+  ///   {"counters":{...},"gauges":{...},"histograms":{name:
+  ///     {"count":..,"sum":..,"min":..,"max":..,"mean":..,
+  ///      "p50":..,"p90":..,"p99":..,
+  ///      "buckets":[{"le":1,"count":0},..,{"le":"+Inf","count":0}]}}}
+  std::string SnapshotJson() const;
+
+  /// Human-readable multi-line summary (counters, gauges, histogram
+  /// count/mean/p50/p95/max), for CLI and bench banners. Empty string
+  /// when the registry holds no metrics.
+  std::string Summary() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace stratlearn::obs
+
+#endif  // STRATLEARN_OBS_METRICS_H_

@@ -1,0 +1,39 @@
+#ifndef STRATLEARN_OBS_OBSERVER_H_
+#define STRATLEARN_OBS_OBSERVER_H_
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "obs/trace_sink.h"
+
+namespace stratlearn::obs {
+
+/// The handle the engine and learners carry: a metrics registry plus a
+/// trace sink, either of which may be absent. Instrumented code holds an
+/// `Observer*` that defaults to nullptr and guards all observability
+/// work behind that single branch, so uninstrumented runs pay (almost)
+/// nothing.
+///
+/// Timestamps for events come from NowUs(): steady-clock microseconds
+/// since this Observer was constructed, so every sink attached to the
+/// same observer shares one clock domain.
+class Observer {
+ public:
+  Observer(MetricsRegistry* metrics, TraceSink* sink)
+      : metrics_(metrics), sink_(sink) {}
+
+  MetricsRegistry* metrics() const { return metrics_; }
+  TraceSink* sink() const { return sink_; }
+
+  int64_t NowUs() const { return static_cast<int64_t>(epoch_.ElapsedUs()); }
+
+ private:
+  MetricsRegistry* metrics_;
+  TraceSink* sink_;
+  Stopwatch epoch_;
+};
+
+}  // namespace stratlearn::obs
+
+#endif  // STRATLEARN_OBS_OBSERVER_H_

@@ -1,0 +1,253 @@
+#include "obs/sinks.h"
+
+#include "obs/json_writer.h"
+
+namespace stratlearn::obs {
+
+namespace {
+
+/// Shared field spellings so JSONL and Chrome args agree.
+void CommonClimbFields(JsonWriter& w, const ClimbMoveEvent& e) {
+  w.Key("learner").Value(e.learner);
+  w.Key("move_index").Value(e.move_index);
+  w.Key("at_context").Value(e.at_context);
+  w.Key("samples_used").Value(e.samples_used);
+  w.Key("swap").Value(e.swap);
+  w.Key("delta_sum").Value(e.delta_sum);
+  w.Key("threshold").Value(e.threshold);
+  w.Key("margin").Value(e.margin);
+  w.Key("delta_spent").Value(e.delta_spent);
+}
+
+void CommonTestFields(JsonWriter& w, const SequentialTestEvent& e) {
+  w.Key("learner").Value(e.learner);
+  w.Key("at_context").Value(e.at_context);
+  w.Key("samples").Value(e.samples);
+  w.Key("trial_count").Value(e.trial_count);
+  w.Key("best_neighbor").Value(e.best_neighbor);
+  w.Key("best_delta_sum").Value(e.best_delta_sum);
+  w.Key("best_threshold").Value(e.best_threshold);
+  w.Key("fired").Value(e.fired);
+}
+
+}  // namespace
+
+JsonlSink::JsonlSink(std::ostream* out) : out_(out) {}
+
+JsonlSink::JsonlSink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path)), out_(owned_.get()) {}
+
+JsonlSink::~JsonlSink() { Flush(); }
+
+void JsonlSink::WriteLine(const std::string& json) {
+  if (out_ == nullptr) return;
+  *out_ << json << '\n';
+}
+
+void JsonlSink::Flush() {
+  if (out_ != nullptr) out_->flush();
+}
+
+void JsonlSink::OnQueryStart(const QueryStartEvent& e) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("type").Value("query_start");
+  w.Key("t_us").Value(e.t_us);
+  w.Key("query_index").Value(e.query_index);
+  w.EndObject();
+  WriteLine(w.str());
+}
+
+void JsonlSink::OnQueryEnd(const QueryEndEvent& e) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("type").Value("query_end");
+  w.Key("t_us").Value(e.t_us);
+  w.Key("query_index").Value(e.query_index);
+  w.Key("duration_us").Value(e.duration_us);
+  w.Key("cost").Value(e.cost);
+  w.Key("attempts").Value(e.attempts);
+  w.Key("successes").Value(e.successes);
+  w.Key("success").Value(e.success);
+  w.EndObject();
+  WriteLine(w.str());
+}
+
+void JsonlSink::OnArcAttempt(const ArcAttemptEvent& e) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("type").Value("arc_attempt");
+  w.Key("t_us").Value(e.t_us);
+  w.Key("query_index").Value(e.query_index);
+  w.Key("arc").Value(static_cast<int64_t>(e.arc));
+  w.Key("experiment").Value(static_cast<int64_t>(e.experiment));
+  w.Key("unblocked").Value(e.unblocked);
+  w.EndObject();
+  WriteLine(w.str());
+}
+
+void JsonlSink::OnClimbMove(const ClimbMoveEvent& e) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("type").Value("climb_move");
+  w.Key("t_us").Value(e.t_us);
+  CommonClimbFields(w, e);
+  w.EndObject();
+  WriteLine(w.str());
+}
+
+void JsonlSink::OnSequentialTest(const SequentialTestEvent& e) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("type").Value("sequential_test");
+  w.Key("t_us").Value(e.t_us);
+  CommonTestFields(w, e);
+  w.EndObject();
+  WriteLine(w.str());
+}
+
+void JsonlSink::OnQuotaProgress(const QuotaProgressEvent& e) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("type").Value("quota_progress");
+  w.Key("t_us").Value(e.t_us);
+  w.Key("context").Value(e.context);
+  w.Key("aimed_experiment").Value(static_cast<int64_t>(e.aimed_experiment));
+  w.Key("reached").Value(e.reached);
+  w.Key("remaining_max").Value(e.remaining_max);
+  w.Key("remaining_total").Value(e.remaining_total);
+  w.EndObject();
+  WriteLine(w.str());
+}
+
+void JsonlSink::OnPaloStop(const PaloStopEvent& e) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("type").Value("palo_stop");
+  w.Key("t_us").Value(e.t_us);
+  w.Key("at_context").Value(e.at_context);
+  w.Key("moves").Value(e.moves);
+  w.Key("epsilon").Value(e.epsilon);
+  w.Key("worst_certificate").Value(e.worst_certificate);
+  w.EndObject();
+  WriteLine(w.str());
+}
+
+ChromeTraceSink::ChromeTraceSink(std::ostream* out) : out_(out) {
+  if (out_ != nullptr) *out_ << "[\n";
+}
+
+ChromeTraceSink::ChromeTraceSink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path)), out_(owned_.get()) {
+  if (ok()) *out_ << "[\n";
+}
+
+ChromeTraceSink::~ChromeTraceSink() { Flush(); }
+
+void ChromeTraceSink::WriteRecord(const std::string& json) {
+  if (out_ == nullptr || closed_) return;
+  if (wrote_any_) *out_ << ",\n";
+  *out_ << json;
+  wrote_any_ = true;
+}
+
+void ChromeTraceSink::Flush() {
+  if (out_ == nullptr) return;
+  if (!closed_) {
+    *out_ << "\n]\n";
+    closed_ = true;
+  }
+  out_->flush();
+}
+
+void ChromeTraceSink::OnQueryEnd(const QueryEndEvent& e) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").Value("query");
+  w.Key("cat").Value("qp");
+  w.Key("ph").Value("X");
+  w.Key("ts").Value(e.t_us);
+  w.Key("dur").Value(e.duration_us);
+  w.Key("pid").Value(int64_t{1});
+  w.Key("tid").Value(int64_t{1});
+  w.Key("args").BeginObject();
+  w.Key("query_index").Value(e.query_index);
+  w.Key("cost").Value(e.cost);
+  w.Key("attempts").Value(e.attempts);
+  w.Key("success").Value(e.success);
+  w.EndObject();
+  w.EndObject();
+  WriteRecord(w.str());
+}
+
+void ChromeTraceSink::OnClimbMove(const ClimbMoveEvent& e) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").Value("climb_move");
+  w.Key("cat").Value("learner");
+  w.Key("ph").Value("i");
+  w.Key("s").Value("g");
+  w.Key("ts").Value(e.t_us);
+  w.Key("pid").Value(int64_t{1});
+  w.Key("tid").Value(int64_t{1});
+  w.Key("args").BeginObject();
+  CommonClimbFields(w, e);
+  w.EndObject();
+  w.EndObject();
+  WriteRecord(w.str());
+}
+
+void ChromeTraceSink::OnSequentialTest(const SequentialTestEvent& e) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").Value("sequential_test");
+  w.Key("cat").Value("learner");
+  w.Key("ph").Value("i");
+  w.Key("s").Value("t");
+  w.Key("ts").Value(e.t_us);
+  w.Key("pid").Value(int64_t{1});
+  w.Key("tid").Value(int64_t{1});
+  w.Key("args").BeginObject();
+  CommonTestFields(w, e);
+  w.EndObject();
+  w.EndObject();
+  WriteRecord(w.str());
+}
+
+void ChromeTraceSink::OnQuotaProgress(const QuotaProgressEvent& e) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").Value("quota_remaining");
+  w.Key("cat").Value("qpa");
+  w.Key("ph").Value("C");
+  w.Key("ts").Value(e.t_us);
+  w.Key("pid").Value(int64_t{1});
+  w.Key("args").BeginObject();
+  w.Key("total").Value(e.remaining_total);
+  w.Key("max").Value(e.remaining_max);
+  w.EndObject();
+  w.EndObject();
+  WriteRecord(w.str());
+}
+
+void ChromeTraceSink::OnPaloStop(const PaloStopEvent& e) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").Value("palo_stop");
+  w.Key("cat").Value("learner");
+  w.Key("ph").Value("i");
+  w.Key("s").Value("g");
+  w.Key("ts").Value(e.t_us);
+  w.Key("pid").Value(int64_t{1});
+  w.Key("tid").Value(int64_t{1});
+  w.Key("args").BeginObject();
+  w.Key("at_context").Value(e.at_context);
+  w.Key("moves").Value(e.moves);
+  w.Key("epsilon").Value(e.epsilon);
+  w.Key("worst_certificate").Value(e.worst_certificate);
+  w.EndObject();
+  w.EndObject();
+  WriteRecord(w.str());
+}
+
+}  // namespace stratlearn::obs

@@ -1,0 +1,76 @@
+#ifndef STRATLEARN_OBS_SINKS_H_
+#define STRATLEARN_OBS_SINKS_H_
+
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "obs/trace_sink.h"
+
+namespace stratlearn::obs {
+
+/// Writes one JSON object per line (JSONL). Every event type is
+/// serialized with a "type" discriminator plus the event's fields, so a
+/// stream can be filtered with grep/jq. The stream is borrowed unless
+/// the path constructor is used.
+class JsonlSink final : public TraceSink {
+ public:
+  /// Borrow an open stream (e.g. a std::ostringstream in tests).
+  explicit JsonlSink(std::ostream* out);
+  /// Own a file stream; `ok()` reports whether it opened.
+  explicit JsonlSink(const std::string& path);
+  ~JsonlSink() override;
+
+  bool ok() const { return out_ != nullptr && out_->good(); }
+
+  void OnQueryStart(const QueryStartEvent& e) override;
+  void OnQueryEnd(const QueryEndEvent& e) override;
+  void OnArcAttempt(const ArcAttemptEvent& e) override;
+  void OnClimbMove(const ClimbMoveEvent& e) override;
+  void OnSequentialTest(const SequentialTestEvent& e) override;
+  void OnQuotaProgress(const QuotaProgressEvent& e) override;
+  void OnPaloStop(const PaloStopEvent& e) override;
+  void Flush() override;
+
+ private:
+  void WriteLine(const std::string& json);
+
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream* out_ = nullptr;
+};
+
+/// Emits a chrome://tracing / Perfetto-loadable JSON array. Queries
+/// become complete spans ("ph":"X"), climb moves / sequential tests /
+/// PALO stops become instant events ("ph":"i"), and quota progress
+/// becomes a counter track ("ph":"C"). ArcAttempt events are
+/// intentionally dropped: at one span per query they already dominate
+/// file size, and the per-arc detail belongs in JSONL. The closing "]"
+/// is written by Flush()/the destructor.
+class ChromeTraceSink final : public TraceSink {
+ public:
+  explicit ChromeTraceSink(std::ostream* out);
+  explicit ChromeTraceSink(const std::string& path);
+  ~ChromeTraceSink() override;
+
+  bool ok() const { return out_ != nullptr && out_->good(); }
+
+  void OnQueryEnd(const QueryEndEvent& e) override;
+  void OnClimbMove(const ClimbMoveEvent& e) override;
+  void OnSequentialTest(const SequentialTestEvent& e) override;
+  void OnQuotaProgress(const QuotaProgressEvent& e) override;
+  void OnPaloStop(const PaloStopEvent& e) override;
+  void Flush() override;
+
+ private:
+  void WriteRecord(const std::string& json);
+
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream* out_ = nullptr;
+  bool wrote_any_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace stratlearn::obs
+
+#endif  // STRATLEARN_OBS_SINKS_H_

@@ -1,0 +1,53 @@
+#ifndef STRATLEARN_OBS_TIMER_H_
+#define STRATLEARN_OBS_TIMER_H_
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace stratlearn::obs {
+
+/// Wall-clock stopwatch on std::chrono::steady_clock. The paper's cost
+/// model is abstract arc costs; this is the bridge to real time.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  double ElapsedUs() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Records elapsed microseconds into a histogram (and/or an out
+/// variable) when it leaves scope. Both targets are nullable, so call
+/// sites need no branching: `ScopedTimer t(obs ? &hist : nullptr);`.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram, double* elapsed_us_out = nullptr)
+      : histogram_(histogram), out_(elapsed_us_out) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    double us = watch_.ElapsedUs();
+    if (histogram_ != nullptr) histogram_->Record(us);
+    if (out_ != nullptr) *out_ = us;
+  }
+
+  double ElapsedUs() const { return watch_.ElapsedUs(); }
+
+ private:
+  Stopwatch watch_;
+  Histogram* histogram_;
+  double* out_;
+};
+
+}  // namespace stratlearn::obs
+
+#endif  // STRATLEARN_OBS_TIMER_H_

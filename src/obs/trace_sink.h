@@ -1,0 +1,33 @@
+#ifndef STRATLEARN_OBS_TRACE_SINK_H_
+#define STRATLEARN_OBS_TRACE_SINK_H_
+
+#include "obs/events.h"
+
+namespace stratlearn::obs {
+
+/// Receiver interface for structured runtime events. Every handler
+/// defaults to a no-op so sinks implement only what they care about.
+/// Emitters must guard emission behind a single nullable-pointer branch
+/// (see Observer), so an absent sink costs one predictable branch.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  virtual void OnQueryStart(const QueryStartEvent&) {}
+  virtual void OnQueryEnd(const QueryEndEvent&) {}
+  virtual void OnArcAttempt(const ArcAttemptEvent&) {}
+  virtual void OnClimbMove(const ClimbMoveEvent&) {}
+  virtual void OnSequentialTest(const SequentialTestEvent&) {}
+  virtual void OnQuotaProgress(const QuotaProgressEvent&) {}
+  virtual void OnPaloStop(const PaloStopEvent&) {}
+
+  /// Push buffered output to the underlying medium.
+  virtual void Flush() {}
+};
+
+/// Explicit do-nothing sink, for call sites that want a non-null sink.
+class NullSink final : public TraceSink {};
+
+}  // namespace stratlearn::obs
+
+#endif  // STRATLEARN_OBS_TRACE_SINK_H_

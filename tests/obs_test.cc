@@ -1,0 +1,287 @@
+// Tests for the src/obs observability layer: histogram bucket and
+// percentile math, the metrics JSON snapshot (golden), JSON writer and
+// validator, and a JSONL round-trip over a real PIB learning run.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pib.h"
+#include "engine/query_processor.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "obs/sinks.h"
+#include "obs/timer.h"
+#include "util/string_util.h"
+#include "workload/random_tree.h"
+#include "workload/synthetic_oracle.h"
+
+namespace stratlearn {
+namespace {
+
+using obs::Histogram;
+using obs::IsValidJson;
+using obs::JsonWriter;
+using obs::MetricsRegistry;
+
+TEST(JsonWriterTest, NestedStructures) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a").Value(int64_t{1});
+  w.Key("b").BeginArray().Value(1.5).Value(true).Null().EndArray();
+  w.Key("c").BeginObject().Key("d").Value("x\"y\n").EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":[1.5,true,null],"c":{"d":"x\"y\n"}})");
+  EXPECT_TRUE(IsValidJson(w.str()));
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Value(std::numeric_limits<double>::infinity());
+  w.Value(std::nan(""));
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonValidatorTest, AcceptsAndRejects) {
+  EXPECT_TRUE(IsValidJson("{}"));
+  EXPECT_TRUE(IsValidJson(R"({"k":[1,2.5e-3,"s",true,false,null]})"));
+  EXPECT_TRUE(IsValidJson("  -0.25  "));
+  EXPECT_TRUE(IsValidJson(R"("é\n")"));
+  EXPECT_FALSE(IsValidJson(""));
+  EXPECT_FALSE(IsValidJson("{"));
+  EXPECT_FALSE(IsValidJson("{'k':1}"));
+  EXPECT_FALSE(IsValidJson("{\"k\":1,}"));
+  EXPECT_FALSE(IsValidJson("[1 2]"));
+  EXPECT_FALSE(IsValidJson("01"));
+  EXPECT_FALSE(IsValidJson("{\"a\":1}{\"b\":2}"));  // two values
+  EXPECT_FALSE(IsValidJson("\"unterminated"));
+}
+
+TEST(HistogramTest, BucketAssignment) {
+  Histogram h({1.0, 10.0, 100.0});
+  ASSERT_EQ(h.num_buckets(), 4u);  // 3 bounds + overflow
+  h.Record(0.5);    // <= 1
+  h.Record(1.0);    // <= 1 (bounds are inclusive upper)
+  h.Record(5.0);    // <= 10
+  h.Record(100.0);  // <= 100
+  h.Record(1e6);    // overflow
+  EXPECT_EQ(h.bucket_count(0), 2);
+  EXPECT_EQ(h.bucket_count(1), 1);
+  EXPECT_EQ(h.bucket_count(2), 1);
+  EXPECT_EQ(h.bucket_count(3), 1);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1e6);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 5.0 + 100.0 + 1e6);
+  EXPECT_DOUBLE_EQ(h.bucket_upper(3),
+                   std::numeric_limits<double>::infinity());
+}
+
+TEST(HistogramTest, PercentileInterpolation) {
+  // 100 samples uniform in (0, 100]: percentile ~ value.
+  Histogram h(obs::LinearBuckets(10.0, 10.0, 10));
+  for (int i = 1; i <= 100; ++i) h.Record(static_cast<double>(i));
+  EXPECT_NEAR(h.Percentile(50), 50.0, 10.0);
+  EXPECT_NEAR(h.Percentile(90), 90.0, 10.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 100.0);
+  // Estimates never leave the observed range.
+  EXPECT_GE(h.Percentile(0), h.min());
+  EXPECT_LE(h.Percentile(99.9), h.max());
+}
+
+TEST(HistogramTest, PercentileDegenerateCases) {
+  Histogram empty({1.0});
+  EXPECT_DOUBLE_EQ(empty.Percentile(50), 0.0);
+  Histogram one({1.0, 2.0});
+  one.Record(1.5);
+  EXPECT_DOUBLE_EQ(one.Percentile(0), 1.5);
+  EXPECT_DOUBLE_EQ(one.Percentile(50), 1.5);
+  EXPECT_DOUBLE_EQ(one.Percentile(100), 1.5);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndNamed) {
+  MetricsRegistry registry;
+  obs::Counter& c = registry.GetCounter("a.count");
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(registry.GetCounter("a.count").value(), 42);
+  registry.GetGauge("a.gauge").Set(2.5);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("a.gauge").value(), 2.5);
+  // Custom bounds apply on first creation only.
+  obs::Histogram& h = registry.GetHistogram("a.hist", {1.0, 2.0});
+  EXPECT_EQ(&h, &registry.GetHistogram("a.hist"));
+  EXPECT_EQ(h.num_buckets(), 3u);
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("qp.queries").Increment(3);
+  registry.GetGauge("qpa.quota_remaining").Set(7);
+  Histogram& h = registry.GetHistogram("qp.query_cost", {1.0, 10.0});
+  h.Record(0.5);
+  h.Record(4.0);
+  const char* expected =
+      R"({"counters":{"qp.queries":3},)"
+      R"("gauges":{"qpa.quota_remaining":7},)"
+      R"("histograms":{"qp.query_cost":{"count":2,"sum":4.5,"min":0.5,)"
+      R"("max":4,"mean":2.25,"p50":1,"p90":4,"p99":4,)"
+      R"("buckets":[{"le":1,"count":1},{"le":10,"count":1},)"
+      R"({"le":"+Inf","count":0}]}}})";
+  EXPECT_EQ(registry.SnapshotJson(), expected);
+  EXPECT_TRUE(IsValidJson(registry.SnapshotJson()));
+}
+
+TEST(ScopedTimerTest, RecordsElapsedMicros) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("t.us", {1e9});
+  double out = -1.0;
+  {
+    obs::ScopedTimer timer(&h, &out);
+    volatile double sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = sink + i;
+  }
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_GE(out, 0.0);
+  EXPECT_DOUBLE_EQ(h.sum(), out);
+  // Null targets are fine.
+  { obs::ScopedTimer timer(nullptr); }
+}
+
+/// Splits sink output into non-empty lines.
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  for (const std::string& line : Split(text, '\n')) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+int CountLinesOfType(const std::vector<std::string>& lines,
+                     const std::string& type) {
+  std::string needle = "\"type\":\"" + type + "\"";
+  int count = 0;
+  for (const std::string& line : lines) {
+    if (line.find(needle) != std::string::npos) ++count;
+  }
+  return count;
+}
+
+TEST(JsonlSinkTest, PibRunRoundTrip) {
+  // A real learn-pib-style run: PIB watching an instrumented query
+  // processor over a synthetic workload, all events into JSONL.
+  Rng rng(99);
+  RandomTreeOptions tree_options;
+  tree_options.depth = 3;
+  tree_options.min_branch = 2;
+  tree_options.max_branch = 3;
+  RandomTree tree = MakeRandomTree(rng, tree_options);
+
+  std::ostringstream out;
+  obs::MetricsRegistry registry;
+  obs::JsonlSink sink(&out);
+  obs::Observer observer(&registry, &sink);
+
+  Pib pib(&tree.graph, Strategy::DepthFirst(tree.graph),
+          PibOptions{.delta = 0.2}, &observer);
+  QueryProcessor qp(&tree.graph, &observer);
+  IndependentOracle oracle(tree.probs);
+  const int64_t kQueries = 2000;
+  for (int64_t i = 0; i < kQueries; ++i) {
+    pib.Observe(qp.Execute(pib.strategy(), oracle.Next(rng)));
+  }
+  sink.Flush();
+
+  std::vector<std::string> lines = Lines(out.str());
+  ASSERT_FALSE(lines.empty());
+  // Every line is exactly one well-formed JSON object.
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(IsValidJson(line)) << "bad JSONL line: " << line;
+    EXPECT_EQ(line.front(), '{') << line;
+  }
+  // Event counts agree with the learner's and processor's own getters.
+  EXPECT_EQ(CountLinesOfType(lines, "climb_move"),
+            static_cast<int>(pib.moves().size()));
+  EXPECT_GE(pib.moves().size(), 1u) << "run too short to exercise a move";
+  EXPECT_EQ(CountLinesOfType(lines, "query_start"), kQueries);
+  EXPECT_EQ(CountLinesOfType(lines, "query_end"), kQueries);
+  EXPECT_EQ(CountLinesOfType(lines, "sequential_test"),
+            static_cast<int>(pib.contexts_processed()));
+
+  // Metrics agree with the getters too (the acceptance criterion).
+  EXPECT_EQ(registry.GetCounter("pib.moves").value(),
+            static_cast<int64_t>(pib.moves().size()));
+  EXPECT_EQ(registry.GetCounter("pib.contexts").value(),
+            pib.contexts_processed());
+  EXPECT_EQ(registry.GetCounter("qp.queries").value(), kQueries);
+  EXPECT_EQ(registry.GetHistogram("qp.query_cost").count(), kQueries);
+  EXPECT_TRUE(IsValidJson(registry.SnapshotJson()));
+}
+
+TEST(ChromeTraceSinkTest, EmitsLoadableJsonArray) {
+  std::ostringstream out;
+  {
+    obs::ChromeTraceSink sink(&out);
+    obs::QueryEndEvent end;
+    end.query_index = 0;
+    end.t_us = 10;
+    end.duration_us = 5;
+    end.cost = 3.5;
+    end.attempts = 4;
+    end.success = true;
+    sink.OnQueryEnd(end);
+    obs::ClimbMoveEvent move;
+    move.learner = "pib";
+    move.swap = "swap <a,b>";
+    move.t_us = 20;
+    sink.OnClimbMove(move);
+    obs::QuotaProgressEvent quota;
+    quota.t_us = 30;
+    quota.remaining_total = 12;
+    sink.OnQuotaProgress(quota);
+    sink.Flush();
+  }
+  std::string text = out.str();
+  EXPECT_TRUE(IsValidJson(text)) << text;
+  EXPECT_EQ(text.front(), '[');
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"C\""), std::string::npos);
+}
+
+TEST(NullObserverTest, ExecutionUnchangedByObservation) {
+  // Observed and unobserved processors must produce identical traces on
+  // identical context streams — instrumentation is read-only.
+  Rng rng_a(5);
+  Rng rng_b(5);
+  RandomTree tree = MakeRandomTree(rng_a);
+  MakeRandomTree(rng_b);  // keep the two streams aligned
+  Strategy theta = Strategy::DepthFirst(tree.graph);
+  IndependentOracle oracle(tree.probs);
+
+  obs::MetricsRegistry registry;
+  obs::Observer observer(&registry, nullptr);
+  QueryProcessor plain(&tree.graph);
+  QueryProcessor observed(&tree.graph, &observer);
+  for (int i = 0; i < 200; ++i) {
+    Context ctx_a = oracle.Next(rng_a);
+    Context ctx_b = oracle.Next(rng_b);
+    ASSERT_TRUE(ctx_a == ctx_b);
+    Trace ta = plain.Execute(theta, ctx_a);
+    Trace tb = observed.Execute(theta, ctx_b);
+    ASSERT_EQ(ta.cost, tb.cost);
+    ASSERT_EQ(ta.successes, tb.successes);
+    ASSERT_EQ(ta.attempts.size(), tb.attempts.size());
+  }
+  EXPECT_EQ(registry.GetCounter("qp.queries").value(), 200);
+}
+
+}  // namespace
+}  // namespace stratlearn

@@ -16,7 +16,13 @@
 //       Smith fact-count baseline, and the workload optimum.
 //
 // Options: --delta=D --epsilon=E --queries=N --theorem3 --seed=S
-//          --strategy-out=FILE
+//          --strategy-out=FILE --metrics-out=FILE --trace-out=FILE
+//
+// Observability (learn-pib / learn-pao / eval): --metrics-out writes a
+// JSON metrics snapshot, --trace-out writes an event trace (a *.jsonl
+// path gets one JSON object per line; any other extension gets a
+// chrome://tracing-loadable JSON array), and a metrics summary is
+// printed either way. See README "Observability" for the schema.
 //
 // Program files are Datalog ("instructor(X) :- prof(X). prof(russ).").
 // Workload files hold one query per line: "<weight> <arg1> [<arg2> ...]";
@@ -28,6 +34,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/expected_cost.h"
 #include "core/pao.h"
@@ -38,6 +45,9 @@
 #include "datalog/parser.h"
 #include "engine/query_processor.h"
 #include "graph/serialization.h"
+#include "obs/observer.h"
+#include "obs/sinks.h"
+#include "obs/timer.h"
 #include "util/string_util.h"
 #include "workload/datalog_oracle.h"
 
@@ -51,7 +61,54 @@ struct CliOptions {
   bool theorem3 = false;
   uint64_t seed = 1;
   std::string strategy_out;
+  std::string metrics_out;
+  std::string trace_out;
   std::vector<std::string> positional;
+};
+
+/// Observability wiring for one CLI command: a registry (always on, the
+/// summary is printed unconditionally) plus an optional trace sink
+/// chosen by --trace-out's extension.
+struct CliObserver {
+  explicit CliObserver(const CliOptions& options) {
+    if (!options.trace_out.empty()) {
+      bool jsonl = options.trace_out.size() >= 6 &&
+                   options.trace_out.rfind(".jsonl") ==
+                       options.trace_out.size() - 6;
+      if (jsonl) {
+        sink = std::make_unique<obs::JsonlSink>(options.trace_out);
+      } else {
+        sink = std::make_unique<obs::ChromeTraceSink>(options.trace_out);
+      }
+    }
+    observer = std::make_unique<obs::Observer>(&registry, sink.get());
+  }
+
+  /// Flushes the sink, prints the summary, writes --metrics-out.
+  Status Finish(const CliOptions& options) {
+    if (sink != nullptr) {
+      sink->Flush();
+      std::printf("trace written to %s\n", options.trace_out.c_str());
+    }
+    std::string summary = registry.Summary();
+    if (!summary.empty()) {
+      std::printf("metrics summary:\n%s", summary.c_str());
+    }
+    if (!options.metrics_out.empty()) {
+      std::ofstream out(options.metrics_out);
+      if (!out) {
+        return Status::Internal("cannot write '" + options.metrics_out +
+                                "'");
+      }
+      out << registry.SnapshotJson() << "\n";
+      std::printf("metrics written to %s\n", options.metrics_out.c_str());
+    }
+    return Status::OK();
+  }
+
+  obs::MetricsRegistry registry;
+  std::unique_ptr<obs::TraceSink> sink;
+  std::unique_ptr<obs::Observer> observer;
 };
 
 int Fail(const std::string& message) {
@@ -83,6 +140,10 @@ CliOptions ParseArgs(int argc, char** argv) {
       options.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else if (StartsWith(arg, "--strategy-out=")) {
       options.strategy_out = arg.substr(15);
+    } else if (StartsWith(arg, "--metrics-out=")) {
+      options.metrics_out = arg.substr(14);
+    } else if (StartsWith(arg, "--trace-out=")) {
+      options.trace_out = arg.substr(12);
     } else {
       options.positional.push_back(arg);
     }
@@ -220,7 +281,8 @@ int CmdLearnPib(const CliOptions& options) {
   if (options.positional.size() != 3) {
     return Fail(
         "usage: stratlearn_cli learn-pib <program.dl> <query-form> "
-        "<workload.txt> [--delta= --queries= --strategy-out= --seed=]");
+        "<workload.txt> [--delta= --queries= --strategy-out= --seed= "
+        "--metrics-out= --trace-out=]");
   }
   Result<std::unique_ptr<Loaded>> loaded_or = Load(
       options.positional[0], options.positional[1], options.positional[2]);
@@ -232,20 +294,28 @@ int CmdLearnPib(const CliOptions& options) {
   Strategy initial = Strategy::DepthFirst(loaded.built.graph);
   PrintStrategyReport(loaded, "initial:", initial, truth);
 
-  Pib pib(&loaded.built.graph, initial, PibOptions{.delta = options.delta});
-  QueryProcessor qp(&loaded.built.graph);
+  CliObserver cli_obs(options);
+  Pib pib(&loaded.built.graph, initial, PibOptions{.delta = options.delta},
+          cli_obs.observer.get());
+  QueryProcessor qp(&loaded.built.graph, cli_obs.observer.get());
   Rng rng(options.seed);
-  for (int64_t i = 0; i < options.queries; ++i) {
-    if (pib.Observe(qp.Execute(pib.strategy(), oracle.Next(rng)))) {
-      std::printf("  move at query %lld: %s\n",
-                  static_cast<long long>(pib.contexts_processed()),
-                  pib.moves().back().swap.ToString(loaded.built.graph)
-                      .c_str());
+  {
+    obs::ScopedTimer timer(
+        &cli_obs.registry.GetHistogram("cli.learn_wall_us"));
+    for (int64_t i = 0; i < options.queries; ++i) {
+      if (pib.Observe(qp.Execute(pib.strategy(), oracle.Next(rng)))) {
+        std::printf("  move at query %lld: %s\n",
+                    static_cast<long long>(pib.contexts_processed()),
+                    pib.moves().back().swap.ToString(loaded.built.graph)
+                        .c_str());
+      }
     }
   }
   PrintStrategyReport(loaded, "learned:", pib.strategy(), truth);
   Status written = MaybeWriteStrategy(options, pib.strategy());
   if (!written.ok()) return Fail(written.ToString());
+  Status finished = cli_obs.Finish(options);
+  if (!finished.ok()) return Fail(finished.ToString());
   return 0;
 }
 
@@ -254,7 +324,7 @@ int CmdLearnPao(const CliOptions& options) {
     return Fail(
         "usage: stratlearn_cli learn-pao <program.dl> <query-form> "
         "<workload.txt> [--epsilon= --delta= --theorem3 --strategy-out= "
-        "--seed=]");
+        "--seed= --metrics-out= --trace-out=]");
   }
   Result<std::unique_ptr<Loaded>> loaded_or = Load(
       options.positional[0], options.positional[1], options.positional[2]);
@@ -268,8 +338,13 @@ int CmdLearnPao(const CliOptions& options) {
   pao_options.delta = options.delta;
   if (options.theorem3) pao_options.mode = PaoOptions::Mode::kTheorem3;
   Rng rng(options.seed);
-  Result<PaoResult> result =
-      Pao::Run(loaded.built.graph, oracle, rng, pao_options);
+  CliObserver cli_obs(options);
+  Result<PaoResult> result = [&] {
+    obs::ScopedTimer timer(
+        &cli_obs.registry.GetHistogram("cli.learn_wall_us"));
+    return Pao::Run(loaded.built.graph, oracle, rng, pao_options,
+                    cli_obs.observer.get());
+  }();
   if (!result.ok()) return Fail(result.status().ToString());
   std::printf("sampling used %lld contexts (upsilon %s)\n",
               static_cast<long long>(result->contexts_used),
@@ -277,6 +352,8 @@ int CmdLearnPao(const CliOptions& options) {
   PrintStrategyReport(loaded, "learned:", result->strategy, truth);
   Status written = MaybeWriteStrategy(options, result->strategy);
   if (!written.ok()) return Fail(written.ToString());
+  Status finished = cli_obs.Finish(options);
+  if (!finished.ok()) return Fail(finished.ToString());
   return 0;
 }
 
@@ -290,6 +367,12 @@ int CmdEval(const CliOptions& options) {
       options.positional[0], options.positional[1], options.positional[2]);
   if (!loaded_or.ok()) return Fail(loaded_or.status().ToString());
   Loaded& loaded = **loaded_or;
+
+  CliObserver cli_obs(options);
+  obs::Histogram& phase_us =
+      cli_obs.registry.GetHistogram("cli.eval_phase_us");
+  obs::Counter& evaluated =
+      cli_obs.registry.GetCounter("cli.strategies_evaluated");
 
   DatalogOracle oracle(&loaded.built, &loaded.db, loaded.workload);
   std::vector<double> truth = oracle.TrueMarginalProbs();
@@ -305,17 +388,31 @@ int CmdEval(const CliOptions& options) {
     strategy = *parsed;
     label = "given:";
   }
-  PrintStrategyReport(loaded, label, strategy, truth);
+  {
+    obs::ScopedTimer timer(&phase_us);
+    PrintStrategyReport(loaded, label, strategy, truth);
+    evaluated.Increment();
+  }
 
   std::vector<double> smith = SmithFactCountEstimates(loaded.built, loaded.db);
-  Result<UpsilonResult> smith_strategy =
-      UpsilonAot(loaded.built.graph, smith);
-  if (smith_strategy.ok()) {
-    PrintStrategyReport(loaded, "smith:", smith_strategy->strategy, truth);
+  {
+    obs::ScopedTimer timer(&phase_us);
+    Result<UpsilonResult> smith_strategy =
+        UpsilonAot(loaded.built.graph, smith);
+    if (smith_strategy.ok()) {
+      PrintStrategyReport(loaded, "smith:", smith_strategy->strategy, truth);
+      evaluated.Increment();
+    }
   }
-  Result<UpsilonResult> optimal = UpsilonAot(loaded.built.graph, truth);
-  if (!optimal.ok()) return Fail(optimal.status().ToString());
-  PrintStrategyReport(loaded, "optimal:", optimal->strategy, truth);
+  {
+    obs::ScopedTimer timer(&phase_us);
+    Result<UpsilonResult> optimal = UpsilonAot(loaded.built.graph, truth);
+    if (!optimal.ok()) return Fail(optimal.status().ToString());
+    PrintStrategyReport(loaded, "optimal:", optimal->strategy, truth);
+    evaluated.Increment();
+  }
+  Status finished = cli_obs.Finish(options);
+  if (!finished.ok()) return Fail(finished.ToString());
   return 0;
 }
 
