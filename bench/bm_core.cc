@@ -11,6 +11,7 @@
 #include "core/upsilon.h"
 #include "engine/query_processor.h"
 #include "obs/observer.h"
+#include "obs/profiler.h"
 #include "workload/random_tree.h"
 #include "workload/synthetic_oracle.h"
 
@@ -59,6 +60,28 @@ void BM_ExecuteStrategyObserved(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ExecuteStrategyObserved)->Arg(3)->Arg(5)->Arg(7);
+
+// Full observability: metrics plus the StrategyProfiler aggregating
+// every event online — the cost of `--profile-out` / `explain` over
+// BM_ExecuteStrategyObserved is the profiler's aggregation overhead.
+void BM_ExecuteStrategyProfiled(benchmark::State& state) {
+  RandomTree tree = MakeTree(static_cast<int>(state.range(0)));
+  Strategy theta = Strategy::DepthFirst(tree.graph);
+  obs::MetricsRegistry registry;
+  obs::StrategyProfiler profiler;
+  obs::Observer observer(&registry, &profiler);
+  QueryProcessor qp(&tree.graph, &observer);
+  IndependentOracle oracle(tree.probs);
+  Rng rng(7);
+  Context ctx = oracle.Next(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qp.Execute(theta, ctx));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["profiled_arcs"] =
+      static_cast<double>(profiler.arcs().size());
+}
+BENCHMARK(BM_ExecuteStrategyProfiled)->Arg(3)->Arg(5)->Arg(7);
 
 void BM_LeafOnlyExpectedCost(benchmark::State& state) {
   RandomTree tree = MakeTree(static_cast<int>(state.range(0)));

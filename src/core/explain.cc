@@ -1,0 +1,167 @@
+#include "core/explain.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace stratlearn {
+namespace {
+
+const char* KindName(ArcKind kind) {
+  return kind == ArcKind::kReduction ? "reduction" : "retrieval";
+}
+
+/// One arc line: "#k label (kind, f=...) <estimate> <profile columns>".
+std::string ArcLine(const InferenceGraph& graph, ArcId id, size_t position,
+                    const obs::StrategyProfiler* profile, double total_cost,
+                    const ExplainOptions& options) {
+  const Arc& arc = graph.arc(id);
+  std::string out = StrFormat("#%zu %s (%s, f=%s)", position + 1,
+                              arc.label.c_str(), KindName(arc.kind),
+                              FormatDouble(arc.cost, 4).c_str());
+  if (arc.experiment < 0) {
+    out += "  p=1 (deterministic)";
+  }
+  if (profile == nullptr) return out;
+  auto it = profile->arcs().find(id);
+  if (it == profile->arcs().end()) {
+    out += "  [unobserved]";
+    return out;
+  }
+  const obs::ArcProfile& p = it->second;
+  if (arc.experiment >= 0) {
+    out += StrFormat("  p^=%s +/- %s", FormatDouble(p.PHat(), 3).c_str(),
+                     FormatDouble(profile->HalfWidth(p.attempts), 3).c_str());
+  }
+  double share = total_cost > 0.0 ? p.cum_cost / total_cost : 0.0;
+  out += StrFormat("  n=%lld mean=%s share=%.1f%%",
+                   static_cast<long long>(p.attempts),
+                   FormatDouble(p.MeanCost(), 4).c_str(), 100.0 * share);
+  if (share >= options.hot_share) out += "  HOT";
+  return out;
+}
+
+void RenderNode(const InferenceGraph& graph, NodeId id,
+                const std::vector<size_t>& position,
+                const obs::StrategyProfiler* profile, double total_cost,
+                const ExplainOptions& options, int depth, std::string* out) {
+  const Node& node = graph.node(id);
+  out->append(static_cast<size_t>(2 * depth), ' ');
+  *out += node.is_success ? "[success]" : node.label;
+  *out += '\n';
+  if (node.is_success) return;
+
+  // Children in strategy-visit order, so reading top-down follows the
+  // processor's preference at this node.
+  std::vector<ArcId> children = node.out_arcs;
+  std::sort(children.begin(), children.end(), [&](ArcId a, ArcId b) {
+    return position[a] < position[b];
+  });
+  for (ArcId child : children) {
+    out->append(static_cast<size_t>(2 * depth + 2), ' ');
+    *out += ArcLine(graph, child, position[child], profile, total_cost,
+                    options);
+    *out += '\n';
+    RenderNode(graph, graph.arc(child).to, position, profile, total_cost,
+               options, depth + 2, out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainStrategyTree(const InferenceGraph& graph,
+                                const Strategy& strategy,
+                                const obs::StrategyProfiler* profile,
+                                const ExplainOptions& options) {
+  std::vector<size_t> position(graph.num_arcs(), 0);
+  for (size_t k = 0; k < strategy.arcs().size(); ++k) {
+    position[strategy.arcs()[k]] = k;
+  }
+  std::string out =
+      StrFormat("strategy %s\n", strategy.ToString(graph).c_str());
+  if (profile != nullptr) {
+    out += StrFormat(
+        "profiled over %lld queries (mean cost/query %s); "
+        "HOT = share >= %s%%\n",
+        static_cast<long long>(profile->queries()),
+        FormatDouble(profile->MeanQueryCost()).c_str(),
+        FormatDouble(100.0 * options.hot_share).c_str());
+  }
+  double total_cost = profile != nullptr ? profile->TotalArcCost() : 0.0;
+  RenderNode(graph, graph.root(), position, profile, total_cost, options,
+             /*depth=*/0, &out);
+  return out;
+}
+
+std::string ExplainPibState(const PibSnapshot& snapshot) {
+  std::string out = StrFormat(
+      "PIB state: %lld contexts, %lld trials, |S|=%lld since last move\n",
+      static_cast<long long>(snapshot.contexts),
+      static_cast<long long>(snapshot.trials),
+      static_cast<long long>(snapshot.samples_in_epoch));
+  out += StrFormat(
+      "delta budget: lifetime %s, spent on %zu moves %s, "
+      "next test delta_i %s\n",
+      FormatDouble(snapshot.delta).c_str(), snapshot.moves.size(),
+      FormatDouble(snapshot.delta_spent_moves).c_str(),
+      FormatDouble(snapshot.current_test_delta).c_str());
+  if (!snapshot.neighbors.empty()) {
+    out += "neighbourhood (Delta~ sums vs Equation-6 thresholds):\n";
+    out += StrFormat("  %-28s %12s %12s %12s %8s\n", "swap", "delta_sum",
+                     "threshold", "margin", "range");
+    for (const PibSnapshot::Neighbor& n : snapshot.neighbors) {
+      out += StrFormat("  %-28s %12s %12s %12s %8s\n", n.swap.c_str(),
+                       FormatDouble(n.delta_sum, 4).c_str(),
+                       FormatDouble(n.threshold, 4).c_str(),
+                       FormatDouble(n.margin, 4).c_str(),
+                       FormatDouble(n.range, 4).c_str());
+    }
+  }
+  if (snapshot.moves.empty()) {
+    out += "climb history: none\n";
+  } else {
+    out += "climb history:\n";
+    for (size_t i = 0; i < snapshot.moves.size(); ++i) {
+      const PibSnapshot::Move& m = snapshot.moves[i];
+      out += StrFormat(
+          "  #%zu at context %lld (|S|=%lld): %s  "
+          "delta_sum=%s threshold=%s delta_i=%s\n",
+          i, static_cast<long long>(m.at_context),
+          static_cast<long long>(m.samples_used), m.swap.c_str(),
+          FormatDouble(m.delta_sum, 4).c_str(),
+          FormatDouble(m.threshold, 4).c_str(),
+          FormatDouble(m.delta_spent).c_str());
+    }
+  }
+  return out;
+}
+
+std::string ExplainPaoState(const InferenceGraph& graph,
+                            const AdaptiveQueryProcessor::Snapshot& snapshot) {
+  std::string out = StrFormat(
+      "QP^A sampler: %lld contexts, quotas %s\n",
+      static_cast<long long>(snapshot.contexts),
+      snapshot.quotas_met ? "met" : "NOT met");
+  out += StrFormat("  %-12s %8s %10s %9s %10s %13s %7s %7s\n", "experiment",
+                   "quota", "remaining", "attempts", "successes",
+                   "blocked_aims", "p^", "reach^");
+  for (size_t i = 0; i < snapshot.experiments.size(); ++i) {
+    const AdaptiveQueryProcessor::Snapshot::Experiment& e =
+        snapshot.experiments[i];
+    const char* label = i < graph.num_experiments()
+                            ? graph.arc(graph.experiments()[i]).label.c_str()
+                            : "?";
+    out += StrFormat("  %-12s %8lld %10lld %9lld %10lld %13lld %7s %7s\n",
+                     label, static_cast<long long>(e.quota),
+                     static_cast<long long>(e.remaining),
+                     static_cast<long long>(e.attempts),
+                     static_cast<long long>(e.successes),
+                     static_cast<long long>(e.blocked_aims),
+                     FormatDouble(e.p_hat, 3).c_str(),
+                     FormatDouble(e.reach_hat, 3).c_str());
+  }
+  return out;
+}
+
+}  // namespace stratlearn

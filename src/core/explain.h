@@ -1,0 +1,48 @@
+#ifndef STRATLEARN_CORE_EXPLAIN_H_
+#define STRATLEARN_CORE_EXPLAIN_H_
+
+#include <string>
+
+#include "core/pib.h"
+#include "engine/adaptive_qp.h"
+#include "engine/strategy.h"
+#include "graph/inference_graph.h"
+#include "obs/profiler.h"
+
+namespace stratlearn {
+
+/// Rendering knobs for ExplainStrategyTree.
+struct ExplainOptions {
+  /// An arc is marked HOT when its share of the profiled total cost
+  /// reaches this fraction (mirror of ProfilerOptions::hot_share).
+  double hot_share = 0.10;
+};
+
+/// Renders the strategy as an annotated inference-graph tree: each
+/// node's children are listed in the order the strategy visits them,
+/// with the arc's global visit position "#k", its kind and base cost,
+/// and — when a profiled run is supplied — the measured unblock
+/// frequency p^ with its Hoeffding half-width, mean traversal cost,
+/// share of the total attributed cost, and a HOT marker on arcs past
+/// the hot_share threshold. Deterministic: no timestamps, fixed float
+/// formatting, tree order fixed by (strategy, graph).
+std::string ExplainStrategyTree(const InferenceGraph& graph,
+                                const Strategy& strategy,
+                                const obs::StrategyProfiler* profile = nullptr,
+                                const ExplainOptions& options = {});
+
+/// Renders PIB's estimate state: the delta budget ledger (lifetime
+/// budget, delta_i spent by fired moves, the next test's delta_i), the
+/// current neighbourhood's Delta~ sums against their Equation-6
+/// thresholds, and the full climb history.
+std::string ExplainPibState(const PibSnapshot& snapshot);
+
+/// Renders QP^A's sampling state: per-experiment quota progress,
+/// attempt/success/blocked-aim counts, and the measured p^ / reach
+/// frequencies, labelled with the graph's experiment arc labels.
+std::string ExplainPaoState(const InferenceGraph& graph,
+                            const AdaptiveQueryProcessor::Snapshot& snapshot);
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_CORE_EXPLAIN_H_

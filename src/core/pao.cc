@@ -60,6 +60,7 @@ Result<PaoResult> Pao::Run(const InferenceGraph& graph, ContextOracle& oracle,
 
   result.contexts_used = qpa.contexts_processed();
   result.estimates = qpa.SuccessFrequencies(/*fallback=*/0.5);
+  result.sampler = qpa.snapshot();
   if (observer != nullptr && observer->metrics() != nullptr) {
     obs::MetricsRegistry* r = observer->metrics();
     r->GetCounter("pao.contexts_used").Increment(result.contexts_used);

@@ -48,6 +48,10 @@ struct PaoResult {
   int64_t contexts_used = 0;
   /// Whether the final Upsilon step was provably optimal for p^.
   bool upsilon_exact = true;
+  /// Final state of the adaptive sampler: per-experiment quota
+  /// progress, attempt/success counts, p^ and measured reach rho^ —
+  /// the estimate state behind `estimates` (CLI `explain` renders it).
+  AdaptiveQueryProcessor::Snapshot sampler;
 };
 
 /// PAO — "Probably Approximately Optimal" strategy identification.

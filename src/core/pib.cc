@@ -61,6 +61,40 @@ double Pib::DeltaSumFor(size_t neighbor) const {
   return neighbors_[neighbor].delta_sum;
 }
 
+PibSnapshot Pib::Snapshot() const {
+  PibSnapshot snap;
+  snap.contexts = contexts_;
+  snap.trials = trials_;
+  snap.samples_in_epoch = samples_;
+  snap.delta = options_.delta;
+  snap.current_test_delta =
+      trials_ > 0 ? SequentialDelta(trials_, options_.delta) : 0.0;
+  snap.neighbors.reserve(neighbors_.size());
+  for (size_t j = 0; j < neighbors_.size(); ++j) {
+    const Neighbor& n = neighbors_[j];
+    PibSnapshot::Neighbor view;
+    view.swap = n.swap.ToString(*graph_);
+    view.delta_sum = n.delta_sum;
+    view.threshold = ThresholdFor(j);
+    view.margin = n.delta_sum - view.threshold;
+    view.range = n.range;
+    snap.neighbors.push_back(std::move(view));
+  }
+  snap.moves.reserve(moves_.size());
+  for (const Move& m : moves_) {
+    PibSnapshot::Move view;
+    view.at_context = m.at_context;
+    view.samples_used = m.samples_used;
+    view.swap = m.swap.ToString(*graph_);
+    view.delta_sum = m.delta_sum;
+    view.threshold = m.threshold;
+    view.delta_spent = m.delta_spent;
+    snap.delta_spent_moves += m.delta_spent;
+    snap.moves.push_back(std::move(view));
+  }
+  return snap;
+}
+
 bool Pib::Observe(const Trace& trace) {
   ++contexts_;
   ++samples_;
@@ -116,6 +150,7 @@ bool Pib::Observe(const Trace& trace) {
   move.swap = n.swap;
   move.delta_sum = n.delta_sum;
   move.threshold = fired_threshold;
+  move.delta_spent = SequentialDelta(trials_, options_.delta);
   moves_.push_back(move);
   if (handles_.moves != nullptr) handles_.moves->Increment();
   if (observer_ != nullptr) {
@@ -130,7 +165,7 @@ bool Pib::Observe(const Trace& trace) {
       event.delta_sum = n.delta_sum;
       event.threshold = fired_threshold;
       event.margin = n.delta_sum - fired_threshold;
-      event.delta_spent = SequentialDelta(trials_, options_.delta);
+      event.delta_spent = move.delta_spent;
       sink->OnClimbMove(event);
     }
   }

@@ -2,6 +2,7 @@
 #define STRATLEARN_CORE_PIB_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/delta_estimator.h"
@@ -32,6 +33,37 @@ struct PibOptions {
   int test_every = 1;
 };
 
+/// Read-only view of PIB's internal estimate state, for explain-style
+/// introspection (CLI `explain`, tests, reports). Swap descriptions are
+/// rendered to strings so the snapshot is self-contained — it stays
+/// meaningful after the learner (and its graph) are gone.
+struct PibSnapshot {
+  struct Neighbor {
+    std::string swap;
+    double delta_sum = 0.0;   // running sum of Delta~ under-estimates
+    double threshold = 0.0;   // current Equation-6 threshold
+    double margin = 0.0;      // delta_sum - threshold
+    double range = 0.0;       // Lambda range of the swap
+  };
+  struct Move {
+    int64_t at_context = 0;
+    int64_t samples_used = 0;
+    std::string swap;
+    double delta_sum = 0.0;
+    double threshold = 0.0;
+    double delta_spent = 0.0;  // delta_i consumed by this move
+  };
+
+  int64_t contexts = 0;
+  int64_t trials = 0;
+  int64_t samples_in_epoch = 0;
+  double delta = 0.0;              // configured lifetime budget
+  double current_test_delta = 0.0; // delta_i at the current trial count
+  double delta_spent_moves = 0.0;  // sum of the fired moves' delta_i
+  std::vector<Neighbor> neighbors; // current neighbourhood, in T order
+  std::vector<Move> moves;         // full climb history
+};
+
 class Pib {
  public:
   using Options = PibOptions;
@@ -43,6 +75,7 @@ class Pib {
     SiblingSwap swap;
     double delta_sum = 0.0;
     double threshold = 0.0;
+    double delta_spent = 0.0;    // delta_i consumed from the budget
   };
 
   /// Uses T = all sibling swaps of the graph.
@@ -76,6 +109,11 @@ class Pib {
   double ThresholdFor(size_t neighbor) const;
   double DeltaSumFor(size_t neighbor) const;
   size_t num_neighbors() const { return neighbors_.size(); }
+
+  /// Captures the learner's full estimate state (neighbour Delta~ sums,
+  /// thresholds, margins, climb history, delta budget) without exposing
+  /// any mutable internals.
+  PibSnapshot Snapshot() const;
 
  private:
   struct Neighbor {

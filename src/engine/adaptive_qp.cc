@@ -10,6 +10,7 @@ AdaptiveQueryProcessor::AdaptiveQueryProcessor(const InferenceGraph* graph,
                                                obs::Observer* observer)
     : graph_(graph),
       processor_(graph),
+      initial_quotas_(quotas),
       remaining_(std::move(quotas)),
       mode_(mode),
       counters_(graph->num_experiments()) {
@@ -114,6 +115,25 @@ bool AdaptiveQueryProcessor::QuotasMet() const {
     if (r > 0) return false;
   }
   return true;
+}
+
+AdaptiveQueryProcessor::Snapshot AdaptiveQueryProcessor::snapshot() const {
+  Snapshot snap;
+  snap.contexts = contexts_processed_;
+  snap.quotas_met = QuotasMet();
+  snap.experiments.reserve(counters_.size());
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    Snapshot::Experiment e;
+    e.quota = initial_quotas_[i];
+    e.remaining = remaining_[i];
+    e.attempts = counters_[i].attempts();
+    e.successes = counters_[i].successes();
+    e.blocked_aims = counters_[i].reach_attempts() - counters_[i].attempts();
+    e.p_hat = counters_[i].SuccessFrequency();
+    e.reach_hat = counters_[i].ReachFrequency();
+    snap.experiments.push_back(e);
+  }
+  return snap;
 }
 
 std::vector<double> AdaptiveQueryProcessor::SuccessFrequencies(

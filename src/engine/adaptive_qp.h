@@ -38,6 +38,25 @@ class AdaptiveQueryProcessor {
 
   void set_observer(obs::Observer* observer);
 
+  /// Read-only view of the sampler's estimate state: per-experiment
+  /// quotas, progress and measured frequencies. Self-contained, so it
+  /// can outlive the processor (PaoResult carries one).
+  struct Snapshot {
+    struct Experiment {
+      int64_t quota = 0;        // Equation 7/8 requirement
+      int64_t remaining = 0;    // may be negative after overshoot
+      int64_t attempts = 0;
+      int64_t successes = 0;
+      int64_t blocked_aims = 0;
+      double p_hat = 0.5;       // success frequency (0.5 fallback)
+      double reach_hat = 0.0;   // measured rho(e)
+    };
+    int64_t contexts = 0;
+    bool quotas_met = false;
+    std::vector<Experiment> experiments;
+  };
+  Snapshot snapshot() const;
+
   struct StepResult {
     Trace trace;
     /// Which experiment this context aimed at (-1 if all quotas were
@@ -77,6 +96,7 @@ class AdaptiveQueryProcessor {
 
   const InferenceGraph* graph_;
   QueryProcessor processor_;
+  std::vector<int64_t> initial_quotas_;
   std::vector<int64_t> remaining_;
   QuotaMode mode_;
   std::vector<ExperimentCounter> counters_;

@@ -50,8 +50,11 @@ Trace QueryProcessor::ExecuteObserved(const Strategy& strategy,
   }
   if (sink != nullptr) {
     for (const ArcAttempt& a : trace.attempts) {
-      sink->OnArcAttempt({query_index, t1, a.arc,
-                          graph_->arc(a.arc).experiment, a.unblocked});
+      const Arc& arc = graph_->arc(a.arc);
+      double attempt_cost =
+          arc.cost + (a.unblocked ? arc.success_cost : arc.failure_cost);
+      sink->OnArcAttempt({query_index, t1, a.arc, arc.experiment,
+                          a.unblocked, attempt_cost});
     }
     sink->OnQueryEnd({query_index, t0, t1 - t0, trace.cost,
                       static_cast<int64_t>(trace.attempts.size()),

@@ -29,13 +29,17 @@ struct QueryEndEvent {
   bool success = false;
 };
 
-/// One arc traversal attempt inside a query.
+/// One arc traversal attempt inside a query. `cost` is the full price of
+/// this attempt — the arc's base cost plus its outcome-dependent extra —
+/// so per-arc cost attribution can be rebuilt from the event stream
+/// alone (the StrategyProfiler and trace_report rely on this).
 struct ArcAttemptEvent {
   int64_t query_index = 0;
   int64_t t_us = 0;
   uint32_t arc = 0;
   int experiment = -1;  // -1: deterministic arc
   bool unblocked = false;
+  double cost = 0.0;
 };
 
 /// A hill-climber (PIB/PALO) adopted a neighbour strategy.

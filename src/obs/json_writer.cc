@@ -110,7 +110,7 @@ JsonWriter& JsonWriter::Value(double value) {
   if (!std::isfinite(value)) {
     out_ += "null";
   } else {
-    out_ += StrFormat("%.12g", value);
+    out_ += StrFormat("%.*g", double_digits_, value);
   }
   return *this;
 }

@@ -17,8 +17,18 @@ std::string JsonEscape(std::string_view s);
 /// for pairing Begin/End calls and for putting a Key before each value
 /// inside an object. Non-finite doubles are emitted as null (JSON has
 /// no Inf/NaN).
+///
+/// `double_digits` is the %g precision for doubles: the default 12 is
+/// compact for human-facing reports; machine formats that must replay
+/// losslessly (JSONL traces) use kRoundTripDigits.
 class JsonWriter {
  public:
+  /// 17 significant digits round-trip any IEEE-754 double exactly.
+  static constexpr int kRoundTripDigits = 17;
+
+  explicit JsonWriter(int double_digits = 12)
+      : double_digits_(double_digits) {}
+
   JsonWriter& BeginObject();
   JsonWriter& EndObject();
   JsonWriter& BeginArray();
@@ -38,6 +48,7 @@ class JsonWriter {
   void BeforeValue();
 
   std::string out_;
+  int double_digits_;
   /// One entry per open container: true once the first element has been
   /// written (so the next one needs a comma).
   std::vector<bool> has_element_;

@@ -37,10 +37,10 @@ JsonlSink::JsonlSink(std::ostream* out) : out_(out) {}
 JsonlSink::JsonlSink(const std::string& path)
     : owned_(std::make_unique<std::ofstream>(path)), out_(owned_.get()) {}
 
-JsonlSink::~JsonlSink() { Flush(); }
+JsonlSink::~JsonlSink() { Close(); }
 
 void JsonlSink::WriteLine(const std::string& json) {
-  if (out_ == nullptr) return;
+  if (out_ == nullptr || closed_) return;
   *out_ << json << '\n';
 }
 
@@ -48,8 +48,15 @@ void JsonlSink::Flush() {
   if (out_ != nullptr) out_->flush();
 }
 
+void JsonlSink::Close() {
+  // JSONL needs no terminator; Close just seals the stream against
+  // late events and flushes.
+  closed_ = true;
+  Flush();
+}
+
 void JsonlSink::OnQueryStart(const QueryStartEvent& e) {
-  JsonWriter w;
+  JsonWriter w(JsonWriter::kRoundTripDigits);
   w.BeginObject();
   w.Key("type").Value("query_start");
   w.Key("t_us").Value(e.t_us);
@@ -59,7 +66,7 @@ void JsonlSink::OnQueryStart(const QueryStartEvent& e) {
 }
 
 void JsonlSink::OnQueryEnd(const QueryEndEvent& e) {
-  JsonWriter w;
+  JsonWriter w(JsonWriter::kRoundTripDigits);
   w.BeginObject();
   w.Key("type").Value("query_end");
   w.Key("t_us").Value(e.t_us);
@@ -74,7 +81,7 @@ void JsonlSink::OnQueryEnd(const QueryEndEvent& e) {
 }
 
 void JsonlSink::OnArcAttempt(const ArcAttemptEvent& e) {
-  JsonWriter w;
+  JsonWriter w(JsonWriter::kRoundTripDigits);
   w.BeginObject();
   w.Key("type").Value("arc_attempt");
   w.Key("t_us").Value(e.t_us);
@@ -82,12 +89,13 @@ void JsonlSink::OnArcAttempt(const ArcAttemptEvent& e) {
   w.Key("arc").Value(static_cast<int64_t>(e.arc));
   w.Key("experiment").Value(static_cast<int64_t>(e.experiment));
   w.Key("unblocked").Value(e.unblocked);
+  w.Key("cost").Value(e.cost);
   w.EndObject();
   WriteLine(w.str());
 }
 
 void JsonlSink::OnClimbMove(const ClimbMoveEvent& e) {
-  JsonWriter w;
+  JsonWriter w(JsonWriter::kRoundTripDigits);
   w.BeginObject();
   w.Key("type").Value("climb_move");
   w.Key("t_us").Value(e.t_us);
@@ -97,7 +105,7 @@ void JsonlSink::OnClimbMove(const ClimbMoveEvent& e) {
 }
 
 void JsonlSink::OnSequentialTest(const SequentialTestEvent& e) {
-  JsonWriter w;
+  JsonWriter w(JsonWriter::kRoundTripDigits);
   w.BeginObject();
   w.Key("type").Value("sequential_test");
   w.Key("t_us").Value(e.t_us);
@@ -107,7 +115,7 @@ void JsonlSink::OnSequentialTest(const SequentialTestEvent& e) {
 }
 
 void JsonlSink::OnQuotaProgress(const QuotaProgressEvent& e) {
-  JsonWriter w;
+  JsonWriter w(JsonWriter::kRoundTripDigits);
   w.BeginObject();
   w.Key("type").Value("quota_progress");
   w.Key("t_us").Value(e.t_us);
@@ -121,7 +129,7 @@ void JsonlSink::OnQuotaProgress(const QuotaProgressEvent& e) {
 }
 
 void JsonlSink::OnPaloStop(const PaloStopEvent& e) {
-  JsonWriter w;
+  JsonWriter w(JsonWriter::kRoundTripDigits);
   w.BeginObject();
   w.Key("type").Value("palo_stop");
   w.Key("t_us").Value(e.t_us);
@@ -142,7 +150,7 @@ ChromeTraceSink::ChromeTraceSink(const std::string& path)
   if (ok()) *out_ << "[\n";
 }
 
-ChromeTraceSink::~ChromeTraceSink() { Flush(); }
+ChromeTraceSink::~ChromeTraceSink() { Close(); }
 
 void ChromeTraceSink::WriteRecord(const std::string& json) {
   if (out_ == nullptr || closed_) return;
@@ -152,6 +160,10 @@ void ChromeTraceSink::WriteRecord(const std::string& json) {
 }
 
 void ChromeTraceSink::Flush() {
+  if (out_ != nullptr) out_->flush();
+}
+
+void ChromeTraceSink::Close() {
   if (out_ == nullptr) return;
   if (!closed_) {
     *out_ << "\n]\n";

@@ -32,12 +32,14 @@ class JsonlSink final : public TraceSink {
   void OnQuotaProgress(const QuotaProgressEvent& e) override;
   void OnPaloStop(const PaloStopEvent& e) override;
   void Flush() override;
+  void Close() override;
 
  private:
   void WriteLine(const std::string& json);
 
   std::unique_ptr<std::ofstream> owned_;
   std::ostream* out_ = nullptr;
+  bool closed_ = false;
 };
 
 /// Emits a chrome://tracing / Perfetto-loadable JSON array. Queries
@@ -46,7 +48,9 @@ class JsonlSink final : public TraceSink {
 /// becomes a counter track ("ph":"C"). ArcAttempt events are
 /// intentionally dropped: at one span per query they already dominate
 /// file size, and the per-arc detail belongs in JSONL. The closing "]"
-/// is written by Flush()/the destructor.
+/// is written exactly once, by Close() or the destructor (RAII), so a
+/// trace is loadable even when the owner exits early; Flush() alone
+/// never finalises the array.
 class ChromeTraceSink final : public TraceSink {
  public:
   explicit ChromeTraceSink(std::ostream* out);
@@ -61,6 +65,7 @@ class ChromeTraceSink final : public TraceSink {
   void OnQuotaProgress(const QuotaProgressEvent& e) override;
   void OnPaloStop(const PaloStopEvent& e) override;
   void Flush() override;
+  void Close() override;
 
  private:
   void WriteRecord(const std::string& json);

@@ -1,6 +1,8 @@
 #ifndef STRATLEARN_OBS_TRACE_SINK_H_
 #define STRATLEARN_OBS_TRACE_SINK_H_
 
+#include <vector>
+
 #include "obs/events.h"
 
 namespace stratlearn::obs {
@@ -21,12 +23,77 @@ class TraceSink {
   virtual void OnQuotaProgress(const QuotaProgressEvent&) {}
   virtual void OnPaloStop(const PaloStopEvent&) {}
 
-  /// Push buffered output to the underlying medium.
+  /// Push buffered output to the underlying medium. May be called any
+  /// number of times mid-run; must not finalise the output.
   virtual void Flush() {}
+
+  /// Finalise the output (e.g. write a format's closing delimiter) and
+  /// flush. Idempotent; every sink's destructor calls its own Close so
+  /// traces stay well-formed even when the owner exits early on an
+  /// error path. Events delivered after Close are dropped.
+  virtual void Close() { Flush(); }
 };
 
 /// Explicit do-nothing sink, for call sites that want a non-null sink.
 class NullSink final : public TraceSink {};
+
+/// Fans every event out to a list of borrowed sinks, in order. Lets one
+/// Observer feed a file sink and an in-process aggregator (e.g. the
+/// StrategyProfiler) at the same time. Null entries are skipped.
+class TeeSink final : public TraceSink {
+ public:
+  explicit TeeSink(std::vector<TraceSink*> sinks)
+      : sinks_(std::move(sinks)) {}
+
+  void OnQueryStart(const QueryStartEvent& e) override {
+    for (TraceSink* s : sinks_) {
+      if (s != nullptr) s->OnQueryStart(e);
+    }
+  }
+  void OnQueryEnd(const QueryEndEvent& e) override {
+    for (TraceSink* s : sinks_) {
+      if (s != nullptr) s->OnQueryEnd(e);
+    }
+  }
+  void OnArcAttempt(const ArcAttemptEvent& e) override {
+    for (TraceSink* s : sinks_) {
+      if (s != nullptr) s->OnArcAttempt(e);
+    }
+  }
+  void OnClimbMove(const ClimbMoveEvent& e) override {
+    for (TraceSink* s : sinks_) {
+      if (s != nullptr) s->OnClimbMove(e);
+    }
+  }
+  void OnSequentialTest(const SequentialTestEvent& e) override {
+    for (TraceSink* s : sinks_) {
+      if (s != nullptr) s->OnSequentialTest(e);
+    }
+  }
+  void OnQuotaProgress(const QuotaProgressEvent& e) override {
+    for (TraceSink* s : sinks_) {
+      if (s != nullptr) s->OnQuotaProgress(e);
+    }
+  }
+  void OnPaloStop(const PaloStopEvent& e) override {
+    for (TraceSink* s : sinks_) {
+      if (s != nullptr) s->OnPaloStop(e);
+    }
+  }
+  void Flush() override {
+    for (TraceSink* s : sinks_) {
+      if (s != nullptr) s->Flush();
+    }
+  }
+  void Close() override {
+    for (TraceSink* s : sinks_) {
+      if (s != nullptr) s->Close();
+    }
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
 
 }  // namespace stratlearn::obs
 

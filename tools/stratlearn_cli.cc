@@ -14,15 +14,27 @@
 //   eval <program.dl> <query-form> <workload.txt> [strategy-file]
 //       Report expected costs: the given (or default) strategy, the
 //       Smith fact-count baseline, and the workload optimum.
+//   explain <program.dl> <query-form> <workload.txt> [options]
+//       Run a learner (--learner=pib|pao) with the strategy profiler
+//       attached and print the learned strategy as an annotated
+//       inference-graph tree (visit order, p^ +/- eps, cost share, HOT
+//       markers), the learner's estimate state (climb history and
+//       Delta~ margins for PIB, quota progress for PAO), and the
+//       per-arc attribution report. Output is deterministic for a
+//       fixed seed.
 //
 // Options: --delta=D --epsilon=E --queries=N --theorem3 --seed=S
-//          --strategy-out=FILE --metrics-out=FILE --trace-out=FILE
+//          --learner=pib|pao --strategy-out=FILE --metrics-out=FILE
+//          --trace-out=FILE --profile-out=FILE
 //
-// Observability (learn-pib / learn-pao / eval): --metrics-out writes a
-// JSON metrics snapshot, --trace-out writes an event trace (a *.jsonl
-// path gets one JSON object per line; any other extension gets a
-// chrome://tracing-loadable JSON array), and a metrics summary is
-// printed either way. See README "Observability" for the schema.
+// Observability (learn-pib / learn-pao / eval / explain): --metrics-out
+// writes a JSON metrics snapshot, --trace-out writes an event trace (a
+// *.jsonl path gets one JSON object per line; any other extension gets
+// a chrome://tracing-loadable JSON array), --profile-out writes the
+// strategy profiler's aggregated JSON report, and a metrics summary is
+// printed for the non-explain commands. Output paths that cannot be
+// opened fail the command up front, before any work runs. See README
+// "Observability" for the schema.
 //
 // Program files are Datalog ("instructor(X) :- prof(X). prof(russ).").
 // Workload files hold one query per line: "<weight> <arg1> [<arg2> ...]";
@@ -37,6 +49,7 @@
 #include <vector>
 
 #include "core/expected_cost.h"
+#include "core/explain.h"
 #include "core/pao.h"
 #include "core/pib.h"
 #include "core/smith.h"
@@ -46,6 +59,7 @@
 #include "engine/query_processor.h"
 #include "graph/serialization.h"
 #include "obs/observer.h"
+#include "obs/profiler.h"
 #include "obs/sinks.h"
 #include "obs/timer.h"
 #include "util/string_util.h"
@@ -60,55 +74,117 @@ struct CliOptions {
   int64_t queries = 5000;
   bool theorem3 = false;
   uint64_t seed = 1;
+  std::string learner = "pib";
   std::string strategy_out;
   std::string metrics_out;
   std::string trace_out;
+  std::string profile_out;
   std::vector<std::string> positional;
 };
 
-/// Observability wiring for one CLI command: a registry (always on, the
-/// summary is printed unconditionally) plus an optional trace sink
-/// chosen by --trace-out's extension.
+/// Observability wiring for one CLI command: a registry, an optional
+/// file trace sink chosen by --trace-out's extension, and an optional
+/// StrategyProfiler (always on for `explain`, otherwise only with
+/// --profile-out) teed onto the same event stream. All output paths are
+/// opened in the constructor so a bad path fails the command before any
+/// work runs, instead of silently dropping telemetry at the end; check
+/// `status` right after construction.
 struct CliObserver {
-  explicit CliObserver(const CliOptions& options) {
+  explicit CliObserver(const CliOptions& options,
+                       bool want_profiler = false) {
     if (!options.trace_out.empty()) {
       bool jsonl = options.trace_out.size() >= 6 &&
                    options.trace_out.rfind(".jsonl") ==
                        options.trace_out.size() - 6;
       if (jsonl) {
-        sink = std::make_unique<obs::JsonlSink>(options.trace_out);
+        file_sink = std::make_unique<obs::JsonlSink>(options.trace_out);
+        if (!static_cast<obs::JsonlSink*>(file_sink.get())->ok()) {
+          status = CannotOpen("--trace-out", options.trace_out);
+          return;
+        }
       } else {
-        sink = std::make_unique<obs::ChromeTraceSink>(options.trace_out);
+        file_sink = std::make_unique<obs::ChromeTraceSink>(options.trace_out);
+        if (!static_cast<obs::ChromeTraceSink*>(file_sink.get())->ok()) {
+          status = CannotOpen("--trace-out", options.trace_out);
+          return;
+        }
       }
-    }
-    observer = std::make_unique<obs::Observer>(&registry, sink.get());
-  }
-
-  /// Flushes the sink, prints the summary, writes --metrics-out.
-  Status Finish(const CliOptions& options) {
-    if (sink != nullptr) {
-      sink->Flush();
-      std::printf("trace written to %s\n", options.trace_out.c_str());
-    }
-    std::string summary = registry.Summary();
-    if (!summary.empty()) {
-      std::printf("metrics summary:\n%s", summary.c_str());
     }
     if (!options.metrics_out.empty()) {
-      std::ofstream out(options.metrics_out);
-      if (!out) {
-        return Status::Internal("cannot write '" + options.metrics_out +
+      metrics_stream.open(options.metrics_out);
+      if (!metrics_stream) {
+        status = CannotOpen("--metrics-out", options.metrics_out);
+        return;
+      }
+    }
+    if (!options.profile_out.empty()) {
+      profile_stream.open(options.profile_out);
+      if (!profile_stream) {
+        status = CannotOpen("--profile-out", options.profile_out);
+        return;
+      }
+    }
+    if (want_profiler || !options.profile_out.empty()) {
+      profiler = std::make_unique<obs::StrategyProfiler>(
+          obs::ProfilerOptions{.delta = options.delta});
+    }
+    obs::TraceSink* active = file_sink.get();
+    if (profiler != nullptr && file_sink != nullptr) {
+      tee = std::make_unique<obs::TeeSink>(
+          std::vector<obs::TraceSink*>{file_sink.get(), profiler.get()});
+      active = tee.get();
+    } else if (profiler != nullptr) {
+      active = profiler.get();
+    }
+    observer = std::make_unique<obs::Observer>(&registry, active);
+  }
+
+  /// Closes (finalises) the trace, optionally prints the summary, and
+  /// writes the --metrics-out / --profile-out reports to the streams
+  /// opened up front.
+  Status Finish(const CliOptions& options, bool print_summary = true) {
+    if (file_sink != nullptr) {
+      file_sink->Close();
+      std::printf("trace written to %s\n", options.trace_out.c_str());
+    }
+    if (print_summary) {
+      std::string summary = registry.Summary();
+      if (!summary.empty()) {
+        std::printf("metrics summary:\n%s", summary.c_str());
+      }
+    }
+    if (metrics_stream.is_open()) {
+      metrics_stream << registry.SnapshotJson() << "\n";
+      if (!metrics_stream) {
+        return Status::Internal("failed writing '" + options.metrics_out +
                                 "'");
       }
-      out << registry.SnapshotJson() << "\n";
       std::printf("metrics written to %s\n", options.metrics_out.c_str());
+    }
+    if (profile_stream.is_open() && profiler != nullptr) {
+      profile_stream << profiler->ReportJson() << "\n";
+      if (!profile_stream) {
+        return Status::Internal("failed writing '" + options.profile_out +
+                                "'");
+      }
+      std::printf("profile written to %s\n", options.profile_out.c_str());
     }
     return Status::OK();
   }
 
+  static Status CannotOpen(const char* flag, const std::string& path) {
+    return Status::Internal(StrFormat("cannot open '%s' for %s output",
+                                      path.c_str(), flag));
+  }
+
+  Status status;
   obs::MetricsRegistry registry;
-  std::unique_ptr<obs::TraceSink> sink;
+  std::unique_ptr<obs::TraceSink> file_sink;
+  std::unique_ptr<obs::StrategyProfiler> profiler;
+  std::unique_ptr<obs::TeeSink> tee;
   std::unique_ptr<obs::Observer> observer;
+  std::ofstream metrics_stream;
+  std::ofstream profile_stream;
 };
 
 int Fail(const std::string& message) {
@@ -144,6 +220,10 @@ CliOptions ParseArgs(int argc, char** argv) {
       options.metrics_out = arg.substr(14);
     } else if (StartsWith(arg, "--trace-out=")) {
       options.trace_out = arg.substr(12);
+    } else if (StartsWith(arg, "--profile-out=")) {
+      options.profile_out = arg.substr(14);
+    } else if (StartsWith(arg, "--learner=")) {
+      options.learner = arg.substr(10);
     } else {
       options.positional.push_back(arg);
     }
@@ -282,7 +362,7 @@ int CmdLearnPib(const CliOptions& options) {
     return Fail(
         "usage: stratlearn_cli learn-pib <program.dl> <query-form> "
         "<workload.txt> [--delta= --queries= --strategy-out= --seed= "
-        "--metrics-out= --trace-out=]");
+        "--metrics-out= --trace-out= --profile-out=]");
   }
   Result<std::unique_ptr<Loaded>> loaded_or = Load(
       options.positional[0], options.positional[1], options.positional[2]);
@@ -295,6 +375,7 @@ int CmdLearnPib(const CliOptions& options) {
   PrintStrategyReport(loaded, "initial:", initial, truth);
 
   CliObserver cli_obs(options);
+  if (!cli_obs.status.ok()) return Fail(cli_obs.status.ToString());
   Pib pib(&loaded.built.graph, initial, PibOptions{.delta = options.delta},
           cli_obs.observer.get());
   QueryProcessor qp(&loaded.built.graph, cli_obs.observer.get());
@@ -324,7 +405,7 @@ int CmdLearnPao(const CliOptions& options) {
     return Fail(
         "usage: stratlearn_cli learn-pao <program.dl> <query-form> "
         "<workload.txt> [--epsilon= --delta= --theorem3 --strategy-out= "
-        "--seed= --metrics-out= --trace-out=]");
+        "--seed= --metrics-out= --trace-out= --profile-out=]");
   }
   Result<std::unique_ptr<Loaded>> loaded_or = Load(
       options.positional[0], options.positional[1], options.positional[2]);
@@ -339,6 +420,7 @@ int CmdLearnPao(const CliOptions& options) {
   if (options.theorem3) pao_options.mode = PaoOptions::Mode::kTheorem3;
   Rng rng(options.seed);
   CliObserver cli_obs(options);
+  if (!cli_obs.status.ok()) return Fail(cli_obs.status.ToString());
   Result<PaoResult> result = [&] {
     obs::ScopedTimer timer(
         &cli_obs.registry.GetHistogram("cli.learn_wall_us"));
@@ -369,6 +451,7 @@ int CmdEval(const CliOptions& options) {
   Loaded& loaded = **loaded_or;
 
   CliObserver cli_obs(options);
+  if (!cli_obs.status.ok()) return Fail(cli_obs.status.ToString());
   obs::Histogram& phase_us =
       cli_obs.registry.GetHistogram("cli.eval_phase_us");
   obs::Counter& evaluated =
@@ -416,11 +499,76 @@ int CmdEval(const CliOptions& options) {
   return 0;
 }
 
+int CmdExplain(const CliOptions& options) {
+  if (options.positional.size() != 3) {
+    return Fail(
+        "usage: stratlearn_cli explain <program.dl> <query-form> "
+        "<workload.txt> [--learner=pib|pao --delta= --epsilon= --queries= "
+        "--theorem3 --seed= --profile-out= --metrics-out= --trace-out=]");
+  }
+  if (options.learner != "pib" && options.learner != "pao") {
+    return Fail("--learner must be 'pib' or 'pao'");
+  }
+  Result<std::unique_ptr<Loaded>> loaded_or = Load(
+      options.positional[0], options.positional[1], options.positional[2]);
+  if (!loaded_or.ok()) return Fail(loaded_or.status().ToString());
+  Loaded& loaded = **loaded_or;
+
+  DatalogOracle oracle(&loaded.built, &loaded.db, loaded.workload);
+  std::vector<double> truth = oracle.TrueMarginalProbs();
+  CliObserver cli_obs(options, /*want_profiler=*/true);
+  if (!cli_obs.status.ok()) return Fail(cli_obs.status.ToString());
+  Rng rng(options.seed);
+
+  Strategy learned;
+  std::string learner_state;
+  if (options.learner == "pib") {
+    Strategy initial = Strategy::DepthFirst(loaded.built.graph);
+    Pib pib(&loaded.built.graph, initial,
+            PibOptions{.delta = options.delta}, cli_obs.observer.get());
+    QueryProcessor qp(&loaded.built.graph, cli_obs.observer.get());
+    for (int64_t i = 0; i < options.queries; ++i) {
+      pib.Observe(qp.Execute(pib.strategy(), oracle.Next(rng)));
+    }
+    learned = pib.strategy();
+    learner_state = ExplainPibState(pib.Snapshot());
+  } else {
+    PaoOptions pao_options;
+    pao_options.epsilon = options.epsilon;
+    pao_options.delta = options.delta;
+    if (options.theorem3) pao_options.mode = PaoOptions::Mode::kTheorem3;
+    Result<PaoResult> result = Pao::Run(loaded.built.graph, oracle, rng,
+                                        pao_options, cli_obs.observer.get());
+    if (!result.ok()) return Fail(result.status().ToString());
+    learned = result->strategy;
+    learner_state = ExplainPaoState(loaded.built.graph, result->sampler);
+  }
+
+  ExplainOptions explain_options;
+  explain_options.hot_share = cli_obs.profiler->options().hot_share;
+  std::printf("%s", ExplainStrategyTree(loaded.built.graph, learned,
+                                        cli_obs.profiler.get(),
+                                        explain_options)
+                        .c_str());
+  std::printf("\n%s", learner_state.c_str());
+  std::printf("\n%s", cli_obs.profiler->ReportText().c_str());
+  std::printf("\nexpected cost %s (true p): %.4f\n",
+              options.learner.c_str(),
+              ExactExpectedCost(loaded.built.graph, learned, truth));
+  Status written = MaybeWriteStrategy(options, learned);
+  if (!written.ok()) return Fail(written.ToString());
+  // The metrics summary holds wall-clock timers; skip it so explain
+  // output is byte-identical across runs with the same seed.
+  Status finished = cli_obs.Finish(options, /*print_summary=*/false);
+  if (!finished.ok()) return Fail(finished.ToString());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: stratlearn_cli <query|dot|learn-pib|learn-pao|eval> "
-                 "...\n");
+                 "usage: stratlearn_cli "
+                 "<query|dot|learn-pib|learn-pao|eval|explain> ...\n");
     return 1;
   }
   std::string command = argv[1];
@@ -430,6 +578,7 @@ int Main(int argc, char** argv) {
   if (command == "learn-pib") return CmdLearnPib(options);
   if (command == "learn-pao") return CmdLearnPao(options);
   if (command == "eval") return CmdEval(options);
+  if (command == "explain") return CmdExplain(options);
   return Fail("unknown command '" + command + "'");
 }
 
