@@ -1,5 +1,7 @@
 #include "core/pao.h"
 
+#include <limits>
+
 #include "stats/chernoff.h"
 #include "util/check.h"
 #include "util/string_util.h"
@@ -40,6 +42,17 @@ Result<PaoResult> Pao::Run(const InferenceGraph& graph, ContextOracle& oracle,
 
   PaoResult result;
   result.quotas = ComputeQuotas(graph, options);
+  for (size_t i = 0; i < result.quotas.size(); ++i) {
+    // A saturated quota (see stats/chernoff.cc) means Equation 7/8
+    // overflowed: no finite sample meets it, so fail up front instead of
+    // sampling forever.
+    if (result.quotas[i] == std::numeric_limits<int64_t>::max()) {
+      return Status::InvalidArgument(StrFormat(
+          "experiment %zu's sample quota overflows for epsilon=%g "
+          "delta=%g; epsilon is too small for this graph's F_not values",
+          i, options.epsilon, options.delta));
+    }
+  }
 
   AdaptiveQueryProcessor::QuotaMode mode =
       options.mode == PaoOptions::Mode::kTheorem2

@@ -4,11 +4,19 @@
 
 namespace stratlearn {
 
+bool Clause::HasNegation() const {
+  for (uint8_t n : negated) {
+    if (n != 0) return true;
+  }
+  return false;
+}
+
 bool Clause::IsRangeRestricted() const {
   if (IsFact()) return head.IsGround();
   std::unordered_set<SymbolId> body_vars;
-  for (const Atom& a : body) {
-    for (const Term& t : a.args) {
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (IsNegated(i)) continue;  // only positive literals bind variables
+    for (const Term& t : body[i].args) {
       if (t.is_variable()) body_vars.insert(t.symbol);
     }
   }
@@ -24,6 +32,7 @@ std::string Clause::ToString(const SymbolTable& symbols) const {
     out += " :- ";
     for (size_t i = 0; i < body.size(); ++i) {
       if (i > 0) out += ", ";
+      if (IsNegated(i)) out += "not ";
       out += body[i].ToString(symbols);
     }
   }

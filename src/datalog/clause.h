@@ -1,6 +1,7 @@
 #ifndef STRATLEARN_DATALOG_CLAUSE_H_
 #define STRATLEARN_DATALOG_CLAUSE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -8,11 +9,14 @@
 
 namespace stratlearn {
 
-/// A definite clause: head :- body_1, ..., body_k. A fact is a clause
-/// with an empty body and a ground head.
+/// A clause: head :- body_1, ..., body_k. A fact is a clause with an
+/// empty body and a ground head. Body literals may be negated
+/// (negation-as-failure, Section 5.2); `negated` is either empty (all
+/// positive) or parallel to `body`.
 struct Clause {
   Atom head;
   std::vector<Atom> body;
+  std::vector<uint8_t> negated;
 
   Clause() = default;
   Clause(Atom h, std::vector<Atom> b)
@@ -20,15 +24,27 @@ struct Clause {
 
   bool IsFact() const { return body.empty(); }
 
+  /// True when body literal `i` is negated ("not p(X)").
+  bool IsNegated(size_t i) const {
+    return i < negated.size() && negated[i] != 0;
+  }
+
+  /// True when any body literal is negated.
+  bool HasNegation() const;
+
   /// A clause is *range restricted* (safe) when every variable of the
-  /// head also appears in the body. Facts must be ground.
+  /// head also appears in a positive body literal. Facts must be ground.
   bool IsRangeRestricted() const;
 
-  /// "head :- b1, b2." or "head." for facts.
+  /// "head :- b1, not b2." or "head." for facts.
   std::string ToString(const SymbolTable& symbols) const;
 
   friend bool operator==(const Clause& a, const Clause& b) {
-    return a.head == b.head && a.body == b.body;
+    if (a.head != b.head || a.body != b.body) return false;
+    for (size_t i = 0; i < a.body.size(); ++i) {
+      if (a.IsNegated(i) != b.IsNegated(i)) return false;
+    }
+    return true;
   }
 };
 

@@ -103,6 +103,31 @@ Result<Atom> Parser::ParseAtomAt(Cursor& c) {
   return atom;
 }
 
+bool Parser::ConsumeNegation(Cursor& c) {
+  SkipSpace(c);
+  if (c.pos + 1 < c.text.size() && c.text[c.pos] == '\\' &&
+      c.text[c.pos + 1] == '+') {
+    c.pos += 2;
+    return true;
+  }
+  // `not` is a keyword only when followed by a separate atom, so a
+  // predicate named `not` ("not." / "not(X)") still parses as an atom.
+  if (c.text.substr(c.pos, 3) == "not" &&
+      c.pos + 3 < c.text.size() &&
+      std::isspace(static_cast<unsigned char>(c.text[c.pos + 3]))) {
+    size_t after = c.pos + 3;
+    Cursor probe = c;
+    probe.pos = after;
+    SkipSpace(probe);
+    if (probe.pos < c.text.size() && IsIdentStart(c.text[probe.pos]) &&
+        !std::isupper(static_cast<unsigned char>(c.text[probe.pos]))) {
+      c = probe;
+      return true;
+    }
+  }
+  return false;
+}
+
 Result<Clause> Parser::ParseClauseAt(Cursor& c) {
   Result<Atom> head = ParseAtomAt(c);
   if (!head.ok()) return head.status();
@@ -114,9 +139,11 @@ Result<Clause> Parser::ParseClauseAt(Cursor& c) {
       c.text[c.pos + 1] == '-') {
     c.pos += 2;
     for (;;) {
+      bool negated = ConsumeNegation(c);
       Result<Atom> body_atom = ParseAtomAt(c);
       if (!body_atom.ok()) return body_atom.status();
       clause.body.push_back(*body_atom);
+      clause.negated.push_back(negated ? 1 : 0);
       SkipSpace(c);
       if (!Consume(c, ',')) break;
     }
@@ -131,16 +158,15 @@ Result<Program> Parser::ParseProgram(std::string_view text) {
   for (;;) {
     SkipSpace(c);
     if (c.pos >= c.text.size()) break;
+    int line = c.line;
     Result<Clause> clause = ParseClauseAt(c);
     if (!clause.ok()) return clause.status();
     if (clause->IsFact()) {
-      if (!clause->head.IsGround()) {
-        return ErrorAt(c, "fact '" + clause->head.ToString(*symbols_) +
-                              "' is not ground");
-      }
       program.facts.push_back(std::move(*clause));
+      program.fact_lines.push_back(line);
     } else {
       program.rules.push_back(std::move(*clause));
+      program.rule_lines.push_back(line);
     }
   }
   return program;
@@ -163,10 +189,24 @@ Status Parser::LoadProgram(std::string_view text, Database* db,
                            RuleBase* rules) {
   Result<Program> program = ParseProgram(text);
   if (!program.ok()) return program.status();
-  for (const Clause& fact : program->facts) {
+  for (size_t i = 0; i < program->facts.size(); ++i) {
+    const Clause& fact = program->facts[i];
+    if (!fact.head.IsGround()) {
+      return Status::InvalidArgument(StrFormat(
+          "line %d: fact '%s' is not ground", program->fact_lines[i],
+          fact.head.ToString(*symbols_).c_str()));
+    }
     STRATLEARN_RETURN_IF_ERROR(db->Insert(fact.head));
   }
-  for (Clause& rule : program->rules) {
+  for (size_t i = 0; i < program->rules.size(); ++i) {
+    Clause& rule = program->rules[i];
+    if (rule.HasNegation()) {
+      return Status::Unimplemented(StrFormat(
+          "line %d: rule '%s' uses negation as failure, which the "
+          "executable engines do not evaluate inside rule bodies "
+          "(see apps/naf.h); `stratlearn_cli verify` can still check it",
+          program->rule_lines[i], rule.ToString(*symbols_).c_str()));
+    }
     STRATLEARN_RETURN_IF_ERROR(rules->AddRule(std::move(rule)));
   }
   return Status::OK();

@@ -11,10 +11,17 @@
 
 namespace stratlearn {
 
-/// A parsed Datalog program: ground facts plus rules.
+/// A parsed Datalog program: facts plus rules, with the source line of
+/// each clause (parallel vectors) so static analysis can point at the
+/// offending clause. Facts are clauses with an empty body; groundness is
+/// checked at load time (LoadProgram) or by `stratlearn_cli verify`, not
+/// here, so the verifier can diagnose non-ground facts instead of
+/// aborting the parse.
 struct Program {
   std::vector<Clause> facts;
   std::vector<Clause> rules;
+  std::vector<int> fact_lines;
+  std::vector<int> rule_lines;
 };
 
 /// Recursive-descent parser for a small Datalog syntax:
@@ -22,11 +29,16 @@ struct Program {
 ///   prof(russ).                       % fact
 ///   instructor(X) :- prof(X).        % rule
 ///   path(X, Y) :- edge(X, Z), path(Z, Y).
+///   pauper(X) :- person(X), not owns(X, anything).   % NAF literal
 ///
 /// Identifiers starting with a lowercase letter (or digits, or quoted
 /// 'strings') are constants/predicates; identifiers starting with an
 /// uppercase letter or '_' are variables. '%' and '#' start comments that
-/// run to end of line. Every clause ends with '.'.
+/// run to end of line. Every clause ends with '.'. Body literals may be
+/// negated with `not` or `\+` (negation as failure); such rules parse —
+/// so the static verifier can check safety and stratification — but are
+/// rejected by LoadProgram, since the executable engines implement NAF
+/// at the application layer (apps/naf.h), not inside rule bodies.
 class Parser {
  public:
   explicit Parser(SymbolTable* symbols) : symbols_(symbols) {}
@@ -49,6 +61,7 @@ class Parser {
 
   void SkipSpace(Cursor& c);
   bool Consume(Cursor& c, char ch);
+  bool ConsumeNegation(Cursor& c);
   Result<Term> ParseTerm(Cursor& c);
   Result<Atom> ParseAtomAt(Cursor& c);
   Result<Clause> ParseClauseAt(Cursor& c);

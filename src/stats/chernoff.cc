@@ -1,10 +1,24 @@
 #include "stats/chernoff.h"
 
 #include <cmath>
+#include <limits>
 
 #include "util/check.h"
 
 namespace stratlearn {
+
+namespace {
+
+/// Rounds a (possibly huge or infinite) real quota up to int64, saturating
+/// at int64 max: casting a value beyond the representable range — e.g.
+/// ceil(inf) from a tiny epsilon — is undefined behaviour otherwise.
+int64_t SaturatingCeil(double value) {
+  double up = std::ceil(value);
+  if (!(up < 9.2e18)) return std::numeric_limits<int64_t>::max();
+  return static_cast<int64_t>(up);
+}
+
+}  // namespace
 
 double HoeffdingTailProbability(int64_t n, double beta, double range) {
   STRATLEARN_CHECK(n >= 0);
@@ -45,8 +59,7 @@ int64_t SampleSizeForDeviation(double beta, double delta, double range) {
   STRATLEARN_CHECK(delta > 0.0 && delta < 1.0);
   STRATLEARN_CHECK(range > 0.0);
   double z = range / beta;
-  return static_cast<int64_t>(
-      std::ceil(z * z * std::log(1.0 / delta) / 2.0));
+  return SaturatingCeil(z * z * std::log(1.0 / delta) / 2.0);
 }
 
 int64_t PaoRetrievalQuota(int64_t n, double f_neg, double epsilon,
@@ -57,8 +70,8 @@ int64_t PaoRetrievalQuota(int64_t n, double f_neg, double epsilon,
   STRATLEARN_CHECK(f_neg >= 0.0);
   if (f_neg == 0.0) return 0;
   double z = static_cast<double>(n) * f_neg / epsilon;
-  return static_cast<int64_t>(
-      std::ceil(2.0 * z * z * std::log(2.0 * static_cast<double>(n) / delta)));
+  return SaturatingCeil(2.0 * z * z *
+                        std::log(2.0 * static_cast<double>(n) / delta));
 }
 
 int64_t PaoReachQuota(int64_t n, double f_neg, double epsilon, double delta) {
@@ -70,8 +83,8 @@ int64_t PaoReachQuota(int64_t n, double f_neg, double epsilon, double delta) {
   double inner =
       std::sqrt(2.0 * epsilon / (static_cast<double>(n) * f_neg) + 1.0) - 1.0;
   STRATLEARN_CHECK(inner > 0.0);
-  return static_cast<int64_t>(std::ceil(
-      2.0 / (inner * inner) * std::log(4.0 * static_cast<double>(n) / delta)));
+  return SaturatingCeil(2.0 / (inner * inner) *
+                        std::log(4.0 * static_cast<double>(n) / delta));
 }
 
 }  // namespace stratlearn

@@ -1,0 +1,223 @@
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/serialization.h"
+#include "util/string_util.h"
+#include "verify/verify.h"
+
+namespace stratlearn::verify {
+
+namespace {
+
+/// Extracts the text after the first occurrence of `directive` on any
+/// line of `text`, or an empty string.
+std::string FindDirective(std::string_view text, std::string_view directive) {
+  for (const std::string& line : Split(text, '\n')) {
+    size_t pos = line.find(directive);
+    if (pos == std::string::npos) continue;
+    return std::string(Trim(std::string_view(line).substr(
+        pos + directive.size())));
+  }
+  return "";
+}
+
+}  // namespace
+
+ArtifactVerifier::ArtifactVerifier(DiagnosticSink* sink,
+                                   VerifyOptions options)
+    : sink_(sink), options_(options) {}
+
+Status ArtifactVerifier::AddFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  AddText(path, buffer.str());
+  return Status::OK();
+}
+
+void ArtifactVerifier::AddText(const std::string& name,
+                               std::string_view text) {
+  sink_->set_file(name);
+  std::string_view trimmed = Trim(text);
+  if (StartsWith(trimmed, "stratlearn-graph v1")) {
+    size_t errors_before = sink_->num_errors();
+    VerifyGraphText(text, sink_, options_);
+    if (sink_->num_errors() == errors_before) {
+      Result<InferenceGraph> graph = DeserializeGraph(text);
+      if (graph.ok()) graph_context_ = std::move(*graph);
+    }
+    return;
+  }
+  if (StartsWith(trimmed, "stratlearn-andor v1")) {
+    VerifyAndOrText(text, sink_, options_);
+    return;
+  }
+  if (StartsWith(trimmed, "stratlearn-strategy v1")) {
+    if (!graph_context_) {
+      sink_->Error("V-S005", "",
+                   "strategy file has no graph context; verify it after "
+                   "the program or graph file it belongs to",
+                   "pass the .dl (with a % verify-form: directive) or "
+                   ".graph file before the strategy file");
+      return;
+    }
+    VerifyStrategyText(*graph_context_, text, sink_);
+    return;
+  }
+  bool is_config = name.size() >= 4 &&
+                   name.compare(name.size() - 4, 4, ".cfg") == 0;
+  if (is_config) {
+    VerifyConfig(text);
+  } else {
+    VerifyDatalog(text);
+  }
+}
+
+void ArtifactVerifier::VerifyConfig(std::string_view text) {
+  LearnerConfig config = ParseLearnerConfig(text, sink_);
+  VerifyLearnerConfig(config, graph_context(), sink_);
+}
+
+void ArtifactVerifier::VerifyDatalog(std::string_view text) {
+  SymbolTable symbols;
+  Parser parser(&symbols);
+  Result<Program> program = parser.ParseProgram(text);
+  if (!program.ok()) {
+    sink_->Error("V-P001", "",
+                 StrFormat("syntax error: %s",
+                           program.status().message().c_str()));
+    return;
+  }
+
+  std::string form_text = FindDirective(text, "% verify-form:");
+  Result<QueryForm> form = Status::NotFound("no % verify-form: directive");
+  if (!form_text.empty()) {
+    form = QueryForm::Parse(form_text, &symbols);
+    if (!form.ok()) {
+      sink_->Error("V-P001", "",
+                   StrFormat("bad %% verify-form: directive '%s': %s",
+                             form_text.c_str(),
+                             form.status().message().c_str()),
+                   "expected e.g. '% verify-form: instructor(b)'");
+    }
+  }
+
+  size_t errors_before = sink_->num_errors();
+  VerifyProgram(*program, symbols, form.ok() ? &*form : nullptr, sink_);
+
+  bool uses_negation = false;
+  for (const Clause& rule : program->rules) {
+    uses_negation = uses_negation || rule.HasNegation();
+  }
+
+  if (form.ok() && sink_->num_errors() == errors_before && !uses_negation) {
+    Database db;
+    RuleBase rules;
+    Status loaded = Status::OK();
+    for (const Clause& fact : program->facts) {
+      loaded = db.Insert(fact.head);
+      if (!loaded.ok()) break;
+    }
+    for (const Clause& rule : program->rules) {
+      if (!loaded.ok()) break;
+      loaded = rules.AddRule(rule);
+    }
+    BuildOptions build_options;
+    build_options.max_depth = options_.max_depth;
+    Result<BuiltGraph> built =
+        loaded.ok()
+            ? BuildInferenceGraph(rules, *form, &symbols, build_options)
+            : Result<BuiltGraph>(loaded);
+    if (!built.ok()) {
+      sink_->Error("V-G009", "",
+                   StrFormat("inference graph construction failed: %s",
+                             built.status().message().c_str()),
+                   "the PAO/PIB learners need a buildable graph for this "
+                   "query form");
+    } else {
+      VerifyBuiltGraph(*built, db, symbols, sink_, options_);
+      if (sink_->num_errors() == errors_before) {
+        graph_context_ = std::move(built->graph);
+      }
+    }
+  } else if (form.ok() && uses_negation &&
+             sink_->num_errors() == errors_before) {
+    sink_->Note("V-G009", "",
+                "graph context not built: the program uses negation as "
+                "failure, which the inference-graph builder does not "
+                "support",
+                "");
+  }
+
+  std::string strategy_text = FindDirective(text, "% verify-strategy:");
+  if (!strategy_text.empty()) {
+    if (!graph_context_) {
+      sink_->Error("V-S005", "",
+                   "cannot check % verify-strategy: no graph context "
+                   "(the program must verify cleanly with a "
+                   "% verify-form: directive first)");
+    } else {
+      std::vector<int64_t> arcs;
+      bool tokens_ok = true;
+      for (const std::string& token : Split(strategy_text, ' ')) {
+        std::string_view t = Trim(token);
+        if (t.empty()) continue;
+        std::string buffer(t);
+        char* end = nullptr;
+        long long value = std::strtoll(buffer.c_str(), &end, 10);
+        if (end != buffer.c_str() + buffer.size()) {
+          sink_->Error("V-S001", "",
+                       StrFormat("token '%s' in %% verify-strategy: is "
+                                 "not an arc id",
+                                 buffer.c_str()));
+          tokens_ok = false;
+          continue;
+        }
+        arcs.push_back(value);
+      }
+      if (tokens_ok) VerifyStrategyOrder(*graph_context_, arcs, sink_);
+    }
+  }
+
+  std::string config_text = FindDirective(text, "% verify-config:");
+  if (!config_text.empty()) {
+    std::string config_lines = Join(Split(config_text, ' '), "\n");
+    VerifyConfig(config_lines);
+  }
+}
+
+Status GuardLoadedProgram(const RuleBase& rules, const BuiltGraph& built,
+                          const Database& db, const SymbolTable& symbols) {
+  DiagnosticSink sink;
+  const std::vector<Clause>& all = rules.AllRules();
+  for (size_t i = 0; i < all.size(); ++i) {
+    const Clause& rule = all[i];
+    for (const Atom& literal : rule.body) {
+      SymbolId pred = literal.predicate;
+      if (!rules.IsIntensional(pred) && db.Arity(pred) < 0) {
+        sink.Error("V-R003", StrFormat("rule %zu", i),
+                   StrFormat("predicate '%s' in '%s' is used but never "
+                             "defined: it heads no rule and has no "
+                             "facts, so this literal can never succeed",
+                             symbols.Name(pred).c_str(),
+                             rule.ToString(symbols).c_str()),
+                   "define the predicate or fix the spelling");
+      }
+    }
+  }
+  VerifyBuiltGraph(built, db, symbols, &sink);
+  if (sink.HasBlocking()) {
+    return Status::FailedPrecondition(
+        StrFormat("static verification failed:\n%s",
+                  sink.RenderText().c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace stratlearn::verify

@@ -1,0 +1,410 @@
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/string_util.h"
+#include "verify/verify.h"
+
+namespace stratlearn::verify {
+
+namespace {
+
+bool ParseDoubleToken(std::string_view token, double* out) {
+  std::string buffer(token);
+  char* end = nullptr;
+  *out = std::strtod(buffer.c_str(), &end);
+  return !buffer.empty() && end == buffer.c_str() + buffer.size();
+}
+
+bool ParseUintToken(std::string_view token, uint32_t* out) {
+  std::string buffer(token);
+  char* end = nullptr;
+  unsigned long value = std::strtoul(buffer.c_str(), &end, 10);
+  if (buffer.empty() || end != buffer.c_str() + buffer.size()) return false;
+  *out = static_cast<uint32_t>(value);
+  return true;
+}
+
+/// Splits off the first `n` space-separated tokens; the remainder is the
+/// free-form label field (mirrors src/graph/serialization.cc).
+bool TakeTokens(std::string_view line, size_t n,
+                std::vector<std::string_view>* tokens,
+                std::string_view* rest) {
+  tokens->clear();
+  size_t pos = 0;
+  for (size_t i = 0; i < n; ++i) {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    size_t start = pos;
+    while (pos < line.size() && line[pos] != ' ') ++pos;
+    if (start == pos) return false;
+    tokens->push_back(line.substr(start, pos - start));
+  }
+  if (pos < line.size() && line[pos] == ' ') ++pos;
+  *rest = line.substr(pos);
+  return true;
+}
+
+/// Shared tree-shape / cost / depth checks over (possibly malformed)
+/// node+arc records. `success` flags which nodes are success boxes.
+struct GraphRecords {
+  struct ArcRecord {
+    uint32_t from = 0;
+    uint32_t to = 0;
+    double cost = 1.0;
+    double success_cost = 0.0;
+    double failure_cost = 0.0;
+    std::string label;
+    int line = 0;
+  };
+  std::vector<uint8_t> success;  // per node
+  std::vector<ArcRecord> arcs;
+};
+
+void CheckGraphRecords(const GraphRecords& records, DiagnosticSink* sink,
+                       const VerifyOptions& options) {
+  size_t num_nodes = records.success.size();
+  std::vector<int> incoming(num_nodes, 0);
+  std::vector<std::vector<size_t>> out(num_nodes);
+  for (size_t a = 0; a < records.arcs.size(); ++a) {
+    const GraphRecords::ArcRecord& arc = records.arcs[a];
+    std::string location = StrFormat("line %d", arc.line);
+    bool endpoints_ok = true;
+    if (arc.from >= num_nodes) {
+      sink->Error("V-G002", location,
+                  StrFormat("arc %zu starts at node %u, but only %zu nodes "
+                            "are declared",
+                            a, arc.from, num_nodes));
+      endpoints_ok = false;
+    }
+    if (arc.to >= num_nodes) {
+      sink->Error("V-G002", location,
+                  StrFormat("arc %zu ends at node %u, but only %zu nodes "
+                            "are declared",
+                            a, arc.to, num_nodes));
+      endpoints_ok = false;
+    }
+    if (arc.cost <= 0.0) {
+      sink->Error("V-G003", location,
+                  StrFormat("arc %zu has non-positive cost %s; every "
+                            "Lambda range and f* bound assumes positive "
+                            "arc costs",
+                            a, FormatDouble(arc.cost).c_str()));
+    }
+    if (arc.success_cost < 0.0 || arc.failure_cost < 0.0) {
+      sink->Error("V-G003", location,
+                  StrFormat("arc %zu has a negative outcome cost", a));
+    }
+    if (!endpoints_ok) continue;
+    if (arc.from == arc.to) {
+      sink->Error("V-G001", location,
+                  StrFormat("arc %zu is a self-loop on node %u; the AOT "
+                            "structure must be a tree",
+                            a, arc.from),
+                  "Upsilon_AOT's optimality proof requires a tree-shaped "
+                  "graph");
+      continue;
+    }
+    ++incoming[arc.to];
+    out[arc.from].push_back(a);
+    if (records.success[arc.from] != 0) {
+      sink->Error("V-G004", location,
+                  StrFormat("success node %u has an outgoing arc; success "
+                            "boxes terminate derivations and must be "
+                            "leaves",
+                            arc.from));
+    }
+  }
+  if (num_nodes == 0) return;
+  if (incoming[0] > 0) {
+    sink->Error("V-G001", "node 0",
+                "the root has incoming arcs; the AOT structure must be a "
+                "tree rooted at node 0",
+                "Upsilon_AOT's optimality proof requires a tree-shaped "
+                "graph");
+  }
+  for (size_t n = 1; n < num_nodes; ++n) {
+    if (incoming[n] > 1) {
+      sink->Error("V-G001", StrFormat("node %zu", n),
+                  StrFormat("node %zu has %d incoming arcs; shared "
+                            "subgoals make the graph a DAG, not a tree",
+                            n, incoming[n]),
+                  "Upsilon_AOT's optimality proof requires a tree-shaped "
+                  "graph; duplicate the shared subtree or use the AND/OR "
+                  "extension");
+    }
+  }
+  // Reachability + depth from the root (ignoring structurally bad arcs).
+  std::vector<int> depth(num_nodes, -1);
+  std::vector<size_t> stack = {0};
+  depth[0] = 0;
+  while (!stack.empty()) {
+    size_t n = stack.back();
+    stack.pop_back();
+    for (size_t a : out[n]) {
+      uint32_t to = records.arcs[a].to;
+      if (depth[to] >= 0) continue;  // already reached (DAG/cycle case)
+      depth[to] = depth[n] + 1;
+      stack.push_back(to);
+      // Arc depth (root arcs at 0) is depth[to] - 1; warn once, at the
+      // first arc past the bound.
+      if (depth[to] == options.max_depth + 2) {
+        sink->Warning("V-G006", StrFormat("line %d", records.arcs[a].line),
+                      StrFormat("arc %zu is at depth %d, beyond the "
+                                "unfolding bound %d; this usually means a "
+                                "runaway recursive unfolding",
+                                a, depth[to] - 1, options.max_depth));
+      }
+    }
+  }
+  for (size_t n = 1; n < num_nodes; ++n) {
+    if (depth[n] < 0 && incoming[n] == 0) {
+      sink->Error("V-G001", StrFormat("node %zu", n),
+                  StrFormat("node %zu is unreachable from the root; no "
+                            "strategy can ever visit it",
+                            n),
+                  "remove the node or connect it to the tree");
+    }
+  }
+  for (size_t n = 0; n < num_nodes; ++n) {
+    if (depth[n] >= 0 && out[n].empty() && records.success[n] == 0) {
+      sink->Warning("V-G005", StrFormat("node %zu", n),
+                    StrFormat("node %zu heads a dead-end subtree: it is "
+                              "not a success box and has no outgoing "
+                              "arcs, so every path through it fails",
+                              n),
+                    "dead-end arcs add pure cost to every strategy that "
+                    "tries them");
+    }
+  }
+}
+
+}  // namespace
+
+void VerifyBuiltGraph(const BuiltGraph& built, const Database& db,
+                      const SymbolTable& symbols, DiagnosticSink* sink,
+                      const VerifyOptions& options) {
+  const InferenceGraph& graph = built.graph;
+  Status valid = graph.Validate();
+  if (!valid.ok()) {
+    sink->Error("V-G001", "",
+                StrFormat("built graph fails structural validation: %s",
+                          valid.message().c_str()));
+    return;
+  }
+  for (ArcId a = 0; a < graph.num_arcs(); ++a) {
+    int depth = graph.ArcDepth(a);
+    if (depth > options.max_depth) {
+      sink->Warning("V-G006", StrFormat("arc %u", a),
+                    StrFormat("arc '%s' is at depth %d, beyond the "
+                              "unfolding bound %d",
+                              graph.arc(a).label.c_str(), depth,
+                              options.max_depth));
+    }
+  }
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    const Node& node = graph.node(n);
+    if (!node.is_success && node.out_arcs.empty()) {
+      sink->Warning("V-G005", StrFormat("node %u", n),
+                    StrFormat("subgoal '%s' is a dead end: no rule or "
+                              "retrieval applies, so every path through "
+                              "it fails",
+                              node.label.c_str()),
+                    "dead-end arcs add pure cost to every strategy that "
+                    "tries them");
+    }
+  }
+  for (ArcId a : graph.RetrievalArcs()) {
+    auto it = built.retrievals.find(a);
+    if (it == built.retrievals.end()) {
+      sink->Error("V-G007", StrFormat("arc %u", a),
+                  StrFormat("retrieval arc '%s' has no retrieval "
+                            "specification",
+                            graph.arc(a).label.c_str()));
+      continue;
+    }
+    SymbolId pred = it->second.predicate;
+    if (db.Arity(pred) < 0) {
+      sink->Error("V-G007", StrFormat("arc %u", a),
+                  StrFormat("retrieval arc '%s' queries relation '%s', "
+                            "which has no facts in the database; the "
+                            "retrieval can never succeed",
+                            graph.arc(a).label.c_str(),
+                            symbols.Name(pred).c_str()),
+                  "load facts for the relation or remove the rule that "
+                  "references it");
+    }
+  }
+}
+
+void VerifyGraphText(std::string_view text, DiagnosticSink* sink,
+                     const VerifyOptions& options) {
+  std::vector<std::string> lines = Split(text, '\n');
+  if (lines.empty() || Trim(lines[0]) != "stratlearn-graph v1") {
+    sink->Error("V-G008", "line 1",
+                "missing 'stratlearn-graph v1' header line");
+    return;
+  }
+  GraphRecords records;
+  std::vector<std::string_view> tokens;
+  std::string_view rest;
+  bool arcs_seen = false;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::string_view line = lines[i];
+    if (Trim(line).empty()) continue;
+    std::string location = StrFormat("line %zu", i + 1);
+    if (StartsWith(line, "node ")) {
+      if (arcs_seen) {
+        sink->Error("V-G008", location,
+                    "node record after the first arc record; nodes must "
+                    "be declared first");
+        continue;
+      }
+      if (!TakeTokens(line.substr(5), 1, &tokens, &rest) ||
+          (tokens[0] != "0" && tokens[0] != "1")) {
+        sink->Error("V-G008", location, "malformed node record",
+                    "expected: node <is_success:0|1> <label>");
+        continue;
+      }
+      records.success.push_back(tokens[0] == "1" ? 1 : 0);
+    } else if (StartsWith(line, "arc ")) {
+      arcs_seen = true;
+      GraphRecords::ArcRecord arc;
+      arc.line = static_cast<int>(i + 1);
+      if (!TakeTokens(line.substr(4), 7, &tokens, &rest) ||
+          !ParseUintToken(tokens[0], &arc.from) ||
+          !ParseUintToken(tokens[1], &arc.to) ||
+          (tokens[2] != "R" && tokens[2] != "D") ||
+          !ParseDoubleToken(tokens[3], &arc.cost) ||
+          !ParseDoubleToken(tokens[4], &arc.success_cost) ||
+          !ParseDoubleToken(tokens[5], &arc.failure_cost) ||
+          (tokens[6] != "0" && tokens[6] != "1")) {
+        sink->Error("V-G008", location, "malformed arc record",
+                    "expected: arc <from> <to> <kind:R|D> <cost> "
+                    "<success_cost> <failure_cost> <is_experiment:0|1> "
+                    "<label>");
+        continue;
+      }
+      arc.label = std::string(rest);
+      records.arcs.push_back(std::move(arc));
+    } else {
+      sink->Error("V-G008", location,
+                  StrFormat("unrecognised record '%s'",
+                            std::string(Trim(line).substr(0, 32)).c_str()),
+                  "expected 'node ...' or 'arc ...'");
+    }
+  }
+  if (records.success.empty()) {
+    sink->Error("V-G008", "", "graph file declares no nodes");
+    return;
+  }
+  CheckGraphRecords(records, sink, options);
+}
+
+void VerifyAndOrText(std::string_view text, DiagnosticSink* sink,
+                     const VerifyOptions& options) {
+  (void)options;
+  std::vector<std::string> lines = Split(text, '\n');
+  if (lines.empty() || Trim(lines[0]) != "stratlearn-andor v1") {
+    sink->Error("V-A006", "line 1",
+                "missing 'stratlearn-andor v1' header line");
+    return;
+  }
+  struct NodeRecord {
+    char kind = 'L';
+    uint32_t parent = 0xffffffffu;
+    bool is_root = false;
+    double cost = 1.0;
+    int line = 0;
+    int children = 0;
+  };
+  std::vector<NodeRecord> nodes;
+  std::vector<std::string_view> tokens;
+  std::string_view rest;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::string_view line = lines[i];
+    if (Trim(line).empty()) continue;
+    std::string location = StrFormat("line %zu", i + 1);
+    if (!StartsWith(line, "node ")) {
+      sink->Error("V-A006", location,
+                  StrFormat("unrecognised record '%s'",
+                            std::string(Trim(line).substr(0, 32)).c_str()),
+                  "expected 'node <kind:A|O|L> <parent|-> <cost> <label>'");
+      continue;
+    }
+    NodeRecord node;
+    node.line = static_cast<int>(i + 1);
+    bool ok = TakeTokens(line.substr(5), 3, &tokens, &rest);
+    if (ok) {
+      ok = tokens[0].size() == 1 &&
+           (tokens[0][0] == 'A' || tokens[0][0] == 'O' || tokens[0][0] == 'L');
+      if (ok) node.kind = tokens[0][0];
+    }
+    if (ok) {
+      if (tokens[1] == "-") {
+        node.is_root = true;
+      } else {
+        ok = ParseUintToken(tokens[1], &node.parent);
+      }
+    }
+    if (ok) ok = ParseDoubleToken(tokens[2], &node.cost);
+    if (!ok) {
+      sink->Error("V-A006", location, "malformed node record",
+                  "expected: node <kind:A|O|L> <parent|-> <cost> <label>");
+      continue;
+    }
+    nodes.push_back(node);
+  }
+  for (size_t n = 0; n < nodes.size(); ++n) {
+    NodeRecord& node = nodes[n];
+    std::string location = StrFormat("line %d", node.line);
+    if (node.is_root) {
+      if (n != 0) {
+        sink->Error("V-A005", location,
+                    StrFormat("node %zu has parent '-' but node 0 is "
+                              "already the root; an AND/OR tree has "
+                              "exactly one root",
+                              n));
+      }
+    } else {
+      if (node.parent >= n) {
+        sink->Error("V-A001", location,
+                    StrFormat("node %zu names parent %u, which is %s; "
+                              "parents must be earlier nodes",
+                              n, node.parent,
+                              node.parent >= nodes.size()
+                                  ? "not declared"
+                                  : "not declared yet"));
+      } else if (nodes[node.parent].kind == 'L') {
+        sink->Error("V-A003", location,
+                    StrFormat("node %zu names leaf node %u as its parent; "
+                              "leaves are experiments and cannot have "
+                              "children",
+                              n, node.parent));
+      } else {
+        ++nodes[node.parent].children;
+      }
+    }
+    if (node.kind == 'L' && node.cost <= 0.0) {
+      sink->Error("V-A004", location,
+                  StrFormat("leaf node %zu has non-positive cost %s; "
+                            "attempt costs must be positive",
+                            n, FormatDouble(node.cost).c_str()));
+    }
+  }
+  for (size_t n = 0; n < nodes.size(); ++n) {
+    if (nodes[n].kind != 'L' && nodes[n].children == 0) {
+      sink->Warning("V-A002", StrFormat("line %d", nodes[n].line),
+                    StrFormat("internal %s node %zu has no children; it "
+                              "can never be satisfied",
+                              nodes[n].kind == 'A' ? "AND" : "OR", n),
+                    "an empty OR fails always; give the node children or "
+                    "remove it");
+    }
+  }
+  if (nodes.empty()) {
+    sink->Error("V-A006", "", "AND/OR file declares no nodes");
+  }
+}
+
+}  // namespace stratlearn::verify

@@ -1,0 +1,228 @@
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/string_util.h"
+#include "verify/verify.h"
+
+namespace stratlearn::verify {
+
+namespace {
+
+/// Predicate-dependency edge: head depends on body predicate, positively
+/// or through negation as failure.
+struct DependencyEdge {
+  SymbolId to = kInvalidSymbol;
+  bool negated = false;
+};
+
+/// Per-clause checks: range restriction (V-R001), undefined body
+/// predicates (V-R003), unsafe negation (V-R007).
+void CheckClause(const Clause& rule, const std::string& location,
+                 const std::unordered_set<SymbolId>& rule_heads,
+                 const std::unordered_set<SymbolId>& fact_preds,
+                 const SymbolTable& symbols, DiagnosticSink* sink) {
+  if (!rule.IsRangeRestricted()) {
+    sink->Error("V-R001", location,
+                StrFormat("rule '%s' is not range restricted",
+                          rule.ToString(symbols).c_str()),
+                "every head variable must occur in a positive body literal");
+  }
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    SymbolId pred = rule.body[i].predicate;
+    if (rule_heads.count(pred) == 0 && fact_preds.count(pred) == 0) {
+      sink->Error(
+          "V-R003", location,
+          StrFormat("predicate '%s' is used but never defined: it heads no "
+                    "rule and has no facts, so this literal can never "
+                    "succeed",
+                    symbols.Name(pred).c_str()),
+          "define the predicate or fix the spelling");
+    }
+  }
+  if (rule.HasNegation()) {
+    std::unordered_set<SymbolId> positive_vars;
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (rule.IsNegated(i)) continue;
+      for (const Term& t : rule.body[i].args) {
+        if (t.is_variable()) positive_vars.insert(t.symbol);
+      }
+    }
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (!rule.IsNegated(i)) continue;
+      for (const Term& t : rule.body[i].args) {
+        if (t.is_variable() && positive_vars.count(t.symbol) == 0) {
+          sink->Error(
+              "V-R007", location,
+              StrFormat("variable '%s' occurs only under negation in "
+                        "'%s'; negation as failure is unsafe for "
+                        "unbound variables",
+                        symbols.Name(t.symbol).c_str(),
+                        rule.ToString(symbols).c_str()),
+              "bind the variable in a positive literal before negating");
+        }
+      }
+    }
+  }
+}
+
+/// Whole-program dependency analysis: recursion cycles (V-R005 direct,
+/// V-R006 mutual) and NAF stratification (V-R008). Iteration order is
+/// first-appearance order of head predicates, so output is
+/// deterministic.
+void CheckDependencies(
+    const std::vector<SymbolId>& head_order,
+    const std::unordered_map<SymbolId, std::vector<DependencyEdge>>& deps,
+    const SymbolTable& symbols, DiagnosticSink* sink) {
+  // Direct recursion and negative self-dependency.
+  std::unordered_set<SymbolId> in_reported_cycle;
+  for (SymbolId p : head_order) {
+    auto it = deps.find(p);
+    if (it == deps.end()) continue;
+    for (const DependencyEdge& e : it->second) {
+      if (e.to != p) continue;
+      sink->Error("V-R005", "",
+                  StrFormat("predicate '%s' is directly recursive; the "
+                            "inference-graph builder only supports "
+                            "non-recursive unfoldings",
+                            symbols.Name(p).c_str()),
+                  "bound the recursion or rewrite it as an extensional "
+                  "closure");
+      if (e.negated) {
+        sink->Error("V-R008", "",
+                    StrFormat("predicate '%s' depends on itself through "
+                              "negation; the program is not stratifiable",
+                              symbols.Name(p).c_str()),
+                    "no NAF semantics assigns this rule set a meaning; "
+                    "break the negative cycle");
+      }
+      in_reported_cycle.insert(p);
+      break;
+    }
+  }
+  // Mutual recursion: DFS from each head predicate looking for a cycle
+  // back to it through at least one other predicate; report each cycle
+  // once, from its first-appearing member.
+  for (SymbolId start : head_order) {
+    if (in_reported_cycle.count(start) > 0) continue;
+    // Path-tracking DFS (graphs here are tiny: one node per predicate).
+    std::vector<std::pair<SymbolId, bool>> path;  // (predicate, via-negation)
+    std::unordered_set<SymbolId> visited;
+    bool found = false;
+    std::function<void(SymbolId, bool)> dfs = [&](SymbolId p, bool negated) {
+      if (found) return;
+      path.emplace_back(p, negated);
+      if (p == start && path.size() > 1) {
+        found = true;
+        return;
+      }
+      if (visited.insert(p).second || (p == start && path.size() == 1)) {
+        auto it = deps.find(p);
+        if (it != deps.end()) {
+          for (const DependencyEdge& e : it->second) {
+            if (e.to == p) continue;  // direct loops reported above
+            dfs(e.to, e.negated);
+            if (found) return;
+          }
+        }
+      }
+      path.pop_back();
+    };
+    dfs(start, false);
+    if (!found) continue;
+    std::string cycle;
+    bool through_negation = false;
+    for (size_t i = 0; i < path.size(); ++i) {
+      if (i > 0) {
+        cycle += path[i].second ? " -[not]-> " : " -> ";
+        through_negation = through_negation || path[i].second;
+      }
+      cycle += symbols.Name(path[i].first);
+      in_reported_cycle.insert(path[i].first);
+    }
+    sink->Error("V-R006", "",
+                StrFormat("mutually recursive predicates: %s", cycle.c_str()),
+                "the inference-graph builder only supports non-recursive "
+                "unfoldings");
+    if (through_negation) {
+      sink->Error("V-R008", "",
+                  StrFormat("the cycle %s passes through negation; the "
+                            "program is not stratifiable",
+                            cycle.c_str()),
+                  "no NAF semantics assigns this rule set a meaning; "
+                  "break the negative cycle");
+    }
+  }
+}
+
+}  // namespace
+
+void VerifyProgram(const Program& program, const SymbolTable& symbols,
+                   const QueryForm* form, DiagnosticSink* sink) {
+  std::unordered_set<SymbolId> rule_heads;
+  std::vector<SymbolId> head_order;
+  for (const Clause& rule : program.rules) {
+    if (rule_heads.insert(rule.head.predicate).second) {
+      head_order.push_back(rule.head.predicate);
+    }
+  }
+  std::unordered_set<SymbolId> fact_preds;
+  for (const Clause& fact : program.facts) {
+    fact_preds.insert(fact.head.predicate);
+  }
+
+  // V-R002: facts must be ground.
+  for (size_t i = 0; i < program.facts.size(); ++i) {
+    const Clause& fact = program.facts[i];
+    if (!fact.head.IsGround()) {
+      std::string location =
+          i < program.fact_lines.size()
+              ? StrFormat("line %d", program.fact_lines[i])
+              : StrFormat("fact %zu", i);
+      sink->Error("V-R002", location,
+                  StrFormat("fact '%s' is not ground",
+                            fact.head.ToString(symbols).c_str()),
+                  "facts must mention constants only");
+    }
+  }
+
+  std::unordered_map<SymbolId, std::vector<DependencyEdge>> deps;
+  std::unordered_set<SymbolId> used_in_bodies;
+  for (size_t i = 0; i < program.rules.size(); ++i) {
+    const Clause& rule = program.rules[i];
+    std::string location = i < program.rule_lines.size()
+                               ? StrFormat("line %d", program.rule_lines[i])
+                               : StrFormat("rule %zu", i);
+    CheckClause(rule, location, rule_heads, fact_preds, symbols, sink);
+    for (size_t j = 0; j < rule.body.size(); ++j) {
+      SymbolId pred = rule.body[j].predicate;
+      used_in_bodies.insert(pred);
+      if (rule_heads.count(pred) > 0) {
+        deps[rule.head.predicate].push_back({pred, rule.IsNegated(j)});
+      }
+    }
+  }
+
+  CheckDependencies(head_order, deps, symbols, sink);
+
+  // V-R004: intensional predicates nothing refers to. The query form's
+  // predicate is the intended entry point; without a form every root
+  // predicate would trip this, so the severity drops to note.
+  for (SymbolId p : head_order) {
+    if (used_in_bodies.count(p) > 0) continue;
+    if (form != nullptr && p == form->predicate) continue;
+    std::string message = StrFormat(
+        "predicate '%s' heads rules but is never used in a body%s",
+        symbols.Name(p).c_str(),
+        form != nullptr ? " and is not the query form" : "");
+    if (form != nullptr) {
+      sink->Warning("V-R004", "", message,
+                    "dead rules inflate the inference graph and every "
+                    "Lambda range derived from it");
+    } else {
+      sink->Note("V-R004", "", message, "");
+    }
+  }
+}
+
+}  // namespace stratlearn::verify

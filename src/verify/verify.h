@@ -1,0 +1,157 @@
+#ifndef STRATLEARN_VERIFY_VERIFY_H_
+#define STRATLEARN_VERIFY_VERIFY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "datalog/database.h"
+#include "datalog/parser.h"
+#include "datalog/rule_base.h"
+#include "datalog/symbol_table.h"
+#include "graph/builder.h"
+#include "graph/inference_graph.h"
+#include "verify/diagnostics.h"
+
+namespace stratlearn::verify {
+
+/// Greiner's guarantees only hold under structural preconditions — a
+/// tree-shaped inference graph for Upsilon_AOT, strategies that are true
+/// permutations of the arcs, epsilon/delta in range, a delta_i schedule
+/// that sums to <= delta. The passes in this header check those
+/// preconditions statically, before a learner ever runs, and report
+/// findings through a DiagnosticSink (see README.md for the code table).
+
+struct VerifyOptions {
+  /// V-G006: arcs deeper than this suggest a runaway unfolding (matches
+  /// BuildOptions.max_depth's default).
+  int max_depth = 32;
+  /// Promote warnings to errors for exit-code purposes (--Werror).
+  bool werror = false;
+};
+
+// ---- Rule-base passes (V-R...) -----------------------------------------
+
+/// Range restriction/safety, non-ground facts, undefined and unused
+/// predicates, direct/mutual recursion, NAF safety and stratification.
+/// `form` (optional) exempts the query predicate from the unused check.
+void VerifyProgram(const Program& program, const SymbolTable& symbols,
+                   const QueryForm* form, DiagnosticSink* sink);
+
+// ---- Inference-graph passes (V-G...) -----------------------------------
+
+/// Semantic checks over a built (tree-shaped by construction) graph:
+/// structural validation, dead-end subtrees, depth bound, retrieval
+/// arcs with no backing relation in `db`.
+void VerifyBuiltGraph(const BuiltGraph& built, const Database& db,
+                      const SymbolTable& symbols, DiagnosticSink* sink,
+                      const VerifyOptions& options = {});
+
+/// Structural checks over serialized "stratlearn-graph v1" text. Unlike
+/// DeserializeGraph this is tolerant: a malformed file yields
+/// diagnostics (non-tree shape, dangling node references, non-positive
+/// costs, success nodes with children, ...) instead of one load error.
+void VerifyGraphText(std::string_view text, DiagnosticSink* sink,
+                     const VerifyOptions& options = {});
+
+/// Structural checks over serialized "stratlearn-andor v1" text
+/// (AND/OR trees): forward/dangling parents, childless internal nodes,
+/// leaves used as parents, non-positive leaf costs, stray extra roots.
+void VerifyAndOrText(std::string_view text, DiagnosticSink* sink,
+                     const VerifyOptions& options = {});
+
+// ---- Strategy passes (V-S...) ------------------------------------------
+
+/// Checks an explicit arc order against `graph`: dangling arc ids,
+/// permutation property, tail-before-head ordering, and reachability
+/// from the default strategy under the sibling-swap transformation set
+/// (PIB can only learn hierarchically contiguous strategies).
+void VerifyStrategyOrder(const InferenceGraph& graph,
+                         const std::vector<int64_t>& arcs,
+                         DiagnosticSink* sink);
+
+/// Same, for "stratlearn-strategy v1 ..." text (tolerant parse).
+void VerifyStrategyText(const InferenceGraph& graph, std::string_view text,
+                        DiagnosticSink* sink);
+
+// ---- Learner-config passes (V-C...) ------------------------------------
+
+/// The delta_i = delta * schedule_c / i^2 sequential-test schedule sums
+/// to delta exactly when schedule_c = 6/pi^2 (Section 3.2).
+inline constexpr double kConvergentScheduleC = 0.60792710185402662866;
+
+/// A learner configuration, as read from a *.cfg file or assembled from
+/// CLI flags. Defaults mirror the CLI's.
+struct LearnerConfig {
+  double delta = 0.05;
+  double epsilon = 0.5;
+  int64_t queries = 5000;
+  int64_t test_every = 1;
+  int64_t max_contexts = 10'000'000;
+  /// Numerator constant of the delta_i schedule (see above).
+  double schedule_c = kConvergentScheduleC;
+  /// Extra simultaneous hypotheses k charged against each test round
+  /// (1 when, as in PIB, the trial counter already advances by |T| per
+  /// context and the threshold absorbs the union bound).
+  int64_t hypotheses = 1;
+  bool theorem3 = false;
+};
+
+/// Parses "key = value" lines ('#'/'%' comments). Unknown keys and
+/// unparseable lines become diagnostics, not hard errors.
+LearnerConfig ParseLearnerConfig(std::string_view text, DiagnosticSink* sink);
+
+/// Range checks epsilon/delta, delta_i-schedule convergence (with the
+/// k-hypothesis Bonferroni term), iteration counts, and — when `graph`
+/// is given — the Equation 7/8 sample quotas m(d_i)/m'(e_i): overflow
+/// and quotas no run of `max_contexts` contexts could ever meet.
+void VerifyLearnerConfig(const LearnerConfig& config,
+                         const InferenceGraph* graph, DiagnosticSink* sink);
+
+// ---- Drivers ------------------------------------------------------------
+
+/// Verifies a sequence of artifact files (`stratlearn_cli verify`),
+/// dispatching on content: Datalog programs (with optional
+/// `% verify-form:`, `% verify-strategy:` and `% verify-config:`
+/// directives), "stratlearn-graph v1" files, "stratlearn-andor v1"
+/// files, and key=value learner configs (*.cfg). A program-with-form or
+/// graph file that verifies cleanly becomes the *graph context* that
+/// later strategy and config files are checked against.
+class ArtifactVerifier {
+ public:
+  ArtifactVerifier(DiagnosticSink* sink, VerifyOptions options = {});
+
+  /// Reads and verifies one file. Returns non-OK only when the file
+  /// cannot be read at all (analysis findings go to the sink).
+  Status AddFile(const std::string& path);
+
+  /// In-memory variant (`name` scopes the diagnostics).
+  void AddText(const std::string& name, std::string_view text);
+
+  /// The current graph context, if any (for tests).
+  const InferenceGraph* graph_context() const {
+    return graph_context_ ? &*graph_context_ : nullptr;
+  }
+
+ private:
+  void VerifyDatalog(std::string_view text);
+  void VerifyConfig(std::string_view text);
+
+  DiagnosticSink* sink_;
+  VerifyOptions options_;
+  std::optional<InferenceGraph> graph_context_;
+};
+
+/// The error-level guard the CLI entry points run after loading a
+/// program and building its graph, before any learning: undefined
+/// predicates, recursion, structural graph checks, retrievals with no
+/// backing relation. Returns FailedPrecondition carrying the rendered
+/// diagnostics when any error-severity finding exists.
+Status GuardLoadedProgram(const RuleBase& rules, const BuiltGraph& built,
+                          const Database& db, const SymbolTable& symbols);
+
+}  // namespace stratlearn::verify
+
+#endif  // STRATLEARN_VERIFY_VERIFY_H_

@@ -82,10 +82,16 @@ TEST_F(ParserTest, MissingPeriodFails) {
   EXPECT_EQ(p.status().code(), StatusCode::kInvalidArgument);
 }
 
-TEST_F(ParserTest, NonGroundFactFails) {
+TEST_F(ParserTest, NonGroundFactParsesButLoadFails) {
+  // Parsing keeps non-ground facts so the static verifier can point at
+  // them (V-R002); loading into a database still rejects them.
   Result<Program> p = parser_.ParseProgram("p(X).");
-  ASSERT_FALSE(p.ok());
-  EXPECT_NE(p.status().message().find("not ground"), std::string::npos);
+  ASSERT_TRUE(p.ok());
+  Database db;
+  RuleBase rules;
+  Status s = parser_.LoadProgram("p(X).", &db, &rules);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("not ground"), std::string::npos);
 }
 
 TEST_F(ParserTest, UppercasePredicateFails) {

@@ -1,0 +1,265 @@
+#include "verify/verify.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/json_writer.h"
+#include "verify/diagnostics.h"
+
+namespace stratlearn::verify {
+namespace {
+
+// Golden-file tests: every diagnostic code has one minimal fixture under
+// tests/testdata/verify/ whose rendered text output is pinned in a
+// matching .expected file. Regenerate after an intentional output change
+// with:  STRATLEARN_REGEN_GOLDEN=1 ./verify_test
+
+/// One golden case: the files are fed to an ArtifactVerifier in order
+/// (so e.g. a graph file can provide context for a strategy file) and
+/// the sink's text rendering is compared against `golden`.
+struct GoldenCase {
+  const char* name;
+  std::vector<const char*> files;
+  const char* golden;
+};
+
+const GoldenCase kGoldenCases[] = {
+    // Rule-base family.
+    {"r001", {"r001_not_range_restricted.dl"}, "r001.expected"},
+    {"r002", {"r002_non_ground_fact.dl"}, "r002.expected"},
+    {"r003", {"r003_undefined_predicate.dl"}, "r003.expected"},
+    {"r004", {"r004_unused_predicate.dl"}, "r004.expected"},
+    {"r005", {"r005_direct_recursion.dl"}, "r005.expected"},
+    {"r006", {"r006_mutual_recursion.dl"}, "r006.expected"},
+    {"r007", {"r007_unsafe_negation.dl"}, "r007.expected"},
+    {"r008", {"r008_unstratified_negation.dl"}, "r008.expected"},
+    {"p001", {"p001_syntax_error.dl"}, "p001.expected"},
+    // Inference-graph family.
+    {"g001", {"g001_not_a_tree.graph"}, "g001.expected"},
+    {"g002", {"g002_dangling_node.graph"}, "g002.expected"},
+    {"g003", {"g003_non_positive_cost.graph"}, "g003.expected"},
+    {"g004", {"g004_success_not_leaf.graph"}, "g004.expected"},
+    {"g005", {"g005_dead_end.graph"}, "g005.expected"},
+    {"g006", {"g006_depth_bound.graph"}, "g006.expected"},
+    {"g008", {"g008_malformed_record.graph"}, "g008.expected"},
+    {"g009", {"g009_build_failure.dl"}, "g009.expected"},
+    // AND/OR family.
+    {"a001", {"a001_dangling_parent.andor"}, "a001.expected"},
+    {"a002", {"a002_childless_internal.andor"}, "a002.expected"},
+    {"a003", {"a003_leaf_with_children.andor"}, "a003.expected"},
+    {"a004", {"a004_non_positive_leaf_cost.andor"}, "a004.expected"},
+    {"a005", {"a005_multiple_roots.andor"}, "a005.expected"},
+    {"a006", {"a006_malformed_record.andor"}, "a006.expected"},
+    // Strategy family (verified against the two-branch context graph).
+    {"s001",
+     {"context_two_branch.graph", "s001_dangling_arc.strategy"},
+     "s001.expected"},
+    {"s002",
+     {"context_two_branch.graph", "s002_not_permutation.strategy"},
+     "s002.expected"},
+    {"s003",
+     {"context_two_branch.graph", "s003_order_violation.strategy"},
+     "s003.expected"},
+    {"s004",
+     {"context_two_branch.graph", "s004_swap_unreachable.strategy"},
+     "s004.expected"},
+    {"s005", {"s005_no_context.strategy"}, "s005.expected"},
+    // Learner-config family.
+    {"c001", {"c001_epsilon_range.cfg"}, "c001.expected"},
+    {"c002", {"c002_delta_range.cfg"}, "c002.expected"},
+    {"c003", {"c003_schedule_divergence.cfg"}, "c003.expected"},
+    {"c004",
+     {"context_two_branch.graph", "c004_quota_overflow.cfg"},
+     "c004.expected"},
+    {"c005",
+     {"context_two_branch.graph", "c005_quota_exceeds_contexts.cfg"},
+     "c005.expected"},
+    {"c006", {"c006_non_positive_counts.cfg"}, "c006.expected"},
+    {"c007", {"c007_unknown_key.cfg"}, "c007.expected"},
+};
+
+std::string FixturePath(const std::string& name) {
+  return std::string(STRATLEARN_VERIFY_TESTDATA) + "/" + name;
+}
+
+std::string ReadFixture(const std::string& name) {
+  std::ifstream in(FixturePath(name));
+  EXPECT_TRUE(in.good()) << "missing fixture " << name;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Runs one golden case through a fresh verifier; diagnostics carry the
+/// bare fixture names, keeping the golden files checkout-path
+/// independent.
+std::string RunCase(const GoldenCase& c) {
+  DiagnosticSink sink;
+  ArtifactVerifier verifier(&sink);
+  for (const char* file : c.files) {
+    verifier.AddText(file, ReadFixture(file));
+  }
+  return sink.RenderText();
+}
+
+bool RegenRequested() {
+  const char* env = std::getenv("STRATLEARN_REGEN_GOLDEN");
+  return env != nullptr && std::string(env) == "1";
+}
+
+TEST(VerifyGolden, AllCases) {
+  for (const GoldenCase& c : kGoldenCases) {
+    SCOPED_TRACE(c.name);
+    std::string rendered = RunCase(c);
+    if (RegenRequested()) {
+      std::ofstream out(FixturePath(c.golden));
+      out << rendered;
+      continue;
+    }
+    EXPECT_EQ(rendered, ReadFixture(c.golden));
+  }
+}
+
+TEST(VerifyGolden, EveryCaseMentionsItsCode) {
+  if (RegenRequested()) GTEST_SKIP();
+  for (const GoldenCase& c : kGoldenCases) {
+    SCOPED_TRACE(c.name);
+    std::string code = "V-";
+    code += static_cast<char>(std::toupper(c.name[0]));
+    code += &c.name[1];
+    EXPECT_NE(RunCase(c).find("[" + code + "]"), std::string::npos)
+        << "fixture does not trigger its own diagnostic code";
+  }
+}
+
+// Two independent runs over the same inputs must render byte-identical
+// JSON (no timestamps, pointers, or hash-order leaks).
+TEST(VerifyDeterminism, JsonByteIdentical) {
+  auto render_all = [] {
+    DiagnosticSink sink;
+    ArtifactVerifier verifier(&sink);
+    for (const GoldenCase& c : kGoldenCases) {
+      for (const char* file : c.files) {
+        verifier.AddText(file, ReadFixture(file));
+      }
+    }
+    return sink.RenderJson();
+  };
+  std::string first = render_all();
+  std::string second = render_all();
+  EXPECT_EQ(first, second);
+  EXPECT_TRUE(obs::IsValidJson(first));
+}
+
+TEST(VerifyDeterminism, TextByteIdentical) {
+  for (const GoldenCase& c : kGoldenCases) {
+    SCOPED_TRACE(c.name);
+    EXPECT_EQ(RunCase(c), RunCase(c));
+  }
+}
+
+// V-G007 is only reachable through a loaded program whose database lacks
+// a retrieval's relation (from files, V-R003 subsumes it), so it is
+// exercised directly against a hand-built graph.
+TEST(VerifyBuiltGraphTest, RetrievalWithoutBackingRelationIsG007) {
+  SymbolTable symbols;
+  BuiltGraph built;
+  NodeId root = built.graph.AddRoot("goal");
+  auto added = built.graph.AddRetrieval(root, 1.0, "get");
+  RetrievalSpec spec;
+  spec.predicate = symbols.Intern("ghost");
+  built.retrievals[added.arc] = spec;
+  Database db;  // no facts for 'ghost'
+  DiagnosticSink sink;
+  VerifyBuiltGraph(built, db, symbols, &sink);
+  ASSERT_EQ(sink.num_errors(), 1u);
+  EXPECT_EQ(sink.diagnostics()[0].code, "V-G007");
+}
+
+TEST(VerifyBuiltGraphTest, CleanGraphHasNoFindings) {
+  SymbolTable symbols;
+  Database db;
+  ASSERT_TRUE(db.Insert(symbols.Intern("e"), {symbols.Intern("a")}).ok());
+  BuiltGraph built;
+  NodeId root = built.graph.AddRoot("goal");
+  auto added = built.graph.AddRetrieval(root, 1.0, "get-e");
+  RetrievalSpec spec;
+  spec.predicate = symbols.Intern("e");
+  built.retrievals[added.arc] = spec;
+  DiagnosticSink sink;
+  VerifyBuiltGraph(built, db, symbols, &sink);
+  EXPECT_TRUE(sink.empty()) << sink.RenderText();
+}
+
+TEST(DiagnosticSinkTest, ExitCodeContract) {
+  DiagnosticSink clean;
+  EXPECT_EQ(clean.ExitCode(), 0);
+  clean.Note("V-X000", "", "fyi");
+  EXPECT_EQ(clean.ExitCode(), 0);
+
+  DiagnosticSink warns;
+  warns.Warning("V-X000", "", "hm");
+  EXPECT_EQ(warns.ExitCode(), 1);
+  EXPECT_EQ(warns.ExitCode(/*werror=*/true), 2);
+  EXPECT_FALSE(warns.HasBlocking());
+  EXPECT_TRUE(warns.HasBlocking(/*werror=*/true));
+
+  DiagnosticSink errors;
+  errors.Error("V-X000", "", "bad");
+  EXPECT_EQ(errors.ExitCode(), 2);
+  EXPECT_TRUE(errors.HasBlocking());
+}
+
+TEST(GuardLoadedProgramTest, UndefinedPredicateBlocks) {
+  SymbolTable symbols;
+  Parser parser(&symbols);
+  Database db;
+  RuleBase rules;
+  ASSERT_TRUE(parser
+                  .LoadProgram("instructor(X) :- prauf(X). prof(russ).",
+                               &db, &rules)
+                  .ok());
+  Result<QueryForm> form = QueryForm::Parse("instructor(b)", &symbols);
+  ASSERT_TRUE(form.ok());
+  Result<BuiltGraph> built = BuildInferenceGraph(rules, *form, &symbols);
+  ASSERT_TRUE(built.ok());
+  Status guarded = GuardLoadedProgram(rules, *built, db, symbols);
+  ASSERT_FALSE(guarded.ok());
+  EXPECT_EQ(guarded.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(guarded.message().find("V-R003"), std::string::npos);
+}
+
+TEST(GuardLoadedProgramTest, CleanProgramPasses) {
+  SymbolTable symbols;
+  Parser parser(&symbols);
+  Database db;
+  RuleBase rules;
+  ASSERT_TRUE(parser
+                  .LoadProgram("instructor(X) :- prof(X). prof(russ).",
+                               &db, &rules)
+                  .ok());
+  Result<QueryForm> form = QueryForm::Parse("instructor(b)", &symbols);
+  ASSERT_TRUE(form.ok());
+  Result<BuiltGraph> built = BuildInferenceGraph(rules, *form, &symbols);
+  ASSERT_TRUE(built.ok());
+  EXPECT_TRUE(GuardLoadedProgram(rules, *built, db, symbols).ok());
+}
+
+TEST(LearnerConfigTest, DefaultsAreClean) {
+  DiagnosticSink sink;
+  VerifyLearnerConfig(LearnerConfig{}, nullptr, &sink);
+  EXPECT_TRUE(sink.empty()) << sink.RenderText();
+}
+
+TEST(LearnerConfigTest, ScheduleConstantMatchesSixOverPiSquared) {
+  // 6/pi^2: the unique constant making sum(delta * c / i^2) == delta.
+  double pi = 3.14159265358979323846;
+  EXPECT_NEAR(kConvergentScheduleC, 6.0 / (pi * pi), 1e-15);
+}
+
+}  // namespace
+}  // namespace stratlearn::verify

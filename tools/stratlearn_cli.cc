@@ -22,10 +22,24 @@
 //       Delta~ margins for PIB, quota progress for PAO), and the
 //       per-arc attribution report. Output is deterministic for a
 //       fixed seed.
+//   verify <files...> [--format=text|json] [--Werror]
+//       Statically analyse artifacts without running anything: Datalog
+//       programs (*.dl, with optional '% verify-form:',
+//       '% verify-strategy:' and '% verify-config:' directives),
+//       serialized graphs ("stratlearn-graph v1"), AND/OR trees
+//       ("stratlearn-andor v1"), strategies ("stratlearn-strategy v1")
+//       and learner configs (*.cfg). Exit code: 0 clean, 1 warnings,
+//       2 errors (--Werror promotes warnings). See README "Static
+//       verification" for the diagnostic-code table.
 //
 // Options: --delta=D --epsilon=E --queries=N --theorem3 --seed=S
 //          --learner=pib|pao --strategy-out=FILE --metrics-out=FILE
-//          --trace-out=FILE --profile-out=FILE
+//          --trace-out=FILE --profile-out=FILE --format=text|json
+//          --Werror
+//
+// Every graph-based subcommand re-checks its loaded program and graph
+// with the error-level verify passes first, so malformed inputs fail
+// fast with exit code 2 instead of producing meaningless learner runs.
 //
 // Observability (learn-pib / learn-pao / eval / explain): --metrics-out
 // writes a JSON metrics snapshot, --trace-out writes an event trace (a
@@ -63,6 +77,8 @@
 #include "obs/sinks.h"
 #include "obs/timer.h"
 #include "util/string_util.h"
+#include "verify/diagnostics.h"
+#include "verify/verify.h"
 #include "workload/datalog_oracle.h"
 
 namespace stratlearn {
@@ -75,6 +91,8 @@ struct CliOptions {
   bool theorem3 = false;
   uint64_t seed = 1;
   std::string learner = "pib";
+  std::string format = "text";
+  bool werror = false;
   std::string strategy_out;
   std::string metrics_out;
   std::string trace_out;
@@ -192,6 +210,32 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+/// Exit code for a failed Status: verification failures
+/// (FailedPrecondition, from verify::GuardLoadedProgram) use the verify
+/// contract's error exit code 2; everything else stays 1.
+int FailStatus(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return status.code() == StatusCode::kFailedPrecondition ? 2 : 1;
+}
+
+/// Pre-flight check of the learner parameters (and, for PAO, the
+/// Equation 7/8 quotas against `graph`). Returns 0 to proceed; exit
+/// code 2 on error-level findings — notably delta outside (0, 1), which
+/// would otherwise abort inside the Pib constructor.
+int CheckLearnerConfig(const CliOptions& options,
+                       const InferenceGraph* graph) {
+  verify::LearnerConfig config;
+  config.delta = options.delta;
+  config.epsilon = options.epsilon;
+  config.queries = options.queries;
+  config.theorem3 = options.theorem3;
+  verify::DiagnosticSink sink;
+  verify::VerifyLearnerConfig(config, graph, &sink);
+  if (!sink.HasBlocking()) return 0;
+  std::fprintf(stderr, "%s", sink.RenderText().c_str());
+  return 2;
+}
+
 Result<std::string> ReadFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open '" + path + "'");
@@ -224,6 +268,10 @@ CliOptions ParseArgs(int argc, char** argv) {
       options.profile_out = arg.substr(14);
     } else if (StartsWith(arg, "--learner=")) {
       options.learner = arg.substr(10);
+    } else if (StartsWith(arg, "--format=")) {
+      options.format = arg.substr(9);
+    } else if (arg == "--Werror") {
+      options.werror = true;
     } else {
       options.positional.push_back(arg);
     }
@@ -256,6 +304,8 @@ Result<std::unique_ptr<Loaded>> Load(const std::string& program_path,
       BuildInferenceGraph(loaded->rules, *form, &loaded->symbols);
   if (!built.ok()) return built.status();
   loaded->built = std::move(*built);
+  STRATLEARN_RETURN_IF_ERROR(verify::GuardLoadedProgram(
+      loaded->rules, loaded->built, loaded->db, loaded->symbols));
 
   if (!workload_path.empty()) {
     Result<std::string> workload_text = ReadFile(workload_path);
@@ -352,7 +402,7 @@ int CmdDot(const CliOptions& options) {
   }
   Result<std::unique_ptr<Loaded>> loaded =
       Load(options.positional[0], options.positional[1], "");
-  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  if (!loaded.ok()) return FailStatus(loaded.status());
   std::printf("%s", (*loaded)->built.graph.ToDot("inference_graph").c_str());
   return 0;
 }
@@ -366,8 +416,9 @@ int CmdLearnPib(const CliOptions& options) {
   }
   Result<std::unique_ptr<Loaded>> loaded_or = Load(
       options.positional[0], options.positional[1], options.positional[2]);
-  if (!loaded_or.ok()) return Fail(loaded_or.status().ToString());
+  if (!loaded_or.ok()) return FailStatus(loaded_or.status());
   Loaded& loaded = **loaded_or;
+  if (int rc = CheckLearnerConfig(options, nullptr); rc != 0) return rc;
 
   DatalogOracle oracle(&loaded.built, &loaded.db, loaded.workload);
   std::vector<double> truth = oracle.TrueMarginalProbs();
@@ -409,8 +460,11 @@ int CmdLearnPao(const CliOptions& options) {
   }
   Result<std::unique_ptr<Loaded>> loaded_or = Load(
       options.positional[0], options.positional[1], options.positional[2]);
-  if (!loaded_or.ok()) return Fail(loaded_or.status().ToString());
+  if (!loaded_or.ok()) return FailStatus(loaded_or.status());
   Loaded& loaded = **loaded_or;
+  if (int rc = CheckLearnerConfig(options, &loaded.built.graph); rc != 0) {
+    return rc;
+  }
 
   DatalogOracle oracle(&loaded.built, &loaded.db, loaded.workload);
   std::vector<double> truth = oracle.TrueMarginalProbs();
@@ -447,7 +501,7 @@ int CmdEval(const CliOptions& options) {
   }
   Result<std::unique_ptr<Loaded>> loaded_or = Load(
       options.positional[0], options.positional[1], options.positional[2]);
-  if (!loaded_or.ok()) return Fail(loaded_or.status().ToString());
+  if (!loaded_or.ok()) return FailStatus(loaded_or.status());
   Loaded& loaded = **loaded_or;
 
   CliObserver cli_obs(options);
@@ -511,8 +565,14 @@ int CmdExplain(const CliOptions& options) {
   }
   Result<std::unique_ptr<Loaded>> loaded_or = Load(
       options.positional[0], options.positional[1], options.positional[2]);
-  if (!loaded_or.ok()) return Fail(loaded_or.status().ToString());
+  if (!loaded_or.ok()) return FailStatus(loaded_or.status());
   Loaded& loaded = **loaded_or;
+  if (int rc = CheckLearnerConfig(
+          options,
+          options.learner == "pao" ? &loaded.built.graph : nullptr);
+      rc != 0) {
+    return rc;
+  }
 
   DatalogOracle oracle(&loaded.built, &loaded.db, loaded.workload);
   std::vector<double> truth = oracle.TrueMarginalProbs();
@@ -564,11 +624,34 @@ int CmdExplain(const CliOptions& options) {
   return 0;
 }
 
+int CmdVerify(const CliOptions& options) {
+  if (options.positional.empty()) {
+    return Fail(
+        "usage: stratlearn_cli verify <files...> [--format=text|json] "
+        "[--Werror]");
+  }
+  if (options.format != "text" && options.format != "json") {
+    return Fail("--format must be 'text' or 'json'");
+  }
+  verify::DiagnosticSink sink;
+  verify::ArtifactVerifier verifier(&sink);
+  for (const std::string& path : options.positional) {
+    Status added = verifier.AddFile(path);
+    if (!added.ok()) return Fail(added.ToString());
+  }
+  if (options.format == "json") {
+    std::printf("%s\n", sink.RenderJson(options.werror).c_str());
+  } else {
+    std::printf("%s", sink.RenderText(options.werror).c_str());
+  }
+  return sink.ExitCode(options.werror);
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: stratlearn_cli "
-                 "<query|dot|learn-pib|learn-pao|eval|explain> ...\n");
+                 "<query|dot|learn-pib|learn-pao|eval|explain|verify> ...\n");
     return 1;
   }
   std::string command = argv[1];
@@ -579,6 +662,7 @@ int Main(int argc, char** argv) {
   if (command == "learn-pao") return CmdLearnPao(options);
   if (command == "eval") return CmdEval(options);
   if (command == "explain") return CmdExplain(options);
+  if (command == "verify") return CmdVerify(options);
   return Fail("unknown command '" + command + "'");
 }
 

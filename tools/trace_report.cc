@@ -28,6 +28,7 @@
 #include "obs/profiler.h"
 #include "obs/trace_reader.h"
 #include "util/string_util.h"
+#include "verify/diagnostics.h"
 
 namespace stratlearn {
 namespace {
@@ -64,8 +65,11 @@ int Fail(const std::string& message) {
 }
 
 /// Replays `path` into `profiler`; reports events replayed and skipped
-/// on stderr so stdout stays a pure report.
-Status LoadTrace(const std::string& path, obs::StrategyProfiler* profiler) {
+/// on stderr so stdout stays a pure report. A trace with zero replayable
+/// events is diagnosed into `sink` (V-T001): an empty baseline would
+/// make every comparison vacuous, silently gating nothing.
+Status LoadTrace(const std::string& path, obs::StrategyProfiler* profiler,
+                 verify::DiagnosticSink* sink) {
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open '" + path + "'");
   obs::TraceReader reader(profiler);
@@ -76,14 +80,35 @@ Status LoadTrace(const std::string& path, obs::StrategyProfiler* profiler) {
   std::fprintf(stderr, "%s: %lld events replayed, %lld skipped\n",
                path.c_str(), static_cast<long long>(reader.events()),
                static_cast<long long>(reader.skipped()));
+  if (reader.events() == 0) {
+    sink->set_file(path);
+    sink->Error("V-T001", "",
+                reader.skipped() > 0
+                    ? StrFormat("trace has no replayable events (%lld "
+                                "lines skipped); a report over it is "
+                                "vacuous",
+                                static_cast<long long>(reader.skipped()))
+                    : "trace is empty; a report over it is vacuous",
+                "record the trace with `stratlearn_cli "
+                "--trace-out=*.jsonl`, or check the path");
+  }
   return Status::OK();
+}
+
+/// Renders `sink` to stderr and returns the error exit code. Call only
+/// when the sink has blocking findings.
+int FailDiagnostics(const verify::DiagnosticSink& sink) {
+  std::fprintf(stderr, "%s", sink.RenderText().c_str());
+  return kExitError;
 }
 
 int RunSingle(const Options& options) {
   obs::StrategyProfiler profiler(
       obs::ProfilerOptions{options.delta, options.hot_share});
-  Status loaded = LoadTrace(options.trace, &profiler);
+  verify::DiagnosticSink sink;
+  Status loaded = LoadTrace(options.trace, &profiler, &sink);
   if (!loaded.ok()) return Fail(loaded.ToString());
+  if (sink.HasBlocking()) return FailDiagnostics(sink);
   std::string report =
       options.json ? profiler.ReportJson() + "\n" : profiler.ReportText();
   std::printf("%s", report.c_str());
@@ -94,10 +119,12 @@ int RunDiff(const Options& options) {
   obs::ProfilerOptions profiler_options{options.delta, options.hot_share};
   obs::StrategyProfiler baseline(profiler_options);
   obs::StrategyProfiler candidate(profiler_options);
-  Status loaded = LoadTrace(options.baseline, &baseline);
+  verify::DiagnosticSink sink;
+  Status loaded = LoadTrace(options.baseline, &baseline, &sink);
   if (!loaded.ok()) return Fail(loaded.ToString());
-  loaded = LoadTrace(options.candidate, &candidate);
+  loaded = LoadTrace(options.candidate, &candidate, &sink);
   if (!loaded.ok()) return Fail(loaded.ToString());
+  if (sink.HasBlocking()) return FailDiagnostics(sink);
 
   obs::ProfileDiffOptions diff_options;
   diff_options.rel_threshold = options.threshold;
