@@ -22,8 +22,8 @@ using namespace stratlearn::bench;
 namespace {
 
 double MillisSince(
-    const std::chrono::high_resolution_clock::time_point& start) {
-  auto end = std::chrono::high_resolution_clock::now();
+    const std::chrono::steady_clock::time_point& start) {
+  auto end = std::chrono::steady_clock::now();
   return std::chrono::duration<double, std::milli>(end - start).count();
 }
 
@@ -60,10 +60,10 @@ int main() {
   for (int n : {6, 8}) {
     Rng local(seed + n);
     RandomTree tree = MakeFlatTree(local, n);
-    auto t0 = std::chrono::high_resolution_clock::now();
+    auto t0 = std::chrono::steady_clock::now();
     (void)UpsilonAot(tree.graph, tree.probs);
     double upsilon_ms = MillisSince(t0);
-    t0 = std::chrono::high_resolution_clock::now();
+    t0 = std::chrono::steady_clock::now();
     (void)BruteForceOptimal(tree.graph, tree.probs, n);
     double brute_ms = MillisSince(t0);
     scaling.AddRow({"flat", Int(n), Int(tree.graph.num_arcs()),
@@ -73,7 +73,7 @@ int main() {
   for (int n : {100, 1000, 10000}) {
     Rng local(seed + n);
     RandomTree tree = MakeFlatTree(local, n);
-    auto t0 = std::chrono::high_resolution_clock::now();
+    auto t0 = std::chrono::steady_clock::now();
     Result<UpsilonResult> r = UpsilonAot(tree.graph, tree.probs);
     double upsilon_ms = MillisSince(t0);
     last_big_ms = upsilon_ms;
@@ -89,7 +89,7 @@ int main() {
     options.early_leaf_prob = 0.1;
     Rng local(seed);
     RandomTree tree = MakeRandomTree(local, options);
-    auto t0 = std::chrono::high_resolution_clock::now();
+    auto t0 = std::chrono::steady_clock::now();
     Result<UpsilonResult> r = UpsilonAot(tree.graph, tree.probs);
     double upsilon_ms = MillisSince(t0);
     if (!r.ok()) return 1;

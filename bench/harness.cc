@@ -2,9 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 
 #include "obs/json_writer.h"
+#include "util/file_util.h"
 #include "util/string_util.h"
 
 namespace stratlearn::bench {
@@ -104,10 +104,10 @@ std::string JsonReport::ToJson() const {
 }
 
 bool JsonReport::WriteJson(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << ToJson() << "\n";
-  return out.good();
+  // Atomic (temp + rename): Verdict() rewrites this file after every
+  // table, and a killed experiment must not leave a torn JSON for the
+  // report scrapers.
+  return WriteFileAtomic(path, ToJson() + "\n");
 }
 
 void JsonReport::MaybeAutoWrite() const {

@@ -1,0 +1,384 @@
+#include "obs/perf/bench_report.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace stratlearn::obs::perf {
+namespace {
+
+/// Minimal JSON DOM for BENCH reports. obs::JsonWriter only writes and
+/// obs::IsValidJson only validates; bench_compare needs actual values.
+/// Scope-limited on purpose: objects, arrays, strings, numbers, bools,
+/// null — no \u escapes beyond pass-through, no duplicate-key policy.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Get(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    size_t n = std::string_view(word).size();
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string);
+      case 't':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        return Literal("true");
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        return Literal("false");
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        return Literal("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            // BENCH reports never emit \u escapes; accept and keep the
+            // raw sequence so foreign files still parse.
+            if (pos_ + 4 > text_.size()) return false;
+            out->append("\\u").append(text_, pos_, 4);
+            pos_ += 4;
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    char* end = nullptr;
+    std::string token = text_.substr(start, pos_ - start);
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(token.c_str(), &end);
+    return end != nullptr && *end == '\0';
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+bool ReadDouble(const JsonValue& object, const std::string& key,
+                double* out) {
+  const JsonValue* v = object.Get(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) return false;
+  *out = v->number;
+  return true;
+}
+
+bool ReadInt(const JsonValue& object, const std::string& key, int64_t* out) {
+  double d = 0.0;
+  if (!ReadDouble(object, key, &d)) return false;
+  *out = static_cast<int64_t>(d);
+  return true;
+}
+
+std::string ReadString(const JsonValue& object, const std::string& key) {
+  const JsonValue* v = object.Get(key);
+  return (v != nullptr && v->kind == JsonValue::Kind::kString) ? v->string
+                                                               : "";
+}
+
+}  // namespace
+
+Result<BenchReport> ParseBenchReport(const std::string& json_text) {
+  JsonValue root;
+  if (!JsonParser(json_text).Parse(&root) ||
+      root.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("not well-formed JSON");
+  }
+  std::string schema = ReadString(root, "schema");
+  if (schema != "stratlearn-bench-v1") {
+    return Status::InvalidArgument(
+        schema.empty() ? "missing \"schema\" tag"
+                       : "unknown schema '" + schema + "'");
+  }
+  BenchReport report;
+  report.workload = ReadString(root, "workload");
+  if (report.workload.empty()) {
+    return Status::InvalidArgument("missing \"workload\" name");
+  }
+  if (const JsonValue* manifest = root.Get("manifest");
+      manifest != nullptr && manifest->kind == JsonValue::Kind::kObject) {
+    report.git_sha = ReadString(*manifest, "git_sha");
+    report.timestamp = ReadString(*manifest, "timestamp");
+    report.build_type = ReadString(*manifest, "build_type");
+    int64_t seed = 0;
+    if (ReadInt(*manifest, "seed", &seed)) {
+      report.seed = static_cast<uint64_t>(seed);
+    }
+  }
+  if (const JsonValue* config = root.Get("config");
+      config != nullptr && config->kind == JsonValue::Kind::kObject) {
+    (void)ReadInt(*config, "repetitions", &report.repetitions);
+    if (const JsonValue* fake = config->Get("fake_clock");
+        fake != nullptr && fake->kind == JsonValue::Kind::kBool) {
+      report.fake_clock = fake->boolean;
+    }
+  }
+  const JsonValue* wall = root.Get("wall_us");
+  if (wall == nullptr || wall->kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("missing \"wall_us\" section");
+  }
+  if (!ReadInt(*wall, "count", &report.count) ||
+      !ReadDouble(*wall, "p50", &report.p50) ||
+      !ReadDouble(*wall, "p90", &report.p90) ||
+      !ReadDouble(*wall, "p99", &report.p99)) {
+    return Status::InvalidArgument(
+        "wall_us needs numeric count/p50/p90/p99");
+  }
+  (void)ReadDouble(*wall, "sum", &report.sum);
+  (void)ReadDouble(*wall, "min", &report.min);
+  (void)ReadDouble(*wall, "max", &report.max);
+  (void)ReadDouble(*wall, "mean", &report.mean);
+  if (const JsonValue* counters = root.Get("counters");
+      counters != nullptr && counters->kind == JsonValue::Kind::kObject) {
+    for (const auto& [name, value] : counters->object) {
+      if (value.kind == JsonValue::Kind::kNumber) {
+        report.counters[name] = static_cast<int64_t>(value.number);
+      }
+    }
+  }
+  if (const JsonValue* throughput = root.Get("throughput");
+      throughput != nullptr &&
+      throughput->kind == JsonValue::Kind::kObject) {
+    for (const auto& [name, value] : throughput->object) {
+      if (value.kind == JsonValue::Kind::kNumber) {
+        report.throughput[name] = value.number;
+      }
+    }
+  }
+  (void)ReadDouble(root, "work_units", &report.work_units);
+  (void)ReadInt(root, "peak_rss_kb", &report.peak_rss_kb);
+  return report;
+}
+
+Result<BenchReport> LoadBenchReport(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Result<BenchReport> parsed = ParseBenchReport(buffer.str());
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(path + ": " +
+                                   parsed.status().message());
+  }
+  return parsed;
+}
+
+Result<BenchComparison> CompareBenchReports(
+    const BenchReport& baseline, const BenchReport& candidate,
+    const BenchCompareOptions& options) {
+  if (baseline.workload != candidate.workload) {
+    return Status::InvalidArgument(
+        StrFormat("workload mismatch: baseline '%s' vs candidate '%s'",
+                  baseline.workload.c_str(), candidate.workload.c_str()));
+  }
+  BenchComparison comparison;
+  comparison.workload = baseline.workload;
+  bool confident = baseline.count >= options.min_count &&
+                   candidate.count >= options.min_count;
+  if (!confident) {
+    comparison.notes.push_back(StrFormat(
+        "low sample count (baseline %lld, candidate %lld, need %lld): "
+        "deltas reported but not gated",
+        static_cast<long long>(baseline.count),
+        static_cast<long long>(candidate.count),
+        static_cast<long long>(options.min_count)));
+  }
+  if (baseline.fake_clock != candidate.fake_clock) {
+    comparison.notes.push_back(
+        "clock-mode mismatch: one report is fake-clock, the other is wall "
+        "time; deltas are not meaningful");
+  }
+  auto add_metric = [&](const char* name, double base, double cand) {
+    BenchMetricDelta delta;
+    delta.metric = name;
+    delta.baseline = base;
+    delta.candidate = cand;
+    delta.rel_delta = base > 0.0 ? (cand - base) / base
+                                 : (cand > 0.0 ? 1.0 : 0.0);
+    delta.regression = confident &&
+                       baseline.fake_clock == candidate.fake_clock &&
+                       delta.rel_delta > options.rel_threshold &&
+                       (cand - base) > options.abs_threshold_us;
+    comparison.has_regression |= delta.regression;
+    comparison.metrics.push_back(delta);
+  };
+  add_metric("p50", baseline.p50, candidate.p50);
+  add_metric("p99", baseline.p99, candidate.p99);
+  return comparison;
+}
+
+std::string RenderComparisonTable(
+    const std::vector<BenchComparison>& comparisons) {
+  std::string out;
+  out += StrFormat("  %-18s %-6s %14s %14s %9s  %s\n", "workload", "metric",
+                   "baseline us", "candidate us", "delta", "verdict");
+  out += StrFormat("  %-18s %-6s %14s %14s %9s  %s\n", "------------------",
+                   "------", "--------------", "--------------",
+                   "---------", "----------");
+  for (const BenchComparison& c : comparisons) {
+    for (const BenchMetricDelta& m : c.metrics) {
+      out += StrFormat("  %-18s %-6s %14s %14s %8.1f%%  %s\n",
+                       c.workload.c_str(), m.metric.c_str(),
+                       FormatDouble(m.baseline, 6).c_str(),
+                       FormatDouble(m.candidate, 6).c_str(),
+                       m.rel_delta * 100.0,
+                       m.regression ? "REGRESSION" : "ok");
+    }
+    for (const std::string& note : c.notes) {
+      out += StrFormat("  note (%s): %s\n", c.workload.c_str(),
+                       note.c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace stratlearn::obs::perf

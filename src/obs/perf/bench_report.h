@@ -1,0 +1,91 @@
+#ifndef STRATLEARN_OBS_PERF_BENCH_REPORT_H_
+#define STRATLEARN_OBS_PERF_BENCH_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace stratlearn::obs::perf {
+
+/// Parsed view of one "stratlearn-bench-v1" BENCH_*.json report — the
+/// fields bench_compare gates on plus the manifest fields it prints.
+/// Unknown keys are ignored so newer reports stay readable.
+struct BenchReport {
+  std::string workload;
+  std::string git_sha;
+  std::string timestamp;
+  std::string build_type;
+  uint64_t seed = 0;
+  int64_t repetitions = 0;
+  bool fake_clock = false;
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double work_units = 0.0;
+  int64_t peak_rss_kb = 0;
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> throughput;
+};
+
+/// Parses one report. InvalidArgument when the text is not well-formed
+/// JSON, the schema tag is missing/unknown, or a gated field (workload,
+/// wall_us.count/p50/p90/p99) is absent.
+Result<BenchReport> ParseBenchReport(const std::string& json_text);
+
+/// ParseBenchReport over a file; NotFound when it cannot be opened.
+Result<BenchReport> LoadBenchReport(const std::string& path);
+
+/// Noise-aware comparison thresholds: a latency metric regresses only
+/// when the candidate exceeds the baseline by BOTH the relative and the
+/// absolute margin (tiny workloads jitter by large ratios; big ones by
+/// large absolutes — requiring both keeps either kind of noise from
+/// tripping the gate). Runs with fewer than min_count samples on either
+/// side are compared but annotated as low-confidence, never gated.
+struct BenchCompareOptions {
+  double rel_threshold = 0.25;
+  double abs_threshold_us = 50.0;
+  int64_t min_count = 3;
+};
+
+/// One gated metric's side-by-side values.
+struct BenchMetricDelta {
+  std::string metric;      // "p50" / "p99"
+  double baseline = 0.0;   // microseconds
+  double candidate = 0.0;  // microseconds
+  double rel_delta = 0.0;  // (candidate - baseline) / baseline
+  bool regression = false;
+};
+
+/// The comparison verdict for one workload.
+struct BenchComparison {
+  std::string workload;
+  std::vector<BenchMetricDelta> metrics;
+  bool has_regression = false;
+  /// Human-readable caveats (low sample count, clock-mode mismatch).
+  std::vector<std::string> notes;
+};
+
+/// Compares candidate against baseline on p50 and p99. InvalidArgument
+/// when the reports name different workloads (a baseline for workload X
+/// says nothing about workload Y).
+Result<BenchComparison> CompareBenchReports(
+    const BenchReport& baseline, const BenchReport& candidate,
+    const BenchCompareOptions& options = {});
+
+/// Renders the per-workload delta table (workload, metric,
+/// baseline/candidate µs, delta %, verdict) plus any notes — the
+/// readable output the CI gate prints on failure.
+std::string RenderComparisonTable(
+    const std::vector<BenchComparison>& comparisons);
+
+}  // namespace stratlearn::obs::perf
+
+#endif  // STRATLEARN_OBS_PERF_BENCH_REPORT_H_

@@ -1,0 +1,148 @@
+#include "obs/perf/bench_runner.h"
+
+#include <chrono>
+
+#include "obs/json_writer.h"
+#include "obs/timer.h"
+#include "util/check.h"
+#include "util/file_util.h"
+#include "util/string_util.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace stratlearn::obs::perf {
+namespace {
+
+// All latency measurement in the bench runner must be monotonic; a
+// wall-clock step (NTP, DST) would otherwise fabricate a regression.
+static_assert(std::chrono::steady_clock::is_steady,
+              "BenchRunner requires a monotonic clock");
+
+int64_t PeakRssKb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage = {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    // Linux reports ru_maxrss in KiB; macOS in bytes.
+#if defined(__APPLE__)
+    return usage.ru_maxrss / 1024;
+#else
+    return usage.ru_maxrss;
+#endif
+  }
+#endif
+  return 0;
+}
+
+}  // namespace
+
+void BenchRegistry::Register(BenchWorkload workload) {
+  STRATLEARN_CHECK_MSG(!workload.name.empty(), "workload needs a name");
+  STRATLEARN_CHECK_MSG(Find(workload.name) == nullptr,
+                       "duplicate workload name");
+  workloads_.push_back(std::move(workload));
+}
+
+const BenchWorkload* BenchRegistry::Find(const std::string& name) const {
+  for (const BenchWorkload& w : workloads_) {
+    if (w.name == name) return &w;
+  }
+  return nullptr;
+}
+
+BenchRunner::BenchRunner(BenchOptions options) : options_(options) {
+  STRATLEARN_CHECK_MSG(options_.repetitions >= 1,
+                       "bench needs >= 1 repetition");
+  STRATLEARN_CHECK(options_.warmup >= 0);
+}
+
+BenchRunResult BenchRunner::Run(const BenchWorkload& workload) const {
+  BenchRunResult result;
+  result.workload = workload.name;
+  result.description = workload.description;
+  result.options = options_;
+  result.manifest = CollectRunManifest(options_.seed, options_.timestamp);
+
+  std::unique_ptr<BenchWorkloadInstance> instance =
+      workload.make(options_.seed);
+  STRATLEARN_CHECK_MSG(instance != nullptr, "workload factory returned null");
+
+  for (int i = 0; i < options_.warmup; ++i) (void)instance->RunOnce();
+
+  for (int i = 0; i < options_.repetitions; ++i) {
+    Stopwatch watch;
+    RepResult rep = instance->RunOnce();
+    double us = options_.fake_clock ? rep.work_units : watch.ElapsedUs();
+    result.wall_us.Record(us);
+    result.total_wall_us += us;
+    result.total_work_units += rep.work_units;
+    for (const auto& [name, value] : rep.counters) {
+      result.counters[name] += value;
+    }
+  }
+  result.peak_rss_kb = options_.fake_clock ? 0 : PeakRssKb();
+  return result;
+}
+
+std::string BenchRunResult::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").Value("stratlearn-bench-v1");
+  w.Key("workload").Value(workload);
+  w.Key("description").Value(description);
+  w.Key("manifest");
+  WriteManifestJson(manifest, &w);
+  w.Key("config").BeginObject();
+  w.Key("warmup").Value(static_cast<int64_t>(options.warmup));
+  w.Key("repetitions").Value(static_cast<int64_t>(options.repetitions));
+  w.Key("fake_clock").Value(options.fake_clock);
+  w.EndObject();
+  w.Key("wall_us").BeginObject();
+  w.Key("count").Value(wall_us.count());
+  w.Key("sum").Value(wall_us.sum());
+  w.Key("min").Value(wall_us.min());
+  w.Key("max").Value(wall_us.max());
+  w.Key("mean").Value(wall_us.Mean());
+  w.Key("p50").Value(wall_us.Percentile(50));
+  w.Key("p90").Value(wall_us.Percentile(90));
+  w.Key("p99").Value(wall_us.Percentile(99));
+  w.EndObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : counters) {
+    w.Key(name).Value(value);
+  }
+  w.EndObject();
+  // Throughput derives from wall time: real mode gives items/sec on the
+  // hardware; fake mode gives items per work-unit-microsecond, equally
+  // comparable across runs.
+  double seconds = total_wall_us / 1e6;
+  w.Key("throughput").BeginObject();
+  for (const auto& [name, value] : counters) {
+    w.Key(name + "_per_sec")
+        .Value(seconds > 0.0 ? static_cast<double>(value) / seconds : 0.0);
+  }
+  w.Key("work_units_per_sec")
+      .Value(seconds > 0.0 ? total_work_units / seconds : 0.0);
+  w.EndObject();
+  w.Key("work_units").Value(total_work_units);
+  w.Key("peak_rss_kb").Value(peak_rss_kb);
+  w.EndObject();
+  return w.Take();
+}
+
+std::string BenchFileName(const std::string& workload) {
+  return "BENCH_" + workload + ".json";
+}
+
+Status WriteBenchFile(const std::string& dir, const BenchRunResult& result) {
+  std::string path = dir;
+  if (!path.empty() && path.back() != '/') path += '/';
+  path += BenchFileName(result.workload);
+  if (!WriteFileAtomic(path, result.ToJson() + "\n")) {
+    return Status::Internal("cannot write '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace stratlearn::obs::perf

@@ -1,0 +1,120 @@
+#ifndef STRATLEARN_OBS_PERF_BENCH_RUNNER_H_
+#define STRATLEARN_OBS_PERF_BENCH_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/perf/manifest.h"
+#include "util/status.h"
+
+namespace stratlearn::obs::perf {
+
+/// Deterministic per-repetition outcome of a workload. `work_units` is
+/// the repetition's abstract cost (paper arc costs, contexts, clauses —
+/// whatever the workload's natural unit is); it must depend only on the
+/// workload's seed, never on the clock, because fake-clock mode reports
+/// it *as* the latency to make BENCH reports byte-reproducible and
+/// regression gates noise-free. `counters` are named totals merged
+/// across repetitions (contexts, arc attempts, ...).
+struct RepResult {
+  double work_units = 0.0;
+  std::vector<std::pair<std::string, int64_t>> counters;
+};
+
+/// One registered workload's per-run state. Construction does the
+/// untimed setup (build graphs, program text, oracles); RunOnce is the
+/// timed region. Instances are used serially by one runner.
+class BenchWorkloadInstance {
+ public:
+  virtual ~BenchWorkloadInstance() = default;
+  virtual RepResult RunOnce() = 0;
+};
+
+/// A named benchmark workload: a factory the runner calls once per run
+/// with the run's seed.
+struct BenchWorkload {
+  std::string name;
+  std::string description;
+  std::function<std::unique_ptr<BenchWorkloadInstance>(uint64_t seed)> make;
+};
+
+/// Name -> workload registry; registration order is preserved for
+/// `--workload=all` runs and listings.
+class BenchRegistry {
+ public:
+  /// Names must be unique, non-empty, and filesystem-safe (they become
+  /// BENCH_<name>.json).
+  void Register(BenchWorkload workload);
+  const BenchWorkload* Find(const std::string& name) const;
+  const std::vector<BenchWorkload>& workloads() const { return workloads_; }
+
+ private:
+  std::vector<BenchWorkload> workloads_;
+};
+
+struct BenchOptions {
+  /// Untimed repetitions run first to warm caches/allocators.
+  int warmup = 2;
+  /// Timed repetitions; each contributes one latency sample.
+  int repetitions = 10;
+  uint64_t seed = 19920602;
+  /// Report each repetition's work_units as its latency instead of the
+  /// measured wall time. Deterministic for a fixed seed, so reports are
+  /// byte-identical across runs and machines — this mode feeds the CI
+  /// regression gate (an algorithmic slowdown changes work done, which
+  /// fake-clock latency tracks exactly).
+  bool fake_clock = false;
+  /// ISO-8601 timestamp pinned into the manifest; empty = now.
+  std::string timestamp;
+};
+
+/// The full result of benchmarking one workload.
+struct BenchRunResult {
+  std::string workload;
+  std::string description;
+  RunManifest manifest;
+  BenchOptions options;
+  /// Per-repetition latency in microseconds (fake: work_units).
+  Histogram wall_us = Histogram(DefaultBuckets());
+  double total_wall_us = 0.0;
+  double total_work_units = 0.0;
+  std::map<std::string, int64_t> counters;
+  /// getrusage peak RSS; pinned to 0 in fake-clock mode so the report
+  /// stays byte-reproducible.
+  int64_t peak_rss_kb = 0;
+
+  /// The deterministic-schema "stratlearn-bench-v1" report. Fixed key
+  /// order; doubles at the JsonWriter default precision. Throughput
+  /// (work_units_per_sec plus one <counter>_per_sec entry per counter)
+  /// is derived from total wall time.
+  std::string ToJson() const;
+};
+
+class BenchRunner {
+ public:
+  explicit BenchRunner(BenchOptions options);
+
+  /// Runs warmup + repetitions of `workload` and aggregates the result.
+  BenchRunResult Run(const BenchWorkload& workload) const;
+
+ private:
+  BenchOptions options_;
+};
+
+/// "BENCH_<workload>.json".
+std::string BenchFileName(const std::string& workload);
+
+/// Writes `result.ToJson()` to <dir>/BENCH_<workload>.json atomically
+/// (temp file + rename), so a killed run can't leave a torn report for
+/// bench_compare to choke on.
+Status WriteBenchFile(const std::string& dir, const BenchRunResult& result);
+
+}  // namespace stratlearn::obs::perf
+
+#endif  // STRATLEARN_OBS_PERF_BENCH_RUNNER_H_

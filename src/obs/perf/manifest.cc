@@ -1,0 +1,115 @@
+#include "obs/perf/manifest.h"
+
+#include <cstdlib>
+#include <ctime>
+
+#include "obs/json_writer.h"
+#include "util/string_util.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#include <unistd.h>
+#endif
+
+// Fallbacks keep the library buildable outside the repo's CMake (e.g.
+// in a bare compile_commands-driven tool run).
+#ifndef STRATLEARN_GIT_SHA
+#define STRATLEARN_GIT_SHA "unknown"
+#endif
+#ifndef STRATLEARN_BUILD_TYPE
+#define STRATLEARN_BUILD_TYPE "unknown"
+#endif
+#ifndef STRATLEARN_CXX_FLAGS
+#define STRATLEARN_CXX_FLAGS ""
+#endif
+
+namespace stratlearn::obs::perf {
+namespace {
+
+std::string CompilerString() {
+#if defined(__clang__)
+  return StrFormat("clang %d.%d.%d", __clang_major__, __clang_minor__,
+                   __clang_patchlevel__);
+#elif defined(__GNUC__)
+  return StrFormat("gcc %d.%d.%d", __GNUC__, __GNUC_MINOR__,
+                   __GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+std::string HostString() {
+#if defined(__unix__) || defined(__APPLE__)
+  char name[256] = {0};
+  if (gethostname(name, sizeof(name) - 1) == 0 && name[0] != '\0') {
+    return name;
+  }
+#endif
+  return "unknown";
+}
+
+std::string OsString() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct utsname uts;
+  if (uname(&uts) == 0) {
+    return StrFormat("%s %s", uts.sysname, uts.release);
+  }
+#endif
+  return "unknown";
+}
+
+/// Current UTC wall time as ISO-8601. This is run *metadata* (when did
+/// the benchmark happen), not a timing measurement — all latencies come
+/// from std::chrono::steady_clock in the runner.
+std::string NowIso8601Utc() {
+  std::time_t now = std::time(nullptr);
+  std::tm tm = {};
+#if defined(_WIN32)
+  gmtime_s(&tm, &now);
+#else
+  gmtime_r(&now, &tm);
+#endif
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buffer;
+}
+
+std::string EnvOr(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  return (value != nullptr && value[0] != '\0') ? value : fallback;
+}
+
+}  // namespace
+
+RunManifest CollectRunManifest(uint64_t seed,
+                               const std::string& timestamp_override) {
+  RunManifest manifest;
+  manifest.git_sha = EnvOr("STRATLEARN_BENCH_GIT_SHA", STRATLEARN_GIT_SHA);
+  manifest.build_type = STRATLEARN_BUILD_TYPE;
+  manifest.compiler = CompilerString();
+  manifest.compiler_flags = STRATLEARN_CXX_FLAGS;
+  manifest.host = HostString();
+  manifest.os = OsString();
+  manifest.seed = seed;
+  manifest.timestamp =
+      !timestamp_override.empty()
+          ? timestamp_override
+          : EnvOr("STRATLEARN_BENCH_TIMESTAMP", NowIso8601Utc());
+  return manifest;
+}
+
+void WriteManifestJson(const RunManifest& manifest, JsonWriter* writer) {
+  JsonWriter& w = *writer;
+  w.BeginObject();
+  w.Key("git_sha").Value(manifest.git_sha);
+  w.Key("build_type").Value(manifest.build_type);
+  w.Key("compiler").Value(manifest.compiler);
+  w.Key("compiler_flags").Value(manifest.compiler_flags);
+  w.Key("host").Value(manifest.host);
+  w.Key("os").Value(manifest.os);
+  w.Key("seed").Value(static_cast<int64_t>(manifest.seed));
+  w.Key("timestamp").Value(manifest.timestamp);
+  w.EndObject();
+}
+
+}  // namespace stratlearn::obs::perf

@@ -1,0 +1,44 @@
+#ifndef STRATLEARN_OBS_PERF_MANIFEST_H_
+#define STRATLEARN_OBS_PERF_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+
+namespace stratlearn::obs {
+class JsonWriter;
+}  // namespace stratlearn::obs
+
+namespace stratlearn::obs::perf {
+
+/// Provenance stamp embedded in every BENCH_*.json report so perf
+/// numbers are comparable across commits, build types, and hosts. Two
+/// reports whose manifests differ in git_sha/build_type/compiler are
+/// from different binaries; bench_compare prints both manifests but
+/// gates only on the measured metrics.
+struct RunManifest {
+  std::string git_sha;         // configure-time HEAD (env override)
+  std::string build_type;      // CMAKE_BUILD_TYPE
+  std::string compiler;        // "gcc 12.2.0" / "clang 16.0.0"
+  std::string compiler_flags;  // CMAKE_CXX_FLAGS at configure time
+  std::string host;            // hostname
+  std::string os;              // "Linux 6.1.0" (uname)
+  uint64_t seed = 0;           // the run's RNG seed
+  std::string timestamp;       // ISO-8601 UTC, e.g. 2026-08-06T12:00:00Z
+};
+
+/// Fills every field from the build's compile definitions and the
+/// running host. `timestamp_override` (or, when empty, the
+/// STRATLEARN_BENCH_TIMESTAMP environment variable) pins the timestamp
+/// for reproducible reports; otherwise the current UTC wall time is
+/// stamped. The STRATLEARN_BENCH_GIT_SHA environment variable overrides
+/// the configure-time SHA (useful when the build directory is stale).
+RunManifest CollectRunManifest(uint64_t seed,
+                               const std::string& timestamp_override = "");
+
+/// Serializes the manifest as one JSON object value (the caller writes
+/// the surrounding key). Field order is fixed for byte-stable reports.
+void WriteManifestJson(const RunManifest& manifest, JsonWriter* writer);
+
+}  // namespace stratlearn::obs::perf
+
+#endif  // STRATLEARN_OBS_PERF_MANIFEST_H_

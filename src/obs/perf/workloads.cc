@@ -1,0 +1,241 @@
+#include "obs/perf/workloads.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/pao.h"
+#include "core/pib.h"
+#include "core/upsilon.h"
+#include "datalog/parser.h"
+#include "engine/query_processor.h"
+#include "graph/examples.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "workload/random_tree.h"
+#include "workload/synthetic_oracle.h"
+
+namespace stratlearn::obs::perf {
+namespace {
+
+/// Datalog parse + load: a transitive-closure rule set over a chain of
+/// edge facts plus a family of unary facts — the substrate every
+/// graph-based command pays before any learning starts.
+class DatalogLoadInstance : public BenchWorkloadInstance {
+ public:
+  explicit DatalogLoadInstance(uint64_t seed) {
+    Rng rng(seed);
+    program_ =
+        "path(X, Y) :- edge(X, Y)."
+        "path(X, Y) :- edge(X, Z), path(Z, Y)."
+        "reach(X) :- path(X, X)."
+        "instructor(X) :- prof(X)."
+        "instructor(X) :- grad(X).";
+    clauses_ = 5;
+    for (int i = 0; i < 400; ++i) {
+      program_ += StrFormat("edge(n%d, n%d).", i, i + 1);
+      ++clauses_;
+    }
+    for (int i = 0; i < 100; ++i) {
+      // Membership varies with the seed so reloads are not all-hit or
+      // all-miss in the symbol table, but the clause count is fixed.
+      program_ += StrFormat(rng.NextBernoulli(0.5) ? "prof(p%d)."
+                                                   : "grad(p%d).",
+                            i);
+      ++clauses_;
+    }
+  }
+
+  RepResult RunOnce() override {
+    SymbolTable symbols;
+    Parser parser(&symbols);
+    Database db;
+    RuleBase rules;
+    Status loaded = parser.LoadProgram(program_, &db, &rules);
+    STRATLEARN_CHECK_MSG(loaded.ok(), "datalog_load program must load");
+    RepResult result;
+    result.work_units = static_cast<double>(clauses_);
+    result.counters = {{"clauses", clauses_}};
+    return result;
+  }
+
+ private:
+  std::string program_;
+  int64_t clauses_ = 0;
+};
+
+/// QueryProcessor::Execute over the paper's Figure 1 and Figure 2
+/// graphs — the innermost hot path every learner drives.
+class FigureExecuteInstance : public BenchWorkloadInstance {
+ public:
+  explicit FigureExecuteInstance(uint64_t seed)
+      : fig1_(MakeFigureOne()),
+        fig2_(MakeFigureTwo()),
+        theta1_(Strategy::DepthFirst(fig1_.graph)),
+        theta2_(Strategy::DepthFirst(fig2_.graph)),
+        qp1_(&fig1_.graph),
+        qp2_(&fig2_.graph),
+        // Figure 1's workload is mostly grad students (the paper's
+        // motivating skew); Figure 2's probabilities climb with depth.
+        oracle1_({0.2, 0.75}),
+        oracle2_({0.3, 0.5, 0.6, 0.8}),
+        rng_(seed) {}
+
+  RepResult RunOnce() override {
+    constexpr int kFig1Contexts = 2000;
+    constexpr int kFig2Contexts = 1000;
+    double cost = 0.0;
+    int64_t attempts = 0;
+    int64_t successes = 0;
+    for (int i = 0; i < kFig1Contexts; ++i) {
+      Trace trace = qp1_.Execute(theta1_, oracle1_.Next(rng_));
+      cost += trace.cost;
+      attempts += static_cast<int64_t>(trace.attempts.size());
+      successes += trace.successes;
+    }
+    for (int i = 0; i < kFig2Contexts; ++i) {
+      Trace trace = qp2_.Execute(theta2_, oracle2_.Next(rng_));
+      cost += trace.cost;
+      attempts += static_cast<int64_t>(trace.attempts.size());
+      successes += trace.successes;
+    }
+    RepResult result;
+    result.work_units = cost;
+    result.counters = {{"contexts", kFig1Contexts + kFig2Contexts},
+                       {"arc_attempts", attempts},
+                       {"successes", successes}};
+    return result;
+  }
+
+ private:
+  FigureOneGraph fig1_;
+  FigureTwoGraph fig2_;
+  Strategy theta1_;
+  Strategy theta2_;
+  QueryProcessor qp1_;
+  QueryProcessor qp2_;
+  IndependentOracle oracle1_;
+  IndependentOracle oracle2_;
+  Rng rng_;
+};
+
+/// A full PIB hill-climb: each repetition restarts the learner on the
+/// same random tree and feeds it a fresh slice of the context stream,
+/// measuring Observe + Execute together (the unobtrusive-PIB loop).
+class PibClimbInstance : public BenchWorkloadInstance {
+ public:
+  explicit PibClimbInstance(uint64_t seed) : rng_(seed) {
+    Rng tree_rng(seed ^ 0x9e3779b97f4a7c15ULL);
+    RandomTreeOptions options;
+    options.depth = 5;
+    options.min_branch = 2;
+    options.max_branch = 3;
+    options.early_leaf_prob = 0.1;
+    tree_ = MakeRandomTree(tree_rng, options);
+    oracle_ = std::make_unique<IndependentOracle>(tree_.probs);
+  }
+
+  RepResult RunOnce() override {
+    constexpr int kContexts = 400;
+    Pib pib(&tree_.graph, Strategy::DepthFirst(tree_.graph),
+            PibOptions{.delta = 0.2});
+    QueryProcessor qp(&tree_.graph);
+    double cost = 0.0;
+    for (int i = 0; i < kContexts; ++i) {
+      Trace trace = qp.Execute(pib.strategy(), oracle_->Next(rng_));
+      cost += trace.cost;
+      pib.Observe(trace);
+    }
+    RepResult result;
+    result.work_units = cost;
+    result.counters = {{"contexts", kContexts},
+                       {"moves", static_cast<int64_t>(pib.moves().size())},
+                       {"trials", pib.trial_count()}};
+    return result;
+  }
+
+ private:
+  RandomTree tree_;
+  std::unique_ptr<IndependentOracle> oracle_;
+  Rng rng_;
+};
+
+/// A PAO Theorem-3 quota run over Figure 2: QP^A adaptive sampling
+/// until every aim quota is met, then the Upsilon step.
+class PaoQuotaInstance : public BenchWorkloadInstance {
+ public:
+  explicit PaoQuotaInstance(uint64_t seed)
+      : fig2_(MakeFigureTwo()), oracle_({0.3, 0.5, 0.6, 0.8}), rng_(seed) {}
+
+  RepResult RunOnce() override {
+    PaoOptions options;
+    options.epsilon = 0.75;
+    options.delta = 0.2;
+    options.mode = PaoOptions::Mode::kTheorem3;
+    Result<PaoResult> run = Pao::Run(fig2_.graph, oracle_, rng_, options);
+    STRATLEARN_CHECK_MSG(run.ok(), "pao_quota run must meet its quotas");
+    RepResult result;
+    result.work_units = static_cast<double>(run->contexts_used);
+    result.counters = {{"contexts", run->contexts_used},
+                       {"upsilon_exact", run->upsilon_exact ? 1 : 0}};
+    return result;
+  }
+
+ private:
+  FigureTwoGraph fig2_;
+  IndependentOracle oracle_;
+  Rng rng_;
+};
+
+/// Upsilon_AOT ordering of a 2048-leaf flat tree — the O(n log n)
+/// block-merge that closes every PAO run and the eval command.
+class UpsilonOrderInstance : public BenchWorkloadInstance {
+ public:
+  explicit UpsilonOrderInstance(uint64_t seed) {
+    Rng rng(seed);
+    tree_ = MakeFlatTree(rng, 2048);
+  }
+
+  RepResult RunOnce() override {
+    Result<UpsilonResult> ordered = UpsilonAot(tree_.graph, tree_.probs);
+    STRATLEARN_CHECK_MSG(ordered.ok(), "upsilon_order must solve the tree");
+    RepResult result;
+    result.work_units =
+        static_cast<double>(tree_.graph.num_arcs());
+    result.counters = {
+        {"arcs", static_cast<int64_t>(tree_.graph.num_arcs())},
+        {"exact", ordered->exact ? 1 : 0}};
+    return result;
+  }
+
+ private:
+  RandomTree tree_;
+};
+
+template <typename Instance>
+BenchWorkload Workload(const char* name, const char* description) {
+  return BenchWorkload{
+      name, description,
+      [](uint64_t seed) -> std::unique_ptr<BenchWorkloadInstance> {
+        return std::make_unique<Instance>(seed);
+      }};
+}
+
+}  // namespace
+
+void RegisterCanonicalWorkloads(BenchRegistry* registry) {
+  registry->Register(Workload<DatalogLoadInstance>(
+      "datalog_load", "Datalog parse + load, 505-clause program"));
+  registry->Register(Workload<FigureExecuteInstance>(
+      "fig1_execute",
+      "QueryProcessor::Execute, Figure 1 + Figure 2, 3000 contexts/rep"));
+  registry->Register(Workload<PibClimbInstance>(
+      "pib_climb", "PIB hill-climb, depth-5 random tree, 400 contexts/rep"));
+  registry->Register(Workload<PaoQuotaInstance>(
+      "pao_quota", "PAO Theorem-3 quota run on Figure 2"));
+  registry->Register(Workload<UpsilonOrderInstance>(
+      "upsilon_order", "Upsilon_AOT ordering, 2048-leaf flat tree"));
+}
+
+}  // namespace stratlearn::obs::perf

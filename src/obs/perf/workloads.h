@@ -1,0 +1,22 @@
+#ifndef STRATLEARN_OBS_PERF_WORKLOADS_H_
+#define STRATLEARN_OBS_PERF_WORKLOADS_H_
+
+#include "obs/perf/bench_runner.h"
+
+namespace stratlearn::obs::perf {
+
+/// Registers the canonical perf workloads spanning the stack, in the
+/// order they appear in BENCH trajectories:
+///   datalog_load   — Datalog parse + load of a synthetic program
+///   fig1_execute   — QueryProcessor::Execute on the Figure 1/2 graphs
+///   pib_climb      — a full PIB hill-climb over a context stream
+///   pao_quota      — a PAO/QP^A Theorem-3 quota run
+///   upsilon_order  — Upsilon_AOT ordering of a 2048-leaf flat tree
+/// Every workload is deterministic for a fixed seed: its work_units and
+/// counters depend only on the RNG stream, so fake-clock BENCH reports
+/// are byte-reproducible and CI-gateable.
+void RegisterCanonicalWorkloads(BenchRegistry* registry);
+
+}  // namespace stratlearn::obs::perf
+
+#endif  // STRATLEARN_OBS_PERF_WORKLOADS_H_

@@ -7,6 +7,14 @@
 
 namespace stratlearn::obs {
 
+// Every latency measurement in the repo flows through this clock; it
+// must be monotonic or a wall-clock step (NTP slew, suspend) would
+// corrupt histograms and fabricate bench regressions. The standard
+// guarantees is_steady for steady_clock, so this documents intent and
+// guards against anyone swapping the alias for a non-steady clock.
+static_assert(std::chrono::steady_clock::is_steady,
+              "timing requires a monotonic clock");
+
 /// Wall-clock stopwatch on std::chrono::steady_clock. The paper's cost
 /// model is abstract arc costs; this is the bridge to real time.
 class Stopwatch {

@@ -1,0 +1,32 @@
+#include "util/file_util.h"
+
+#include <cstdio>
+
+#include <fstream>
+
+namespace stratlearn {
+
+bool WriteFileAtomic(const std::string& path, std::string_view contents) {
+  // The temp file must live in the target directory: rename(2) is only
+  // atomic within one filesystem.
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace stratlearn

@@ -1,0 +1,20 @@
+#ifndef STRATLEARN_UTIL_FILE_UTIL_H_
+#define STRATLEARN_UTIL_FILE_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+namespace stratlearn {
+
+/// Writes `contents` to `path` atomically: the bytes go to a temporary
+/// file in the same directory, which is then renamed over `path`. A
+/// reader (or a process killed mid-write) therefore sees either the old
+/// file or the complete new one, never a torn prefix — the property the
+/// BENCH_*.json / STRATLEARN_JSON_OUT consumers (bench_compare, CI
+/// report scrapers) rely on. Returns false on any I/O failure; the
+/// temporary file is removed on failure.
+bool WriteFileAtomic(const std::string& path, std::string_view contents);
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_UTIL_FILE_UTIL_H_

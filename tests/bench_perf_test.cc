@@ -1,0 +1,285 @@
+// Tests for the src/obs/perf performance-observability layer: run
+// manifests, the BenchRunner's warmup/repetition/fake-clock contract,
+// BENCH JSON schema determinism and parse round-trip, the comparison
+// gate's regression logic, and atomic report writes.
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json_writer.h"
+#include "obs/perf/bench_report.h"
+#include "obs/perf/bench_runner.h"
+#include "obs/perf/manifest.h"
+#include "obs/perf/workloads.h"
+#include "util/file_util.h"
+
+namespace stratlearn {
+namespace {
+
+using obs::IsValidJson;
+using obs::perf::BenchCompareOptions;
+using obs::perf::BenchComparison;
+using obs::perf::BenchOptions;
+using obs::perf::BenchRegistry;
+using obs::perf::BenchReport;
+using obs::perf::BenchRunner;
+using obs::perf::BenchRunResult;
+using obs::perf::BenchWorkload;
+using obs::perf::BenchWorkloadInstance;
+using obs::perf::RepResult;
+using obs::perf::RunManifest;
+
+/// Deterministic toy workload: repetition k (1-based, warmup included)
+/// reports 100*k work units and 10 items.
+class ToyInstance : public BenchWorkloadInstance {
+ public:
+  RepResult RunOnce() override {
+    ++reps_;
+    RepResult result;
+    result.work_units = 100.0 * reps_;
+    result.counters = {{"items", 10}};
+    return result;
+  }
+
+ private:
+  int reps_ = 0;
+};
+
+BenchWorkload ToyWorkload() {
+  return BenchWorkload{
+      "toy", "deterministic ramp",
+      [](uint64_t) -> std::unique_ptr<BenchWorkloadInstance> {
+        return std::make_unique<ToyInstance>();
+      }};
+}
+
+BenchOptions FakeOptions() {
+  BenchOptions options;
+  options.warmup = 1;
+  options.repetitions = 4;
+  options.seed = 7;
+  options.fake_clock = true;
+  options.timestamp = "2026-01-01T00:00:00Z";
+  return options;
+}
+
+TEST(RunManifestTest, FieldsPopulatedAndOverridable) {
+  RunManifest manifest =
+      obs::perf::CollectRunManifest(42, "2026-02-03T04:05:06Z");
+  EXPECT_EQ(manifest.seed, 42u);
+  EXPECT_EQ(manifest.timestamp, "2026-02-03T04:05:06Z");
+  EXPECT_FALSE(manifest.git_sha.empty());
+  EXPECT_FALSE(manifest.build_type.empty());
+  EXPECT_FALSE(manifest.compiler.empty());
+  EXPECT_FALSE(manifest.host.empty());
+  EXPECT_FALSE(manifest.os.empty());
+  // Without an override the stamp is still ISO-8601-shaped.
+  RunManifest now = obs::perf::CollectRunManifest(42);
+  ASSERT_EQ(now.timestamp.size(), 20u);
+  EXPECT_EQ(now.timestamp[10], 'T');
+  EXPECT_EQ(now.timestamp.back(), 'Z');
+}
+
+TEST(BenchRunnerTest, WarmupExcludedAndFakeClockUsesWorkUnits) {
+  BenchRunner runner(FakeOptions());
+  BenchRunResult result = runner.Run(ToyWorkload());
+  // Warmup consumed rep 1; timed samples are 200..500.
+  EXPECT_EQ(result.wall_us.count(), 4);
+  EXPECT_DOUBLE_EQ(result.wall_us.min(), 200.0);
+  EXPECT_DOUBLE_EQ(result.wall_us.max(), 500.0);
+  EXPECT_DOUBLE_EQ(result.total_work_units, 1400.0);
+  EXPECT_EQ(result.counters.at("items"), 40);
+  EXPECT_EQ(result.peak_rss_kb, 0);  // pinned in fake-clock mode
+}
+
+TEST(BenchRunnerTest, RealClockRecordsPositiveTimes) {
+  BenchOptions options = FakeOptions();
+  options.fake_clock = false;
+  BenchRunner runner(options);
+  BenchRunResult result = runner.Run(ToyWorkload());
+  EXPECT_EQ(result.wall_us.count(), 4);
+  EXPECT_GT(result.total_wall_us, 0.0);
+  EXPECT_GT(result.peak_rss_kb, 0);
+}
+
+TEST(BenchRunnerTest, FakeClockReportIsByteStable) {
+  BenchRunner runner(FakeOptions());
+  std::string first = runner.Run(ToyWorkload()).ToJson();
+  std::string second = runner.Run(ToyWorkload()).ToJson();
+  EXPECT_EQ(first, second);
+  EXPECT_TRUE(IsValidJson(first));
+  EXPECT_NE(first.find("\"schema\":\"stratlearn-bench-v1\""),
+            std::string::npos);
+}
+
+TEST(BenchReportTest, ParseRoundTrip) {
+  BenchRunner runner(FakeOptions());
+  BenchRunResult result = runner.Run(ToyWorkload());
+  Result<BenchReport> parsed =
+      obs::perf::ParseBenchReport(result.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->workload, "toy");
+  EXPECT_EQ(parsed->count, 4);
+  EXPECT_EQ(parsed->repetitions, 4);
+  EXPECT_TRUE(parsed->fake_clock);
+  EXPECT_EQ(parsed->seed, 7u);
+  EXPECT_EQ(parsed->timestamp, "2026-01-01T00:00:00Z");
+  EXPECT_DOUBLE_EQ(parsed->p50, result.wall_us.Percentile(50));
+  EXPECT_DOUBLE_EQ(parsed->p99, result.wall_us.Percentile(99));
+  EXPECT_DOUBLE_EQ(parsed->work_units, 1400.0);
+  EXPECT_EQ(parsed->counters.at("items"), 40);
+  EXPECT_GT(parsed->throughput.at("work_units_per_sec"), 0.0);
+}
+
+TEST(BenchReportTest, MalformedInputsRejected) {
+  EXPECT_FALSE(obs::perf::ParseBenchReport("{oops").ok());
+  EXPECT_FALSE(obs::perf::ParseBenchReport("{}").ok());
+  EXPECT_FALSE(
+      obs::perf::ParseBenchReport(R"({"schema":"other","workload":"x"})")
+          .ok());
+  // Schema present but the gated wall_us fields missing.
+  EXPECT_FALSE(obs::perf::ParseBenchReport(
+                   R"({"schema":"stratlearn-bench-v1","workload":"x",)"
+                   R"("wall_us":{"count":3}})")
+                   .ok());
+}
+
+BenchReport Probe(double p50, double p99, int64_t count = 5,
+                  bool fake_clock = true) {
+  BenchReport report;
+  report.workload = "probe";
+  report.count = count;
+  report.p50 = p50;
+  report.p90 = (p50 + p99) / 2;
+  report.p99 = p99;
+  report.fake_clock = fake_clock;
+  return report;
+}
+
+TEST(BenchCompareTest, ParityRegressionImprovement) {
+  BenchCompareOptions options;  // 25% rel, 50us abs, min_count 3
+  Result<BenchComparison> parity =
+      CompareBenchReports(Probe(100, 110), Probe(100, 110), options);
+  ASSERT_TRUE(parity.ok());
+  EXPECT_FALSE(parity->has_regression);
+
+  Result<BenchComparison> regression =
+      CompareBenchReports(Probe(100, 110), Probe(170, 187), options);
+  ASSERT_TRUE(regression.ok());
+  EXPECT_TRUE(regression->has_regression);
+  EXPECT_TRUE(regression->metrics[0].regression);  // p50
+  EXPECT_TRUE(regression->metrics[1].regression);  // p99
+
+  // The reverse direction is an improvement, never a regression.
+  Result<BenchComparison> improvement =
+      CompareBenchReports(Probe(170, 187), Probe(100, 110), options);
+  ASSERT_TRUE(improvement.ok());
+  EXPECT_FALSE(improvement->has_regression);
+}
+
+TEST(BenchCompareTest, BothThresholdsMustTrip) {
+  BenchCompareOptions options;
+  // +60% relative but only +3us absolute: micro-workload jitter.
+  EXPECT_FALSE(CompareBenchReports(Probe(5, 6), Probe(8, 9), options)
+                   ->has_regression);
+  // +60us absolute but only +6% relative: macro-workload jitter.
+  EXPECT_FALSE(
+      CompareBenchReports(Probe(1000, 1100), Probe(1060, 1160), options)
+          ->has_regression);
+}
+
+TEST(BenchCompareTest, LowSampleCountNeverGates) {
+  BenchCompareOptions options;
+  Result<BenchComparison> comparison = CompareBenchReports(
+      Probe(100, 110, /*count=*/2), Probe(900, 990, /*count=*/2), options);
+  ASSERT_TRUE(comparison.ok());
+  EXPECT_FALSE(comparison->has_regression);
+  ASSERT_FALSE(comparison->notes.empty());
+}
+
+TEST(BenchCompareTest, ClockModeMismatchAnnotatedNotGated) {
+  BenchCompareOptions options;
+  Result<BenchComparison> comparison = CompareBenchReports(
+      Probe(100, 110, 5, /*fake_clock=*/true),
+      Probe(900, 990, 5, /*fake_clock=*/false), options);
+  ASSERT_TRUE(comparison.ok());
+  EXPECT_FALSE(comparison->has_regression);
+  ASSERT_FALSE(comparison->notes.empty());
+}
+
+TEST(BenchCompareTest, WorkloadMismatchIsAnError) {
+  BenchReport other = Probe(100, 110);
+  other.workload = "other";
+  EXPECT_FALSE(CompareBenchReports(Probe(100, 110), other, {}).ok());
+}
+
+TEST(BenchCompareTest, TableNamesEveryMetric) {
+  Result<BenchComparison> comparison =
+      CompareBenchReports(Probe(100, 110), Probe(170, 187), {});
+  ASSERT_TRUE(comparison.ok());
+  std::string table =
+      obs::perf::RenderComparisonTable({*comparison});
+  EXPECT_NE(table.find("probe"), std::string::npos);
+  EXPECT_NE(table.find("p50"), std::string::npos);
+  EXPECT_NE(table.find("p99"), std::string::npos);
+  EXPECT_NE(table.find("REGRESSION"), std::string::npos);
+}
+
+TEST(WriteBenchFileTest, AtomicWriteLeavesNoTempAndRoundTrips) {
+  std::string dir = ::testing::TempDir();
+  BenchRunner runner(FakeOptions());
+  BenchRunResult result = runner.Run(ToyWorkload());
+  ASSERT_TRUE(obs::perf::WriteBenchFile(dir, result).ok());
+  std::string path = dir + "/" + obs::perf::BenchFileName("toy");
+  Result<BenchReport> loaded = obs::perf::LoadBenchReport(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->workload, "toy");
+  // The temp staging file must be gone after the rename.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+TEST(WriteFileAtomicTest, OverwritesExistingContent) {
+  std::string path = ::testing::TempDir() + "/atomic_overwrite.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "first"));
+  ASSERT_TRUE(WriteFileAtomic(path, "second"));
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "second");
+  std::remove(path.c_str());
+}
+
+TEST(CanonicalWorkloadsTest, AllRegisteredRunAndSerialize) {
+  BenchRegistry registry;
+  obs::perf::RegisterCanonicalWorkloads(&registry);
+  ASSERT_EQ(registry.workloads().size(), 5u);
+  EXPECT_NE(registry.Find("datalog_load"), nullptr);
+  EXPECT_NE(registry.Find("fig1_execute"), nullptr);
+  EXPECT_NE(registry.Find("pib_climb"), nullptr);
+  EXPECT_NE(registry.Find("pao_quota"), nullptr);
+  EXPECT_NE(registry.Find("upsilon_order"), nullptr);
+  EXPECT_EQ(registry.Find("nope"), nullptr);
+
+  BenchOptions options = FakeOptions();
+  options.warmup = 0;
+  options.repetitions = 1;
+  BenchRunner runner(options);
+  for (const BenchWorkload& workload : registry.workloads()) {
+    BenchRunResult result = runner.Run(workload);
+    EXPECT_GT(result.total_work_units, 0.0) << workload.name;
+    std::string json = result.ToJson();
+    EXPECT_TRUE(IsValidJson(json)) << workload.name;
+    Result<BenchReport> parsed = obs::perf::ParseBenchReport(json);
+    EXPECT_TRUE(parsed.ok()) << workload.name;
+  }
+}
+
+}  // namespace
+}  // namespace stratlearn

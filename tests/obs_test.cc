@@ -107,6 +107,42 @@ TEST(HistogramTest, PercentileDegenerateCases) {
   EXPECT_DOUBLE_EQ(one.Percentile(100), 1.5);
 }
 
+TEST(HistogramTest, AllSamplesInOverflowBucket) {
+  // Every sample lands past the last bound; the overflow bucket spans
+  // [last bound, max] and interpolation stays inside [min, max].
+  Histogram h({1.0, 2.0});
+  for (double v : {10.0, 20.0, 30.0, 40.0}) h.Record(v);
+  EXPECT_EQ(h.bucket_count(0), 0);
+  EXPECT_EQ(h.bucket_count(1), 0);
+  EXPECT_EQ(h.bucket_count(2), 4);
+  // rank 2 of 4 in [2, 40]: 2 + 38 * 0.5 = 21.
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 21.0);
+  // Interpolated 11.5 from the bucket span; already above min.
+  EXPECT_DOUBLE_EQ(h.Percentile(25), 11.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 10.0);    // clamped up to min
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 40.0);  // within = 1 -> max
+}
+
+TEST(HistogramTest, SingleSampleInOverflowBucket) {
+  Histogram h({1.0});
+  h.Record(50.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 50.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 50.0);
+}
+
+TEST(HistogramTest, PercentileEndpointsPinned) {
+  // One sample per bucket: 5 in (.,10], 15 in (10,20], 25 in (20,30].
+  Histogram h({10.0, 20.0, 30.0});
+  for (double v : {5.0, 15.0, 25.0}) h.Record(v);
+  // p0 uses min(min, first bound) as the lower edge: exactly min.
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 5.0);
+  // rank 1.5 falls halfway through the (10,20] bucket.
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 15.0);
+  // p100 interpolates to the bucket top (30) then clamps to max.
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 25.0);
+}
+
 TEST(MetricsRegistryTest, HandlesAreStableAndNamed) {
   MetricsRegistry registry;
   obs::Counter& c = registry.GetCounter("a.count");

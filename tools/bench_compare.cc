@@ -1,0 +1,202 @@
+// bench_compare — the perf regression gate over BENCH_*.json reports.
+//
+// File mode:
+//   bench_compare <baseline.json> <candidate.json> [options]
+//       Compares one workload's candidate report against its baseline.
+//
+// Directory mode (the CI gate):
+//   bench_compare --baseline-dir=DIR --candidate-dir=DIR [options]
+//       Compares every BENCH_*.json in the baseline directory against
+//       the same-named file in the candidate directory. A baseline
+//       workload missing from the candidate is an error: the gate must
+//       notice a workload silently dropping out of the suite. Extra
+//       candidate files are listed but not gated.
+//
+// Options: --threshold=R (relative, default 0.25), --abs-threshold-us=A
+// (default 50), --min-count=N (default 3; runs with fewer repetitions
+// are reported but never gated).
+//
+// A regression fires when the candidate's p50 or p99 exceeds the
+// baseline's by more than BOTH thresholds — the noise-aware mirror of
+// `trace_report --baseline/--candidate`. Exit codes: 0 = parity or
+// improvement, 1 = regression, 2 = usage / IO / malformed input.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "obs/perf/bench_report.h"
+#include "util/string_util.h"
+
+namespace stratlearn {
+namespace {
+
+using obs::perf::BenchCompareOptions;
+using obs::perf::BenchComparison;
+using obs::perf::BenchReport;
+
+constexpr int kExitOk = 0;
+constexpr int kExitRegression = 1;
+constexpr int kExitError = 2;
+
+struct Options {
+  std::string baseline_file;
+  std::string candidate_file;
+  std::string baseline_dir;
+  std::string candidate_dir;
+  BenchCompareOptions compare;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_compare <baseline.json> <candidate.json> [options]\n"
+      "       bench_compare --baseline-dir=DIR --candidate-dir=DIR "
+      "[options]\n"
+      "options: --threshold=R --abs-threshold-us=A --min-count=N\n");
+  return kExitError;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return kExitError;
+}
+
+void PrintProvenance(const BenchReport& baseline,
+                     const BenchReport& candidate) {
+  std::fprintf(stderr, "%s: baseline %s @ %s vs candidate %s @ %s\n",
+               baseline.workload.c_str(), baseline.git_sha.c_str(),
+               baseline.timestamp.c_str(), candidate.git_sha.c_str(),
+               candidate.timestamp.c_str());
+}
+
+/// Loads and compares one baseline/candidate file pair into
+/// `comparisons`. Returns kExitError on any load/compare failure.
+int ComparePair(const std::string& baseline_path,
+                const std::string& candidate_path,
+                const BenchCompareOptions& options,
+                std::vector<BenchComparison>* comparisons) {
+  Result<BenchReport> baseline =
+      obs::perf::LoadBenchReport(baseline_path);
+  if (!baseline.ok()) return Fail(baseline.status().ToString());
+  Result<BenchReport> candidate =
+      obs::perf::LoadBenchReport(candidate_path);
+  if (!candidate.ok()) return Fail(candidate.status().ToString());
+  PrintProvenance(*baseline, *candidate);
+  Result<BenchComparison> comparison =
+      CompareBenchReports(*baseline, *candidate, options);
+  if (!comparison.ok()) return Fail(comparison.status().ToString());
+  comparisons->push_back(*comparison);
+  return kExitOk;
+}
+
+int RunDirs(const Options& options) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(options.baseline_dir, ec)) {
+    return Fail("'" + options.baseline_dir + "' is not a directory");
+  }
+  if (!fs::is_directory(options.candidate_dir, ec)) {
+    return Fail("'" + options.candidate_dir + "' is not a directory");
+  }
+  std::vector<std::string> names;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(options.baseline_dir, ec)) {
+    std::string name = entry.path().filename().string();
+    if (StartsWith(name, "BENCH_") && name.size() > 11 &&
+        name.rfind(".json") == name.size() - 5) {
+      names.push_back(name);
+    }
+  }
+  if (ec) return Fail("cannot list '" + options.baseline_dir + "'");
+  if (names.empty()) {
+    return Fail("no BENCH_*.json files in '" + options.baseline_dir +
+                "'; the gate would be vacuous");
+  }
+  std::sort(names.begin(), names.end());
+
+  std::vector<BenchComparison> comparisons;
+  for (const std::string& name : names) {
+    std::string candidate_path = options.candidate_dir + "/" + name;
+    if (!fs::exists(candidate_path, ec)) {
+      return Fail("baseline workload '" + name +
+                  "' has no candidate report — did the suite drop it?");
+    }
+    int rc = ComparePair(options.baseline_dir + "/" + name, candidate_path,
+                         options.compare, &comparisons);
+    if (rc != kExitOk) return rc;
+  }
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(options.candidate_dir, ec)) {
+    std::string name = entry.path().filename().string();
+    if (StartsWith(name, "BENCH_") &&
+        std::find(names.begin(), names.end(), name) == names.end()) {
+      std::fprintf(stderr,
+                   "note: candidate-only report %s (no baseline; run "
+                   "the baseline refresh to start gating it)\n",
+                   name.c_str());
+    }
+  }
+
+  std::printf("%s", RenderComparisonTable(comparisons).c_str());
+  bool regression = false;
+  for (const BenchComparison& c : comparisons) {
+    regression |= c.has_regression;
+  }
+  return regression ? kExitRegression : kExitOk;
+}
+
+int RunFiles(const Options& options) {
+  std::vector<BenchComparison> comparisons;
+  int rc = ComparePair(options.baseline_file, options.candidate_file,
+                       options.compare, &comparisons);
+  if (rc != kExitOk) return rc;
+  std::printf("%s", RenderComparisonTable(comparisons).c_str());
+  return comparisons[0].has_regression ? kExitRegression : kExitOk;
+}
+
+int Main(int argc, char** argv) {
+  Options options;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (StartsWith(arg, "--baseline-dir=")) {
+      options.baseline_dir = arg.substr(15);
+    } else if (StartsWith(arg, "--candidate-dir=")) {
+      options.candidate_dir = arg.substr(16);
+    } else if (StartsWith(arg, "--threshold=")) {
+      options.compare.rel_threshold = std::atof(arg.c_str() + 12);
+    } else if (StartsWith(arg, "--abs-threshold-us=")) {
+      options.compare.abs_threshold_us = std::atof(arg.c_str() + 19);
+    } else if (StartsWith(arg, "--min-count=")) {
+      options.compare.min_count = std::atoll(arg.c_str() + 12);
+    } else if (StartsWith(arg, "--")) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+      return Usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  bool dir_mode =
+      !options.baseline_dir.empty() || !options.candidate_dir.empty();
+  if (dir_mode) {
+    if (options.baseline_dir.empty() || options.candidate_dir.empty() ||
+        !positional.empty()) {
+      return Usage();
+    }
+    return RunDirs(options);
+  }
+  if (positional.size() != 2) return Usage();
+  options.baseline_file = positional[0];
+  options.candidate_file = positional[1];
+  return RunFiles(options);
+}
+
+}  // namespace
+}  // namespace stratlearn
+
+int main(int argc, char** argv) { return stratlearn::Main(argc, argv); }
