@@ -63,6 +63,62 @@ bool Palo::CheckStop(double* worst_certificate) {
   return true;
 }
 
+Palo::Checkpoint Palo::GetCheckpoint() const {
+  Checkpoint checkpoint;
+  checkpoint.strategy = current_;
+  checkpoint.contexts = contexts_;
+  checkpoint.trials = trials_;
+  checkpoint.samples = samples_;
+  checkpoint.moves = moves_;
+  checkpoint.finished = finished_;
+  checkpoint.neighbor_under_sums.reserve(neighbors_.size());
+  checkpoint.neighbor_over_sums.reserve(neighbors_.size());
+  for (const Neighbor& n : neighbors_) {
+    checkpoint.neighbor_under_sums.push_back(n.under_sum);
+    checkpoint.neighbor_over_sums.push_back(n.over_sum);
+  }
+  return checkpoint;
+}
+
+Status Palo::RestoreCheckpoint(const Checkpoint& checkpoint) {
+  if (checkpoint.contexts < 0 || checkpoint.trials < 0 ||
+      checkpoint.samples < 0 || checkpoint.samples > checkpoint.contexts ||
+      checkpoint.moves < 0) {
+    return Status::InvalidArgument("inconsistent learner counters");
+  }
+  if (checkpoint.strategy.size() != graph_->num_arcs()) {
+    return Status::InvalidArgument(
+        "checkpointed strategy does not cover the graph's arcs");
+  }
+  if (checkpoint.neighbor_under_sums.size() !=
+      checkpoint.neighbor_over_sums.size()) {
+    return Status::InvalidArgument("estimate ledgers differ in length");
+  }
+  Strategy prior = std::move(current_);
+  bool prior_finished = finished_;
+  current_ = checkpoint.strategy;
+  finished_ = false;
+  RebuildNeighborhood();
+  if (neighbors_.size() != checkpoint.neighbor_under_sums.size()) {
+    current_ = std::move(prior);
+    finished_ = prior_finished;
+    RebuildNeighborhood();
+    return Status::InvalidArgument(
+        "checkpoint carries a different neighbourhood size than the "
+        "strategy induces");
+  }
+  for (size_t j = 0; j < neighbors_.size(); ++j) {
+    neighbors_[j].under_sum = checkpoint.neighbor_under_sums[j];
+    neighbors_[j].over_sum = checkpoint.neighbor_over_sums[j];
+  }
+  contexts_ = checkpoint.contexts;
+  trials_ = checkpoint.trials;
+  samples_ = checkpoint.samples;
+  moves_ = checkpoint.moves;
+  finished_ = finished_ || checkpoint.finished;
+  return Status::OK();
+}
+
 bool Palo::Observe(const Trace& trace) {
   if (finished_) return false;
   ++contexts_;

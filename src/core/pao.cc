@@ -59,6 +59,13 @@ Result<PaoResult> Pao::Run(const InferenceGraph& graph, ContextOracle& oracle,
           ? AdaptiveQueryProcessor::QuotaMode::kAttempts
           : AdaptiveQueryProcessor::QuotaMode::kReachAttempts;
   AdaptiveQueryProcessor qpa(&graph, result.quotas, mode, observer);
+  if (options.injector != nullptr) {
+    qpa.set_fault_injector(options.injector);
+  }
+  if (options.resume != nullptr) {
+    Status restored = qpa.RestoreCheckpoint(*options.resume);
+    if (!restored.ok()) return restored;
+  }
 
   while (!qpa.QuotasMet()) {
     if (qpa.contexts_processed() >= options.max_contexts) {
@@ -69,6 +76,9 @@ Result<PaoResult> Pao::Run(const InferenceGraph& graph, ContextOracle& oracle,
           static_cast<long long>(options.max_contexts)));
     }
     qpa.Process(oracle.Next(rng));
+    if (options.on_context) {
+      options.on_context(qpa, qpa.contexts_processed());
+    }
   }
 
   result.contexts_used = qpa.contexts_processed();

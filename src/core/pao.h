@@ -2,6 +2,7 @@
 #define STRATLEARN_CORE_PAO_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/upsilon.h"
@@ -36,6 +37,18 @@ struct PaoOptions {
   int64_t max_contexts = 10'000'000;
 
   UpsilonOptions upsilon;
+
+  /// Optional fault injector threaded into QP^A: sampling then runs on
+  /// the resilient path (not owned; must outlive the run).
+  robust::FaultInjector* injector = nullptr;
+
+  /// Optional sampler state to resume from (not owned): the loop picks
+  /// up with the checkpointed quota progress instead of starting cold.
+  const AdaptiveQueryProcessor::Checkpoint* resume = nullptr;
+
+  /// Called after each processed context with the sampler and its
+  /// context count — the hook crash-safe checkpointing hangs off.
+  std::function<void(const AdaptiveQueryProcessor&, int64_t)> on_context;
 };
 
 /// The outcome of a PAO run.

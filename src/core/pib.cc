@@ -95,6 +95,52 @@ PibSnapshot Pib::Snapshot() const {
   return snap;
 }
 
+Pib::Checkpoint Pib::GetCheckpoint() const {
+  Checkpoint checkpoint;
+  checkpoint.strategy = current_;
+  checkpoint.contexts = contexts_;
+  checkpoint.trials = trials_;
+  checkpoint.samples = samples_;
+  checkpoint.neighbor_delta_sums.reserve(neighbors_.size());
+  for (const Neighbor& n : neighbors_) {
+    checkpoint.neighbor_delta_sums.push_back(n.delta_sum);
+  }
+  checkpoint.moves = moves_;
+  return checkpoint;
+}
+
+Status Pib::RestoreCheckpoint(const Checkpoint& checkpoint) {
+  if (checkpoint.contexts < 0 || checkpoint.trials < 0 ||
+      checkpoint.samples < 0 || checkpoint.samples > checkpoint.contexts) {
+    return Status::InvalidArgument("inconsistent learner counters");
+  }
+  if (checkpoint.strategy.size() != graph_->num_arcs()) {
+    return Status::InvalidArgument(
+        "checkpointed strategy does not cover the graph's arcs");
+  }
+  // Rebuild the neighbourhood of the checkpointed strategy *first*: its
+  // size tells us whether the Delta~ sums line up, and the rebuild zeroes
+  // samples_, which we then restore.
+  Strategy prior = std::move(current_);
+  current_ = checkpoint.strategy;
+  RebuildNeighborhood();
+  if (neighbors_.size() != checkpoint.neighbor_delta_sums.size()) {
+    current_ = std::move(prior);
+    RebuildNeighborhood();
+    return Status::InvalidArgument(
+        "checkpoint carries a different neighbourhood size than the "
+        "strategy induces");
+  }
+  for (size_t j = 0; j < neighbors_.size(); ++j) {
+    neighbors_[j].delta_sum = checkpoint.neighbor_delta_sums[j];
+  }
+  contexts_ = checkpoint.contexts;
+  trials_ = checkpoint.trials;
+  samples_ = checkpoint.samples;
+  moves_ = checkpoint.moves;
+  return Status::OK();
+}
+
 bool Pib::Observe(const Trace& trace) {
   ++contexts_;
   ++samples_;

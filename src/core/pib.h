@@ -115,6 +115,26 @@ class Pib {
   /// any mutable internals.
   PibSnapshot Snapshot() const;
 
+  /// Resumable learner state: everything Observe reads or writes.
+  /// `neighbor_delta_sums` is indexed by the neighbourhood that
+  /// RebuildNeighborhood derives from `strategy` (deterministic given the
+  /// graph and transformation set), so sums survive serialization without
+  /// naming their swaps.
+  struct Checkpoint {
+    Strategy strategy;
+    int64_t contexts = 0;
+    int64_t trials = 0;
+    int64_t samples = 0;
+    std::vector<double> neighbor_delta_sums;
+    std::vector<Move> moves;
+  };
+  Checkpoint GetCheckpoint() const;
+  /// Rebuilds the neighbourhood of the checkpointed strategy and
+  /// reinstates its Delta~ sums and counters. Rejects checkpoints whose
+  /// shape or invariants do not fit this learner's graph/transformation
+  /// set; on error the learner keeps its prior state.
+  Status RestoreCheckpoint(const Checkpoint& checkpoint);
+
  private:
   struct Neighbor {
     SiblingSwap swap;

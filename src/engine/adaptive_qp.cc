@@ -66,11 +66,14 @@ AdaptiveQueryProcessor::StepResult AdaptiveQueryProcessor::Process(
   result.trace = processor_.Execute(strategy, context);
 
   // Every attempted experiment yields a sample (and, having been reached,
-  // an attempted reach as well).
+  // an attempted reach as well). Attempts flagged as infrastructure
+  // failures (retries exhausted, breaker open) are pessimistic
+  // placeholders, not draws from the experiment's true distribution, so
+  // they must not reduce the Equation 7/8 quotas.
   std::vector<char> attempted(graph_->num_experiments(), 0);
   for (const ArcAttempt& at : result.trace.attempts) {
     int e = graph_->arc(at.arc).experiment;
-    if (e < 0) continue;
+    if (e < 0 || at.infra_failure) continue;
     attempted[e] = 1;
     counters_[e].RecordAttempt(at.unblocked);
     --remaining_[e];
@@ -134,6 +137,45 @@ AdaptiveQueryProcessor::Snapshot AdaptiveQueryProcessor::snapshot() const {
     snap.experiments.push_back(e);
   }
   return snap;
+}
+
+AdaptiveQueryProcessor::Checkpoint AdaptiveQueryProcessor::GetCheckpoint()
+    const {
+  Checkpoint checkpoint;
+  checkpoint.contexts = contexts_processed_;
+  checkpoint.remaining = remaining_;
+  checkpoint.counters.reserve(counters_.size());
+  for (const ExperimentCounter& c : counters_) {
+    checkpoint.counters.push_back(
+        {c.attempts(), c.successes(),
+         c.reach_attempts() - c.attempts()});
+  }
+  return checkpoint;
+}
+
+Status AdaptiveQueryProcessor::RestoreCheckpoint(
+    const Checkpoint& checkpoint) {
+  if (checkpoint.contexts < 0) {
+    return Status::InvalidArgument("negative context counter");
+  }
+  if (checkpoint.remaining.size() != remaining_.size() ||
+      checkpoint.counters.size() != counters_.size()) {
+    return Status::InvalidArgument(
+        "sampler checkpoint shape does not match the graph's experiments");
+  }
+  for (const Checkpoint::Counter& c : checkpoint.counters) {
+    if (c.attempts < 0 || c.successes < 0 || c.successes > c.attempts ||
+        c.blocked_aims < 0) {
+      return Status::InvalidArgument("inconsistent experiment counters");
+    }
+  }
+  contexts_processed_ = checkpoint.contexts;
+  remaining_ = checkpoint.remaining;
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    const Checkpoint::Counter& c = checkpoint.counters[i];
+    counters_[i].Restore(c.attempts, c.successes, c.blocked_aims);
+  }
+  return Status::OK();
 }
 
 std::vector<double> AdaptiveQueryProcessor::SuccessFrequencies(

@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "engine/query_processor.h"
+#include "robust/fault_injector.h"
 #include "stats/counters.h"
+#include "util/status.h"
 
 namespace stratlearn {
 
@@ -37,6 +39,16 @@ class AdaptiveQueryProcessor {
                          obs::Observer* observer = nullptr);
 
   void set_observer(obs::Observer* observer);
+
+  /// Forwards a fault injector to the inner processor: every context is
+  /// then answered on the resilient path. Infra-failed attempts (retries
+  /// exhausted, breaker open) carry no information about the
+  /// experiment's true outcome, so Process excludes them from the
+  /// Equation 7/8 quota accounting; an *aimed* experiment whose attempt
+  /// infra-failed counts as a blocked aim instead.
+  void set_fault_injector(robust::FaultInjector* injector) {
+    processor_.set_fault_injector(injector);
+  }
 
   /// Read-only view of the sampler's estimate state: per-experiment
   /// quotas, progress and measured frequencies. Self-contained, so it
@@ -84,6 +96,24 @@ class AdaptiveQueryProcessor {
 
   /// Total contexts processed.
   int64_t contexts_processed() const { return contexts_processed_; }
+
+  /// Checkpointable sampler state: context count, remaining quotas and
+  /// the per-experiment counter triples. Together with the workload RNG
+  /// state this is everything needed to resume a PAO run mid-stream.
+  struct Checkpoint {
+    struct Counter {
+      int64_t attempts = 0;
+      int64_t successes = 0;
+      int64_t blocked_aims = 0;
+    };
+    int64_t contexts = 0;
+    std::vector<int64_t> remaining;
+    std::vector<Counter> counters;
+  };
+  Checkpoint GetCheckpoint() const;
+  /// Rejects checkpoints whose shape or invariants do not match this
+  /// processor's graph; on error the processor is left unchanged.
+  Status RestoreCheckpoint(const Checkpoint& checkpoint);
 
  private:
   /// Index of the experiment with the largest remaining quota (> 0), or

@@ -1,5 +1,8 @@
 #include "engine/query_processor.h"
 
+#include <cmath>
+
+#include "robust/fault_injector.h"
 #include "util/check.h"
 
 namespace stratlearn {
@@ -22,6 +25,16 @@ void QueryProcessor::set_observer(obs::Observer* observer) {
   handles_.successes = &r->GetCounter("qp.successes");
   handles_.query_cost = &r->GetHistogram("qp.query_cost");
   handles_.query_wall_us = &r->GetHistogram("qp.query_wall_us");
+  handles_.faults = &r->GetCounter("robust.faults");
+  handles_.retries = &r->GetCounter("robust.retries");
+  handles_.gave_up = &r->GetCounter("robust.gave_up");
+  handles_.breaker_opens = &r->GetCounter("robust.breaker_opens");
+  handles_.breaker_skips = &r->GetCounter("robust.breaker_skips");
+  handles_.degraded = &r->GetCounter("robust.degraded");
+}
+
+void QueryProcessor::set_fault_injector(robust::FaultInjector* injector) {
+  injector_ = injector;
 }
 
 Trace QueryProcessor::ExecuteObserved(const Strategy& strategy,
@@ -32,7 +45,10 @@ Trace QueryProcessor::ExecuteObserved(const Strategy& strategy,
   obs::TraceSink* sink = observer_->sink();
   if (sink != nullptr) sink->OnQueryStart({query_index, t0});
 
-  Trace trace = ExecuteImpl(strategy, context, options);
+  Trace trace =
+      injector_ != nullptr
+          ? ExecuteResilient(strategy, context, options, sink, query_index)
+          : ExecuteImpl(strategy, context, options);
   int64_t t1 = observer_->NowUs();
 
   if (handles_.queries != nullptr) {
@@ -51,10 +67,8 @@ Trace QueryProcessor::ExecuteObserved(const Strategy& strategy,
   if (sink != nullptr) {
     for (const ArcAttempt& a : trace.attempts) {
       const Arc& arc = graph_->arc(a.arc);
-      double attempt_cost =
-          arc.cost + (a.unblocked ? arc.success_cost : arc.failure_cost);
       sink->OnArcAttempt({query_index, t1, a.arc, arc.experiment,
-                          a.unblocked, attempt_cost});
+                          a.unblocked, a.cost});
     }
     sink->OnQueryEnd({query_index, t0, t1 - t0, trace.cost,
                       static_cast<int64_t>(trace.attempts.size()),
@@ -76,10 +90,170 @@ Trace QueryProcessor::ExecuteImpl(const Strategy& strategy,
     if (!visited[arc.from]) continue;  // unreachable: skipped at no cost
     bool unblocked = arc.experiment < 0 ||
                      context.Unblocked(static_cast<size_t>(arc.experiment));
-    trace.cost += arc.cost +
-                  (unblocked ? arc.success_cost : arc.failure_cost);
-    trace.attempts.push_back({a, unblocked});
+    double attempt_cost =
+        arc.cost + (unblocked ? arc.success_cost : arc.failure_cost);
+    trace.cost += attempt_cost;
+    trace.attempts.push_back({a, unblocked, false, attempt_cost});
     if (!unblocked) continue;
+    visited[arc.to] = 1;
+    if (graph_->node(arc.to).is_success) {
+      ++trace.successes;
+      if (trace.first_success_arc == kInvalidArc) trace.first_success_arc = a;
+      if (trace.successes >= options.stop_after_successes) break;
+    }
+  }
+  trace.success = trace.successes >= options.stop_after_successes;
+  return trace;
+}
+
+Trace QueryProcessor::ExecuteResilient(const Strategy& strategy,
+                                       const Context& context,
+                                       const ExecutionOptions& options,
+                                       obs::TraceSink* sink,
+                                       int64_t query_index) const {
+  STRATLEARN_CHECK(context.num_experiments() == graph_->num_experiments());
+  const robust::ResilienceOptions& res = injector_->resilience();
+  // The breaker clock is the injector's own query counter, independent of
+  // the observer's ordinal, so checkpointed resumption replays cooldowns
+  // exactly even when the observed ordinal restarts.
+  int64_t rq = injector_->BeginQuery();
+
+  Trace trace;
+  std::vector<char> visited(graph_->num_nodes(), 0);
+  visited[graph_->root()] = 1;
+
+  for (ArcId a : strategy.arcs()) {
+    const Arc& arc = graph_->arc(a);
+    if (!visited[arc.from]) continue;
+    if (res.cost_budget > 0.0 && trace.cost >= res.cost_budget) {
+      // Budget exhausted: the query degrades to "unresolved" rather than
+      // running (or crashing) on. The truncated trace under-states
+      // c(Theta, I), which Delta~ tolerates by construction.
+      trace.resolved = false;
+      if (handles_.degraded != nullptr) handles_.degraded->Increment();
+      if (sink != nullptr) {
+        sink->OnDegraded({observer_->NowUs(), query_index, trace.cost,
+                          res.cost_budget,
+                          static_cast<int64_t>(trace.attempts.size())});
+      }
+      break;
+    }
+
+    if (arc.experiment < 0) {
+      // Deterministic arcs model local computation, not retrievals; the
+      // fault model leaves them alone.
+      bool unblocked = true;
+      double attempt_cost = arc.cost + arc.success_cost;
+      trace.cost += attempt_cost;
+      trace.attempts.push_back({a, unblocked, false, attempt_cost});
+      visited[arc.to] = 1;
+      if (graph_->node(arc.to).is_success) {
+        ++trace.successes;
+        if (trace.first_success_arc == kInvalidArc) {
+          trace.first_success_arc = a;
+        }
+        if (trace.successes >= options.stop_after_successes) break;
+      }
+      continue;
+    }
+
+    if (injector_->BreakerOpen(a, rq)) {
+      // Persistently failing retrieval: skip it outright, record it as
+      // blocked at the arc's pessimistic cost. Charging failure_cost
+      // keeps PIB's Delta~ a conservative under-estimate while the
+      // breaker shields the run from the failing backend.
+      double attempt_cost = arc.cost + arc.failure_cost;
+      trace.cost += attempt_cost;
+      trace.attempts.push_back({a, false, true, attempt_cost});
+      if (handles_.breaker_skips != nullptr) {
+        handles_.breaker_skips->Increment();
+      }
+      continue;
+    }
+
+    bool true_unblocked =
+        context.Unblocked(static_cast<size_t>(arc.experiment));
+    bool observed_unblocked = false;
+    bool infra_failure = false;
+    double attempt_cost = 0.0;
+    int tries = 0;
+    for (;;) {
+      double magnitude = 1.0;
+      robust::FaultKind fault =
+          injector_->SampleFault(arc.experiment, &magnitude);
+      if (fault == robust::FaultKind::kNone ||
+          fault == robust::FaultKind::kCostSpike) {
+        // The attempt completed with a trustworthy result (a cost spike
+        // only inflates the base cost, it does not corrupt the answer).
+        double base = fault == robust::FaultKind::kCostSpike
+                          ? arc.cost * magnitude
+                          : arc.cost;
+        attempt_cost += base + (true_unblocked ? arc.success_cost
+                                               : arc.failure_cost);
+        observed_unblocked = true_unblocked;
+        if (fault == robust::FaultKind::kCostSpike &&
+            handles_.faults != nullptr) {
+          handles_.faults->Increment();
+        }
+        if (injector_->RecordRecovery(a) && sink != nullptr) {
+          robust::FaultInjectorState::BreakerEntry ledger =
+              injector_->BreakerLedger(a);
+          sink->OnBreaker({observer_->NowUs(), query_index, a,
+                           arc.experiment, "closed",
+                           ledger.consecutive_failures, ledger.open_until});
+        }
+        break;
+      }
+      // kTransient / kCorrupt / kTimeout: the attempt yields nothing a
+      // learner may trust. Its cost is still paid.
+      attempt_cost +=
+          fault == robust::FaultKind::kTimeout ? arc.cost * magnitude
+                                               : arc.cost;
+      if (handles_.faults != nullptr) handles_.faults->Increment();
+      if (tries < res.max_retries) {
+        double backoff =
+            std::min(res.backoff_base * std::pow(res.backoff_multiplier,
+                                                 static_cast<double>(tries)),
+                     res.backoff_cap);
+        attempt_cost += backoff;
+        if (handles_.retries != nullptr) handles_.retries->Increment();
+        if (sink != nullptr) {
+          sink->OnRetry({observer_->NowUs(), query_index, a, arc.experiment,
+                         robust::FaultKindName(fault), tries + 1, backoff,
+                         false});
+        }
+        ++tries;
+        continue;
+      }
+      // Retries exhausted: record the retrieval as blocked at its
+      // pessimistic outcome cost and feed the circuit breaker.
+      attempt_cost += arc.failure_cost;
+      observed_unblocked = false;
+      infra_failure = true;
+      if (handles_.gave_up != nullptr) handles_.gave_up->Increment();
+      if (sink != nullptr) {
+        sink->OnRetry({observer_->NowUs(), query_index, a, arc.experiment,
+                       robust::FaultKindName(fault), tries, 0.0, true});
+      }
+      if (injector_->RecordInfraFailure(a, rq)) {
+        if (handles_.breaker_opens != nullptr) {
+          handles_.breaker_opens->Increment();
+        }
+        if (sink != nullptr) {
+          robust::FaultInjectorState::BreakerEntry ledger =
+              injector_->BreakerLedger(a);
+          sink->OnBreaker({observer_->NowUs(), query_index, a,
+                           arc.experiment, "open",
+                           ledger.consecutive_failures, ledger.open_until});
+        }
+      }
+      break;
+    }
+
+    trace.cost += attempt_cost;
+    trace.attempts.push_back({a, observed_unblocked, infra_failure,
+                              attempt_cost});
+    if (!observed_unblocked) continue;
     visited[arc.to] = 1;
     if (graph_->node(arc.to).is_success) {
       ++trace.successes;

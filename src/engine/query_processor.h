@@ -11,10 +11,28 @@
 
 namespace stratlearn {
 
+namespace robust {
+class FaultInjector;
+}  // namespace robust
+
 /// One attempted arc traversal and its outcome.
 struct ArcAttempt {
   ArcId arc = kInvalidArc;
   bool unblocked = false;
+  /// True when the *observed* outcome is an infrastructure artifact, not
+  /// a semantic sample: the retrieval's retries were exhausted or its
+  /// circuit breaker was open, and the attempt was recorded as blocked
+  /// with the arc's pessimistic cost. QP^A must not count such attempts
+  /// against its Equation 7/8 quotas (they carry no information about
+  /// the experiment's true outcome); Delta~ may keep them — observing
+  /// "blocked at pessimistic cost" only deepens the under-estimate's
+  /// conservatism.
+  bool infra_failure = false;
+  /// Full cost actually paid for this attempt (base + outcome extra +
+  /// any fault surcharges and retry backoff). Lets observers attribute
+  /// per-arc cost without re-deriving it from the arc table, which would
+  /// be wrong under injected faults.
+  double cost = 0.0;
 };
 
 /// The record of one query execution: what the learners observe
@@ -28,6 +46,11 @@ struct Trace {
   bool success = false;
   /// The arc whose traversal reached the first success node.
   ArcId first_success_arc = kInvalidArc;
+  /// False when the resilient executor abandoned the query on its cost/
+  /// deadline budget: the trace is a *prefix* of the full execution and
+  /// `cost` under-states the strategy's true c(Theta, I) — still safe to
+  /// feed PIB/PALO, whose Delta~ only needs an under-estimate.
+  bool resolved = true;
 
   /// True iff the experiment with this index was attempted.
   bool Attempted(const InferenceGraph& graph, int experiment) const;
@@ -60,6 +83,17 @@ class QueryProcessor {
   void set_observer(obs::Observer* observer);
   obs::Observer* observer() const { return observer_; }
 
+  /// Attaches (or detaches) a fault injector. When attached, Execute
+  /// runs the resilient path: seeded faults are injected into every
+  /// experiment-arc attempt, failed attempts are retried with capped
+  /// exponential backoff, persistently failing arcs are skipped by a
+  /// circuit breaker at their pessimistic cost, and the per-query cost
+  /// budget degrades runaway queries to "unresolved". Null (the
+  /// default) keeps the paper's fault-free hot loop at one extra
+  /// predicted branch.
+  void set_fault_injector(robust::FaultInjector* injector);
+  robust::FaultInjector* fault_injector() const { return injector_; }
+
   /// Inline dispatch keeps the unobserved path at the same call depth
   /// as an uninstrumented processor: one predicted branch, then the
   /// hot loop.
@@ -67,6 +101,9 @@ class QueryProcessor {
                 const ExecutionOptions& options = {}) const {
     if (observer_ != nullptr) [[unlikely]] {
       return ExecuteObserved(strategy, context, options);
+    }
+    if (injector_ != nullptr) [[unlikely]] {
+      return ExecuteResilient(strategy, context, options, nullptr, 0);
     }
     return ExecuteImpl(strategy, context, options);
   }
@@ -81,9 +118,15 @@ class QueryProcessor {
                     const ExecutionOptions& options) const;
   Trace ExecuteObserved(const Strategy& strategy, const Context& context,
                         const ExecutionOptions& options) const;
+  /// The fault-injected path. `sink`/`query_index` carry the observed
+  /// event stream when called from ExecuteObserved (null/0 otherwise).
+  Trace ExecuteResilient(const Strategy& strategy, const Context& context,
+                         const ExecutionOptions& options,
+                         obs::TraceSink* sink, int64_t query_index) const;
 
   const InferenceGraph* graph_;
   obs::Observer* observer_ = nullptr;
+  robust::FaultInjector* injector_ = nullptr;
   /// Metric handles resolved once in set_observer (null when no
   /// registry) so the observed path does no name lookups per query.
   struct Handles {
@@ -93,6 +136,13 @@ class QueryProcessor {
     obs::Counter* successes = nullptr;
     obs::Histogram* query_cost = nullptr;
     obs::Histogram* query_wall_us = nullptr;
+    // robust.* counters; only touched on the resilient path.
+    obs::Counter* faults = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* gave_up = nullptr;
+    obs::Counter* breaker_opens = nullptr;
+    obs::Counter* breaker_skips = nullptr;
+    obs::Counter* degraded = nullptr;
   };
   Handles handles_;
   /// Query ordinal for span events (Execute stays const for callers).

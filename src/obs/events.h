@@ -80,6 +80,49 @@ struct QuotaProgressEvent {
   int64_t remaining_total = 0;  // sum of positive remaining quotas
 };
 
+/// The resilient executor retried a faulted retrieval attempt (or gave
+/// up after exhausting its retry budget). One event per *failed*
+/// physical attempt; the backoff cost has already been charged to the
+/// query's trace when the event is emitted.
+struct RetryEvent {
+  int64_t t_us = 0;
+  int64_t query_index = 0;
+  uint32_t arc = 0;
+  int experiment = -1;
+  std::string fault;         // "transient" | "timeout" | "corrupt"
+  int64_t attempt = 0;       // 1-based physical attempt that faulted
+  double backoff_cost = 0.0; // 0 when gave_up (no further attempt follows)
+  /// Retries exhausted: the attempt is recorded as blocked with the
+  /// arc's pessimistic failure cost charged, keeping Delta~ conservative.
+  bool gave_up = false;
+};
+
+/// A per-arc circuit breaker changed state. "open": the arc's retrieval
+/// failed persistently and will be skipped (with its pessimistic cost
+/// charged) until `cooldown_until`; "closed": a later physical attempt
+/// succeeded and normal execution resumed.
+struct BreakerEvent {
+  int64_t t_us = 0;
+  int64_t query_index = 0;
+  uint32_t arc = 0;
+  int experiment = -1;
+  std::string state;  // "open" | "closed"
+  int64_t consecutive_failures = 0;
+  int64_t cooldown_until = 0;  // resilient-query index when it re-arms
+};
+
+/// A query exceeded its cost/deadline budget and was abandoned as
+/// "unresolved" instead of crashing or running away (the trace's cost is
+/// the truncated cost actually paid, an under-estimate of the full
+/// c(Theta, I) — so Delta~ stays a valid under-estimate).
+struct DegradedEvent {
+  int64_t t_us = 0;
+  int64_t query_index = 0;
+  double cost = 0.0;    // cost accrued when the budget tripped
+  double budget = 0.0;  // the configured per-query budget
+  int64_t attempts = 0; // arc attempts completed before degrading
+};
+
 /// PALO certified an epsilon-local optimum and stopped.
 struct PaloStopEvent {
   int64_t t_us = 0;

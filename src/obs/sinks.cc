@@ -1,10 +1,22 @@
 #include "obs/sinks.h"
 
+#include <cstdio>
+
 #include "obs/json_writer.h"
 
 namespace stratlearn::obs {
 
 namespace {
+
+/// One warning per sink instance when a mid-run write fails; the caller
+/// keeps running with the sink disabled rather than crashing or, worse,
+/// silently losing an unbounded suffix of the trace.
+void WarnWriteFailed(const char* what) {
+  std::fprintf(stderr,
+               "warning: %s trace sink write failed (disk full or closed "
+               "pipe?); disabling further trace output for this run\n",
+               what);
+}
 
 /// Shared field spellings so JSONL and Chrome args agree.
 void CommonClimbFields(JsonWriter& w, const ClimbMoveEvent& e) {
@@ -40,12 +52,21 @@ JsonlSink::JsonlSink(const std::string& path)
 JsonlSink::~JsonlSink() { Close(); }
 
 void JsonlSink::WriteLine(const std::string& json) {
-  if (out_ == nullptr || closed_) return;
+  if (out_ == nullptr || closed_ || failed_) return;
   *out_ << json << '\n';
+  if (!out_->good()) {
+    failed_ = true;
+    WarnWriteFailed("JSONL");
+  }
 }
 
 void JsonlSink::Flush() {
-  if (out_ != nullptr) out_->flush();
+  if (out_ == nullptr || failed_) return;
+  out_->flush();
+  if (!out_->good()) {
+    failed_ = true;
+    WarnWriteFailed("JSONL");
+  }
 }
 
 void JsonlSink::Close() {
@@ -141,6 +162,50 @@ void JsonlSink::OnPaloStop(const PaloStopEvent& e) {
   WriteLine(w.str());
 }
 
+void JsonlSink::OnRetry(const RetryEvent& e) {
+  JsonWriter w(JsonWriter::kRoundTripDigits);
+  w.BeginObject();
+  w.Key("type").Value("retry");
+  w.Key("t_us").Value(e.t_us);
+  w.Key("query_index").Value(e.query_index);
+  w.Key("arc").Value(static_cast<int64_t>(e.arc));
+  w.Key("experiment").Value(static_cast<int64_t>(e.experiment));
+  w.Key("fault").Value(e.fault);
+  w.Key("attempt").Value(e.attempt);
+  w.Key("backoff_cost").Value(e.backoff_cost);
+  w.Key("gave_up").Value(e.gave_up);
+  w.EndObject();
+  WriteLine(w.str());
+}
+
+void JsonlSink::OnBreaker(const BreakerEvent& e) {
+  JsonWriter w(JsonWriter::kRoundTripDigits);
+  w.BeginObject();
+  w.Key("type").Value("breaker");
+  w.Key("t_us").Value(e.t_us);
+  w.Key("query_index").Value(e.query_index);
+  w.Key("arc").Value(static_cast<int64_t>(e.arc));
+  w.Key("experiment").Value(static_cast<int64_t>(e.experiment));
+  w.Key("state").Value(e.state);
+  w.Key("consecutive_failures").Value(e.consecutive_failures);
+  w.Key("cooldown_until").Value(e.cooldown_until);
+  w.EndObject();
+  WriteLine(w.str());
+}
+
+void JsonlSink::OnDegraded(const DegradedEvent& e) {
+  JsonWriter w(JsonWriter::kRoundTripDigits);
+  w.BeginObject();
+  w.Key("type").Value("degraded");
+  w.Key("t_us").Value(e.t_us);
+  w.Key("query_index").Value(e.query_index);
+  w.Key("cost").Value(e.cost);
+  w.Key("budget").Value(e.budget);
+  w.Key("attempts").Value(e.attempts);
+  w.EndObject();
+  WriteLine(w.str());
+}
+
 ChromeTraceSink::ChromeTraceSink(std::ostream* out) : out_(out) {
   if (out_ != nullptr) *out_ << "[\n";
 }
@@ -153,23 +218,34 @@ ChromeTraceSink::ChromeTraceSink(const std::string& path)
 ChromeTraceSink::~ChromeTraceSink() { Close(); }
 
 void ChromeTraceSink::WriteRecord(const std::string& json) {
-  if (out_ == nullptr || closed_) return;
+  if (out_ == nullptr || closed_ || failed_) return;
   if (wrote_any_) *out_ << ",\n";
   *out_ << json;
   wrote_any_ = true;
+  if (!out_->good()) {
+    failed_ = true;
+    WarnWriteFailed("Chrome");
+  }
 }
 
 void ChromeTraceSink::Flush() {
-  if (out_ != nullptr) out_->flush();
+  if (out_ == nullptr || failed_) return;
+  out_->flush();
+  if (!out_->good()) {
+    failed_ = true;
+    WarnWriteFailed("Chrome");
+  }
 }
 
 void ChromeTraceSink::Close() {
   if (out_ == nullptr) return;
   if (!closed_) {
-    *out_ << "\n]\n";
+    // A failed sink's stream is already broken; appending "]" would just
+    // error again, so only a healthy stream gets finalised.
+    if (!failed_) *out_ << "\n]\n";
     closed_ = true;
   }
-  out_->flush();
+  if (!failed_) out_->flush();
 }
 
 void ChromeTraceSink::OnQueryEnd(const QueryEndEvent& e) {
@@ -257,6 +333,71 @@ void ChromeTraceSink::OnPaloStop(const PaloStopEvent& e) {
   w.Key("moves").Value(e.moves);
   w.Key("epsilon").Value(e.epsilon);
   w.Key("worst_certificate").Value(e.worst_certificate);
+  w.EndObject();
+  w.EndObject();
+  WriteRecord(w.str());
+}
+
+void ChromeTraceSink::OnRetry(const RetryEvent& e) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").Value("retry");
+  w.Key("cat").Value("robust");
+  w.Key("ph").Value("i");
+  w.Key("s").Value("t");
+  w.Key("ts").Value(e.t_us);
+  w.Key("pid").Value(int64_t{1});
+  w.Key("tid").Value(int64_t{1});
+  w.Key("args").BeginObject();
+  w.Key("query_index").Value(e.query_index);
+  w.Key("arc").Value(static_cast<int64_t>(e.arc));
+  w.Key("experiment").Value(static_cast<int64_t>(e.experiment));
+  w.Key("fault").Value(e.fault);
+  w.Key("attempt").Value(e.attempt);
+  w.Key("backoff_cost").Value(e.backoff_cost);
+  w.Key("gave_up").Value(e.gave_up);
+  w.EndObject();
+  w.EndObject();
+  WriteRecord(w.str());
+}
+
+void ChromeTraceSink::OnBreaker(const BreakerEvent& e) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").Value("breaker");
+  w.Key("cat").Value("robust");
+  w.Key("ph").Value("i");
+  w.Key("s").Value("g");
+  w.Key("ts").Value(e.t_us);
+  w.Key("pid").Value(int64_t{1});
+  w.Key("tid").Value(int64_t{1});
+  w.Key("args").BeginObject();
+  w.Key("query_index").Value(e.query_index);
+  w.Key("arc").Value(static_cast<int64_t>(e.arc));
+  w.Key("experiment").Value(static_cast<int64_t>(e.experiment));
+  w.Key("state").Value(e.state);
+  w.Key("consecutive_failures").Value(e.consecutive_failures);
+  w.Key("cooldown_until").Value(e.cooldown_until);
+  w.EndObject();
+  w.EndObject();
+  WriteRecord(w.str());
+}
+
+void ChromeTraceSink::OnDegraded(const DegradedEvent& e) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").Value("degraded");
+  w.Key("cat").Value("robust");
+  w.Key("ph").Value("i");
+  w.Key("s").Value("g");
+  w.Key("ts").Value(e.t_us);
+  w.Key("pid").Value(int64_t{1});
+  w.Key("tid").Value(int64_t{1});
+  w.Key("args").BeginObject();
+  w.Key("query_index").Value(e.query_index);
+  w.Key("cost").Value(e.cost);
+  w.Key("budget").Value(e.budget);
+  w.Key("attempts").Value(e.attempts);
   w.EndObject();
   w.EndObject();
   WriteRecord(w.str());

@@ -14,6 +14,10 @@ namespace stratlearn::obs {
 /// serialized with a "type" discriminator plus the event's fields, so a
 /// stream can be filtered with grep/jq. The stream is borrowed unless
 /// the path constructor is used.
+///
+/// I/O failure mid-run (disk full, closed pipe) surfaces exactly one
+/// stderr warning and disables the sink; the run itself continues. See
+/// `failed()`.
 class JsonlSink final : public TraceSink {
  public:
   /// Borrow an open stream (e.g. a std::ostringstream in tests).
@@ -23,6 +27,8 @@ class JsonlSink final : public TraceSink {
   ~JsonlSink() override;
 
   bool ok() const { return out_ != nullptr && out_->good(); }
+  /// True once a mid-run write failed and the sink disabled itself.
+  bool failed() const { return failed_; }
 
   void OnQueryStart(const QueryStartEvent& e) override;
   void OnQueryEnd(const QueryEndEvent& e) override;
@@ -31,6 +37,9 @@ class JsonlSink final : public TraceSink {
   void OnSequentialTest(const SequentialTestEvent& e) override;
   void OnQuotaProgress(const QuotaProgressEvent& e) override;
   void OnPaloStop(const PaloStopEvent& e) override;
+  void OnRetry(const RetryEvent& e) override;
+  void OnBreaker(const BreakerEvent& e) override;
+  void OnDegraded(const DegradedEvent& e) override;
   void Flush() override;
   void Close() override;
 
@@ -40,17 +49,22 @@ class JsonlSink final : public TraceSink {
   std::unique_ptr<std::ofstream> owned_;
   std::ostream* out_ = nullptr;
   bool closed_ = false;
+  bool failed_ = false;
 };
 
 /// Emits a chrome://tracing / Perfetto-loadable JSON array. Queries
 /// become complete spans ("ph":"X"), climb moves / sequential tests /
-/// PALO stops become instant events ("ph":"i"), and quota progress
-/// becomes a counter track ("ph":"C"). ArcAttempt events are
-/// intentionally dropped: at one span per query they already dominate
-/// file size, and the per-arc detail belongs in JSONL. The closing "]"
-/// is written exactly once, by Close() or the destructor (RAII), so a
-/// trace is loadable even when the owner exits early; Flush() alone
-/// never finalises the array.
+/// PALO stops / retries / breaker transitions / degradations become
+/// instant events ("ph":"i"), and quota progress becomes a counter
+/// track ("ph":"C"). ArcAttempt events are intentionally dropped: at
+/// one span per query they already dominate file size, and the per-arc
+/// detail belongs in JSONL. The closing "]" is written exactly once, by
+/// Close() or the destructor (RAII), so a trace is loadable even when
+/// the owner exits early; Flush() alone never finalises the array.
+///
+/// Mid-run I/O failure disables the sink after one stderr warning, like
+/// JsonlSink; a failed sink never writes the closing "]" (the stream is
+/// already broken).
 class ChromeTraceSink final : public TraceSink {
  public:
   explicit ChromeTraceSink(std::ostream* out);
@@ -58,12 +72,16 @@ class ChromeTraceSink final : public TraceSink {
   ~ChromeTraceSink() override;
 
   bool ok() const { return out_ != nullptr && out_->good(); }
+  bool failed() const { return failed_; }
 
   void OnQueryEnd(const QueryEndEvent& e) override;
   void OnClimbMove(const ClimbMoveEvent& e) override;
   void OnSequentialTest(const SequentialTestEvent& e) override;
   void OnQuotaProgress(const QuotaProgressEvent& e) override;
   void OnPaloStop(const PaloStopEvent& e) override;
+  void OnRetry(const RetryEvent& e) override;
+  void OnBreaker(const BreakerEvent& e) override;
+  void OnDegraded(const DegradedEvent& e) override;
   void Flush() override;
   void Close() override;
 
@@ -74,6 +92,7 @@ class ChromeTraceSink final : public TraceSink {
   std::ostream* out_ = nullptr;
   bool wrote_any_ = false;
   bool closed_ = false;
+  bool failed_ = false;
 };
 
 }  // namespace stratlearn::obs

@@ -278,6 +278,35 @@ Status TraceReader::ReplayLine(std::string_view line) {
     e.remaining_max = Int(fields, "remaining_max");
     e.remaining_total = Int(fields, "remaining_total");
     sink_->OnQuotaProgress(e);
+  } else if (type == "retry") {
+    RetryEvent e;
+    e.t_us = Int(fields, "t_us");
+    e.query_index = Int(fields, "query_index");
+    e.arc = static_cast<uint32_t>(Int(fields, "arc"));
+    e.experiment = static_cast<int>(Int(fields, "experiment", -1));
+    e.fault = Str(fields, "fault");
+    e.attempt = Int(fields, "attempt");
+    e.backoff_cost = Num(fields, "backoff_cost");
+    e.gave_up = Bool(fields, "gave_up");
+    sink_->OnRetry(e);
+  } else if (type == "breaker") {
+    BreakerEvent e;
+    e.t_us = Int(fields, "t_us");
+    e.query_index = Int(fields, "query_index");
+    e.arc = static_cast<uint32_t>(Int(fields, "arc"));
+    e.experiment = static_cast<int>(Int(fields, "experiment", -1));
+    e.state = Str(fields, "state");
+    e.consecutive_failures = Int(fields, "consecutive_failures");
+    e.cooldown_until = Int(fields, "cooldown_until");
+    sink_->OnBreaker(e);
+  } else if (type == "degraded") {
+    DegradedEvent e;
+    e.t_us = Int(fields, "t_us");
+    e.query_index = Int(fields, "query_index");
+    e.cost = Num(fields, "cost");
+    e.budget = Num(fields, "budget");
+    e.attempts = Int(fields, "attempts");
+    sink_->OnDegraded(e);
   } else if (type == "palo_stop") {
     PaloStopEvent e;
     e.t_us = Int(fields, "t_us");

@@ -22,6 +22,9 @@ class TraceSink {
   virtual void OnSequentialTest(const SequentialTestEvent&) {}
   virtual void OnQuotaProgress(const QuotaProgressEvent&) {}
   virtual void OnPaloStop(const PaloStopEvent&) {}
+  virtual void OnRetry(const RetryEvent&) {}
+  virtual void OnBreaker(const BreakerEvent&) {}
+  virtual void OnDegraded(const DegradedEvent&) {}
 
   /// Push buffered output to the underlying medium. May be called any
   /// number of times mid-run; must not finalise the output.
@@ -78,6 +81,21 @@ class TeeSink final : public TraceSink {
   void OnPaloStop(const PaloStopEvent& e) override {
     for (TraceSink* s : sinks_) {
       if (s != nullptr) s->OnPaloStop(e);
+    }
+  }
+  void OnRetry(const RetryEvent& e) override {
+    for (TraceSink* s : sinks_) {
+      if (s != nullptr) s->OnRetry(e);
+    }
+  }
+  void OnBreaker(const BreakerEvent& e) override {
+    for (TraceSink* s : sinks_) {
+      if (s != nullptr) s->OnBreaker(e);
+    }
+  }
+  void OnDegraded(const DegradedEvent& e) override {
+    for (TraceSink* s : sinks_) {
+      if (s != nullptr) s->OnDegraded(e);
     }
   }
   void Flush() override {

@@ -1,0 +1,351 @@
+#include "robust/checkpoint.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "util/file_util.h"
+#include "util/string_util.h"
+
+namespace stratlearn::robust {
+
+namespace {
+
+// Checkpoints may be fed arbitrary bytes (bit-flips, truncation that
+// happens to keep the CRC — or hand-edited files), so every token is
+// parsed with an explicit end-of-token check instead of atoll-style
+// best effort.
+bool ParseI64(const std::string& token, int64_t* out) {
+  if (token.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(token.c_str(), &end, 10);
+  if (errno != 0 || end != token.c_str() + token.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseU64(const std::string& token, uint64_t* out) {
+  if (token.empty() || token[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+  if (errno != 0 || end != token.c_str() + token.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseF64(const std::string& token, double* out) {
+  if (token.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(token.c_str(), &end);
+  if (errno != 0 || end != token.c_str() + token.size()) return false;
+  *out = value;
+  return true;
+}
+
+Status Corrupt(int line_number, const char* what) {
+  return Status::FailedPrecondition(
+      StrFormat("checkpoint line %d: %s", line_number, what));
+}
+
+std::vector<std::string> Fields(std::string_view line) {
+  std::vector<std::string> fields;
+  for (const std::string& f : Split(line, ' ')) {
+    if (!Trim(f).empty()) fields.emplace_back(Trim(f));
+  }
+  return fields;
+}
+
+void AppendRng(const char* key, const std::array<uint64_t, 4>& state,
+               std::string* out) {
+  *out += StrFormat("%s %llu %llu %llu %llu\n", key,
+                    static_cast<unsigned long long>(state[0]),
+                    static_cast<unsigned long long>(state[1]),
+                    static_cast<unsigned long long>(state[2]),
+                    static_cast<unsigned long long>(state[3]));
+}
+
+void AppendDoubles(const char* key, const std::vector<double>& values,
+                   std::string* out) {
+  *out += key;
+  for (double v : values) {
+    *out += ' ';
+    *out += FormatDouble(v, 17);
+  }
+  *out += '\n';
+}
+
+bool ParseRngLine(const std::vector<std::string>& fields,
+                  std::array<uint64_t, 4>* state) {
+  if (fields.size() != 5) return false;
+  for (int k = 0; k < 4; ++k) {
+    if (!ParseU64(fields[k + 1], &(*state)[k])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string SerializeCheckpoint(const CheckpointData& data) {
+  std::string out(kCheckpointHeader);
+  out += '\n';
+  out += StrFormat("learner %s\n", data.learner.c_str());
+  out += StrFormat("seed %llu\n", static_cast<unsigned long long>(data.seed));
+  out += StrFormat("queries_done %lld\n",
+                   static_cast<long long>(data.queries_done));
+  AppendRng("rng", data.rng_state, &out);
+  if (data.has_injector) {
+    AppendRng("injector_rng", data.injector.rng_state, &out);
+    out += StrFormat("injector_queries %lld\n",
+                     static_cast<long long>(data.injector.query_count));
+    for (const FaultInjectorState::BreakerEntry& b : data.injector.breakers) {
+      out += StrFormat("breaker %u %d %lld\n", b.arc, b.consecutive_failures,
+                       static_cast<long long>(b.open_until));
+    }
+  }
+  if (data.learner == "pib") {
+    out += data.pib.strategy.Serialize();
+    out += '\n';
+    out += StrFormat("pib.contexts %lld\npib.trials %lld\npib.samples %lld\n",
+                     static_cast<long long>(data.pib.contexts),
+                     static_cast<long long>(data.pib.trials),
+                     static_cast<long long>(data.pib.samples));
+    AppendDoubles("pib.deltas", data.pib.neighbor_delta_sums, &out);
+    for (const Pib::Move& m : data.pib.moves) {
+      out += StrFormat("pib.move %lld %lld %u %u %u %s %s %s\n",
+                       static_cast<long long>(m.at_context),
+                       static_cast<long long>(m.samples_used), m.swap.parent,
+                       m.swap.arc_a, m.swap.arc_b,
+                       FormatDouble(m.delta_sum, 17).c_str(),
+                       FormatDouble(m.threshold, 17).c_str(),
+                       FormatDouble(m.delta_spent, 17).c_str());
+    }
+  } else if (data.learner == "palo") {
+    out += data.palo.strategy.Serialize();
+    out += '\n';
+    out += StrFormat(
+        "palo.contexts %lld\npalo.trials %lld\npalo.samples %lld\n"
+        "palo.moves %lld\npalo.finished %d\n",
+        static_cast<long long>(data.palo.contexts),
+        static_cast<long long>(data.palo.trials),
+        static_cast<long long>(data.palo.samples),
+        static_cast<long long>(data.palo.moves),
+        data.palo.finished ? 1 : 0);
+    AppendDoubles("palo.unders", data.palo.neighbor_under_sums, &out);
+    AppendDoubles("palo.overs", data.palo.neighbor_over_sums, &out);
+  } else if (data.learner == "pao") {
+    out += StrFormat("pao.contexts %lld\n",
+                     static_cast<long long>(data.qpa.contexts));
+    out += "pao.remaining";
+    for (int64_t r : data.qpa.remaining) {
+      out += StrFormat(" %lld", static_cast<long long>(r));
+    }
+    out += '\n';
+    for (const AdaptiveQueryProcessor::Checkpoint::Counter& c :
+         data.qpa.counters) {
+      out += StrFormat("pao.counter %lld %lld %lld\n",
+                       static_cast<long long>(c.attempts),
+                       static_cast<long long>(c.successes),
+                       static_cast<long long>(c.blocked_aims));
+    }
+  }
+  return out;
+}
+
+Result<CheckpointData> ParseCheckpoint(const InferenceGraph& graph,
+                                       std::string_view text) {
+  CheckpointData data;
+  bool saw_header = false;
+  bool saw_rng = false;
+  bool saw_strategy = false;
+  bool saw_counts = false;
+  int line_number = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_number;
+    std::string_view line = Trim(raw);
+    if (line.empty()) continue;
+    if (!saw_header) {
+      if (line != kCheckpointHeader) {
+        return Status::FailedPrecondition(
+            StrFormat("checkpoint must start with '%s'",
+                      std::string(kCheckpointHeader).c_str()));
+      }
+      saw_header = true;
+      continue;
+    }
+    std::vector<std::string> fields = Fields(line);
+    const std::string& key = fields[0];
+    if (key == "learner") {
+      if (fields.size() != 2 ||
+          (fields[1] != "pib" && fields[1] != "palo" && fields[1] != "pao")) {
+        return Corrupt(line_number, "unknown learner");
+      }
+      data.learner = fields[1];
+    } else if (key == "seed") {
+      if (fields.size() != 2 || !ParseU64(fields[1], &data.seed)) {
+        return Corrupt(line_number, "malformed seed");
+      }
+    } else if (key == "queries_done") {
+      if (fields.size() != 2 || !ParseI64(fields[1], &data.queries_done) ||
+          data.queries_done < 0) {
+        return Corrupt(line_number, "malformed query counter");
+      }
+    } else if (key == "rng") {
+      if (!ParseRngLine(fields, &data.rng_state)) {
+        return Corrupt(line_number, "malformed workload RNG state");
+      }
+      saw_rng = true;
+    } else if (key == "injector_rng") {
+      if (!ParseRngLine(fields, &data.injector.rng_state)) {
+        return Corrupt(line_number, "malformed injector RNG state");
+      }
+      data.has_injector = true;
+    } else if (key == "injector_queries") {
+      if (fields.size() != 2 ||
+          !ParseI64(fields[1], &data.injector.query_count) ||
+          data.injector.query_count < 0) {
+        return Corrupt(line_number, "malformed injector query counter");
+      }
+      data.has_injector = true;
+    } else if (key == "breaker") {
+      uint64_t arc = 0;
+      int64_t consecutive = 0;
+      int64_t open_until = 0;
+      if (fields.size() != 4 || !ParseU64(fields[1], &arc) ||
+          !ParseI64(fields[2], &consecutive) ||
+          !ParseI64(fields[3], &open_until) || consecutive < 0 ||
+          arc >= graph.num_arcs()) {
+        return Corrupt(line_number, "malformed breaker ledger entry");
+      }
+      data.injector.breakers.push_back({static_cast<ArcId>(arc),
+                                        static_cast<int>(consecutive),
+                                        open_until});
+      data.has_injector = true;
+    } else if (key == "stratlearn-strategy") {
+      Result<Strategy> strategy = Strategy::Deserialize(graph, line);
+      if (!strategy.ok()) {
+        return Status::FailedPrecondition(
+            StrFormat("checkpoint line %d: %s", line_number,
+                      strategy.status().message().c_str()));
+      }
+      data.pib.strategy = *strategy;
+      data.palo.strategy = *std::move(strategy);
+      saw_strategy = true;
+    } else if (key == "pib.contexts" || key == "pib.trials" ||
+               key == "pib.samples" || key == "palo.contexts" ||
+               key == "palo.trials" || key == "palo.samples" ||
+               key == "palo.moves" || key == "pao.contexts") {
+      int64_t value = 0;
+      if (fields.size() != 2 || !ParseI64(fields[1], &value) || value < 0) {
+        return Corrupt(line_number, "malformed counter");
+      }
+      if (key == "pib.contexts") data.pib.contexts = value;
+      else if (key == "pib.trials") data.pib.trials = value;
+      else if (key == "pib.samples") data.pib.samples = value;
+      else if (key == "palo.contexts") data.palo.contexts = value;
+      else if (key == "palo.trials") data.palo.trials = value;
+      else if (key == "palo.samples") data.palo.samples = value;
+      else if (key == "palo.moves") data.palo.moves = value;
+      else data.qpa.contexts = value;
+      saw_counts = true;
+    } else if (key == "palo.finished") {
+      if (fields.size() != 2 || (fields[1] != "0" && fields[1] != "1")) {
+        return Corrupt(line_number, "malformed finished flag");
+      }
+      data.palo.finished = fields[1] == "1";
+    } else if (key == "pib.deltas" || key == "palo.unders" ||
+               key == "palo.overs") {
+      std::vector<double>* target =
+          key == "pib.deltas" ? &data.pib.neighbor_delta_sums
+          : key == "palo.unders" ? &data.palo.neighbor_under_sums
+                                 : &data.palo.neighbor_over_sums;
+      target->clear();
+      target->reserve(fields.size() - 1);
+      for (size_t k = 1; k < fields.size(); ++k) {
+        double value = 0.0;
+        if (!ParseF64(fields[k], &value)) {
+          return Corrupt(line_number, "malformed estimate ledger");
+        }
+        target->push_back(value);
+      }
+    } else if (key == "pib.move") {
+      Pib::Move move;
+      uint64_t parent = 0;
+      uint64_t arc_a = 0;
+      uint64_t arc_b = 0;
+      if (fields.size() != 9 || !ParseI64(fields[1], &move.at_context) ||
+          !ParseI64(fields[2], &move.samples_used) ||
+          !ParseU64(fields[3], &parent) || !ParseU64(fields[4], &arc_a) ||
+          !ParseU64(fields[5], &arc_b) ||
+          !ParseF64(fields[6], &move.delta_sum) ||
+          !ParseF64(fields[7], &move.threshold) ||
+          !ParseF64(fields[8], &move.delta_spent) ||
+          parent >= graph.num_nodes() || arc_a >= graph.num_arcs() ||
+          arc_b >= graph.num_arcs()) {
+        return Corrupt(line_number, "malformed climb-history entry");
+      }
+      move.swap.parent = static_cast<NodeId>(parent);
+      move.swap.arc_a = static_cast<ArcId>(arc_a);
+      move.swap.arc_b = static_cast<ArcId>(arc_b);
+      data.pib.moves.push_back(move);
+    } else if (key == "pao.remaining") {
+      data.qpa.remaining.clear();
+      for (size_t k = 1; k < fields.size(); ++k) {
+        int64_t value = 0;
+        if (!ParseI64(fields[k], &value)) {
+          return Corrupt(line_number, "malformed remaining-quota vector");
+        }
+        data.qpa.remaining.push_back(value);
+      }
+    } else if (key == "pao.counter") {
+      AdaptiveQueryProcessor::Checkpoint::Counter counter;
+      if (fields.size() != 4 || !ParseI64(fields[1], &counter.attempts) ||
+          !ParseI64(fields[2], &counter.successes) ||
+          !ParseI64(fields[3], &counter.blocked_aims)) {
+        return Corrupt(line_number, "malformed experiment counter");
+      }
+      data.qpa.counters.push_back(counter);
+    } else {
+      return Corrupt(line_number, "unknown directive");
+    }
+  }
+  if (!saw_header) {
+    return Status::FailedPrecondition(
+        StrFormat("checkpoint must start with '%s'",
+                  std::string(kCheckpointHeader).c_str()));
+  }
+  if (data.learner.empty()) {
+    return Status::FailedPrecondition("checkpoint names no learner");
+  }
+  if (!saw_rng) {
+    return Status::FailedPrecondition(
+        "checkpoint carries no workload RNG state");
+  }
+  if ((data.learner == "pib" || data.learner == "palo") && !saw_strategy) {
+    return Status::FailedPrecondition(
+        "checkpoint carries no strategy for its learner");
+  }
+  if (!saw_counts) {
+    return Status::FailedPrecondition(
+        "checkpoint carries no learner counters");
+  }
+  return data;
+}
+
+Status WriteCheckpoint(const std::string& path, const CheckpointData& data) {
+  if (!WriteFileChecksummed(path, SerializeCheckpoint(data))) {
+    return Status::Internal(
+        StrFormat("cannot write checkpoint '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<CheckpointData> LoadCheckpoint(const std::string& path,
+                                      const InferenceGraph& graph) {
+  Result<std::string> payload = ReadFileChecksummed(path);
+  if (!payload.ok()) return payload.status();
+  return ParseCheckpoint(graph, *payload);
+}
+
+}  // namespace stratlearn::robust

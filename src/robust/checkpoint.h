@@ -1,0 +1,66 @@
+#ifndef STRATLEARN_ROBUST_CHECKPOINT_H_
+#define STRATLEARN_ROBUST_CHECKPOINT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/palo.h"
+#include "core/pib.h"
+#include "engine/adaptive_qp.h"
+#include "graph/inference_graph.h"
+#include "robust/fault_injector.h"
+#include "util/status.h"
+
+namespace stratlearn::robust {
+
+/// Everything a learning run needs to resume exactly where it stopped:
+/// which learner, the workload position (query count + RNG state), the
+/// fault injector's state when faults were active, and the learner's own
+/// estimate state. One of pib/palo/qpa is meaningful, per `learner`.
+struct CheckpointData {
+  /// "pib", "palo" or "pao".
+  std::string learner;
+  /// The run's workload seed (sanity-checked against --seed on resume).
+  uint64_t seed = 0;
+  /// Contexts already consumed from the workload stream.
+  int64_t queries_done = 0;
+  /// Workload RNG state *after* those contexts, so the resumed run draws
+  /// the exact continuation of the stream.
+  std::array<uint64_t, 4> rng_state{};
+
+  bool has_injector = false;
+  FaultInjectorState injector;
+
+  Pib::Checkpoint pib;
+  Palo::Checkpoint palo;
+  AdaptiveQueryProcessor::Checkpoint qpa;
+};
+
+/// First line of every checkpoint payload (inside the CRC container).
+inline constexpr std::string_view kCheckpointHeader =
+    "stratlearn-checkpoint v1";
+
+/// Renders the payload text (no checksum container).
+std::string SerializeCheckpoint(const CheckpointData& data);
+
+/// Parses a payload, validating structure and — where the graph gives us
+/// ground truth — semantics (strategy arcs, swap node/arc ids). Numeric
+/// consistency of the learner state is re-checked by the learner's own
+/// RestoreCheckpoint.
+Result<CheckpointData> ParseCheckpoint(const InferenceGraph& graph,
+                                       std::string_view text);
+
+/// Atomically writes `data` to `path` inside the CRC-32 container
+/// (util/file_util): a crash mid-write leaves the previous checkpoint
+/// intact, and any later corruption is caught by the checksum.
+Status WriteCheckpoint(const std::string& path, const CheckpointData& data);
+
+/// Reads and verifies the container, then parses the payload.
+Result<CheckpointData> LoadCheckpoint(const std::string& path,
+                                      const InferenceGraph& graph);
+
+}  // namespace stratlearn::robust
+
+#endif  // STRATLEARN_ROBUST_CHECKPOINT_H_

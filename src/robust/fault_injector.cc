@@ -1,0 +1,103 @@
+#include "robust/fault_injector.h"
+
+#include <utility>
+
+namespace stratlearn::robust {
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+FaultKind FaultInjector::SampleFault(int experiment, double* magnitude) {
+  *magnitude = 1.0;
+  // Rules are tried in plan order; the first that fires wins. Each
+  // applicable rule consumes exactly one Bernoulli draw until one fires,
+  // so the fault stream is a pure function of the injector's RNG state —
+  // which is what the checkpoint saves.
+  for (size_t i = 0; i < plan_.rules.size(); ++i) {
+    const FaultRule& rule = plan_.rules[i];
+    if (rule.probability <= 0.0 || rule.kind == FaultKind::kNone) continue;
+    if (rule.experiment >= 0 && rule.experiment != experiment) continue;
+    if (rng_.NextBernoulli(rule.probability)) {
+      *magnitude = rule.magnitude;
+      return rule.kind;
+    }
+  }
+  return FaultKind::kNone;
+}
+
+bool FaultInjector::BreakerOpen(ArcId arc, int64_t query) const {
+  if (plan_.resilience.breaker_threshold <= 0) return false;
+  auto it = breakers_.find(arc);
+  if (it == breakers_.end()) return false;
+  return it->second.consecutive_failures >=
+             plan_.resilience.breaker_threshold &&
+         query < it->second.open_until;
+}
+
+bool FaultInjector::RecordInfraFailure(ArcId arc, int64_t query) {
+  if (plan_.resilience.breaker_threshold <= 0) return false;
+  Breaker& breaker = breakers_[arc];
+  bool was_open = breaker.consecutive_failures >=
+                      plan_.resilience.breaker_threshold &&
+                  query < breaker.open_until;
+  ++breaker.consecutive_failures;
+  if (breaker.consecutive_failures < plan_.resilience.breaker_threshold) {
+    return false;
+  }
+  // Open (or re-open after a failed half-open trial): skip this arc for
+  // the next `cooldown` resilient queries, then allow one trial attempt.
+  breaker.open_until = query + plan_.resilience.breaker_cooldown + 1;
+  return !was_open;
+}
+
+bool FaultInjector::RecordRecovery(ArcId arc) {
+  if (plan_.resilience.breaker_threshold <= 0) return false;
+  auto it = breakers_.find(arc);
+  if (it == breakers_.end()) return false;
+  bool was_open = it->second.consecutive_failures >=
+                  plan_.resilience.breaker_threshold;
+  breakers_.erase(it);
+  return was_open;
+}
+
+FaultInjectorState::BreakerEntry FaultInjector::BreakerLedger(
+    ArcId arc) const {
+  FaultInjectorState::BreakerEntry entry;
+  entry.arc = arc;
+  auto it = breakers_.find(arc);
+  if (it != breakers_.end()) {
+    entry.consecutive_failures = it->second.consecutive_failures;
+    entry.open_until = it->second.open_until;
+  }
+  return entry;
+}
+
+FaultInjectorState FaultInjector::SaveState() const {
+  FaultInjectorState state;
+  state.rng_state = rng_.SaveState();
+  state.query_count = query_count_;
+  state.breakers.reserve(breakers_.size());
+  for (const auto& [arc, breaker] : breakers_) {
+    state.breakers.push_back(
+        {arc, breaker.consecutive_failures, breaker.open_until});
+  }
+  return state;
+}
+
+Status FaultInjector::RestoreState(const FaultInjectorState& state) {
+  if (state.query_count < 0) {
+    return Status::InvalidArgument("negative resilient-query counter");
+  }
+  rng_.RestoreState(state.rng_state);
+  query_count_ = state.query_count;
+  breakers_.clear();
+  for (const FaultInjectorState::BreakerEntry& entry : state.breakers) {
+    if (entry.arc == kInvalidArc || entry.consecutive_failures < 0) {
+      return Status::InvalidArgument("malformed breaker ledger entry");
+    }
+    breakers_[entry.arc] = {entry.consecutive_failures, entry.open_until};
+  }
+  return Status::OK();
+}
+
+}  // namespace stratlearn::robust

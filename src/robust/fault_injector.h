@@ -1,0 +1,93 @@
+#ifndef STRATLEARN_ROBUST_FAULT_INJECTOR_H_
+#define STRATLEARN_ROBUST_FAULT_INJECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/inference_graph.h"
+#include "robust/fault_plan.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace stratlearn::robust {
+
+/// Checkpointable state of a FaultInjector: the fault stream's RNG, the
+/// resilient-query counter and every arc's circuit-breaker ledger. Saved
+/// into learner checkpoints so a resumed run replays the exact same
+/// fault sequence (kill-and-resume equivalence).
+struct FaultInjectorState {
+  std::array<uint64_t, 4> rng_state{};
+  int64_t query_count = 0;
+  struct BreakerEntry {
+    ArcId arc = kInvalidArc;
+    int consecutive_failures = 0;
+    int64_t open_until = 0;  // first resilient-query index allowed a trial
+  };
+  std::vector<BreakerEntry> breakers;  // sorted by arc
+};
+
+/// Deterministic fault source plus resilient-execution bookkeeping,
+/// threaded into QueryProcessor behind a nullable pointer (mirroring the
+/// Observer* pattern: a null injector costs one predicted branch and the
+/// hot loop is untouched).
+///
+/// The injector owns its own RNG (seeded from the plan), so the fault
+/// stream is independent of the workload stream: the same contexts are
+/// drawn with and without faults, which is what lets tests compare
+/// faulted runs against clean ones.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+  const ResilienceOptions& resilience() const { return plan_.resilience; }
+
+  /// Starts one resilient query; returns its 0-based ordinal (the clock
+  /// the circuit breakers run on).
+  int64_t BeginQuery() { return query_count_++; }
+
+  /// Samples the fault outcome of one physical attempt of `experiment`.
+  /// First matching rule (in plan order) that fires wins; `*magnitude`
+  /// receives its cost multiplier. Consumes no randomness when no rule
+  /// with positive probability targets the experiment — a zero-fault
+  /// plan therefore leaves every stream untouched.
+  FaultKind SampleFault(int experiment, double* magnitude);
+
+  /// True when `arc`'s breaker is open at resilient query `query`: the
+  /// executor must skip the retrieval and charge its pessimistic cost.
+  bool BreakerOpen(ArcId arc, int64_t query) const;
+
+  /// Records an exhausted-retries failure of `arc` at resilient query
+  /// `query`. Returns true when this transition *opened* the breaker
+  /// (caller emits the "open" trace event).
+  bool RecordInfraFailure(ArcId arc, int64_t query);
+
+  /// Records a fault-free physical attempt of `arc`. Returns true when
+  /// this *closed* a previously opened breaker ("closed" trace event).
+  bool RecordRecovery(ArcId arc);
+
+  /// Breaker ledger of `arc` (consecutive failures, open-until), for
+  /// events and tests.
+  FaultInjectorState::BreakerEntry BreakerLedger(ArcId arc) const;
+
+  FaultInjectorState SaveState() const;
+  Status RestoreState(const FaultInjectorState& state);
+
+ private:
+  struct Breaker {
+    int consecutive_failures = 0;
+    int64_t open_until = 0;
+  };
+
+  FaultPlan plan_;
+  Rng rng_;
+  int64_t query_count_ = 0;
+  /// std::map keeps the serialization order deterministic.
+  std::map<ArcId, Breaker> breakers_;
+};
+
+}  // namespace stratlearn::robust
+
+#endif  // STRATLEARN_ROBUST_FAULT_INJECTOR_H_

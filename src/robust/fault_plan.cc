@@ -1,0 +1,176 @@
+#include "robust/fault_plan.h"
+
+#include <cstdlib>
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace stratlearn::robust {
+
+namespace {
+
+constexpr std::string_view kHeader = "stratlearn-faultplan v1";
+
+Result<FaultKind> ParseKind(std::string_view name) {
+  if (name == "transient") return FaultKind::kTransient;
+  if (name == "timeout") return FaultKind::kTimeout;
+  if (name == "corrupt") return FaultKind::kCorrupt;
+  if (name == "cost_spike") return FaultKind::kCostSpike;
+  return Status::InvalidArgument(
+      StrFormat("unknown fault kind '%s' (expected transient, timeout, "
+                "corrupt or cost_spike)",
+                std::string(name).c_str()));
+}
+
+std::vector<std::string> Fields(std::string_view line) {
+  std::vector<std::string> fields;
+  for (const std::string& f : Split(line, ' ')) {
+    if (!Trim(f).empty()) fields.emplace_back(Trim(f));
+  }
+  return fields;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kTransient: return "transient";
+    case FaultKind::kTimeout: return "timeout";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kCostSpike: return "cost_spike";
+  }
+  return "none";
+}
+
+Result<FaultPlan> FaultPlan::Parse(std::string_view text) {
+  FaultPlan plan;
+  int line_number = 0;
+  bool saw_header = false;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_number;
+    std::string clipped = raw.substr(0, raw.find('#'));
+    std::string_view line = Trim(clipped);
+    if (line.empty()) continue;
+    if (!saw_header) {
+      if (line != kHeader) {
+        return Status::InvalidArgument(StrFormat(
+            "fault plan must start with '%s'", std::string(kHeader).c_str()));
+      }
+      saw_header = true;
+      continue;
+    }
+    std::vector<std::string> fields = Fields(line);
+    const std::string& key = fields[0];
+    auto bad = [&](const char* expected) -> Status {
+      return Status::InvalidArgument(StrFormat(
+          "fault plan line %d: '%s' expects %s", line_number, key.c_str(),
+          expected));
+    };
+    if (key == "seed" && fields.size() == 2) {
+      plan.seed = std::strtoull(fields[1].c_str(), nullptr, 10);
+    } else if (key == "seed") {
+      return bad("one integer");
+    } else if (key == "retries" && fields.size() == 2) {
+      plan.resilience.max_retries = std::atoi(fields[1].c_str());
+      if (plan.resilience.max_retries < 0) return bad("a count >= 0");
+    } else if (key == "retries") {
+      return bad("one integer");
+    } else if (key == "backoff" && fields.size() == 4) {
+      plan.resilience.backoff_base = std::atof(fields[1].c_str());
+      plan.resilience.backoff_multiplier = std::atof(fields[2].c_str());
+      plan.resilience.backoff_cap = std::atof(fields[3].c_str());
+      if (plan.resilience.backoff_base < 0.0 ||
+          plan.resilience.backoff_multiplier < 1.0 ||
+          plan.resilience.backoff_cap < 0.0) {
+        return bad("base >= 0, multiplier >= 1, cap >= 0");
+      }
+    } else if (key == "backoff") {
+      return bad("'<base> <multiplier> <cap>'");
+    } else if (key == "budget" && fields.size() == 2) {
+      plan.resilience.cost_budget = std::atof(fields[1].c_str());
+      if (plan.resilience.cost_budget < 0.0) return bad("a budget >= 0");
+    } else if (key == "budget") {
+      return bad("one number");
+    } else if (key == "breaker" && fields.size() == 3) {
+      plan.resilience.breaker_threshold = std::atoi(fields[1].c_str());
+      plan.resilience.breaker_cooldown = std::atoll(fields[2].c_str());
+      if (plan.resilience.breaker_threshold < 0 ||
+          plan.resilience.breaker_cooldown < 1) {
+        return bad("threshold >= 0 and cooldown >= 1");
+      }
+    } else if (key == "breaker") {
+      return bad("'<threshold> <cooldown>'");
+    } else if (key == "fault" &&
+               (fields.size() == 4 || fields.size() == 5)) {
+      FaultRule rule;
+      Result<FaultKind> kind = ParseKind(fields[1]);
+      if (!kind.ok()) {
+        return Status::InvalidArgument(StrFormat(
+            "fault plan line %d: %s", line_number,
+            kind.status().message().c_str()));
+      }
+      rule.kind = *kind;
+      rule.probability = std::atof(fields[2].c_str());
+      rule.experiment = std::atoi(fields[3].c_str());
+      if (fields.size() == 5) rule.magnitude = std::atof(fields[4].c_str());
+      if (rule.probability < 0.0 || rule.probability > 1.0) {
+        return bad("a probability in [0, 1]");
+      }
+      if (rule.experiment < -1) return bad("an experiment index or -1");
+      if (rule.magnitude < 1.0) return bad("a magnitude >= 1");
+      plan.rules.push_back(rule);
+    } else if (key == "fault") {
+      return bad("'<kind> <probability> <experiment|-1> [magnitude]'");
+    } else {
+      return Status::InvalidArgument(StrFormat(
+          "fault plan line %d: unknown directive '%s'", line_number,
+          key.c_str()));
+    }
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument(StrFormat(
+        "fault plan must start with '%s'", std::string(kHeader).c_str()));
+  }
+  return plan;
+}
+
+Result<FaultPlan> FaultPlan::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Parse(buffer.str());
+}
+
+std::string FaultPlan::Serialize() const {
+  std::string out(kHeader);
+  out += StrFormat("\nseed %llu\nretries %d\nbackoff %s %s %s\nbudget %s\n"
+                   "breaker %d %lld\n",
+                   static_cast<unsigned long long>(seed),
+                   resilience.max_retries,
+                   FormatDouble(resilience.backoff_base, 17).c_str(),
+                   FormatDouble(resilience.backoff_multiplier, 17).c_str(),
+                   FormatDouble(resilience.backoff_cap, 17).c_str(),
+                   FormatDouble(resilience.cost_budget, 17).c_str(),
+                   resilience.breaker_threshold,
+                   static_cast<long long>(resilience.breaker_cooldown));
+  for (const FaultRule& rule : rules) {
+    out += StrFormat("fault %s %s %d %s\n", FaultKindName(rule.kind),
+                     FormatDouble(rule.probability, 17).c_str(),
+                     rule.experiment,
+                     FormatDouble(rule.magnitude, 17).c_str());
+  }
+  return out;
+}
+
+bool FaultPlan::ZeroFault() const {
+  for (const FaultRule& rule : rules) {
+    if (rule.probability > 0.0 && rule.kind != FaultKind::kNone) return false;
+  }
+  return true;
+}
+
+}  // namespace stratlearn::robust

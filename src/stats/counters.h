@@ -53,6 +53,17 @@ class ExperimentCounter {
     blocked_aims_ = 0;
   }
 
+  /// Reinstates counter values read from a checkpoint. Callers validate
+  /// the invariants (0 <= successes <= attempts, blocked_aims >= 0)
+  /// before restoring.
+  void Restore(int64_t attempts, int64_t successes, int64_t blocked_aims) {
+    STRATLEARN_CHECK(attempts >= 0 && successes >= 0 &&
+                     successes <= attempts && blocked_aims >= 0);
+    attempts_ = attempts;
+    successes_ = successes;
+    blocked_aims_ = blocked_aims;
+  }
+
  private:
   int64_t attempts_ = 0;
   int64_t successes_ = 0;

@@ -102,4 +102,12 @@ size_t Rng::NextDiscrete(const std::vector<double>& weights) {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+std::array<uint64_t, 4> Rng::SaveState() const {
+  return {state_[0], state_[1], state_[2], state_[3]};
+}
+
+void Rng::RestoreState(const std::array<uint64_t, 4>& state) {
+  for (size_t i = 0; i < 4; ++i) state_[i] = state[i];
+}
+
 }  // namespace stratlearn

@@ -1,6 +1,7 @@
 #ifndef STRATLEARN_UTIL_RNG_H_
 #define STRATLEARN_UTIL_RNG_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -60,6 +61,12 @@ class Rng {
   /// Spawns an independent child generator; useful for giving each
   /// repetition of an experiment its own stream.
   Rng Fork();
+
+  /// Raw engine state, for crash-safe checkpointing: restoring a saved
+  /// state resumes the exact output stream, which is what makes a
+  /// resumed learner run byte-identical to an uninterrupted one.
+  std::array<uint64_t, 4> SaveState() const;
+  void RestoreState(const std::array<uint64_t, 4>& state);
 
  private:
   uint64_t state_[4];

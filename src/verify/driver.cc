@@ -45,6 +45,10 @@ void ArtifactVerifier::AddText(const std::string& name,
                                std::string_view text) {
   sink_->set_file(name);
   std::string_view trimmed = Trim(text);
+  if (StartsWith(trimmed, "stratlearn-crc32")) {
+    VerifyChecksummedText(text, sink_);
+    return;
+  }
   if (StartsWith(trimmed, "stratlearn-graph v1")) {
     size_t errors_before = sink_->num_errors();
     VerifyGraphText(text, sink_, options_);

@@ -110,6 +110,17 @@ LearnerConfig ParseLearnerConfig(std::string_view text, DiagnosticSink* sink);
 void VerifyLearnerConfig(const LearnerConfig& config,
                          const InferenceGraph* graph, DiagnosticSink* sink);
 
+// ---- Robustness passes (V-K...) ----------------------------------------
+
+/// Verifies a "stratlearn-crc32" checksummed container (the learner
+/// checkpoint format): header shape, payload length (truncation) and
+/// CRC-32 integrity (bit corruption) — V-K001 on failure. When the
+/// payload is a "stratlearn-checkpoint v1", its structure is also
+/// checked (known directives, required learner/RNG/strategy lines,
+/// well-formed counters) — V-K002 findings. Deliberately graph-free:
+/// the deep semantic validation happens when a run resumes.
+void VerifyChecksummedText(std::string_view text, DiagnosticSink* sink);
+
 // ---- Drivers ------------------------------------------------------------
 
 /// Verifies a sequence of artifact files (`stratlearn_cli verify`),

@@ -319,5 +319,77 @@ TEST(NullObserverTest, ExecutionUnchangedByObservation) {
   EXPECT_EQ(registry.GetCounter("qp.queries").value(), 200);
 }
 
+/// A streambuf that accepts `limit` bytes, then fails every write — a
+/// stand-in for a full disk or a closed pipe.
+class FailingBuf : public std::streambuf {
+ public:
+  explicit FailingBuf(size_t limit) : limit_(limit) {}
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (written_ >= limit_ || traits_type::eq_int_type(ch, traits_type::eof())) {
+      return traits_type::eof();
+    }
+    ++written_;
+    return ch;
+  }
+  std::streamsize xsputn(const char* /*s*/, std::streamsize n) override {
+    if (written_ + static_cast<size_t>(n) > limit_) return 0;
+    written_ += static_cast<size_t>(n);
+    return n;
+  }
+
+ private:
+  size_t limit_;
+  size_t written_ = 0;
+};
+
+TEST(SinkFailureTest, JsonlSinkDisablesItselfOnWriteFailure) {
+  FailingBuf buf(16);
+  std::ostream out(&buf);
+  obs::JsonlSink sink(&out);
+  ASSERT_FALSE(sink.failed());
+  // The first event overflows the 16-byte budget; the sink must latch
+  // failed() and swallow everything after without crashing.
+  for (int i = 0; i < 50; ++i) {
+    sink.OnQueryEnd({i, 0, 10, 2.5, 4, 1, true});
+    sink.Flush();
+  }
+  EXPECT_TRUE(sink.failed());
+  sink.Close();  // must also be a safe no-op on a failed sink
+}
+
+TEST(SinkFailureTest, ChromeSinkNeverFinalisesAFailedStream) {
+  FailingBuf buf(4);  // fails during the opening "[\n"
+  std::ostream out(&buf);
+  {
+    obs::ChromeTraceSink sink(&out);
+    for (int i = 0; i < 20; ++i) {
+      sink.OnQueryEnd({i, 0, 10, 2.5, 4, 1, true});
+    }
+    EXPECT_TRUE(sink.failed());
+  }  // destructor: a failed sink must not write the closing "]"
+}
+
+TEST(SinkFailureTest, RobustnessEventsSerializeAsJsonl) {
+  std::ostringstream out;
+  obs::JsonlSink sink(&out);
+  sink.OnRetry({100, 7, 3, 0, "transient", 1, 0.25, false});
+  sink.OnRetry({110, 7, 3, 0, "timeout", 3, 0.0, true});
+  sink.OnBreaker({120, 7, 3, 0, "open", 8, 40});
+  sink.OnDegraded({130, 9, 12.5, 10.0, 6});
+  sink.Flush();
+  std::string text = out.str();
+  for (const std::string& line : Split(text, '\n')) {
+    if (Trim(line).empty()) continue;
+    EXPECT_TRUE(IsValidJson(line)) << line;
+  }
+  EXPECT_NE(text.find("\"type\":\"retry\""), std::string::npos);
+  EXPECT_NE(text.find("\"gave_up\":true"), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"breaker\""), std::string::npos);
+  EXPECT_NE(text.find("\"state\":\"open\""), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"degraded\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace stratlearn

@@ -1,0 +1,480 @@
+#include <gtest/gtest.h>
+
+#include "core/palo.h"
+#include "core/pib.h"
+#include "engine/query_processor.h"
+#include "graph/examples.h"
+#include "robust/checkpoint.h"
+#include "robust/fault_injector.h"
+#include "robust/fault_plan.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "workload/faulty_oracle.h"
+#include "workload/synthetic_oracle.h"
+
+namespace stratlearn {
+namespace {
+
+using robust::CheckpointData;
+using robust::FaultInjector;
+using robust::FaultInjectorState;
+using robust::FaultKind;
+using robust::FaultPlan;
+using robust::FaultRule;
+
+// ---- Fault plans ---------------------------------------------------------
+
+TEST(FaultPlanTest, ParseSerializeRoundTrip) {
+  Result<FaultPlan> plan = FaultPlan::Parse(
+      "stratlearn-faultplan v1\n"
+      "seed 42\n"
+      "retries 2          # comment\n"
+      "backoff 0.5 2.0 4.0\n"
+      "budget 12.5\n"
+      "breaker 3 16\n"
+      "fault transient 0.05 -1\n"
+      "fault timeout 0.01 2 4.0\n");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->seed, 42u);
+  EXPECT_EQ(plan->resilience.max_retries, 2);
+  EXPECT_DOUBLE_EQ(plan->resilience.backoff_base, 0.5);
+  EXPECT_DOUBLE_EQ(plan->resilience.cost_budget, 12.5);
+  EXPECT_EQ(plan->resilience.breaker_threshold, 3);
+  EXPECT_EQ(plan->resilience.breaker_cooldown, 16);
+  ASSERT_EQ(plan->rules.size(), 2u);
+  EXPECT_EQ(plan->rules[0].kind, FaultKind::kTransient);
+  EXPECT_EQ(plan->rules[0].experiment, -1);
+  EXPECT_EQ(plan->rules[1].kind, FaultKind::kTimeout);
+  EXPECT_DOUBLE_EQ(plan->rules[1].magnitude, 4.0);
+  EXPECT_FALSE(plan->ZeroFault());
+
+  // Serialize -> Parse is the identity (up to formatting).
+  Result<FaultPlan> again = FaultPlan::Parse(plan->Serialize());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->Serialize(), plan->Serialize());
+}
+
+TEST(FaultPlanTest, RejectsMalformedPlans) {
+  EXPECT_FALSE(FaultPlan::Parse("seed 1\n").ok());  // no header
+  EXPECT_FALSE(FaultPlan::Parse(
+                   "stratlearn-faultplan v1\nfault sparkle 0.1 -1\n")
+                   .ok());
+  EXPECT_FALSE(FaultPlan::Parse(
+                   "stratlearn-faultplan v1\nfault transient 1.5 -1\n")
+                   .ok());
+  EXPECT_FALSE(FaultPlan::Parse(
+                   "stratlearn-faultplan v1\nfault timeout 0.1 -1 0.5\n")
+                   .ok());
+  EXPECT_FALSE(
+      FaultPlan::Parse("stratlearn-faultplan v1\nbreaker 1 0\n").ok());
+  EXPECT_FALSE(
+      FaultPlan::Parse("stratlearn-faultplan v1\nflux 3\n").ok());
+}
+
+TEST(FaultPlanTest, ZeroFaultDetection) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.ZeroFault());
+  plan.rules.push_back({FaultKind::kTransient, 0.0, -1, 1.0});
+  EXPECT_TRUE(plan.ZeroFault());
+  plan.rules.push_back({FaultKind::kCorrupt, 0.001, 0, 1.0});
+  EXPECT_FALSE(plan.ZeroFault());
+}
+
+// ---- Fault injector ------------------------------------------------------
+
+FaultPlan TransientPlan(double probability, int experiment = -1) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.rules.push_back({FaultKind::kTransient, probability, experiment, 1.0});
+  return plan;
+}
+
+TEST(FaultInjectorTest, SameSeedSameFaultStream) {
+  FaultInjector a(TransientPlan(0.5));
+  FaultInjector b(TransientPlan(0.5));
+  for (int i = 0; i < 200; ++i) {
+    double ma = 1.0, mb = 1.0;
+    EXPECT_EQ(a.SampleFault(i % 4, &ma), b.SampleFault(i % 4, &mb));
+    EXPECT_DOUBLE_EQ(ma, mb);
+  }
+}
+
+TEST(FaultInjectorTest, SaveRestoreContinuesTheStream) {
+  FaultPlan plan = TransientPlan(0.5);
+  plan.resilience.breaker_threshold = 2;
+  FaultInjector a(plan);
+  double magnitude = 1.0;
+  for (int i = 0; i < 50; ++i) {
+    a.BeginQuery();
+    a.SampleFault(0, &magnitude);
+  }
+  a.RecordInfraFailure(3, 7);
+  FaultInjectorState saved = a.SaveState();
+  ASSERT_EQ(saved.breakers.size(), 1u);
+
+  FaultInjector b(plan);
+  ASSERT_TRUE(b.RestoreState(saved).ok());
+  EXPECT_EQ(b.BeginQuery(), a.BeginQuery());
+  EXPECT_EQ(b.BreakerLedger(3).consecutive_failures, 1);
+  for (int i = 0; i < 100; ++i) {
+    double ma = 1.0, mb = 1.0;
+    EXPECT_EQ(a.SampleFault(i % 4, &ma), b.SampleFault(i % 4, &mb));
+  }
+}
+
+TEST(FaultInjectorTest, RestoreRejectsGarbage) {
+  FaultInjector injector(TransientPlan(0.5));
+  FaultInjectorState state = injector.SaveState();
+  state.query_count = -1;
+  EXPECT_FALSE(injector.RestoreState(state).ok());
+
+  state = injector.SaveState();
+  state.breakers.push_back({kInvalidArc, 1, 0});
+  EXPECT_FALSE(injector.RestoreState(state).ok());
+}
+
+TEST(FaultInjectorTest, BreakerOpensSkipsAndCloses) {
+  FaultPlan plan = TransientPlan(0.5);
+  plan.resilience.breaker_threshold = 2;
+  plan.resilience.breaker_cooldown = 3;
+  FaultInjector injector(plan);
+
+  // Threshold 2: the first exhausted-retries failure arms, the second
+  // opens.
+  EXPECT_FALSE(injector.RecordInfraFailure(5, 0));
+  EXPECT_FALSE(injector.BreakerOpen(5, 1));
+  EXPECT_TRUE(injector.RecordInfraFailure(5, 1));
+  // Cooldown 3 starting at query 1: queries 2..4 skip, 5 gets a trial.
+  EXPECT_TRUE(injector.BreakerOpen(5, 2));
+  EXPECT_TRUE(injector.BreakerOpen(5, 4));
+  EXPECT_FALSE(injector.BreakerOpen(5, 5));
+  // A fault-free attempt closes the breaker and resets the ledger.
+  EXPECT_TRUE(injector.RecordRecovery(5));
+  EXPECT_FALSE(injector.RecordRecovery(5));
+  EXPECT_EQ(injector.BreakerLedger(5).consecutive_failures, 0);
+}
+
+// ---- Resilient execution -------------------------------------------------
+
+TEST(ResilientExecutionTest, ZeroFaultPlanIsBitIdentical) {
+  FigureTwoGraph g = MakeFigureTwo();
+  Strategy theta = Strategy::DepthFirst(g.graph);
+  QueryProcessor plain(&g.graph);
+  QueryProcessor resilient(&g.graph);
+  FaultPlan plan = TransientPlan(0.0);
+  plan.resilience.breaker_threshold = 4;
+  FaultInjector injector(plan);
+  resilient.set_fault_injector(&injector);
+
+  for (uint64_t mask = 0; mask < 16; ++mask) {
+    Context ctx = Context::FromMask(4, mask);
+    Trace a = plain.Execute(theta, ctx);
+    Trace b = resilient.Execute(theta, ctx);
+    EXPECT_DOUBLE_EQ(a.cost, b.cost);
+    EXPECT_EQ(a.success, b.success);
+    EXPECT_EQ(a.successes, b.successes);
+    EXPECT_EQ(a.first_success_arc, b.first_success_arc);
+    EXPECT_TRUE(b.resolved);
+    ASSERT_EQ(a.attempts.size(), b.attempts.size());
+    for (size_t i = 0; i < a.attempts.size(); ++i) {
+      EXPECT_EQ(a.attempts[i].arc, b.attempts[i].arc);
+      EXPECT_EQ(a.attempts[i].unblocked, b.attempts[i].unblocked);
+      EXPECT_EQ(a.attempts[i].infra_failure, b.attempts[i].infra_failure);
+      EXPECT_DOUBLE_EQ(a.attempts[i].cost, b.attempts[i].cost);
+    }
+  }
+}
+
+TEST(ResilientExecutionTest, ExhaustedRetriesChargeBackoffAndFailureCost) {
+  FigureOneGraph g = MakeFigureOne();
+  // Every attempt of experiment 0 (D_p) fails; 2 retries with backoff
+  // 0.5, 1.0 (base 0.5, multiplier 2, generous cap).
+  FaultPlan plan = TransientPlan(1.0, /*experiment=*/0);
+  plan.resilience.max_retries = 2;
+  plan.resilience.backoff_base = 0.5;
+  plan.resilience.backoff_multiplier = 2.0;
+  plan.resilience.backoff_cap = 10.0;
+  FaultInjector injector(plan);
+  QueryProcessor qp(&g.graph);
+  qp.set_fault_injector(&injector);
+
+  Strategy theta = Strategy::FromLeafOrder(g.graph, {g.d_p, g.d_g});
+  Context ctx(2);
+  ctx.Set(0, true);  // ground truth says unblocked — the learner never
+  ctx.Set(1, true);  // sees it through the failing transport
+  Trace t = qp.Execute(theta, ctx);
+
+  const Arc& dp = g.graph.arc(g.d_p);
+  double expected_dp =
+      3 * dp.cost + 0.5 + 1.0 + dp.failure_cost;  // 3 attempts + backoffs
+  ASSERT_EQ(t.attempts.size(), 4u);  // r_p, d_p, r_g, d_g
+  EXPECT_EQ(t.attempts[1].arc, g.d_p);
+  EXPECT_FALSE(t.attempts[1].unblocked);
+  EXPECT_TRUE(t.attempts[1].infra_failure);
+  EXPECT_DOUBLE_EQ(t.attempts[1].cost, expected_dp);
+  // The search fell through to D_g and still answered the query.
+  EXPECT_TRUE(t.success);
+  EXPECT_EQ(t.first_success_arc, g.d_g);
+  EXPECT_TRUE(t.resolved);
+}
+
+TEST(ResilientExecutionTest, BudgetDegradesToUnresolved) {
+  FigureOneGraph g = MakeFigureOne();
+  FaultPlan plan = TransientPlan(0.0);
+  plan.resilience.cost_budget = 1.5;
+  FaultInjector injector(plan);
+  QueryProcessor qp(&g.graph);
+  qp.set_fault_injector(&injector);
+
+  Strategy theta = Strategy::FromLeafOrder(g.graph, {g.d_p, g.d_g});
+  Context none(2);  // both blocked: the full search would cost 4
+  Trace t = qp.Execute(theta, none);
+  EXPECT_FALSE(t.resolved);
+  EXPECT_FALSE(t.success);
+  EXPECT_EQ(t.attempts.size(), 2u);  // stopped once cost >= 1.5
+}
+
+TEST(ResilientExecutionTest, OpenBreakerSkipsAtPessimisticCost) {
+  FigureOneGraph g = MakeFigureOne();
+  FaultPlan plan = TransientPlan(1.0, /*experiment=*/0);
+  plan.resilience.max_retries = 0;
+  plan.resilience.backoff_base = 0.0;
+  plan.resilience.breaker_threshold = 1;
+  plan.resilience.breaker_cooldown = 8;
+  FaultInjector injector(plan);
+  QueryProcessor qp(&g.graph);
+  qp.set_fault_injector(&injector);
+
+  Strategy theta = Strategy::FromLeafOrder(g.graph, {g.d_p, g.d_g});
+  Context ctx(2);
+  ctx.Set(0, true);
+  ctx.Set(1, true);
+
+  // Query 0 exhausts retries and opens the breaker...
+  Trace first = qp.Execute(theta, ctx);
+  EXPECT_TRUE(first.attempts[1].infra_failure);
+  // ...so query 1 skips D_p outright at cost + failure_cost, with no
+  // retries drawn from the fault stream.
+  const Arc& dp = g.graph.arc(g.d_p);
+  Trace second = qp.Execute(theta, ctx);
+  EXPECT_EQ(second.attempts[1].arc, g.d_p);
+  EXPECT_FALSE(second.attempts[1].unblocked);
+  EXPECT_TRUE(second.attempts[1].infra_failure);
+  EXPECT_DOUBLE_EQ(second.attempts[1].cost, dp.cost + dp.failure_cost);
+}
+
+// ---- Checkpoint serialization --------------------------------------------
+
+CheckpointData RunPibFor(const FigureTwoGraph& g, int64_t queries,
+                         FaultInjector* injector) {
+  IndependentOracle oracle({0.9, 0.2, 0.8, 0.3});
+  Pib pib(&g.graph, Strategy::DepthFirst(g.graph),
+          PibOptions{.delta = 0.05});
+  QueryProcessor qp(&g.graph);
+  qp.set_fault_injector(injector);
+  Rng rng(7);
+  for (int64_t i = 0; i < queries; ++i) {
+    pib.Observe(qp.Execute(pib.strategy(), oracle.Next(rng)));
+  }
+  CheckpointData data;
+  data.learner = "pib";
+  data.seed = 7;
+  data.queries_done = queries;
+  data.rng_state = rng.SaveState();
+  if (injector != nullptr) {
+    data.has_injector = true;
+    data.injector = injector->SaveState();
+  }
+  data.pib = pib.GetCheckpoint();
+  return data;
+}
+
+TEST(CheckpointTest, SerializeParseRoundTrip) {
+  FigureTwoGraph g = MakeFigureTwo();
+  FaultPlan plan = TransientPlan(0.1);
+  plan.resilience.breaker_threshold = 2;
+  FaultInjector injector(plan);
+  CheckpointData data = RunPibFor(g, 300, &injector);
+
+  std::string text = robust::SerializeCheckpoint(data);
+  Result<CheckpointData> parsed = robust::ParseCheckpoint(g.graph, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->learner, "pib");
+  EXPECT_EQ(parsed->seed, 7u);
+  EXPECT_EQ(parsed->queries_done, 300);
+  EXPECT_EQ(parsed->rng_state, data.rng_state);
+  EXPECT_TRUE(parsed->has_injector);
+  EXPECT_EQ(parsed->injector.query_count, data.injector.query_count);
+  EXPECT_EQ(parsed->pib.contexts, data.pib.contexts);
+  EXPECT_EQ(parsed->pib.moves.size(), data.pib.moves.size());
+  // Full fidelity: re-serialization is byte-identical.
+  EXPECT_EQ(robust::SerializeCheckpoint(*parsed), text);
+}
+
+TEST(CheckpointTest, ParseRejectsTampering) {
+  FigureTwoGraph g = MakeFigureTwo();
+  CheckpointData data = RunPibFor(g, 100, nullptr);
+  std::string text = robust::SerializeCheckpoint(data);
+
+  EXPECT_FALSE(robust::ParseCheckpoint(g.graph, "not a checkpoint").ok());
+  EXPECT_FALSE(
+      robust::ParseCheckpoint(g.graph, text + "\ngremlin 1\n").ok());
+  EXPECT_FALSE(
+      robust::ParseCheckpoint(g.graph, text + "\nbreaker 999 1 1\n").ok());
+
+  // Drop the strategy line: a pib checkpoint without one is invalid.
+  std::string no_strategy;
+  for (const std::string& line : Split(text, '\n')) {
+    if (line.rfind("stratlearn-strategy", 0) == 0) continue;
+    no_strategy += line;
+    no_strategy += '\n';
+  }
+  EXPECT_FALSE(robust::ParseCheckpoint(g.graph, no_strategy).ok());
+}
+
+TEST(CheckpointTest, WriteLoadRoundTripsThroughDisk) {
+  FigureTwoGraph g = MakeFigureTwo();
+  CheckpointData data = RunPibFor(g, 100, nullptr);
+  std::string path = ::testing::TempDir() + "/robust_test.ckpt";
+  ASSERT_TRUE(robust::WriteCheckpoint(path, data).ok());
+  Result<CheckpointData> loaded = robust::LoadCheckpoint(path, g.graph);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(robust::SerializeCheckpoint(*loaded),
+            robust::SerializeCheckpoint(data));
+}
+
+// ---- Kill-and-resume equivalence -----------------------------------------
+
+TEST(KillResumeTest, ResumedPibRunMatchesUninterrupted) {
+  FigureTwoGraph g = MakeFigureTwo();
+  FaultPlan plan = TransientPlan(0.05);
+  plan.resilience.breaker_threshold = 4;
+
+  // Run A: 400 contexts uninterrupted.
+  FaultInjector injector_a(plan);
+  CheckpointData a = RunPibFor(g, 400, &injector_a);
+
+  // Run B: 200 contexts, checkpoint, "crash", restore into fresh
+  // objects, 200 more.
+  FaultInjector injector_b(plan);
+  CheckpointData half = RunPibFor(g, 200, &injector_b);
+  std::string text = robust::SerializeCheckpoint(half);
+  Result<CheckpointData> ckpt = robust::ParseCheckpoint(g.graph, text);
+  ASSERT_TRUE(ckpt.ok()) << ckpt.status().ToString();
+
+  IndependentOracle oracle({0.9, 0.2, 0.8, 0.3});
+  Pib pib(&g.graph, Strategy::DepthFirst(g.graph),
+          PibOptions{.delta = 0.05});
+  ASSERT_TRUE(pib.RestoreCheckpoint(ckpt->pib).ok());
+  FaultInjector injector_c(plan);
+  ASSERT_TRUE(injector_c.RestoreState(ckpt->injector).ok());
+  QueryProcessor qp(&g.graph);
+  qp.set_fault_injector(&injector_c);
+  Rng rng(1);  // seed irrelevant: state is overwritten
+  rng.RestoreState(ckpt->rng_state);
+  for (int64_t i = ckpt->queries_done; i < 400; ++i) {
+    pib.Observe(qp.Execute(pib.strategy(), oracle.Next(rng)));
+  }
+
+  CheckpointData b;
+  b.learner = "pib";
+  b.seed = 7;
+  b.queries_done = 400;
+  b.rng_state = rng.SaveState();
+  b.has_injector = true;
+  b.injector = injector_c.SaveState();
+  b.pib = pib.GetCheckpoint();
+  // Same final strategy, climb history, counters, RNG position and
+  // breaker ledgers — the resumed run is indistinguishable.
+  EXPECT_EQ(robust::SerializeCheckpoint(b), robust::SerializeCheckpoint(a));
+}
+
+TEST(KillResumeTest, PaloCheckpointRoundTrips) {
+  FigureTwoGraph g = MakeFigureTwo();
+  IndependentOracle oracle({0.9, 0.2, 0.8, 0.3});
+
+  auto run = [&](int64_t from, int64_t to, Palo* palo, Rng* rng) {
+    QueryProcessor qp(&g.graph);
+    for (int64_t i = from; i < to; ++i) {
+      palo->Observe(qp.Execute(palo->strategy(), oracle.Next(*rng)));
+    }
+  };
+
+  PaloOptions options{.delta = 0.05, .epsilon = 0.25};
+  Palo a(&g.graph, Strategy::DepthFirst(g.graph), options);
+  Rng rng_a(7);
+  run(0, 400, &a, &rng_a);
+
+  Palo b1(&g.graph, Strategy::DepthFirst(g.graph), options);
+  Rng rng_b(7);
+  run(0, 150, &b1, &rng_b);
+  Palo b2(&g.graph, Strategy::DepthFirst(g.graph), options);
+  ASSERT_TRUE(b2.RestoreCheckpoint(b1.GetCheckpoint()).ok());
+  run(150, 400, &b2, &rng_b);
+
+  EXPECT_EQ(a.strategy().Serialize(), b2.strategy().Serialize());
+  EXPECT_EQ(a.moves_made(), b2.moves_made());
+  EXPECT_EQ(a.Finished(), b2.Finished());
+  CheckpointData ca, cb;
+  ca.learner = cb.learner = "palo";
+  ca.palo = a.GetCheckpoint();
+  cb.palo = b2.GetCheckpoint();
+  ca.rng_state = cb.rng_state = rng_a.SaveState();
+  EXPECT_EQ(robust::SerializeCheckpoint(ca),
+            robust::SerializeCheckpoint(cb));
+}
+
+TEST(KillResumeTest, RestoreRejectsWrongShape) {
+  FigureTwoGraph g = MakeFigureTwo();
+  Pib pib(&g.graph, Strategy::DepthFirst(g.graph),
+          PibOptions{.delta = 0.05});
+  Pib::Checkpoint bad = pib.GetCheckpoint();
+  bad.neighbor_delta_sums.push_back(1.0);  // one ledger too many
+  EXPECT_FALSE(pib.RestoreCheckpoint(bad).ok());
+
+  bad = pib.GetCheckpoint();
+  bad.samples = bad.contexts + 1;  // |S| can never exceed contexts
+  EXPECT_FALSE(pib.RestoreCheckpoint(bad).ok());
+}
+
+// ---- FaultyOracle --------------------------------------------------------
+
+TEST(FaultyOracleTest, CorruptRulesFlipOutcomes) {
+  IndependentOracle inner({0.9, 0.2, 0.8, 0.3});
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.rules.push_back({FaultKind::kCorrupt, 1.0, -1, 1.0});
+  FaultyOracle corrupted(&inner, plan);
+  IndependentOracle control({0.9, 0.2, 0.8, 0.3});
+
+  Rng rng_a(7), rng_b(7);
+  for (int i = 0; i < 50; ++i) {
+    Context truth = control.Next(rng_a);
+    Context lied = corrupted.Next(rng_b);
+    for (size_t e = 0; e < 4; ++e) {
+      EXPECT_EQ(lied.Unblocked(e), !truth.Unblocked(e));
+    }
+  }
+  EXPECT_EQ(corrupted.corruptions(), 50 * 4);
+}
+
+TEST(FaultyOracleTest, ZeroProbabilityIsTransparent) {
+  IndependentOracle inner({0.9, 0.2, 0.8, 0.3});
+  FaultPlan plan;
+  plan.rules.push_back({FaultKind::kCorrupt, 0.0, -1, 1.0});
+  FaultyOracle wrapped(&inner, plan);
+  IndependentOracle control({0.9, 0.2, 0.8, 0.3});
+
+  Rng rng_a(7), rng_b(7);
+  for (int i = 0; i < 50; ++i) {
+    Context a = control.Next(rng_a);
+    Context b = wrapped.Next(rng_b);
+    for (size_t e = 0; e < 4; ++e) {
+      EXPECT_EQ(a.Unblocked(e), b.Unblocked(e));
+    }
+  }
+  EXPECT_EQ(wrapped.corruptions(), 0);
+}
+
+}  // namespace
+}  // namespace stratlearn

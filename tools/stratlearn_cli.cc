@@ -49,6 +49,22 @@
 //          --trace-out=FILE --profile-out=FILE --format=text|json
 //          --Werror
 //
+// Fault tolerance & checkpointing (learn-pib / learn-pao):
+//   --fault-plan=FILE       load a "stratlearn-faultplan v1" file and run
+//                           retrievals on the resilient path (retries,
+//                           circuit breaker, cost budget; see README
+//                           "Fault tolerance & checkpointing")
+//   --checkpoint=FILE       crash-safe learner checkpoint (CRC-32
+//                           checksummed, written atomically); the final
+//                           state is always written on success
+//   --checkpoint-every=N    additionally checkpoint every N queries
+//   --resume                restore the checkpoint before running; a
+//                           missing/corrupt checkpoint degrades to a
+//                           V-K001 warning and a fresh start (exit 0)
+//   --halt-after=K          (learn-pib) stop with exit code 3 after K
+//                           queries without checkpointing — a scripted
+//                           crash for kill-and-resume tests
+//
 // Every graph-based subcommand re-checks its loaded program and graph
 // with the error-level verify passes first, so malformed inputs fail
 // fast with exit code 2 instead of producing meaningless learner runs.
@@ -75,6 +91,9 @@
 #include <vector>
 
 #include "core/expected_cost.h"
+#include "robust/checkpoint.h"
+#include "robust/fault_injector.h"
+#include "robust/fault_plan.h"
 #include "core/explain.h"
 #include "core/pao.h"
 #include "core/pib.h"
@@ -111,6 +130,12 @@ struct CliOptions {
   std::string metrics_out;
   std::string trace_out;
   std::string profile_out;
+  // Fault tolerance & checkpointing.
+  std::string fault_plan;
+  std::string checkpoint;
+  int64_t checkpoint_every = 0;
+  bool resume = false;
+  int64_t halt_after = 0;
   // bench subcommand.
   std::string workload = "all";
   int repetitions = 10;
@@ -133,10 +158,10 @@ struct CliObserver {
   explicit CliObserver(const CliOptions& options,
                        bool want_profiler = false) {
     if (!options.trace_out.empty()) {
-      bool jsonl = options.trace_out.size() >= 6 &&
-                   options.trace_out.rfind(".jsonl") ==
-                       options.trace_out.size() - 6;
-      if (jsonl) {
+      trace_is_jsonl = options.trace_out.size() >= 6 &&
+                       options.trace_out.rfind(".jsonl") ==
+                           options.trace_out.size() - 6;
+      if (trace_is_jsonl) {
         file_sink = std::make_unique<obs::JsonlSink>(options.trace_out);
         if (!static_cast<obs::JsonlSink*>(file_sink.get())->ok()) {
           status = CannotOpen("--trace-out", options.trace_out);
@@ -181,11 +206,21 @@ struct CliObserver {
 
   /// Closes (finalises) the trace, optionally prints the summary, and
   /// writes the --metrics-out / --profile-out reports to the streams
-  /// opened up front.
+  /// opened up front. Mid-run and end-of-run I/O failures (disk filled
+  /// up, pipe closed) degrade to a single stderr warning per output:
+  /// the learner's result was already computed and printed, and losing
+  /// telemetry must not turn a successful run into a failed one.
   Status Finish(const CliOptions& options, bool print_summary = true) {
     if (file_sink != nullptr) {
       file_sink->Close();
-      std::printf("trace written to %s\n", options.trace_out.c_str());
+      if (TraceSinkFailed()) {
+        std::fprintf(stderr,
+                     "warning: trace output to '%s' is incomplete (write "
+                     "failure mid-run)\n",
+                     options.trace_out.c_str());
+      } else {
+        std::printf("trace written to %s\n", options.trace_out.c_str());
+      }
     }
     if (print_summary) {
       std::string summary = registry.Summary();
@@ -195,21 +230,39 @@ struct CliObserver {
     }
     if (metrics_stream.is_open()) {
       metrics_stream << registry.SnapshotJson() << "\n";
+      metrics_stream.flush();
       if (!metrics_stream) {
-        return Status::Internal("failed writing '" + options.metrics_out +
-                                "'");
+        std::fprintf(stderr,
+                     "warning: failed writing metrics to '%s' (disk full "
+                     "or closed pipe?); continuing without it\n",
+                     options.metrics_out.c_str());
+      } else {
+        std::printf("metrics written to %s\n", options.metrics_out.c_str());
       }
-      std::printf("metrics written to %s\n", options.metrics_out.c_str());
     }
     if (profile_stream.is_open() && profiler != nullptr) {
       profile_stream << profiler->ReportJson() << "\n";
+      profile_stream.flush();
       if (!profile_stream) {
-        return Status::Internal("failed writing '" + options.profile_out +
-                                "'");
+        std::fprintf(stderr,
+                     "warning: failed writing profile to '%s' (disk full "
+                     "or closed pipe?); continuing without it\n",
+                     options.profile_out.c_str());
+      } else {
+        std::printf("profile written to %s\n", options.profile_out.c_str());
       }
-      std::printf("profile written to %s\n", options.profile_out.c_str());
     }
     return Status::OK();
+  }
+
+  /// Whether the file trace sink disabled itself after a write failure.
+  bool TraceSinkFailed() const {
+    if (file_sink == nullptr) return false;
+    if (trace_is_jsonl) {
+      return static_cast<const obs::JsonlSink*>(file_sink.get())->failed();
+    }
+    return static_cast<const obs::ChromeTraceSink*>(file_sink.get())
+        ->failed();
   }
 
   static Status CannotOpen(const char* flag, const std::string& path) {
@@ -219,6 +272,7 @@ struct CliObserver {
 
   Status status;
   obs::MetricsRegistry registry;
+  bool trace_is_jsonl = false;
   std::unique_ptr<obs::TraceSink> file_sink;
   std::unique_ptr<obs::StrategyProfiler> profiler;
   std::unique_ptr<obs::TeeSink> tee;
@@ -238,6 +292,34 @@ int Fail(const std::string& message) {
 int FailStatus(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return status.code() == StatusCode::kFailedPrecondition ? 2 : 1;
+}
+
+/// Builds the fault injector for --fault-plan, or null without the flag.
+Result<std::unique_ptr<robust::FaultInjector>> MakeInjector(
+    const CliOptions& options) {
+  if (options.fault_plan.empty()) {
+    return std::unique_ptr<robust::FaultInjector>();
+  }
+  Result<robust::FaultPlan> plan = robust::FaultPlan::Load(options.fault_plan);
+  if (!plan.ok()) return plan.status();
+  std::printf("fault plan: %s%s\n", options.fault_plan.c_str(),
+              plan->ZeroFault() ? " (zero-fault)" : "");
+  return std::make_unique<robust::FaultInjector>(*std::move(plan));
+}
+
+/// Graceful degradation on an unusable checkpoint (missing file, failed
+/// CRC, malformed payload, state that does not fit this run): one
+/// V-K001 warning diagnostic on stderr, then the caller starts from the
+/// initial state. Deliberately not an error — a learner that survives a
+/// crash must also survive losing its checkpoint.
+void WarnBadCheckpoint(const std::string& path, const Status& status) {
+  verify::DiagnosticSink sink;
+  sink.set_file(path);
+  sink.Warning("V-K001", "", status.message(),
+               "cannot resume from this checkpoint; starting from the "
+               "initial state instead (delete the file or drop --resume "
+               "to silence this)");
+  std::fprintf(stderr, "%s", sink.RenderText().c_str());
 }
 
 /// Pre-flight check of the learner parameters (and, for PAO, the
@@ -288,6 +370,16 @@ CliOptions ParseArgs(int argc, char** argv) {
       options.trace_out = arg.substr(12);
     } else if (StartsWith(arg, "--profile-out=")) {
       options.profile_out = arg.substr(14);
+    } else if (StartsWith(arg, "--fault-plan=")) {
+      options.fault_plan = arg.substr(13);
+    } else if (StartsWith(arg, "--checkpoint=")) {
+      options.checkpoint = arg.substr(13);
+    } else if (StartsWith(arg, "--checkpoint-every=")) {
+      options.checkpoint_every = std::atoll(arg.c_str() + 19);
+    } else if (arg == "--resume") {
+      options.resume = true;
+    } else if (StartsWith(arg, "--halt-after=")) {
+      options.halt_after = std::atoll(arg.c_str() + 13);
     } else if (StartsWith(arg, "--learner=")) {
       options.learner = arg.substr(10);
     } else if (StartsWith(arg, "--workload=")) {
@@ -448,7 +540,11 @@ int CmdLearnPib(const CliOptions& options) {
     return Fail(
         "usage: stratlearn_cli learn-pib <program.dl> <query-form> "
         "<workload.txt> [--delta= --queries= --strategy-out= --seed= "
-        "--metrics-out= --trace-out= --profile-out=]");
+        "--metrics-out= --trace-out= --profile-out= --fault-plan= "
+        "--checkpoint= --checkpoint-every= --resume --halt-after=]");
+  }
+  if (options.resume && options.checkpoint.empty()) {
+    return Fail("--resume requires --checkpoint=FILE");
   }
   Result<std::unique_ptr<Loaded>> loaded_or = Load(
       options.positional[0], options.positional[1], options.positional[2]);
@@ -461,23 +557,99 @@ int CmdLearnPib(const CliOptions& options) {
   Strategy initial = Strategy::DepthFirst(loaded.built.graph);
   PrintStrategyReport(loaded, "initial:", initial, truth);
 
+  Result<std::unique_ptr<robust::FaultInjector>> injector_or =
+      MakeInjector(options);
+  if (!injector_or.ok()) return Fail(injector_or.status().ToString());
+  robust::FaultInjector* injector = injector_or->get();
+
   CliObserver cli_obs(options);
   if (!cli_obs.status.ok()) return Fail(cli_obs.status.ToString());
   Pib pib(&loaded.built.graph, initial, PibOptions{.delta = options.delta},
           cli_obs.observer.get());
   QueryProcessor qp(&loaded.built.graph, cli_obs.observer.get());
+  qp.set_fault_injector(injector);
   Rng rng(options.seed);
+
+  int64_t done = 0;
+  if (options.resume) {
+    // Any failure from here to full restoration degrades to a fresh
+    // start: checkpointing accelerates recovery, it must never block it.
+    Result<robust::CheckpointData> ckpt =
+        robust::LoadCheckpoint(options.checkpoint, loaded.built.graph);
+    Status restored = ckpt.ok() ? Status::OK() : ckpt.status();
+    if (restored.ok() && ckpt->learner != "pib") {
+      restored = Status::FailedPrecondition(
+          "checkpoint belongs to learner '" + ckpt->learner + "', not pib");
+    }
+    if (restored.ok() && ckpt->seed != options.seed) {
+      restored = Status::FailedPrecondition(StrFormat(
+          "checkpoint was taken with --seed=%llu, this run uses %llu",
+          static_cast<unsigned long long>(ckpt->seed),
+          static_cast<unsigned long long>(options.seed)));
+    }
+    if (restored.ok() && ckpt->has_injector != (injector != nullptr)) {
+      restored = Status::FailedPrecondition(
+          "checkpoint and this run disagree on --fault-plan");
+    }
+    if (restored.ok()) restored = pib.RestoreCheckpoint(ckpt->pib);
+    if (restored.ok() && injector != nullptr) {
+      restored = injector->RestoreState(ckpt->injector);
+    }
+    if (restored.ok()) {
+      rng.RestoreState(ckpt->rng_state);
+      done = ckpt->queries_done;
+      std::printf("resumed from %s at query %lld\n",
+                  options.checkpoint.c_str(), static_cast<long long>(done));
+    } else {
+      WarnBadCheckpoint(options.checkpoint, restored);
+    }
+  }
+
+  auto write_checkpoint = [&]() -> Status {
+    robust::CheckpointData data;
+    data.learner = "pib";
+    data.seed = options.seed;
+    data.queries_done = done;
+    data.rng_state = rng.SaveState();
+    if (injector != nullptr) {
+      data.has_injector = true;
+      data.injector = injector->SaveState();
+    }
+    data.pib = pib.GetCheckpoint();
+    return robust::WriteCheckpoint(options.checkpoint, data);
+  };
+
   {
     obs::ScopedTimer timer(
         &cli_obs.registry.GetHistogram("cli.learn_wall_us"));
-    for (int64_t i = 0; i < options.queries; ++i) {
+    for (int64_t i = done; i < options.queries; ++i) {
       if (pib.Observe(qp.Execute(pib.strategy(), oracle.Next(rng)))) {
         std::printf("  move at query %lld: %s\n",
                     static_cast<long long>(pib.contexts_processed()),
                     pib.moves().back().swap.ToString(loaded.built.graph)
                         .c_str());
       }
+      done = i + 1;
+      if (!options.checkpoint.empty() && options.checkpoint_every > 0 &&
+          done % options.checkpoint_every == 0 && done < options.queries) {
+        Status written = write_checkpoint();
+        if (!written.ok()) return Fail(written.ToString());
+      }
+      if (options.halt_after > 0 && done == options.halt_after &&
+          done < options.queries) {
+        // Simulated crash for the kill-and-resume tests: stop without
+        // writing anything, leaving the last periodic checkpoint as the
+        // only recovery point.
+        std::fprintf(stderr, "halting after %lld queries (--halt-after)\n",
+                     static_cast<long long>(done));
+        return 3;
+      }
     }
+  }
+  if (!options.checkpoint.empty()) {
+    Status written = write_checkpoint();
+    if (!written.ok()) return Fail(written.ToString());
+    std::printf("checkpoint written to %s\n", options.checkpoint.c_str());
   }
   PrintStrategyReport(loaded, "learned:", pib.strategy(), truth);
   Status written = MaybeWriteStrategy(options, pib.strategy());
@@ -492,7 +664,11 @@ int CmdLearnPao(const CliOptions& options) {
     return Fail(
         "usage: stratlearn_cli learn-pao <program.dl> <query-form> "
         "<workload.txt> [--epsilon= --delta= --theorem3 --strategy-out= "
-        "--seed= --metrics-out= --trace-out= --profile-out=]");
+        "--seed= --metrics-out= --trace-out= --profile-out= --fault-plan= "
+        "--checkpoint= --checkpoint-every= --resume]");
+  }
+  if (options.resume && options.checkpoint.empty()) {
+    return Fail("--resume requires --checkpoint=FILE");
   }
   Result<std::unique_ptr<Loaded>> loaded_or = Load(
       options.positional[0], options.positional[1], options.positional[2]);
@@ -504,11 +680,73 @@ int CmdLearnPao(const CliOptions& options) {
 
   DatalogOracle oracle(&loaded.built, &loaded.db, loaded.workload);
   std::vector<double> truth = oracle.TrueMarginalProbs();
+  Result<std::unique_ptr<robust::FaultInjector>> injector_or =
+      MakeInjector(options);
+  if (!injector_or.ok()) return Fail(injector_or.status().ToString());
+  robust::FaultInjector* injector = injector_or->get();
   PaoOptions pao_options;
   pao_options.epsilon = options.epsilon;
   pao_options.delta = options.delta;
   if (options.theorem3) pao_options.mode = PaoOptions::Mode::kTheorem3;
+  pao_options.injector = injector;
   Rng rng(options.seed);
+
+  robust::CheckpointData resume_data;
+  if (options.resume) {
+    Result<robust::CheckpointData> ckpt =
+        robust::LoadCheckpoint(options.checkpoint, loaded.built.graph);
+    Status restored = ckpt.ok() ? Status::OK() : ckpt.status();
+    if (restored.ok() && ckpt->learner != "pao") {
+      restored = Status::FailedPrecondition(
+          "checkpoint belongs to learner '" + ckpt->learner + "', not pao");
+    }
+    if (restored.ok() && ckpt->seed != options.seed) {
+      restored = Status::FailedPrecondition(StrFormat(
+          "checkpoint was taken with --seed=%llu, this run uses %llu",
+          static_cast<unsigned long long>(ckpt->seed),
+          static_cast<unsigned long long>(options.seed)));
+    }
+    if (restored.ok() && ckpt->has_injector != (injector != nullptr)) {
+      restored = Status::FailedPrecondition(
+          "checkpoint and this run disagree on --fault-plan");
+    }
+    if (restored.ok() && injector != nullptr) {
+      restored = injector->RestoreState(ckpt->injector);
+    }
+    if (restored.ok()) {
+      resume_data = *std::move(ckpt);
+      rng.RestoreState(resume_data.rng_state);
+      // Shape errors surface inside Pao::Run via RestoreCheckpoint;
+      // they fail the run like any other bad sampler input.
+      pao_options.resume = &resume_data.qpa;
+      std::printf("resumed from %s at context %lld\n",
+                  options.checkpoint.c_str(),
+                  static_cast<long long>(resume_data.queries_done));
+    } else {
+      WarnBadCheckpoint(options.checkpoint, restored);
+    }
+  }
+  if (!options.checkpoint.empty() && options.checkpoint_every > 0) {
+    pao_options.on_context = [&options, &rng, injector](
+                                 const AdaptiveQueryProcessor& qpa,
+                                 int64_t contexts) {
+      if (contexts % options.checkpoint_every != 0) return;
+      robust::CheckpointData data;
+      data.learner = "pao";
+      data.seed = options.seed;
+      data.queries_done = contexts;
+      data.rng_state = rng.SaveState();
+      if (injector != nullptr) {
+        data.has_injector = true;
+        data.injector = injector->SaveState();
+      }
+      data.qpa = qpa.GetCheckpoint();
+      // Periodic checkpoints are best-effort; the final state below is
+      // the one whose failure should be loud.
+      (void)robust::WriteCheckpoint(options.checkpoint, data);
+    };
+  }
+
   CliObserver cli_obs(options);
   if (!cli_obs.status.ok()) return Fail(cli_obs.status.ToString());
   Result<PaoResult> result = [&] {
@@ -518,6 +756,27 @@ int CmdLearnPao(const CliOptions& options) {
                     cli_obs.observer.get());
   }();
   if (!result.ok()) return Fail(result.status().ToString());
+  if (!options.checkpoint.empty()) {
+    robust::CheckpointData data;
+    data.learner = "pao";
+    data.seed = options.seed;
+    data.queries_done = result->contexts_used;
+    data.rng_state = rng.SaveState();
+    if (injector != nullptr) {
+      data.has_injector = true;
+      data.injector = injector->SaveState();
+    }
+    data.qpa.contexts = result->contexts_used;
+    for (const AdaptiveQueryProcessor::Snapshot::Experiment& e :
+         result->sampler.experiments) {
+      data.qpa.remaining.push_back(e.remaining);
+      data.qpa.counters.push_back(
+          {e.attempts, e.successes, e.blocked_aims});
+    }
+    Status written = robust::WriteCheckpoint(options.checkpoint, data);
+    if (!written.ok()) return Fail(written.ToString());
+    std::printf("checkpoint written to %s\n", options.checkpoint.c_str());
+  }
   std::printf("sampling used %lld contexts (upsilon %s)\n",
               static_cast<long long>(result->contexts_used),
               result->upsilon_exact ? "exact" : "approximate");
