@@ -40,7 +40,8 @@ void QueryProcessor::set_fault_injector(robust::FaultInjector* injector) {
 Trace QueryProcessor::ExecuteObserved(const Strategy& strategy,
                                       const Context& context,
                                       const ExecutionOptions& options) const {
-  int64_t query_index = queries_executed_++;
+  int64_t query_index =
+      queries_executed_.fetch_add(1, std::memory_order_relaxed);
   int64_t t0 = observer_->NowUs();
   obs::TraceSink* sink = observer_->sink();
   if (sink != nullptr) sink->OnQueryStart({query_index, t0});

@@ -1,6 +1,7 @@
 #ifndef STRATLEARN_ENGINE_QUERY_PROCESSOR_H_
 #define STRATLEARN_ENGINE_QUERY_PROCESSOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -146,7 +147,9 @@ class QueryProcessor {
   };
   Handles handles_;
   /// Query ordinal for span events (Execute stays const for callers).
-  mutable int64_t queries_executed_ = 0;
+  /// Atomic so concurrent Execute calls on one processor draw distinct
+  /// ordinals; relaxed is enough — nothing orders on this value.
+  mutable std::atomic<int64_t> queries_executed_{0};
 };
 
 }  // namespace stratlearn

@@ -1,0 +1,48 @@
+#ifndef STRATLEARN_OBS_JSON_READER_H_
+#define STRATLEARN_OBS_JSON_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stratlearn::obs {
+
+/// Minimal JSON DOM shared by the offline report readers (bench_compare
+/// over BENCH_*.json, stats_report over time-series files).
+/// obs::JsonWriter only writes and obs::IsValidJson only validates;
+/// these tools need actual values. Scope-limited on purpose: objects,
+/// arrays, strings, numbers, bools, null — no \u decoding beyond
+/// pass-through, no duplicate-key policy.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Get(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Parses exactly one JSON value (plus surrounding whitespace) from
+/// `text`. Returns false on any syntax error or trailing garbage.
+bool ParseJson(const std::string& text, JsonValue* out);
+
+/// Typed field accessors over an object value; false / "" when the key
+/// is absent or has the wrong kind.
+bool ReadJsonDouble(const JsonValue& object, const std::string& key,
+                    double* out);
+bool ReadJsonInt(const JsonValue& object, const std::string& key,
+                 int64_t* out);
+std::string ReadJsonString(const JsonValue& object, const std::string& key);
+
+}  // namespace stratlearn::obs
+
+#endif  // STRATLEARN_OBS_JSON_READER_H_

@@ -1,16 +1,81 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <utility>
 
 #include "obs/json_writer.h"
 #include "util/check.h"
 #include "util/string_util.h"
 
 namespace stratlearn::obs {
+namespace {
+
+/// Relaxed CAS add for pre-C++20-style atomic doubles (libstdc++'s
+/// lock-free fetch_add for floating point is not guaranteed); the loop
+/// retries only under write contention on the same histogram.
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double observed = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(observed, observed + delta,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>& target, double value) {
+  double observed = target.load(std::memory_order_relaxed);
+  while (value < observed &&
+         !target.compare_exchange_weak(observed, value,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double value) {
+  double observed = target.load(std::memory_order_relaxed);
+  while (value > observed &&
+         !target.compare_exchange_weak(observed, value,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+std::unique_ptr<std::atomic<int64_t>[]> MakeCounts(size_t n) {
+  auto counts = std::make_unique<std::atomic<int64_t>[]>(n);
+  for (size_t i = 0; i < n; ++i) {
+    counts[i].store(0, std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+}  // namespace
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  double rank = p / 100.0 * static_cast<double>(count);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < bucket_counts.size(); ++i) {
+    if (bucket_counts[i] == 0) continue;
+    double lower = i == 0 ? std::min(min, bounds[0]) : bounds[i - 1];
+    if (cumulative + bucket_counts[i] >= rank) {
+      double upper = i < bounds.size() ? bounds[i] : max;
+      double within = (rank - static_cast<double>(cumulative)) /
+                      static_cast<double>(bucket_counts[i]);
+      double estimate = lower + (upper - lower) * within;
+      return std::clamp(estimate, min, max);
+    }
+    cumulative += bucket_counts[i];
+  }
+  return max;
+}
 
 Histogram::Histogram(std::vector<double> upper_bounds)
-    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+    : bounds_(std::move(upper_bounds)),
+      counts_(MakeCounts(bounds_.size() + 1)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
   STRATLEARN_CHECK_MSG(!bounds_.empty(), "histogram needs >= 1 bound");
   for (size_t i = 1; i < bounds_.size(); ++i) {
     STRATLEARN_CHECK_MSG(bounds_[i - 1] < bounds_[i],
@@ -18,20 +83,66 @@ Histogram::Histogram(std::vector<double> upper_bounds)
   }
 }
 
+Histogram::Histogram(const Histogram& other)
+    : bounds_(other.bounds_),
+      counts_(MakeCounts(bounds_.size() + 1)),
+      count_(other.count()),
+      sum_(other.sum()),
+      min_(other.min_.load(std::memory_order_relaxed)),
+      max_(other.max_.load(std::memory_order_relaxed)) {
+  for (size_t i = 0; i < bounds_.size() + 1; ++i) {
+    counts_[i].store(other.bucket_count(i), std::memory_order_relaxed);
+  }
+}
+
+Histogram& Histogram::operator=(const Histogram& other) {
+  if (this == &other) return *this;
+  bounds_ = other.bounds_;
+  counts_ = MakeCounts(bounds_.size() + 1);
+  for (size_t i = 0; i < bounds_.size() + 1; ++i) {
+    counts_[i].store(other.bucket_count(i), std::memory_order_relaxed);
+  }
+  count_.store(other.count(), std::memory_order_relaxed);
+  sum_.store(other.sum(), std::memory_order_relaxed);
+  min_.store(other.min_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+  max_.store(other.max_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+  return *this;
+}
+
 void Histogram::Record(double value) {
   size_t bucket =
       std::lower_bound(bounds_.begin(), bounds_.end(), value) -
       bounds_.begin();
-  ++counts_[bucket];
-  if (count_ == 0) {
-    min_ = value;
-    max_ = value;
-  } else {
-    min_ = std::min(min_, value);
-    max_ = std::max(max_, value);
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  STRATLEARN_CHECK_MSG(bounds_ == other.bounds_,
+                       "histogram merge requires identical bounds");
+  int64_t other_count = other.count();
+  if (other_count == 0) return;
+  for (size_t i = 0; i < bounds_.size() + 1; ++i) {
+    int64_t c = other.bucket_count(i);
+    if (c != 0) counts_[i].fetch_add(c, std::memory_order_relaxed);
   }
-  ++count_;
-  sum_ += value;
+  AtomicMin(min_, other.min_.load(std::memory_order_relaxed));
+  AtomicMax(max_, other.max_.load(std::memory_order_relaxed));
+  count_.fetch_add(other_count, std::memory_order_relaxed);
+  AtomicAdd(sum_, other.sum());
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
 }
 
 double Histogram::bucket_upper(size_t i) const {
@@ -39,25 +150,18 @@ double Histogram::bucket_upper(size_t i) const {
   return std::numeric_limits<double>::infinity();
 }
 
-double Histogram::Percentile(double p) const {
-  if (count_ == 0) return 0.0;
-  p = std::clamp(p, 0.0, 100.0);
-  double rank = p / 100.0 * static_cast<double>(count_);
-  int64_t cumulative = 0;
-  for (size_t i = 0; i < counts_.size(); ++i) {
-    if (counts_[i] == 0) continue;
-    double lower = i == 0 ? std::min(min_, bounds_[0]) : bounds_[i - 1];
-    if (cumulative + counts_[i] >= rank) {
-      double upper = i < bounds_.size() ? bounds_[i] : max_;
-      double within =
-          (rank - static_cast<double>(cumulative)) /
-          static_cast<double>(counts_[i]);
-      double estimate = lower + (upper - lower) * within;
-      return std::clamp(estimate, min_, max_);
-    }
-    cumulative += counts_[i];
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.bucket_counts.reserve(bounds_.size() + 1);
+  for (size_t i = 0; i < bounds_.size() + 1; ++i) {
+    snapshot.bucket_counts.push_back(bucket_count(i));
   }
-  return max_;
+  snapshot.count = count();
+  snapshot.sum = sum();
+  snapshot.min = min();
+  snapshot.max = max();
+  return snapshot;
 }
 
 std::vector<double> ExponentialBuckets(double start, double factor,
@@ -94,15 +198,18 @@ std::vector<double> DefaultBuckets() {
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   return counters_[name];
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   return gauges_[name];
 }
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = histograms_.find(name);
   if (it != histograms_.end()) return it->second;
   if (upper_bounds.empty()) upper_bounds = DefaultBuckets();
@@ -110,39 +217,56 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
       .first->second;
 }
 
-std::string MetricsRegistry::SnapshotJson() const {
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace(name, counter.value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace(name, gauge.value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    snapshot.histograms.emplace(name, h.Snapshot());
+  }
+  return snapshot;
+}
+
+std::string RenderSnapshotJson(const MetricsSnapshot& snapshot) {
   JsonWriter w;
   w.BeginObject();
   w.Key("counters").BeginObject();
-  for (const auto& [name, counter] : counters_) {
-    w.Key(name).Value(counter.value());
+  for (const auto& [name, value] : snapshot.counters) {
+    w.Key(name).Value(value);
   }
   w.EndObject();
   w.Key("gauges").BeginObject();
-  for (const auto& [name, gauge] : gauges_) {
-    w.Key(name).Value(gauge.value());
+  for (const auto& [name, value] : snapshot.gauges) {
+    // JsonWriter renders non-finite doubles as null; a NaN gauge must
+    // not poison the whole snapshot's parseability.
+    w.Key(name).Value(value);
   }
   w.EndObject();
   w.Key("histograms").BeginObject();
-  for (const auto& [name, h] : histograms_) {
+  for (const auto& [name, h] : snapshot.histograms) {
     w.Key(name).BeginObject();
-    w.Key("count").Value(h.count());
-    w.Key("sum").Value(h.sum());
-    w.Key("min").Value(h.min());
-    w.Key("max").Value(h.max());
+    w.Key("count").Value(h.count);
+    w.Key("sum").Value(h.sum);
+    w.Key("min").Value(h.min);
+    w.Key("max").Value(h.max);
     w.Key("mean").Value(h.Mean());
     w.Key("p50").Value(h.Percentile(50));
     w.Key("p90").Value(h.Percentile(90));
     w.Key("p99").Value(h.Percentile(99));
     w.Key("buckets").BeginArray();
-    for (size_t i = 0; i < h.num_buckets(); ++i) {
+    for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
       w.BeginObject();
-      if (i < h.bounds().size()) {
-        w.Key("le").Value(h.bounds()[i]);
+      if (i < h.bounds.size()) {
+        w.Key("le").Value(h.bounds[i]);
       } else {
         w.Key("le").Value("+Inf");
       }
-      w.Key("count").Value(h.bucket_count(i));
+      w.Key("count").Value(h.bucket_counts[i]);
       w.EndObject();
     }
     w.EndArray();
@@ -153,24 +277,32 @@ std::string MetricsRegistry::SnapshotJson() const {
   return w.Take();
 }
 
+std::string MetricsRegistry::SnapshotJson() const {
+  return RenderSnapshotJson(Snapshot());
+}
+
 std::string MetricsRegistry::Summary() const {
-  if (counters_.empty() && gauges_.empty() && histograms_.empty()) return "";
+  MetricsSnapshot snapshot = Snapshot();
+  if (snapshot.counters.empty() && snapshot.gauges.empty() &&
+      snapshot.histograms.empty()) {
+    return "";
+  }
   std::string out;
-  for (const auto& [name, counter] : counters_) {
+  for (const auto& [name, value] : snapshot.counters) {
     out += StrFormat("  %-28s %lld\n", name.c_str(),
-                     static_cast<long long>(counter.value()));
+                     static_cast<long long>(value));
   }
-  for (const auto& [name, gauge] : gauges_) {
+  for (const auto& [name, value] : snapshot.gauges) {
     out += StrFormat("  %-28s %s\n", name.c_str(),
-                     FormatDouble(gauge.value(), 6).c_str());
+                     FormatDouble(value, 6).c_str());
   }
-  for (const auto& [name, h] : histograms_) {
+  for (const auto& [name, h] : snapshot.histograms) {
     out += StrFormat(
         "  %-28s count=%lld mean=%s p50=%s p95=%s max=%s\n", name.c_str(),
-        static_cast<long long>(h.count()), FormatDouble(h.Mean(), 4).c_str(),
+        static_cast<long long>(h.count), FormatDouble(h.Mean(), 4).c_str(),
         FormatDouble(h.Percentile(50), 4).c_str(),
         FormatDouble(h.Percentile(95), 4).c_str(),
-        FormatDouble(h.max(), 4).c_str());
+        FormatDouble(h.max, 4).c_str());
   }
   return out;
 }

@@ -1,31 +1,80 @@
 #ifndef STRATLEARN_OBS_METRICS_H_
 #define STRATLEARN_OBS_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace stratlearn::obs {
 
-/// A monotonically increasing integer metric.
+/// A monotonically increasing integer metric. Increment/value are
+/// lock-free relaxed atomics: concurrent workers may hammer the same
+/// counter and the total is exact once they quiesce (the Chernoff /
+/// Bonferroni bookkeeping upstream is indifferent to *which* thread
+/// observed a context, only to how many were observed). Relaxed
+/// ordering is deliberate — a metric carries no synchronisation duty,
+/// so the hot path pays one uncontended atomic add and nothing else.
 class Counter {
  public:
-  void Increment(int64_t delta = 1) { value_ += delta; }
-  int64_t value() const { return value_; }
+  Counter() = default;
+  /// Snapshot copy: the copy starts at the source's current value and
+  /// is independent afterwards (registry aggregation, BENCH results).
+  Counter(const Counter& other) : value_(other.value()) {}
+  Counter& operator=(const Counter& other) {
+    value_.store(other.value(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  int64_t value_ = 0;
+  std::atomic<int64_t> value_{0};
 };
 
-/// A last-write-wins floating-point metric.
+/// A last-write-wins floating-point metric. Set/value are relaxed
+/// atomic store/load, so concurrent writers race benignly: the final
+/// value is one of the written values, never a torn double.
 class Gauge {
  public:
-  void Set(double value) { value_ = value; }
-  double value() const { return value_; }
+  Gauge() = default;
+  Gauge(const Gauge& other) : value_(other.value()) {}
+  Gauge& operator=(const Gauge& other) {
+    value_.store(other.value(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time copy of one histogram, safe to read at leisure. Taken
+/// by MetricsRegistry::Snapshot() (and Histogram::Snapshot()) with
+/// relaxed loads: under concurrent recording the fields are *weakly*
+/// consistent (count may momentarily disagree with the bucket totals by
+/// in-flight records); once writers quiesce every field is exact.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<int64_t> bucket_counts;  // bounds.size() + 1, overflow last
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // 0 when count == 0
+  double max = 0.0;  // 0 when count == 0
+
+  double Mean() const { return count == 0 ? 0.0 : sum / count; }
+  /// Estimated value at percentile `p` in [0, 100]; linear interpolation
+  /// inside the bucket holding the rank, clamped to [min, max]. Returns
+  /// 0 with no samples.
+  double Percentile(double p) const;
 };
 
 /// A fixed-bucket histogram. Bucket i counts values <= bounds[i] (and
@@ -33,38 +82,68 @@ class Gauge {
 /// everything above the last bound. Tracks count/sum/min/max exactly;
 /// percentiles are estimated by linear interpolation inside the bucket
 /// that contains the requested rank.
+///
+/// Record is thread-safe and lock-free: per-bucket atomic adds plus
+/// CAS loops for sum/min/max, all relaxed (see Counter for why). Reads
+/// during concurrent recording see weakly consistent values — take a
+/// Snapshot() and read that, or quiesce writers for exact totals.
+/// Copying/moving is NOT thread-safe against concurrent Record on the
+/// source; it snapshots the source's current state.
 class Histogram {
  public:
   /// `upper_bounds` must be strictly increasing and non-empty.
   explicit Histogram(std::vector<double> upper_bounds);
+  Histogram(const Histogram& other);
+  Histogram& operator=(const Histogram& other);
 
   void Record(double value);
 
-  int64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return min_; }
-  double max() const { return max_; }
-  double Mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  /// Folds `other`'s samples into this histogram — the combiner for
+  /// sharded per-thread histograms and per-worker aggregation. The two
+  /// histograms must have identical bounds (checked); min/max/sum/count
+  /// combine exactly, including when either side is empty. Not atomic
+  /// as a whole: concurrent Record on *this* is safe, concurrent Record
+  /// on `other` may leave a partially merged sample behind.
+  void Merge(const Histogram& other);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Smallest/largest recorded value; 0 with no samples.
+  double min() const;
+  double max() const;
+  double Mean() const {
+    int64_t n = count();
+    return n == 0 ? 0.0 : sum() / n;
+  }
 
   /// Number of buckets including the overflow bucket.
-  size_t num_buckets() const { return counts_.size(); }
-  int64_t bucket_count(size_t i) const { return counts_[i]; }
+  size_t num_buckets() const { return bounds_.size() + 1; }
+  int64_t bucket_count(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
   /// Upper bound of bucket i; +infinity for the overflow bucket.
   double bucket_upper(size_t i) const;
   const std::vector<double>& bounds() const { return bounds_; }
 
-  /// Estimated value at percentile `p` in [0, 100]. Returns 0 with no
-  /// samples; clamps to the observed min/max so the estimate never
-  /// leaves the data's range.
-  double Percentile(double p) const;
+  /// Point-in-time copy (relaxed loads; weakly consistent under
+  /// concurrent recording).
+  HistogramSnapshot Snapshot() const;
+
+  /// Estimated value at percentile `p` in [0, 100] — Snapshot()'s
+  /// estimate; see HistogramSnapshot::Percentile.
+  double Percentile(double p) const { return Snapshot().Percentile(p); }
 
  private:
   std::vector<double> bounds_;
-  std::vector<int64_t> counts_;  // bounds_.size() + 1 (overflow last)
-  int64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  /// bounds_.size() + 1 atomic bucket counts (overflow last), heap-held
+  /// so the histogram stays copyable via snapshot semantics.
+  std::unique_ptr<std::atomic<int64_t>[]> counts_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  /// +inf / -inf until the first sample; the accessors clamp the empty
+  /// case to 0 so callers never see the sentinels.
+  std::atomic<double> min_;
+  std::atomic<double> max_;
 };
 
 /// Bucket helpers. Exponential: {start, start*factor, ...} (count bounds).
@@ -75,9 +154,22 @@ std::vector<double> LinearBuckets(double start, double step, int count);
 /// wall times and abstract arc costs.
 std::vector<double> DefaultBuckets();
 
-/// Named metrics, created on first use. Pointers returned by the Get*
-/// methods remain valid for the registry's lifetime (node-based map
-/// storage). Not thread-safe; one registry per run/experiment.
+/// Point-in-time copy of every metric in a registry: the substrate the
+/// JSON snapshot, the OpenMetrics exposition writer and the
+/// TimeSeriesCollector all render from. Plain data; safe to keep, diff
+/// and serialize long after the registry has moved on.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Named metrics, created on first use. Thread-safe: the name maps are
+/// guarded by a mutex (taken only on Get* lookups and snapshots, never
+/// on the metric hot paths), and the returned references stay valid and
+/// stable for the registry's lifetime (node-based map storage), so the
+/// intended pattern is to resolve handles once and then increment /
+/// record through them lock-free from any number of threads.
 class MetricsRegistry {
  public:
   Counter& GetCounter(const std::string& name);
@@ -87,17 +179,18 @@ class MetricsRegistry {
   Histogram& GetHistogram(const std::string& name,
                           std::vector<double> upper_bounds = {});
 
-  const std::map<std::string, Counter>& counters() const { return counters_; }
-  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
-  const std::map<std::string, Histogram>& histograms() const {
-    return histograms_;
-  }
+  /// Copies every metric's current value (relaxed loads under the name
+  /// lock). Under concurrent writers the values are weakly consistent;
+  /// once writers quiesce the snapshot is exact.
+  MetricsSnapshot Snapshot() const;
 
   /// Serializes every metric to one deterministic JSON object:
   ///   {"counters":{...},"gauges":{...},"histograms":{name:
   ///     {"count":..,"sum":..,"min":..,"max":..,"mean":..,
   ///      "p50":..,"p90":..,"p99":..,
   ///      "buckets":[{"le":1,"count":0},..,{"le":"+Inf","count":0}]}}}
+  /// Non-finite gauge values are emitted as null (JSON has no NaN/Inf),
+  /// so the snapshot always parses.
   std::string SnapshotJson() const;
 
   /// Human-readable multi-line summary (counters, gauges, histogram
@@ -106,10 +199,15 @@ class MetricsRegistry {
   std::string Summary() const;
 
  private:
+  mutable std::mutex mutex_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
 };
+
+/// Renders a MetricsSnapshot in SnapshotJson's schema (shared by the
+/// registry and the TimeSeriesCollector's window serialization).
+std::string RenderSnapshotJson(const MetricsSnapshot& snapshot);
 
 }  // namespace stratlearn::obs
 

@@ -1,6 +1,7 @@
 #ifndef STRATLEARN_OBS_OBSERVER_H_
 #define STRATLEARN_OBS_OBSERVER_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "obs/metrics.h"
@@ -17,7 +18,12 @@ namespace stratlearn::obs {
 ///
 /// Timestamps for events come from NowUs(): steady-clock microseconds
 /// since this Observer was constructed, so every sink attached to the
-/// same observer shares one clock domain.
+/// same observer shares one clock domain. UseManualClock switches to a
+/// caller-driven clock instead (the CLI's --obs-clock=fake): timestamps
+/// and wall durations then depend only on the advance sequence, which
+/// is what makes fake-clock traces, time series and exports
+/// byte-deterministic — a real clock would leak scheduler noise into
+/// qp.query_wall_us even when every other number is reproducible.
 class Observer {
  public:
   Observer(MetricsRegistry* metrics, TraceSink* sink)
@@ -26,12 +32,27 @@ class Observer {
   MetricsRegistry* metrics() const { return metrics_; }
   TraceSink* sink() const { return sink_; }
 
-  int64_t NowUs() const { return static_cast<int64_t>(epoch_.ElapsedUs()); }
+  int64_t NowUs() const {
+    if (manual_clock_) return manual_now_us_.load(std::memory_order_relaxed);
+    return static_cast<int64_t>(epoch_.ElapsedUs());
+  }
+
+  /// Call before handing the observer to instrumented code; not
+  /// synchronised against concurrent NowUs.
+  void UseManualClock() { manual_clock_ = true; }
+  /// Relaxed store: worker threads reading NowUs mid-advance just get
+  /// the old or the new tick, either of which is a valid timestamp.
+  void AdvanceManualClock(int64_t now_us) {
+    manual_now_us_.store(now_us, std::memory_order_relaxed);
+  }
+  bool manual_clock() const { return manual_clock_; }
 
  private:
   MetricsRegistry* metrics_;
   TraceSink* sink_;
   Stopwatch epoch_;
+  bool manual_clock_ = false;
+  std::atomic<int64_t> manual_now_us_{0};
 };
 
 }  // namespace stratlearn::obs

@@ -1,0 +1,120 @@
+#include "obs/openmetrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/file_util.h"
+#include "util/string_util.h"
+
+namespace stratlearn::obs {
+namespace {
+
+/// Exposition-format number rendering. OpenMetrics (unlike JSON) has
+/// literal spellings for the non-finite values, so a NaN gauge stays a
+/// NaN instead of corrupting the dump.
+std::string OmValue(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  return FormatDouble(value, 12);
+}
+
+}  // namespace
+
+std::string OpenMetricsName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty()) out = "_";
+  if (out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string OpenMetricsText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string n = OpenMetricsName(name);
+    out += "# TYPE " + n + " counter\n";
+    out += StrFormat("%s_total %lld\n", n.c_str(),
+                     static_cast<long long>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::string n = OpenMetricsName(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + OmValue(value) + "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    std::string n = OpenMetricsName(name);
+    out += "# TYPE " + n + " histogram\n";
+    // Exposition buckets are cumulative: le="x" counts every sample
+    // <= x, ending with the le="+Inf" total.
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      cumulative += h.bucket_counts[i];
+      std::string le =
+          i < h.bounds.size() ? OmValue(h.bounds[i]) : std::string("+Inf");
+      out += StrFormat("%s_bucket{le=\"%s\"} %lld\n", n.c_str(), le.c_str(),
+                       static_cast<long long>(cumulative));
+    }
+    out += n + "_sum " + OmValue(h.sum) + "\n";
+    out += StrFormat("%s_count %lld\n", n.c_str(),
+                     static_cast<long long>(h.count));
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+bool WriteOpenMetricsFile(const std::string& path,
+                          const MetricsSnapshot& snapshot) {
+  return WriteFileAtomic(path, OpenMetricsText(snapshot));
+}
+
+PeriodicOpenMetricsExporter::PeriodicOpenMetricsExporter(std::string path,
+                                                         int64_t interval_us)
+    : path_(std::move(path)), interval_us_(interval_us) {}
+
+bool PeriodicOpenMetricsExporter::MaybeExport(int64_t now_us,
+                                              const MetricsRegistry& registry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (failed_ || now_us < next_due_us_) return false;
+  // Anchor the next deadline to the cadence grid, not to `now`, so a
+  // late tick does not drift every subsequent export.
+  next_due_us_ =
+      (now_us / interval_us_ + 1) * interval_us_;
+  return ExportLocked(registry);
+}
+
+bool PeriodicOpenMetricsExporter::ExportNow(const MetricsRegistry& registry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (failed_) return false;
+  return ExportLocked(registry);
+}
+
+bool PeriodicOpenMetricsExporter::ExportLocked(
+    const MetricsRegistry& registry) {
+  if (!WriteOpenMetricsFile(path_, registry.Snapshot())) {
+    failed_ = true;
+    std::fprintf(stderr,
+                 "warning: failed writing OpenMetrics dump to '%s' (disk "
+                 "full?); metrics export disabled for this run\n",
+                 path_.c_str());
+    return false;
+  }
+  ++exports_;
+  return true;
+}
+
+int64_t PeriodicOpenMetricsExporter::exports() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return exports_;
+}
+
+bool PeriodicOpenMetricsExporter::failed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failed_;
+}
+
+}  // namespace stratlearn::obs

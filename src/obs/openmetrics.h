@@ -1,0 +1,72 @@
+#ifndef STRATLEARN_OBS_OPENMETRICS_H_
+#define STRATLEARN_OBS_OPENMETRICS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace stratlearn::obs {
+
+/// Maps a dotted registry name ("qp.arc_attempts") to a Prometheus /
+/// OpenMetrics metric name ("qp_arc_attempts"): every character outside
+/// [a-zA-Z0-9_:] becomes '_', and a leading digit gains a '_' prefix.
+std::string OpenMetricsName(std::string_view name);
+
+/// Renders a MetricsSnapshot in the OpenMetrics / Prometheus text
+/// exposition format, terminated by "# EOF":
+///   counters   -> "# TYPE n counter"  + "n_total <v>"
+///   gauges     -> "# TYPE n gauge"    + "n <v>"   (NaN / +Inf / -Inf
+///                 use the format's literal spellings, never bad JSONish)
+///   histograms -> "# TYPE n histogram" + cumulative n_bucket{le="..."}
+///                 series + n_sum + n_count
+/// Families are emitted in registry (lexicographic) order, so output is
+/// deterministic for a given snapshot.
+std::string OpenMetricsText(const MetricsSnapshot& snapshot);
+
+/// Writes OpenMetricsText(snapshot) to `path` atomically (temp file +
+/// rename via util/file_util), so a scraper reading the file never sees
+/// a torn exposition. Returns false on I/O failure.
+bool WriteOpenMetricsFile(const std::string& path,
+                          const MetricsSnapshot& snapshot);
+
+/// Periodically dumps a registry to one OpenMetrics file, overwriting
+/// it in place (atomic rename) — the long-running-serving analogue of a
+/// /metrics endpoint, consumable by node-exporter-style textfile
+/// scrapers. Drive it from any cadence source: MaybeExport(now) exports
+/// when `interval_us` has elapsed since the last export in the caller's
+/// clock domain (steady or fake, like TimeSeriesCollector). Thread-safe;
+/// a mid-run I/O failure warns on stderr once and disables the exporter
+/// (losing telemetry must not fail the run — same contract as the
+/// sinks).
+class PeriodicOpenMetricsExporter {
+ public:
+  PeriodicOpenMetricsExporter(std::string path, int64_t interval_us);
+
+  /// Exports when the cadence is due. Returns true iff a dump was
+  /// written.
+  bool MaybeExport(int64_t now_us, const MetricsRegistry& registry);
+
+  /// Unconditional dump (end-of-run final state).
+  bool ExportNow(const MetricsRegistry& registry);
+
+  const std::string& path() const { return path_; }
+  int64_t exports() const;
+  bool failed() const;
+
+ private:
+  bool ExportLocked(const MetricsRegistry& registry);
+
+  mutable std::mutex mutex_;
+  std::string path_;
+  int64_t interval_us_;
+  int64_t next_due_us_ = 0;
+  int64_t exports_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace stratlearn::obs
+
+#endif  // STRATLEARN_OBS_OPENMETRICS_H_

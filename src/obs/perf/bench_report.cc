@@ -1,235 +1,40 @@
 #include "obs/perf/bench_report.h"
 
-#include <cctype>
 #include <cmath>
-#include <cstdlib>
 
 #include <fstream>
-#include <memory>
 #include <sstream>
 
+#include "obs/json_reader.h"
 #include "util/string_util.h"
 
 namespace stratlearn::obs::perf {
 namespace {
 
-/// Minimal JSON DOM for BENCH reports. obs::JsonWriter only writes and
-/// obs::IsValidJson only validates; bench_compare needs actual values.
-/// Scope-limited on purpose: objects, arrays, strings, numbers, bools,
-/// null — no \u escapes beyond pass-through, no duplicate-key policy.
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* Get(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  bool Parse(JsonValue* out) {
-    SkipWs();
-    if (!ParseValue(out)) return false;
-    SkipWs();
-    return pos_ == text_.size();
-  }
-
- private:
-  void SkipWs() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool Literal(const char* word) {
-    size_t n = std::string_view(word).size();
-    if (text_.compare(pos_, n, word) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  bool ParseValue(JsonValue* out) {
-    if (pos_ >= text_.size()) return false;
-    switch (text_[pos_]) {
-      case '{':
-        return ParseObject(out);
-      case '[':
-        return ParseArray(out);
-      case '"':
-        out->kind = JsonValue::Kind::kString;
-        return ParseString(&out->string);
-      case 't':
-        out->kind = JsonValue::Kind::kBool;
-        out->boolean = true;
-        return Literal("true");
-      case 'f':
-        out->kind = JsonValue::Kind::kBool;
-        out->boolean = false;
-        return Literal("false");
-      case 'n':
-        out->kind = JsonValue::Kind::kNull;
-        return Literal("null");
-      default:
-        return ParseNumber(out);
-    }
-  }
-
-  bool ParseObject(JsonValue* out) {
-    out->kind = JsonValue::Kind::kObject;
-    ++pos_;  // '{'
-    SkipWs();
-    if (pos_ < text_.size() && text_[pos_] == '}') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      SkipWs();
-      std::string key;
-      if (!ParseString(&key)) return false;
-      SkipWs();
-      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
-      ++pos_;
-      SkipWs();
-      JsonValue value;
-      if (!ParseValue(&value)) return false;
-      out->object.emplace_back(std::move(key), std::move(value));
-      SkipWs();
-      if (pos_ >= text_.size()) return false;
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == '}') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  bool ParseArray(JsonValue* out) {
-    out->kind = JsonValue::Kind::kArray;
-    ++pos_;  // '['
-    SkipWs();
-    if (pos_ < text_.size() && text_[pos_] == ']') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      SkipWs();
-      JsonValue value;
-      if (!ParseValue(&value)) return false;
-      out->array.push_back(std::move(value));
-      SkipWs();
-      if (pos_ >= text_.size()) return false;
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == ']') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  bool ParseString(std::string* out) {
-    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
-    ++pos_;
-    out->clear();
-    while (pos_ < text_.size()) {
-      char c = text_[pos_++];
-      if (c == '"') return true;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return false;
-        char esc = text_[pos_++];
-        switch (esc) {
-          case '"': out->push_back('"'); break;
-          case '\\': out->push_back('\\'); break;
-          case '/': out->push_back('/'); break;
-          case 'b': out->push_back('\b'); break;
-          case 'f': out->push_back('\f'); break;
-          case 'n': out->push_back('\n'); break;
-          case 'r': out->push_back('\r'); break;
-          case 't': out->push_back('\t'); break;
-          case 'u': {
-            // BENCH reports never emit \u escapes; accept and keep the
-            // raw sequence so foreign files still parse.
-            if (pos_ + 4 > text_.size()) return false;
-            out->append("\\u").append(text_, pos_, 4);
-            pos_ += 4;
-            break;
-          }
-          default:
-            return false;
-        }
-      } else {
-        out->push_back(c);
-      }
-    }
-    return false;  // unterminated
-  }
-
-  bool ParseNumber(JsonValue* out) {
-    size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) return false;
-    char* end = nullptr;
-    std::string token = text_.substr(start, pos_ - start);
-    out->kind = JsonValue::Kind::kNumber;
-    out->number = std::strtod(token.c_str(), &end);
-    return end != nullptr && *end == '\0';
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
+// The JSON DOM lives in obs/json_reader.h, shared with stats_report.
+using obs::JsonValue;
+using obs::ReadJsonDouble;
+using obs::ReadJsonInt;
+using obs::ReadJsonString;
 
 bool ReadDouble(const JsonValue& object, const std::string& key,
                 double* out) {
-  const JsonValue* v = object.Get(key);
-  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) return false;
-  *out = v->number;
-  return true;
+  return ReadJsonDouble(object, key, out);
 }
 
 bool ReadInt(const JsonValue& object, const std::string& key, int64_t* out) {
-  double d = 0.0;
-  if (!ReadDouble(object, key, &d)) return false;
-  *out = static_cast<int64_t>(d);
-  return true;
+  return ReadJsonInt(object, key, out);
 }
 
 std::string ReadString(const JsonValue& object, const std::string& key) {
-  const JsonValue* v = object.Get(key);
-  return (v != nullptr && v->kind == JsonValue::Kind::kString) ? v->string
-                                                               : "";
+  return ReadJsonString(object, key);
 }
 
 }  // namespace
 
 Result<BenchReport> ParseBenchReport(const std::string& json_text) {
   JsonValue root;
-  if (!JsonParser(json_text).Parse(&root) ||
+  if (!ParseJson(json_text, &root) ||
       root.kind != JsonValue::Kind::kObject) {
     return Status::InvalidArgument("not well-formed JSON");
   }

@@ -10,6 +10,9 @@
 #include "datalog/parser.h"
 #include "engine/query_processor.h"
 #include "graph/examples.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "obs/trace_sink.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -213,6 +216,64 @@ class UpsilonOrderInstance : public BenchWorkloadInstance {
   RandomTree tree_;
 };
 
+/// Instrumentation overhead on the fig1_execute hot path: the same
+/// Figure-1 context stream run with (a) no observer, (b) metrics only,
+/// (c) metrics + a locked null trace sink. Work units are the arc
+/// attempts actually made — identical across the three variants for a
+/// given seed (instrumentation must not change execution semantics), so
+/// a fake-clock baseline diff catches a variant whose observation path
+/// alters behaviour, while wall-clock p50/p99 across the three
+/// workloads price the telemetry itself.
+class ObsOverheadInstance : public BenchWorkloadInstance {
+ public:
+  enum class Mode { kOff, kMetrics, kMetricsAndTrace };
+
+  ObsOverheadInstance(uint64_t seed, Mode mode)
+      : fig1_(MakeFigureOne()),
+        theta_(Strategy::DepthFirst(fig1_.graph)),
+        qp_(&fig1_.graph),
+        oracle_({0.2, 0.75}),
+        rng_(seed) {
+    if (mode != Mode::kOff) {
+      obs::TraceSink* sink = nullptr;
+      if (mode == Mode::kMetricsAndTrace) {
+        locked_null_ = std::make_unique<obs::LockingSink>(&null_sink_);
+        sink = locked_null_.get();
+      }
+      observer_ = std::make_unique<obs::Observer>(&registry_, sink);
+      qp_.set_observer(observer_.get());
+    }
+  }
+
+  RepResult RunOnce() override {
+    constexpr int kContexts = 3000;
+    int64_t attempts = 0;
+    int64_t successes = 0;
+    for (int i = 0; i < kContexts; ++i) {
+      Trace trace = qp_.Execute(theta_, oracle_.Next(rng_));
+      attempts += static_cast<int64_t>(trace.attempts.size());
+      successes += trace.successes;
+    }
+    RepResult result;
+    result.work_units = static_cast<double>(attempts);
+    result.counters = {{"contexts", kContexts},
+                       {"arc_attempts", attempts},
+                       {"successes", successes}};
+    return result;
+  }
+
+ private:
+  FigureOneGraph fig1_;
+  Strategy theta_;
+  QueryProcessor qp_;
+  IndependentOracle oracle_;
+  Rng rng_;
+  obs::MetricsRegistry registry_;
+  obs::NullSink null_sink_;
+  std::unique_ptr<obs::LockingSink> locked_null_;
+  std::unique_ptr<obs::Observer> observer_;
+};
+
 template <typename Instance>
 BenchWorkload Workload(const char* name, const char* description) {
   return BenchWorkload{
@@ -236,6 +297,24 @@ void RegisterCanonicalWorkloads(BenchRegistry* registry) {
       "pao_quota", "PAO Theorem-3 quota run on Figure 2"));
   registry->Register(Workload<UpsilonOrderInstance>(
       "upsilon_order", "Upsilon_AOT ordering, 2048-leaf flat tree"));
+  auto obs_overhead = [](const char* name, const char* description,
+                         ObsOverheadInstance::Mode mode) {
+    return BenchWorkload{
+        name, description,
+        [mode](uint64_t seed) -> std::unique_ptr<BenchWorkloadInstance> {
+          return std::make_unique<ObsOverheadInstance>(seed, mode);
+        }};
+  };
+  registry->Register(obs_overhead(
+      "obs_overhead_off", "Figure-1 execute, no observer (baseline)",
+      ObsOverheadInstance::Mode::kOff));
+  registry->Register(obs_overhead(
+      "obs_overhead_metrics", "Figure-1 execute, atomic metrics attached",
+      ObsOverheadInstance::Mode::kMetrics));
+  registry->Register(obs_overhead(
+      "obs_overhead_trace",
+      "Figure-1 execute, metrics + locked null trace sink",
+      ObsOverheadInstance::Mode::kMetricsAndTrace));
 }
 
 }  // namespace stratlearn::obs::perf

@@ -12,6 +12,10 @@ namespace stratlearn::obs::perf {
 ///   pib_climb      — a full PIB hill-climb over a context stream
 ///   pao_quota      — a PAO/QP^A Theorem-3 quota run
 ///   upsilon_order  — Upsilon_AOT ordering of a 2048-leaf flat tree
+///   obs_overhead_off / obs_overhead_metrics / obs_overhead_trace
+///                  — the Figure-1 execute loop with no observer, with
+///                    atomic metrics, and with metrics plus a locked
+///                    null trace sink, pricing the telemetry layer
 /// Every workload is deterministic for a fixed seed: its work_units and
 /// counters depend only on the RNG stream, so fake-clock BENCH reports
 /// are byte-reproducible and CI-gateable.

@@ -1,0 +1,149 @@
+#ifndef STRATLEARN_OBS_TIMESERIES_H_
+#define STRATLEARN_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
+
+namespace stratlearn::obs {
+
+/// Collector cadence and retention. Times are microseconds in whatever
+/// clock domain the caller advances the collector with — steady-clock
+/// microseconds in real runs, or a synthetic "one unit per query" fake
+/// clock for byte-deterministic output (the CLI's --obs-clock=fake).
+struct TimeSeriesOptions {
+  /// Window length. Every AdvanceTo crossing a multiple of this closes
+  /// one window.
+  int64_t interval_us = 1'000'000;
+  /// Most-recent windows retained in the ring; older windows are
+  /// evicted (and counted, so reports can say so — never silently).
+  size_t capacity = 512;
+};
+
+/// Per-histogram activity inside one window.
+struct HistogramDelta {
+  int64_t count = 0;
+  double sum = 0.0;
+
+  double Mean() const { return count == 0 ? 0.0 : sum / count; }
+};
+
+/// Per-arc activity inside one window — the windowed estimator series
+/// the drift detector (ROADMAP item 5) reads: p̂ over *this window's*
+/// attempts, not the run-cumulative estimate, so a shifted context
+/// distribution shows up as a moving series instead of being averaged
+/// away.
+struct ArcWindowStats {
+  uint32_t arc = 0;
+  int64_t attempts = 0;   // attempts inside the window
+  int64_t unblocked = 0;  // successful traversals inside the window
+  double cost = 0.0;      // cost paid inside the window
+
+  double PHat() const {
+    return attempts == 0 ? 0.0
+                         : static_cast<double>(unblocked) /
+                               static_cast<double>(attempts);
+  }
+  double MeanCost() const {
+    return attempts == 0 ? 0.0 : cost / static_cast<double>(attempts);
+  }
+};
+
+/// One closed window: the registry's cumulative state at close plus the
+/// per-interval deltas against the previous boundary.
+struct TimeSeriesWindow {
+  int64_t index = 0;  // 0-based since collector start; survives eviction
+  int64_t start_us = 0;
+  int64_t end_us = 0;
+  MetricsSnapshot cumulative;
+  std::map<std::string, int64_t> counter_deltas;
+  std::map<std::string, HistogramDelta> histogram_deltas;
+  /// Arcs with at least one attempt in the window, ascending by arc id.
+  std::vector<ArcWindowStats> arcs;
+
+  int64_t span_us() const { return end_us - start_us; }
+  /// Per-second rate for one counter's delta (0 for a zero-length span).
+  double Rate(int64_t delta) const {
+    return span_us() <= 0 ? 0.0
+                          : static_cast<double>(delta) /
+                                (static_cast<double>(span_us()) / 1e6);
+  }
+};
+
+/// Snapshots a MetricsRegistry on a fixed cadence into ring-buffered
+/// windows, deriving per-interval counter deltas/rates, histogram
+/// activity, and windowed per-arc p̂ / mean-cost series. The collector
+/// is also a TraceSink: tee it next to a file sink and it accumulates
+/// ArcAttempt events into the per-arc series (all other events pass it
+/// by untouched).
+///
+/// Thread-safe throughout (one internal mutex): worker threads may emit
+/// ArcAttempt events while another thread drives AdvanceTo. The clock
+/// is the *caller's*: nothing here reads a real clock, which is what
+/// makes fake-clock runs byte-deterministic. AdvanceTo with a
+/// monotonically non-decreasing now closes every elapsed window
+/// boundary, so a long quiet stretch yields empty windows (zero deltas)
+/// rather than a gap in the series.
+class TimeSeriesCollector final : public TraceSink {
+ public:
+  /// `registry` may be null (per-arc series only).
+  TimeSeriesCollector(const MetricsRegistry* registry,
+                      TimeSeriesOptions options);
+
+  void OnArcAttempt(const ArcAttemptEvent& e) override;
+
+  /// Advances the collector clock, closing each window whose boundary
+  /// has passed. Non-monotonic calls (now earlier than the current
+  /// window start) are ignored.
+  void AdvanceTo(int64_t now_us);
+
+  /// AdvanceTo(now_us), then closes the trailing partial window when it
+  /// contains any elapsed time. Call once at end of run so the tail of
+  /// the series is not lost.
+  void Finalize(int64_t now_us);
+
+  /// Copy of the retained windows, oldest first.
+  std::vector<TimeSeriesWindow> Windows() const;
+
+  int64_t windows_closed() const;
+  int64_t windows_evicted() const;
+
+  /// "stratlearn-timeseries v1": one JSON header line (schema, cadence,
+  /// closed/evicted window counts), then one JSON object per retained
+  /// window with counter totals/deltas/rates, gauges, histogram
+  /// activity and the per-arc windowed series. Deterministic given a
+  /// deterministic clock domain and event stream.
+  std::string SerializeJsonl() const;
+
+ private:
+  struct ArcCumulative {
+    int64_t attempts = 0;
+    int64_t unblocked = 0;
+    double cost = 0.0;
+  };
+
+  /// Closes the window [window_start_, end_us). Caller holds mutex_.
+  void CloseWindowLocked(int64_t end_us);
+
+  mutable std::mutex mutex_;
+  const MetricsRegistry* registry_;
+  TimeSeriesOptions options_;
+  int64_t window_start_ = 0;
+  int64_t next_index_ = 0;
+  int64_t evicted_ = 0;
+  std::deque<TimeSeriesWindow> windows_;
+  std::map<uint32_t, ArcCumulative> arcs_;
+  /// State at the last closed boundary, for delta derivation.
+  MetricsSnapshot last_cumulative_;
+  std::map<uint32_t, ArcCumulative> last_arcs_;
+};
+
+}  // namespace stratlearn::obs
+
+#endif  // STRATLEARN_OBS_TIMESERIES_H_

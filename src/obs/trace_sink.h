@@ -1,6 +1,7 @@
 #ifndef STRATLEARN_OBS_TRACE_SINK_H_
 #define STRATLEARN_OBS_TRACE_SINK_H_
 
+#include <mutex>
 #include <vector>
 
 #include "obs/events.h"
@@ -111,6 +112,73 @@ class TeeSink final : public TraceSink {
 
  private:
   std::vector<TraceSink*> sinks_;
+};
+
+/// Serialises a borrowed single-threaded sink behind one mutex so any
+/// number of threads can emit events into it — the concurrency adapter
+/// for JsonlSink / ChromeTraceSink / StrategyProfiler, whose own event
+/// handlers assume exclusive access (buffered stream writes, aggregation
+/// maps). Event *ordering* across threads is whatever the mutex hands
+/// out; each event is delivered whole, so a JSONL file never interleaves
+/// two lines. Wrap the innermost sink (or a TeeSink fan-out) once; the
+/// per-event cost is one uncontended lock, which trace emission — already
+/// a formatting + I/O path — amortises trivially.
+class LockingSink final : public TraceSink {
+ public:
+  explicit LockingSink(TraceSink* inner) : inner_(inner) {}
+
+  void OnQueryStart(const QueryStartEvent& e) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inner_->OnQueryStart(e);
+  }
+  void OnQueryEnd(const QueryEndEvent& e) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inner_->OnQueryEnd(e);
+  }
+  void OnArcAttempt(const ArcAttemptEvent& e) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inner_->OnArcAttempt(e);
+  }
+  void OnClimbMove(const ClimbMoveEvent& e) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inner_->OnClimbMove(e);
+  }
+  void OnSequentialTest(const SequentialTestEvent& e) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inner_->OnSequentialTest(e);
+  }
+  void OnQuotaProgress(const QuotaProgressEvent& e) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inner_->OnQuotaProgress(e);
+  }
+  void OnPaloStop(const PaloStopEvent& e) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inner_->OnPaloStop(e);
+  }
+  void OnRetry(const RetryEvent& e) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inner_->OnRetry(e);
+  }
+  void OnBreaker(const BreakerEvent& e) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inner_->OnBreaker(e);
+  }
+  void OnDegraded(const DegradedEvent& e) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inner_->OnDegraded(e);
+  }
+  void Flush() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inner_->Flush();
+  }
+  void Close() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inner_->Close();
+  }
+
+ private:
+  std::mutex mutex_;
+  TraceSink* inner_;
 };
 
 }  // namespace stratlearn::obs

@@ -259,12 +259,15 @@ TEST(WriteFileAtomicTest, OverwritesExistingContent) {
 TEST(CanonicalWorkloadsTest, AllRegisteredRunAndSerialize) {
   BenchRegistry registry;
   obs::perf::RegisterCanonicalWorkloads(&registry);
-  ASSERT_EQ(registry.workloads().size(), 5u);
+  ASSERT_EQ(registry.workloads().size(), 8u);
   EXPECT_NE(registry.Find("datalog_load"), nullptr);
   EXPECT_NE(registry.Find("fig1_execute"), nullptr);
   EXPECT_NE(registry.Find("pib_climb"), nullptr);
   EXPECT_NE(registry.Find("pao_quota"), nullptr);
   EXPECT_NE(registry.Find("upsilon_order"), nullptr);
+  EXPECT_NE(registry.Find("obs_overhead_off"), nullptr);
+  EXPECT_NE(registry.Find("obs_overhead_metrics"), nullptr);
+  EXPECT_NE(registry.Find("obs_overhead_trace"), nullptr);
   EXPECT_EQ(registry.Find("nope"), nullptr);
 
   BenchOptions options = FakeOptions();
@@ -279,6 +282,27 @@ TEST(CanonicalWorkloadsTest, AllRegisteredRunAndSerialize) {
     Result<BenchReport> parsed = obs::perf::ParseBenchReport(json);
     EXPECT_TRUE(parsed.ok()) << workload.name;
   }
+}
+
+// Attaching the observer must not change execution semantics: the three
+// obs_overhead variants run the same seeded context stream, so their
+// work units (arc attempts) must match exactly.
+TEST(CanonicalWorkloadsTest, ObsOverheadVariantsDoIdenticalWork) {
+  BenchRegistry registry;
+  obs::perf::RegisterCanonicalWorkloads(&registry);
+  BenchOptions options = FakeOptions();
+  options.warmup = 0;
+  options.repetitions = 2;
+  BenchRunner runner(options);
+  double off =
+      runner.Run(*registry.Find("obs_overhead_off")).total_work_units;
+  double metrics =
+      runner.Run(*registry.Find("obs_overhead_metrics")).total_work_units;
+  double trace =
+      runner.Run(*registry.Find("obs_overhead_trace")).total_work_units;
+  EXPECT_GT(off, 0.0);
+  EXPECT_EQ(off, metrics);
+  EXPECT_EQ(off, trace);
 }
 
 }  // namespace

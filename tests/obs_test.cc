@@ -16,6 +16,7 @@
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
 #include "obs/observer.h"
+#include "obs/openmetrics.h"
 #include "obs/sinks.h"
 #include "obs/timer.h"
 #include "util/string_util.h"
@@ -143,6 +144,73 @@ TEST(HistogramTest, PercentileEndpointsPinned) {
   EXPECT_DOUBLE_EQ(h.Percentile(100), 25.0);
 }
 
+TEST(HistogramTest, EmptyHistogramMinMaxAreZero) {
+  // Regression: min_/max_ start at +/-inf internally; the accessors and
+  // every serialization must clamp the empty case to 0, never leak the
+  // sentinels.
+  Histogram h({1.0, 10.0});
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  obs::HistogramSnapshot snapshot = h.Snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.min, 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.max, 0.0);
+  // After the first sample both collapse to that sample.
+  h.Record(3.0);
+  EXPECT_DOUBLE_EQ(h.min(), 3.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+}
+
+TEST(HistogramMergeTest, CombinesBucketsAndMoments) {
+  Histogram a({1.0, 10.0});
+  Histogram b({1.0, 10.0});
+  a.Record(0.5);
+  a.Record(5.0);
+  b.Record(7.0);
+  b.Record(2000.0);  // overflow bucket
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.5 + 5.0 + 7.0 + 2000.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 2000.0);
+  EXPECT_EQ(a.bucket_count(0), 1);
+  EXPECT_EQ(a.bucket_count(1), 2);
+  EXPECT_EQ(a.bucket_count(2), 1);  // overflow came across
+  // `b` is untouched.
+  EXPECT_EQ(b.count(), 2);
+}
+
+TEST(HistogramMergeTest, EmptySidesAreExact) {
+  Histogram target({1.0});
+  Histogram empty({1.0});
+  // Empty into empty: still empty, min/max still clamp to 0.
+  target.Merge(empty);
+  EXPECT_EQ(target.count(), 0);
+  EXPECT_DOUBLE_EQ(target.min(), 0.0);
+  EXPECT_DOUBLE_EQ(target.max(), 0.0);
+  // Empty into non-empty: a no-op that must not fold the empty side's
+  // min/max sentinels (or zeros) into real extrema.
+  target.Record(5.0);
+  target.Merge(empty);
+  EXPECT_EQ(target.count(), 1);
+  EXPECT_DOUBLE_EQ(target.min(), 5.0);
+  EXPECT_DOUBLE_EQ(target.max(), 5.0);
+  // Non-empty into empty: the target adopts the source's extrema.
+  Histogram fresh({1.0});
+  fresh.Merge(target);
+  EXPECT_EQ(fresh.count(), 1);
+  EXPECT_DOUBLE_EQ(fresh.min(), 5.0);
+  EXPECT_DOUBLE_EQ(fresh.max(), 5.0);
+}
+
+TEST(HistogramMergeTest, MismatchedBoundsAbort) {
+  Histogram a({1.0, 2.0});
+  Histogram coarser({1.0});
+  Histogram shifted({1.0, 3.0});
+  EXPECT_DEATH(a.Merge(coarser), "bounds");
+  EXPECT_DEATH(a.Merge(shifted), "bounds");
+}
+
 TEST(MetricsRegistryTest, HandlesAreStableAndNamed) {
   MetricsRegistry registry;
   obs::Counter& c = registry.GetCounter("a.count");
@@ -173,6 +241,63 @@ TEST(MetricsRegistryTest, SnapshotJsonGolden) {
       R"({"le":"+Inf","count":0}]}}})";
   EXPECT_EQ(registry.SnapshotJson(), expected);
   EXPECT_TRUE(IsValidJson(registry.SnapshotJson()));
+}
+
+TEST(MetricsRegistryTest, NonFiniteGaugesStillRenderValidJson) {
+  // Regression: a NaN or infinite gauge must not leak "nan"/"inf"
+  // tokens into the snapshot (invalid JSON); they render as null.
+  MetricsRegistry registry;
+  registry.GetGauge("g.nan").Set(std::nan(""));
+  registry.GetGauge("g.pos_inf").Set(std::numeric_limits<double>::infinity());
+  registry.GetGauge("g.neg_inf").Set(-std::numeric_limits<double>::infinity());
+  registry.GetGauge("g.finite").Set(1.5);
+  std::string json = registry.SnapshotJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_EQ(json,
+            R"({"counters":{},"gauges":{"g.finite":1.5,"g.nan":null,)"
+            R"("g.neg_inf":null,"g.pos_inf":null},"histograms":{}})");
+}
+
+TEST(OpenMetricsTest, NameSanitization) {
+  EXPECT_EQ(obs::OpenMetricsName("qp.arc_attempts"), "qp_arc_attempts");
+  EXPECT_EQ(obs::OpenMetricsName("a-b c"), "a_b_c");
+  EXPECT_EQ(obs::OpenMetricsName("9lives"), "_9lives");
+  EXPECT_EQ(obs::OpenMetricsName(""), "_");
+}
+
+TEST(OpenMetricsTest, ExpositionGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("qp.queries").Increment(3);
+  registry.GetGauge("qpa.quota_remaining").Set(7);
+  Histogram& h = registry.GetHistogram("qp.query_cost", {1.0, 10.0});
+  h.Record(0.5);
+  h.Record(4.0);
+  const char* expected =
+      "# TYPE qp_queries counter\n"
+      "qp_queries_total 3\n"
+      "# TYPE qpa_quota_remaining gauge\n"
+      "qpa_quota_remaining 7\n"
+      "# TYPE qp_query_cost histogram\n"
+      "qp_query_cost_bucket{le=\"1\"} 1\n"
+      "qp_query_cost_bucket{le=\"10\"} 2\n"
+      "qp_query_cost_bucket{le=\"+Inf\"} 2\n"
+      "qp_query_cost_sum 4.5\n"
+      "qp_query_cost_count 2\n"
+      "# EOF\n";
+  EXPECT_EQ(obs::OpenMetricsText(registry.Snapshot()), expected);
+}
+
+TEST(OpenMetricsTest, NonFiniteGaugesUseLiteralSpellings) {
+  // Unlike JSON, the exposition format has NaN/+Inf/-Inf literals; a
+  // non-finite gauge must survive the dump un-mangled.
+  MetricsRegistry registry;
+  registry.GetGauge("g.nan").Set(std::nan(""));
+  registry.GetGauge("g.pos").Set(std::numeric_limits<double>::infinity());
+  registry.GetGauge("g.neg").Set(-std::numeric_limits<double>::infinity());
+  std::string text = obs::OpenMetricsText(registry.Snapshot());
+  EXPECT_NE(text.find("g_nan NaN\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("g_pos +Inf\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("g_neg -Inf\n"), std::string::npos) << text;
 }
 
 TEST(ScopedTimerTest, RecordsElapsedMicros) {

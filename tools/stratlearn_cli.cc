@@ -78,6 +78,26 @@
 // opened fail the command up front, before any work runs. See README
 // "Observability" for the schema.
 //
+// Streaming telemetry (learn-pib / learn-pao):
+//   --metrics-export=FILE   periodically overwrite FILE with an
+//                           OpenMetrics / Prometheus text dump of the
+//                           registry (atomic rename, scraper-safe); a
+//                           final dump is always written at end of run
+//   --export-every=N        export cadence in clock units (default:
+//                           1000000 steady-clock us, or 100 queries on
+//                           the fake clock)
+//   --timeseries-out=FILE   write the windowed time-series ("stratlearn-
+//                           timeseries v1" JSONL: per-window counter
+//                           deltas/rates, histogram activity, per-arc
+//                           p-hat / mean cost) at end of run; render it
+//                           with tools/stats_report
+//   --timeseries-every=N    window length in clock units (same defaults
+//                           as --export-every)
+//   --obs-clock=MODE        'steady' (default) stamps windows with real
+//                           steady-clock microseconds; 'fake' advances
+//                           the telemetry clock one unit per query, so
+//                           runs are byte-deterministic for a fixed seed
+//
 // Program files are Datalog ("instructor(X) :- prof(X). prof(russ).").
 // Workload files hold one query per line: "<weight> <arg1> [<arg2> ...]";
 // '#' starts a comment.
@@ -104,11 +124,13 @@
 #include "engine/query_processor.h"
 #include "graph/serialization.h"
 #include "obs/observer.h"
+#include "obs/openmetrics.h"
 #include "obs/perf/bench_runner.h"
 #include "obs/perf/workloads.h"
 #include "obs/profiler.h"
 #include "obs/sinks.h"
 #include "obs/timer.h"
+#include "obs/timeseries.h"
 #include "util/string_util.h"
 #include "verify/diagnostics.h"
 #include "verify/verify.h"
@@ -130,6 +152,12 @@ struct CliOptions {
   std::string metrics_out;
   std::string trace_out;
   std::string profile_out;
+  // Streaming telemetry.
+  std::string metrics_export;
+  int64_t export_every = 0;  // 0 = auto for the clock mode
+  std::string timeseries_out;
+  int64_t timeseries_every = 0;  // 0 = auto for the clock mode
+  std::string obs_clock = "steady";
   // Fault tolerance & checkpointing.
   std::string fault_plan;
   std::string checkpoint;
@@ -148,15 +176,29 @@ struct CliOptions {
 };
 
 /// Observability wiring for one CLI command: a registry, an optional
-/// file trace sink chosen by --trace-out's extension, and an optional
+/// file trace sink chosen by --trace-out's extension, an optional
 /// StrategyProfiler (always on for `explain`, otherwise only with
-/// --profile-out) teed onto the same event stream. All output paths are
-/// opened in the constructor so a bad path fails the command before any
-/// work runs, instead of silently dropping telemetry at the end; check
-/// `status` right after construction.
+/// --profile-out), and the streaming-telemetry pair — a
+/// TimeSeriesCollector (--timeseries-out) teed onto the same event
+/// stream and a PeriodicOpenMetricsExporter (--metrics-export) — all
+/// sharing one clock domain chosen by --obs-clock. All output paths are
+/// opened (or probe-written) in the constructor so a bad path fails the
+/// command before any work runs, instead of silently dropping telemetry
+/// at the end; check `status` right after construction.
 struct CliObserver {
   explicit CliObserver(const CliOptions& options,
                        bool want_profiler = false) {
+    if (options.obs_clock != "steady" && options.obs_clock != "fake") {
+      status =
+          Status::InvalidArgument("--obs-clock must be 'steady' or 'fake'");
+      return;
+    }
+    fake_clock = options.obs_clock == "fake";
+    if (options.export_every < 0 || options.timeseries_every < 0) {
+      status = Status::InvalidArgument(
+          "--export-every / --timeseries-every must be positive");
+      return;
+    }
     if (!options.trace_out.empty()) {
       trace_is_jsonl = options.trace_out.size() >= 6 &&
                        options.trace_out.rfind(".jsonl") ==
@@ -193,15 +235,75 @@ struct CliObserver {
       profiler = std::make_unique<obs::StrategyProfiler>(
           obs::ProfilerOptions{.delta = options.delta});
     }
-    obs::TraceSink* active = file_sink.get();
-    if (profiler != nullptr && file_sink != nullptr) {
-      tee = std::make_unique<obs::TeeSink>(
-          std::vector<obs::TraceSink*>{file_sink.get(), profiler.get()});
+    if (!options.timeseries_out.empty()) {
+      timeseries_stream.open(options.timeseries_out);
+      if (!timeseries_stream) {
+        status = CannotOpen("--timeseries-out", options.timeseries_out);
+        return;
+      }
+      obs::TimeSeriesOptions ts_options;
+      ts_options.interval_us =
+          ResolveInterval(options.timeseries_every, fake_clock);
+      timeseries =
+          std::make_unique<obs::TimeSeriesCollector>(&registry, ts_options);
+    }
+    if (!options.metrics_export.empty()) {
+      exporter = std::make_unique<obs::PeriodicOpenMetricsExporter>(
+          options.metrics_export,
+          ResolveInterval(options.export_every, fake_clock));
+      // Probe dump: scrapers see the file immediately, and an unwritable
+      // path fails the command up front like every other output flag.
+      if (!exporter->ExportNow(registry)) {
+        status = CannotOpen("--metrics-export", options.metrics_export);
+        return;
+      }
+    }
+    std::vector<obs::TraceSink*> sinks;
+    if (file_sink != nullptr) sinks.push_back(file_sink.get());
+    if (profiler != nullptr) sinks.push_back(profiler.get());
+    if (timeseries != nullptr) sinks.push_back(timeseries.get());
+    obs::TraceSink* active = nullptr;
+    if (sinks.size() == 1) {
+      active = sinks.front();
+    } else if (sinks.size() > 1) {
+      tee = std::make_unique<obs::TeeSink>(sinks);
       active = tee.get();
-    } else if (profiler != nullptr) {
-      active = profiler.get();
     }
     observer = std::make_unique<obs::Observer>(&registry, active);
+    // Fake clock: event timestamps and qp.query_wall_us durations come
+    // from the query ordinal, not the steady clock, so two identical
+    // runs produce byte-identical telemetry.
+    if (fake_clock) observer->UseManualClock();
+  }
+
+  /// Clock-unit cadence: an explicit flag wins; otherwise one window /
+  /// export per steady-clock second, or per 100 queries on the fake
+  /// clock.
+  static int64_t ResolveInterval(int64_t flag_value, bool fake) {
+    if (flag_value > 0) return flag_value;
+    return fake ? 100 : 1'000'000;
+  }
+
+  /// Telemetry clock: `queries_done` on the fake clock, the observer's
+  /// steady-clock microseconds otherwise.
+  int64_t Now(int64_t queries_done) const {
+    return fake_clock ? queries_done : observer->NowUs();
+  }
+
+  bool NeedsTicks() const {
+    return timeseries != nullptr || exporter != nullptr;
+  }
+
+  /// Per-query cadence driver: closes elapsed time-series windows and
+  /// writes an OpenMetrics dump when its interval has passed. Cheap when
+  /// neither flag is set (two null checks).
+  void Tick(int64_t queries_done) {
+    if (fake_clock) observer->AdvanceManualClock(queries_done);
+    if (!NeedsTicks()) return;
+    int64_t now = Now(queries_done);
+    last_now_ = now;
+    if (timeseries != nullptr) timeseries->AdvanceTo(now);
+    if (exporter != nullptr) exporter->MaybeExport(now, registry);
   }
 
   /// Closes (finalises) the trace, optionally prints the summary, and
@@ -252,6 +354,32 @@ struct CliObserver {
         std::printf("profile written to %s\n", options.profile_out.c_str());
       }
     }
+    if (timeseries != nullptr) {
+      // Close the trailing partial window at the last tick (fake clock)
+      // or at real end-of-run time, then write the series.
+      timeseries->Finalize(fake_clock ? last_now_ : observer->NowUs());
+      timeseries_stream << timeseries->SerializeJsonl();
+      timeseries_stream.flush();
+      if (!timeseries_stream) {
+        std::fprintf(stderr,
+                     "warning: failed writing time series to '%s' (disk "
+                     "full or closed pipe?); continuing without it\n",
+                     options.timeseries_out.c_str());
+      } else {
+        std::printf("time series written to %s (%lld windows)\n",
+                    options.timeseries_out.c_str(),
+                    static_cast<long long>(timeseries->windows_closed()));
+      }
+    }
+    if (exporter != nullptr) {
+      // Final dump so the exported file reflects end-of-run state even
+      // when the run ended mid-interval.
+      if (exporter->ExportNow(registry)) {
+        std::printf("metrics exported to %s (%lld dumps)\n",
+                    exporter->path().c_str(),
+                    static_cast<long long>(exporter->exports()));
+      }
+    }
     return Status::OK();
   }
 
@@ -273,12 +401,18 @@ struct CliObserver {
   Status status;
   obs::MetricsRegistry registry;
   bool trace_is_jsonl = false;
+  bool fake_clock = false;
   std::unique_ptr<obs::TraceSink> file_sink;
   std::unique_ptr<obs::StrategyProfiler> profiler;
+  std::unique_ptr<obs::TimeSeriesCollector> timeseries;
+  std::unique_ptr<obs::PeriodicOpenMetricsExporter> exporter;
   std::unique_ptr<obs::TeeSink> tee;
   std::unique_ptr<obs::Observer> observer;
   std::ofstream metrics_stream;
   std::ofstream profile_stream;
+  std::ofstream timeseries_stream;
+  /// Last telemetry-clock reading seen by Tick (fake-clock finalise).
+  int64_t last_now_ = 0;
 };
 
 int Fail(const std::string& message) {
@@ -370,6 +504,16 @@ CliOptions ParseArgs(int argc, char** argv) {
       options.trace_out = arg.substr(12);
     } else if (StartsWith(arg, "--profile-out=")) {
       options.profile_out = arg.substr(14);
+    } else if (StartsWith(arg, "--metrics-export=")) {
+      options.metrics_export = arg.substr(17);
+    } else if (StartsWith(arg, "--export-every=")) {
+      options.export_every = std::atoll(arg.c_str() + 15);
+    } else if (StartsWith(arg, "--timeseries-out=")) {
+      options.timeseries_out = arg.substr(17);
+    } else if (StartsWith(arg, "--timeseries-every=")) {
+      options.timeseries_every = std::atoll(arg.c_str() + 19);
+    } else if (StartsWith(arg, "--obs-clock=")) {
+      options.obs_clock = arg.substr(12);
     } else if (StartsWith(arg, "--fault-plan=")) {
       options.fault_plan = arg.substr(13);
     } else if (StartsWith(arg, "--checkpoint=")) {
@@ -540,7 +684,9 @@ int CmdLearnPib(const CliOptions& options) {
     return Fail(
         "usage: stratlearn_cli learn-pib <program.dl> <query-form> "
         "<workload.txt> [--delta= --queries= --strategy-out= --seed= "
-        "--metrics-out= --trace-out= --profile-out= --fault-plan= "
+        "--metrics-out= --trace-out= --profile-out= --metrics-export= "
+        "--export-every= --timeseries-out= --timeseries-every= "
+        "--obs-clock=steady|fake --fault-plan= "
         "--checkpoint= --checkpoint-every= --resume --halt-after=]");
   }
   if (options.resume && options.checkpoint.empty()) {
@@ -620,8 +766,13 @@ int CmdLearnPib(const CliOptions& options) {
   };
 
   {
+    // Wall time is meaningless (and nondeterministic) on the fake
+    // clock; skip the histogram there so fake-clock telemetry stays
+    // byte-reproducible.
     obs::ScopedTimer timer(
-        &cli_obs.registry.GetHistogram("cli.learn_wall_us"));
+        cli_obs.fake_clock
+            ? nullptr
+            : &cli_obs.registry.GetHistogram("cli.learn_wall_us"));
     for (int64_t i = done; i < options.queries; ++i) {
       if (pib.Observe(qp.Execute(pib.strategy(), oracle.Next(rng)))) {
         std::printf("  move at query %lld: %s\n",
@@ -630,6 +781,7 @@ int CmdLearnPib(const CliOptions& options) {
                         .c_str());
       }
       done = i + 1;
+      cli_obs.Tick(done);
       if (!options.checkpoint.empty() && options.checkpoint_every > 0 &&
           done % options.checkpoint_every == 0 && done < options.queries) {
         Status written = write_checkpoint();
@@ -664,7 +816,9 @@ int CmdLearnPao(const CliOptions& options) {
     return Fail(
         "usage: stratlearn_cli learn-pao <program.dl> <query-form> "
         "<workload.txt> [--epsilon= --delta= --theorem3 --strategy-out= "
-        "--seed= --metrics-out= --trace-out= --profile-out= --fault-plan= "
+        "--seed= --metrics-out= --trace-out= --profile-out= "
+        "--metrics-export= --export-every= --timeseries-out= "
+        "--timeseries-every= --obs-clock=steady|fake --fault-plan= "
         "--checkpoint= --checkpoint-every= --resume]");
   }
   if (options.resume && options.checkpoint.empty()) {
@@ -749,9 +903,24 @@ int CmdLearnPao(const CliOptions& options) {
 
   CliObserver cli_obs(options);
   if (!cli_obs.status.ok()) return Fail(cli_obs.status.ToString());
+  if (cli_obs.NeedsTicks() || cli_obs.fake_clock) {
+    // Chain the telemetry cadence onto the per-context hook (after the
+    // checkpoint writer, when one is installed). Fake-clock runs need
+    // the tick even without --timeseries-out / --metrics-export so the
+    // manual clock advances for trace timestamps.
+    auto checkpoint_hook = pao_options.on_context;
+    pao_options.on_context = [&cli_obs, checkpoint_hook](
+                                 const AdaptiveQueryProcessor& qpa,
+                                 int64_t contexts) {
+      if (checkpoint_hook) checkpoint_hook(qpa, contexts);
+      cli_obs.Tick(contexts);
+    };
+  }
   Result<PaoResult> result = [&] {
     obs::ScopedTimer timer(
-        &cli_obs.registry.GetHistogram("cli.learn_wall_us"));
+        cli_obs.fake_clock
+            ? nullptr
+            : &cli_obs.registry.GetHistogram("cli.learn_wall_us"));
     return Pao::Run(loaded.built.graph, oracle, rng, pao_options,
                     cli_obs.observer.get());
   }();
