@@ -123,6 +123,41 @@ struct DegradedEvent {
   int64_t attempts = 0; // arc attempts completed before degrading
 };
 
+/// A statistical drift detector changed state for one monitored
+/// series. "detected": the windowed statistic moved past the detector's
+/// threshold relative to its reference; "cleared": a later window
+/// passed the same test again. Exactly one of `arc` (>= 0) or
+/// `counter` (non-empty) identifies the series, depending on the
+/// detector family.
+struct DriftEvent {
+  int64_t t_us = 0;
+  std::string detector;  // "p_hat" | "mean_cost" | "rate"
+  std::string state;     // "detected" | "cleared"
+  int64_t arc = -1;      // -1 for counter-rate detectors
+  std::string counter;   // empty for per-arc detectors
+  double statistic = 0.0;  // the windowed value that was tested
+  double reference = 0.0;  // the reference it was tested against
+  double threshold = 0.0;  // breach margin the test required
+  int64_t window = 0;      // index of the window that fired the test
+  int64_t window_start_us = 0;
+  int64_t window_end_us = 0;
+};
+
+/// An alert rule crossed its firing/resolved transition. Emitted only
+/// on transitions (not every breached window), so the event stream is a
+/// transcript of state changes.
+struct AlertEvent {
+  int64_t t_us = 0;
+  std::string rule;      // rule id from the alerts config
+  std::string state;     // "firing" | "resolved"
+  std::string severity;  // "warning" | "critical"
+  std::string metric;    // the rule's metric selector
+  double value = 0.0;    // selector value in the transition window
+  double threshold = 0.0;
+  int64_t window = 0;       // index of the transition window
+  int64_t for_windows = 0;  // consecutive breaches required to fire
+};
+
 /// PALO certified an epsilon-local optimum and stopped.
 struct PaloStopEvent {
   int64_t t_us = 0;

@@ -1,0 +1,190 @@
+#include "obs/health/alerts.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace stratlearn::obs::health {
+
+namespace {
+
+bool Compare(double value, const std::string& comparator, double threshold) {
+  if (comparator == ">") return value > threshold;
+  if (comparator == ">=") return value >= threshold;
+  if (comparator == "<") return value < threshold;
+  return value <= threshold;  // "<="
+}
+
+}  // namespace
+
+MetricSelector ParseMetricSelector(std::string_view text) {
+  MetricSelector selector;
+  if (text == "drift_active") {
+    selector.kind = MetricSelector::Kind::kDriftActive;
+    return selector;
+  }
+  size_t colon = text.find(':');
+  if (colon == std::string_view::npos || colon + 1 >= text.size()) {
+    return selector;
+  }
+  std::string_view kind = text.substr(0, colon);
+  std::string_view name = text.substr(colon + 1);
+  if (kind == "counter_delta") {
+    selector.kind = MetricSelector::Kind::kCounterDelta;
+  } else if (kind == "counter_rate") {
+    selector.kind = MetricSelector::Kind::kCounterRate;
+  } else if (kind == "gauge") {
+    selector.kind = MetricSelector::Kind::kGauge;
+  } else if (kind == "histogram_mean") {
+    selector.kind = MetricSelector::Kind::kHistogramMean;
+  } else if (kind == "arc_p_hat") {
+    selector.kind = MetricSelector::Kind::kArcPHat;
+  } else if (kind == "arc_mean_cost") {
+    selector.kind = MetricSelector::Kind::kArcMeanCost;
+  } else {
+    return selector;
+  }
+  if (selector.kind == MetricSelector::Kind::kArcPHat ||
+      selector.kind == MetricSelector::Kind::kArcMeanCost) {
+    std::string buffer(name);
+    char* end = nullptr;
+    long long arc = std::strtoll(buffer.c_str(), &end, 10);
+    if (end != buffer.c_str() + buffer.size() || arc < 0) {
+      selector.kind = MetricSelector::Kind::kInvalid;
+      return selector;
+    }
+    selector.arc = arc;
+  } else {
+    selector.name = std::string(name);
+  }
+  return selector;
+}
+
+bool SelectorIsNonNegative(const MetricSelector& selector) {
+  return selector.kind != MetricSelector::Kind::kGauge &&
+         selector.kind != MetricSelector::Kind::kInvalid;
+}
+
+bool EvaluateSelector(const MetricSelector& selector,
+                      const TimeSeriesWindow& window, int64_t drift_active,
+                      double* out) {
+  switch (selector.kind) {
+    case MetricSelector::Kind::kCounterDelta: {
+      auto it = window.counter_deltas.find(selector.name);
+      if (it == window.counter_deltas.end()) return false;
+      *out = static_cast<double>(it->second);
+      return true;
+    }
+    case MetricSelector::Kind::kCounterRate: {
+      auto it = window.counter_deltas.find(selector.name);
+      if (it == window.counter_deltas.end()) return false;
+      *out = window.Rate(it->second);
+      return true;
+    }
+    case MetricSelector::Kind::kGauge: {
+      auto it = window.cumulative.gauges.find(selector.name);
+      if (it == window.cumulative.gauges.end()) return false;
+      *out = it->second;
+      return true;
+    }
+    case MetricSelector::Kind::kHistogramMean: {
+      auto it = window.histogram_deltas.find(selector.name);
+      if (it == window.histogram_deltas.end() || it->second.count == 0) {
+        return false;
+      }
+      *out = it->second.Mean();
+      return true;
+    }
+    case MetricSelector::Kind::kArcPHat:
+    case MetricSelector::Kind::kArcMeanCost: {
+      for (const ArcWindowStats& arc : window.arcs) {
+        if (static_cast<int64_t>(arc.arc) != selector.arc) continue;
+        *out = selector.kind == MetricSelector::Kind::kArcPHat
+                   ? arc.PHat()
+                   : arc.MeanCost();
+        return true;
+      }
+      return false;  // arc saw no attempts this window
+    }
+    case MetricSelector::Kind::kDriftActive:
+      *out = static_cast<double>(drift_active);
+      return true;
+    case MetricSelector::Kind::kInvalid:
+      return false;
+  }
+  return false;
+}
+
+AlertEngine::AlertEngine(AlertRuleSet rules, MetricsRegistry* registry)
+    : rules_(std::move(rules)),
+      registry_(registry),
+      states_(rules_.rules.size()) {
+  // Publish every rule's gauge up front so a scrape before the first
+  // window still lists the full rule set (all quiescent).
+  if (registry_ != nullptr) {
+    for (const AlertRule& rule : rules_.rules) {
+      registry_->GetGauge("alert_firing." + rule.id).Set(0.0);
+    }
+  }
+}
+
+std::vector<AlertEvent> AlertEngine::Evaluate(const TimeSeriesWindow& window,
+                                              int64_t drift_active) {
+  std::vector<AlertEvent> transitions;
+  for (size_t i = 0; i < rules_.rules.size(); ++i) {
+    const AlertRule& rule = rules_.rules[i];
+    RuleState& state = states_[i];
+    double value = 0.0;
+    bool present = EvaluateSelector(rule.selector, window, drift_active,
+                                    &value);
+    state.last_present = present;
+    state.last_value = present ? value : 0.0;
+    bool breached =
+        present && Compare(value, rule.comparator, rule.threshold);
+    bool was_firing = state.firing;
+    if (breached) {
+      ++state.streak;
+      if (!state.firing && state.streak >= rule.for_windows) {
+        state.firing = true;
+      }
+    } else {
+      // An absent series resolves like a healthy one: the condition is
+      // no longer observably true.
+      state.streak = 0;
+      state.firing = false;
+    }
+    if (state.firing != was_firing) {
+      ++state.transitions;
+      state.last_transition_window = window.index;
+      AlertEvent e;
+      e.t_us = window.end_us;
+      e.rule = rule.id;
+      e.state = state.firing ? "firing" : "resolved";
+      e.severity = rule.severity;
+      e.metric = rule.metric;
+      e.value = state.last_value;
+      e.threshold = rule.threshold;
+      e.window = window.index;
+      e.for_windows = rule.for_windows;
+      transitions.push_back(std::move(e));
+    }
+    if (registry_ != nullptr) {
+      registry_->GetGauge("alert_firing." + rule.id)
+          .Set(state.firing ? 1.0 : 0.0);
+    }
+  }
+  return transitions;
+}
+
+bool AlertEngine::AnyFiring() const { return FiringCount() > 0; }
+
+int64_t AlertEngine::FiringCount() const {
+  int64_t firing = 0;
+  for (const RuleState& state : states_) {
+    if (state.firing) ++firing;
+  }
+  return firing;
+}
+
+}  // namespace stratlearn::obs::health

@@ -1,0 +1,71 @@
+#ifndef STRATLEARN_OBS_HEALTH_MONITOR_H_
+#define STRATLEARN_OBS_HEALTH_MONITOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/health/alerts.h"
+#include "obs/health/drift.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "obs/trace_sink.h"
+
+namespace stratlearn::obs::health {
+
+struct HealthOptions {
+  DriftOptions drift;
+};
+
+/// Ties the drift detectors and the alert engine to the window stream:
+/// feed every closed TimeSeriesWindow (live via
+/// TimeSeriesCollector::SetWindowCallback, or offline from a loaded
+/// series file) through OnWindow and the monitor runs the detectors,
+/// evaluates the rules, forwards every transition to an optional event
+/// sink, and keeps the transcript the "stratlearn-health-v1" report
+/// renders. Everything here is a pure function of the window sequence,
+/// so an offline replay of a serialized series reproduces the online
+/// report byte for byte.
+class HealthMonitor {
+ public:
+  /// `registry` (nullable) receives the per-rule "alert_firing.<id>"
+  /// gauges for OpenMetrics export.
+  HealthMonitor(AlertRuleSet rules, HealthOptions options,
+                MetricsRegistry* registry = nullptr);
+
+  /// Drift/alert transitions are forwarded here (nullable; typically
+  /// the run's sink tee, so transitions land in the JSONL trace and are
+  /// attached to the serialized series windows).
+  void set_event_sink(TraceSink* sink) { events_ = sink; }
+
+  /// Processes one closed window. Windows must arrive in series order.
+  void OnWindow(const TimeSeriesWindow& window);
+
+  bool AnyFiring() const { return alerts_.AnyFiring(); }
+  int64_t FiringCount() const { return alerts_.FiringCount(); }
+  int64_t drift_active() const { return drift_.ActiveCount(); }
+  int64_t windows_seen() const { return windows_seen_; }
+
+  /// Deterministic renderings of the current health state: rule table,
+  /// drift-series table, and the full transition transcript.
+  std::string RenderText() const;
+  /// One "stratlearn-health-v1" JSON document (round-trip precision).
+  std::string RenderJson() const;
+
+  const std::vector<DriftEvent>& drift_log() const { return drift_log_; }
+  const std::vector<AlertEvent>& alert_log() const { return alert_log_; }
+
+ private:
+  HealthOptions options_;
+  DriftDetector drift_;
+  AlertEngine alerts_;
+  TraceSink* events_ = nullptr;
+  int64_t windows_seen_ = 0;
+  int64_t last_window_ = -1;
+  std::vector<DriftEvent> drift_log_;
+  std::vector<AlertEvent> alert_log_;
+};
+
+}  // namespace stratlearn::obs::health
+
+#endif  // STRATLEARN_OBS_HEALTH_MONITOR_H_

@@ -1,0 +1,117 @@
+#include "obs/health/series_io.h"
+
+#include <string>
+#include <utility>
+
+#include "obs/json_reader.h"
+#include "util/string_util.h"
+
+namespace stratlearn::obs::health {
+
+namespace {
+
+Status Malformed(int line, const std::string& why) {
+  return Status::InvalidArgument(
+      StrFormat("line %d: %s", line, why.c_str()));
+}
+
+double NumberOr(const JsonValue* v, double fallback) {
+  return (v != nullptr && v->kind == JsonValue::Kind::kNumber) ? v->number
+                                                               : fallback;
+}
+
+int64_t IntOr(const JsonValue* v, int64_t fallback) {
+  return static_cast<int64_t>(
+      NumberOr(v, static_cast<double>(fallback)));
+}
+
+}  // namespace
+
+Status LoadTimeSeries(std::istream& in, LoadedSeries* out) {
+  std::string line;
+  int line_number = 0;
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (Trim(line).empty()) continue;
+    JsonValue value;
+    if (!ParseJson(line, &value) ||
+        value.kind != JsonValue::Kind::kObject) {
+      return Malformed(line_number, "line is not a JSON object");
+    }
+    if (!have_header) {
+      std::string schema = ReadJsonString(value, "schema");
+      if (schema != "stratlearn-timeseries-v1") {
+        return Malformed(line_number,
+                         schema.empty()
+                             ? "missing \"schema\" header"
+                             : "unknown schema '" + schema + "'");
+      }
+      (void)ReadJsonInt(value, "interval_us", &out->interval_us);
+      (void)ReadJsonInt(value, "capacity", &out->capacity);
+      (void)ReadJsonInt(value, "windows_closed", &out->windows_closed);
+      (void)ReadJsonInt(value, "windows_evicted", &out->windows_evicted);
+      have_header = true;
+      continue;
+    }
+    TimeSeriesWindow window;
+    if (!ReadJsonInt(value, "window", &window.index)) {
+      return Malformed(line_number,
+                       "window line lacks a numeric \"window\" index");
+    }
+    (void)ReadJsonInt(value, "start_us", &window.start_us);
+    (void)ReadJsonInt(value, "end_us", &window.end_us);
+    if (const JsonValue* counters = value.Get("counters");
+        counters != nullptr && counters->kind == JsonValue::Kind::kObject) {
+      for (const auto& [name, c] : counters->object) {
+        window.cumulative.counters[name] = IntOr(c.Get("total"), 0);
+        window.counter_deltas[name] = IntOr(c.Get("delta"), 0);
+      }
+    }
+    if (const JsonValue* gauges = value.Get("gauges");
+        gauges != nullptr && gauges->kind == JsonValue::Kind::kObject) {
+      for (const auto& [name, g] : gauges->object) {
+        window.cumulative.gauges[name] = NumberOr(&g, 0.0);
+      }
+    }
+    if (const JsonValue* histograms = value.Get("histograms");
+        histograms != nullptr &&
+        histograms->kind == JsonValue::Kind::kObject) {
+      for (const auto& [name, h] : histograms->object) {
+        HistogramDelta delta;
+        delta.count = IntOr(h.Get("count_delta"), 0);
+        delta.sum = NumberOr(h.Get("sum_delta"), 0.0);
+        window.histogram_deltas[name] = delta;
+        HistogramSnapshot total;
+        total.count = IntOr(h.Get("count_total"), 0);
+        total.sum = NumberOr(h.Get("sum_total"), 0.0);
+        window.cumulative.histograms[name] = std::move(total);
+      }
+    }
+    if (const JsonValue* arcs = value.Get("arcs");
+        arcs != nullptr && arcs->kind == JsonValue::Kind::kArray) {
+      for (const JsonValue& a : arcs->array) {
+        if (a.kind != JsonValue::Kind::kObject) {
+          return Malformed(line_number, "arc entry is not an object");
+        }
+        ArcWindowStats stats;
+        int64_t arc = IntOr(a.Get("arc"), -1);
+        if (arc < 0) {
+          return Malformed(line_number, "arc entry lacks an \"arc\" id");
+        }
+        stats.arc = static_cast<uint32_t>(arc);
+        stats.attempts = IntOr(a.Get("attempts"), 0);
+        stats.unblocked = IntOr(a.Get("unblocked"), 0);
+        stats.cost = NumberOr(a.Get("cost"), 0.0);
+        window.arcs.push_back(std::move(stats));
+      }
+    }
+    out->windows.push_back(std::move(window));
+  }
+  if (!have_header) {
+    return Malformed(line_number, "empty file (no header line)");
+  }
+  return Status::OK();
+}
+
+}  // namespace stratlearn::obs::health

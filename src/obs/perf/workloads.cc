@@ -10,8 +10,10 @@
 #include "datalog/parser.h"
 #include "engine/query_processor.h"
 #include "graph/examples.h"
+#include "obs/health/monitor.h"
 #include "obs/metrics.h"
 #include "obs/observer.h"
+#include "obs/timeseries.h"
 #include "obs/trace_sink.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -274,6 +276,102 @@ class ObsOverheadInstance : public BenchWorkloadInstance {
   std::unique_ptr<obs::Observer> observer_;
 };
 
+/// End-to-end statistical drift detection: a flat-tree satisficing
+/// search driven by a DriftingOracle whose first experiment steps from
+/// p = 0.8 to p = 0.2 mid-run, with the full health pipeline attached
+/// (observer -> time-series windows -> drift detectors). Each
+/// repetition runs the pipeline twice — drifting, then a stationary
+/// control with the same seed — and checks the detection contract in
+/// process: the shifted arc must raise a p-hat DriftDetected, the
+/// control must stay silent. The counters land in the fake-clock
+/// baseline, so a regression in detector sensitivity (missed drift) or
+/// specificity (control false positive) fails both the run and the
+/// bench diff.
+class DriftDetectInstance : public BenchWorkloadInstance {
+ public:
+  explicit DriftDetectInstance(uint64_t seed) : rng_(seed) {
+    Rng tree_rng(seed ^ 0x9e3779b97f4a7c15ULL);
+    tree_ = MakeFlatTree(tree_rng, 4);
+  }
+
+  struct PipelineOutcome {
+    double cost = 0.0;
+    int64_t shifted_detections = 0;  // p-hat detections on the shifted arc
+    int64_t other_detections = 0;    // anything else (should stay 0)
+    int64_t windows = 0;
+  };
+
+  PipelineOutcome RunPipeline(uint64_t seed, bool drifting) {
+    constexpr int64_t kContexts = 2000;
+    constexpr int64_t kDriftAt = 1000;
+    constexpr int64_t kWindowUnits = 100;
+    std::vector<double> before = {0.8, 0.5, 0.5, 0.5};
+    std::vector<double> after = before;
+    if (drifting) after[0] = 0.2;
+    DriftingOracle oracle(before, after, kDriftAt);
+
+    MetricsRegistry registry;
+    TimeSeriesOptions ts_options;
+    ts_options.interval_us = kWindowUnits;
+    TimeSeriesCollector collector(&registry, ts_options);
+    health::HealthMonitor monitor(health::AlertRuleSet{},
+                                  health::HealthOptions{}, &registry);
+    monitor.set_event_sink(&collector);
+    collector.SetWindowCallback([&monitor](const TimeSeriesWindow& w) {
+      monitor.OnWindow(w);
+    });
+    Observer observer(&registry, &collector);
+    observer.UseManualClock();
+    QueryProcessor qp(&tree_.graph, &observer);
+    Strategy theta = Strategy::DepthFirst(tree_.graph);
+
+    Rng rng(seed);
+    PipelineOutcome out;
+    for (int64_t i = 0; i < kContexts; ++i) {
+      out.cost += qp.Execute(theta, oracle.Next(rng)).cost;
+      observer.AdvanceManualClock(i + 1);
+      collector.AdvanceTo(i + 1);
+    }
+    collector.Finalize(kContexts);
+    out.windows = collector.windows_closed();
+    ArcId shifted_arc = tree_.graph.experiments()[0];
+    for (const DriftEvent& e : monitor.drift_log()) {
+      if (e.state != "detected") continue;
+      if (e.detector == "p_hat" && e.arc == shifted_arc) {
+        ++out.shifted_detections;
+      } else {
+        ++out.other_detections;
+      }
+    }
+    return out;
+  }
+
+  RepResult RunOnce() override {
+    uint64_t rep_seed = rng_.NextUint64();
+    PipelineOutcome drift = RunPipeline(rep_seed, /*drifting=*/true);
+    PipelineOutcome control = RunPipeline(rep_seed, /*drifting=*/false);
+    STRATLEARN_CHECK_MSG(drift.shifted_detections >= 1,
+                         "drift_detect must flag the shifted arc");
+    STRATLEARN_CHECK_MSG(
+        control.shifted_detections + control.other_detections == 0,
+        "drift_detect control run must stay silent");
+    RepResult result;
+    result.work_units = drift.cost + control.cost;
+    result.counters = {
+        {"contexts", 4000},
+        {"windows", drift.windows + control.windows},
+        {"drift_detected", drift.shifted_detections},
+        {"drift_other", drift.other_detections},
+        {"control_detected",
+         control.shifted_detections + control.other_detections}};
+    return result;
+  }
+
+ private:
+  RandomTree tree_;
+  Rng rng_;
+};
+
 template <typename Instance>
 BenchWorkload Workload(const char* name, const char* description) {
   return BenchWorkload{
@@ -297,6 +395,10 @@ void RegisterCanonicalWorkloads(BenchRegistry* registry) {
       "pao_quota", "PAO Theorem-3 quota run on Figure 2"));
   registry->Register(Workload<UpsilonOrderInstance>(
       "upsilon_order", "Upsilon_AOT ordering, 2048-leaf flat tree"));
+  registry->Register(Workload<DriftDetectInstance>(
+      "drift_detect",
+      "health pipeline end-to-end: p-hat drift on a shifted arc + "
+      "stationary control"));
   auto obs_overhead = [](const char* name, const char* description,
                          ObsOverheadInstance::Mode mode) {
     return BenchWorkload{

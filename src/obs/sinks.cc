@@ -31,6 +31,30 @@ void CommonClimbFields(JsonWriter& w, const ClimbMoveEvent& e) {
   w.Key("delta_spent").Value(e.delta_spent);
 }
 
+void CommonDriftFields(JsonWriter& w, const DriftEvent& e) {
+  w.Key("detector").Value(e.detector);
+  w.Key("state").Value(e.state);
+  w.Key("arc").Value(e.arc);
+  w.Key("counter").Value(e.counter);
+  w.Key("statistic").Value(e.statistic);
+  w.Key("reference").Value(e.reference);
+  w.Key("threshold").Value(e.threshold);
+  w.Key("window").Value(e.window);
+  w.Key("window_start_us").Value(e.window_start_us);
+  w.Key("window_end_us").Value(e.window_end_us);
+}
+
+void CommonAlertFields(JsonWriter& w, const AlertEvent& e) {
+  w.Key("rule").Value(e.rule);
+  w.Key("state").Value(e.state);
+  w.Key("severity").Value(e.severity);
+  w.Key("metric").Value(e.metric);
+  w.Key("value").Value(e.value);
+  w.Key("threshold").Value(e.threshold);
+  w.Key("window").Value(e.window);
+  w.Key("for_windows").Value(e.for_windows);
+}
+
 void CommonTestFields(JsonWriter& w, const SequentialTestEvent& e) {
   w.Key("learner").Value(e.learner);
   w.Key("at_context").Value(e.at_context);
@@ -202,6 +226,26 @@ void JsonlSink::OnDegraded(const DegradedEvent& e) {
   w.Key("cost").Value(e.cost);
   w.Key("budget").Value(e.budget);
   w.Key("attempts").Value(e.attempts);
+  w.EndObject();
+  WriteLine(w.str());
+}
+
+void JsonlSink::OnDrift(const DriftEvent& e) {
+  JsonWriter w(JsonWriter::kRoundTripDigits);
+  w.BeginObject();
+  w.Key("type").Value("drift");
+  w.Key("t_us").Value(e.t_us);
+  CommonDriftFields(w, e);
+  w.EndObject();
+  WriteLine(w.str());
+}
+
+void JsonlSink::OnAlert(const AlertEvent& e) {
+  JsonWriter w(JsonWriter::kRoundTripDigits);
+  w.BeginObject();
+  w.Key("type").Value("alert");
+  w.Key("t_us").Value(e.t_us);
+  CommonAlertFields(w, e);
   w.EndObject();
   WriteLine(w.str());
 }
@@ -398,6 +442,40 @@ void ChromeTraceSink::OnDegraded(const DegradedEvent& e) {
   w.Key("cost").Value(e.cost);
   w.Key("budget").Value(e.budget);
   w.Key("attempts").Value(e.attempts);
+  w.EndObject();
+  w.EndObject();
+  WriteRecord(w.str());
+}
+
+void ChromeTraceSink::OnDrift(const DriftEvent& e) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").Value("drift");
+  w.Key("cat").Value("health");
+  w.Key("ph").Value("i");
+  w.Key("s").Value("g");
+  w.Key("ts").Value(e.t_us);
+  w.Key("pid").Value(int64_t{1});
+  w.Key("tid").Value(int64_t{1});
+  w.Key("args").BeginObject();
+  CommonDriftFields(w, e);
+  w.EndObject();
+  w.EndObject();
+  WriteRecord(w.str());
+}
+
+void ChromeTraceSink::OnAlert(const AlertEvent& e) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").Value("alert");
+  w.Key("cat").Value("health");
+  w.Key("ph").Value("i");
+  w.Key("s").Value("g");
+  w.Key("ts").Value(e.t_us);
+  w.Key("pid").Value(int64_t{1});
+  w.Key("tid").Value(int64_t{1});
+  w.Key("args").BeginObject();
+  CommonAlertFields(w, e);
   w.EndObject();
   w.EndObject();
   WriteRecord(w.str());

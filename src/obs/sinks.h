@@ -40,6 +40,8 @@ class JsonlSink final : public TraceSink {
   void OnRetry(const RetryEvent& e) override;
   void OnBreaker(const BreakerEvent& e) override;
   void OnDegraded(const DegradedEvent& e) override;
+  void OnDrift(const DriftEvent& e) override;
+  void OnAlert(const AlertEvent& e) override;
   void Flush() override;
   void Close() override;
 
@@ -82,6 +84,8 @@ class ChromeTraceSink final : public TraceSink {
   void OnRetry(const RetryEvent& e) override;
   void OnBreaker(const BreakerEvent& e) override;
   void OnDegraded(const DegradedEvent& e) override;
+  void OnDrift(const DriftEvent& e) override;
+  void OnAlert(const AlertEvent& e) override;
   void Flush() override;
   void Close() override;
 

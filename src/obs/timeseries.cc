@@ -24,22 +24,69 @@ void TimeSeriesCollector::OnArcAttempt(const ArcAttemptEvent& e) {
   cum.cost += e.cost;
 }
 
-void TimeSeriesCollector::AdvanceTo(int64_t now_us) {
+void TimeSeriesCollector::OnDrift(const DriftEvent& e) {
   std::lock_guard<std::mutex> lock(mutex_);
-  while (now_us >= window_start_ + options_.interval_us) {
-    CloseWindowLocked(window_start_ + options_.interval_us);
+  for (auto it = windows_.rbegin(); it != windows_.rend(); ++it) {
+    if (it->index == e.window) {
+      it->drift.push_back(e);
+      return;
+    }
+    if (it->index < e.window) break;
+  }
+}
+
+void TimeSeriesCollector::OnAlert(const AlertEvent& e) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = windows_.rbegin(); it != windows_.rend(); ++it) {
+    if (it->index == e.window) {
+      it->alerts.push_back(e);
+      return;
+    }
+    if (it->index < e.window) break;
+  }
+}
+
+void TimeSeriesCollector::SetWindowCallback(
+    std::function<void(const TimeSeriesWindow&)> cb) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  window_callback_ = std::move(cb);
+}
+
+void TimeSeriesCollector::AdvanceTo(int64_t now_us) {
+  std::vector<TimeSeriesWindow> closed;
+  std::function<void(const TimeSeriesWindow&)> cb;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (now_us >= window_start_ + options_.interval_us) {
+      CloseWindowLocked(window_start_ + options_.interval_us, &closed);
+    }
+    cb = window_callback_;
+  }
+  // Deliver outside the lock: the callback may emit events that come
+  // straight back into this collector through a tee.
+  if (cb) {
+    for (const TimeSeriesWindow& window : closed) cb(window);
   }
 }
 
 void TimeSeriesCollector::Finalize(int64_t now_us) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  while (now_us >= window_start_ + options_.interval_us) {
-    CloseWindowLocked(window_start_ + options_.interval_us);
+  std::vector<TimeSeriesWindow> closed;
+  std::function<void(const TimeSeriesWindow&)> cb;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (now_us >= window_start_ + options_.interval_us) {
+      CloseWindowLocked(window_start_ + options_.interval_us, &closed);
+    }
+    if (now_us > window_start_) CloseWindowLocked(now_us, &closed);
+    cb = window_callback_;
   }
-  if (now_us > window_start_) CloseWindowLocked(now_us);
+  if (cb) {
+    for (const TimeSeriesWindow& window : closed) cb(window);
+  }
 }
 
-void TimeSeriesCollector::CloseWindowLocked(int64_t end_us) {
+void TimeSeriesCollector::CloseWindowLocked(
+    int64_t end_us, std::vector<TimeSeriesWindow>* closed) {
   TimeSeriesWindow window;
   window.index = next_index_++;
   window.start_us = window_start_;
@@ -84,6 +131,7 @@ void TimeSeriesCollector::CloseWindowLocked(int64_t end_us) {
   last_cumulative_ = window.cumulative;
   last_arcs_ = arcs_;
   window_start_ = end_us;
+  if (window_callback_) closed->push_back(window);
   windows_.push_back(std::move(window));
   if (windows_.size() > options_.capacity) {
     windows_.pop_front();
@@ -122,7 +170,10 @@ std::string TimeSeriesCollector::SerializeJsonl() const {
     out += '\n';
   }
   for (const TimeSeriesWindow& window : windows_) {
-    JsonWriter w;
+    // Round-trip precision: the offline `health` pipeline re-derives
+    // detector statistics from this file and must reproduce the online
+    // run's decisions bit-for-bit.
+    JsonWriter w(JsonWriter::kRoundTripDigits);
     w.BeginObject();
     w.Key("window").Value(window.index);
     w.Key("start_us").Value(window.start_us);
@@ -167,6 +218,38 @@ std::string TimeSeriesCollector::SerializeJsonl() const {
       w.EndObject();
     }
     w.EndArray();
+    // Health decisions only appear when a monitor attributed some to
+    // this window, so series without monitoring serialize as before.
+    if (!window.drift.empty()) {
+      w.Key("drift").BeginArray();
+      for (const DriftEvent& e : window.drift) {
+        w.BeginObject();
+        w.Key("detector").Value(e.detector);
+        w.Key("state").Value(e.state);
+        w.Key("arc").Value(e.arc);
+        w.Key("counter").Value(e.counter);
+        w.Key("statistic").Value(e.statistic);
+        w.Key("reference").Value(e.reference);
+        w.Key("threshold").Value(e.threshold);
+        w.EndObject();
+      }
+      w.EndArray();
+    }
+    if (!window.alerts.empty()) {
+      w.Key("alerts").BeginArray();
+      for (const AlertEvent& e : window.alerts) {
+        w.BeginObject();
+        w.Key("rule").Value(e.rule);
+        w.Key("state").Value(e.state);
+        w.Key("severity").Value(e.severity);
+        w.Key("metric").Value(e.metric);
+        w.Key("value").Value(e.value);
+        w.Key("threshold").Value(e.threshold);
+        w.Key("for_windows").Value(e.for_windows);
+        w.EndObject();
+      }
+      w.EndArray();
+    }
     w.EndObject();
     out += w.Take();
     out += '\n';

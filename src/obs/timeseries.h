@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -66,6 +67,11 @@ struct TimeSeriesWindow {
   std::map<std::string, HistogramDelta> histogram_deltas;
   /// Arcs with at least one attempt in the window, ascending by arc id.
   std::vector<ArcWindowStats> arcs;
+  /// Drift-detector and alert-rule transitions attributed to this
+  /// window (fed back via OnDrift/OnAlert after the window closed), so
+  /// the serialized series itself records every health decision.
+  std::vector<DriftEvent> drift;
+  std::vector<AlertEvent> alerts;
 
   int64_t span_us() const { return end_us - start_us; }
   /// Per-second rate for one counter's delta (0 for a zero-length span).
@@ -98,6 +104,21 @@ class TimeSeriesCollector final : public TraceSink {
 
   void OnArcAttempt(const ArcAttemptEvent& e) override;
 
+  /// Drift/alert transitions are routed back into the collector (it
+  /// sits on the same tee as the other sinks) and attached to the
+  /// retained window matching the event's window index, so the series
+  /// file carries the health decisions alongside the data that caused
+  /// them. Events for already-evicted windows are dropped.
+  void OnDrift(const DriftEvent& e) override;
+  void OnAlert(const AlertEvent& e) override;
+
+  /// Invoked once per closed window (a copy, oldest first), *outside*
+  /// the collector's lock — the callback may re-enter the collector
+  /// (e.g. a health monitor emitting OnDrift back through a tee that
+  /// includes this collector). Called from whichever thread drives
+  /// AdvanceTo/Finalize.
+  void SetWindowCallback(std::function<void(const TimeSeriesWindow&)> cb);
+
   /// Advances the collector clock, closing each window whose boundary
   /// has passed. Non-monotonic calls (now earlier than the current
   /// window start) are ignored.
@@ -129,7 +150,10 @@ class TimeSeriesCollector final : public TraceSink {
   };
 
   /// Closes the window [window_start_, end_us). Caller holds mutex_.
-  void CloseWindowLocked(int64_t end_us);
+  /// When a window callback is set, appends a copy of the closed window
+  /// to `closed` for delivery after the lock is released.
+  void CloseWindowLocked(int64_t end_us,
+                         std::vector<TimeSeriesWindow>* closed);
 
   mutable std::mutex mutex_;
   const MetricsRegistry* registry_;
@@ -138,6 +162,7 @@ class TimeSeriesCollector final : public TraceSink {
   int64_t next_index_ = 0;
   int64_t evicted_ = 0;
   std::deque<TimeSeriesWindow> windows_;
+  std::function<void(const TimeSeriesWindow&)> window_callback_;
   std::map<uint32_t, ArcCumulative> arcs_;
   /// State at the last closed boundary, for delta derivation.
   MetricsSnapshot last_cumulative_;

@@ -307,6 +307,32 @@ Status TraceReader::ReplayLine(std::string_view line) {
     e.budget = Num(fields, "budget");
     e.attempts = Int(fields, "attempts");
     sink_->OnDegraded(e);
+  } else if (type == "drift") {
+    DriftEvent e;
+    e.t_us = Int(fields, "t_us");
+    e.detector = Str(fields, "detector");
+    e.state = Str(fields, "state");
+    e.arc = Int(fields, "arc", -1);
+    e.counter = Str(fields, "counter");
+    e.statistic = Num(fields, "statistic");
+    e.reference = Num(fields, "reference");
+    e.threshold = Num(fields, "threshold");
+    e.window = Int(fields, "window");
+    e.window_start_us = Int(fields, "window_start_us");
+    e.window_end_us = Int(fields, "window_end_us");
+    sink_->OnDrift(e);
+  } else if (type == "alert") {
+    AlertEvent e;
+    e.t_us = Int(fields, "t_us");
+    e.rule = Str(fields, "rule");
+    e.state = Str(fields, "state");
+    e.severity = Str(fields, "severity");
+    e.metric = Str(fields, "metric");
+    e.value = Num(fields, "value");
+    e.threshold = Num(fields, "threshold");
+    e.window = Int(fields, "window");
+    e.for_windows = Int(fields, "for_windows");
+    sink_->OnAlert(e);
   } else if (type == "palo_stop") {
     PaloStopEvent e;
     e.t_us = Int(fields, "t_us");

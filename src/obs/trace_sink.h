@@ -26,6 +26,8 @@ class TraceSink {
   virtual void OnRetry(const RetryEvent&) {}
   virtual void OnBreaker(const BreakerEvent&) {}
   virtual void OnDegraded(const DegradedEvent&) {}
+  virtual void OnDrift(const DriftEvent&) {}
+  virtual void OnAlert(const AlertEvent&) {}
 
   /// Push buffered output to the underlying medium. May be called any
   /// number of times mid-run; must not finalise the output.
@@ -99,6 +101,16 @@ class TeeSink final : public TraceSink {
       if (s != nullptr) s->OnDegraded(e);
     }
   }
+  void OnDrift(const DriftEvent& e) override {
+    for (TraceSink* s : sinks_) {
+      if (s != nullptr) s->OnDrift(e);
+    }
+  }
+  void OnAlert(const AlertEvent& e) override {
+    for (TraceSink* s : sinks_) {
+      if (s != nullptr) s->OnAlert(e);
+    }
+  }
   void Flush() override {
     for (TraceSink* s : sinks_) {
       if (s != nullptr) s->Flush();
@@ -166,6 +178,14 @@ class LockingSink final : public TraceSink {
   void OnDegraded(const DegradedEvent& e) override {
     std::lock_guard<std::mutex> lock(mutex_);
     inner_->OnDegraded(e);
+  }
+  void OnDrift(const DriftEvent& e) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inner_->OnDrift(e);
+  }
+  void OnAlert(const AlertEvent& e) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inner_->OnAlert(e);
   }
   void Flush() override {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -62,6 +62,10 @@ void ArtifactVerifier::AddText(const std::string& name,
     VerifyAndOrText(text, sink_, options_);
     return;
   }
+  if (StartsWith(trimmed, "stratlearn-alerts v1")) {
+    (void)ParseAlertRules(text, sink_);
+    return;
+  }
   if (StartsWith(trimmed, "stratlearn-strategy v1")) {
     if (!graph_context_) {
       sink_->Error("V-S005", "",

@@ -13,6 +13,7 @@
 #include "datalog/symbol_table.h"
 #include "graph/builder.h"
 #include "graph/inference_graph.h"
+#include "obs/health/alerts.h"
 #include "verify/diagnostics.h"
 
 namespace stratlearn::verify {
@@ -109,6 +110,18 @@ LearnerConfig ParseLearnerConfig(std::string_view text, DiagnosticSink* sink);
 /// and quotas no run of `max_contexts` contexts could ever meet.
 void VerifyLearnerConfig(const LearnerConfig& config,
                          const InferenceGraph* graph, DiagnosticSink* sink);
+
+// ---- Alert-config passes (V-AL...) -------------------------------------
+
+/// Parses and verifies a "stratlearn-alerts v1" rule file. Malformed
+/// lines (V-AL001), unknown metric selectors (V-AL002), non-positive
+/// thresholds/for-durations (V-AL003) and duplicate rule ids (V-AL004)
+/// are errors; an empty rule set is a warning (V-AL005). Only clean
+/// rules land in the returned set, so this doubles as the production
+/// loader for the CLI health paths (which refuse to run when the sink
+/// has blocking findings).
+obs::health::AlertRuleSet ParseAlertRules(std::string_view text,
+                                          DiagnosticSink* sink);
 
 // ---- Robustness passes (V-K...) ----------------------------------------
 

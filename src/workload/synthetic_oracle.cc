@@ -54,4 +54,42 @@ std::vector<double> MixtureOracle::MarginalProbs() const {
   return out;
 }
 
+DriftingOracle::DriftingOracle(std::vector<double> before,
+                               std::vector<double> after, int64_t drift_at,
+                               int64_t ramp_len)
+    : before_(std::move(before)),
+      after_(std::move(after)),
+      drift_at_(drift_at),
+      ramp_len_(ramp_len) {
+  STRATLEARN_CHECK(before_.size() == after_.size());
+  STRATLEARN_CHECK(drift_at_ >= 0);
+  STRATLEARN_CHECK(ramp_len_ >= 0);
+  for (double p : before_) STRATLEARN_CHECK(p >= 0.0 && p <= 1.0);
+  for (double p : after_) STRATLEARN_CHECK(p >= 0.0 && p <= 1.0);
+}
+
+std::vector<double> DriftingOracle::ProbsAt(int64_t draw) const {
+  if (draw < drift_at_) return before_;
+  if (ramp_len_ == 0 || draw >= drift_at_ + ramp_len_) return after_;
+  // Linear ramp: the first post-drift draw already moves 1/ramp_len of
+  // the way, the last one lands exactly on `after`.
+  double t = static_cast<double>(draw - drift_at_ + 1) /
+             static_cast<double>(ramp_len_);
+  std::vector<double> out(before_.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = before_[i] + t * (after_[i] - before_[i]);
+  }
+  return out;
+}
+
+Context DriftingOracle::Next(Rng& rng) {
+  std::vector<double> probs = ProbsAt(draws_);
+  ++draws_;
+  Context c(probs.size());
+  for (size_t i = 0; i < probs.size(); ++i) {
+    c.Set(i, rng.NextBernoulli(probs[i]));
+  }
+  return c;
+}
+
 }  // namespace stratlearn

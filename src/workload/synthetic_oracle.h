@@ -49,6 +49,36 @@ class MixtureOracle : public ContextOracle {
   std::vector<double> weights_;
 };
 
+/// A *non-stationary* independent oracle: per-experiment success
+/// probabilities start at `before` and shift to `after` at draw
+/// `drift_at` — as a step when `ramp_len` is 0, or linearly
+/// interpolated over the next `ramp_len` draws. This deliberately
+/// violates the stationarity assumption of Section 2.1 that PIB's and
+/// PAO's guarantees rest on; it exists to exercise the statistical
+/// drift detectors in obs/health, which watch the telemetry stream for
+/// exactly this kind of workload shift.
+class DriftingOracle : public ContextOracle {
+ public:
+  DriftingOracle(std::vector<double> before, std::vector<double> after,
+                 int64_t drift_at, int64_t ramp_len = 0);
+
+  Context Next(Rng& rng) override;
+  size_t num_experiments() const override { return before_.size(); }
+
+  /// The probability vector in effect for draw number `draw` (0-based).
+  std::vector<double> ProbsAt(int64_t draw) const;
+
+  /// Number of contexts drawn so far.
+  int64_t draws() const { return draws_; }
+
+ private:
+  std::vector<double> before_;
+  std::vector<double> after_;
+  int64_t drift_at_;
+  int64_t ramp_len_;
+  int64_t draws_ = 0;
+};
+
 }  // namespace stratlearn
 
 #endif  // STRATLEARN_WORKLOAD_SYNTHETIC_ORACLE_H_

@@ -259,12 +259,13 @@ TEST(WriteFileAtomicTest, OverwritesExistingContent) {
 TEST(CanonicalWorkloadsTest, AllRegisteredRunAndSerialize) {
   BenchRegistry registry;
   obs::perf::RegisterCanonicalWorkloads(&registry);
-  ASSERT_EQ(registry.workloads().size(), 8u);
+  ASSERT_EQ(registry.workloads().size(), 9u);
   EXPECT_NE(registry.Find("datalog_load"), nullptr);
   EXPECT_NE(registry.Find("fig1_execute"), nullptr);
   EXPECT_NE(registry.Find("pib_climb"), nullptr);
   EXPECT_NE(registry.Find("pao_quota"), nullptr);
   EXPECT_NE(registry.Find("upsilon_order"), nullptr);
+  EXPECT_NE(registry.Find("drift_detect"), nullptr);
   EXPECT_NE(registry.Find("obs_overhead_off"), nullptr);
   EXPECT_NE(registry.Find("obs_overhead_metrics"), nullptr);
   EXPECT_NE(registry.Find("obs_overhead_trace"), nullptr);

@@ -204,6 +204,104 @@ TEST(TimeSeriesTest, NullRegistryYieldsArcSeriesOnly) {
   EXPECT_EQ(windows[0].arcs[0].arc, 2u);
 }
 
+TEST(TimeSeriesTest, LongRunEvictionKeepsSeriesConsistent) {
+  // A long run through a small ring: every retained window must keep
+  // contiguous indices, correct bounds, and deltas that re-sum to the
+  // cumulative total even though most windows were evicted.
+  MetricsRegistry registry;
+  obs::Counter& c = registry.GetCounter("qp.queries");
+  TimeSeriesCollector collector(&registry,
+                                {.interval_us = 10, .capacity = 4});
+  const int64_t kWindows = 1000;
+  for (int64_t w = 0; w < kWindows; ++w) {
+    c.Increment(w + 1);  // distinct delta per window
+    collector.OnArcAttempt(Attempt(0, w % 2 == 0, 1.0));
+    collector.AdvanceTo((w + 1) * 10);
+  }
+  EXPECT_EQ(collector.windows_closed(), kWindows);
+  EXPECT_EQ(collector.windows_evicted(), kWindows - 4);
+  std::vector<TimeSeriesWindow> windows = collector.Windows();
+  ASSERT_EQ(windows.size(), 4u);
+  for (size_t i = 0; i < windows.size(); ++i) {
+    const TimeSeriesWindow& w = windows[i];
+    EXPECT_EQ(w.index, kWindows - 4 + static_cast<int64_t>(i));
+    EXPECT_EQ(w.start_us, w.index * 10);
+    EXPECT_EQ(w.end_us, w.start_us + 10);
+    // Window w's delta is w.index + 1 by construction.
+    EXPECT_EQ(w.counter_deltas.at("qp.queries"), w.index + 1);
+    ASSERT_EQ(w.arcs.size(), 1u);
+    EXPECT_EQ(w.arcs[0].attempts, 1);
+  }
+  // The cumulative snapshot in the last window is the full-run total,
+  // not just the retained tail.
+  EXPECT_EQ(windows.back().cumulative.counters.at("qp.queries"),
+            kWindows * (kWindows + 1) / 2);
+}
+
+TEST(TimeSeriesTest, RatesAcrossCadenceGapsCountEmptyWindows) {
+  // A burst followed by a long silent stretch: AdvanceTo far ahead must
+  // materialize the intermediate empty windows, each with a zero delta
+  // and zero rate — a gap in activity is not a gap in the series.
+  MetricsRegistry registry;
+  obs::Counter& c = registry.GetCounter("qp.queries");
+  TimeSeriesCollector collector(&registry, {.interval_us = 1'000'000});
+  c.Increment(500);
+  collector.AdvanceTo(1'000'000);
+  // Another burst, then the clock jumps 4 windows ahead in one advance.
+  c.Increment(250);
+  collector.AdvanceTo(5'000'000);
+  std::vector<TimeSeriesWindow> windows = collector.Windows();
+  ASSERT_EQ(windows.size(), 5u);
+  EXPECT_DOUBLE_EQ(
+      windows[0].Rate(windows[0].counter_deltas.at("qp.queries")), 500.0);
+  // The collector snapshots at window close: increments made before a
+  // multi-window advance are attributed to the *first* window that
+  // advance closes, and the remaining gap windows carry zero deltas
+  // and zero rates — never a delta amortized across the stretch.
+  EXPECT_EQ(windows[1].counter_deltas.at("qp.queries"), 250);
+  EXPECT_DOUBLE_EQ(
+      windows[1].Rate(windows[1].counter_deltas.at("qp.queries")), 250.0);
+  for (int i = 2; i < 5; ++i) {
+    EXPECT_EQ(windows[i].counter_deltas.at("qp.queries"), 0) << i;
+    EXPECT_DOUBLE_EQ(
+        windows[i].Rate(windows[i].counter_deltas.at("qp.queries")), 0.0)
+        << i;
+    EXPECT_EQ(windows[i].span_us(), 1'000'000) << i;
+  }
+}
+
+TEST(TimeSeriesTest, ZeroArcActivityWindowsOmitArcSeries) {
+  // Arc-quiet windows carry no arc entries at all (absent, not p-hat
+  // 0), which is what keeps the drift detector from treating a silent
+  // arc as a failing one.
+  TimeSeriesCollector collector(nullptr, {.interval_us = 100});
+  collector.OnArcAttempt(Attempt(1, true, 1.0));
+  collector.AdvanceTo(100);  // window 0: active
+  collector.AdvanceTo(200);  // window 1: silent
+  collector.OnArcAttempt(Attempt(1, false, 2.0));
+  collector.AdvanceTo(300);  // window 2: active again
+  std::vector<TimeSeriesWindow> windows = collector.Windows();
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].arcs.size(), 1u);
+  EXPECT_TRUE(windows[1].arcs.empty());
+  ASSERT_EQ(windows[2].arcs.size(), 1u);
+  // The windowed estimate restarts from the new window's attempts; it
+  // does not leak the pre-gap history.
+  EXPECT_EQ(windows[2].arcs[0].attempts, 1);
+  EXPECT_DOUBLE_EQ(windows[2].arcs[0].PHat(), 0.0);
+  EXPECT_DOUBLE_EQ(windows[2].arcs[0].MeanCost(), 2.0);
+  // Serialization mirrors the omission: the quiet window's arc series
+  // is an empty array, not zero-filled entries.
+  std::string jsonl = collector.SerializeJsonl();
+  std::vector<std::string> lines;
+  for (const std::string& line : Split(jsonl, '\n')) {
+    if (!Trim(line).empty()) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines[1].find("\"attempts\":1"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"arcs\":[]"), std::string::npos);
+}
+
 TEST(TimeSeriesTest, InvalidOptionsAbort) {
   MetricsRegistry registry;
   EXPECT_DEATH(TimeSeriesCollector(&registry, {.interval_us = 0}),

@@ -68,6 +68,12 @@ const GoldenCase kGoldenCases[] = {
      {"context_two_branch.graph", "s004_swap_unreachable.strategy"},
      "s004.expected"},
     {"s005", {"s005_no_context.strategy"}, "s005.expected"},
+    // Alert-config family.
+    {"al001", {"al001_malformed.alerts"}, "al001.expected"},
+    {"al002", {"al002_unknown_selector.alerts"}, "al002.expected"},
+    {"al003", {"al003_bad_threshold.alerts"}, "al003.expected"},
+    {"al004", {"al004_duplicate_id.alerts"}, "al004.expected"},
+    {"al005", {"al005_empty.alerts"}, "al005.expected"},
     // Learner-config family.
     {"c001", {"c001_epsilon_range.cfg"}, "c001.expected"},
     {"c002", {"c002_delta_range.cfg"}, "c002.expected"},
@@ -128,9 +134,16 @@ TEST(VerifyGolden, EveryCaseMentionsItsCode) {
   if (RegenRequested()) GTEST_SKIP();
   for (const GoldenCase& c : kGoldenCases) {
     SCOPED_TRACE(c.name);
+    // Uppercase the letter prefix ("al001" -> "V-AL001").
     std::string code = "V-";
-    code += static_cast<char>(std::toupper(c.name[0]));
-    code += &c.name[1];
+    const char* rest = c.name;
+    for (; *rest != '\0' &&
+           !std::isdigit(static_cast<unsigned char>(*rest));
+         ++rest) {
+      code += static_cast<char>(
+          std::toupper(static_cast<unsigned char>(*rest)));
+    }
+    code += rest;
     EXPECT_NE(RunCase(c).find("[" + code + "]"), std::string::npos)
         << "fixture does not trigger its own diagnostic code";
   }

@@ -1,0 +1,69 @@
+// health_report: offline statistical health monitoring over a recorded
+// time series.
+//
+//   health_report <series.jsonl> --alerts=RULES [--format=text|json]
+//                 [--out=FILE]
+//
+// Replays a "stratlearn-timeseries-v1" file (written by stratlearn_cli
+// --timeseries-out) through the drift detectors and the alert rules
+// from a "stratlearn-alerts v1" file, then prints the health report —
+// the same code path as `stratlearn_cli health`, packaged as a small
+// standalone binary for CI jobs and cron-style monitoring scripts.
+// The report is a pure function of the two input files: running it
+// twice, or running it against the series of a live run, produces
+// byte-identical output. --out additionally writes the
+// "stratlearn-health-v1" JSON document to a file.
+//
+// Exit code: 0 healthy, 1 alerts firing, 2 usage error (bad flags,
+// unreadable or malformed inputs, alert rules with verify errors).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+
+#include "offline_health.h"
+
+namespace stratlearn::tools {
+namespace {
+
+constexpr char kUsage[] =
+    "health_report <series.jsonl> --alerts=RULES [--format=text|json] "
+    "[--out=FILE]";
+
+int Main(int argc, char** argv) {
+  std::string alerts;
+  std::string format = "text";
+  std::string report_out;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (StartsWith(arg, "--alerts=")) {
+      alerts = arg.substr(9);
+    } else if (StartsWith(arg, "--format=")) {
+      format = arg.substr(9);
+    } else if (StartsWith(arg, "--out=")) {
+      report_out = arg.substr(6);
+    } else if (StartsWith(arg, "--")) {
+      std::fprintf(stderr, "error: unknown flag '%s'\nusage: %s\n",
+                   arg.c_str(), kUsage);
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 1) {
+    std::fprintf(stderr, "usage: %s\n", kUsage);
+    return 2;
+  }
+  return RunOfflineHealth(positional[0], alerts, format, report_out,
+                          kUsage);
+}
+
+}  // namespace
+}  // namespace stratlearn::tools
+
+int main(int argc, char** argv) {
+  return stratlearn::tools::Main(argc, argv);
+}

@@ -1,0 +1,78 @@
+#include "offline_health.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/health/monitor.h"
+#include "obs/health/series_io.h"
+#include "util/status.h"
+#include "verify/diagnostics.h"
+#include "verify/verify.h"
+
+namespace stratlearn::tools {
+
+int RunOfflineHealth(const std::string& series_path,
+                     const std::string& alerts_path,
+                     const std::string& format,
+                     const std::string& report_out, const char* usage) {
+  if (alerts_path.empty()) {
+    std::fprintf(stderr, "usage: %s\n", usage);
+    return 2;
+  }
+  if (format != "text" && format != "json") {
+    std::fprintf(stderr, "error: --format must be 'text' or 'json'\n");
+    return 2;
+  }
+  std::ifstream rules_in(alerts_path);
+  if (!rules_in) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", alerts_path.c_str());
+    return 2;
+  }
+  std::ostringstream rules_buffer;
+  rules_buffer << rules_in.rdbuf();
+  verify::DiagnosticSink sink;
+  sink.set_file(alerts_path);
+  obs::health::AlertRuleSet rules =
+      verify::ParseAlertRules(rules_buffer.str(), &sink);
+  // Findings always render (warnings like V-AL005 included); only
+  // error-level ones block the replay.
+  if (!sink.empty()) std::fprintf(stderr, "%s", sink.RenderText().c_str());
+  if (sink.HasBlocking()) return 2;
+
+  std::ifstream in(series_path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", series_path.c_str());
+    return 2;
+  }
+  obs::health::LoadedSeries series;
+  Status loaded = obs::health::LoadTimeSeries(in, &series);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", series_path.c_str(),
+                 loaded.ToString().c_str());
+    return 2;
+  }
+
+  obs::health::HealthMonitor monitor(std::move(rules),
+                                     obs::health::HealthOptions{});
+  for (const obs::TimeSeriesWindow& window : series.windows) {
+    monitor.OnWindow(window);
+  }
+  std::string report =
+      format == "json" ? monitor.RenderJson() : monitor.RenderText();
+  std::printf("%s", report.c_str());
+  if (!report_out.empty()) {
+    std::ofstream out(report_out);
+    out << monitor.RenderJson();
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   report_out.c_str());
+      return 2;
+    }
+  }
+  return monitor.AnyFiring() ? 1 : 0;
+}
+
+}  // namespace stratlearn::tools

@@ -1,0 +1,27 @@
+#ifndef STRATLEARN_TOOLS_OFFLINE_HEALTH_H_
+#define STRATLEARN_TOOLS_OFFLINE_HEALTH_H_
+
+#include <string>
+
+namespace stratlearn::tools {
+
+/// Offline health replay: loads "stratlearn-alerts v1" rules (through
+/// the V-AL verify passes), parses a serialized
+/// "stratlearn-timeseries-v1" file, and feeds every window through the
+/// same HealthMonitor the live runs use. Prints the health report in
+/// `format` ("text" or "json") to stdout; when `report_out` is
+/// non-empty, also writes the "stratlearn-health-v1" JSON there.
+/// Shared by `stratlearn_cli health` and the standalone health_report
+/// binary, so the two renderings can never drift apart.
+///
+/// Exit contract: 0 healthy, 1 alerts firing, 2 usage error (bad
+/// flags, unreadable/malformed inputs, alert rules with verify
+/// errors). `usage` is printed on a missing --alerts flag.
+int RunOfflineHealth(const std::string& series_path,
+                     const std::string& alerts_path,
+                     const std::string& format,
+                     const std::string& report_out, const char* usage);
+
+}  // namespace stratlearn::tools
+
+#endif  // STRATLEARN_TOOLS_OFFLINE_HEALTH_H_

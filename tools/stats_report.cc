@@ -165,6 +165,41 @@ void RenderTextWindow(const JsonValue& w, std::string* out) {
           Num(NumberOr(a.Get("mean_cost"), 0)).c_str());
     }
   }
+  // Health annotations (present only on windows where the monitor saw a
+  // transition; written by the drift detectors / alert engine).
+  if (const JsonValue* drift = w.Get("drift");
+      drift != nullptr && !drift->array.empty()) {
+    *out += "  drift:\n";
+    for (const JsonValue& d : drift->array) {
+      std::string series_id =
+          ReadJsonString(d, "detector") == "rate"
+              ? ReadJsonString(d, "counter")
+              : StrFormat("arc %lld", static_cast<long long>(
+                                          NumberOr(d.Get("arc"), -1)));
+      *out += StrFormat(
+          "    %-10s %-24s %-9s statistic=%-12s reference=%-12s "
+          "threshold=%s\n",
+          ReadJsonString(d, "detector").c_str(), series_id.c_str(),
+          ReadJsonString(d, "state").c_str(),
+          Num(NumberOr(d.Get("statistic"), 0)).c_str(),
+          Num(NumberOr(d.Get("reference"), 0)).c_str(),
+          Num(NumberOr(d.Get("threshold"), 0)).c_str());
+    }
+  }
+  if (const JsonValue* alerts = w.Get("alerts");
+      alerts != nullptr && !alerts->array.empty()) {
+    *out += "  alerts:\n";
+    for (const JsonValue& a : alerts->array) {
+      *out += StrFormat(
+          "    %-24s %-9s severity=%-8s %s value=%-12s threshold=%s\n",
+          ReadJsonString(a, "rule").c_str(),
+          ReadJsonString(a, "state").c_str(),
+          ReadJsonString(a, "severity").c_str(),
+          ReadJsonString(a, "metric").c_str(),
+          Num(NumberOr(a.Get("value"), 0)).c_str(),
+          Num(NumberOr(a.Get("threshold"), 0)).c_str());
+    }
+  }
 }
 
 // The report deliberately never echoes the input path: rendering is a

@@ -34,6 +34,18 @@
 //       work-units as latencies, making the files byte-reproducible
 //       for a fixed seed — the form the CI regression gate diffs with
 //       tools/bench_compare. See README "Performance tracking".
+//   health <series.jsonl> --alerts=RULES [--format=text|json]
+//          [--health-out=FILE]
+//       Replay a serialized "stratlearn-timeseries-v1" file through the
+//       statistical health monitor: the drift detectors (Hoeffding
+//       two-window p^ test, Page-Hinkley mean-cost test, counter-delta
+//       rate anomalies) and the declarative alert rules from a
+//       "stratlearn-alerts v1" file. Prints the health report (text or
+//       "stratlearn-health-v1" JSON). Because the series is serialized
+//       at round-trip precision, the offline replay reaches decisions
+//       byte-identical to the live run's. Exit code: 0 healthy, 1
+//       alerts firing, 2 usage error (bad flags, unreadable inputs,
+//       alert rules with verify errors).
 //   verify <files...> [--format=text|json] [--Werror]
 //       Statically analyse artifacts without running anything: Datalog
 //       programs (*.dl, with optional '% verify-form:',
@@ -98,6 +110,21 @@
 //                           the telemetry clock one unit per query, so
 //                           runs are byte-deterministic for a fixed seed
 //
+// Health monitoring (learn-pib / learn-pao):
+//   --alerts=FILE           load "stratlearn-alerts v1" rules and attach
+//                           the statistical health monitor to the
+//                           windowed time-series (implies the window
+//                           collector even without --timeseries-out).
+//                           Drift/alert transitions are traced
+//                           (--trace-out), annotated onto the serialized
+//                           series, and exported as alert_firing.<id>
+//                           gauges (--metrics-export); the run prints a
+//                           one-line health summary at the end. Rules
+//                           with verify errors (V-AL...) fail the run up
+//                           front with exit code 2.
+//   --health-out=FILE       write the "stratlearn-health-v1" JSON report
+//                           at end of run (requires --alerts)
+//
 // Program files are Datalog ("instructor(X) :- prof(X). prof(russ).").
 // Workload files hold one query per line: "<weight> <arg1> [<arg2> ...]";
 // '#' starts a comment.
@@ -123,6 +150,8 @@
 #include "datalog/parser.h"
 #include "engine/query_processor.h"
 #include "graph/serialization.h"
+#include "obs/health/monitor.h"
+#include "obs/health/series_io.h"
 #include "obs/observer.h"
 #include "obs/openmetrics.h"
 #include "obs/perf/bench_runner.h"
@@ -136,8 +165,18 @@
 #include "verify/verify.h"
 #include "workload/datalog_oracle.h"
 
+#include "offline_health.h"
+
 namespace stratlearn {
 namespace {
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
 
 struct CliOptions {
   double delta = 0.05;
@@ -158,6 +197,9 @@ struct CliOptions {
   std::string timeseries_out;
   int64_t timeseries_every = 0;  // 0 = auto for the clock mode
   std::string obs_clock = "steady";
+  // Health monitoring.
+  std::string alerts;
+  std::string health_out;
   // Fault tolerance & checkpointing.
   std::string fault_plan;
   std::string checkpoint;
@@ -235,17 +277,63 @@ struct CliObserver {
       profiler = std::make_unique<obs::StrategyProfiler>(
           obs::ProfilerOptions{.delta = options.delta});
     }
-    if (!options.timeseries_out.empty()) {
-      timeseries_stream.open(options.timeseries_out);
-      if (!timeseries_stream) {
-        status = CannotOpen("--timeseries-out", options.timeseries_out);
-        return;
+    if (options.alerts.empty() && !options.health_out.empty()) {
+      status = Status::InvalidArgument("--health-out requires --alerts=FILE");
+      return;
+    }
+    // The health monitor consumes closed windows, so --alerts implies
+    // the collector even when the series itself is not written out.
+    if (!options.timeseries_out.empty() || !options.alerts.empty()) {
+      if (!options.timeseries_out.empty()) {
+        timeseries_stream.open(options.timeseries_out);
+        if (!timeseries_stream) {
+          status = CannotOpen("--timeseries-out", options.timeseries_out);
+          return;
+        }
       }
       obs::TimeSeriesOptions ts_options;
       ts_options.interval_us =
           ResolveInterval(options.timeseries_every, fake_clock);
       timeseries =
           std::make_unique<obs::TimeSeriesCollector>(&registry, ts_options);
+    }
+    if (!options.alerts.empty()) {
+      Result<std::string> rules_text = ReadFile(options.alerts);
+      if (!rules_text.ok()) {
+        status = rules_text.status();
+        return;
+      }
+      verify::DiagnosticSink rules_sink;
+      rules_sink.set_file(options.alerts);
+      obs::health::AlertRuleSet rules =
+          verify::ParseAlertRules(*rules_text, &rules_sink);
+      if (rules_sink.HasBlocking()) {
+        // Same contract as the other pre-run guards: verify errors in
+        // an input artifact are exit code 2, with the findings rendered.
+        status = Status::FailedPrecondition(
+            StrFormat("alert rules failed verification:\n%s",
+                      rules_sink.RenderText().c_str()));
+        return;
+      }
+      if (!rules_sink.empty()) {
+        // Warnings (e.g. V-AL005 empty rule set) don't block the run.
+        std::fprintf(stderr, "%s", rules_sink.RenderText().c_str());
+      }
+      if (!options.health_out.empty()) {
+        health_stream.open(options.health_out);
+        if (!health_stream) {
+          status = CannotOpen("--health-out", options.health_out);
+          return;
+        }
+      }
+      health = std::make_unique<obs::health::HealthMonitor>(
+          std::move(rules), obs::health::HealthOptions{}, &registry);
+      // Delivered outside the collector's lock, so the monitor's events
+      // can flow back through the sink tee (which includes the
+      // collector, annotating the just-closed window).
+      timeseries->SetWindowCallback([this](const obs::TimeSeriesWindow& w) {
+        health->OnWindow(w);
+      });
     }
     if (!options.metrics_export.empty()) {
       exporter = std::make_unique<obs::PeriodicOpenMetricsExporter>(
@@ -269,6 +357,7 @@ struct CliObserver {
       tee = std::make_unique<obs::TeeSink>(sinks);
       active = tee.get();
     }
+    if (health != nullptr) health->set_event_sink(active);
     observer = std::make_unique<obs::Observer>(&registry, active);
     // Fake clock: event timestamps and qp.query_wall_us durations come
     // from the query ordinal, not the steady clock, so two identical
@@ -356,19 +445,46 @@ struct CliObserver {
     }
     if (timeseries != nullptr) {
       // Close the trailing partial window at the last tick (fake clock)
-      // or at real end-of-run time, then write the series.
+      // or at real end-of-run time, then write the series. The health
+      // monitor (if attached) sees that final window via the callback
+      // before anything below reads its state.
       timeseries->Finalize(fake_clock ? last_now_ : observer->NowUs());
-      timeseries_stream << timeseries->SerializeJsonl();
-      timeseries_stream.flush();
-      if (!timeseries_stream) {
-        std::fprintf(stderr,
-                     "warning: failed writing time series to '%s' (disk "
-                     "full or closed pipe?); continuing without it\n",
-                     options.timeseries_out.c_str());
-      } else {
-        std::printf("time series written to %s (%lld windows)\n",
-                    options.timeseries_out.c_str(),
-                    static_cast<long long>(timeseries->windows_closed()));
+      if (timeseries_stream.is_open()) {
+        timeseries_stream << timeseries->SerializeJsonl();
+        timeseries_stream.flush();
+        if (!timeseries_stream) {
+          std::fprintf(stderr,
+                       "warning: failed writing time series to '%s' (disk "
+                       "full or closed pipe?); continuing without it\n",
+                       options.timeseries_out.c_str());
+        } else {
+          std::printf("time series written to %s (%lld windows)\n",
+                      options.timeseries_out.c_str(),
+                      static_cast<long long>(
+                          timeseries->windows_closed()));
+        }
+      }
+    }
+    if (health != nullptr) {
+      std::printf("health: %s (%lld windows, %lld drift series active, "
+                  "%lld alert rules firing)\n",
+                  health->AnyFiring() ? "ALERTS FIRING" : "healthy",
+                  static_cast<long long>(health->windows_seen()),
+                  static_cast<long long>(health->drift_active()),
+                  static_cast<long long>(health->FiringCount()));
+      if (health_stream.is_open()) {
+        health_stream << health->RenderJson();
+        health_stream.flush();
+        if (!health_stream) {
+          std::fprintf(stderr,
+                       "warning: failed writing health report to '%s' "
+                       "(disk full or closed pipe?); continuing without "
+                       "it\n",
+                       options.health_out.c_str());
+        } else {
+          std::printf("health report written to %s\n",
+                      options.health_out.c_str());
+        }
       }
     }
     if (exporter != nullptr) {
@@ -405,12 +521,14 @@ struct CliObserver {
   std::unique_ptr<obs::TraceSink> file_sink;
   std::unique_ptr<obs::StrategyProfiler> profiler;
   std::unique_ptr<obs::TimeSeriesCollector> timeseries;
+  std::unique_ptr<obs::health::HealthMonitor> health;
   std::unique_ptr<obs::PeriodicOpenMetricsExporter> exporter;
   std::unique_ptr<obs::TeeSink> tee;
   std::unique_ptr<obs::Observer> observer;
   std::ofstream metrics_stream;
   std::ofstream profile_stream;
   std::ofstream timeseries_stream;
+  std::ofstream health_stream;
   /// Last telemetry-clock reading seen by Tick (fake-clock finalise).
   int64_t last_now_ = 0;
 };
@@ -474,14 +592,6 @@ int CheckLearnerConfig(const CliOptions& options,
   return 2;
 }
 
-Result<std::string> ReadFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open '" + path + "'");
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
 CliOptions ParseArgs(int argc, char** argv) {
   CliOptions options;
   for (int i = 2; i < argc; ++i) {
@@ -514,6 +624,10 @@ CliOptions ParseArgs(int argc, char** argv) {
       options.timeseries_every = std::atoll(arg.c_str() + 19);
     } else if (StartsWith(arg, "--obs-clock=")) {
       options.obs_clock = arg.substr(12);
+    } else if (StartsWith(arg, "--alerts=")) {
+      options.alerts = arg.substr(9);
+    } else if (StartsWith(arg, "--health-out=")) {
+      options.health_out = arg.substr(13);
     } else if (StartsWith(arg, "--fault-plan=")) {
       options.fault_plan = arg.substr(13);
     } else if (StartsWith(arg, "--checkpoint=")) {
@@ -686,7 +800,7 @@ int CmdLearnPib(const CliOptions& options) {
         "<workload.txt> [--delta= --queries= --strategy-out= --seed= "
         "--metrics-out= --trace-out= --profile-out= --metrics-export= "
         "--export-every= --timeseries-out= --timeseries-every= "
-        "--obs-clock=steady|fake --fault-plan= "
+        "--obs-clock=steady|fake --alerts= --health-out= --fault-plan= "
         "--checkpoint= --checkpoint-every= --resume --halt-after=]");
   }
   if (options.resume && options.checkpoint.empty()) {
@@ -709,7 +823,7 @@ int CmdLearnPib(const CliOptions& options) {
   robust::FaultInjector* injector = injector_or->get();
 
   CliObserver cli_obs(options);
-  if (!cli_obs.status.ok()) return Fail(cli_obs.status.ToString());
+  if (!cli_obs.status.ok()) return FailStatus(cli_obs.status);
   Pib pib(&loaded.built.graph, initial, PibOptions{.delta = options.delta},
           cli_obs.observer.get());
   QueryProcessor qp(&loaded.built.graph, cli_obs.observer.get());
@@ -818,7 +932,8 @@ int CmdLearnPao(const CliOptions& options) {
         "<workload.txt> [--epsilon= --delta= --theorem3 --strategy-out= "
         "--seed= --metrics-out= --trace-out= --profile-out= "
         "--metrics-export= --export-every= --timeseries-out= "
-        "--timeseries-every= --obs-clock=steady|fake --fault-plan= "
+        "--timeseries-every= --obs-clock=steady|fake --alerts= "
+        "--health-out= --fault-plan= "
         "--checkpoint= --checkpoint-every= --resume]");
   }
   if (options.resume && options.checkpoint.empty()) {
@@ -902,7 +1017,7 @@ int CmdLearnPao(const CliOptions& options) {
   }
 
   CliObserver cli_obs(options);
-  if (!cli_obs.status.ok()) return Fail(cli_obs.status.ToString());
+  if (!cli_obs.status.ok()) return FailStatus(cli_obs.status);
   if (cli_obs.NeedsTicks() || cli_obs.fake_clock) {
     // Chain the telemetry cadence onto the per-context hook (after the
     // checkpoint writer, when one is installed). Fake-clock runs need
@@ -969,7 +1084,7 @@ int CmdEval(const CliOptions& options) {
   Loaded& loaded = **loaded_or;
 
   CliObserver cli_obs(options);
-  if (!cli_obs.status.ok()) return Fail(cli_obs.status.ToString());
+  if (!cli_obs.status.ok()) return FailStatus(cli_obs.status);
   obs::Histogram& phase_us =
       cli_obs.registry.GetHistogram("cli.eval_phase_us");
   obs::Counter& evaluated =
@@ -1041,7 +1156,7 @@ int CmdExplain(const CliOptions& options) {
   DatalogOracle oracle(&loaded.built, &loaded.db, loaded.workload);
   std::vector<double> truth = oracle.TrueMarginalProbs();
   CliObserver cli_obs(options, /*want_profiler=*/true);
-  if (!cli_obs.status.ok()) return Fail(cli_obs.status.ToString());
+  if (!cli_obs.status.ok()) return FailStatus(cli_obs.status);
   Rng rng(options.seed);
 
   Strategy learned;
@@ -1172,12 +1287,26 @@ int CmdVerify(const CliOptions& options) {
   return sink.ExitCode(options.werror);
 }
 
+int CmdHealth(const CliOptions& options) {
+  static const char kUsage[] =
+      "stratlearn_cli health <series.jsonl> --alerts=RULES "
+      "[--format=text|json] [--health-out=FILE]";
+  if (options.positional.size() != 1) {
+    std::fprintf(stderr, "usage: %s\n", kUsage);
+    return 2;
+  }
+  return tools::RunOfflineHealth(options.positional[0], options.alerts,
+                                 options.format, options.health_out,
+                                 kUsage);
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(
         stderr,
         "usage: stratlearn_cli "
-        "<query|dot|learn-pib|learn-pao|eval|explain|bench|verify> ...\n");
+        "<query|dot|learn-pib|learn-pao|eval|explain|bench|health|verify> "
+        "...\n");
     return 1;
   }
   std::string command = argv[1];
@@ -1189,6 +1318,7 @@ int Main(int argc, char** argv) {
   if (command == "eval") return CmdEval(options);
   if (command == "explain") return CmdExplain(options);
   if (command == "bench") return CmdBench(options);
+  if (command == "health") return CmdHealth(options);
   if (command == "verify") return CmdVerify(options);
   return Fail("unknown command '" + command + "'");
 }
