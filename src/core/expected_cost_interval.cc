@@ -1,0 +1,111 @@
+#include "core/expected_cost_interval.h"
+
+#include "util/check.h"
+
+namespace stratlearn {
+
+namespace {
+
+/// Interval pass probability of an arc (see PassProb in
+/// expected_cost.cc): [1, 1] for deterministic arcs.
+Interval PassProb(const InferenceGraph& graph, ArcId a,
+                  const std::vector<Interval>& probs) {
+  int e = graph.arc(a).experiment;
+  return e < 0 ? Interval::Point(1.0) : probs[static_cast<size_t>(e)];
+}
+
+/// Product of two intervals of nonnegative numbers.
+Interval MulNonneg(const Interval& a, const Interval& b) {
+  return {a.lo * b.lo, a.hi * b.hi};
+}
+
+/// Interval mirror of NoSuccessProb (expected_cost.cc): the probability
+/// that no success arc in `in_s` fires under `node`, conditioned on
+/// `forced` arcs being unblocked. Every factor lies in [0, 1], so the
+/// product bounds are the products of the bounds.
+Interval NoSuccessProb(const InferenceGraph& graph,
+                       const std::vector<Interval>& probs,
+                       const std::vector<char>& in_s,
+                       const std::vector<char>& forced, NodeId node) {
+  Interval out = Interval::Point(1.0);
+  for (ArcId c : graph.node(node).out_arcs) {
+    const Arc& arc = graph.arc(c);
+    if (graph.node(arc.to).is_success) {
+      if (in_s[c]) {
+        Interval p = PassProb(graph, c, probs);
+        out = MulNonneg(out, {1.0 - p.hi, 1.0 - p.lo});
+      }
+      continue;
+    }
+    Interval sub = NoSuccessProb(graph, probs, in_s, forced, arc.to);
+    if (forced[c]) {
+      out = MulNonneg(out, sub);
+    } else {
+      // (1-p) + p*sub = 1 - p*(1-sub): decreasing in p (1-sub >= 0),
+      // increasing in sub, so the extrema sit at opposite corners.
+      Interval p = PassProb(graph, c, probs);
+      out = MulNonneg(out, {1.0 - p.hi * (1.0 - sub.lo),
+                            1.0 - p.lo * (1.0 - sub.hi)});
+    }
+  }
+  return out;
+}
+
+/// Interval image of Arc::ExpectedAttemptCost, linear in p with slope
+/// success_cost - failure_cost.
+Interval AttemptCost(const Arc& arc, const Interval& p) {
+  double at_lo = arc.ExpectedAttemptCost(p.lo);
+  double at_hi = arc.ExpectedAttemptCost(p.hi);
+  return at_lo <= at_hi ? Interval{at_lo, at_hi} : Interval{at_hi, at_lo};
+}
+
+}  // namespace
+
+IntervalCostBreakdown IntervalExpectedCostBreakdown(
+    const InferenceGraph& graph, const Strategy& strategy,
+    const std::vector<Interval>& probs) {
+  STRATLEARN_CHECK(probs.size() == graph.num_experiments());
+  for (const Interval& p : probs) {
+    STRATLEARN_CHECK_MSG(0.0 <= p.lo && p.lo <= p.hi && p.hi <= 1.0,
+                         "probability interval must be within [0, 1]");
+  }
+
+  IntervalCostBreakdown out;
+  out.total = Interval::Point(0.0);
+  out.attempt_prob.reserve(strategy.size());
+  out.contribution.reserve(strategy.size());
+
+  std::vector<char> in_s(graph.num_arcs(), 0);
+  std::vector<char> forced(graph.num_arcs(), 0);
+  for (ArcId a : strategy.arcs()) {
+    std::vector<ArcId> pi = graph.Pi(a);
+    Interval pi_prob = Interval::Point(1.0);
+    for (ArcId e : pi) {
+      pi_prob = MulNonneg(pi_prob, PassProb(graph, e, probs));
+      forced[e] = 1;
+    }
+    Interval no_success =
+        NoSuccessProb(graph, probs, in_s, forced, graph.root());
+    for (ArcId e : pi) forced[e] = 0;
+
+    Interval attempt = MulNonneg(pi_prob, no_success);
+    Interval contribution =
+        MulNonneg(AttemptCost(graph.arc(a), PassProb(graph, a, probs)),
+                  attempt);
+    out.total.lo += contribution.lo;
+    out.total.hi += contribution.hi;
+    out.attempt_prob.push_back(attempt);
+    out.contribution.push_back(contribution);
+
+    if (graph.node(graph.arc(a).to).is_success) in_s[a] = 1;
+  }
+  return out;
+}
+
+Interval IntervalExpectedCost(const InferenceGraph& graph,
+                              const Strategy& strategy,
+                              const std::vector<Interval>& probs) {
+  return IntervalExpectedCostBreakdown(graph, strategy, probs).total;
+}
+
+}  // namespace stratlearn

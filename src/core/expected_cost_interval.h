@@ -1,0 +1,57 @@
+#ifndef STRATLEARN_CORE_EXPECTED_COST_INTERVAL_H_
+#define STRATLEARN_CORE_EXPECTED_COST_INTERVAL_H_
+
+#include <vector>
+
+#include "engine/strategy.h"
+#include "graph/inference_graph.h"
+
+namespace stratlearn {
+
+/// A closed interval [lo, hi]. The abstract domain of the interval
+/// expected-cost interpretation: success probabilities that are only
+/// known up to an interval (everything in [0, 1] before any sampling,
+/// p_hat +/- half_width after a profiling run) propagate through
+/// Equation 1 to a certified enclosure of C[Theta].
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  static Interval Point(double v) { return {v, v}; }
+
+  bool Contains(double v) const { return lo <= v && v <= hi; }
+  bool IsPoint() const { return lo == hi; }
+  double width() const { return hi - lo; }
+};
+
+/// Per-arc abstract attempt state alongside the total: `attempt_prob[i]`
+/// encloses Pr[strategy arc i is attempted] and `contribution[i]` its
+/// expected-cost term, both indexed by position in `strategy.arcs()`.
+struct IntervalCostBreakdown {
+  Interval total;
+  std::vector<Interval> attempt_prob;
+  std::vector<Interval> contribution;
+};
+
+/// Abstract interpretation of ExactExpectedCost over intervals: each
+/// experiment succeeds with probability anywhere in `probs[i]` (which
+/// must satisfy 0 <= lo <= hi <= 1), and the returned interval encloses
+/// C[Theta] for every probability vector in that box.
+///
+/// Sound but not tight: the pi-probability, no-earlier-success and
+/// attempt-cost factors are bounded independently, so the correlation
+/// between occurrences of the same experiment is ignored. When every
+/// interval is a point the enclosure collapses to the exact cost (up to
+/// floating-point rounding).
+IntervalCostBreakdown IntervalExpectedCostBreakdown(
+    const InferenceGraph& graph, const Strategy& strategy,
+    const std::vector<Interval>& probs);
+
+/// Just the total enclosure.
+Interval IntervalExpectedCost(const InferenceGraph& graph,
+                              const Strategy& strategy,
+                              const std::vector<Interval>& probs);
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_CORE_EXPECTED_COST_INTERVAL_H_

@@ -1,0 +1,125 @@
+#include "datalog/adornment.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace stratlearn {
+
+std::string Adornment::ToString() const {
+  std::string out;
+  out.reserve(bound.size());
+  for (bool b : bound) out.push_back(b ? 'b' : 'f');
+  return out;
+}
+
+bool AdornmentSet::Insert(const Adornment& a) {
+  auto it = std::lower_bound(adornments_.begin(), adornments_.end(), a);
+  if (it != adornments_.end() && *it == a) return false;
+  adornments_.insert(it, a);
+  return true;
+}
+
+bool AdornmentSet::UnionWith(const AdornmentSet& other) {
+  bool grew = false;
+  for (const Adornment& a : other.adornments_) {
+    grew = Insert(a) || grew;
+  }
+  return grew;
+}
+
+bool AdornmentSet::Contains(const Adornment& a) const {
+  return std::binary_search(adornments_.begin(), adornments_.end(), a);
+}
+
+namespace {
+
+/// The adornment a literal is called with, given the currently bound
+/// variables: constants are bound, variables are bound iff seen.
+Adornment LiteralAdornment(const Atom& literal,
+                           const std::unordered_set<SymbolId>& bound_vars) {
+  Adornment a = Adornment::AllFree(literal.args.size());
+  for (size_t i = 0; i < literal.args.size(); ++i) {
+    const Term& t = literal.args[i];
+    a.bound[i] = t.is_constant() || bound_vars.count(t.symbol) > 0;
+  }
+  return a;
+}
+
+/// Whether a literal may be selected now. Positive literals need one
+/// bound argument (or arity 0) to avoid an unconstrained scan; negated
+/// literals need every variable bound (NAF only tests, never binds).
+bool IsCallable(const Atom& literal, bool negated, const Adornment& a) {
+  if (negated) {
+    for (size_t i = 0; i < literal.args.size(); ++i) {
+      if (literal.args[i].is_variable() && !a.bound[i]) return false;
+    }
+    return true;
+  }
+  if (literal.args.empty()) return true;
+  for (bool b : a.bound) {
+    if (b) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+SipOrdering ComputeSip(const Clause& rule, const Adornment& head) {
+  std::unordered_set<SymbolId> bound_vars;
+  size_t head_arity =
+      std::min(rule.head.args.size(), head.bound.size());
+  for (size_t i = 0; i < head_arity; ++i) {
+    if (head.bound[i] && rule.head.args[i].is_variable()) {
+      bound_vars.insert(rule.head.args[i].symbol);
+    }
+  }
+
+  SipOrdering out;
+  std::vector<char> selected(rule.body.size(), 0);
+  for (size_t step = 0; step < rule.body.size(); ++step) {
+    size_t pick = rule.body.size();
+    Adornment pick_adornment;
+    bool feasible = false;
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (selected[i] != 0) continue;
+      Adornment a = LiteralAdornment(rule.body[i], bound_vars);
+      if (IsCallable(rule.body[i], rule.IsNegated(i), a)) {
+        pick = i;
+        pick_adornment = std::move(a);
+        feasible = true;
+        break;
+      }
+      if (pick == rule.body.size()) {
+        // Fallback: the first remaining literal, with its actual
+        // (insufficient) pattern, so the infeasible step still reports
+        // what the processor would have to do.
+        pick = i;
+        pick_adornment = std::move(a);
+      }
+    }
+    selected[pick] = 1;
+    SipStep sip;
+    sip.literal = pick;
+    sip.adornment = std::move(pick_adornment);
+    sip.feasible = feasible;
+    if (!rule.IsNegated(pick)) {
+      for (const Term& t : rule.body[pick].args) {
+        if (t.is_variable() && bound_vars.insert(t.symbol).second) {
+          sip.contributes = true;
+        }
+      }
+    }
+    out.feasible = out.feasible && feasible;
+    out.steps.push_back(std::move(sip));
+  }
+  return out;
+}
+
+const AdornmentTable* AdornmentAnalysis::Find(SymbolId predicate) const {
+  for (const AdornmentTable& t : tables) {
+    if (t.predicate == predicate) return &t;
+  }
+  return nullptr;
+}
+
+}  // namespace stratlearn

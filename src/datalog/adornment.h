@@ -1,0 +1,146 @@
+#ifndef STRATLEARN_DATALOG_ADORNMENT_H_
+#define STRATLEARN_DATALOG_ADORNMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datalog/clause.h"
+#include "datalog/symbol_table.h"
+
+namespace stratlearn {
+
+/// A binding pattern ("adornment" in the magic-sets / QSQ literature):
+/// one flag per argument position, true when the argument is bound to a
+/// constant at call time. Written as a b/f string — instructor^b,
+/// path^bf — matching the paper's query-form notation q^alpha.
+struct Adornment {
+  std::vector<bool> bound;
+
+  static Adornment AllFree(size_t arity) {
+    Adornment a;
+    a.bound.assign(arity, false);
+    return a;
+  }
+
+  size_t arity() const { return bound.size(); }
+
+  /// True when no argument is bound (and there is at least one
+  /// argument): calls with this pattern can only be answered by a full
+  /// scan of the predicate's extension.
+  bool IsAllFree() const {
+    for (bool b : bound) {
+      if (b) return false;
+    }
+    return !bound.empty();
+  }
+
+  bool IsAllBound() const {
+    for (bool b : bound) {
+      if (!b) return false;
+    }
+    return true;
+  }
+
+  /// "bf" / "bbf"; arity 0 renders as "" (a propositional call has no
+  /// binding pattern).
+  std::string ToString() const;
+
+  friend bool operator==(const Adornment& a, const Adornment& b) {
+    return a.bound == b.bound;
+  }
+  friend bool operator<(const Adornment& a, const Adornment& b) {
+    return a.bound < b.bound;
+  }
+};
+
+/// A deterministically ordered set of adornments (sorted vector; at
+/// most 2^arity entries, so the per-predicate lattice is bounded). This
+/// is the join-semilattice element of the binding-pattern dataflow: the
+/// join is set union, bottom is the empty set.
+class AdornmentSet {
+ public:
+  /// Inserts `a`, keeping the set sorted. Returns true when new.
+  bool Insert(const Adornment& a);
+
+  /// Set union. Returns true when `this` grew.
+  bool UnionWith(const AdornmentSet& other);
+
+  bool Contains(const Adornment& a) const;
+
+  const std::vector<Adornment>& adornments() const { return adornments_; }
+  size_t size() const { return adornments_.size(); }
+  bool empty() const { return adornments_.empty(); }
+
+  friend bool operator==(const AdornmentSet& a, const AdornmentSet& b) {
+    return a.adornments_ == b.adornments_;
+  }
+
+ private:
+  std::vector<Adornment> adornments_;
+};
+
+/// One body literal's slot in a sideways-information-passing ordering:
+/// which literal was selected, the adornment it is called with, and
+/// whether selecting it bound at least one previously free variable
+/// (i.e. whether it *contributes* bindings rather than merely testing).
+struct SipStep {
+  size_t literal = 0;
+  Adornment adornment;
+  bool contributes = false;
+  /// False when the literal was selected with every argument free even
+  /// though other orders were tried first (the infeasible case).
+  bool feasible = true;
+};
+
+/// A sideways-information-passing ordering of one rule body for one
+/// head adornment. Feasibility means every positive literal could be
+/// selected with at least one bound argument (arity-0 literals are
+/// trivially feasible) and every negated literal with all its variables
+/// bound. Because selecting a feasible literal only ever grows the set
+/// of bound variables, feasibility is order-independent: if the greedy
+/// ordering below gets stuck, every ordering does.
+struct SipOrdering {
+  std::vector<SipStep> steps;
+  bool feasible = true;
+};
+
+/// Computes the deterministic greedy SIP ordering of `rule`'s body for
+/// a call with `head` adornment: bind the head variables in bound
+/// positions (and all constants), then repeatedly select the first
+/// not-yet-selected literal that is currently callable — a positive
+/// literal with >= 1 bound argument or arity 0, or a negated literal
+/// with every variable bound — and mark all its variables bound
+/// (negated literals bind nothing; negation as failure only tests).
+/// When no literal is callable the first remaining one is selected
+/// infeasibly with its actual (all-free) pattern.
+SipOrdering ComputeSip(const Clause& rule, const Adornment& head);
+
+/// The binding-pattern (adornment) dataflow result over a whole
+/// program: for every predicate, the set of adornments it can be called
+/// with when queries arrive with the seed form's pattern. This is the
+/// static half of Query-Subquery evaluation — QSQ nets key their
+/// subquery tables by exactly these adornments.
+struct AdornmentTable {
+  SymbolId predicate = kInvalidSymbol;
+  /// True when the predicate heads at least one rule (intensional).
+  bool intensional = false;
+  AdornmentSet callable;
+};
+
+struct AdornmentAnalysis {
+  /// One row per predicate mentioned anywhere in the program, sorted by
+  /// predicate name (deterministic across interning orders).
+  std::vector<AdornmentTable> tables;
+  /// False when the fixpoint hit its iteration cap (values are then a
+  /// sound under-approximation; see verify's V-D005).
+  bool converged = true;
+  int64_t iterations = 0;
+
+  /// The table row for `predicate`, or nullptr.
+  const AdornmentTable* Find(SymbolId predicate) const;
+};
+
+}  // namespace stratlearn
+
+#endif  // STRATLEARN_DATALOG_ADORNMENT_H_

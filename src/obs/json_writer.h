@@ -41,6 +41,11 @@ class JsonWriter {
   JsonWriter& Value(bool value);
   JsonWriter& Null();
 
+  /// Splices `json` — one pre-rendered JSON value — into the stream as
+  /// the next value, handling commas like any other Value call. The
+  /// caller is responsible for `json` being well formed (IsValidJson).
+  JsonWriter& Raw(std::string_view json);
+
   const std::string& str() const { return out_; }
   std::string Take() { return std::move(out_); }
 

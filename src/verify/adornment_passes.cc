@@ -1,0 +1,297 @@
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "datalog/adornment.h"
+#include "obs/json_writer.h"
+#include "util/string_util.h"
+#include "verify/dataflow.h"
+#include "verify/verify.h"
+
+namespace stratlearn::verify {
+
+namespace {
+
+/// "instructor^b" / "path^bf" / "halt" (arity 0).
+std::string FormName(const SymbolTable& symbols, SymbolId predicate,
+                     const Adornment& adornment) {
+  std::string out = symbols.Name(predicate);
+  std::string pattern = adornment.ToString();
+  if (!pattern.empty()) {
+    out += '^';
+    out += pattern;
+  }
+  return out;
+}
+
+std::string RuleLocation(const Program& program, size_t rule_index) {
+  return rule_index < program.rule_lines.size()
+             ? StrFormat("line %d", program.rule_lines[rule_index])
+             : StrFormat("rule %zu", rule_index);
+}
+
+}  // namespace
+
+AdornmentAnalysis AnalyzeAdornments(const Program& program,
+                                    const SymbolTable& symbols,
+                                    const QueryForm& form,
+                                    int64_t max_iterations) {
+  // Node universe: every predicate mentioned anywhere, plus the query
+  // predicate, in name order (stable across symbol interning orders).
+  std::vector<SymbolId> predicates;
+  std::unordered_set<SymbolId> seen;
+  auto add = [&](SymbolId p) {
+    if (seen.insert(p).second) predicates.push_back(p);
+  };
+  add(form.predicate);
+  for (const Clause& fact : program.facts) add(fact.head.predicate);
+  for (const Clause& rule : program.rules) {
+    add(rule.head.predicate);
+    for (const Atom& literal : rule.body) add(literal.predicate);
+  }
+  std::sort(predicates.begin(), predicates.end(),
+            [&](SymbolId a, SymbolId b) {
+              return symbols.Name(a) < symbols.Name(b);
+            });
+  std::unordered_map<SymbolId, size_t> index;
+  for (size_t i = 0; i < predicates.size(); ++i) index[predicates[i]] = i;
+
+  // A changed head adornment set re-derives the SIP of every rule the
+  // head predicate owns, which may push new patterns into each body
+  // predicate: successors(head) = body predicates.
+  std::vector<std::vector<size_t>> successors(predicates.size());
+  for (const Clause& rule : program.rules) {
+    std::vector<size_t>& out = successors[index[rule.head.predicate]];
+    for (const Atom& literal : rule.body) {
+      size_t to = index[literal.predicate];
+      if (std::find(out.begin(), out.end(), to) == out.end()) {
+        out.push_back(to);
+      }
+    }
+  }
+
+  std::vector<AdornmentSet> initial(predicates.size());
+  Adornment query;
+  query.bound = form.bound;
+  initial[index[form.predicate]].Insert(query);
+
+  FixpointEngine<AdornmentSet>::Options options;
+  options.max_iterations = max_iterations;
+  FixpointEngine<AdornmentSet> engine(std::move(initial),
+                                      std::move(successors), options);
+
+  // transfer(q) rebuilds q's callable set from scratch: the query seed
+  // (when q is the entry point) plus, for every rule and every adornment
+  // its head can be called with, the pattern the SIP ordering calls q's
+  // literals with. Monotone because AdornmentSet only ever grows.
+  auto transfer = [&](size_t node,
+                      const std::vector<AdornmentSet>& values) {
+    AdornmentSet out;
+    if (predicates[node] == form.predicate) out.Insert(query);
+    for (const Clause& rule : program.rules) {
+      bool mentions = false;
+      for (const Atom& literal : rule.body) {
+        mentions = mentions || literal.predicate == predicates[node];
+      }
+      if (!mentions) continue;
+      const AdornmentSet& heads = values[index.at(rule.head.predicate)];
+      for (const Adornment& head : heads.adornments()) {
+        SipOrdering sip = ComputeSip(rule, head);
+        for (const SipStep& step : sip.steps) {
+          if (rule.body[step.literal].predicate == predicates[node]) {
+            out.Insert(step.adornment);
+          }
+        }
+      }
+    }
+    return out;
+  };
+  auto join = [](AdornmentSet* current, const AdornmentSet& incoming) {
+    return current->UnionWith(incoming);
+  };
+  FixpointResult fixpoint = engine.Solve(transfer, join);
+
+  AdornmentAnalysis analysis;
+  analysis.converged = fixpoint.converged;
+  analysis.iterations = fixpoint.iterations;
+  std::unordered_set<SymbolId> heads;
+  for (const Clause& rule : program.rules) heads.insert(rule.head.predicate);
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    AdornmentTable table;
+    table.predicate = predicates[i];
+    table.intensional = heads.count(predicates[i]) > 0;
+    table.callable = engine.value(i);
+    analysis.tables.push_back(std::move(table));
+  }
+  return analysis;
+}
+
+AdornmentAnalysis VerifyAdornments(const Program& program,
+                                   const SymbolTable& symbols,
+                                   const QueryForm& form,
+                                   DiagnosticSink* sink,
+                                   const VerifyOptions& options) {
+  Adornment query;
+  query.bound = form.bound;
+
+  // V-D006: an all-free entry point. Legal, but every evaluation of the
+  // query is a full enumeration, so the learned orderings matter little.
+  if (query.IsAllFree()) {
+    sink->Note("V-D006", "",
+               StrFormat("query form '%s' binds no argument: every query "
+                         "enumerates the predicate's whole extension, so "
+                         "retrieval order barely matters",
+                         FormName(symbols, form.predicate, query).c_str()),
+               "bind at least one argument position in % verify-form:");
+  }
+
+  AdornmentAnalysis analysis = AnalyzeAdornments(
+      program, symbols, form, options.dataflow_max_iterations);
+
+  // Machine-readable adornment tables (the static half of a QSQ net's
+  // subquery-table keys) for the JSON report / SARIF property bag.
+  {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("kind").Value("adornments");
+    w.Key("file").Value(sink->file());
+    w.Key("query_form").Value(FormName(symbols, form.predicate, query));
+    w.Key("converged").Value(analysis.converged);
+    w.Key("iterations").Value(analysis.iterations);
+    w.Key("predicates").BeginArray();
+    for (const AdornmentTable& table : analysis.tables) {
+      w.BeginObject();
+      w.Key("predicate").Value(symbols.Name(table.predicate));
+      w.Key("intensional").Value(table.intensional);
+      w.Key("adornments").BeginArray();
+      for (const Adornment& a : table.callable.adornments()) {
+        w.Value(a.ToString());
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    sink->AddAnalysis(w.Take());
+  }
+
+  if (!analysis.converged) {
+    sink->Error(
+        "V-D005", "",
+        StrFormat("adornment dataflow did not converge within %lld "
+                  "iterations; binding-pattern results are a partial "
+                  "under-approximation",
+                  static_cast<long long>(options.dataflow_max_iterations)),
+        "raise the iteration cap (the adornment lattice is bounded by "
+        "2^arity per predicate, so non-convergence means the cap is too "
+        "low for this program)");
+    // The sets are under-approximate: "empty" and "all-free only" would
+    // be unsound verdicts, so the reachability passes stand down.
+    return analysis;
+  }
+
+  std::unordered_set<SymbolId> used_in_bodies;
+  for (const Clause& rule : program.rules) {
+    for (const Atom& literal : rule.body) {
+      used_in_bodies.insert(literal.predicate);
+    }
+  }
+  std::unordered_set<SymbolId> fact_preds;
+  for (const Clause& fact : program.facts) {
+    fact_preds.insert(fact.head.predicate);
+  }
+
+  for (const AdornmentTable& table : analysis.tables) {
+    SymbolId p = table.predicate;
+    // V-D001: mentioned in rule bodies, yet no binding pattern ever
+    // reaches it from the query form — the literals are dead code.
+    // (Predicates in no body are V-R004's department.)
+    if (table.callable.empty() && used_in_bodies.count(p) > 0 &&
+        p != form.predicate) {
+      sink->Warning(
+          "V-D001", "",
+          StrFormat("predicate '%s' is never called: no binding pattern "
+                    "reaches it from query form '%s'",
+                    symbols.Name(p).c_str(),
+                    FormName(symbols, form.predicate, query).c_str()),
+          "the rules calling it are themselves unreachable; remove them "
+          "or connect them to the query form");
+    }
+    // V-D002: an extensional relation only ever consulted with every
+    // argument free — each retrieval scans the whole relation.
+    if (!table.intensional && fact_preds.count(p) > 0 &&
+        !table.callable.empty()) {
+      bool all_free_only = true;
+      for (const Adornment& a : table.callable.adornments()) {
+        all_free_only = all_free_only && a.IsAllFree();
+      }
+      if (all_free_only) {
+        sink->Warning(
+            "V-D002", "",
+            StrFormat("every retrieval of extensional predicate '%s' "
+                      "arrives with all arguments free: each call scans "
+                      "the whole relation",
+                      symbols.Name(p).c_str()),
+            "reorder rule bodies (or bind more of the query form) so a "
+            "binding reaches this predicate sideways");
+      }
+    }
+  }
+
+  for (size_t r = 0; r < program.rules.size(); ++r) {
+    const Clause& rule = program.rules[r];
+    const AdornmentTable* table = analysis.Find(rule.head.predicate);
+    if (table == nullptr || table->callable.empty()) continue;
+    std::string location = RuleLocation(program, r);
+    std::vector<char> contributes(rule.body.size(), 0);
+    for (const Adornment& head : table->callable.adornments()) {
+      SipOrdering sip = ComputeSip(rule, head);
+      for (const SipStep& step : sip.steps) {
+        if (step.contributes) contributes[step.literal] = 1;
+        // V-D004: the greedy SIP got stuck, and (because bound-variable
+        // sets only grow) so does every other ordering of this body.
+        if (!step.feasible) {
+          sink->Warning(
+              "V-D004", location,
+              StrFormat("rule '%s' has no feasible "
+                        "sideways-information-passing order under head "
+                        "adornment '%s': literal '%s' can only be "
+                        "evaluated with every argument free",
+                        rule.ToString(symbols).c_str(),
+                        FormName(symbols, rule.head.predicate, head)
+                            .c_str(),
+                        rule.body[step.literal].ToString(symbols).c_str()),
+              "share a variable with an earlier literal so bindings can "
+              "flow into it");
+        }
+      }
+    }
+    // V-D003: a positive literal with variables that never binds a new
+    // one under any reachable head adornment — it only filters. Bodies
+    // of one literal are exempt: with nothing to reorder around, the
+    // observation is vacuous.
+    if (rule.body.size() < 2) continue;
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (rule.IsNegated(i) || contributes[i] != 0) continue;
+      bool has_variable = false;
+      for (const Term& t : rule.body[i].args) {
+        has_variable = has_variable || t.is_variable();
+      }
+      if (!has_variable) continue;
+      sink->Note(
+          "V-D003", location,
+          StrFormat("literal '%s' in rule '%s' never binds a new "
+                    "variable under any reachable head adornment; it "
+                    "only filters earlier bindings",
+                    rule.body[i].ToString(symbols).c_str(),
+                    rule.ToString(symbols).c_str()),
+          "pure tests are cheapest late in the body, where fewer "
+          "contexts reach them");
+    }
+  }
+
+  return analysis;
+}
+
+}  // namespace stratlearn::verify

@@ -1,0 +1,33 @@
+#include "verify/dataflow.h"
+
+#include "util/check.h"
+
+namespace stratlearn::verify {
+
+IndexWorklist::IndexWorklist(size_t num_nodes)
+    : enqueued_(num_nodes, 0) {
+  queue_.reserve(num_nodes);
+}
+
+void IndexWorklist::Push(size_t node) {
+  STRATLEARN_CHECK(node < enqueued_.size());
+  if (enqueued_[node] != 0) return;
+  enqueued_[node] = 1;
+  queue_.push_back(node);
+}
+
+size_t IndexWorklist::Pop() {
+  STRATLEARN_CHECK(head_ < queue_.size());
+  size_t node = queue_[head_];
+  ++head_;
+  enqueued_[node] = 0;
+  ++pops_;
+  // Reclaim the drained prefix so long-running fixpoints stay O(live).
+  if (head_ == queue_.size()) {
+    queue_.clear();
+    head_ = 0;
+  }
+  return node;
+}
+
+}  // namespace stratlearn::verify

@@ -1,0 +1,122 @@
+#ifndef STRATLEARN_VERIFY_DATAFLOW_H_
+#define STRATLEARN_VERIFY_DATAFLOW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace stratlearn::verify {
+
+/// Deterministic FIFO worklist over node indices with membership
+/// deduplication: pushing a node already enqueued is a no-op, so each
+/// node is processed at most once per "round" of changes. Iteration
+/// order is a pure function of the push sequence — two runs over the
+/// same problem pop the same nodes in the same order, which the verify
+/// subsystem's byte-determinism contract relies on.
+class IndexWorklist {
+ public:
+  explicit IndexWorklist(size_t num_nodes);
+
+  /// Enqueues `node` unless it is already waiting. Bounds-checked.
+  void Push(size_t node);
+
+  /// Pops the oldest waiting node. Undefined when empty().
+  size_t Pop();
+
+  bool empty() const { return head_ == queue_.size(); }
+  size_t size() const { return queue_.size() - head_; }
+
+  /// Total pops so far (the engine's iteration counter).
+  int64_t pops() const { return pops_; }
+
+ private:
+  std::vector<size_t> queue_;
+  size_t head_ = 0;  // queue_[head_..] are waiting
+  std::vector<char> enqueued_;
+  int64_t pops_ = 0;
+};
+
+/// Outcome of a fixpoint run.
+struct FixpointResult {
+  /// False when the iteration cap was hit before the worklist drained;
+  /// the values are then a sound under-approximation of the least
+  /// fixpoint (monotone transfer functions only ever add information),
+  /// but analyses must degrade their verdicts (V-D005).
+  bool converged = true;
+  /// Transfer-function applications performed.
+  int64_t iterations = 0;
+};
+
+/// A small generic worklist solver for forward dataflow problems over a
+/// bounded join-semilattice. The client supplies the lattice operations
+/// and the dependency structure; the engine owns the iteration order
+/// and the convergence bookkeeping.
+///
+/// The node values start at the client's initial assignment (the
+/// lattice bottom plus any seed facts). The engine repeatedly pops a
+/// node n, computes transfer(n) — which may read every current value —
+/// and joins the result into value(n); when the join changes the value,
+/// every successor of n re-enters the worklist. With a monotone
+/// transfer over a lattice of finite height this terminates at the
+/// least fixpoint; `max_iterations` caps runaway clients (a
+/// non-monotone transfer or an unbounded lattice) and reports
+/// non-convergence instead of spinning.
+template <typename Value>
+class FixpointEngine {
+ public:
+  using Transfer =
+      std::function<Value(size_t node, const std::vector<Value>& values)>;
+  /// Joins `incoming` into `current`; returns true when `current`
+  /// changed (i.e. incoming was not already <= current).
+  using JoinInto = std::function<bool(Value* current, const Value& incoming)>;
+
+  struct Options {
+    /// Cap on transfer applications. The default comfortably covers
+    /// every bounded-lattice analysis in this repo (adornment sets are
+    /// capped at 2^arity per predicate); hitting it means the client's
+    /// transfer is not monotone or its lattice is unbounded.
+    int64_t max_iterations = 100000;
+  };
+
+  FixpointEngine(std::vector<Value> initial,
+                 std::vector<std::vector<size_t>> successors,
+                 Options options = {})
+      : values_(std::move(initial)),
+        successors_(std::move(successors)),
+        options_(options) {}
+
+  /// Runs to fixpoint (or the iteration cap) from the initial values,
+  /// seeding the worklist with every node in index order.
+  FixpointResult Solve(const Transfer& transfer, const JoinInto& join) {
+    IndexWorklist worklist(values_.size());
+    for (size_t n = 0; n < values_.size(); ++n) worklist.Push(n);
+    FixpointResult result;
+    while (!worklist.empty()) {
+      if (worklist.pops() >= options_.max_iterations) {
+        result.converged = false;
+        break;
+      }
+      size_t node = worklist.Pop();
+      Value incoming = transfer(node, values_);
+      if (join(&values_[node], incoming)) {
+        for (size_t succ : successors_[node]) worklist.Push(succ);
+      }
+    }
+    result.iterations = worklist.pops();
+    return result;
+  }
+
+  const std::vector<Value>& values() const { return values_; }
+  const Value& value(size_t node) const { return values_[node]; }
+
+ private:
+  std::vector<Value> values_;
+  std::vector<std::vector<size_t>> successors_;
+  Options options_;
+};
+
+}  // namespace stratlearn::verify
+
+#endif  // STRATLEARN_VERIFY_DATAFLOW_H_

@@ -60,6 +60,40 @@ class DiagnosticSink {
   size_t num_errors() const { return num_errors_; }
   size_t num_warnings() const { return num_warnings_; }
   size_t num_notes() const { return num_notes_; }
+  size_t num_suppressed() const { return num_suppressed_; }
+
+  /// Removes every diagnostic matching `match`, recomputing the
+  /// severity counts; removed findings count as *suppressed* in the
+  /// summary line and in JSON/SARIF. Returns how many were removed.
+  /// This is the baseline mechanism: CI suppresses the pinned findings
+  /// and gates on what remains.
+  template <typename Pred>
+  size_t Suppress(const Pred& match) {
+    std::vector<Diagnostic> kept;
+    kept.reserve(diagnostics_.size());
+    size_t removed = 0;
+    for (Diagnostic& d : diagnostics_) {
+      if (match(static_cast<const Diagnostic&>(d))) {
+        ++removed;
+      } else {
+        kept.push_back(std::move(d));
+      }
+    }
+    diagnostics_ = std::move(kept);
+    num_suppressed_ += removed;
+    RecountSeverities();
+    return removed;
+  }
+
+  /// Attaches a machine-readable analysis result (a raw JSON object,
+  /// e.g. an adornment table or a cost-interval certificate) to the
+  /// report. Sections render in insertion order under the top-level
+  /// "analyses" key of RenderJson and the run's property bag in SARIF;
+  /// the text rendering ignores them (passes emit a note instead).
+  void AddAnalysis(std::string json_object) {
+    analyses_.push_back(std::move(json_object));
+  }
+  const std::vector<std::string>& analyses() const { return analyses_; }
 
   /// True when the artifact set must not be used (>= 1 error, or >= 1
   /// warning under `werror`).
@@ -77,15 +111,23 @@ class DiagnosticSink {
   std::string RenderText(bool werror = false) const;
 
   /// The same content as one deterministic JSON object:
-  /// {"diagnostics": [...], "summary": {"errors": n, ...}}.
+  /// {"diagnostics": [...], "analyses": [...], "summary": {...}}.
+  /// Under `werror` a promoted warning renders with
+  /// "severity": "error" (and "promoted": true) so downstream tooling
+  /// sees the severity the exit code acts on, not the pre-promotion
+  /// one; the summary keeps the raw errors/warnings split.
   std::string RenderJson(bool werror = false) const;
 
  private:
+  void RecountSeverities();
+
   std::string file_;
   std::vector<Diagnostic> diagnostics_;
+  std::vector<std::string> analyses_;
   size_t num_errors_ = 0;
   size_t num_warnings_ = 0;
   size_t num_notes_ = 0;
+  size_t num_suppressed_ = 0;
 };
 
 }  // namespace stratlearn::verify

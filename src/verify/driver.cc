@@ -1,7 +1,10 @@
+#include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/serialization.h"
@@ -75,7 +78,14 @@ void ArtifactVerifier::AddText(const std::string& name,
                    ".graph file before the strategy file");
       return;
     }
+    size_t errors_before = sink_->num_errors();
     VerifyStrategyText(*graph_context_, text, sink_);
+    if (sink_->num_errors() == errors_before) {
+      Result<Strategy> strategy = Strategy::Deserialize(*graph_context_, text);
+      if (strategy.ok()) {
+        VerifyStrategyCost(*graph_context_, *strategy, profile(), sink_);
+      }
+    }
     return;
   }
   bool is_config = name.size() >= 4 &&
@@ -90,6 +100,9 @@ void ArtifactVerifier::AddText(const std::string& name,
 void ArtifactVerifier::VerifyConfig(std::string_view text) {
   LearnerConfig config = ParseLearnerConfig(text, sink_);
   VerifyLearnerConfig(config, graph_context(), sink_);
+  if (graph_context() != nullptr) {
+    VerifyQuotaFeasibility(config, *graph_context(), profile(), sink_);
+  }
 }
 
 void ArtifactVerifier::VerifyDatalog(std::string_view text) {
@@ -118,6 +131,25 @@ void ArtifactVerifier::VerifyDatalog(std::string_view text) {
 
   size_t errors_before = sink_->num_errors();
   VerifyProgram(*program, symbols, form.ok() ? &*form : nullptr, sink_);
+
+  if (form.ok()) {
+    VerifyOptions dataflow_options = options_;
+    std::string cap_text = FindDirective(text, "% verify-dataflow-cap:");
+    if (!cap_text.empty()) {
+      char* end = nullptr;
+      long long cap = std::strtoll(cap_text.c_str(), &end, 10);
+      if (end != cap_text.c_str() + cap_text.size() || cap <= 0) {
+        sink_->Error("V-P001", "",
+                     StrFormat("bad %% verify-dataflow-cap: directive "
+                               "'%s': expected a positive integer",
+                               cap_text.c_str()));
+      } else {
+        dataflow_options.dataflow_max_iterations = cap;
+      }
+    }
+    (void)VerifyAdornments(*program, symbols, *form, sink_,
+                           dataflow_options);
+  }
 
   bool uses_negation = false;
   for (const Clause& rule : program->rules) {
@@ -189,7 +221,18 @@ void ArtifactVerifier::VerifyDatalog(std::string_view text) {
         }
         arcs.push_back(value);
       }
-      if (tokens_ok) VerifyStrategyOrder(*graph_context_, arcs, sink_);
+      size_t strategy_errors_before = sink_->num_errors();
+      if (tokens_ok) {
+        VerifyStrategyOrder(*graph_context_, arcs, sink_);
+        if (sink_->num_errors() == strategy_errors_before) {
+          std::vector<ArcId> ids(arcs.begin(), arcs.end());
+          Result<Strategy> strategy =
+              Strategy::FromArcOrder(*graph_context_, std::move(ids));
+          if (strategy.ok()) {
+            VerifyStrategyCost(*graph_context_, *strategy, profile(), sink_);
+          }
+        }
+      }
     }
   }
 
@@ -198,6 +241,64 @@ void ArtifactVerifier::VerifyDatalog(std::string_view text) {
     std::string config_lines = Join(Split(config_text, ' '), "\n");
     VerifyConfig(config_lines);
   }
+}
+
+namespace {
+
+/// Feed order of an artifact kind in project mode: context providers
+/// (programs define graphs) before context consumers. -1 = not ours.
+int KindPriority(const std::string& extension) {
+  if (extension == ".dl") return 0;
+  if (extension == ".graph") return 1;
+  if (extension == ".andor") return 2;
+  if (extension == ".strategy") return 3;
+  if (extension == ".cfg") return 4;
+  if (extension == ".alerts") return 5;
+  if (extension == ".ckpt") return 6;
+  return -1;
+}
+
+}  // namespace
+
+Status VerifyProject(ArtifactVerifier* verifier, const std::string& dir,
+                     DiagnosticSink* sink) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::NotFound(
+        StrFormat("'%s' is not a directory", dir.c_str()));
+  }
+  std::vector<std::pair<int, std::string>> artifacts;
+  for (fs::recursive_directory_iterator it(dir, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    int priority = KindPriority(it->path().extension().string());
+    if (priority < 0) continue;
+    artifacts.emplace_back(
+        priority, fs::relative(it->path(), dir, ec).generic_string());
+  }
+  std::sort(artifacts.begin(), artifacts.end());
+  if (artifacts.empty()) {
+    sink->set_file(dir);
+    sink->Warning("V-P002", "",
+                  "project directory contains no verifiable artifacts",
+                  "recognised extensions: .dl .graph .andor .strategy "
+                  ".cfg .alerts .ckpt");
+    return Status::OK();
+  }
+  for (const auto& [priority, relative] : artifacts) {
+    std::ifstream in((fs::path(dir) / relative));
+    if (!in) {
+      sink->set_file(relative);
+      sink->Error("V-P003", "", "artifact became unreadable mid-walk",
+                  "check permissions and re-run");
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    verifier->AddText(relative, buffer.str());
+  }
+  return Status::OK();
 }
 
 Status GuardLoadedProgram(const RuleBase& rules, const BuiltGraph& built,

@@ -1,0 +1,134 @@
+#include "verify/sarif.h"
+
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/json_writer.h"
+#include "util/string_util.h"
+
+namespace stratlearn::verify {
+
+namespace {
+
+const char* SarifLevel(Severity severity, bool werror) {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return werror ? "error" : "warning";
+    case Severity::kError: return "error";
+  }
+  return "none";
+}
+
+/// Parses a "line N" location into N, or 0 when the location has some
+/// other shape (those become logical locations instead of regions).
+int LocationLine(const std::string& location) {
+  if (!StartsWith(location, "line ")) return 0;
+  const char* digits = location.c_str() + 5;
+  char* end = nullptr;
+  long value = std::strtol(digits, &end, 10);
+  if (end == digits || *end != '\0' || value <= 0) return 0;
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+std::string RenderSarif(const DiagnosticSink& sink, bool werror) {
+  // Rule table: distinct codes in order of first appearance.
+  std::vector<std::string> rule_ids;
+  std::unordered_map<std::string, size_t> rule_index;
+  for (const Diagnostic& d : sink.diagnostics()) {
+    if (rule_index.emplace(d.code, rule_ids.size()).second) {
+      rule_ids.push_back(d.code);
+    }
+  }
+
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("$schema")
+      .Value("https://json.schemastore.org/sarif-2.1.0.json");
+  w.Key("version").Value("2.1.0");
+  w.Key("runs").BeginArray();
+  w.BeginObject();
+
+  w.Key("tool").BeginObject();
+  w.Key("driver").BeginObject();
+  w.Key("name").Value("stratlearn-verify");
+  w.Key("rules").BeginArray();
+  for (const std::string& id : rule_ids) {
+    w.BeginObject();
+    w.Key("id").Value(id);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  w.EndObject();
+
+  w.Key("results").BeginArray();
+  for (const Diagnostic& d : sink.diagnostics()) {
+    w.BeginObject();
+    w.Key("ruleId").Value(d.code);
+    w.Key("ruleIndex")
+        .Value(static_cast<int64_t>(rule_index.at(d.code)));
+    w.Key("level").Value(SarifLevel(d.severity, werror));
+    w.Key("message").BeginObject();
+    w.Key("text").Value(d.message);
+    w.EndObject();
+    if (!d.file.empty()) {
+      int line = LocationLine(d.location);
+      w.Key("locations").BeginArray();
+      w.BeginObject();
+      w.Key("physicalLocation").BeginObject();
+      w.Key("artifactLocation").BeginObject();
+      w.Key("uri").Value(d.file);
+      w.EndObject();
+      if (line > 0) {
+        w.Key("region").BeginObject();
+        w.Key("startLine").Value(static_cast<int64_t>(line));
+        w.EndObject();
+      }
+      w.EndObject();
+      if (line == 0 && !d.location.empty()) {
+        w.Key("logicalLocations").BeginArray();
+        w.BeginObject();
+        w.Key("fullyQualifiedName").Value(d.location);
+        w.EndObject();
+        w.EndArray();
+      }
+      w.EndObject();
+      w.EndArray();
+    }
+    bool promoted = werror && d.severity == Severity::kWarning;
+    if (!d.hint.empty() || promoted) {
+      w.Key("properties").BeginObject();
+      if (!d.hint.empty()) w.Key("hint").Value(d.hint);
+      if (promoted) w.Key("promoted").Value(true);
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("properties").BeginObject();
+  if (!sink.analyses().empty()) {
+    w.Key("analyses").BeginArray();
+    for (const std::string& section : sink.analyses()) w.Raw(section);
+    w.EndArray();
+  }
+  w.Key("summary").BeginObject();
+  w.Key("errors").Value(static_cast<int64_t>(sink.num_errors()));
+  w.Key("warnings").Value(static_cast<int64_t>(sink.num_warnings()));
+  w.Key("notes").Value(static_cast<int64_t>(sink.num_notes()));
+  w.Key("suppressed").Value(static_cast<int64_t>(sink.num_suppressed()));
+  w.Key("werror").Value(werror);
+  w.Key("exit_code").Value(static_cast<int64_t>(sink.ExitCode(werror)));
+  w.EndObject();
+  w.EndObject();
+
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
+}  // namespace stratlearn::verify

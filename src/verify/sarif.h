@@ -1,0 +1,24 @@
+#ifndef STRATLEARN_VERIFY_SARIF_H_
+#define STRATLEARN_VERIFY_SARIF_H_
+
+#include <string>
+
+#include "verify/diagnostics.h"
+
+namespace stratlearn::verify {
+
+/// Renders the sink as a SARIF 2.1.0 log with exactly one run, for CI
+/// annotation uploads (--format=sarif). Deterministic: rule order is
+/// first appearance, result order is insertion order, no timestamps or
+/// absolute paths beyond what the diagnostics themselves carry.
+///
+/// Mapping: severity -> result.level (warnings render as "error" under
+/// `werror`, matching the JSON report's promotion); `file` ->
+/// physicalLocation.artifactLocation.uri; a "line N" location ->
+/// region.startLine, any other non-empty location -> a logicalLocation;
+/// hints and analysis sections land in property bags.
+std::string RenderSarif(const DiagnosticSink& sink, bool werror = false);
+
+}  // namespace stratlearn::verify
+
+#endif  // STRATLEARN_VERIFY_SARIF_H_

@@ -1,0 +1,91 @@
+#include "verify/suppressions.h"
+
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace stratlearn::verify {
+
+SuppressionSet ParseSuppressions(std::string_view text,
+                                 const std::string& file,
+                                 DiagnosticSink* sink) {
+  SuppressionSet set;
+  std::string saved_file = sink->file();
+  sink->set_file(file);
+  std::vector<std::string> lines = Split(text, '\n');
+  bool header_ok = !lines.empty() &&
+                   Trim(lines[0]) == "stratlearn-suppressions v1";
+  if (!header_ok) {
+    sink->Error("V-SUP001", "line 1",
+                "suppressions file must start with "
+                "'stratlearn-suppressions v1'",
+                "regenerate the baseline with --suppress-out");
+  } else {
+    for (size_t i = 1; i < lines.size(); ++i) {
+      std::string_view line = Trim(lines[i]);
+      if (line.empty() || line[0] == '#') continue;
+      std::vector<std::string> fields = Split(line, '|');
+      if (fields.size() != 3 || Trim(fields[0]).empty()) {
+        sink->Error("V-SUP001", StrFormat("line %zu", i + 1),
+                    StrFormat("cannot parse suppression '%s'",
+                              std::string(line.substr(0, 48)).c_str()),
+                    "expected 'code|file|location' ('*' wildcards "
+                    "allowed; empty location spelled as a bare field)");
+        continue;
+      }
+      SuppressionRule rule;
+      rule.code = std::string(Trim(fields[0]));
+      rule.file = std::string(Trim(fields[1]));
+      rule.location = std::string(Trim(fields[2]));
+      rule.line = static_cast<int>(i + 1);
+      set.rules.push_back(std::move(rule));
+    }
+  }
+  sink->set_file(saved_file);
+  return set;
+}
+
+size_t ApplySuppressions(const SuppressionSet& set, const std::string& file,
+                         DiagnosticSink* sink) {
+  std::vector<char> used(set.rules.size(), 0);
+  size_t removed = sink->Suppress([&](const Diagnostic& d) {
+    for (size_t r = 0; r < set.rules.size(); ++r) {
+      if (set.rules[r].Matches(d)) {
+        used[r] = 1;
+        return true;
+      }
+    }
+    return false;
+  });
+  std::string saved_file = sink->file();
+  sink->set_file(file);
+  for (size_t r = 0; r < set.rules.size(); ++r) {
+    if (used[r] != 0) continue;
+    const SuppressionRule& rule = set.rules[r];
+    sink->Note("V-SUP002", StrFormat("line %d", rule.line),
+               StrFormat("suppression '%s|%s|%s' matched no finding",
+                         rule.code.c_str(), rule.file.c_str(),
+                         rule.location.c_str()),
+               "the finding it pinned is gone; delete the line so the "
+               "baseline keeps ratcheting down");
+  }
+  sink->set_file(saved_file);
+  return removed;
+}
+
+std::string RenderSuppressionBaseline(const DiagnosticSink& sink) {
+  std::string out = "stratlearn-suppressions v1\n";
+  out += "# code|file|location — '*' matches any value in that field.\n";
+  std::unordered_set<std::string> seen;
+  for (const Diagnostic& d : sink.diagnostics()) {
+    std::string line = StrFormat("%s|%s|%s", d.code.c_str(), d.file.c_str(),
+                                 d.location.c_str());
+    if (seen.insert(line).second) {
+      out += line;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace stratlearn::verify

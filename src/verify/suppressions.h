@@ -1,0 +1,55 @@
+#ifndef STRATLEARN_VERIFY_SUPPRESSIONS_H_
+#define STRATLEARN_VERIFY_SUPPRESSIONS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "verify/diagnostics.h"
+
+namespace stratlearn::verify {
+
+/// One baseline entry: a `code|file|location` triple where any field
+/// may be the wildcard "*". A diagnostic is suppressed when every field
+/// matches exactly (or the rule's field is "*").
+struct SuppressionRule {
+  std::string code;
+  std::string file;
+  std::string location;
+  /// Line in the suppressions file, for stale-rule reporting.
+  int line = 0;
+
+  bool Matches(const Diagnostic& d) const {
+    return (code == "*" || code == d.code) &&
+           (file == "*" || file == d.file) &&
+           (location == "*" || location == d.location);
+  }
+};
+
+struct SuppressionSet {
+  std::vector<SuppressionRule> rules;
+};
+
+/// Parses a "stratlearn-suppressions v1" baseline file. Malformed
+/// headers and lines are V-SUP001 errors, scoped to `file` (the
+/// baseline's own path) — a broken baseline must fail loudly, or CI
+/// would silently stop suppressing.
+SuppressionSet ParseSuppressions(std::string_view text,
+                                 const std::string& file,
+                                 DiagnosticSink* sink);
+
+/// Removes every diagnostic the set matches from `sink` (they count as
+/// suppressed in the summary), then reports rules that matched nothing
+/// as stale (V-SUP002 notes against `file`) so baselines ratchet down
+/// instead of accreting. Returns how many diagnostics were suppressed.
+size_t ApplySuppressions(const SuppressionSet& set, const std::string& file,
+                         DiagnosticSink* sink);
+
+/// Renders the sink's current diagnostics as a baseline file
+/// (--suppress-out): header, then one exact `code|file|location` line
+/// per distinct finding, in first-appearance order.
+std::string RenderSuppressionBaseline(const DiagnosticSink& sink);
+
+}  // namespace stratlearn::verify
+
+#endif  // STRATLEARN_VERIFY_SUPPRESSIONS_H_

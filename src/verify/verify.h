@@ -2,11 +2,14 @@
 #define STRATLEARN_VERIFY_VERIFY_H_
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/expected_cost_interval.h"
+#include "datalog/adornment.h"
 #include "datalog/database.h"
 #include "datalog/parser.h"
 #include "datalog/rule_base.h"
@@ -31,6 +34,10 @@ struct VerifyOptions {
   int max_depth = 32;
   /// Promote warnings to errors for exit-code purposes (--Werror).
   bool werror = false;
+  /// Iteration cap for the verify subsystem's dataflow fixpoints
+  /// (V-D005 when hit). Overridable per file with the
+  /// `% verify-dataflow-cap: N` directive.
+  int64_t dataflow_max_iterations = 100000;
 };
 
 // ---- Rule-base passes (V-R...) -----------------------------------------
@@ -40,6 +47,31 @@ struct VerifyOptions {
 /// `form` (optional) exempts the query predicate from the unused check.
 void VerifyProgram(const Program& program, const SymbolTable& symbols,
                    const QueryForm* form, DiagnosticSink* sink);
+
+// ---- Rule-base dataflow passes (V-D...) --------------------------------
+
+/// Binding-pattern (adornment) dataflow: starting from the query form's
+/// pattern, a worklist fixpoint propagates adornments from rule heads
+/// into rule bodies in sideways-information-passing order, yielding the
+/// set of patterns every predicate can be called with (the static half
+/// of QSQ's subquery tables). `max_iterations` caps the fixpoint; the
+/// result's `converged` flag is false when it was hit.
+AdornmentAnalysis AnalyzeAdornments(const Program& program,
+                                    const SymbolTable& symbols,
+                                    const QueryForm& form,
+                                    int64_t max_iterations = 100000);
+
+/// Runs AnalyzeAdornments and reports on it: unreachable predicates
+/// (V-D001), extensional relations only ever scanned in full (V-D002),
+/// literals that never bind a variable (V-D003), rule bodies with no
+/// feasible SIP order (V-D004), fixpoint non-convergence (V-D005) and
+/// all-free query forms (V-D006). Attaches the per-predicate adornment
+/// table to the sink as an "adornments" analysis section.
+AdornmentAnalysis VerifyAdornments(const Program& program,
+                                   const SymbolTable& symbols,
+                                   const QueryForm& form,
+                                   DiagnosticSink* sink,
+                                   const VerifyOptions& options = {});
 
 // ---- Inference-graph passes (V-G...) -----------------------------------
 
@@ -111,6 +143,51 @@ LearnerConfig ParseLearnerConfig(std::string_view text, DiagnosticSink* sink);
 void VerifyLearnerConfig(const LearnerConfig& config,
                          const InferenceGraph* graph, DiagnosticSink* sink);
 
+// ---- Strategy abstract-interpretation passes (V-X...) -------------------
+
+/// Per-arc success-probability intervals measured by a profiling run
+/// (StrategyProfiler::ReportJson): arc id -> [p_hat - eps, p_hat + eps]
+/// clamped to [0, 1]. Arcs absent from the profile keep the vacuous
+/// [0, 1], so a partial profile still yields sound (just wider) bounds.
+struct ArcProbProfile {
+  std::map<uint32_t, Interval> arcs;
+};
+
+/// Parses a profiler JSON report (anything with an "arcs" array of
+/// {arc, p_hat, half_width, ...} rows) into a probability model.
+/// Malformed structure or out-of-range values are V-X005 errors; rows
+/// with zero attempts carry no information and are skipped.
+ArcProbProfile ParseArcProbProfile(std::string_view json,
+                                   DiagnosticSink* sink);
+
+/// The experiment-indexed interval vector for `graph` under `profile`
+/// (every experiment [0, 1] when `profile` is null).
+std::vector<Interval> ExperimentIntervals(const InferenceGraph& graph,
+                                          const ArcProbProfile* profile);
+
+/// Abstract cost interpretation of one strategy over the probability
+/// model: emits the certified expected-cost enclosure [C_lo, C_hi] as a
+/// V-X004 note plus a "cost_interval" analysis section, arcs that are
+/// never attempted under any probability in the model (V-X003), and
+/// sibling orders whose certified worst case beats this strategy's
+/// certified best case — statically dominated orders PIB would pay
+/// samples to discover (V-X002).
+void VerifyStrategyCost(const InferenceGraph& graph, const Strategy& strategy,
+                        const ArcProbProfile* profile, DiagnosticSink* sink);
+
+/// Theorem 2/3 quota feasibility under the probability model: each
+/// context delivers at most one observation of experiment e, and only
+/// when Pi(e) is fully unblocked, so max_contexts * prod_{a in Pi(e)}
+/// p_hi(a) bounds the deliverable samples from above. A quota beyond
+/// that is unattainable no matter what the world looks like — V-X001,
+/// an error, unlike V-C005's "quota exceeds the context budget"
+/// warning, because the profile-strengthened bound certifies the
+/// learner cannot finish.
+void VerifyQuotaFeasibility(const LearnerConfig& config,
+                            const InferenceGraph& graph,
+                            const ArcProbProfile* profile,
+                            DiagnosticSink* sink);
+
 // ---- Alert-config passes (V-AL...) -------------------------------------
 
 /// Parses and verifies a "stratlearn-alerts v1" rule file. Malformed
@@ -159,6 +236,13 @@ class ArtifactVerifier {
     return graph_context_ ? &*graph_context_ : nullptr;
   }
 
+  /// Probability model for the V-X passes (--profile). Without one the
+  /// cost interpretation runs over the vacuous [0, 1] intervals.
+  void set_profile(ArcProbProfile profile) { profile_ = std::move(profile); }
+  const ArcProbProfile* profile() const {
+    return profile_ ? &*profile_ : nullptr;
+  }
+
  private:
   void VerifyDatalog(std::string_view text);
   void VerifyConfig(std::string_view text);
@@ -166,7 +250,22 @@ class ArtifactVerifier {
   DiagnosticSink* sink_;
   VerifyOptions options_;
   std::optional<InferenceGraph> graph_context_;
+  std::optional<ArcProbProfile> profile_;
 };
+
+/// Project mode (`verify --project <dir>`): walks `dir` recursively,
+/// collects every artifact whose extension the verifier understands
+/// (.dl, .graph, .andor, .strategy, .cfg, .alerts, .ckpt) and feeds
+/// them through `verifier` in a deterministic order — context providers
+/// first (programs, then graphs), context consumers after (AND/OR
+/// trees, strategies, configs, alerts, checkpoints), lexicographic
+/// within each kind — so a project's strategy and config files are
+/// checked against the graph its program defines, whatever the
+/// filesystem enumeration order. Diagnostics are scoped to paths
+/// relative to `dir`. Returns NotFound when `dir` is not a directory;
+/// an artifact-free directory is a V-P002 warning, not an error.
+Status VerifyProject(ArtifactVerifier* verifier, const std::string& dir,
+                     DiagnosticSink* sink);
 
 /// The error-level guard the CLI entry points run after loading a
 /// program and building its graph, before any learning: undefined

@@ -1,0 +1,128 @@
+#include "core/expected_cost_interval.h"
+
+#include <vector>
+
+#include "core/expected_cost.h"
+#include "engine/strategy.h"
+#include "graph/examples.h"
+#include "gtest/gtest.h"
+
+namespace stratlearn {
+namespace {
+
+std::vector<Interval> Points(const std::vector<double>& probs) {
+  std::vector<Interval> out;
+  out.reserve(probs.size());
+  for (double p : probs) out.push_back(Interval::Point(p));
+  return out;
+}
+
+// Point intervals collapse the abstract interpretation to the concrete
+// semantics: on Figure 1, [C_lo, C_hi] degenerates to ExactExpectedCost
+// for every probability assignment and both arc orders.
+TEST(IntervalExpectedCostTest, PointIntervalsMatchExactOnFigureOne) {
+  FigureOneGraph fig = MakeFigureOne();
+  const std::vector<std::vector<double>> prob_grid = {
+      {0.0, 0.0}, {1.0, 1.0}, {0.5, 0.5}, {0.9, 0.1}, {0.25, 0.75}};
+  const std::vector<std::vector<ArcId>> orders = {
+      {fig.r_p, fig.d_p, fig.r_g, fig.d_g},
+      {fig.r_g, fig.d_g, fig.r_p, fig.d_p}};
+  for (const std::vector<ArcId>& order : orders) {
+    Result<Strategy> strategy = Strategy::FromArcOrder(fig.graph, order);
+    ASSERT_TRUE(strategy.ok());
+    for (const std::vector<double>& probs : prob_grid) {
+      double exact = ExactExpectedCost(fig.graph, *strategy, probs);
+      Interval abstract =
+          IntervalExpectedCost(fig.graph, *strategy, Points(probs));
+      EXPECT_NEAR(abstract.lo, exact, 1e-12);
+      EXPECT_NEAR(abstract.hi, exact, 1e-12);
+    }
+  }
+}
+
+// Widened intervals must bracket the exact cost of every probability
+// vector inside the box (soundness of the enclosure).
+TEST(IntervalExpectedCostTest, WideIntervalsBracketExactOnFigureOne) {
+  FigureOneGraph fig = MakeFigureOne();
+  Result<Strategy> strategy = Strategy::FromArcOrder(
+      fig.graph, {fig.r_p, fig.d_p, fig.r_g, fig.d_g});
+  ASSERT_TRUE(strategy.ok());
+  std::vector<Interval> box = {{0.2, 0.8}, {0.1, 0.9}};
+  Interval enclosure = IntervalExpectedCost(fig.graph, *strategy, box);
+  EXPECT_LT(enclosure.lo, enclosure.hi);
+  for (double p0 : {0.2, 0.4, 0.55, 0.8}) {
+    for (double p1 : {0.1, 0.3, 0.77, 0.9}) {
+      double exact = ExactExpectedCost(fig.graph, *strategy, {p0, p1});
+      EXPECT_LE(enclosure.lo, exact + 1e-12)
+          << "p0=" << p0 << " p1=" << p1;
+      EXPECT_GE(enclosure.hi, exact - 1e-12)
+          << "p0=" << p0 << " p1=" << p1;
+    }
+  }
+}
+
+// The default, profile-free box [0, 1]^n encloses both degenerate
+// worlds: all experiments certain (cheapest) and all impossible (the
+// strategy runs to exhaustion).
+TEST(IntervalExpectedCostTest, DefaultBoxCoversDegenerateWorlds) {
+  FigureOneGraph fig = MakeFigureOne();
+  Result<Strategy> strategy = Strategy::FromArcOrder(
+      fig.graph, {fig.r_p, fig.d_p, fig.r_g, fig.d_g});
+  ASSERT_TRUE(strategy.ok());
+  std::vector<Interval> box = {{0.0, 1.0}, {0.0, 1.0}};
+  Interval enclosure = IntervalExpectedCost(fig.graph, *strategy, box);
+  double best = ExactExpectedCost(fig.graph, *strategy, {1.0, 1.0});
+  double worst = ExactExpectedCost(fig.graph, *strategy, {0.0, 0.0});
+  EXPECT_LE(enclosure.lo, best + 1e-12);
+  EXPECT_GE(enclosure.hi, worst - 1e-12);
+}
+
+// Same bracketing on the deeper Figure 2 graph, where reductions nest
+// three levels and the no-earlier-success factorisation actually works
+// across sibling subtrees.
+TEST(IntervalExpectedCostTest, PointIntervalsMatchExactOnFigureTwo) {
+  FigureTwoGraph fig = MakeFigureTwo();
+  Result<Strategy> strategy = Strategy::FromArcOrder(
+      fig.graph, {fig.r_ga, fig.d_a, fig.r_gs, fig.r_sb, fig.d_b, fig.r_st,
+                  fig.r_tc, fig.d_c, fig.r_td, fig.d_d});
+  ASSERT_TRUE(strategy.ok());
+  const std::vector<std::vector<double>> prob_grid = {
+      {0.5, 0.5, 0.5, 0.5}, {0.9, 0.2, 0.7, 0.4}, {0.0, 1.0, 0.0, 1.0}};
+  for (const std::vector<double>& probs : prob_grid) {
+    double exact = ExactExpectedCost(fig.graph, *strategy, probs);
+    Interval abstract =
+        IntervalExpectedCost(fig.graph, *strategy, Points(probs));
+    EXPECT_NEAR(abstract.lo, exact, 1e-12);
+    EXPECT_NEAR(abstract.hi, exact, 1e-12);
+  }
+}
+
+// The breakdown's per-position enclosures are consistent: attempt
+// probabilities live in [0, 1], the first arc is always attempted, and
+// the contributions sum into the total.
+TEST(IntervalExpectedCostTest, BreakdownIsConsistent) {
+  FigureOneGraph fig = MakeFigureOne();
+  Result<Strategy> strategy = Strategy::FromArcOrder(
+      fig.graph, {fig.r_p, fig.d_p, fig.r_g, fig.d_g});
+  ASSERT_TRUE(strategy.ok());
+  std::vector<Interval> box = {{0.3, 0.6}, {0.2, 0.9}};
+  IntervalCostBreakdown breakdown =
+      IntervalExpectedCostBreakdown(fig.graph, *strategy, box);
+  ASSERT_EQ(breakdown.attempt_prob.size(), strategy->size());
+  ASSERT_EQ(breakdown.contribution.size(), strategy->size());
+  double lo_sum = 0.0, hi_sum = 0.0;
+  for (size_t i = 0; i < strategy->size(); ++i) {
+    EXPECT_GE(breakdown.attempt_prob[i].lo, 0.0);
+    EXPECT_LE(breakdown.attempt_prob[i].hi, 1.0);
+    EXPECT_LE(breakdown.attempt_prob[i].lo, breakdown.attempt_prob[i].hi);
+    lo_sum += breakdown.contribution[i].lo;
+    hi_sum += breakdown.contribution[i].hi;
+  }
+  EXPECT_EQ(breakdown.attempt_prob[0].lo, 1.0);
+  EXPECT_EQ(breakdown.attempt_prob[0].hi, 1.0);
+  EXPECT_NEAR(breakdown.total.lo, lo_sum, 1e-12);
+  EXPECT_NEAR(breakdown.total.hi, hi_sum, 1e-12);
+}
+
+}  // namespace
+}  // namespace stratlearn

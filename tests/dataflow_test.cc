@@ -1,0 +1,157 @@
+#include "verify/dataflow.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace stratlearn::verify {
+namespace {
+
+// ---------------------------------------------------------------------
+// IndexWorklist
+
+TEST(IndexWorklistTest, FifoOrderWithDeduplication) {
+  IndexWorklist wl(4);
+  wl.Push(2);
+  wl.Push(0);
+  wl.Push(2);  // already waiting: no-op
+  wl.Push(3);
+  EXPECT_EQ(wl.size(), 3u);
+  EXPECT_EQ(wl.Pop(), 2u);
+  EXPECT_EQ(wl.Pop(), 0u);
+  wl.Push(2);  // no longer waiting: re-enqueues behind 3
+  EXPECT_EQ(wl.Pop(), 3u);
+  EXPECT_EQ(wl.Pop(), 2u);
+  EXPECT_TRUE(wl.empty());
+  EXPECT_EQ(wl.pops(), 4);
+}
+
+TEST(IndexWorklistTest, PopOrderIsDeterministic) {
+  auto run = [] {
+    IndexWorklist wl(8);
+    for (size_t n : {5u, 1u, 7u, 1u, 0u, 5u, 3u}) wl.Push(n);
+    std::vector<size_t> order;
+    while (!wl.empty()) order.push_back(wl.Pop());
+    return order;
+  };
+  std::vector<size_t> first = run();
+  EXPECT_EQ(first, run());
+  EXPECT_EQ(first, (std::vector<size_t>{5, 1, 7, 0, 3}));
+}
+
+// ---------------------------------------------------------------------
+// FixpointEngine
+
+/// Max-lattice over int64: join = max, bottom = 0. Bounded by the cap
+/// the transfer applies, so every monotone client below converges.
+bool JoinMax(int64_t* current, const int64_t& incoming) {
+  if (incoming <= *current) return false;
+  *current = incoming;
+  return true;
+}
+
+TEST(FixpointEngineTest, EmptyProblemConvergesInZeroIterations) {
+  FixpointEngine<int64_t> engine({}, {});
+  FixpointResult result = engine.Solve(
+      [](size_t, const std::vector<int64_t>&) { return int64_t{0}; },
+      JoinMax);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 0);
+  EXPECT_TRUE(engine.values().empty());
+}
+
+TEST(FixpointEngineTest, ChainReachesLeastFixpoint) {
+  // 0 -> 1 -> 2 -> 3: value(n+1) = min(value(n) + 1, 10). Seeding
+  // value(0) = 7 gives 7, 8, 9, 10 as the least fixpoint.
+  std::vector<std::vector<size_t>> succ = {{1}, {2}, {3}, {}};
+  FixpointEngine<int64_t> engine({7, 0, 0, 0}, succ);
+  auto transfer = [](size_t node, const std::vector<int64_t>& v) {
+    if (node == 0) return v[0];
+    return std::min<int64_t>(v[node - 1] + 1, 10);
+  };
+  FixpointResult result = engine.Solve(transfer, JoinMax);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(engine.values(), (std::vector<int64_t>{7, 8, 9, 10}));
+}
+
+TEST(FixpointEngineTest, CycleConvergesOnBoundedLattice) {
+  // 0 <-> 1 feeding each other, capped at 5: both saturate.
+  std::vector<std::vector<size_t>> succ = {{1}, {0}};
+  FixpointEngine<int64_t> engine({1, 0}, succ);
+  auto transfer = [](size_t node, const std::vector<int64_t>& v) {
+    return std::min<int64_t>(v[1 - node] + 1, 5);
+  };
+  FixpointResult result = engine.Solve(transfer, JoinMax);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(engine.values(), (std::vector<int64_t>{5, 5}));
+}
+
+TEST(FixpointEngineTest, IterationCapReportsNonConvergence) {
+  // An unbounded lattice (no cap in the transfer): the engine must
+  // stop at max_iterations and say so instead of spinning.
+  std::vector<std::vector<size_t>> succ = {{1}, {0}};
+  FixpointEngine<int64_t>::Options options;
+  options.max_iterations = 25;
+  FixpointEngine<int64_t> engine({1, 0}, succ, options);
+  auto transfer = [](size_t node, const std::vector<int64_t>& v) {
+    return v[1 - node] + 1;
+  };
+  FixpointResult result = engine.Solve(transfer, JoinMax);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 25);
+}
+
+TEST(FixpointEngineTest, IncomparableElementsAccumulateUnderSetJoin) {
+  // Powerset-of-{0..63} lattice as a bitmask; the two seeds {0} and
+  // {1} are incomparable, and the join must keep both.
+  std::vector<std::vector<size_t>> succ = {{2}, {2}, {}};
+  FixpointEngine<uint64_t> engine({1u << 0, 1u << 1, 0}, succ);
+  auto transfer = [](size_t node, const std::vector<uint64_t>& v) {
+    if (node == 2) return v[0] | v[1];
+    return v[node];
+  };
+  auto join = [](uint64_t* current, const uint64_t& incoming) {
+    uint64_t joined = *current | incoming;
+    if (joined == *current) return false;
+    *current = joined;
+    return true;
+  };
+  FixpointResult result = engine.Solve(transfer, join);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(engine.value(2), (1u << 0) | (1u << 1));
+}
+
+TEST(FixpointEngineTest, SolveIsDeterministic) {
+  // Diamond 0 -> {1, 2} -> 3 with a set union at the join point: two
+  // runs produce identical values and identical iteration counts.
+  auto run = [] {
+    std::vector<std::vector<size_t>> succ = {{1, 2}, {3}, {3}, {}};
+    FixpointEngine<uint64_t> engine({1, 0, 0, 0}, succ);
+    auto transfer = [](size_t node, const std::vector<uint64_t>& v) {
+      switch (node) {
+        case 0: return v[0];
+        case 1: return v[0] << 1;
+        case 2: return v[0] << 2;
+        default: return v[1] | v[2];
+      }
+    };
+    auto join = [](uint64_t* current, const uint64_t& incoming) {
+      uint64_t joined = *current | incoming;
+      if (joined == *current) return false;
+      *current = joined;
+      return true;
+    };
+    FixpointResult result = engine.Solve(transfer, join);
+    return std::make_pair(engine.values(), result.iterations);
+  };
+  auto first = run();
+  auto second = run();
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+  EXPECT_EQ(first.first[3], uint64_t{(1u << 1) | (1u << 2)});
+}
+
+}  // namespace
+}  // namespace stratlearn::verify

@@ -9,6 +9,8 @@
 #include "gtest/gtest.h"
 #include "obs/json_writer.h"
 #include "verify/diagnostics.h"
+#include "verify/sarif.h"
+#include "verify/suppressions.h"
 
 namespace stratlearn::verify {
 namespace {
@@ -86,6 +88,35 @@ const GoldenCase kGoldenCases[] = {
      "c005.expected"},
     {"c006", {"c006_non_positive_counts.cfg"}, "c006.expected"},
     {"c007", {"c007_unknown_key.cfg"}, "c007.expected"},
+    // Adornment-dataflow family (fixpoint binding-pattern analysis).
+    {"d001", {"d001_never_called.dl"}, "d001.expected"},
+    {"d002", {"d002_all_free_scan.dl"}, "d002.expected"},
+    {"d003", {"d003_filter_literal.dl"}, "d003.expected"},
+    {"d004", {"d004_no_sip_order.dl"}, "d004.expected"},
+    {"d005", {"d005_iteration_cap.dl"}, "d005.expected"},
+    {"d006", {"d006_all_free_form.dl"}, "d006.expected"},
+    // Abstract cost-interpretation family. A *.json file in the list is
+    // fed as a --profile StrategyProfiler report, not as an artifact.
+    {"x001",
+     {"x001_profile.json", "x001_deep.graph", "x001_infeasible_quota.cfg"},
+     "x001.expected"},
+    {"x002",
+     {"x002_profile.json", "x002_skewed.graph", "x002_left_first.strategy"},
+     "x002.expected"},
+    {"x003",
+     {"x003_profile.json", "x001_deep.graph", "x003_order.strategy"},
+     "x003.expected"},
+    {"x004",
+     {"x004_profile.json", "context_two_branch.graph",
+      "x004_order.strategy"},
+     "x004.expected"},
+    {"x005", {"x005_bad_profile.json"}, "x005.expected"},
+    // Suppression-baseline family. A *.suppressions file in the list is
+    // parsed and applied to everything fed before it.
+    {"sup001", {"clean.dl", "sup001_malformed.suppressions"},
+     "sup001.expected"},
+    {"sup002", {"r004_unused_predicate.dl", "sup002_stale.suppressions"},
+     "sup002.expected"},
 };
 
 std::string FixturePath(const std::string& name) {
@@ -100,15 +131,37 @@ std::string ReadFixture(const std::string& name) {
   return buffer.str();
 }
 
-/// Runs one golden case through a fresh verifier; diagnostics carry the
-/// bare fixture names, keeping the golden files checkout-path
-/// independent.
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Feeds one case's files into a verifier; diagnostics carry the bare
+/// fixture names, keeping the golden files checkout-path independent.
+/// *.json files become the verifier's probability profile (the CLI's
+/// --profile) and *.suppressions files are applied as a baseline (the
+/// CLI's --suppressions); everything else is a verifiable artifact.
+void FeedCase(ArtifactVerifier* verifier, DiagnosticSink* sink,
+              const std::vector<const char*>& files) {
+  for (const char* file : files) {
+    std::string text = ReadFixture(file);
+    if (HasSuffix(file, ".json")) {
+      sink->set_file(file);
+      verifier->set_profile(ParseArcProbProfile(text, sink));
+    } else if (HasSuffix(file, ".suppressions")) {
+      SuppressionSet set = ParseSuppressions(text, file, sink);
+      ApplySuppressions(set, file, sink);
+    } else {
+      verifier->AddText(file, text);
+    }
+  }
+}
+
+/// Runs one golden case through a fresh verifier.
 std::string RunCase(const GoldenCase& c) {
   DiagnosticSink sink;
   ArtifactVerifier verifier(&sink);
-  for (const char* file : c.files) {
-    verifier.AddText(file, ReadFixture(file));
-  }
+  FeedCase(&verifier, &sink, c.files);
   return sink.RenderText();
 }
 
@@ -156,9 +209,7 @@ TEST(VerifyDeterminism, JsonByteIdentical) {
     DiagnosticSink sink;
     ArtifactVerifier verifier(&sink);
     for (const GoldenCase& c : kGoldenCases) {
-      for (const char* file : c.files) {
-        verifier.AddText(file, ReadFixture(file));
-      }
+      FeedCase(&verifier, &sink, c.files);
     }
     return sink.RenderJson();
   };
@@ -166,6 +217,15 @@ TEST(VerifyDeterminism, JsonByteIdentical) {
   std::string second = render_all();
   EXPECT_EQ(first, second);
   EXPECT_TRUE(obs::IsValidJson(first));
+  // Also pinned: the combined JSON report over every golden case, so a
+  // rendering change to any family (including the analyses sections)
+  // shows up as a reviewable golden diff.
+  if (RegenRequested()) {
+    std::ofstream out(FixturePath("all_cases.json.expected"));
+    out << first;
+  } else {
+    EXPECT_EQ(first, ReadFixture("all_cases.json.expected"));
+  }
 }
 
 TEST(VerifyDeterminism, TextByteIdentical) {
@@ -173,6 +233,104 @@ TEST(VerifyDeterminism, TextByteIdentical) {
     SCOPED_TRACE(c.name);
     EXPECT_EQ(RunCase(c), RunCase(c));
   }
+}
+
+void CompareOrRegen(const std::string& golden, const std::string& rendered) {
+  if (RegenRequested()) {
+    std::ofstream out(FixturePath(golden));
+    out << rendered;
+    return;
+  }
+  EXPECT_EQ(rendered, ReadFixture(golden));
+}
+
+// Project mode: the testdata project/ tree (a program, a graph, a
+// nested strategy + config, and one unrecognised notes.txt) is walked
+// in kind-priority order, so the graph's context is live when the
+// strategy under sub/ verifies. Pinned as a text golden.
+TEST(VerifyProjectGolden, TestdataProject) {
+  auto run = [] {
+    DiagnosticSink sink;
+    ArtifactVerifier verifier(&sink);
+    EXPECT_TRUE(
+        VerifyProject(&verifier, FixturePath("project"), &sink).ok());
+    return sink.RenderText();
+  };
+  std::string rendered = run();
+  EXPECT_EQ(rendered, run());  // byte-deterministic walk order
+  CompareOrRegen("project.expected", rendered);
+}
+
+TEST(VerifyProjectGolden, MissingDirectoryIsAnError) {
+  DiagnosticSink sink;
+  ArtifactVerifier verifier(&sink);
+  EXPECT_FALSE(
+      VerifyProject(&verifier, FixturePath("no_such_dir"), &sink).ok());
+}
+
+// SARIF rendering over a mixed run (an adornment note, a build error,
+// a certified cost interval): byte-exact against a pinned golden, and
+// byte-identical across runs.
+TEST(SarifGolden, ProjectRun) {
+  auto run = [] {
+    DiagnosticSink sink;
+    ArtifactVerifier verifier(&sink);
+    EXPECT_TRUE(
+        VerifyProject(&verifier, FixturePath("project"), &sink).ok());
+    return RenderSarif(sink);
+  };
+  std::string rendered = run();
+  EXPECT_EQ(rendered, run());
+  EXPECT_TRUE(obs::IsValidJson(rendered));
+  CompareOrRegen("project.sarif.expected", rendered);
+}
+
+// --Werror in the machine formats: a warning renders as
+// "severity":"error" with a "promoted" marker, and the summary's exit
+// code moves to 2. Pinned as a JSON golden.
+TEST(WerrorGolden, JsonPromotesWarnings) {
+  DiagnosticSink sink;
+  ArtifactVerifier verifier(&sink);
+  verifier.AddText("r004_unused_predicate.dl",
+                   ReadFixture("r004_unused_predicate.dl"));
+  std::string rendered = sink.RenderJson(/*werror=*/true);
+  EXPECT_TRUE(obs::IsValidJson(rendered));
+  EXPECT_NE(rendered.find("\"severity\":\"error\""), std::string::npos);
+  EXPECT_NE(rendered.find("\"promoted\":true"), std::string::npos);
+  EXPECT_NE(rendered.find("\"exit_code\":2"), std::string::npos);
+  CompareOrRegen("werror_r004.json.expected", rendered);
+}
+
+TEST(WerrorGolden, SarifPromotesWarnings) {
+  DiagnosticSink sink;
+  ArtifactVerifier verifier(&sink);
+  verifier.AddText("r004_unused_predicate.dl",
+                   ReadFixture("r004_unused_predicate.dl"));
+  std::string rendered = RenderSarif(sink, /*werror=*/true);
+  EXPECT_NE(rendered.find("\"level\":\"error\""), std::string::npos);
+  EXPECT_NE(rendered.find("\"promoted\":true"), std::string::npos);
+  EXPECT_EQ(rendered.find("\"level\":\"warning\""), std::string::npos);
+}
+
+// The suppression baseline round-trip: a baseline generated from a
+// run's findings suppresses exactly those findings on the next run.
+TEST(SuppressionsTest, BaselineRoundTripSuppressesEverything) {
+  DiagnosticSink first;
+  ArtifactVerifier v1(&first);
+  v1.AddText("r004_unused_predicate.dl",
+             ReadFixture("r004_unused_predicate.dl"));
+  ASSERT_GT(first.diagnostics().size(), 0u);
+  std::string baseline = RenderSuppressionBaseline(first);
+
+  DiagnosticSink second;
+  ArtifactVerifier v2(&second);
+  v2.AddText("r004_unused_predicate.dl",
+             ReadFixture("r004_unused_predicate.dl"));
+  SuppressionSet set = ParseSuppressions(baseline, "base", &second);
+  size_t suppressed = ApplySuppressions(set, "base", &second);
+  EXPECT_EQ(suppressed, first.diagnostics().size());
+  EXPECT_EQ(second.ExitCode(), 0);
+  EXPECT_EQ(second.num_suppressed(), suppressed);
 }
 
 // V-G007 is only reachable through a loaded program whose database lacks

@@ -46,15 +46,29 @@
 //       byte-identical to the live run's. Exit code: 0 healthy, 1
 //       alerts firing, 2 usage error (bad flags, unreadable inputs,
 //       alert rules with verify errors).
-//   verify <files...> [--format=text|json] [--Werror]
+//   verify <files...> [--project=DIR] [--format=text|json|sarif]
+//          [--profile=FILE] [--suppressions=FILE] [--suppress-out=FILE]
+//          [--Werror]
 //       Statically analyse artifacts without running anything: Datalog
 //       programs (*.dl, with optional '% verify-form:',
-//       '% verify-strategy:' and '% verify-config:' directives),
-//       serialized graphs ("stratlearn-graph v1"), AND/OR trees
-//       ("stratlearn-andor v1"), strategies ("stratlearn-strategy v1")
-//       and learner configs (*.cfg). Exit code: 0 clean, 1 warnings,
-//       2 errors (--Werror promotes warnings). See README "Static
-//       verification" for the diagnostic-code table.
+//       '% verify-strategy:', '% verify-config:' and
+//       '% verify-dataflow-cap:' directives), serialized graphs
+//       ("stratlearn-graph v1"), AND/OR trees ("stratlearn-andor v1"),
+//       strategies ("stratlearn-strategy v1") and learner configs
+//       (*.cfg). Semantic passes run on top of the structural ones: a
+//       fixpoint adornment dataflow over rule bases (V-D...) and an
+//       abstract cost interpretation over strategies (V-X...), whose
+//       probability intervals a --profile StrategyProfiler JSON report
+//       narrows from the default [0, 1]. --project walks DIR
+//       recursively and verifies every recognised artifact in a
+//       deterministic context-threading order (programs before the
+//       strategies/configs that need their graphs).
+//       --suppressions applies a "stratlearn-suppressions v1" baseline
+//       file; --suppress-out writes one capturing the current findings.
+//       --format=sarif emits a deterministic SARIF 2.1.0 log for CI
+//       annotation uploads. Exit code: 0 clean, 1 warnings, 2 errors
+//       (--Werror promotes warnings). See README "Static verification"
+//       for the diagnostic-code table.
 //
 // Options: --delta=D --epsilon=E --queries=N --theorem3 --seed=S
 //          --learner=pib|pao --strategy-out=FILE --metrics-out=FILE
@@ -162,6 +176,8 @@
 #include "obs/timeseries.h"
 #include "util/string_util.h"
 #include "verify/diagnostics.h"
+#include "verify/sarif.h"
+#include "verify/suppressions.h"
 #include "verify/verify.h"
 #include "workload/datalog_oracle.h"
 
@@ -187,6 +203,12 @@ struct CliOptions {
   std::string learner = "pib";
   std::string format = "text";
   bool werror = false;
+  // verify subcommand.
+  std::string project;
+  std::string profile;
+  std::string suppressions;
+  std::string suppress_out;
+  int64_t max_contexts = 0;  // 0 = the LearnerConfig default
   std::string strategy_out;
   std::string metrics_out;
   std::string trace_out;
@@ -585,8 +607,12 @@ int CheckLearnerConfig(const CliOptions& options,
   config.epsilon = options.epsilon;
   config.queries = options.queries;
   config.theorem3 = options.theorem3;
+  if (options.max_contexts > 0) config.max_contexts = options.max_contexts;
   verify::DiagnosticSink sink;
   verify::VerifyLearnerConfig(config, graph, &sink);
+  if (graph != nullptr) {
+    verify::VerifyQuotaFeasibility(config, *graph, nullptr, &sink);
+  }
   if (!sink.HasBlocking()) return 0;
   std::fprintf(stderr, "%s", sink.RenderText().c_str());
   return 2;
@@ -658,6 +684,16 @@ CliOptions ParseArgs(int argc, char** argv) {
       options.format = arg.substr(9);
     } else if (arg == "--Werror") {
       options.werror = true;
+    } else if (StartsWith(arg, "--project=")) {
+      options.project = arg.substr(10);
+    } else if (StartsWith(arg, "--profile=")) {
+      options.profile = arg.substr(10);
+    } else if (StartsWith(arg, "--suppressions=")) {
+      options.suppressions = arg.substr(15);
+    } else if (StartsWith(arg, "--suppress-out=")) {
+      options.suppress_out = arg.substr(15);
+    } else if (StartsWith(arg, "--max-contexts=")) {
+      options.max_contexts = std::atoll(arg.c_str() + 15);
     } else {
       options.positional.push_back(arg);
     }
@@ -1265,22 +1301,51 @@ int CmdBench(const CliOptions& options) {
 }
 
 int CmdVerify(const CliOptions& options) {
-  if (options.positional.empty()) {
+  if (options.positional.empty() && options.project.empty()) {
     return Fail(
-        "usage: stratlearn_cli verify <files...> [--format=text|json] "
-        "[--Werror]");
+        "usage: stratlearn_cli verify <files...> [--project=DIR] "
+        "[--format=text|json|sarif] [--profile=FILE] "
+        "[--suppressions=FILE] [--suppress-out=FILE] [--Werror]");
   }
-  if (options.format != "text" && options.format != "json") {
-    return Fail("--format must be 'text' or 'json'");
+  if (options.format != "text" && options.format != "json" &&
+      options.format != "sarif") {
+    return Fail("--format must be 'text', 'json' or 'sarif'");
   }
   verify::DiagnosticSink sink;
   verify::ArtifactVerifier verifier(&sink);
+  if (!options.profile.empty()) {
+    Result<std::string> text = ReadFile(options.profile);
+    if (!text.ok()) return Fail(text.status().ToString());
+    sink.set_file(options.profile);
+    verifier.set_profile(verify::ParseArcProbProfile(*text, &sink));
+  }
+  if (!options.project.empty()) {
+    Status walked =
+        verify::VerifyProject(&verifier, options.project, &sink);
+    if (!walked.ok()) return Fail(walked.ToString());
+  }
   for (const std::string& path : options.positional) {
     Status added = verifier.AddFile(path);
     if (!added.ok()) return Fail(added.ToString());
   }
+  if (!options.suppress_out.empty()) {
+    // Baseline what the run found *before* any suppressions apply, so
+    // regenerating a baseline does not need the old one removed first.
+    std::ofstream out(options.suppress_out);
+    if (!out) return Fail("cannot open '" + options.suppress_out + "'");
+    out << verify::RenderSuppressionBaseline(sink);
+  }
+  if (!options.suppressions.empty()) {
+    Result<std::string> text = ReadFile(options.suppressions);
+    if (!text.ok()) return Fail(text.status().ToString());
+    verify::SuppressionSet set =
+        verify::ParseSuppressions(*text, options.suppressions, &sink);
+    verify::ApplySuppressions(set, options.suppressions, &sink);
+  }
   if (options.format == "json") {
     std::printf("%s\n", sink.RenderJson(options.werror).c_str());
+  } else if (options.format == "sarif") {
+    std::printf("%s\n", verify::RenderSarif(sink, options.werror).c_str());
   } else {
     std::printf("%s", sink.RenderText(options.werror).c_str());
   }
