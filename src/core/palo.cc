@@ -43,20 +43,25 @@ void Palo::RebuildNeighborhood() {
   if (neighbors_.empty()) finished_ = true;  // nothing to improve
 }
 
-bool Palo::CheckStop(double* worst_certificate) {
+bool Palo::CheckStop(double* worst_certificate, size_t* worst_neighbor,
+                     double* delta_i) {
   *worst_certificate = 0.0;
-  if (samples_ == 0) return false;
+  *worst_neighbor = neighbors_.size();
   // delta/2 budget for stopping, spread over the sequential schedule and
   // the |T| simultaneous neighbours.
-  double delta_i =
+  *delta_i =
       SequentialDelta(std::max<int64_t>(1, trials_), options_.delta / 2.0) /
       static_cast<double>(std::max<size_t>(1, neighbors_.size()));
-  if (delta_i <= 0.0 || delta_i >= 1.0) delta_i = options_.delta / 2.0;
-  for (const Neighbor& n : neighbors_) {
+  if (*delta_i <= 0.0 || *delta_i >= 1.0) *delta_i = options_.delta / 2.0;
+  if (samples_ == 0) return false;
+  for (size_t j = 0; j < neighbors_.size(); ++j) {
+    const Neighbor& n = neighbors_[j];
     double mean_over = n.over_sum / static_cast<double>(samples_);
-    double dev = HoeffdingDeviation(samples_, delta_i, n.range);
-    if (mean_over + dev > *worst_certificate) {
+    double dev = HoeffdingDeviation(samples_, *delta_i, n.range);
+    if (*worst_neighbor == neighbors_.size() ||
+        mean_over + dev > *worst_certificate) {
       *worst_certificate = mean_over + dev;
+      *worst_neighbor = j;
     }
     if (mean_over + dev > options_.epsilon) return false;
   }
@@ -132,7 +137,8 @@ bool Palo::Observe(const Trace& trace) {
   if (contexts_ % options_.test_every != 0) return false;
 
   // Climb exactly like PIB, at confidence delta/2.
-  for (const Neighbor& n : neighbors_) {
+  for (size_t j = 0; j < neighbors_.size(); ++j) {
+    const Neighbor& n = neighbors_[j];
     double threshold = SequentialSumThreshold(samples_, std::max<int64_t>(
                                                   1, trials_),
                                               options_.delta / 2.0, n.range);
@@ -140,6 +146,8 @@ bool Palo::Observe(const Trace& trace) {
       ++moves_;
       if (handles_.moves != nullptr) handles_.moves->Increment();
       if (observer_ != nullptr) {
+        double delta_step = SequentialDelta(std::max<int64_t>(1, trials_),
+                                            options_.delta / 2.0);
         if (obs::TraceSink* sink = observer_->sink()) {
           obs::ClimbMoveEvent event;
           event.t_us = observer_->NowUs();
@@ -151,10 +159,40 @@ bool Palo::Observe(const Trace& trace) {
           event.delta_sum = n.under_sum;
           event.threshold = threshold;
           event.margin = n.under_sum - threshold;
-          event.delta_spent =
-              SequentialDelta(std::max<int64_t>(1, trials_),
-                              options_.delta / 2.0);
+          event.delta_spent = delta_step;
           sink->OnClimbMove(event);
+        }
+        if (observer_->audit_enabled()) {
+          audit_delta_spent_ += delta_step;
+          if (obs::TraceSink* sink = observer_->sink()) {
+            obs::DecisionCertificateEvent e;
+            e.t_us = observer_->NowUs();
+            e.learner = "palo";
+            e.decision = "climb";
+            e.verdict = "commit";
+            e.at_context = contexts_;
+            e.samples = samples_;
+            e.trials = trials_;
+            e.subject = static_cast<int64_t>(j);
+            e.mean = n.under_sum / static_cast<double>(samples_);
+            e.delta_sum = n.under_sum;
+            e.threshold = threshold;
+            e.margin = n.under_sum - threshold;
+            e.range = n.range;
+            e.epsilon_n =
+                n.range > 0.0
+                    ? HoeffdingDeviation(samples_, delta_step, n.range)
+                    : 0.0;
+            e.delta_step = delta_step;
+            e.delta_budget = options_.delta;
+            e.delta_spent_total = audit_delta_spent_;
+            e.bound_samples =
+                e.mean > 0.0 && n.range > 0.0
+                    ? SampleSizeForDeviation(e.mean, delta_step, n.range)
+                    : 0;
+            e.epsilon = options_.epsilon;
+            sink->OnDecisionCertificate(e);
+          }
         }
       }
       current_ = n.strategy;
@@ -163,13 +201,51 @@ bool Palo::Observe(const Trace& trace) {
     }
   }
   double worst_certificate = 0.0;
-  if (CheckStop(&worst_certificate)) {
+  size_t worst_neighbor = neighbors_.size();
+  double stop_delta_i = 0.0;
+  if (CheckStop(&worst_certificate, &worst_neighbor, &stop_delta_i)) {
     finished_ = true;
     if (handles_.stops != nullptr) handles_.stops->Increment();
     if (observer_ != nullptr) {
       if (obs::TraceSink* sink = observer_->sink()) {
         sink->OnPaloStop({observer_->NowUs(), contexts_, moves_,
                           options_.epsilon, worst_certificate});
+      }
+      if (observer_->audit_enabled() && worst_neighbor < neighbors_.size()) {
+        audit_delta_spent_ += stop_delta_i;
+        if (obs::TraceSink* sink = observer_->sink()) {
+          const Neighbor& worst = neighbors_[worst_neighbor];
+          obs::DecisionCertificateEvent e;
+          e.t_us = observer_->NowUs();
+          e.learner = "palo";
+          e.decision = "stop";
+          e.verdict = "stop";
+          e.at_context = contexts_;
+          e.samples = samples_;
+          e.trials = trials_;
+          e.subject = static_cast<int64_t>(worst_neighbor);
+          e.mean = worst.over_sum / static_cast<double>(samples_);
+          // For the stop test the statistic must stay *below* the
+          // threshold (epsilon), so the margin is negative on success.
+          e.delta_sum = worst_certificate;
+          e.threshold = options_.epsilon;
+          e.margin = worst_certificate - options_.epsilon;
+          e.range = worst.range;
+          e.epsilon_n =
+              worst.range > 0.0
+                  ? HoeffdingDeviation(samples_, stop_delta_i, worst.range)
+                  : 0.0;
+          e.delta_step = stop_delta_i;
+          e.delta_budget = options_.delta;
+          e.delta_spent_total = audit_delta_spent_;
+          e.bound_samples =
+              worst.range > 0.0
+                  ? SampleSizeForDeviation(options_.epsilon, stop_delta_i,
+                                           worst.range)
+                  : 0;
+          e.epsilon = options_.epsilon;
+          sink->OnDecisionCertificate(e);
+        }
       }
     }
   }

@@ -83,8 +83,12 @@ class Palo {
 
   void RebuildNeighborhood();
   /// Sets `*worst_certificate` to the max over neighbours of
-  /// (mean over-estimate + Hoeffding deviation) it saw before deciding.
-  bool CheckStop(double* worst_certificate);
+  /// (mean over-estimate + Hoeffding deviation) it saw before deciding,
+  /// `*worst_neighbor` to that neighbour's index (or the size of the
+  /// neighbourhood when no sample exists yet) and `*delta_i` to the
+  /// per-neighbour stop-test confidence it used.
+  bool CheckStop(double* worst_certificate, size_t* worst_neighbor,
+                 double* delta_i);
 
   const InferenceGraph* graph_;
   DeltaEstimator estimator_;
@@ -97,6 +101,11 @@ class Palo {
   int64_t samples_ = 0;
   int64_t moves_ = 0;
   bool finished_ = false;
+  /// Audit mode: delta_i charged by certified decisions (climb commits
+  /// on the delta/2 climbing schedule, plus the stop test's
+  /// per-neighbour delta_i) — a subsequence of a convergent schedule,
+  /// so always < delta.
+  double audit_delta_spent_ = 0.0;
   obs::Observer* observer_ = nullptr;
   struct Handles {
     obs::Counter* contexts = nullptr;

@@ -59,6 +59,7 @@ Result<PaoResult> Pao::Run(const InferenceGraph& graph, ContextOracle& oracle,
           ? AdaptiveQueryProcessor::QuotaMode::kAttempts
           : AdaptiveQueryProcessor::QuotaMode::kReachAttempts;
   AdaptiveQueryProcessor qpa(&graph, result.quotas, mode, observer);
+  qpa.set_audit_params(options.delta, options.epsilon);
   if (options.injector != nullptr) {
     qpa.set_fault_injector(options.injector);
   }

@@ -1,5 +1,8 @@
 #include "core/pib.h"
 
+#include <algorithm>
+
+#include "stats/chernoff.h"
 #include "stats/sequential.h"
 #include "util/check.h"
 
@@ -141,6 +144,40 @@ Status Pib::RestoreCheckpoint(const Checkpoint& checkpoint) {
   return Status::OK();
 }
 
+obs::DecisionCertificateEvent Pib::MakeAuditCertificate(size_t neighbor,
+                                                        const char* verdict,
+                                                        double threshold) {
+  const Neighbor& n = neighbors_[neighbor];
+  double delta_step =
+      SequentialDelta(std::max<int64_t>(1, trials_), options_.delta);
+  audit_delta_spent_ += delta_step;
+  obs::DecisionCertificateEvent e;
+  e.t_us = observer_->NowUs();
+  e.learner = "pib";
+  e.decision = "climb";
+  e.verdict = verdict;
+  e.at_context = contexts_;
+  e.samples = samples_;
+  e.trials = trials_;
+  e.subject = static_cast<int64_t>(neighbor);
+  e.mean = samples_ > 0 ? n.delta_sum / static_cast<double>(samples_) : 0.0;
+  e.delta_sum = n.delta_sum;
+  e.threshold = threshold;
+  e.margin = n.delta_sum - threshold;
+  e.range = n.range;
+  e.epsilon_n = samples_ > 0 && n.range > 0.0
+                    ? HoeffdingDeviation(samples_, delta_step, n.range)
+                    : 0.0;
+  e.delta_step = delta_step;
+  e.delta_budget = options_.delta;
+  e.delta_spent_total = audit_delta_spent_;
+  e.bound_samples =
+      e.mean > 0.0 && n.range > 0.0
+          ? SampleSizeForDeviation(e.mean, delta_step, n.range)
+          : 0;
+  return e;
+}
+
 bool Pib::Observe(const Trace& trace) {
   ++contexts_;
   ++samples_;
@@ -187,7 +224,22 @@ bool Pib::Observe(const Trace& trace) {
                               fired != neighbors_.size()});
     }
   }
-  if (fired == neighbors_.size()) return false;
+  if (fired == neighbors_.size()) {
+    // Certify the reject: the best neighbour did not cross its
+    // threshold this round. Rejects are the high-volume certificate,
+    // so they honour the observer's audit_every subsampling cadence.
+    if (observer_ != nullptr && observer_->audit_enabled() &&
+        !neighbors_.empty()) {
+      ++audit_rounds_;
+      if ((audit_rounds_ - 1) % observer_->audit_every() == 0) {
+        if (obs::TraceSink* sink = observer_->sink()) {
+          sink->OnDecisionCertificate(
+              MakeAuditCertificate(best, "reject", ThresholdFor(best)));
+        }
+      }
+    }
+    return false;
+  }
 
   const Neighbor& n = neighbors_[fired];
   Move move;
@@ -213,6 +265,13 @@ bool Pib::Observe(const Trace& trace) {
       event.margin = n.delta_sum - fired_threshold;
       event.delta_spent = move.delta_spent;
       sink->OnClimbMove(event);
+    }
+    if (observer_->audit_enabled()) {
+      ++audit_rounds_;
+      if (obs::TraceSink* sink = observer_->sink()) {
+        sink->OnDecisionCertificate(
+            MakeAuditCertificate(fired, "commit", fired_threshold));
+      }
     }
   }
   current_ = n.strategy;

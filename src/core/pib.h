@@ -144,6 +144,12 @@ class Pib {
   };
 
   void RebuildNeighborhood();
+  /// Builds the decision certificate for one test round's verdict on
+  /// `neighbor` and charges its delta_i to the audit ledger. Only
+  /// called when the observer has audit enabled.
+  obs::DecisionCertificateEvent MakeAuditCertificate(size_t neighbor,
+                                                     const char* verdict,
+                                                     double threshold);
 
   const InferenceGraph* graph_;
   DeltaEstimator estimator_;
@@ -156,6 +162,12 @@ class Pib {
   int64_t trials_ = 0;
   int64_t samples_ = 0;
   std::vector<Move> moves_;
+  /// Audit-mode state: delta_i charged by certified decisions (a
+  /// subsequence of the 6/pi^2 schedule, so always < delta) and the
+  /// count of audited test rounds (for the observer's audit_every
+  /// subsampling of reject certificates).
+  double audit_delta_spent_ = 0.0;
+  int64_t audit_rounds_ = 0;
   obs::Observer* observer_ = nullptr;
   struct Handles {
     obs::Counter* contexts = nullptr;

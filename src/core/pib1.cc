@@ -40,6 +40,37 @@ void Pib1::Observe(const Trace& trace) {
     sink->OnSequentialTest({observer_->NowUs(), "pib1", samples_, samples_,
                             /*trial_count=*/1, /*best_neighbor=*/0,
                             delta_sum_, Threshold(), ShouldSwitch()});
+    // The one-shot filter's single decision: certify the first
+    // observation on which Equation 2 declares the alternative better.
+    // The whole delta budget is spent on this one test.
+    if (observer_->audit_enabled() && !audit_reported_ && ShouldSwitch()) {
+      audit_reported_ = true;
+      obs::DecisionCertificateEvent e;
+      e.t_us = observer_->NowUs();
+      e.learner = "pib1";
+      e.decision = "stop";
+      e.verdict = "stop";
+      e.at_context = samples_;
+      e.samples = samples_;
+      e.trials = 1;
+      e.subject = 0;
+      e.mean = delta_sum_ / static_cast<double>(samples_);
+      e.delta_sum = delta_sum_;
+      e.threshold = Threshold();
+      e.margin = delta_sum_ - e.threshold;
+      e.range = range_;
+      e.epsilon_n = range_ > 0.0
+                        ? HoeffdingDeviation(samples_, options_.delta, range_)
+                        : 0.0;
+      e.delta_step = options_.delta;
+      e.delta_budget = options_.delta;
+      e.delta_spent_total = options_.delta;
+      e.bound_samples =
+          e.mean > 0.0 && range_ > 0.0
+              ? SampleSizeForDeviation(e.mean, options_.delta, range_)
+              : 0;
+      sink->OnDecisionCertificate(e);
+    }
   }
 }
 

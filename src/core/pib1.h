@@ -60,6 +60,9 @@ class Pib1 {
   double range_;
   double delta_sum_ = 0.0;
   int64_t samples_ = 0;
+  /// Audit mode: the stop certificate is emitted once, on the first
+  /// observation where ShouldSwitch() becomes true.
+  bool audit_reported_ = false;
   obs::Observer* observer_ = nullptr;
   struct Handles {
     obs::Counter* samples = nullptr;

@@ -1,5 +1,6 @@
 #include "engine/adaptive_qp.h"
 
+#include "stats/chernoff.h"
 #include "util/check.h"
 
 namespace stratlearn {
@@ -27,6 +28,11 @@ void AdaptiveQueryProcessor::set_observer(obs::Observer* observer) {
   handles_.contexts = &r->GetCounter("qpa.contexts");
   handles_.blocked_aims = &r->GetCounter("qpa.blocked_aims");
   handles_.quota_remaining = &r->GetGauge("qpa.quota_remaining");
+}
+
+void AdaptiveQueryProcessor::set_audit_params(double delta, double epsilon) {
+  audit_delta_ = delta;
+  audit_epsilon_ = epsilon;
 }
 
 int AdaptiveQueryProcessor::PickTarget() const {
@@ -63,6 +69,12 @@ AdaptiveQueryProcessor::StepResult AdaptiveQueryProcessor::Process(
   StepResult result;
   result.aimed_experiment = PickTarget();
   Strategy strategy = AimingStrategy(result.aimed_experiment);
+  // Quota-transition detection for the audit layer: which experiments
+  // still owed samples before this context ran.
+  std::vector<int64_t> remaining_before;
+  bool audit = observer_ != nullptr && observer_->audit_enabled() &&
+               audit_delta_ > 0.0 && audit_delta_ < 1.0;
+  if (audit) remaining_before = remaining_;
   result.trace = processor_.Execute(strategy, context);
 
   // Every attempted experiment yields a sample (and, having been reached,
@@ -108,6 +120,46 @@ AdaptiveQueryProcessor::StepResult AdaptiveQueryProcessor::Process(
       sink->OnQuotaProgress({observer_->NowUs(), contexts_processed_,
                              result.aimed_experiment, result.reached,
                              remaining_max, remaining_total});
+      // One certificate per experiment whose quota this context
+      // completed (remaining crossed from positive to <= 0), carrying
+      // the per-experiment tail delta/(2n) the Equation 7/8 quota
+      // formulas allocate and the measured p-hat the samples back.
+      if (audit) {
+        int64_t n = static_cast<int64_t>(remaining_.size());
+        double delta_step = audit_delta_ / (2.0 * static_cast<double>(n));
+        for (size_t e = 0; e < remaining_.size(); ++e) {
+          if (remaining_before[e] <= 0 || remaining_[e] > 0) continue;
+          const ExperimentCounter& c = counters_[e];
+          int64_t samples = mode_ == QuotaMode::kReachAttempts
+                                ? c.reach_attempts()
+                                : c.attempts();
+          obs::DecisionCertificateEvent cert;
+          cert.t_us = observer_->NowUs();
+          cert.learner = "pao";
+          cert.decision = "quota";
+          cert.verdict = "met";
+          cert.at_context = contexts_processed_;
+          cert.samples = samples;
+          cert.trials = 1;
+          cert.subject = static_cast<int64_t>(e);
+          cert.mean = c.SuccessFrequency();
+          cert.delta_sum = static_cast<double>(samples);
+          cert.threshold = static_cast<double>(initial_quotas_[e]);
+          cert.margin = cert.delta_sum - cert.threshold;
+          cert.range = 1.0;  // p-hat estimates live in [0, 1]
+          cert.epsilon_n =
+              samples > 0 && delta_step > 0.0 && delta_step < 1.0
+                  ? HoeffdingDeviation(samples, delta_step, 1.0)
+                  : 0.0;
+          cert.delta_step = delta_step;
+          cert.delta_budget = audit_delta_;
+          audit_delta_spent_ += delta_step;
+          cert.delta_spent_total = audit_delta_spent_;
+          cert.bound_samples = initial_quotas_[e];
+          cert.epsilon = audit_epsilon_;
+          sink->OnDecisionCertificate(cert);
+        }
+      }
     }
   }
   return result;

@@ -40,6 +40,14 @@ class AdaptiveQueryProcessor {
 
   void set_observer(obs::Observer* observer);
 
+  /// PAO's confidence/accuracy parameters, for the audit layer: each
+  /// experiment whose Equation 7/8 quota is met emits one "quota"
+  /// DecisionCertificateEvent whose delta_step is the per-experiment
+  /// tail delta/(2n) the quota formulas allocate. Without this call (or
+  /// with an observer that has audit disabled) no certificate is
+  /// emitted.
+  void set_audit_params(double delta, double epsilon);
+
   /// Forwards a fault injector to the inner processor: every context is
   /// then answered on the resilient path. Infra-failed attempts (retries
   /// exhausted, breaker open) carry no information about the
@@ -131,6 +139,11 @@ class AdaptiveQueryProcessor {
   QuotaMode mode_;
   std::vector<ExperimentCounter> counters_;
   int64_t contexts_processed_ = 0;
+  /// Audit mode (set_audit_params): configured delta/epsilon and the
+  /// running delta spend of emitted quota certificates.
+  double audit_delta_ = 0.0;
+  double audit_epsilon_ = 0.0;
+  double audit_delta_spent_ = 0.0;
   obs::Observer* observer_ = nullptr;
   struct Handles {
     obs::Counter* contexts = nullptr;

@@ -1,0 +1,192 @@
+#include "obs/audit/audit_log.h"
+
+#include <cstdio>
+
+#include "obs/json_writer.h"
+
+namespace stratlearn::obs {
+
+namespace {
+
+void WarnWriteFailed() {
+  std::fprintf(stderr,
+               "warning: audit log write failed (disk full or closed "
+               "pipe?); disabling further audit output for this run\n");
+}
+
+}  // namespace
+
+AuditLog::AuditLog(std::ostream* out, const AuditLogOptions& options)
+    : out_(out), options_(options) {
+  WriteHeader();
+}
+
+AuditLog::AuditLog(const std::string& path, const AuditLogOptions& options)
+    : owned_(std::make_unique<std::ofstream>(path)),
+      out_(owned_.get()),
+      options_(options) {
+  WriteHeader();
+}
+
+AuditLog::~AuditLog() { Close(); }
+
+void AuditLog::WriteLine(const std::string& json) {
+  if (out_ == nullptr || failed_ || closed_) return;
+  *out_ << json << '\n';
+  if (!out_->good()) {
+    failed_ = true;
+    WarnWriteFailed();
+  }
+}
+
+void AuditLog::WriteHeader() {
+  if (out_ == nullptr || !out_->good()) return;
+  *out_ << "stratlearn-audit v1\n";
+  JsonWriter w(JsonWriter::kRoundTripDigits);
+  w.BeginObject();
+  w.Key("record").Value("header");
+  w.Key("window").Value(options_.window);
+  w.Key("delta_budget").Value(options_.delta_budget);
+  w.Key("have_baselines").Value(options_.have_baselines);
+  w.Key("incumbent_expected_cost").Value(options_.incumbent_expected_cost);
+  w.Key("oracle_expected_cost").Value(options_.oracle_expected_cost);
+  w.EndObject();
+  WriteLine(w.str());
+}
+
+void AuditLog::OnArcAttempt(const ArcAttemptEvent& e) {
+  ArcTally& tally = epoch_arcs_[e.arc];
+  tally.experiment = e.experiment;
+  ++tally.attempts;
+  if (e.unblocked) ++tally.successes;
+  tally.cost += e.cost;
+}
+
+void AuditLog::OnQueryEnd(const QueryEndEvent& e) {
+  ++queries_;
+  ++window_queries_;
+  total_cost_ += e.cost;
+  window_cost_ += e.cost;
+  if (options_.window > 0 && window_queries_ >= options_.window) {
+    WriteRegret();
+  }
+}
+
+void AuditLog::WriteRegret() {
+  if (window_queries_ == 0) return;
+  JsonWriter w(JsonWriter::kRoundTripDigits);
+  w.BeginObject();
+  w.Key("record").Value("regret");
+  w.Key("window_index").Value(windows_written_);
+  w.Key("queries").Value(window_queries_);
+  w.Key("queries_total").Value(queries_);
+  w.Key("window_cost").Value(window_cost_);
+  w.Key("total_cost").Value(total_cost_);
+  if (options_.have_baselines) {
+    double incumbent_total =
+        options_.incumbent_expected_cost * static_cast<double>(queries_);
+    double oracle_total =
+        options_.oracle_expected_cost * static_cast<double>(queries_);
+    w.Key("incumbent_total").Value(incumbent_total);
+    w.Key("oracle_total").Value(oracle_total);
+    // Positive: the run paid more than the baseline would have in
+    // expectation; a learner that improves on the incumbent drives
+    // regret_vs_incumbent negative over time.
+    w.Key("regret_vs_incumbent").Value(total_cost_ - incumbent_total);
+    w.Key("regret_vs_oracle").Value(total_cost_ - oracle_total);
+  }
+  w.EndObject();
+  WriteLine(w.str());
+  ++windows_written_;
+  window_queries_ = 0;
+  window_cost_ = 0.0;
+}
+
+void AuditLog::OnDecisionCertificate(const DecisionCertificateEvent& e) {
+  Ledger& ledger = ledgers_[e.learner];
+  ledger.spent = e.delta_spent_total;
+  ledger.budget = e.delta_budget;
+  JsonWriter w(JsonWriter::kRoundTripDigits);
+  w.BeginObject();
+  w.Key("record").Value("certificate");
+  w.Key("seq").Value(certificates_);
+  w.Key("t_us").Value(e.t_us);
+  w.Key("learner").Value(e.learner);
+  w.Key("decision").Value(e.decision);
+  w.Key("verdict").Value(e.verdict);
+  w.Key("at_context").Value(e.at_context);
+  w.Key("samples").Value(e.samples);
+  w.Key("trials").Value(e.trials);
+  w.Key("subject").Value(e.subject);
+  w.Key("mean").Value(e.mean);
+  w.Key("delta_sum").Value(e.delta_sum);
+  w.Key("threshold").Value(e.threshold);
+  w.Key("margin").Value(e.margin);
+  w.Key("range").Value(e.range);
+  w.Key("epsilon_n").Value(e.epsilon_n);
+  w.Key("delta_step").Value(e.delta_step);
+  w.Key("delta_budget").Value(e.delta_budget);
+  w.Key("delta_spent_total").Value(e.delta_spent_total);
+  w.Key("bound_samples").Value(e.bound_samples);
+  w.Key("epsilon").Value(e.epsilon);
+  w.Key("arcs").BeginArray();
+  for (const auto& [arc, tally] : epoch_arcs_) {
+    w.BeginObject();
+    w.Key("arc").Value(static_cast<int64_t>(arc));
+    w.Key("experiment").Value(tally.experiment);
+    w.Key("attempts").Value(tally.attempts);
+    w.Key("successes").Value(tally.successes);
+    w.Key("cost").Value(tally.cost);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  WriteLine(w.str());
+  epoch_arcs_.clear();
+  ++certificates_;
+  if (e.verdict == "commit") ++commits_;
+  else if (e.verdict == "reject") ++rejects_;
+  else if (e.verdict == "stop") ++stops_;
+  else if (e.verdict == "met") ++quotas_met_;
+}
+
+void AuditLog::Flush() {
+  if (out_ == nullptr || failed_) return;
+  out_->flush();
+  if (!out_->good()) {
+    failed_ = true;
+    WarnWriteFailed();
+  }
+}
+
+void AuditLog::Close() {
+  if (out_ == nullptr || closed_) return;
+  WriteRegret();  // trailing partial window, if any
+  double spent_max = 0.0;
+  double budget = options_.delta_budget;
+  bool budget_ok = true;
+  for (const auto& [learner, ledger] : ledgers_) {
+    if (ledger.spent > spent_max) spent_max = ledger.spent;
+    if (ledger.budget > budget) budget = ledger.budget;
+    if (ledger.spent > ledger.budget) budget_ok = false;
+  }
+  JsonWriter w(JsonWriter::kRoundTripDigits);
+  w.BeginObject();
+  w.Key("record").Value("summary");
+  w.Key("queries").Value(queries_);
+  w.Key("certificates").Value(certificates_);
+  w.Key("commits").Value(commits_);
+  w.Key("rejects").Value(rejects_);
+  w.Key("stops").Value(stops_);
+  w.Key("quotas_met").Value(quotas_met_);
+  w.Key("total_cost").Value(total_cost_);
+  w.Key("delta_spent_total").Value(spent_max);
+  w.Key("delta_budget").Value(budget);
+  w.Key("budget_ok").Value(budget_ok);
+  w.EndObject();
+  WriteLine(w.str());
+  closed_ = true;
+  if (!failed_) out_->flush();
+}
+
+}  // namespace stratlearn::obs

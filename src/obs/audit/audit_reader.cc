@@ -1,0 +1,197 @@
+#include "obs/audit/audit_reader.h"
+
+#include <fstream>
+
+#include "obs/json_reader.h"
+#include "util/string_util.h"
+
+namespace stratlearn::obs {
+
+namespace {
+
+Status LineError(int64_t line, const char* what) {
+  return Status::InvalidArgument(
+      StrFormat("audit line %lld: %s", static_cast<long long>(line), what));
+}
+
+double Num(const JsonValue& object, const std::string& key, double fallback) {
+  const JsonValue* v = object.Get(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) return fallback;
+  return v->number;
+}
+
+int64_t Int(const JsonValue& object, const std::string& key,
+            int64_t fallback) {
+  const JsonValue* v = object.Get(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) return fallback;
+  return static_cast<int64_t>(v->number);
+}
+
+bool Bool(const JsonValue& object, const std::string& key, bool fallback) {
+  const JsonValue* v = object.Get(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kBool) return fallback;
+  return v->boolean;
+}
+
+std::string Str(const JsonValue& object, const std::string& key) {
+  const JsonValue* v = object.Get(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kString) return "";
+  return v->string;
+}
+
+void ParseHeader(const JsonValue& o, AuditHeader* header) {
+  header->window = Int(o, "window", 0);
+  header->delta_budget = Num(o, "delta_budget", 0.0);
+  header->have_baselines = Bool(o, "have_baselines", false);
+  header->incumbent_expected_cost = Num(o, "incumbent_expected_cost", 0.0);
+  header->oracle_expected_cost = Num(o, "oracle_expected_cost", 0.0);
+}
+
+Status ParseCertificate(const JsonValue& o, int64_t line,
+                        AuditCertificate* cert) {
+  cert->line = line;
+  cert->seq = Int(o, "seq", -1);
+  DecisionCertificateEvent& e = cert->event;
+  e.t_us = Int(o, "t_us", 0);
+  e.learner = Str(o, "learner");
+  e.decision = Str(o, "decision");
+  e.verdict = Str(o, "verdict");
+  e.at_context = Int(o, "at_context", 0);
+  e.samples = Int(o, "samples", 0);
+  e.trials = Int(o, "trials", 0);
+  e.subject = Int(o, "subject", -1);
+  e.mean = Num(o, "mean", 0.0);
+  e.delta_sum = Num(o, "delta_sum", 0.0);
+  e.threshold = Num(o, "threshold", 0.0);
+  e.margin = Num(o, "margin", 0.0);
+  e.range = Num(o, "range", 0.0);
+  e.epsilon_n = Num(o, "epsilon_n", 0.0);
+  e.delta_step = Num(o, "delta_step", 0.0);
+  e.delta_budget = Num(o, "delta_budget", 0.0);
+  e.delta_spent_total = Num(o, "delta_spent_total", 0.0);
+  e.bound_samples = Int(o, "bound_samples", 0);
+  e.epsilon = Num(o, "epsilon", 0.0);
+  if (e.learner.empty() || e.decision.empty() || e.verdict.empty()) {
+    return LineError(line, "certificate is missing learner/decision/verdict");
+  }
+  const JsonValue* arcs = o.Get("arcs");
+  if (arcs == nullptr || arcs->kind != JsonValue::Kind::kArray) {
+    return LineError(line, "certificate has no \"arcs\" array");
+  }
+  cert->arcs.reserve(arcs->array.size());
+  for (const JsonValue& a : arcs->array) {
+    if (a.kind != JsonValue::Kind::kObject) {
+      return LineError(line, "certificate arc tally is not an object");
+    }
+    AuditArcTally tally;
+    tally.arc = Int(a, "arc", -1);
+    tally.experiment = Int(a, "experiment", -1);
+    tally.attempts = Int(a, "attempts", 0);
+    tally.successes = Int(a, "successes", 0);
+    tally.cost = Num(a, "cost", 0.0);
+    cert->arcs.push_back(tally);
+  }
+  return Status::OK();
+}
+
+void ParseRegret(const JsonValue& o, int64_t line, AuditRegret* regret) {
+  regret->line = line;
+  regret->window_index = Int(o, "window_index", 0);
+  regret->queries = Int(o, "queries", 0);
+  regret->queries_total = Int(o, "queries_total", 0);
+  regret->window_cost = Num(o, "window_cost", 0.0);
+  regret->total_cost = Num(o, "total_cost", 0.0);
+  regret->have_baselines = o.Get("regret_vs_incumbent") != nullptr;
+  regret->incumbent_total = Num(o, "incumbent_total", 0.0);
+  regret->oracle_total = Num(o, "oracle_total", 0.0);
+  regret->regret_vs_incumbent = Num(o, "regret_vs_incumbent", 0.0);
+  regret->regret_vs_oracle = Num(o, "regret_vs_oracle", 0.0);
+}
+
+void ParseSummary(const JsonValue& o, int64_t line, AuditSummary* summary) {
+  summary->present = true;
+  summary->line = line;
+  summary->queries = Int(o, "queries", 0);
+  summary->certificates = Int(o, "certificates", 0);
+  summary->commits = Int(o, "commits", 0);
+  summary->rejects = Int(o, "rejects", 0);
+  summary->stops = Int(o, "stops", 0);
+  summary->quotas_met = Int(o, "quotas_met", 0);
+  summary->total_cost = Num(o, "total_cost", 0.0);
+  summary->delta_spent_total = Num(o, "delta_spent_total", 0.0);
+  summary->delta_budget = Num(o, "delta_budget", 0.0);
+  summary->budget_ok = Bool(o, "budget_ok", false);
+}
+
+}  // namespace
+
+Result<AuditFile> ReadAuditLog(std::istream& in) {
+  AuditFile file;
+  std::string line;
+  int64_t line_number = 0;
+  bool saw_magic = false;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string trimmed(Trim(line));
+    if (trimmed.empty()) continue;
+    if (!saw_magic) {
+      if (trimmed != "stratlearn-audit v1") {
+        return LineError(line_number,
+                         "expected magic line \"stratlearn-audit v1\"");
+      }
+      saw_magic = true;
+      continue;
+    }
+    JsonValue value;
+    if (!ParseJson(trimmed, &value)) {
+      return LineError(line_number, "malformed JSON record");
+    }
+    if (value.kind != JsonValue::Kind::kObject) {
+      return LineError(line_number, "record is not a JSON object");
+    }
+    std::string record = Str(value, "record");
+    if (record == "header") {
+      if (saw_header) return LineError(line_number, "duplicate header");
+      saw_header = true;
+      ParseHeader(value, &file.header);
+    } else if (record == "certificate") {
+      AuditCertificate cert;
+      Status parsed = ParseCertificate(value, line_number, &cert);
+      if (!parsed.ok()) return parsed;
+      if (cert.seq != static_cast<int64_t>(file.certificates.size())) {
+        return LineError(line_number, "certificate seq is not contiguous");
+      }
+      file.certificates.push_back(std::move(cert));
+    } else if (record == "regret") {
+      AuditRegret regret;
+      ParseRegret(value, line_number, &regret);
+      file.regrets.push_back(regret);
+    } else if (record == "summary") {
+      if (file.summary.present) {
+        return LineError(line_number, "duplicate summary");
+      }
+      ParseSummary(value, line_number, &file.summary);
+    } else {
+      return LineError(line_number, "unknown record kind");
+    }
+  }
+  if (!saw_magic) {
+    return Status::InvalidArgument(
+        "audit file is empty (no \"stratlearn-audit v1\" magic line)");
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument("audit file has no header record");
+  }
+  return file;
+}
+
+Result<AuditFile> ReadAuditLogFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return Status::NotFound(StrFormat("cannot open %s", path.c_str()));
+  }
+  return ReadAuditLog(in);
+}
+
+}  // namespace stratlearn::obs

@@ -1,0 +1,92 @@
+#ifndef STRATLEARN_OBS_AUDIT_AUDIT_READER_H_
+#define STRATLEARN_OBS_AUDIT_AUDIT_READER_H_
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "obs/events.h"
+#include "util/status.h"
+
+namespace stratlearn::obs {
+
+/// Parsed form of one `stratlearn-audit v1` file (see AuditLog for the
+/// writer). Shared by tools/audit_verify, the CLI `audit` subcommand
+/// and the V-AUD verification pass, so they all agree on what a
+/// well-formed audit stream is.
+
+/// Per-arc attempt tallies of one certificate's epoch.
+struct AuditArcTally {
+  int64_t arc = 0;
+  int64_t experiment = -1;
+  int64_t attempts = 0;
+  int64_t successes = 0;
+  double cost = 0.0;
+};
+
+struct AuditCertificate {
+  int64_t seq = 0;
+  int64_t line = 0;  // 1-based line in the audit file
+  DecisionCertificateEvent event;
+  std::vector<AuditArcTally> arcs;
+};
+
+struct AuditRegret {
+  int64_t line = 0;
+  int64_t window_index = 0;
+  int64_t queries = 0;
+  int64_t queries_total = 0;
+  double window_cost = 0.0;
+  double total_cost = 0.0;
+  bool have_baselines = false;
+  double incumbent_total = 0.0;
+  double oracle_total = 0.0;
+  double regret_vs_incumbent = 0.0;
+  double regret_vs_oracle = 0.0;
+};
+
+struct AuditHeader {
+  int64_t window = 0;
+  double delta_budget = 0.0;
+  bool have_baselines = false;
+  double incumbent_expected_cost = 0.0;
+  double oracle_expected_cost = 0.0;
+};
+
+struct AuditSummary {
+  bool present = false;
+  int64_t line = 0;
+  int64_t queries = 0;
+  int64_t certificates = 0;
+  int64_t commits = 0;
+  int64_t rejects = 0;
+  int64_t stops = 0;
+  int64_t quotas_met = 0;
+  double total_cost = 0.0;
+  double delta_spent_total = 0.0;
+  double delta_budget = 0.0;
+  bool budget_ok = false;
+};
+
+struct AuditFile {
+  AuditHeader header;
+  std::vector<AuditCertificate> certificates;
+  std::vector<AuditRegret> regrets;
+  AuditSummary summary;
+};
+
+/// Parses one audit stream. InvalidArgument (with the 1-based line
+/// number) on a bad magic line, malformed JSON, an unknown record kind,
+/// a non-contiguous certificate `seq`, or a duplicate header/summary.
+/// A missing summary is *not* an error here (a crashed run's log is
+/// still mostly readable); consumers that require one check
+/// `summary.present`.
+Result<AuditFile> ReadAuditLog(std::istream& in);
+
+/// Convenience: opens `path` and parses it (NotFound if unreadable).
+Result<AuditFile> ReadAuditLogFile(const std::string& path);
+
+}  // namespace stratlearn::obs
+
+#endif  // STRATLEARN_OBS_AUDIT_AUDIT_READER_H_

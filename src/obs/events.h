@@ -169,6 +169,38 @@ struct PaloStopEvent {
   double worst_certificate = 0.0;
 };
 
+/// A machine-checkable PAC certificate for one statistically
+/// significant learner decision: the exact numbers that justified it,
+/// the delta_i drawn from the learner's running delta-budget ledger,
+/// and the Theorem 1-3 sample bound the decision is measured against.
+/// tools/audit_verify re-derives every field from the raw ArcAttempt
+/// stream and the src/stats formulas; emission is gated behind
+/// Observer::audit_enabled() so runs without --audit-out stay
+/// byte-identical to before this event existed.
+struct DecisionCertificateEvent {
+  int64_t t_us = 0;
+  std::string learner;   // "pib" | "pib1" | "palo" | "pao"
+  std::string decision;  // "climb" | "stop" | "quota"
+  std::string verdict;   // "commit" | "reject" | "stop" | "met"
+  int64_t at_context = 0;
+  int64_t samples = 0;      // n: observations backing the test
+  int64_t trials = 0;       // i: sequential-test index (1 for one-shot)
+  int64_t subject = -1;     // neighbour index / experiment id; -1: n/a
+  double mean = 0.0;        // Delta~ mean for climbers, p-hat for PAO
+  double delta_sum = 0.0;   // the tested statistic (sum form)
+  double threshold = 0.0;   // the threshold it was tested against
+  double margin = 0.0;      // delta_sum - threshold
+  double range = 0.0;       // d_i: the statistic's range
+  double epsilon_n = 0.0;   // Hoeffding deviation eps(n, delta_step)
+  double delta_step = 0.0;  // delta_i consumed by this decision
+  double delta_budget = 0.0;       // the configured lifetime delta
+  double delta_spent_total = 0.0;  // ledger after this decision
+  /// Theorem 1-3 sample bound m(d_i) for this decision's parameters
+  /// (0 when no closed-form bound applies).
+  int64_t bound_samples = 0;
+  double epsilon = 0.0;  // PALO/PAO epsilon; 0 for PIB/PIB1
+};
+
 }  // namespace stratlearn::obs
 
 #endif  // STRATLEARN_OBS_EVENTS_H_

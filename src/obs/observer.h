@@ -37,6 +37,22 @@ class Observer {
     return static_cast<int64_t>(epoch_.ElapsedUs());
   }
 
+  /// Decision-certificate emission is opt-in (the CLI's --audit-out):
+  /// learners emit DecisionCertificateEvents only when this is set, so
+  /// runs without auditing produce byte-identical traces to builds
+  /// that predate the audit layer. Set before handing the observer to
+  /// instrumented code; not synchronised.
+  void set_audit_enabled(bool enabled) { audit_enabled_ = enabled; }
+  bool audit_enabled() const { return audit_enabled_; }
+
+  /// Subsampling cadence for *reject* certificates (every k-th audited
+  /// test round); commit/stop/quota certificates are never subsampled.
+  /// The CLI's --audit-every. Values < 1 are treated as 1.
+  void set_audit_every(int64_t every) {
+    audit_every_ = every < 1 ? 1 : every;
+  }
+  int64_t audit_every() const { return audit_every_; }
+
   /// Call before handing the observer to instrumented code; not
   /// synchronised against concurrent NowUs.
   void UseManualClock() { manual_clock_ = true; }
@@ -52,6 +68,8 @@ class Observer {
   TraceSink* sink_;
   Stopwatch epoch_;
   bool manual_clock_ = false;
+  bool audit_enabled_ = false;
+  int64_t audit_every_ = 1;
   std::atomic<int64_t> manual_now_us_{0};
 };
 

@@ -4,12 +4,15 @@
 #include <string>
 #include <utility>
 
+#include <sstream>
+
 #include "core/pao.h"
 #include "core/pib.h"
 #include "core/upsilon.h"
 #include "datalog/parser.h"
 #include "engine/query_processor.h"
 #include "graph/examples.h"
+#include "obs/audit/audit_log.h"
 #include "obs/health/monitor.h"
 #include "obs/metrics.h"
 #include "obs/observer.h"
@@ -372,6 +375,67 @@ class DriftDetectInstance : public BenchWorkloadInstance {
   Rng rng_;
 };
 
+/// The decision-audit layer's price on the pib_climb loop: the same
+/// depth-5 random-tree hill-climb, but with a full observer attached
+/// and certificate emission enabled, every certificate landing in an
+/// in-memory AuditLog. The untouched pib_climb workload doubles as the
+/// certificates-off control — its fake-clock baseline must stay
+/// byte-identical with the audit layer merely compiled in — while this
+/// workload's wall clock prices emission + serialisation and its
+/// counters pin the certificate volume and encoded size.
+class AuditOverheadInstance : public BenchWorkloadInstance {
+ public:
+  explicit AuditOverheadInstance(uint64_t seed) : rng_(seed) {
+    Rng tree_rng(seed ^ 0x9e3779b97f4a7c15ULL);
+    RandomTreeOptions options;
+    options.depth = 5;
+    options.min_branch = 2;
+    options.max_branch = 3;
+    options.early_leaf_prob = 0.1;
+    tree_ = MakeRandomTree(tree_rng, options);
+    oracle_ = std::make_unique<IndependentOracle>(tree_.probs);
+  }
+
+  RepResult RunOnce() override {
+    constexpr int kContexts = 400;
+    constexpr double kDelta = 0.2;
+    std::ostringstream audit_out;
+    AuditLogOptions audit_options;
+    audit_options.delta_budget = kDelta;
+    audit_options.window = 100;
+    AuditLog audit(&audit_out, audit_options);
+    MetricsRegistry registry;
+    Observer observer(&registry, &audit);
+    observer.UseManualClock();
+    observer.set_audit_enabled(true);
+    Pib pib(&tree_.graph, Strategy::DepthFirst(tree_.graph),
+            PibOptions{.delta = kDelta}, &observer);
+    QueryProcessor qp(&tree_.graph, &observer);
+    double cost = 0.0;
+    for (int i = 0; i < kContexts; ++i) {
+      Trace trace = qp.Execute(pib.strategy(), oracle_->Next(rng_));
+      cost += trace.cost;
+      pib.Observe(trace);
+      observer.AdvanceManualClock(i + 1);
+    }
+    audit.Close();
+    STRATLEARN_CHECK_MSG(audit.ok(), "in-memory audit log cannot fail");
+    RepResult result;
+    result.work_units = cost;
+    result.counters = {
+        {"contexts", kContexts},
+        {"moves", static_cast<int64_t>(pib.moves().size())},
+        {"certificates", audit.certificates_written()},
+        {"audit_bytes", static_cast<int64_t>(audit_out.str().size())}};
+    return result;
+  }
+
+ private:
+  RandomTree tree_;
+  std::unique_ptr<IndependentOracle> oracle_;
+  Rng rng_;
+};
+
 template <typename Instance>
 BenchWorkload Workload(const char* name, const char* description) {
   return BenchWorkload{
@@ -395,6 +459,10 @@ void RegisterCanonicalWorkloads(BenchRegistry* registry) {
       "pao_quota", "PAO Theorem-3 quota run on Figure 2"));
   registry->Register(Workload<UpsilonOrderInstance>(
       "upsilon_order", "Upsilon_AOT ordering, 2048-leaf flat tree"));
+  registry->Register(Workload<AuditOverheadInstance>(
+      "audit_overhead",
+      "PIB hill-climb with decision-certificate emission into an "
+      "in-memory audit log"));
   registry->Register(Workload<DriftDetectInstance>(
       "drift_detect",
       "health pipeline end-to-end: p-hat drift on a shifted arc + "

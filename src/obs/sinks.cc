@@ -66,6 +66,39 @@ void CommonTestFields(JsonWriter& w, const SequentialTestEvent& e) {
   w.Key("fired").Value(e.fired);
 }
 
+void CommonCertificateFields(JsonWriter& w,
+                             const DecisionCertificateEvent& e) {
+  w.Key("learner").Value(e.learner);
+  w.Key("decision").Value(e.decision);
+  w.Key("verdict").Value(e.verdict);
+  w.Key("at_context").Value(e.at_context);
+  w.Key("samples").Value(e.samples);
+  w.Key("trials").Value(e.trials);
+  w.Key("subject").Value(e.subject);
+  w.Key("mean").Value(e.mean);
+  w.Key("delta_sum").Value(e.delta_sum);
+  w.Key("threshold").Value(e.threshold);
+  w.Key("margin").Value(e.margin);
+  w.Key("range").Value(e.range);
+  w.Key("epsilon_n").Value(e.epsilon_n);
+  w.Key("delta_step").Value(e.delta_step);
+  w.Key("delta_budget").Value(e.delta_budget);
+  w.Key("delta_spent_total").Value(e.delta_spent_total);
+  w.Key("bound_samples").Value(e.bound_samples);
+  w.Key("epsilon").Value(e.epsilon);
+}
+
+/// One warning per sink instance the first time an event arrives after
+/// Close() (or after a failure disabled the sink) and has to be
+/// dropped. Before this existed the loss was entirely silent.
+void WarnEventDropped(const char* what) {
+  std::fprintf(stderr,
+               "warning: %s trace sink dropped an event delivered after "
+               "Close(); further drops are counted in "
+               "obs.trace_events_dropped but not reported individually\n",
+               what);
+}
+
 }  // namespace
 
 JsonlSink::JsonlSink(std::ostream* out) : out_(out) {}
@@ -76,7 +109,16 @@ JsonlSink::JsonlSink(const std::string& path)
 JsonlSink::~JsonlSink() { Close(); }
 
 void JsonlSink::WriteLine(const std::string& json) {
-  if (out_ == nullptr || closed_ || failed_) return;
+  if (out_ == nullptr) return;
+  if (closed_ || failed_) {
+    ++events_dropped_;
+    if (drop_counter_ != nullptr) drop_counter_->Increment();
+    if (!warned_dropped_) {
+      warned_dropped_ = true;
+      WarnEventDropped("JSONL");
+    }
+    return;
+  }
   *out_ << json << '\n';
   if (!out_->good()) {
     failed_ = true;
@@ -250,6 +292,16 @@ void JsonlSink::OnAlert(const AlertEvent& e) {
   WriteLine(w.str());
 }
 
+void JsonlSink::OnDecisionCertificate(const DecisionCertificateEvent& e) {
+  JsonWriter w(JsonWriter::kRoundTripDigits);
+  w.BeginObject();
+  w.Key("type").Value("decision_certificate");
+  w.Key("t_us").Value(e.t_us);
+  CommonCertificateFields(w, e);
+  w.EndObject();
+  WriteLine(w.str());
+}
+
 ChromeTraceSink::ChromeTraceSink(std::ostream* out) : out_(out) {
   if (out_ != nullptr) *out_ << "[\n";
 }
@@ -262,7 +314,16 @@ ChromeTraceSink::ChromeTraceSink(const std::string& path)
 ChromeTraceSink::~ChromeTraceSink() { Close(); }
 
 void ChromeTraceSink::WriteRecord(const std::string& json) {
-  if (out_ == nullptr || closed_ || failed_) return;
+  if (out_ == nullptr) return;
+  if (closed_ || failed_) {
+    ++events_dropped_;
+    if (drop_counter_ != nullptr) drop_counter_->Increment();
+    if (!warned_dropped_) {
+      warned_dropped_ = true;
+      WarnEventDropped("Chrome");
+    }
+    return;
+  }
   if (wrote_any_) *out_ << ",\n";
   *out_ << json;
   wrote_any_ = true;
@@ -476,6 +537,24 @@ void ChromeTraceSink::OnAlert(const AlertEvent& e) {
   w.Key("tid").Value(int64_t{1});
   w.Key("args").BeginObject();
   CommonAlertFields(w, e);
+  w.EndObject();
+  w.EndObject();
+  WriteRecord(w.str());
+}
+
+void ChromeTraceSink::OnDecisionCertificate(
+    const DecisionCertificateEvent& e) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").Value("decision_certificate");
+  w.Key("cat").Value("audit");
+  w.Key("ph").Value("i");
+  w.Key("s").Value("g");
+  w.Key("ts").Value(e.t_us);
+  w.Key("pid").Value(int64_t{1});
+  w.Key("tid").Value(int64_t{1});
+  w.Key("args").BeginObject();
+  CommonCertificateFields(w, e);
   w.EndObject();
   w.EndObject();
   WriteRecord(w.str());

@@ -1,11 +1,13 @@
 #ifndef STRATLEARN_OBS_SINKS_H_
 #define STRATLEARN_OBS_SINKS_H_
 
+#include <cstdint>
 #include <fstream>
 #include <memory>
 #include <ostream>
 #include <string>
 
+#include "obs/metrics.h"
 #include "obs/trace_sink.h"
 
 namespace stratlearn::obs {
@@ -29,6 +31,13 @@ class JsonlSink final : public TraceSink {
   bool ok() const { return out_ != nullptr && out_->good(); }
   /// True once a mid-run write failed and the sink disabled itself.
   bool failed() const { return failed_; }
+  /// Events delivered after Close() (or after a write failure disabled
+  /// the sink) are dropped, not written. The first drop prints a
+  /// one-shot stderr warning; every drop is counted here.
+  int64_t events_dropped() const { return events_dropped_; }
+  /// Optional borrowed counter (the CLI wires
+  /// "obs.trace_events_dropped") bumped once per dropped event.
+  void set_drop_counter(Counter* counter) { drop_counter_ = counter; }
 
   void OnQueryStart(const QueryStartEvent& e) override;
   void OnQueryEnd(const QueryEndEvent& e) override;
@@ -42,6 +51,7 @@ class JsonlSink final : public TraceSink {
   void OnDegraded(const DegradedEvent& e) override;
   void OnDrift(const DriftEvent& e) override;
   void OnAlert(const AlertEvent& e) override;
+  void OnDecisionCertificate(const DecisionCertificateEvent& e) override;
   void Flush() override;
   void Close() override;
 
@@ -52,6 +62,9 @@ class JsonlSink final : public TraceSink {
   std::ostream* out_ = nullptr;
   bool closed_ = false;
   bool failed_ = false;
+  bool warned_dropped_ = false;
+  int64_t events_dropped_ = 0;
+  Counter* drop_counter_ = nullptr;
 };
 
 /// Emits a chrome://tracing / Perfetto-loadable JSON array. Queries
@@ -75,6 +88,12 @@ class ChromeTraceSink final : public TraceSink {
 
   bool ok() const { return out_ != nullptr && out_->good(); }
   bool failed() const { return failed_; }
+  /// See JsonlSink::events_dropped(): events delivered after Close()
+  /// (or a write failure) with a one-shot warning and a running count.
+  /// ArcAttempt events are excluded — dropping those is this format's
+  /// documented design, not event loss.
+  int64_t events_dropped() const { return events_dropped_; }
+  void set_drop_counter(Counter* counter) { drop_counter_ = counter; }
 
   void OnQueryEnd(const QueryEndEvent& e) override;
   void OnClimbMove(const ClimbMoveEvent& e) override;
@@ -86,6 +105,7 @@ class ChromeTraceSink final : public TraceSink {
   void OnDegraded(const DegradedEvent& e) override;
   void OnDrift(const DriftEvent& e) override;
   void OnAlert(const AlertEvent& e) override;
+  void OnDecisionCertificate(const DecisionCertificateEvent& e) override;
   void Flush() override;
   void Close() override;
 
@@ -97,6 +117,9 @@ class ChromeTraceSink final : public TraceSink {
   bool wrote_any_ = false;
   bool closed_ = false;
   bool failed_ = false;
+  bool warned_dropped_ = false;
+  int64_t events_dropped_ = 0;
+  Counter* drop_counter_ = nullptr;
 };
 
 }  // namespace stratlearn::obs

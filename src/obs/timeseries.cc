@@ -24,6 +24,12 @@ void TimeSeriesCollector::OnArcAttempt(const ArcAttemptEvent& e) {
   cum.cost += e.cost;
 }
 
+void TimeSeriesCollector::OnDecisionCertificate(
+    const DecisionCertificateEvent&) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++certificates_;
+}
+
 void TimeSeriesCollector::OnDrift(const DriftEvent& e) {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto it = windows_.rbegin(); it != windows_.rend(); ++it) {
@@ -127,9 +133,11 @@ void TimeSeriesCollector::CloseWindowLocked(
     }
     if (stats.attempts != 0) window.arcs.push_back(stats);
   }
+  window.certificates = certificates_ - last_certificates_;
 
   last_cumulative_ = window.cumulative;
   last_arcs_ = arcs_;
+  last_certificates_ = certificates_;
   window_start_ = end_us;
   if (window_callback_) closed->push_back(window);
   windows_.push_back(std::move(window));
@@ -219,7 +227,11 @@ std::string TimeSeriesCollector::SerializeJsonl() const {
     }
     w.EndArray();
     // Health decisions only appear when a monitor attributed some to
-    // this window, so series without monitoring serialize as before.
+    // this window, so series without monitoring serialize as before;
+    // likewise certificate counts only appear on audit-enabled runs.
+    if (window.certificates != 0) {
+      w.Key("certificates").Value(window.certificates);
+    }
     if (!window.drift.empty()) {
       w.Key("drift").BeginArray();
       for (const DriftEvent& e : window.drift) {

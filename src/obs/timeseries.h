@@ -72,6 +72,9 @@ struct TimeSeriesWindow {
   /// the serialized series itself records every health decision.
   std::vector<DriftEvent> drift;
   std::vector<AlertEvent> alerts;
+  /// Decision certificates emitted during the window (audit runs only;
+  /// serialized only when nonzero so audit-free series are unchanged).
+  int64_t certificates = 0;
 
   int64_t span_us() const { return end_us - start_us; }
   /// Per-second rate for one counter's delta (0 for a zero-length span).
@@ -103,6 +106,11 @@ class TimeSeriesCollector final : public TraceSink {
                       TimeSeriesOptions options);
 
   void OnArcAttempt(const ArcAttemptEvent& e) override;
+
+  /// Certificates are counted into the currently open window, so the
+  /// series shows the learner's decision cadence next to the per-arc
+  /// data that justified those decisions.
+  void OnDecisionCertificate(const DecisionCertificateEvent& e) override;
 
   /// Drift/alert transitions are routed back into the collector (it
   /// sits on the same tee as the other sinks) and attached to the
@@ -164,9 +172,11 @@ class TimeSeriesCollector final : public TraceSink {
   std::deque<TimeSeriesWindow> windows_;
   std::function<void(const TimeSeriesWindow&)> window_callback_;
   std::map<uint32_t, ArcCumulative> arcs_;
+  int64_t certificates_ = 0;
   /// State at the last closed boundary, for delta derivation.
   MetricsSnapshot last_cumulative_;
   std::map<uint32_t, ArcCumulative> last_arcs_;
+  int64_t last_certificates_ = 0;
 };
 
 }  // namespace stratlearn::obs

@@ -1,202 +1,40 @@
 #include "obs/trace_reader.h"
 
-#include <cctype>
-#include <cstdlib>
+#include <cstdint>
 #include <string>
-#include <vector>
 
+#include "obs/json_reader.h"
 #include "util/string_util.h"
 
 namespace stratlearn::obs {
 
 namespace {
 
-/// One scalar field of a flat JSONL event object.
-struct Field {
-  enum class Kind { kString, kNumber, kBool, kNull };
-  std::string key;
-  Kind kind = Kind::kNull;
-  std::string str;
-  double num = 0.0;
-  bool boolean = false;
-};
-
-/// Recursive-descent parser for exactly the sinks' output language:
-/// one flat object of scalar fields. Nested containers are rejected —
-/// nothing in the JSONL schema produces them, and keeping the reader
-/// flat keeps its failure modes obvious.
-class FlatObjectParser {
- public:
-  explicit FlatObjectParser(std::string_view text) : text_(text) {}
-
-  Status Parse(std::vector<Field>* fields) {
-    SkipSpace();
-    if (!Consume('{')) return Error("expected '{'");
-    SkipSpace();
-    if (Consume('}')) return Remainder();
-    while (true) {
-      Field field;
-      Status key = ParseString(&field.key);
-      if (!key.ok()) return key;
-      SkipSpace();
-      if (!Consume(':')) return Error("expected ':'");
-      Status value = ParseValue(&field);
-      if (!value.ok()) return value;
-      fields->push_back(std::move(field));
-      SkipSpace();
-      if (Consume(',')) {
-        SkipSpace();
-        continue;
-      }
-      if (Consume('}')) return Remainder();
-      return Error("expected ',' or '}'");
-    }
-  }
-
- private:
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-            text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  bool Consume(char c) {
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  bool ConsumeWord(std::string_view word) {
-    if (text_.substr(pos_, word.size()) == word) {
-      pos_ += word.size();
-      return true;
-    }
-    return false;
-  }
-
-  Status Error(const std::string& what) {
-    return Status::InvalidArgument(
-        StrFormat("%s at offset %zu", what.c_str(), pos_));
-  }
-
-  Status Remainder() {
-    SkipSpace();
-    if (pos_ != text_.size()) return Error("trailing characters");
-    return Status::OK();
-  }
-
-  Status ParseString(std::string* out) {
-    SkipSpace();
-    if (!Consume('"')) return Error("expected '\"'");
-    while (pos_ < text_.size()) {
-      char c = text_[pos_++];
-      if (c == '"') return Status::OK();
-      if (c != '\\') {
-        out->push_back(c);
-        continue;
-      }
-      if (pos_ >= text_.size()) break;
-      char esc = text_[pos_++];
-      switch (esc) {
-        case '"': out->push_back('"'); break;
-        case '\\': out->push_back('\\'); break;
-        case '/': out->push_back('/'); break;
-        case 'b': out->push_back('\b'); break;
-        case 'f': out->push_back('\f'); break;
-        case 'n': out->push_back('\n'); break;
-        case 'r': out->push_back('\r'); break;
-        case 't': out->push_back('\t'); break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
-          unsigned long code =
-              std::strtoul(std::string(text_.substr(pos_, 4)).c_str(),
-                           nullptr, 16);
-          pos_ += 4;
-          // The sinks only \u-escape ASCII control characters.
-          out->push_back(static_cast<char>(code & 0x7f));
-          break;
-        }
-        default:
-          return Error("bad escape");
-      }
-    }
-    return Error("unterminated string");
-  }
-
-  Status ParseValue(Field* field) {
-    SkipSpace();
-    if (pos_ >= text_.size()) return Error("expected value");
-    char c = text_[pos_];
-    if (c == '"') {
-      field->kind = Field::Kind::kString;
-      return ParseString(&field->str);
-    }
-    if (c == '{' || c == '[') {
-      return Error("nested containers are not part of the JSONL schema");
-    }
-    if (ConsumeWord("true")) {
-      field->kind = Field::Kind::kBool;
-      field->boolean = true;
-      return Status::OK();
-    }
-    if (ConsumeWord("false")) {
-      field->kind = Field::Kind::kBool;
-      field->boolean = false;
-      return Status::OK();
-    }
-    if (ConsumeWord("null")) {
-      field->kind = Field::Kind::kNull;
-      return Status::OK();
-    }
-    size_t start = pos_;
-    if (Consume('-')) {}
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) return Error("expected value");
-    field->kind = Field::Kind::kNumber;
-    field->num = std::atof(std::string(text_.substr(start, pos_ - start)).c_str());
-    return Status::OK();
-  }
-
-  std::string_view text_;
-  size_t pos_ = 0;
-};
-
-const Field* Find(const std::vector<Field>& fields, std::string_view key) {
-  for (const Field& f : fields) {
-    if (f.key == key) return &f;
-  }
-  return nullptr;
-}
-
-double Num(const std::vector<Field>& fields, std::string_view key,
+/// Field accessors over one parsed event object. The JSONL schema is
+/// flat scalars, so a key holding the wrong kind (or a nested
+/// container) simply yields the fallback — same tolerance the reader
+/// has always had for absent keys.
+double Num(const JsonValue& object, const std::string& key,
            double fallback = 0.0) {
-  const Field* f = Find(fields, key);
-  return f != nullptr && f->kind == Field::Kind::kNumber ? f->num : fallback;
+  const JsonValue* v = object.Get(key);
+  return v != nullptr && v->kind == JsonValue::Kind::kNumber ? v->number
+                                                             : fallback;
 }
 
-int64_t Int(const std::vector<Field>& fields, std::string_view key,
+int64_t Int(const JsonValue& object, const std::string& key,
             int64_t fallback = 0) {
-  return static_cast<int64_t>(Num(fields, key, static_cast<double>(fallback)));
+  return static_cast<int64_t>(Num(object, key, static_cast<double>(fallback)));
 }
 
-bool Bool(const std::vector<Field>& fields, std::string_view key) {
-  const Field* f = Find(fields, key);
-  return f != nullptr && f->kind == Field::Kind::kBool && f->boolean;
+bool Bool(const JsonValue& object, const std::string& key) {
+  const JsonValue* v = object.Get(key);
+  return v != nullptr && v->kind == JsonValue::Kind::kBool && v->boolean;
 }
 
-std::string Str(const std::vector<Field>& fields, std::string_view key) {
-  const Field* f = Find(fields, key);
-  return f != nullptr && f->kind == Field::Kind::kString ? f->str
-                                                         : std::string();
+std::string Str(const JsonValue& object, const std::string& key) {
+  const JsonValue* v = object.Get(key);
+  return v != nullptr && v->kind == JsonValue::Kind::kString ? v->string
+                                                             : std::string();
 }
 
 }  // namespace
@@ -206,13 +44,18 @@ Status TraceReader::ReplayLine(std::string_view line) {
   std::string_view trimmed = Trim(line);
   if (trimmed.empty()) return Status::OK();
 
-  std::vector<Field> fields;
-  Status parsed = FlatObjectParser(trimmed).Parse(&fields);
-  if (!parsed.ok()) {
+  JsonValue value;
+  if (!ParseJson(std::string(trimmed), &value)) {
     return Status::InvalidArgument(
-        StrFormat("line %lld: %s", static_cast<long long>(line_number_),
-                  parsed.message().c_str()));
+        StrFormat("line %lld: malformed JSON",
+                  static_cast<long long>(line_number_)));
   }
+  if (value.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument(
+        StrFormat("line %lld: event is not a JSON object",
+                  static_cast<long long>(line_number_)));
+  }
+  const JsonValue& fields = value;
   std::string type = Str(fields, "type");
   if (type.empty()) {
     return Status::InvalidArgument(StrFormat(
@@ -341,6 +184,28 @@ Status TraceReader::ReplayLine(std::string_view line) {
     e.epsilon = Num(fields, "epsilon");
     e.worst_certificate = Num(fields, "worst_certificate");
     sink_->OnPaloStop(e);
+  } else if (type == "decision_certificate") {
+    DecisionCertificateEvent e;
+    e.t_us = Int(fields, "t_us");
+    e.learner = Str(fields, "learner");
+    e.decision = Str(fields, "decision");
+    e.verdict = Str(fields, "verdict");
+    e.at_context = Int(fields, "at_context");
+    e.samples = Int(fields, "samples");
+    e.trials = Int(fields, "trials");
+    e.subject = Int(fields, "subject", -1);
+    e.mean = Num(fields, "mean");
+    e.delta_sum = Num(fields, "delta_sum");
+    e.threshold = Num(fields, "threshold");
+    e.margin = Num(fields, "margin");
+    e.range = Num(fields, "range");
+    e.epsilon_n = Num(fields, "epsilon_n");
+    e.delta_step = Num(fields, "delta_step");
+    e.delta_budget = Num(fields, "delta_budget");
+    e.delta_spent_total = Num(fields, "delta_spent_total");
+    e.bound_samples = Int(fields, "bound_samples");
+    e.epsilon = Num(fields, "epsilon");
+    sink_->OnDecisionCertificate(e);
   } else {
     ++skipped_;
     return Status::OK();

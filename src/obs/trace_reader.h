@@ -15,11 +15,12 @@ namespace stratlearn::obs {
 /// code path as live ones — feed a StrategyProfiler to rebuild the
 /// attribution report from a file (tools/trace_report does this).
 ///
-/// The parser accepts exactly the JSONL schema: one flat JSON object
-/// per line with scalar fields (string / number / bool / null). Events
-/// whose "type" is unknown are counted and skipped, so traces written
-/// by newer builds still replay. Malformed lines are hard errors
-/// (InvalidArgument naming the line number).
+/// Each line must be one JSON object (parsed with the shared
+/// obs::ParseJson, the same reader bench_compare and stats_report
+/// use); fields the schema knows are flat scalars, and anything else
+/// is ignored. Events whose "type" is unknown are counted and skipped,
+/// so traces written by newer builds still replay. Malformed lines are
+/// hard errors (InvalidArgument naming the line number).
 class TraceReader {
  public:
   explicit TraceReader(TraceSink* sink) : sink_(sink) {}

@@ -28,6 +28,7 @@ class TraceSink {
   virtual void OnDegraded(const DegradedEvent&) {}
   virtual void OnDrift(const DriftEvent&) {}
   virtual void OnAlert(const AlertEvent&) {}
+  virtual void OnDecisionCertificate(const DecisionCertificateEvent&) {}
 
   /// Push buffered output to the underlying medium. May be called any
   /// number of times mid-run; must not finalise the output.
@@ -111,6 +112,11 @@ class TeeSink final : public TraceSink {
       if (s != nullptr) s->OnAlert(e);
     }
   }
+  void OnDecisionCertificate(const DecisionCertificateEvent& e) override {
+    for (TraceSink* s : sinks_) {
+      if (s != nullptr) s->OnDecisionCertificate(e);
+    }
+  }
   void Flush() override {
     for (TraceSink* s : sinks_) {
       if (s != nullptr) s->Flush();
@@ -186,6 +192,10 @@ class LockingSink final : public TraceSink {
   void OnAlert(const AlertEvent& e) override {
     std::lock_guard<std::mutex> lock(mutex_);
     inner_->OnAlert(e);
+  }
+  void OnDecisionCertificate(const DecisionCertificateEvent& e) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inner_->OnDecisionCertificate(e);
   }
   void Flush() override {
     std::lock_guard<std::mutex> lock(mutex_);

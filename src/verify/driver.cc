@@ -69,6 +69,10 @@ void ArtifactVerifier::AddText(const std::string& name,
     (void)ParseAlertRules(text, sink_);
     return;
   }
+  if (StartsWith(trimmed, "stratlearn-audit v1")) {
+    VerifyAuditText(text, sink_);
+    return;
+  }
   if (StartsWith(trimmed, "stratlearn-strategy v1")) {
     if (!graph_context_) {
       sink_->Error("V-S005", "",
@@ -255,6 +259,7 @@ int KindPriority(const std::string& extension) {
   if (extension == ".cfg") return 4;
   if (extension == ".alerts") return 5;
   if (extension == ".ckpt") return 6;
+  if (extension == ".audit") return 7;
   return -1;
 }
 
@@ -283,7 +288,7 @@ Status VerifyProject(ArtifactVerifier* verifier, const std::string& dir,
     sink->Warning("V-P002", "",
                   "project directory contains no verifiable artifacts",
                   "recognised extensions: .dl .graph .andor .strategy "
-                  ".cfg .alerts .ckpt");
+                  ".cfg .alerts .ckpt .audit");
     return Status::OK();
   }
   for (const auto& [priority, relative] : artifacts) {

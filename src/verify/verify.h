@@ -200,6 +200,19 @@ void VerifyQuotaFeasibility(const LearnerConfig& config,
 obs::health::AlertRuleSet ParseAlertRules(std::string_view text,
                                           DiagnosticSink* sink);
 
+// ---- Audit-log passes (V-AUD...) ---------------------------------------
+
+/// Verifies a "stratlearn-audit v1" decision-certificate stream
+/// (obs::AuditLog): parse/shape failures are V-AUD001, delta-ledger
+/// violations (non-monotone running sum, overspent budget) V-AUD002,
+/// non-conservative certificates (verdict disagreeing with the margin's
+/// sign, broken margin identity) V-AUD003, and summary records that
+/// disagree with the stream they close V-AUD004 (missing summary is a
+/// warning: the run may have crashed before Close). Full re-derivation
+/// of every threshold from the raw event trace is tools/audit_verify's
+/// job; these passes are the trace-free subset.
+void VerifyAuditText(std::string_view text, DiagnosticSink* sink);
+
 // ---- Robustness passes (V-K...) ----------------------------------------
 
 /// Verifies a "stratlearn-crc32" checksummed container (the learner

@@ -259,7 +259,8 @@ TEST(WriteFileAtomicTest, OverwritesExistingContent) {
 TEST(CanonicalWorkloadsTest, AllRegisteredRunAndSerialize) {
   BenchRegistry registry;
   obs::perf::RegisterCanonicalWorkloads(&registry);
-  ASSERT_EQ(registry.workloads().size(), 9u);
+  ASSERT_EQ(registry.workloads().size(), 10u);
+  EXPECT_NE(registry.Find("audit_overhead"), nullptr);
   EXPECT_NE(registry.Find("datalog_load"), nullptr);
   EXPECT_NE(registry.Find("fig1_execute"), nullptr);
   EXPECT_NE(registry.Find("pib_climb"), nullptr);

@@ -19,6 +19,7 @@
 #include "obs/openmetrics.h"
 #include "obs/sinks.h"
 #include "obs/timer.h"
+#include "obs/trace_reader.h"
 #include "util/string_util.h"
 #include "workload/random_tree.h"
 #include "workload/synthetic_oracle.h"
@@ -514,6 +515,183 @@ TEST(SinkFailureTest, RobustnessEventsSerializeAsJsonl) {
   EXPECT_NE(text.find("\"type\":\"breaker\""), std::string::npos);
   EXPECT_NE(text.find("\"state\":\"open\""), std::string::npos);
   EXPECT_NE(text.find("\"type\":\"degraded\""), std::string::npos);
+}
+
+TEST(SinkDropTest, JsonlSinkCountsEventsDroppedAfterClose) {
+  std::ostringstream out;
+  obs::MetricsRegistry registry;
+  obs::Counter* dropped = &registry.GetCounter("obs.trace_events_dropped");
+  obs::JsonlSink sink(&out);
+  sink.set_drop_counter(dropped);
+  sink.OnQueryEnd({0, 10, 5, 2.5, 4, 1, true});
+  sink.Close();
+  const std::string closed_text = out.str();
+  ASSERT_EQ(sink.events_dropped(), 0);
+  // Everything after Close() is dropped, counted, and leaves the
+  // finalised output untouched.
+  sink.OnQueryEnd({1, 20, 5, 2.5, 4, 1, true});
+  sink.OnClimbMove({30, "pib", 0, 1, 8, "swap", 1.0, 0.5, 0.5, 0.01});
+  sink.OnArcAttempt({1, 40, 3, 0, true, 1.5});
+  EXPECT_EQ(sink.events_dropped(), 3);
+  EXPECT_EQ(dropped->value(), 3);
+  EXPECT_EQ(out.str(), closed_text);
+}
+
+TEST(SinkDropTest, ChromeSinkCountsEventsDroppedAfterClose) {
+  std::ostringstream out;
+  obs::MetricsRegistry registry;
+  obs::Counter* dropped = &registry.GetCounter("obs.trace_events_dropped");
+  obs::ChromeTraceSink sink(&out);
+  sink.set_drop_counter(dropped);
+  sink.OnQueryEnd({0, 10, 5, 2.5, 4, 1, true});
+  sink.Close();
+  sink.OnQueryEnd({1, 20, 5, 2.5, 4, 1, true});
+  sink.OnQueryEnd({2, 30, 5, 2.5, 4, 1, true});
+  EXPECT_EQ(sink.events_dropped(), 2);
+  EXPECT_EQ(dropped->value(), 2);
+}
+
+/// Collects replayed learner-decision events so round-trip tests can
+/// compare them field-for-field against what was emitted.
+struct CollectingSink final : public obs::TraceSink {
+  std::vector<obs::ClimbMoveEvent> moves;
+  std::vector<obs::SequentialTestEvent> tests;
+  std::vector<obs::DecisionCertificateEvent> certificates;
+  void OnClimbMove(const obs::ClimbMoveEvent& e) override {
+    moves.push_back(e);
+  }
+  void OnSequentialTest(const obs::SequentialTestEvent& e) override {
+    tests.push_back(e);
+  }
+  void OnDecisionCertificate(const obs::DecisionCertificateEvent& e) override {
+    certificates.push_back(e);
+  }
+};
+
+TEST(TraceReaderRoundTripTest, ClimbMoveDeltaSpentExactPrecision) {
+  // delta_spent feeds the audit ledger, so the JSONL round trip must be
+  // bit-exact; deliberately awkward doubles catch any lossy formatting.
+  obs::ClimbMoveEvent e;
+  e.t_us = 123456789;
+  e.learner = "palo";
+  e.move_index = 3;
+  e.at_context = 4097;
+  e.samples_used = 811;
+  e.swap = "swap children 2<->5 under node 9";
+  e.delta_sum = 0.1 + 0.2;
+  e.threshold = 1.0 / 3.0;
+  e.margin = (0.1 + 0.2) - 1.0 / 3.0;
+  e.delta_spent = 0.05 * 6.0 / (M_PI * M_PI * 7.0 * 7.0);
+
+  std::ostringstream out;
+  obs::JsonlSink sink(&out);
+  sink.OnClimbMove(e);
+  sink.Flush();
+
+  CollectingSink collected;
+  obs::TraceReader reader(&collected);
+  std::istringstream in(out.str());
+  ASSERT_TRUE(reader.ReplayStream(in).ok());
+  ASSERT_EQ(collected.moves.size(), 1u);
+  const obs::ClimbMoveEvent& r = collected.moves[0];
+  EXPECT_EQ(r.t_us, e.t_us);
+  EXPECT_EQ(r.learner, e.learner);
+  EXPECT_EQ(r.move_index, e.move_index);
+  EXPECT_EQ(r.at_context, e.at_context);
+  EXPECT_EQ(r.samples_used, e.samples_used);
+  EXPECT_EQ(r.swap, e.swap);
+  EXPECT_EQ(r.delta_sum, e.delta_sum);
+  EXPECT_EQ(r.threshold, e.threshold);
+  EXPECT_EQ(r.margin, e.margin);
+  EXPECT_EQ(r.delta_spent, e.delta_spent);
+}
+
+TEST(TraceReaderRoundTripTest, SequentialTestEventExactPrecision) {
+  obs::SequentialTestEvent e;
+  e.t_us = 987654321;
+  e.learner = "pib";
+  e.at_context = 511;
+  e.samples = 129;
+  e.trial_count = 17;
+  e.best_neighbor = 6;
+  e.best_delta_sum = 2.0 / 3.0;
+  e.best_threshold = std::sqrt(2.0) * 100.0;
+  e.fired = true;
+
+  std::ostringstream out;
+  obs::JsonlSink sink(&out);
+  sink.OnSequentialTest(e);
+  sink.Flush();
+
+  CollectingSink collected;
+  obs::TraceReader reader(&collected);
+  std::istringstream in(out.str());
+  ASSERT_TRUE(reader.ReplayStream(in).ok());
+  ASSERT_EQ(collected.tests.size(), 1u);
+  const obs::SequentialTestEvent& r = collected.tests[0];
+  EXPECT_EQ(r.t_us, e.t_us);
+  EXPECT_EQ(r.learner, e.learner);
+  EXPECT_EQ(r.at_context, e.at_context);
+  EXPECT_EQ(r.samples, e.samples);
+  EXPECT_EQ(r.trial_count, e.trial_count);
+  EXPECT_EQ(r.best_neighbor, e.best_neighbor);
+  EXPECT_EQ(r.best_delta_sum, e.best_delta_sum);
+  EXPECT_EQ(r.best_threshold, e.best_threshold);
+  EXPECT_EQ(r.fired, e.fired);
+}
+
+TEST(TraceReaderRoundTripTest, DecisionCertificateExactPrecision) {
+  obs::DecisionCertificateEvent e;
+  e.t_us = 42;
+  e.learner = "pib";
+  e.decision = "climb";
+  e.verdict = "commit";
+  e.at_context = 300;
+  e.samples = 96;
+  e.trials = 12;
+  e.subject = 4;
+  e.mean = 1.0 / 7.0;
+  e.delta_sum = 96.0 / 7.0;
+  e.threshold = 0.1 + 0.2;
+  e.margin = 96.0 / 7.0 - (0.1 + 0.2);
+  e.range = 4.0;
+  e.epsilon_n = std::sqrt(3.0) / 10.0;
+  e.delta_step = 0.05 * 6.0 / (M_PI * M_PI * 144.0);
+  e.delta_budget = 0.05;
+  e.delta_spent_total = 0.05 / 3.0;
+  e.bound_samples = 2048;
+  e.epsilon = 0.0;
+
+  std::ostringstream out;
+  obs::JsonlSink sink(&out);
+  sink.OnDecisionCertificate(e);
+  sink.Flush();
+
+  CollectingSink collected;
+  obs::TraceReader reader(&collected);
+  std::istringstream in(out.str());
+  ASSERT_TRUE(reader.ReplayStream(in).ok());
+  ASSERT_EQ(collected.certificates.size(), 1u);
+  const obs::DecisionCertificateEvent& r = collected.certificates[0];
+  EXPECT_EQ(r.t_us, e.t_us);
+  EXPECT_EQ(r.learner, e.learner);
+  EXPECT_EQ(r.decision, e.decision);
+  EXPECT_EQ(r.verdict, e.verdict);
+  EXPECT_EQ(r.at_context, e.at_context);
+  EXPECT_EQ(r.samples, e.samples);
+  EXPECT_EQ(r.trials, e.trials);
+  EXPECT_EQ(r.subject, e.subject);
+  EXPECT_EQ(r.mean, e.mean);
+  EXPECT_EQ(r.delta_sum, e.delta_sum);
+  EXPECT_EQ(r.threshold, e.threshold);
+  EXPECT_EQ(r.margin, e.margin);
+  EXPECT_EQ(r.range, e.range);
+  EXPECT_EQ(r.epsilon_n, e.epsilon_n);
+  EXPECT_EQ(r.delta_step, e.delta_step);
+  EXPECT_EQ(r.delta_budget, e.delta_budget);
+  EXPECT_EQ(r.delta_spent_total, e.delta_spent_total);
+  EXPECT_EQ(r.bound_samples, e.bound_samples);
+  EXPECT_EQ(r.epsilon, e.epsilon);
 }
 
 }  // namespace

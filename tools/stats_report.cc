@@ -13,8 +13,10 @@
 // Output is a pure function of the input file: same file, same bytes —
 // the CI determinism check renders one fake-clock run twice and cmps.
 //
-// Exit codes: 0 report written, 1 usage / cannot read file, 2 the file
-// is not a well-formed stratlearn-timeseries-v1 series.
+// Exit codes: 0 report written, 1 cannot read file, 2 usage error
+// (unknown flag, bad value) or the file is not a well-formed
+// stratlearn-timeseries-v1 series. Matches health_report's contract:
+// usage mistakes must never look like a clean (or merely empty) run.
 
 #include <cstdio>
 #include <cstdlib>
@@ -38,7 +40,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: stats_report <timeseries.jsonl> "
                "[--format=text|json] [--last=N]\n");
-  return 1;
+  return 2;
 }
 
 int Malformed(const std::string& path, int line, const std::string& why) {

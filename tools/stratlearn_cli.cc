@@ -46,6 +46,14 @@
 //       byte-identical to the live run's. Exit code: 0 healthy, 1
 //       alerts firing, 2 usage error (bad flags, unreadable inputs,
 //       alert rules with verify errors).
+//   audit <audit.jsonl> [--format=text|json]
+//       Render a "stratlearn-audit v1" decision-audit file (written by
+//       learn-pib/learn-pao --audit-out) as a deterministic convergence
+//       report: the certificate table with per-decision efficiency
+//       ratios (samples used vs. the Theorem 1-3 bound), the
+//       per-learner delta-budget ledger, the regret curve and the run
+//       summary. Exit code: 0 clean, 1 findings (overspent ledger,
+//       non-conservative certificate), 2 usage/malformed input.
 //   verify <files...> [--project=DIR] [--format=text|json|sarif]
 //          [--profile=FILE] [--suppressions=FILE] [--suppress-out=FILE]
 //          [--Werror]
@@ -101,8 +109,8 @@
 // a chrome://tracing-loadable JSON array), --profile-out writes the
 // strategy profiler's aggregated JSON report, and a metrics summary is
 // printed for the non-explain commands. Output paths that cannot be
-// opened fail the command up front, before any work runs. See README
-// "Observability" for the schema.
+// opened fail the command up front, before any work runs. See
+// docs/OBSERVABILITY.md for the schema.
 //
 // Streaming telemetry (learn-pib / learn-pao):
 //   --metrics-export=FILE   periodically overwrite FILE with an
@@ -139,6 +147,27 @@
 //   --health-out=FILE       write the "stratlearn-health-v1" JSON report
 //                           at end of run (requires --alerts)
 //
+// Decision audit (learn-pib / learn-pao):
+//   --audit-out=FILE        write the "stratlearn-audit v1" stream: one
+//                           PAC decision certificate per statistically
+//                           significant learner decision (climb
+//                           commit/reject, sequential-test stop, PAO
+//                           quota transition) with the exact counts,
+//                           thresholds and the delta_i drawn from the
+//                           running delta-budget ledger, plus windowed
+//                           regret records against the incumbent and
+//                           oracle strategies. tools/audit_verify
+//                           re-derives every certificate from the
+//                           --trace-out JSONL; `stratlearn_cli audit`
+//                           renders the convergence report. Without the
+//                           flag no certificate is ever emitted, so
+//                           runs stay byte-identical to earlier builds.
+//   --audit-every=N         subsample high-volume *reject* certificates
+//                           to every N-th test round (commit/stop/quota
+//                           certificates are never subsampled)
+//   --audit-window=N        queries per regret-accounting window
+//                           (default 100)
+//
 // Program files are Datalog ("instructor(X) :- prof(X). prof(russ).").
 // Workload files hold one query per line: "<weight> <arg1> [<arg2> ...]";
 // '#' starts a comment.
@@ -164,6 +193,7 @@
 #include "datalog/parser.h"
 #include "engine/query_processor.h"
 #include "graph/serialization.h"
+#include "obs/audit/audit_log.h"
 #include "obs/health/monitor.h"
 #include "obs/health/series_io.h"
 #include "obs/observer.h"
@@ -181,6 +211,7 @@
 #include "verify/verify.h"
 #include "workload/datalog_oracle.h"
 
+#include "offline_audit.h"
 #include "offline_health.h"
 
 namespace stratlearn {
@@ -222,6 +253,10 @@ struct CliOptions {
   // Health monitoring.
   std::string alerts;
   std::string health_out;
+  // Decision audit.
+  std::string audit_out;
+  int64_t audit_every = 1;
+  int64_t audit_window = 100;
   // Fault tolerance & checkpointing.
   std::string fault_plan;
   std::string checkpoint;
@@ -249,9 +284,21 @@ struct CliOptions {
 /// opened (or probe-written) in the constructor so a bad path fails the
 /// command before any work runs, instead of silently dropping telemetry
 /// at the end; check `status` right after construction.
+/// Regret baselines for the decision audit log: expected per-query
+/// costs of the incumbent (initial) and oracle-optimal strategies under
+/// the workload's true probabilities. Commands that know the truth
+/// (learn-pib / learn-pao, whose workload generator is exact) fill this
+/// in; `have` stays false otherwise and the audit log's regret records
+/// carry realized cost only.
+struct AuditBaselines {
+  bool have = false;
+  double incumbent = 0.0;
+  double oracle = 0.0;
+};
+
 struct CliObserver {
-  explicit CliObserver(const CliOptions& options,
-                       bool want_profiler = false) {
+  explicit CliObserver(const CliOptions& options, bool want_profiler = false,
+                       const AuditBaselines& baselines = {}) {
     if (options.obs_clock != "steady" && options.obs_clock != "fake") {
       status =
           Status::InvalidArgument("--obs-clock must be 'steady' or 'fake'");
@@ -279,6 +326,17 @@ struct CliObserver {
           status = CannotOpen("--trace-out", options.trace_out);
           return;
         }
+      }
+      // Surface post-Close / post-failure event loss in the metrics
+      // snapshot instead of only on stderr.
+      obs::Counter& dropped =
+          registry.GetCounter("obs.trace_events_dropped");
+      if (trace_is_jsonl) {
+        static_cast<obs::JsonlSink*>(file_sink.get())
+            ->set_drop_counter(&dropped);
+      } else {
+        static_cast<obs::ChromeTraceSink*>(file_sink.get())
+            ->set_drop_counter(&dropped);
       }
     }
     if (!options.metrics_out.empty()) {
@@ -357,6 +415,25 @@ struct CliObserver {
         health->OnWindow(w);
       });
     }
+    if (!options.audit_out.empty()) {
+      if (options.audit_every < 1 || options.audit_window < 1) {
+        status = Status::InvalidArgument(
+            "--audit-every / --audit-window must be >= 1");
+        return;
+      }
+      obs::AuditLogOptions audit_options;
+      audit_options.delta_budget = options.delta;
+      audit_options.window = options.audit_window;
+      audit_options.have_baselines = baselines.have;
+      audit_options.incumbent_expected_cost = baselines.incumbent;
+      audit_options.oracle_expected_cost = baselines.oracle;
+      audit_log =
+          std::make_unique<obs::AuditLog>(options.audit_out, audit_options);
+      if (!audit_log->ok()) {
+        status = CannotOpen("--audit-out", options.audit_out);
+        return;
+      }
+    }
     if (!options.metrics_export.empty()) {
       exporter = std::make_unique<obs::PeriodicOpenMetricsExporter>(
           options.metrics_export,
@@ -370,6 +447,7 @@ struct CliObserver {
     }
     std::vector<obs::TraceSink*> sinks;
     if (file_sink != nullptr) sinks.push_back(file_sink.get());
+    if (audit_log != nullptr) sinks.push_back(audit_log.get());
     if (profiler != nullptr) sinks.push_back(profiler.get());
     if (timeseries != nullptr) sinks.push_back(timeseries.get());
     obs::TraceSink* active = nullptr;
@@ -381,6 +459,10 @@ struct CliObserver {
     }
     if (health != nullptr) health->set_event_sink(active);
     observer = std::make_unique<obs::Observer>(&registry, active);
+    if (audit_log != nullptr) {
+      observer->set_audit_enabled(true);
+      observer->set_audit_every(options.audit_every);
+    }
     // Fake clock: event timestamps and qp.query_wall_us durations come
     // from the query ordinal, not the steady clock, so two identical
     // runs produce byte-identical telemetry.
@@ -433,6 +515,20 @@ struct CliObserver {
                      options.trace_out.c_str());
       } else {
         std::printf("trace written to %s\n", options.trace_out.c_str());
+      }
+    }
+    if (audit_log != nullptr) {
+      audit_log->Close();
+      if (audit_log->failed()) {
+        std::fprintf(stderr,
+                     "warning: audit log '%s' is incomplete (write failure "
+                     "mid-run)\n",
+                     options.audit_out.c_str());
+      } else {
+        std::printf("audit log written to %s (%lld certificates)\n",
+                    options.audit_out.c_str(),
+                    static_cast<long long>(
+                        audit_log->certificates_written()));
       }
     }
     if (print_summary) {
@@ -541,6 +637,7 @@ struct CliObserver {
   bool trace_is_jsonl = false;
   bool fake_clock = false;
   std::unique_ptr<obs::TraceSink> file_sink;
+  std::unique_ptr<obs::AuditLog> audit_log;
   std::unique_ptr<obs::StrategyProfiler> profiler;
   std::unique_ptr<obs::TimeSeriesCollector> timeseries;
   std::unique_ptr<obs::health::HealthMonitor> health;
@@ -654,6 +751,12 @@ CliOptions ParseArgs(int argc, char** argv) {
       options.alerts = arg.substr(9);
     } else if (StartsWith(arg, "--health-out=")) {
       options.health_out = arg.substr(13);
+    } else if (StartsWith(arg, "--audit-out=")) {
+      options.audit_out = arg.substr(12);
+    } else if (StartsWith(arg, "--audit-every=")) {
+      options.audit_every = std::atoll(arg.c_str() + 14);
+    } else if (StartsWith(arg, "--audit-window=")) {
+      options.audit_window = std::atoll(arg.c_str() + 15);
     } else if (StartsWith(arg, "--fault-plan=")) {
       options.fault_plan = arg.substr(13);
     } else if (StartsWith(arg, "--checkpoint=")) {
@@ -772,6 +875,26 @@ Result<std::unique_ptr<Loaded>> Load(const std::string& program_path,
   return loaded;
 }
 
+/// Regret baselines for --audit-out: the incumbent is the strategy the
+/// learner starts from, the oracle is Upsilon_AOT on the workload's
+/// true probabilities. Computed only when the audit log is requested
+/// (UpsilonAot is a full ordering pass); an unsupported graph degrades
+/// to realized-cost-only regret records instead of failing the run.
+AuditBaselines MakeAuditBaselines(const CliOptions& options,
+                                  const Loaded& loaded,
+                                  const Strategy& initial,
+                                  const std::vector<double>& truth) {
+  AuditBaselines baselines;
+  if (options.audit_out.empty()) return baselines;
+  Result<UpsilonResult> optimal = UpsilonAot(loaded.built.graph, truth);
+  if (!optimal.ok()) return baselines;
+  baselines.have = true;
+  baselines.incumbent = ExactExpectedCost(loaded.built.graph, initial, truth);
+  baselines.oracle =
+      ExactExpectedCost(loaded.built.graph, optimal->strategy, truth);
+  return baselines;
+}
+
 void PrintStrategyReport(const Loaded& loaded, const char* label,
                          const Strategy& strategy,
                          const std::vector<double>& truth) {
@@ -836,7 +959,8 @@ int CmdLearnPib(const CliOptions& options) {
         "<workload.txt> [--delta= --queries= --strategy-out= --seed= "
         "--metrics-out= --trace-out= --profile-out= --metrics-export= "
         "--export-every= --timeseries-out= --timeseries-every= "
-        "--obs-clock=steady|fake --alerts= --health-out= --fault-plan= "
+        "--obs-clock=steady|fake --alerts= --health-out= --audit-out= "
+        "--audit-every= --audit-window= --fault-plan= "
         "--checkpoint= --checkpoint-every= --resume --halt-after=]");
   }
   if (options.resume && options.checkpoint.empty()) {
@@ -858,7 +982,9 @@ int CmdLearnPib(const CliOptions& options) {
   if (!injector_or.ok()) return Fail(injector_or.status().ToString());
   robust::FaultInjector* injector = injector_or->get();
 
-  CliObserver cli_obs(options);
+  AuditBaselines baselines = MakeAuditBaselines(options, loaded, initial,
+                                                truth);
+  CliObserver cli_obs(options, /*want_profiler=*/false, baselines);
   if (!cli_obs.status.ok()) return FailStatus(cli_obs.status);
   Pib pib(&loaded.built.graph, initial, PibOptions{.delta = options.delta},
           cli_obs.observer.get());
@@ -969,8 +1095,8 @@ int CmdLearnPao(const CliOptions& options) {
         "--seed= --metrics-out= --trace-out= --profile-out= "
         "--metrics-export= --export-every= --timeseries-out= "
         "--timeseries-every= --obs-clock=steady|fake --alerts= "
-        "--health-out= --fault-plan= "
-        "--checkpoint= --checkpoint-every= --resume]");
+        "--health-out= --audit-out= --audit-every= --audit-window= "
+        "--fault-plan= --checkpoint= --checkpoint-every= --resume]");
   }
   if (options.resume && options.checkpoint.empty()) {
     return Fail("--resume requires --checkpoint=FILE");
@@ -1052,7 +1178,9 @@ int CmdLearnPao(const CliOptions& options) {
     };
   }
 
-  CliObserver cli_obs(options);
+  AuditBaselines baselines = MakeAuditBaselines(
+      options, loaded, Strategy::DepthFirst(loaded.built.graph), truth);
+  CliObserver cli_obs(options, /*want_profiler=*/false, baselines);
   if (!cli_obs.status.ok()) return FailStatus(cli_obs.status);
   if (cli_obs.NeedsTicks() || cli_obs.fake_clock) {
     // Chain the telemetry cadence onto the per-context hook (after the
@@ -1365,13 +1493,23 @@ int CmdHealth(const CliOptions& options) {
                                  kUsage);
 }
 
+int CmdAudit(const CliOptions& options) {
+  if (options.positional.size() != 1) {
+    std::fprintf(stderr,
+                 "usage: stratlearn_cli audit <audit.jsonl> "
+                 "[--format=text|json]\n");
+    return 2;
+  }
+  return tools::RunOfflineAudit(options.positional[0], options.format);
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(
         stderr,
         "usage: stratlearn_cli "
-        "<query|dot|learn-pib|learn-pao|eval|explain|bench|health|verify> "
-        "...\n");
+        "<query|dot|learn-pib|learn-pao|eval|explain|bench|health|audit|"
+        "verify> ...\n");
     return 1;
   }
   std::string command = argv[1];
@@ -1384,6 +1522,7 @@ int Main(int argc, char** argv) {
   if (command == "explain") return CmdExplain(options);
   if (command == "bench") return CmdBench(options);
   if (command == "health") return CmdHealth(options);
+  if (command == "audit") return CmdAudit(options);
   if (command == "verify") return CmdVerify(options);
   return Fail("unknown command '" + command + "'");
 }
