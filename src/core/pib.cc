@@ -109,6 +109,8 @@ Pib::Checkpoint Pib::GetCheckpoint() const {
     checkpoint.neighbor_delta_sums.push_back(n.delta_sum);
   }
   checkpoint.moves = moves_;
+  checkpoint.audit_delta_spent = audit_delta_spent_;
+  checkpoint.audit_rounds = audit_rounds_;
   return checkpoint;
 }
 
@@ -116,6 +118,9 @@ Status Pib::RestoreCheckpoint(const Checkpoint& checkpoint) {
   if (checkpoint.contexts < 0 || checkpoint.trials < 0 ||
       checkpoint.samples < 0 || checkpoint.samples > checkpoint.contexts) {
     return Status::InvalidArgument("inconsistent learner counters");
+  }
+  if (checkpoint.audit_delta_spent < 0.0 || checkpoint.audit_rounds < 0) {
+    return Status::InvalidArgument("inconsistent audit ledger");
   }
   if (checkpoint.strategy.size() != graph_->num_arcs()) {
     return Status::InvalidArgument(
@@ -141,7 +146,36 @@ Status Pib::RestoreCheckpoint(const Checkpoint& checkpoint) {
   trials_ = checkpoint.trials;
   samples_ = checkpoint.samples;
   moves_ = checkpoint.moves;
+  audit_delta_spent_ = checkpoint.audit_delta_spent;
+  audit_rounds_ = checkpoint.audit_rounds;
   return Status::OK();
+}
+
+void Pib::Rebaseline(double trials_factor) {
+  STRATLEARN_CHECK(trials_factor > 0.0 && trials_factor <= 1.0);
+  // Every sum is dropped, not just the epoch's samples: a pre-drift sum
+  // left standing would cross the (now smaller) rewound threshold on
+  // stale evidence.
+  for (Neighbor& n : neighbors_) n.delta_sum = 0.0;
+  samples_ = 0;
+  trials_ = std::max<int64_t>(
+      1, static_cast<int64_t>(static_cast<double>(trials_) * trials_factor));
+}
+
+int64_t Pib::RestartScoped(ArcId arc) {
+  auto touches = [&](ArcId root) {
+    for (ArcId sub : graph_->SubtreeArcs(root)) {
+      if (sub == arc) return true;
+    }
+    return false;
+  };
+  int64_t reset = 0;
+  for (Neighbor& n : neighbors_) {
+    if (!touches(n.swap.arc_a) && !touches(n.swap.arc_b)) continue;
+    n.delta_sum = 0.0;
+    ++reset;
+  }
+  return reset;
 }
 
 obs::DecisionCertificateEvent Pib::MakeAuditCertificate(size_t neighbor,

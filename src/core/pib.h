@@ -127,6 +127,11 @@ class Pib {
     int64_t samples = 0;
     std::vector<double> neighbor_delta_sums;
     std::vector<Move> moves;
+    /// Audit-ledger cursor, so a resumed --audit-out run continues the
+    /// delta accounting (and the audit_every subsampling phase) exactly
+    /// where the killed run left off.
+    double audit_delta_spent = 0.0;
+    int64_t audit_rounds = 0;
   };
   Checkpoint GetCheckpoint() const;
   /// Rebuilds the neighbourhood of the checkpointed strategy and
@@ -134,6 +139,25 @@ class Pib {
   /// shape or invariants do not fit this learner's graph/transformation
   /// set; on error the learner keeps its prior state.
   Status RestoreCheckpoint(const Checkpoint& checkpoint);
+
+  /// Recovery action: re-open the sequential test after detected drift
+  /// without discarding the current strategy. Zeroes every neighbour's
+  /// Delta~ sum along with the epoch sample count (pre-drift evidence
+  /// must not certify a post-drift climb) and rewinds the trial counter
+  /// to max(1, trials * trials_factor), which widens delta_i back to an
+  /// earlier rung of the 6/pi^2 schedule so the test re-converges
+  /// faster than a cold restart while Theorem 1's union bound (a
+  /// subsequence of the same schedule) still holds.
+  void Rebaseline(double trials_factor);
+
+  /// Recovery action scoped to one drifted arc: zeroes the Delta~ sums
+  /// of exactly the neighbours whose swap moves a subtree containing
+  /// `arc`, keeping every other neighbour's evidence. The shared
+  /// samples_/trials_ counters are kept too, which leaves the scoped
+  /// neighbours' thresholds conservatively over-estimated (they demand
+  /// at least as much post-drift evidence as a fresh epoch would).
+  /// Returns the number of neighbours reset.
+  int64_t RestartScoped(ArcId arc);
 
  private:
   struct Neighbor {

@@ -158,7 +158,8 @@ Trace QueryProcessor::ExecuteResilient(const Strategy& strategy,
       continue;
     }
 
-    if (injector_->BreakerOpen(a, rq)) {
+    robust::BreakerDecision breaker = injector_->CheckBreaker(a, rq);
+    if (breaker == robust::BreakerDecision::kOpen) {
       // Persistently failing retrieval: skip it outright, record it as
       // blocked at the arc's pessimistic cost. Charging failure_cost
       // keeps PIB's Delta~ a conservative under-estimate while the
@@ -170,6 +171,17 @@ Trace QueryProcessor::ExecuteResilient(const Strategy& strategy,
         handles_.breaker_skips->Increment();
       }
       continue;
+    }
+    if (breaker == robust::BreakerDecision::kHalfOpenProbe &&
+        sink != nullptr) {
+      // The cooldown elapsed and this attempt is the single probe; its
+      // outcome below either closes the breaker or re-opens it with
+      // backed-off cooldown.
+      robust::FaultInjectorState::BreakerEntry ledger =
+          injector_->BreakerLedger(a);
+      sink->OnBreaker({observer_->NowUs(), query_index, a, arc.experiment,
+                       "half_open", ledger.consecutive_failures,
+                       ledger.open_until});
     }
 
     bool true_unblocked =

@@ -1,6 +1,8 @@
 #include "obs/audit/audit_log.h"
 
 #include <cstdio>
+#include <filesystem>
+#include <system_error>
 
 #include "obs/json_writer.h"
 
@@ -26,6 +28,77 @@ AuditLog::AuditLog(const std::string& path, const AuditLogOptions& options)
       out_(owned_.get()),
       options_(options) {
   WriteHeader();
+}
+
+AuditLog::AuditLog(const std::string& path, const AuditLogOptions& options,
+                   const Cursor& cursor)
+    : options_(options) {
+  std::error_code ec;
+  if (cursor.bytes >= 0) {
+    std::filesystem::resize_file(path, static_cast<uintmax_t>(cursor.bytes),
+                                 ec);
+  }
+  if (cursor.bytes < 0 || ec) {
+    std::fprintf(stderr,
+                 "warning: cannot resume audit log '%s' at byte %lld; "
+                 "restarting the stream\n",
+                 path.c_str(), static_cast<long long>(cursor.bytes));
+    owned_ = std::make_unique<std::ofstream>(path);
+    out_ = owned_.get();
+    WriteHeader();
+    return;
+  }
+  owned_ = std::make_unique<std::ofstream>(path, std::ios::app);
+  out_ = owned_.get();
+  certificates_ = cursor.certificates;
+  commits_ = cursor.commits;
+  rejects_ = cursor.rejects;
+  stops_ = cursor.stops;
+  quotas_met_ = cursor.quotas_met;
+  queries_ = cursor.queries;
+  window_queries_ = cursor.window_queries;
+  windows_written_ = cursor.windows_written;
+  window_cost_ = cursor.window_cost;
+  total_cost_ = cursor.total_cost;
+  for (const Cursor::EpochArc& a : cursor.epoch) {
+    ArcTally& tally = epoch_arcs_[static_cast<uint32_t>(a.arc)];
+    tally.experiment = a.experiment;
+    tally.attempts = a.attempts;
+    tally.successes = a.successes;
+    tally.cost = a.cost;
+  }
+  for (const Cursor::LedgerEntry& l : cursor.ledgers) {
+    ledgers_[l.learner] = Ledger{l.spent, l.budget};
+  }
+}
+
+AuditLog::Cursor AuditLog::SaveCursor() {
+  Flush();
+  Cursor cursor;
+  if (owned_ != nullptr && !failed_ && !closed_) {
+    std::ofstream::pos_type pos = owned_->tellp();
+    if (pos != std::ofstream::pos_type(-1)) {
+      cursor.bytes = static_cast<int64_t>(pos);
+    }
+  }
+  cursor.certificates = certificates_;
+  cursor.commits = commits_;
+  cursor.rejects = rejects_;
+  cursor.stops = stops_;
+  cursor.quotas_met = quotas_met_;
+  cursor.queries = queries_;
+  cursor.window_queries = window_queries_;
+  cursor.windows_written = windows_written_;
+  cursor.window_cost = window_cost_;
+  cursor.total_cost = total_cost_;
+  for (const auto& [arc, tally] : epoch_arcs_) {
+    cursor.epoch.push_back({static_cast<int64_t>(arc), tally.experiment,
+                            tally.attempts, tally.successes, tally.cost});
+  }
+  for (const auto& [learner, ledger] : ledgers_) {
+    cursor.ledgers.push_back({learner, ledger.spent, ledger.budget});
+  }
+  return cursor;
 }
 
 AuditLog::~AuditLog() { Close(); }

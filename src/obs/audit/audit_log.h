@@ -7,6 +7,7 @@
 #include <memory>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "obs/trace_sink.h"
 
@@ -57,6 +58,52 @@ class AuditLog final : public TraceSink {
   /// Own a file stream; `ok()` reports whether it opened.
   explicit AuditLog(const std::string& path,
                     const AuditLogOptions& options = {});
+
+  /// Everything a mid-run audit stream needs to continue after a kill:
+  /// the byte offset at a checkpoint boundary plus the writer's counter
+  /// state. The byte offset matters because even a halted process runs
+  /// the destructor, whose Close() appends a trailing regret/summary —
+  /// resuming must truncate those bytes away before appending.
+  struct Cursor {
+    int64_t bytes = -1;  // stream size at the checkpoint; -1: not a file
+    int64_t certificates = 0;
+    int64_t commits = 0;
+    int64_t rejects = 0;
+    int64_t stops = 0;
+    int64_t quotas_met = 0;
+    int64_t queries = 0;
+    int64_t window_queries = 0;
+    int64_t windows_written = 0;
+    double window_cost = 0.0;
+    double total_cost = 0.0;
+    struct EpochArc {
+      int64_t arc = 0;
+      int64_t experiment = -1;
+      int64_t attempts = 0;
+      int64_t successes = 0;
+      double cost = 0.0;
+    };
+    std::vector<EpochArc> epoch;  // tallies since the last certificate
+    struct LedgerEntry {
+      std::string learner;
+      double spent = 0.0;
+      double budget = 0.0;
+    };
+    std::vector<LedgerEntry> ledgers;
+  };
+
+  /// Resume a killed run's audit file: truncates `path` to
+  /// `cursor.bytes`, reopens it for append and reinstates the counter
+  /// state, so the continued stream is byte-identical to one that was
+  /// never interrupted. Falls back to a fresh stream (with a stderr
+  /// warning) when the file cannot be truncated to the cursor.
+  AuditLog(const std::string& path, const AuditLogOptions& options,
+           const Cursor& cursor);
+
+  /// Flushes and snapshots the stream for a checkpoint. `bytes` is -1
+  /// for borrowed streams (resume then restarts the stream).
+  Cursor SaveCursor();
+
   ~AuditLog() override;
 
   bool ok() const { return out_ != nullptr && out_->good(); }

@@ -98,15 +98,18 @@ struct RetryEvent {
 };
 
 /// A per-arc circuit breaker changed state. "open": the arc's retrieval
-/// failed persistently and will be skipped (with its pessimistic cost
-/// charged) until `cooldown_until`; "closed": a later physical attempt
-/// succeeded and normal execution resumed.
+/// failed persistently (or was quarantined) and will be skipped (with
+/// its pessimistic cost charged) until `cooldown_until`; "half_open":
+/// the cooldown elapsed and a single probe attempt is admitted;
+/// "closed": a probe (or ordinary physical attempt) succeeded and
+/// normal execution resumed. A failed probe re-opens with capped
+/// exponential backoff.
 struct BreakerEvent {
   int64_t t_us = 0;
   int64_t query_index = 0;
   uint32_t arc = 0;
   int experiment = -1;
-  std::string state;  // "open" | "closed"
+  std::string state;  // "open" | "half_open" | "closed"
   int64_t consecutive_failures = 0;
   int64_t cooldown_until = 0;  // resilient-query index when it re-arms
 };
@@ -156,6 +159,29 @@ struct AlertEvent {
   double threshold = 0.0;
   int64_t window = 0;       // index of the transition window
   int64_t for_windows = 0;  // consecutive breaches required to fire
+};
+
+/// The recovery controller decided (and, in a live run, executed) one
+/// graduated action from a "stratlearn-recovery v1" policy in response
+/// to drift/alert transitions in a closed window. `matched` counts the
+/// trigger transitions that justified the action (>= 1), and the
+/// statistic/reference/threshold triple echoes the first matching
+/// transition so humans can see what moved. `outcome` reports what the
+/// executor actually did ("applied", "skipped_unsupported",
+/// "skipped_no_checkpoint"); decide-only replays reconstruct decisions,
+/// not outcomes.
+struct RecoveryEvent {
+  int64_t t_us = 0;
+  std::string rule;     // policy rule id
+  std::string trigger;  // e.g. "drift:p_hat" | "alert:<rule-id>"
+  std::string action;   // "rebaseline"|"rollback"|"restart_scoped"|"quarantine"
+  std::string outcome;  // "applied" | "skipped_*"
+  int64_t arc = -1;     // target arc for scoped actions; -1 otherwise
+  int64_t window = 0;   // index of the window whose transitions fired it
+  int64_t matched = 0;  // trigger transitions matched in that window
+  double statistic = 0.0;
+  double reference = 0.0;
+  double threshold = 0.0;
 };
 
 /// PALO certified an epsilon-local optimum and stopped.

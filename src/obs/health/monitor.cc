@@ -35,6 +35,13 @@ void HealthMonitor::OnWindow(const TimeSeriesWindow& window) {
     if (events_ != nullptr) events_->OnAlert(e);
     alert_log_.push_back(e);
   }
+  if (recovery_) {
+    std::vector<RecoveryLogEntry> decisions =
+        recovery_(window, drift_events, alert_events);
+    for (RecoveryLogEntry& d : decisions) {
+      recovery_log_.push_back(std::move(d));
+    }
+  }
 }
 
 std::string HealthMonitor::RenderText() const {
@@ -124,6 +131,19 @@ std::string HealthMonitor::RenderText() const {
       }
     }
   }
+  if (!recovery_log_.empty()) {
+    out += "recovery:\n";
+    for (const RecoveryLogEntry& e : recovery_log_) {
+      std::string target =
+          e.arc >= 0
+              ? StrFormat(" arc=%lld", static_cast<long long>(e.arc))
+              : std::string();
+      out += StrFormat("  window %-5lld %-16s %s -> %s%s matched=%lld\n",
+                       static_cast<long long>(e.window), e.rule.c_str(),
+                       e.trigger.c_str(), e.action.c_str(), target.c_str(),
+                       static_cast<long long>(e.matched));
+    }
+  }
   return out;
 }
 
@@ -199,6 +219,23 @@ std::string HealthMonitor::RenderJson() const {
   }
   w.EndArray();
   w.EndObject();
+  // The recovery transcript only appears when a policy produced
+  // decisions, so reports from policy-less runs keep their historical
+  // byte layout (golden fixtures, online-vs-offline diffs).
+  if (!recovery_log_.empty()) {
+    w.Key("recovery").BeginArray();
+    for (const RecoveryLogEntry& e : recovery_log_) {
+      w.BeginObject();
+      w.Key("window").Value(e.window);
+      w.Key("rule").Value(e.rule);
+      w.Key("trigger").Value(e.trigger);
+      w.Key("action").Value(e.action);
+      w.Key("arc").Value(e.arc);
+      w.Key("matched").Value(e.matched);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
   w.EndObject();
   return w.Take() + "\n";
 }

@@ -2,6 +2,7 @@
 #define STRATLEARN_OBS_HEALTH_MONITOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,30 @@ namespace stratlearn::obs::health {
 struct HealthOptions {
   DriftOptions drift;
 };
+
+/// One recovery decision, as recorded in the monitor's transcript. The
+/// entry carries only what the *decision* depends on (the window and the
+/// matched trigger transitions), never the execution outcome: a
+/// decide-only offline replay of the same window sequence must
+/// reproduce the transcript byte for byte, and outcomes ("applied" vs
+/// "skipped_*") depend on what was bound at execution time.
+struct RecoveryLogEntry {
+  int64_t window = 0;
+  std::string rule;     // policy rule id
+  std::string trigger;  // e.g. "drift:p_hat" | "alert:latency"
+  std::string action;   // "rebaseline" | "rollback" | ...
+  int64_t arc = -1;     // target arc for scoped actions; -1 otherwise
+  int64_t matched = 0;  // trigger transitions matched in the window
+};
+
+/// Hook run after the detectors/rules of one window: receives the
+/// closed window plus that window's drift/alert transitions and returns
+/// the recovery decisions taken (empty when no policy rule matched).
+/// The RecoveryController installs itself here; the monitor stays
+/// ignorant of policies so obs keeps no dependency on src/robust.
+using RecoveryHook = std::function<std::vector<RecoveryLogEntry>(
+    const TimeSeriesWindow&, const std::vector<DriftEvent>&,
+    const std::vector<AlertEvent>&)>;
 
 /// Ties the drift detectors and the alert engine to the window stream:
 /// feed every closed TimeSeriesWindow (live via
@@ -38,6 +63,11 @@ class HealthMonitor {
   /// attached to the serialized series windows).
   void set_event_sink(TraceSink* sink) { events_ = sink; }
 
+  /// Installs the recovery decision hook (nullable to uninstall). Runs
+  /// at the end of every OnWindow; its returned entries join the
+  /// transcript the reports render.
+  void set_recovery_hook(RecoveryHook hook) { recovery_ = std::move(hook); }
+
   /// Processes one closed window. Windows must arrive in series order.
   void OnWindow(const TimeSeriesWindow& window);
 
@@ -54,16 +84,21 @@ class HealthMonitor {
 
   const std::vector<DriftEvent>& drift_log() const { return drift_log_; }
   const std::vector<AlertEvent>& alert_log() const { return alert_log_; }
+  const std::vector<RecoveryLogEntry>& recovery_log() const {
+    return recovery_log_;
+  }
 
  private:
   HealthOptions options_;
   DriftDetector drift_;
   AlertEngine alerts_;
   TraceSink* events_ = nullptr;
+  RecoveryHook recovery_;
   int64_t windows_seen_ = 0;
   int64_t last_window_ = -1;
   std::vector<DriftEvent> drift_log_;
   std::vector<AlertEvent> alert_log_;
+  std::vector<RecoveryLogEntry> recovery_log_;
 };
 
 }  // namespace stratlearn::obs::health

@@ -1,5 +1,6 @@
 #include "obs/perf/workloads.h"
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <utility>
@@ -18,6 +19,9 @@
 #include "obs/observer.h"
 #include "obs/timeseries.h"
 #include "obs/trace_sink.h"
+#include "robust/checkpoint.h"
+#include "robust/recovery/controller.h"
+#include "robust/recovery/policy.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -436,6 +440,226 @@ class AuditOverheadInstance : public BenchWorkloadInstance {
   Rng rng_;
 };
 
+/// Drift reaction end-to-end: a 4-leaf satisficing search whose best
+/// experiment transiently degrades (p 0.9 -> 0.25, then reverts), with
+/// the full detect -> decide -> recover pipeline attached. Each
+/// repetition runs the same context stream four times: once per
+/// graduated recovery policy (rebaseline, restart_scoped, rollback
+/// against an on-disk checkpoint ring) and once with the naive
+/// cold-restart reaction (drift detected => throw the learner away).
+/// The rep hard-asserts the tentpole claim of the recovery layer: every
+/// policy re-converges on the optimal ordering in strictly fewer
+/// post-revert contexts than the cold restart, because the graduated
+/// actions preserve (or restore) the pre-drift strategy instead of
+/// discarding it. The per-policy re-convergence counters land in the
+/// fake-clock baseline, so a recovery regression fails both the run
+/// and the bench diff. Quarantine is deliberately absent: it isolates
+/// a faulty arc rather than re-converging the learner, so it has no
+/// convergence race to win.
+class DriftRecoverInstance : public BenchWorkloadInstance {
+ public:
+  static constexpr int64_t kContexts = 3200;
+  static constexpr int64_t kDriftAt = 1600;
+  static constexpr int64_t kRevertAt = 2100;
+  static constexpr int64_t kWindowUnits = 100;
+  static constexpr double kDelta = 0.2;
+  static constexpr int kBestExperiment = 2;
+
+  explicit DriftRecoverInstance(uint64_t seed) : seed_(seed), rng_(seed) {
+    Rng tree_rng(seed ^ 0x9e3779b97f4a7c15ULL);
+    RandomTreeOptions options;
+    options.min_cost = 1.0;  // equal costs: the optimal order is by p
+    options.max_cost = 1.0;
+    tree_ = MakeFlatTree(tree_rng, 4, options);
+  }
+
+  struct RunOutcome {
+    double cost = 0.0;
+    int64_t converged_at = 0;   // first context from which the best
+                                // experiment stays in front to the end
+    int64_t detections = 0;     // drift "detected" transitions
+    int64_t actions = 0;        // recovery actions applied / cold restarts
+  };
+
+  /// Post-revert contexts until the learner is (back) on the optimal
+  /// ordering; 0 when it never lost it.
+  static int64_t RecoveryContexts(const RunOutcome& run) {
+    return run.converged_at <= kRevertAt ? 0
+                                         : run.converged_at - kRevertAt;
+  }
+
+  /// One full pipeline run. `policy` empty = cold-restart control.
+  RunOutcome RunPipeline(uint64_t seed, const std::string& policy) {
+    // The drift collapses the best experiment onto the others' success
+    // rate: a 0.6 p-hat step the Hoeffding test flags within a window,
+    // but zero ordering signal during the transient — so no learner
+    // commits a *wrong* swap while drifted, and what separates the runs
+    // is purely how their drift reaction treats the pre-drift strategy.
+    std::vector<double> before = {0.3, 0.3, 0.9, 0.3};
+    std::vector<double> after = before;
+    after[kBestExperiment] = 0.3;
+    DriftingOracle oracle(before, after, kDriftAt);
+    oracle.set_revert_at(kRevertAt);
+
+    MetricsRegistry registry;
+    TimeSeriesOptions ts_options;
+    ts_options.interval_us = kWindowUnits;
+    TimeSeriesCollector collector(&registry, ts_options);
+    health::HealthMonitor monitor(health::AlertRuleSet{},
+                                  health::HealthOptions{}, &registry);
+    monitor.set_event_sink(&collector);
+    collector.SetWindowCallback([&monitor](const TimeSeriesWindow& w) {
+      monitor.OnWindow(w);
+    });
+    Observer observer(&registry, &collector);
+    observer.UseManualClock();
+    QueryProcessor qp(&tree_.graph, &observer);
+    auto pib = std::make_unique<Pib>(&tree_.graph,
+                                     Strategy::DepthFirst(tree_.graph),
+                                     PibOptions{.delta = kDelta}, &observer);
+
+    std::string ring_base =
+        StrFormat("/tmp/stratlearn_drift_recover_%llu",
+                  static_cast<unsigned long long>(seed_));
+    robust::CheckpointRing ring(ring_base, 3);
+    std::unique_ptr<robust::RecoveryController> controller;
+    int64_t cold_restarts = 0;
+    if (!policy.empty()) {
+      robust::RecoveryPolicy p;
+      robust::RecoveryRule rule;
+      rule.id = "drift->" + policy;
+      rule.trigger = "drift:p_hat";
+      rule.action = policy;
+      rule.cooldown = 2;
+      rule.trials_factor = 0.5;
+      p.rules.push_back(rule);
+      controller = std::make_unique<robust::RecoveryController>(std::move(p));
+      controller->BindPib(pib.get());
+      controller->BindRing(&ring);
+      controller->BindObserver(&observer);
+      controller->BindGraph(&tree_.graph);
+      controller->set_live(true);
+      monitor.set_recovery_hook(controller->Hook());
+    } else {
+      // The naive reaction the policies must beat: any detected drift
+      // transition throws the learner away wholesale (same 2-window
+      // cooldown as the policy rules, so the comparison is fair).
+      int64_t last_restart_window = -100;
+      monitor.set_recovery_hook(
+          [&, last_restart_window](
+              const TimeSeriesWindow& w, const std::vector<DriftEvent>& drift,
+              const std::vector<AlertEvent>&) mutable {
+            bool detected = false;
+            for (const DriftEvent& e : drift) {
+              if (e.state == "detected") detected = true;
+            }
+            if (detected && w.index - last_restart_window > 2) {
+              last_restart_window = w.index;
+              pib = std::make_unique<Pib>(&tree_.graph,
+                                          Strategy::DepthFirst(tree_.graph),
+                                          PibOptions{.delta = kDelta},
+                                          &observer);
+              ++cold_restarts;
+            }
+            return std::vector<health::RecoveryLogEntry>{};
+          });
+    }
+
+    ArcId best_arc = tree_.graph.experiments()[kBestExperiment];
+    Rng rng(seed);
+    RunOutcome out;
+    int64_t converged_since = -1;
+    for (int64_t i = 0; i < kContexts; ++i) {
+      Trace trace = qp.Execute(pib->strategy(), oracle.Next(rng));
+      out.cost += trace.cost;
+      pib->Observe(trace);
+      observer.AdvanceManualClock(i + 1);
+      collector.AdvanceTo(i + 1);
+      if ((i + 1) % (4 * kWindowUnits) == 0 && monitor.drift_active() == 0 &&
+          policy == "rollback") {
+        // Known-good rollback targets, stamped with the monitor's
+        // verdict the way the CLI's checkpoint writer stamps them.
+        robust::CheckpointData data;
+        data.learner = "pib";
+        data.seed = seed_;
+        data.queries_done = i + 1;
+        data.rng_state = rng.SaveState();
+        data.pib = pib->GetCheckpoint();
+        data.health.present = true;
+        data.health.healthy = true;
+        data.health.windows_seen = monitor.windows_seen();
+        (void)ring.Write(data);
+      }
+      bool in_front =
+          pib->strategy().LeafOrder(tree_.graph)[0] == best_arc;
+      if (in_front && converged_since < 0) converged_since = i;
+      if (!in_front) converged_since = -1;
+    }
+    collector.Finalize(kContexts);
+    out.converged_at = converged_since >= 0 ? converged_since : kContexts;
+    for (const DriftEvent& e : monitor.drift_log()) {
+      if (e.state == "detected") ++out.detections;
+    }
+    out.actions =
+        controller != nullptr ? controller->actions_applied() : cold_restarts;
+    for (int64_t slot = 0; slot < ring.slots(); ++slot) {
+      std::remove(ring.SlotPath(slot).c_str());
+    }
+    return out;
+  }
+
+  RepResult RunOnce() override {
+    uint64_t rep_seed = rng_.NextUint64();
+    RunOutcome control = RunPipeline(rep_seed, "");
+    RunOutcome rebaseline = RunPipeline(rep_seed, "rebaseline");
+    RunOutcome scoped = RunPipeline(rep_seed, "restart_scoped");
+    RunOutcome rollback = RunPipeline(rep_seed, "rollback");
+
+    STRATLEARN_CHECK_MSG(control.detections >= 1 && control.actions >= 1,
+                         "drift_recover control must detect and restart");
+    STRATLEARN_CHECK_MSG(RecoveryContexts(control) > 0,
+                         "drift_recover control must pay a re-convergence "
+                         "price for its cold restart");
+    const struct {
+      const char* name;
+      const RunOutcome* run;
+    } policies[] = {{"rebaseline", &rebaseline},
+                    {"restart_scoped", &scoped},
+                    {"rollback", &rollback}};
+    for (const auto& p : policies) {
+      STRATLEARN_CHECK_MSG(p.run->detections >= 1,
+                           "drift_recover policy run must detect the drift");
+      STRATLEARN_CHECK_MSG(p.run->actions >= 1,
+                           "drift_recover policy must apply an action");
+      // The tentpole claim, hard-asserted per repetition: a graduated
+      // recovery re-converges in strictly fewer contexts than the
+      // cold restart.
+      STRATLEARN_CHECK_MSG(
+          RecoveryContexts(*p.run) < RecoveryContexts(control),
+          "drift_recover: policy must re-converge faster than cold restart");
+    }
+
+    RepResult result;
+    result.work_units =
+        control.cost + rebaseline.cost + scoped.cost + rollback.cost;
+    result.counters = {
+        {"contexts", 4 * kContexts},
+        {"control_recovery_ctx", RecoveryContexts(control)},
+        {"rebaseline_recovery_ctx", RecoveryContexts(rebaseline)},
+        {"restart_scoped_recovery_ctx", RecoveryContexts(scoped)},
+        {"rollback_recovery_ctx", RecoveryContexts(rollback)},
+        {"recovery_actions",
+         rebaseline.actions + scoped.actions + rollback.actions},
+        {"cold_restarts", control.actions}};
+    return result;
+  }
+
+ private:
+  RandomTree tree_;
+  uint64_t seed_;
+  Rng rng_;
+};
+
 template <typename Instance>
 BenchWorkload Workload(const char* name, const char* description) {
   return BenchWorkload{
@@ -467,6 +691,10 @@ void RegisterCanonicalWorkloads(BenchRegistry* registry) {
       "drift_detect",
       "health pipeline end-to-end: p-hat drift on a shifted arc + "
       "stationary control"));
+  registry->Register(Workload<DriftRecoverInstance>(
+      "drift_recover",
+      "recovery controller end-to-end: transient drift, each policy "
+      "must re-converge faster than a cold restart"));
   auto obs_overhead = [](const char* name, const char* description,
                          ObsOverheadInstance::Mode mode) {
     return BenchWorkload{

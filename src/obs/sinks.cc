@@ -88,6 +88,19 @@ void CommonCertificateFields(JsonWriter& w,
   w.Key("epsilon").Value(e.epsilon);
 }
 
+void CommonRecoveryFields(JsonWriter& w, const RecoveryEvent& e) {
+  w.Key("rule").Value(e.rule);
+  w.Key("trigger").Value(e.trigger);
+  w.Key("action").Value(e.action);
+  w.Key("outcome").Value(e.outcome);
+  w.Key("arc").Value(e.arc);
+  w.Key("window").Value(e.window);
+  w.Key("matched").Value(e.matched);
+  w.Key("statistic").Value(e.statistic);
+  w.Key("reference").Value(e.reference);
+  w.Key("threshold").Value(e.threshold);
+}
+
 /// One warning per sink instance the first time an event arrives after
 /// Close() (or after a failure disabled the sink) and has to be
 /// dropped. Before this existed the loss was entirely silent.
@@ -298,6 +311,16 @@ void JsonlSink::OnDecisionCertificate(const DecisionCertificateEvent& e) {
   w.Key("type").Value("decision_certificate");
   w.Key("t_us").Value(e.t_us);
   CommonCertificateFields(w, e);
+  w.EndObject();
+  WriteLine(w.str());
+}
+
+void JsonlSink::OnRecovery(const RecoveryEvent& e) {
+  JsonWriter w(JsonWriter::kRoundTripDigits);
+  w.BeginObject();
+  w.Key("type").Value("recovery");
+  w.Key("t_us").Value(e.t_us);
+  CommonRecoveryFields(w, e);
   w.EndObject();
   WriteLine(w.str());
 }
@@ -555,6 +578,23 @@ void ChromeTraceSink::OnDecisionCertificate(
   w.Key("tid").Value(int64_t{1});
   w.Key("args").BeginObject();
   CommonCertificateFields(w, e);
+  w.EndObject();
+  w.EndObject();
+  WriteRecord(w.str());
+}
+
+void ChromeTraceSink::OnRecovery(const RecoveryEvent& e) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").Value("recovery");
+  w.Key("cat").Value("health");
+  w.Key("ph").Value("i");
+  w.Key("s").Value("g");
+  w.Key("ts").Value(e.t_us);
+  w.Key("pid").Value(int64_t{1});
+  w.Key("tid").Value(int64_t{1});
+  w.Key("args").BeginObject();
+  CommonRecoveryFields(w, e);
   w.EndObject();
   w.EndObject();
   WriteRecord(w.str());

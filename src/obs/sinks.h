@@ -52,6 +52,7 @@ class JsonlSink final : public TraceSink {
   void OnDrift(const DriftEvent& e) override;
   void OnAlert(const AlertEvent& e) override;
   void OnDecisionCertificate(const DecisionCertificateEvent& e) override;
+  void OnRecovery(const RecoveryEvent& e) override;
   void Flush() override;
   void Close() override;
 
@@ -106,6 +107,7 @@ class ChromeTraceSink final : public TraceSink {
   void OnDrift(const DriftEvent& e) override;
   void OnAlert(const AlertEvent& e) override;
   void OnDecisionCertificate(const DecisionCertificateEvent& e) override;
+  void OnRecovery(const RecoveryEvent& e) override;
   void Flush() override;
   void Close() override;
 

@@ -162,6 +162,47 @@ int64_t TimeSeriesCollector::windows_evicted() const {
   return evicted_;
 }
 
+int64_t TimeSeriesCollector::window_start_us() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return window_start_;
+}
+
+Status TimeSeriesCollector::Restore(int64_t window_start_us,
+                                    int64_t next_index, int64_t evicted,
+                                    std::vector<TimeSeriesWindow> windows) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (next_index_ != 0 || !windows_.empty() || evicted_ != 0) {
+    return Status::FailedPrecondition(
+        "time-series state can only be restored into a fresh collector");
+  }
+  if (next_index < 0 || evicted < 0 || evicted > next_index ||
+      windows.size() > options_.capacity ||
+      static_cast<int64_t>(windows.size()) + evicted != next_index) {
+    return Status::FailedPrecondition(
+        "restored time-series cursor is inconsistent");
+  }
+  int64_t expect = evicted;
+  int64_t last_end = 0;
+  for (const TimeSeriesWindow& window : windows) {
+    if (window.index != expect++ || window.end_us < window.start_us ||
+        window.start_us < last_end) {
+      return Status::FailedPrecondition(
+          "restored time-series windows are out of order");
+    }
+    last_end = window.end_us;
+  }
+  if (window_start_us < last_end) {
+    return Status::FailedPrecondition(
+        "restored window start precedes the last closed boundary");
+  }
+  window_start_ = window_start_us;
+  next_index_ = next_index;
+  evicted_ = evicted;
+  windows_.assign(std::make_move_iterator(windows.begin()),
+                  std::make_move_iterator(windows.end()));
+  return Status::OK();
+}
+
 std::string TimeSeriesCollector::SerializeJsonl() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
@@ -178,10 +219,19 @@ std::string TimeSeriesCollector::SerializeJsonl() const {
     out += '\n';
   }
   for (const TimeSeriesWindow& window : windows_) {
-    // Round-trip precision: the offline `health` pipeline re-derives
-    // detector statistics from this file and must reproduce the online
-    // run's decisions bit-for-bit.
-    JsonWriter w(JsonWriter::kRoundTripDigits);
+    out += SerializeWindowJson(window);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TimeSeriesCollector::SerializeWindowJson(
+    const TimeSeriesWindow& window) {
+  // Round-trip precision: the offline `health` pipeline re-derives
+  // detector statistics from this file and must reproduce the online
+  // run's decisions bit-for-bit.
+  JsonWriter w(JsonWriter::kRoundTripDigits);
+  {
     w.BeginObject();
     w.Key("window").Value(window.index);
     w.Key("start_us").Value(window.start_us);
@@ -263,10 +313,8 @@ std::string TimeSeriesCollector::SerializeJsonl() const {
       w.EndArray();
     }
     w.EndObject();
-    out += w.Take();
-    out += '\n';
   }
-  return out;
+  return w.Take();
 }
 
 }  // namespace stratlearn::obs

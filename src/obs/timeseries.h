@@ -11,6 +11,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
+#include "util/status.h"
 
 namespace stratlearn::obs {
 
@@ -142,6 +143,18 @@ class TimeSeriesCollector final : public TraceSink {
 
   int64_t windows_closed() const;
   int64_t windows_evicted() const;
+  /// Start of the currently open window (the last closed boundary).
+  int64_t window_start_us() const;
+
+  /// Reinstates a checkpointed cursor and retained-window set into a
+  /// *fresh* collector (fails once any window has closed). The delta
+  /// baselines (last_*) deliberately stay at zero: a resumed process
+  /// starts from a fresh registry, so the first post-resume window's
+  /// cumulative-minus-baseline deltas are exactly the activity since
+  /// resume — byte-identical to the uninterrupted run's deltas when the
+  /// checkpoint fell on a window boundary.
+  Status Restore(int64_t window_start_us, int64_t next_index,
+                 int64_t evicted, std::vector<TimeSeriesWindow> windows);
 
   /// "stratlearn-timeseries v1": one JSON header line (schema, cadence,
   /// closed/evicted window counts), then one JSON object per retained
@@ -149,6 +162,11 @@ class TimeSeriesCollector final : public TraceSink {
   /// activity and the per-arc windowed series. Deterministic given a
   /// deterministic clock domain and event stream.
   std::string SerializeJsonl() const;
+
+  /// One retained window as the JSON object line SerializeJsonl writes
+  /// (no trailing newline). Static so checkpoint writers can serialize
+  /// window copies without holding the collector's lock.
+  static std::string SerializeWindowJson(const TimeSeriesWindow& window);
 
  private:
   struct ArcCumulative {

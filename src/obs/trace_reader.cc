@@ -176,6 +176,20 @@ Status TraceReader::ReplayLine(std::string_view line) {
     e.window = Int(fields, "window");
     e.for_windows = Int(fields, "for_windows");
     sink_->OnAlert(e);
+  } else if (type == "recovery") {
+    RecoveryEvent e;
+    e.t_us = Int(fields, "t_us");
+    e.rule = Str(fields, "rule");
+    e.trigger = Str(fields, "trigger");
+    e.action = Str(fields, "action");
+    e.outcome = Str(fields, "outcome");
+    e.arc = Int(fields, "arc", -1);
+    e.window = Int(fields, "window");
+    e.matched = Int(fields, "matched");
+    e.statistic = Num(fields, "statistic");
+    e.reference = Num(fields, "reference");
+    e.threshold = Num(fields, "threshold");
+    sink_->OnRecovery(e);
   } else if (type == "palo_stop") {
     PaloStopEvent e;
     e.t_us = Int(fields, "t_us");

@@ -29,6 +29,7 @@ class TraceSink {
   virtual void OnDrift(const DriftEvent&) {}
   virtual void OnAlert(const AlertEvent&) {}
   virtual void OnDecisionCertificate(const DecisionCertificateEvent&) {}
+  virtual void OnRecovery(const RecoveryEvent&) {}
 
   /// Push buffered output to the underlying medium. May be called any
   /// number of times mid-run; must not finalise the output.
@@ -117,6 +118,11 @@ class TeeSink final : public TraceSink {
       if (s != nullptr) s->OnDecisionCertificate(e);
     }
   }
+  void OnRecovery(const RecoveryEvent& e) override {
+    for (TraceSink* s : sinks_) {
+      if (s != nullptr) s->OnRecovery(e);
+    }
+  }
   void Flush() override {
     for (TraceSink* s : sinks_) {
       if (s != nullptr) s->Flush();
@@ -196,6 +202,10 @@ class LockingSink final : public TraceSink {
   void OnDecisionCertificate(const DecisionCertificateEvent& e) override {
     std::lock_guard<std::mutex> lock(mutex_);
     inner_->OnDecisionCertificate(e);
+  }
+  void OnRecovery(const RecoveryEvent& e) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inner_->OnRecovery(e);
   }
   void Flush() override {
     std::lock_guard<std::mutex> lock(mutex_);

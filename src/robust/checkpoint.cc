@@ -100,8 +100,10 @@ std::string SerializeCheckpoint(const CheckpointData& data) {
     out += StrFormat("injector_queries %lld\n",
                      static_cast<long long>(data.injector.query_count));
     for (const FaultInjectorState::BreakerEntry& b : data.injector.breakers) {
-      out += StrFormat("breaker %u %d %lld\n", b.arc, b.consecutive_failures,
-                       static_cast<long long>(b.open_until));
+      out += StrFormat("breaker %u %d %lld %d %d\n", b.arc,
+                       b.consecutive_failures,
+                       static_cast<long long>(b.open_until), b.open_rounds,
+                       b.forced ? 1 : 0);
     }
   }
   if (data.learner == "pib") {
@@ -112,6 +114,9 @@ std::string SerializeCheckpoint(const CheckpointData& data) {
                      static_cast<long long>(data.pib.trials),
                      static_cast<long long>(data.pib.samples));
     AppendDoubles("pib.deltas", data.pib.neighbor_delta_sums, &out);
+    out += StrFormat("pib.audit %s %lld\n",
+                     FormatDouble(data.pib.audit_delta_spent, 17).c_str(),
+                     static_cast<long long>(data.pib.audit_rounds));
     for (const Pib::Move& m : data.pib.moves) {
       out += StrFormat("pib.move %lld %lld %u %u %u %s %s %s\n",
                        static_cast<long long>(m.at_context),
@@ -150,6 +155,56 @@ std::string SerializeCheckpoint(const CheckpointData& data) {
                        static_cast<long long>(c.blocked_aims));
     }
   }
+  if (data.health.present) {
+    out += StrFormat("health %d %lld %lld %lld\n", data.health.healthy ? 1 : 0,
+                     static_cast<long long>(data.health.windows_seen),
+                     static_cast<long long>(data.health.drift_active),
+                     static_cast<long long>(data.health.firing));
+  }
+  if (data.ring_cursor > 0 || data.ring_writes > 0) {
+    out += StrFormat("recovery.ring %lld %lld\n",
+                     static_cast<long long>(data.ring_cursor),
+                     static_cast<long long>(data.ring_writes));
+  }
+  if (data.has_timeseries) {
+    out += StrFormat("ts.cursor %lld %lld %lld\n",
+                     static_cast<long long>(data.ts_window_start),
+                     static_cast<long long>(data.ts_next_index),
+                     static_cast<long long>(data.ts_evicted));
+    for (const std::string& line : data.ts_windows) {
+      out += "ts ";
+      out += line;
+      out += '\n';
+    }
+  }
+  if (data.has_audit) {
+    out += StrFormat(
+        "audit.cursor %lld %lld %lld %lld %lld %lld %lld %lld %lld %s %s\n",
+        static_cast<long long>(data.audit.bytes),
+        static_cast<long long>(data.audit.certificates),
+        static_cast<long long>(data.audit.commits),
+        static_cast<long long>(data.audit.rejects),
+        static_cast<long long>(data.audit.stops),
+        static_cast<long long>(data.audit.quotas_met),
+        static_cast<long long>(data.audit.queries),
+        static_cast<long long>(data.audit.window_queries),
+        static_cast<long long>(data.audit.windows_written),
+        FormatDouble(data.audit.window_cost, 17).c_str(),
+        FormatDouble(data.audit.total_cost, 17).c_str());
+    for (const obs::AuditLog::Cursor::EpochArc& a : data.audit.epoch) {
+      out += StrFormat("audit.epoch %lld %lld %lld %lld %s\n",
+                       static_cast<long long>(a.arc),
+                       static_cast<long long>(a.experiment),
+                       static_cast<long long>(a.attempts),
+                       static_cast<long long>(a.successes),
+                       FormatDouble(a.cost, 17).c_str());
+    }
+    for (const obs::AuditLog::Cursor::LedgerEntry& l : data.audit.ledgers) {
+      out += StrFormat("audit.ledger %s %s %s\n", l.learner.c_str(),
+                       FormatDouble(l.spent, 17).c_str(),
+                       FormatDouble(l.budget, 17).c_str());
+    }
+  }
   return out;
 }
 
@@ -172,6 +227,13 @@ Result<CheckpointData> ParseCheckpoint(const InferenceGraph& graph,
                       std::string(kCheckpointHeader).c_str()));
       }
       saw_header = true;
+      continue;
+    }
+    // Raw time-series window lines carry JSON (embedded spaces), so
+    // they are peeled off by prefix before field tokenization.
+    if (line.size() > 3 && line.substr(0, 3) == "ts ") {
+      data.ts_windows.emplace_back(Trim(line.substr(3)));
+      data.has_timeseries = true;
       continue;
     }
     std::vector<std::string> fields = Fields(line);
@@ -209,18 +271,31 @@ Result<CheckpointData> ParseCheckpoint(const InferenceGraph& graph,
       }
       data.has_injector = true;
     } else if (key == "breaker") {
+      // 4 fields: the pre-recovery layout; 6 add the half-open backoff
+      // round count and the quarantine flag.
       uint64_t arc = 0;
       int64_t consecutive = 0;
       int64_t open_until = 0;
-      if (fields.size() != 4 || !ParseU64(fields[1], &arc) ||
-          !ParseI64(fields[2], &consecutive) ||
-          !ParseI64(fields[3], &open_until) || consecutive < 0 ||
-          arc >= graph.num_arcs()) {
+      int64_t open_rounds = 0;
+      bool forced = false;
+      bool ok = (fields.size() == 4 || fields.size() == 6) &&
+                ParseU64(fields[1], &arc) &&
+                ParseI64(fields[2], &consecutive) &&
+                ParseI64(fields[3], &open_until) && consecutive >= 0 &&
+                arc < graph.num_arcs();
+      if (ok && fields.size() == 6) {
+        ok = ParseI64(fields[4], &open_rounds) && open_rounds >= 0 &&
+             (fields[5] == "0" || fields[5] == "1");
+        forced = fields[5] == "1";
+      }
+      if (!ok) {
         return Corrupt(line_number, "malformed breaker ledger entry");
       }
       data.injector.breakers.push_back({static_cast<ArcId>(arc),
                                         static_cast<int>(consecutive),
-                                        open_until});
+                                        open_until,
+                                        static_cast<int>(open_rounds),
+                                        forced});
       data.has_injector = true;
     } else if (key == "stratlearn-strategy") {
       Result<Strategy> strategy = Strategy::Deserialize(graph, line);
@@ -306,6 +381,87 @@ Result<CheckpointData> ParseCheckpoint(const InferenceGraph& graph,
         return Corrupt(line_number, "malformed experiment counter");
       }
       data.qpa.counters.push_back(counter);
+    } else if (key == "pib.audit") {
+      if (fields.size() != 3 ||
+          !ParseF64(fields[1], &data.pib.audit_delta_spent) ||
+          !ParseI64(fields[2], &data.pib.audit_rounds) ||
+          data.pib.audit_delta_spent < 0.0 || data.pib.audit_rounds < 0) {
+        return Corrupt(line_number, "malformed audit ledger");
+      }
+    } else if (key == "health") {
+      int64_t windows_seen = 0;
+      int64_t drift_active = 0;
+      int64_t firing = 0;
+      if (fields.size() != 5 || (fields[1] != "0" && fields[1] != "1") ||
+          !ParseI64(fields[2], &windows_seen) ||
+          !ParseI64(fields[3], &drift_active) ||
+          !ParseI64(fields[4], &firing) || windows_seen < 0 ||
+          drift_active < 0 || firing < 0) {
+        return Corrupt(line_number, "malformed health stamp");
+      }
+      data.health.present = true;
+      data.health.healthy = fields[1] == "1";
+      data.health.windows_seen = windows_seen;
+      data.health.drift_active = drift_active;
+      data.health.firing = firing;
+    } else if (key == "recovery.ring") {
+      if (fields.size() != 3 || !ParseI64(fields[1], &data.ring_cursor) ||
+          !ParseI64(fields[2], &data.ring_writes) || data.ring_cursor < 0 ||
+          data.ring_writes < 0) {
+        return Corrupt(line_number, "malformed recovery ring cursor");
+      }
+    } else if (key == "ts.cursor") {
+      if (fields.size() != 4 || !ParseI64(fields[1], &data.ts_window_start) ||
+          !ParseI64(fields[2], &data.ts_next_index) ||
+          !ParseI64(fields[3], &data.ts_evicted) ||
+          data.ts_window_start < 0 || data.ts_next_index < 0 ||
+          data.ts_evicted < 0) {
+        return Corrupt(line_number, "malformed time-series cursor");
+      }
+      data.has_timeseries = true;
+    } else if (key == "audit.cursor") {
+      obs::AuditLog::Cursor& c = data.audit;
+      if (fields.size() != 12 || !ParseI64(fields[1], &c.bytes) ||
+          !ParseI64(fields[2], &c.certificates) ||
+          !ParseI64(fields[3], &c.commits) ||
+          !ParseI64(fields[4], &c.rejects) ||
+          !ParseI64(fields[5], &c.stops) ||
+          !ParseI64(fields[6], &c.quotas_met) ||
+          !ParseI64(fields[7], &c.queries) ||
+          !ParseI64(fields[8], &c.window_queries) ||
+          !ParseI64(fields[9], &c.windows_written) ||
+          !ParseF64(fields[10], &c.window_cost) ||
+          !ParseF64(fields[11], &c.total_cost) || c.bytes < -1 ||
+          c.certificates < 0 || c.commits < 0 || c.rejects < 0 ||
+          c.stops < 0 || c.quotas_met < 0 || c.queries < 0 ||
+          c.window_queries < 0 || c.windows_written < 0) {
+        return Corrupt(line_number, "malformed audit cursor");
+      }
+      data.has_audit = true;
+    } else if (key == "audit.epoch") {
+      obs::AuditLog::Cursor::EpochArc a;
+      if (fields.size() != 6 || !ParseI64(fields[1], &a.arc) ||
+          !ParseI64(fields[2], &a.experiment) ||
+          !ParseI64(fields[3], &a.attempts) ||
+          !ParseI64(fields[4], &a.successes) ||
+          !ParseF64(fields[5], &a.cost) || a.arc < 0 ||
+          static_cast<uint64_t>(a.arc) >= graph.num_arcs() ||
+          a.experiment < -1 || a.attempts < 0 || a.successes < 0 ||
+          a.successes > a.attempts) {
+        return Corrupt(line_number, "malformed audit epoch tally");
+      }
+      data.audit.epoch.push_back(a);
+      data.has_audit = true;
+    } else if (key == "audit.ledger") {
+      obs::AuditLog::Cursor::LedgerEntry l;
+      if (fields.size() != 4 || !ParseF64(fields[2], &l.spent) ||
+          !ParseF64(fields[3], &l.budget) || l.spent < 0.0 ||
+          l.budget < 0.0) {
+        return Corrupt(line_number, "malformed audit ledger entry");
+      }
+      l.learner = fields[1];
+      data.audit.ledgers.push_back(l);
+      data.has_audit = true;
     } else {
       return Corrupt(line_number, "unknown directive");
     }

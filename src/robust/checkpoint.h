@@ -5,11 +5,13 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/palo.h"
 #include "core/pib.h"
 #include "engine/adaptive_qp.h"
 #include "graph/inference_graph.h"
+#include "obs/audit/audit_log.h"
 #include "robust/fault_injector.h"
 #include "util/status.h"
 
@@ -36,6 +38,41 @@ struct CheckpointData {
   Pib::Checkpoint pib;
   Palo::Checkpoint palo;
   AdaptiveQueryProcessor::Checkpoint qpa;
+
+  /// Health-monitor verdict at checkpoint time. Ring-checkpoint slots
+  /// (recovery rollback) are only eligible as rollback targets when
+  /// stamped healthy, so "known-good" is decided when the checkpoint is
+  /// written, not re-guessed when drift already corrupted the state.
+  struct HealthStamp {
+    bool present = false;
+    bool healthy = true;
+    int64_t windows_seen = 0;
+    int64_t drift_active = 0;
+    int64_t firing = 0;
+  };
+  HealthStamp health;
+
+  /// Recovery checkpoint-ring bookkeeping (next slot to overwrite and
+  /// total writes), so a resumed run keeps rotating the same ring.
+  int64_t ring_cursor = 0;
+  int64_t ring_writes = 0;
+
+  /// Time-series collector cursor plus the retained windows as the raw
+  /// JSON lines SerializeJsonl would emit. A resumed run replays these
+  /// through its health monitor to rebuild detector/alert/recovery
+  /// state, which is what makes the post-resume health report
+  /// byte-identical to an uninterrupted run's.
+  bool has_timeseries = false;
+  int64_t ts_window_start = 0;
+  int64_t ts_next_index = 0;
+  int64_t ts_evicted = 0;
+  std::vector<std::string> ts_windows;
+
+  /// Audit-stream cursor (byte offset + writer counters), so a resumed
+  /// --audit-out run truncates the killed process's trailing summary
+  /// and continues the stream seamlessly.
+  bool has_audit = false;
+  obs::AuditLog::Cursor audit;
 };
 
 /// First line of every checkpoint payload (inside the CRC container).

@@ -25,39 +25,83 @@ FaultKind FaultInjector::SampleFault(int experiment, double* magnitude) {
   return FaultKind::kNone;
 }
 
-bool FaultInjector::BreakerOpen(ArcId arc, int64_t query) const {
-  if (plan_.resilience.breaker_threshold <= 0) return false;
+int64_t FaultInjector::BackoffCooldown(int open_rounds) const {
+  int64_t cooldown = plan_.resilience.breaker_cooldown;
+  int64_t cap = plan_.resilience.breaker_cooldown_cap > 0
+                    ? plan_.resilience.breaker_cooldown_cap
+                    : cooldown * 8;
+  for (int i = 0; i < open_rounds; ++i) {
+    if (cooldown >= cap) return cap;
+    cooldown *= 2;
+  }
+  return cooldown < cap ? cooldown : cap;
+}
+
+BreakerDecision FaultInjector::CheckBreaker(ArcId arc, int64_t query) {
   auto it = breakers_.find(arc);
-  if (it == breakers_.end()) return false;
-  return it->second.consecutive_failures >=
-             plan_.resilience.breaker_threshold &&
-         query < it->second.open_until;
+  if (it == breakers_.end() || !Armed(it->second)) {
+    return BreakerDecision::kClosed;
+  }
+  Breaker& breaker = it->second;
+  if (query < breaker.open_until) return BreakerDecision::kOpen;
+  // Cooldown elapsed: half-open. Exactly one probe is admitted; it
+  // resolves through RecordRecovery / RecordInfraFailure on this same
+  // attempt, so an unresolved flag can only mean a concurrent attempt
+  // raced the probe — keep that one skipped.
+  if (breaker.probe_inflight) return BreakerDecision::kOpen;
+  breaker.probe_inflight = true;
+  return BreakerDecision::kHalfOpenProbe;
+}
+
+bool FaultInjector::BreakerOpen(ArcId arc, int64_t query) const {
+  auto it = breakers_.find(arc);
+  if (it == breakers_.end() || !Armed(it->second)) return false;
+  return query < it->second.open_until || it->second.probe_inflight;
 }
 
 bool FaultInjector::RecordInfraFailure(ArcId arc, int64_t query) {
+  auto existing = breakers_.find(arc);
+  if (existing != breakers_.end() && existing->second.probe_inflight) {
+    // A failed half-open probe: re-open with capped exponential backoff
+    // instead of the base cooldown, so a persistently failing backend
+    // is probed less and less often.
+    Breaker& breaker = existing->second;
+    breaker.probe_inflight = false;
+    ++breaker.open_rounds;
+    ++breaker.consecutive_failures;
+    breaker.open_until = query + BackoffCooldown(breaker.open_rounds) + 1;
+    return true;
+  }
   if (plan_.resilience.breaker_threshold <= 0) return false;
   Breaker& breaker = breakers_[arc];
-  bool was_open = breaker.consecutive_failures >=
-                      plan_.resilience.breaker_threshold &&
-                  query < breaker.open_until;
+  bool was_open = Armed(breaker) && query < breaker.open_until;
   ++breaker.consecutive_failures;
   if (breaker.consecutive_failures < plan_.resilience.breaker_threshold) {
     return false;
   }
-  // Open (or re-open after a failed half-open trial): skip this arc for
-  // the next `cooldown` resilient queries, then allow one trial attempt.
+  // Open: skip this arc for the next `cooldown` resilient queries, then
+  // admit one half-open probe attempt.
   breaker.open_until = query + plan_.resilience.breaker_cooldown + 1;
+  breaker.open_rounds = 0;
   return !was_open;
 }
 
 bool FaultInjector::RecordRecovery(ArcId arc) {
-  if (plan_.resilience.breaker_threshold <= 0) return false;
   auto it = breakers_.find(arc);
   if (it == breakers_.end()) return false;
-  bool was_open = it->second.consecutive_failures >=
-                  plan_.resilience.breaker_threshold;
+  bool was_open = Armed(it->second);
   breakers_.erase(it);
   return was_open;
+}
+
+FaultInjectorState::BreakerEntry FaultInjector::Quarantine(
+    ArcId arc, int64_t query, int64_t cooldown) {
+  Breaker& breaker = breakers_[arc];
+  breaker.forced = true;
+  breaker.probe_inflight = false;
+  breaker.open_rounds = 0;
+  breaker.open_until = query + cooldown + 1;
+  return BreakerLedger(arc);
 }
 
 FaultInjectorState::BreakerEntry FaultInjector::BreakerLedger(
@@ -68,6 +112,8 @@ FaultInjectorState::BreakerEntry FaultInjector::BreakerLedger(
   if (it != breakers_.end()) {
     entry.consecutive_failures = it->second.consecutive_failures;
     entry.open_until = it->second.open_until;
+    entry.open_rounds = it->second.open_rounds;
+    entry.forced = it->second.forced;
   }
   return entry;
 }
@@ -78,8 +124,12 @@ FaultInjectorState FaultInjector::SaveState() const {
   state.query_count = query_count_;
   state.breakers.reserve(breakers_.size());
   for (const auto& [arc, breaker] : breakers_) {
-    state.breakers.push_back(
-        {arc, breaker.consecutive_failures, breaker.open_until});
+    // probe_inflight is intentionally not persisted: a probe resolves
+    // within the attempt that issued it, and checkpoints are only
+    // written at query boundaries.
+    state.breakers.push_back({arc, breaker.consecutive_failures,
+                              breaker.open_until, breaker.open_rounds,
+                              breaker.forced});
   }
   return state;
 }
@@ -92,10 +142,12 @@ Status FaultInjector::RestoreState(const FaultInjectorState& state) {
   query_count_ = state.query_count;
   breakers_.clear();
   for (const FaultInjectorState::BreakerEntry& entry : state.breakers) {
-    if (entry.arc == kInvalidArc || entry.consecutive_failures < 0) {
+    if (entry.arc == kInvalidArc || entry.consecutive_failures < 0 ||
+        entry.open_rounds < 0) {
       return Status::InvalidArgument("malformed breaker ledger entry");
     }
-    breakers_[entry.arc] = {entry.consecutive_failures, entry.open_until};
+    breakers_[entry.arc] = {entry.consecutive_failures, entry.open_until,
+                            entry.open_rounds, false, entry.forced};
   }
   return Status::OK();
 }

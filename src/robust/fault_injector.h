@@ -23,9 +23,18 @@ struct FaultInjectorState {
   struct BreakerEntry {
     ArcId arc = kInvalidArc;
     int consecutive_failures = 0;
-    int64_t open_until = 0;  // first resilient-query index allowed a trial
+    int64_t open_until = 0;  // first resilient-query index allowed a probe
+    int open_rounds = 0;     // failed half-open probes (backoff exponent)
+    bool forced = false;     // opened by quarantine, not by failures
   };
   std::vector<BreakerEntry> breakers;  // sorted by arc
+};
+
+/// What the executor should do with an arc under its circuit breaker.
+enum class BreakerDecision {
+  kClosed,         // attempt normally
+  kOpen,           // skip, charge the pessimistic cost
+  kHalfOpenProbe,  // cooldown elapsed: this attempt is the single probe
 };
 
 /// Deterministic fault source plus resilient-execution bookkeeping,
@@ -48,6 +57,10 @@ class FaultInjector {
   /// the circuit breakers run on).
   int64_t BeginQuery() { return query_count_++; }
 
+  /// Resilient queries begun so far — the breaker clock's current
+  /// reading, which quarantine cooldowns are measured from.
+  int64_t queries_begun() const { return query_count_; }
+
   /// Samples the fault outcome of one physical attempt of `experiment`.
   /// First matching rule (in plan order) that fires wins; `*magnitude`
   /// receives its cost multiplier. Consumes no randomness when no rule
@@ -55,18 +68,37 @@ class FaultInjector {
   /// plan therefore leaves every stream untouched.
   FaultKind SampleFault(int experiment, double* magnitude);
 
-  /// True when `arc`'s breaker is open at resilient query `query`: the
-  /// executor must skip the retrieval and charge its pessimistic cost.
+  /// Breaker state machine step for one attempt of `arc` at resilient
+  /// query `query`. Open breakers skip the retrieval (pessimistic cost
+  /// charged). Once `open_until` passes the breaker turns half-open and
+  /// admits exactly one probe attempt: this call returns
+  /// kHalfOpenProbe and later attempts return kOpen until the probe
+  /// resolves through RecordRecovery (closes) or RecordInfraFailure
+  /// (re-opens with capped exponential backoff).
+  BreakerDecision CheckBreaker(ArcId arc, int64_t query);
+
+  /// Convenience for tests: CheckBreaker != kClosed would admit a probe,
+  /// so this reports only the hard-open state without consuming it.
   bool BreakerOpen(ArcId arc, int64_t query) const;
 
   /// Records an exhausted-retries failure of `arc` at resilient query
-  /// `query`. Returns true when this transition *opened* the breaker
-  /// (caller emits the "open" trace event).
+  /// `query`. Returns true when this transition *opened* (or re-opened
+  /// after a failed probe) the breaker (caller emits the "open" trace
+  /// event). A failed half-open probe doubles the cooldown each round,
+  /// capped at ResilienceOptions::breaker_cooldown_cap.
   bool RecordInfraFailure(ArcId arc, int64_t query);
 
   /// Records a fault-free physical attempt of `arc`. Returns true when
   /// this *closed* a previously opened breaker ("closed" trace event).
   bool RecordRecovery(ArcId arc);
+
+  /// Recovery-controller action: force `arc`'s breaker open for
+  /// `cooldown` resilient queries (then the normal half-open probe
+  /// schedule applies), regardless of its failure count or whether the
+  /// plan configured a breaker threshold. Returns the resulting ledger
+  /// entry for the caller's "open" trace event.
+  FaultInjectorState::BreakerEntry Quarantine(ArcId arc, int64_t query,
+                                              int64_t cooldown);
 
   /// Breaker ledger of `arc` (consecutive failures, open-until), for
   /// events and tests.
@@ -79,7 +111,20 @@ class FaultInjector {
   struct Breaker {
     int consecutive_failures = 0;
     int64_t open_until = 0;
+    int open_rounds = 0;
+    bool probe_inflight = false;
+    bool forced = false;
   };
+
+  /// Whether the entry is in the open/half-open regime at all.
+  bool Armed(const Breaker& breaker) const {
+    return breaker.forced ||
+           (plan_.resilience.breaker_threshold > 0 &&
+            breaker.consecutive_failures >=
+                plan_.resilience.breaker_threshold);
+  }
+
+  int64_t BackoffCooldown(int open_rounds) const;
 
   FaultPlan plan_;
   Rng rng_;

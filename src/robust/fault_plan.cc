@@ -94,15 +94,24 @@ Result<FaultPlan> FaultPlan::Parse(std::string_view text) {
       if (plan.resilience.cost_budget < 0.0) return bad("a budget >= 0");
     } else if (key == "budget") {
       return bad("one number");
-    } else if (key == "breaker" && fields.size() == 3) {
+    } else if (key == "breaker" &&
+               (fields.size() == 3 || fields.size() == 4)) {
       plan.resilience.breaker_threshold = std::atoi(fields[1].c_str());
       plan.resilience.breaker_cooldown = std::atoll(fields[2].c_str());
+      if (fields.size() == 4) {
+        plan.resilience.breaker_cooldown_cap = std::atoll(fields[3].c_str());
+      }
       if (plan.resilience.breaker_threshold < 0 ||
-          plan.resilience.breaker_cooldown < 1) {
-        return bad("threshold >= 0 and cooldown >= 1");
+          plan.resilience.breaker_cooldown < 1 ||
+          plan.resilience.breaker_cooldown_cap < 0 ||
+          (plan.resilience.breaker_cooldown_cap > 0 &&
+           plan.resilience.breaker_cooldown_cap <
+               plan.resilience.breaker_cooldown)) {
+        return bad("threshold >= 0, cooldown >= 1 and an optional "
+                   "backoff cap >= cooldown (0 = 8x cooldown)");
       }
     } else if (key == "breaker") {
-      return bad("'<threshold> <cooldown>'");
+      return bad("'<threshold> <cooldown> [cooldown_cap]'");
     } else if (key == "fault" &&
                (fields.size() == 4 || fields.size() == 5)) {
       FaultRule rule;
@@ -148,7 +157,7 @@ Result<FaultPlan> FaultPlan::Load(const std::string& path) {
 std::string FaultPlan::Serialize() const {
   std::string out(kHeader);
   out += StrFormat("\nseed %llu\nretries %d\nbackoff %s %s %s\nbudget %s\n"
-                   "breaker %d %lld\n",
+                   "breaker %d %lld %lld\n",
                    static_cast<unsigned long long>(seed),
                    resilience.max_retries,
                    FormatDouble(resilience.backoff_base, 17).c_str(),
@@ -156,7 +165,8 @@ std::string FaultPlan::Serialize() const {
                    FormatDouble(resilience.backoff_cap, 17).c_str(),
                    FormatDouble(resilience.cost_budget, 17).c_str(),
                    resilience.breaker_threshold,
-                   static_cast<long long>(resilience.breaker_cooldown));
+                   static_cast<long long>(resilience.breaker_cooldown),
+                   static_cast<long long>(resilience.breaker_cooldown_cap));
   for (const FaultRule& rule : rules) {
     out += StrFormat("fault %s %s %d %s\n", FaultKindName(rule.kind),
                      FormatDouble(rule.probability, 17).c_str(),

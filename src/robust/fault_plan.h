@@ -63,9 +63,12 @@ struct ResilienceOptions {
   /// A retrieval arc whose retries are exhausted this many times in a
   /// row has its circuit breaker opened: the arc is skipped (pessimistic
   /// cost charged) for `breaker_cooldown` resilient queries, then given
-  /// one trial attempt. 0 disables the breaker.
+  /// one half-open probe attempt. 0 disables the breaker.
   int breaker_threshold = 0;
   int64_t breaker_cooldown = 32;
+  /// A failed half-open probe re-opens the breaker with its cooldown
+  /// doubled each round, capped here. 0 means 8x `breaker_cooldown`.
+  int64_t breaker_cooldown_cap = 0;
 };
 
 /// A deterministic, seeded fault-injection plan: the rules plus the
@@ -77,7 +80,8 @@ struct ResilienceOptions {
 ///   retries 3
 ///   backoff 0.25 2.0 2.0        # base multiplier cap
 ///   budget 0                    # per-query cost budget; 0 = unlimited
-///   breaker 8 32                # threshold cooldown; threshold 0 = off
+///   breaker 8 32 256            # threshold cooldown [cooldown-cap];
+///                               # threshold 0 = off, cap 0 = 8x cooldown
 ///   fault transient 0.05 -1     # kind probability experiment [magnitude]
 ///   fault timeout 0.01 2 4.0
 struct FaultPlan {

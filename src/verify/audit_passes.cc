@@ -40,8 +40,15 @@ void VerifyAuditText(std::string_view text, DiagnosticSink* sink) {
     bool reported_sum = false;
   };
   std::map<std::string, Ledger> ledgers;
+  // A rebaseline recovery certificate re-opens the ledger: the rewound
+  // trial counter re-charges earlier delta rungs, so overspend at or
+  // after it is certified in-stream and no longer a finding.
+  bool ledger_reopened = false;
   for (const obs::AuditCertificate& cert : file.certificates) {
     const obs::DecisionCertificateEvent& e = cert.event;
+    if (e.learner == "recovery" && e.verdict == "rebaseline") {
+      ledger_reopened = true;
+    }
     std::string location = StrFormat("line %lld", (long long)cert.line);
     Ledger& ledger = ledgers[e.learner];
     ledger.spent += e.delta_step;
@@ -56,7 +63,7 @@ void VerifyAuditText(std::string_view text, DiagnosticSink* sink) {
                   "the delta ledger must be the running sum of the "
                   "emitted certificates' delta_step values");
     }
-    if (e.delta_spent_total > e.delta_budget) {
+    if (!ledger_reopened && e.delta_spent_total > e.delta_budget) {
       sink->Error("V-AUD002", location,
                   StrFormat("certificate %lld: %s overspent its delta "
                             "budget (%s > %s)",
@@ -68,9 +75,12 @@ void VerifyAuditText(std::string_view text, DiagnosticSink* sink) {
     }
     // Verdict/margin agreement: a commit, quota-met or PIB_1 stop
     // claims the statistic crossed its threshold; a reject or PALO
-    // stop claims it stayed below.
+    // stop claims it stayed below. Recovery certificates always claim
+    // a crossing: their test is "matched transitions >= 1" and the
+    // verdict names the action taken, not a commit/reject outcome.
     bool wants_crossed = e.verdict == "commit" || e.verdict == "met" ||
-                         (e.verdict == "stop" && e.learner == "pib1");
+                         (e.verdict == "stop" && e.learner == "pib1") ||
+                         e.learner == "recovery";
     bool wants_below = e.verdict == "reject" ||
                        (e.verdict == "stop" && e.learner == "palo");
     if (wants_crossed && e.margin < 0.0) {
@@ -94,6 +104,13 @@ void VerifyAuditText(std::string_view text, DiagnosticSink* sink) {
                             "combination \"%s\"/\"%s\"",
                             (long long)cert.seq, e.learner.c_str(),
                             e.verdict.c_str()));
+    }
+    if (e.learner == "recovery" &&
+        !robust::IsKnownRecoveryAction(e.verdict)) {
+      sink->Error("V-AUD003", location,
+                  StrFormat("certificate %lld: \"%s\" is not a recovery "
+                            "action",
+                            (long long)cert.seq, e.verdict.c_str()));
     }
     if (e.margin != e.delta_sum - e.threshold) {
       sink->Error("V-AUD003", location,
@@ -157,7 +174,7 @@ void VerifyAuditText(std::string_view text, DiagnosticSink* sink) {
                           s.budget_ok ? "true" : "false",
                           budget_ok ? "true" : "false"));
   }
-  if (!budget_ok) {
+  if (!budget_ok && !ledger_reopened) {
     sink->Error("V-AUD002", location, "run overspent its delta budget");
   }
   if (sink->num_errors() == 0) {

@@ -62,6 +62,16 @@ void VerifyCheckpointPayload(std::string_view payload, DiagnosticSink* sink) {
       saw_header = line == kCheckpointHeader;
       continue;
     }
+    if (line.size() > 3 && line.substr(0, 3) == "ts ") {
+      // Raw retained time-series window (JSON object as written by
+      // SerializeWindowJson); the resume path re-parses it through the
+      // series loader, so only the envelope is checked here.
+      if (line[3] != '{' || line.back() != '}') {
+        sink->Error("V-K002", location,
+                    "'ts' expects one JSON window object");
+      }
+      continue;
+    }
     std::vector<std::string> fields = Fields(line);
     const std::string& key = fields[0];
     if (key == "learner") {
@@ -93,12 +103,76 @@ void VerifyCheckpointPayload(std::string_view payload, DiagnosticSink* sink) {
                     StrFormat("'%s' expects one non-negative integer",
                               key.c_str()));
       }
-    } else if (key == "breaker" || key == "pao.counter") {
+    } else if (key == "pao.counter") {
       if (fields.size() != 4 || !IsInteger(fields[1], false) ||
           !IsInteger(fields[2], true) || !IsInteger(fields[3], true)) {
         sink->Error("V-K002", location,
                     StrFormat("'%s' expects three integer fields",
                               key.c_str()));
+      }
+    } else if (key == "breaker") {
+      // Three fields is the pre-half-open format; six adds open_rounds
+      // and the quarantine (forced) bit.
+      bool ok = fields.size() == 4 || fields.size() == 6;
+      for (size_t k = 1; ok && k < fields.size(); ++k) {
+        ok = IsInteger(fields[k], k != 1);
+      }
+      if (!ok) {
+        sink->Error("V-K002", location,
+                    "'breaker' expects <arc> <failures> <open_until> "
+                    "[<open_rounds> <forced>]");
+      }
+    } else if (key == "pib.audit") {
+      if (fields.size() != 3 || !IsDouble(fields[1]) ||
+          !IsInteger(fields[2], false)) {
+        sink->Error("V-K002", location,
+                    "'pib.audit' expects <delta_spent> <rounds>");
+      }
+    } else if (key == "health") {
+      bool ok = fields.size() == 5 &&
+                (fields[1] == "0" || fields[1] == "1");
+      for (size_t k = 2; ok && k < 5; ++k) ok = IsInteger(fields[k], false);
+      if (!ok) {
+        sink->Error("V-K002", location,
+                    "'health' expects <healthy 0|1> <windows_seen> "
+                    "<drift_active> <firing>");
+      }
+    } else if (key == "recovery.ring") {
+      if (fields.size() != 3 || !IsInteger(fields[1], false) ||
+          !IsInteger(fields[2], false)) {
+        sink->Error("V-K002", location,
+                    "'recovery.ring' expects <cursor> <writes>");
+      }
+    } else if (key == "ts.cursor") {
+      if (fields.size() != 4 || !IsInteger(fields[1], true) ||
+          !IsInteger(fields[2], false) || !IsInteger(fields[3], false)) {
+        sink->Error("V-K002", location,
+                    "'ts.cursor' expects <window_start> <next_index> "
+                    "<evicted>");
+      }
+    } else if (key == "audit.cursor") {
+      bool ok = fields.size() == 12;
+      for (size_t k = 1; ok && k < 10; ++k) ok = IsInteger(fields[k], false);
+      for (size_t k = 10; ok && k < 12; ++k) ok = IsDouble(fields[k]);
+      if (!ok) {
+        sink->Error("V-K002", location,
+                    "'audit.cursor' expects nine counters and two cost "
+                    "sums");
+      }
+    } else if (key == "audit.epoch") {
+      bool ok = fields.size() == 6;
+      for (size_t k = 1; ok && k < 5; ++k) ok = IsInteger(fields[k], false);
+      if (ok) ok = IsDouble(fields[5]);
+      if (!ok) {
+        sink->Error("V-K002", location,
+                    "'audit.epoch' expects <arc> <experiment> <attempts> "
+                    "<successes> <cost>");
+      }
+    } else if (key == "audit.ledger") {
+      if (fields.size() != 4 || !IsDouble(fields[2]) ||
+          !IsDouble(fields[3])) {
+        sink->Error("V-K002", location,
+                    "'audit.ledger' expects <learner> <spent> <budget>");
       }
     } else if (key == "pib.deltas" || key == "palo.unders" ||
                key == "palo.overs") {

@@ -69,6 +69,10 @@ void ArtifactVerifier::AddText(const std::string& name,
     (void)ParseAlertRules(text, sink_);
     return;
   }
+  if (StartsWith(trimmed, "stratlearn-recovery v1")) {
+    (void)ParseRecoveryPolicy(text, sink_);
+    return;
+  }
   if (StartsWith(trimmed, "stratlearn-audit v1")) {
     VerifyAuditText(text, sink_);
     return;
@@ -260,6 +264,7 @@ int KindPriority(const std::string& extension) {
   if (extension == ".alerts") return 5;
   if (extension == ".ckpt") return 6;
   if (extension == ".audit") return 7;
+  if (extension == ".recovery") return 8;
   return -1;
 }
 
@@ -288,7 +293,7 @@ Status VerifyProject(ArtifactVerifier* verifier, const std::string& dir,
     sink->Warning("V-P002", "",
                   "project directory contains no verifiable artifacts",
                   "recognised extensions: .dl .graph .andor .strategy "
-                  ".cfg .alerts .ckpt .audit");
+                  ".cfg .alerts .ckpt .audit .recovery");
     return Status::OK();
   }
   for (const auto& [priority, relative] : artifacts) {

@@ -1,0 +1,193 @@
+// Static verification of "stratlearn-recovery v1" policy files
+// (V-RC...). Like the alert passes, the parser doubles as the
+// production loader: every malformed line becomes a diagnostic and is
+// dropped, and the CLI recovery paths refuse to run on a file with
+// blocking findings, so a policy that loads is exactly a policy that
+// verifies.
+
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "robust/recovery/policy.h"
+#include "util/string_util.h"
+#include "verify/verify.h"
+
+namespace stratlearn::verify {
+
+namespace {
+
+using robust::IsKnownRecoveryAction;
+using robust::RecoveryPolicy;
+using robust::RecoveryRule;
+
+bool ParseDouble(const std::string& token, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size() && !token.empty();
+}
+
+bool ParseInt(const std::string& token, int64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoll(token.c_str(), &end, 10);
+  return end == token.c_str() + token.size() && !token.empty();
+}
+
+bool IsKnownTrigger(const std::string& trigger) {
+  if (trigger == "drift:p_hat" || trigger == "drift:mean_cost" ||
+      trigger == "drift:rate" || trigger == "drift:any") {
+    return true;
+  }
+  return StartsWith(trigger, "alert:") && trigger.size() > 6;
+}
+
+}  // namespace
+
+RecoveryPolicy ParseRecoveryPolicy(std::string_view text,
+                                   DiagnosticSink* sink) {
+  RecoveryPolicy policy;
+  std::set<std::string> seen_ids;
+  size_t errors_before = sink->num_errors();
+  bool have_header = false;
+  int line_number = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_number;
+    std::string_view line = Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    if (!have_header) {
+      if (line != "stratlearn-recovery v1") {
+        sink->Error("V-RC001", StrFormat("line %d", line_number),
+                    "expected the \"stratlearn-recovery v1\" header",
+                    "the first non-comment line must be exactly "
+                    "'stratlearn-recovery v1'");
+        return policy;
+      }
+      have_header = true;
+      continue;
+    }
+    std::string location = StrFormat("line %d", line_number);
+    std::vector<std::string> tokens;
+    for (const std::string& token : Split(std::string(line), ' ')) {
+      if (!Trim(token).empty()) tokens.push_back(std::string(Trim(token)));
+    }
+    if (tokens[0] == "ring") {
+      int64_t slots = 0;
+      if (tokens.size() != 2 || !ParseInt(tokens[1], &slots)) {
+        sink->Error("V-RC001", location,
+                    "ring lines read: ring <slots>");
+        continue;
+      }
+      if (slots < 1) {
+        sink->Error("V-RC003", location,
+                    StrFormat("ring size %lld is not positive",
+                              static_cast<long long>(slots)),
+                    "rollback needs at least one retained known-good "
+                    "checkpoint slot");
+        continue;
+      }
+      policy.ring = slots;
+      continue;
+    }
+    if (tokens[0] != "on") {
+      sink->Error("V-RC001", location,
+                  StrFormat("unknown directive '%s'", tokens[0].c_str()),
+                  "policy lines read: on <trigger> <action> [id=<name>] "
+                  "[cooldown=<windows>] [trials_factor=<f>] "
+                  "[probe_cooldown=<n>], or: ring <slots>");
+      continue;
+    }
+    if (tokens.size() < 3) {
+      sink->Error("V-RC001", location,
+                  "on line needs at least: on <trigger> <action>");
+      continue;
+    }
+    RecoveryRule rule;
+    rule.trigger = tokens[1];
+    rule.action = tokens[2];
+    bool line_ok = true;
+    if (!IsKnownTrigger(rule.trigger)) {
+      sink->Error("V-RC002", location,
+                  StrFormat("unknown trigger '%s'", rule.trigger.c_str()),
+                  "triggers: drift:p_hat, drift:mean_cost, drift:rate, "
+                  "drift:any, alert:<rule-id>, alert:any");
+      line_ok = false;
+    }
+    if (!IsKnownRecoveryAction(rule.action)) {
+      sink->Error("V-RC003", location,
+                  StrFormat("unknown action '%s'", rule.action.c_str()),
+                  "actions: rebaseline, rollback, restart_scoped, "
+                  "quarantine");
+      line_ok = false;
+    }
+    for (size_t i = 3; i < tokens.size(); ++i) {
+      const std::string& option = tokens[i];
+      if (StartsWith(option, "id=")) {
+        rule.id = option.substr(3);
+        if (rule.id.empty()) {
+          sink->Error("V-RC001", location, "id= option is empty");
+          line_ok = false;
+        }
+      } else if (StartsWith(option, "cooldown=")) {
+        if (!ParseInt(option.substr(9), &rule.cooldown) ||
+            rule.cooldown < 0) {
+          sink->Error("V-RC003", location,
+                      StrFormat("cooldown '%s' is not a nonnegative "
+                                "integer",
+                                option.c_str()));
+          line_ok = false;
+        }
+      } else if (StartsWith(option, "trials_factor=")) {
+        if (!ParseDouble(option.substr(14), &rule.trials_factor) ||
+            !(rule.trials_factor > 0.0) || rule.trials_factor > 1.0) {
+          sink->Error("V-RC003", location,
+                      StrFormat("trials_factor '%s' is not in (0, 1]",
+                                option.c_str()),
+                      "the rebaseline rewind keeps at least one trial "
+                      "and never moves the rung forward");
+          line_ok = false;
+        }
+      } else if (StartsWith(option, "probe_cooldown=")) {
+        if (!ParseInt(option.substr(15), &rule.probe_cooldown) ||
+            rule.probe_cooldown < 0) {
+          sink->Error("V-RC003", location,
+                      StrFormat("probe_cooldown '%s' is not a "
+                                "nonnegative integer",
+                                option.c_str()));
+          line_ok = false;
+        }
+      } else {
+        sink->Error("V-RC001", location,
+                    StrFormat("unknown option '%s'", option.c_str()),
+                    "options are id=<name>, cooldown=<windows>, "
+                    "trials_factor=<f> and probe_cooldown=<n>");
+        line_ok = false;
+      }
+    }
+    if (rule.id.empty()) rule.id = rule.trigger + "->" + rule.action;
+    if (line_ok && !seen_ids.insert(rule.id).second) {
+      sink->Error("V-RC004", location,
+                  StrFormat("duplicate rule id '%s'", rule.id.c_str()),
+                  "rule ids name recovery certificates and report rows; "
+                  "they must be unique (set id=<name> explicitly)");
+      line_ok = false;
+    }
+    if (line_ok) policy.rules.push_back(std::move(rule));
+  }
+  if (!have_header) {
+    sink->Error("V-RC001", StrFormat("line %d", line_number),
+                "empty file: missing the \"stratlearn-recovery v1\" "
+                "header");
+    return policy;
+  }
+  if (policy.rules.empty() && sink->num_errors() == errors_before) {
+    sink->Warning("V-RC005", "",
+                  "policy has no rules: the recovery controller will "
+                  "never act",
+                  "add at least one line, e.g. 'on drift:p_hat "
+                  "rebaseline'");
+  }
+  return policy;
+}
+
+}  // namespace stratlearn::verify

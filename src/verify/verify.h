@@ -17,6 +17,7 @@
 #include "graph/builder.h"
 #include "graph/inference_graph.h"
 #include "obs/health/alerts.h"
+#include "robust/recovery/policy.h"
 #include "verify/diagnostics.h"
 
 namespace stratlearn::verify {
@@ -199,6 +200,18 @@ void VerifyQuotaFeasibility(const LearnerConfig& config,
 /// has blocking findings).
 obs::health::AlertRuleSet ParseAlertRules(std::string_view text,
                                           DiagnosticSink* sink);
+
+// ---- Recovery-policy passes (V-RC...) ----------------------------------
+
+/// Parses and verifies a "stratlearn-recovery v1" policy file (the
+/// recovery controller's trigger -> action map). Missing header /
+/// malformed lines (V-RC001), unknown triggers (V-RC002), unknown
+/// actions or out-of-range options (V-RC003) and duplicate rule ids
+/// (V-RC004) are errors; a policy with no rules is a warning (V-RC005).
+/// Only clean rules land in the returned policy, so this doubles as the
+/// production loader for the CLI recovery paths.
+robust::RecoveryPolicy ParseRecoveryPolicy(std::string_view text,
+                                           DiagnosticSink* sink);
 
 // ---- Audit-log passes (V-AUD...) ---------------------------------------
 

@@ -68,7 +68,13 @@ DriftingOracle::DriftingOracle(std::vector<double> before,
   for (double p : after_) STRATLEARN_CHECK(p >= 0.0 && p <= 1.0);
 }
 
+void DriftingOracle::set_revert_at(int64_t revert_at) {
+  STRATLEARN_CHECK(revert_at == 0 || revert_at >= drift_at_ + ramp_len_);
+  revert_at_ = revert_at;
+}
+
 std::vector<double> DriftingOracle::ProbsAt(int64_t draw) const {
+  if (revert_at_ > 0 && draw >= revert_at_) return before_;
   if (draw < drift_at_) return before_;
   if (ramp_len_ == 0 || draw >= drift_at_ + ramp_len_) return after_;
   // Linear ramp: the first post-drift draw already moves 1/ramp_len of

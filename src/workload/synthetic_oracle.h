@@ -57,10 +57,23 @@ class MixtureOracle : public ContextOracle {
 /// PAO's guarantees rest on; it exists to exercise the statistical
 /// drift detectors in obs/health, which watch the telemetry stream for
 /// exactly this kind of workload shift.
+///
+/// `set_revert_at(draw)` arms a second, reverse shift: from that draw
+/// on the pre-drift `before` vector applies again (stepwise — the ramp
+/// only shapes the forward shift). A drift-then-revert workload is the
+/// shape transient regressions take in production, and it is what the
+/// recovery controller's rebaseline/rollback actions are judged
+/// against: after the revert, pre-drift state is correct again, so a
+/// policy that preserved it re-converges faster than a cold restart.
 class DriftingOracle : public ContextOracle {
  public:
   DriftingOracle(std::vector<double> before, std::vector<double> after,
                  int64_t drift_at, int64_t ramp_len = 0);
+
+  /// Arms the revert: draws >= `revert_at` use `before` again. Must be
+  /// past the forward shift (and its ramp); 0 disarms.
+  void set_revert_at(int64_t revert_at);
+  int64_t revert_at() const { return revert_at_; }
 
   Context Next(Rng& rng) override;
   size_t num_experiments() const override { return before_.size(); }
@@ -76,6 +89,7 @@ class DriftingOracle : public ContextOracle {
   std::vector<double> after_;
   int64_t drift_at_;
   int64_t ramp_len_;
+  int64_t revert_at_ = 0;  // 0 = never revert
   int64_t draws_ = 0;
 };
 

@@ -259,7 +259,7 @@ TEST(WriteFileAtomicTest, OverwritesExistingContent) {
 TEST(CanonicalWorkloadsTest, AllRegisteredRunAndSerialize) {
   BenchRegistry registry;
   obs::perf::RegisterCanonicalWorkloads(&registry);
-  ASSERT_EQ(registry.workloads().size(), 10u);
+  ASSERT_EQ(registry.workloads().size(), 11u);
   EXPECT_NE(registry.Find("audit_overhead"), nullptr);
   EXPECT_NE(registry.Find("datalog_load"), nullptr);
   EXPECT_NE(registry.Find("fig1_execute"), nullptr);
@@ -267,6 +267,7 @@ TEST(CanonicalWorkloadsTest, AllRegisteredRunAndSerialize) {
   EXPECT_NE(registry.Find("pao_quota"), nullptr);
   EXPECT_NE(registry.Find("upsilon_order"), nullptr);
   EXPECT_NE(registry.Find("drift_detect"), nullptr);
+  EXPECT_NE(registry.Find("drift_recover"), nullptr);
   EXPECT_NE(registry.Find("obs_overhead_off"), nullptr);
   EXPECT_NE(registry.Find("obs_overhead_metrics"), nullptr);
   EXPECT_NE(registry.Find("obs_overhead_trace"), nullptr);

@@ -437,6 +437,119 @@ TEST(KillResumeTest, RestoreRejectsWrongShape) {
   EXPECT_FALSE(pib.RestoreCheckpoint(bad).ok());
 }
 
+// ---- Half-open probes ----------------------------------------------------
+
+TEST(FaultInjectorTest, HalfOpenProbeClosesOnSuccess) {
+  FaultPlan plan = TransientPlan(0.5);
+  plan.resilience.breaker_threshold = 2;
+  plan.resilience.breaker_cooldown = 3;
+  FaultInjector injector(plan);
+  EXPECT_FALSE(injector.RecordInfraFailure(5, 0));
+  EXPECT_TRUE(injector.RecordInfraFailure(5, 1));  // open until query 5
+
+  EXPECT_EQ(injector.CheckBreaker(5, 4), robust::BreakerDecision::kOpen);
+  // Cooldown elapsed: exactly one probe is admitted; a second attempt
+  // of the same arc stays skipped while the probe is in flight.
+  EXPECT_EQ(injector.CheckBreaker(5, 5),
+            robust::BreakerDecision::kHalfOpenProbe);
+  EXPECT_EQ(injector.CheckBreaker(5, 5), robust::BreakerDecision::kOpen);
+  EXPECT_TRUE(injector.RecordRecovery(5));  // probe succeeded
+  EXPECT_EQ(injector.CheckBreaker(5, 6), robust::BreakerDecision::kClosed);
+  EXPECT_EQ(injector.BreakerLedger(5).consecutive_failures, 0);
+}
+
+TEST(FaultInjectorTest, FailedProbeReopensWithCappedBackoff) {
+  FaultPlan plan = TransientPlan(0.5);
+  plan.resilience.breaker_threshold = 2;
+  plan.resilience.breaker_cooldown = 3;
+  plan.resilience.breaker_cooldown_cap = 8;
+  FaultInjector injector(plan);
+  injector.RecordInfraFailure(5, 0);
+  injector.RecordInfraFailure(5, 1);  // open until query 5
+
+  // Each failed probe doubles the cooldown (3 -> 6 -> capped 8).
+  EXPECT_EQ(injector.CheckBreaker(5, 5),
+            robust::BreakerDecision::kHalfOpenProbe);
+  EXPECT_TRUE(injector.RecordInfraFailure(5, 5));
+  EXPECT_EQ(injector.BreakerLedger(5).open_rounds, 1);
+  EXPECT_EQ(injector.BreakerLedger(5).open_until, 5 + 6 + 1);
+
+  EXPECT_EQ(injector.CheckBreaker(5, 12),
+            robust::BreakerDecision::kHalfOpenProbe);
+  EXPECT_TRUE(injector.RecordInfraFailure(5, 12));
+  EXPECT_EQ(injector.BreakerLedger(5).open_rounds, 2);
+  EXPECT_EQ(injector.BreakerLedger(5).open_until, 12 + 8 + 1);
+
+  EXPECT_EQ(injector.CheckBreaker(5, 21),
+            robust::BreakerDecision::kHalfOpenProbe);
+  EXPECT_TRUE(injector.RecordInfraFailure(5, 21));
+  EXPECT_EQ(injector.BreakerLedger(5).open_until, 21 + 8 + 1);  // capped
+}
+
+TEST(FaultInjectorTest, QuarantineForcesOpenWithoutThreshold) {
+  FaultPlan plan;  // breaker disabled: quarantine must still work
+  FaultInjector injector(plan);
+  FaultInjectorState::BreakerEntry ledger = injector.Quarantine(3, 10, 5);
+  EXPECT_TRUE(ledger.forced);
+  EXPECT_EQ(ledger.open_until, 16);
+  EXPECT_TRUE(injector.BreakerOpen(3, 15));
+  EXPECT_EQ(injector.CheckBreaker(3, 16),
+            robust::BreakerDecision::kHalfOpenProbe);
+  EXPECT_TRUE(injector.RecordRecovery(3));
+  EXPECT_FALSE(injector.BreakerOpen(3, 17));
+}
+
+TEST(CheckpointTest, RoundTripsHalfOpenBreakerAndObsState) {
+  FigureTwoGraph g = MakeFigureTwo();
+  FaultPlan plan = TransientPlan(0.1);
+  plan.resilience.breaker_threshold = 2;
+  plan.resilience.breaker_cooldown = 3;
+  FaultInjector injector(plan);
+  // A quarantined arc mid-backoff: the forced bit and the backoff
+  // exponent both have to survive the round trip.
+  injector.Quarantine(5, 0, 3);
+  injector.CheckBreaker(5, 4);
+  injector.RecordInfraFailure(5, 4);
+  CheckpointData data = RunPibFor(g, 100, &injector);
+  data.health.present = true;
+  data.health.healthy = false;
+  data.health.windows_seen = 12;
+  data.health.drift_active = 1;
+  data.health.firing = 2;
+  data.ring_cursor = 1;
+  data.ring_writes = 7;
+  data.has_timeseries = true;
+  data.ts_window_start = 1100;
+  data.ts_next_index = 12;
+  data.ts_evicted = 4;
+  data.ts_windows = {"{\"index\":10}", "{\"index\":11}"};
+  data.has_audit = true;
+  data.audit.bytes = 4096;
+  data.audit.certificates = 5;
+  data.audit.queries = 100;
+  data.audit.total_cost = 123.5;
+
+  std::string text = robust::SerializeCheckpoint(data);
+  Result<CheckpointData> parsed = robust::ParseCheckpoint(g.graph, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->injector.breakers.size(), 1u);
+  EXPECT_TRUE(parsed->injector.breakers[0].forced);
+  EXPECT_EQ(parsed->injector.breakers[0].open_rounds, 1);
+  EXPECT_TRUE(parsed->health.present);
+  EXPECT_FALSE(parsed->health.healthy);
+  EXPECT_EQ(parsed->health.windows_seen, 12);
+  EXPECT_EQ(parsed->ring_cursor, 1);
+  EXPECT_EQ(parsed->ring_writes, 7);
+  ASSERT_TRUE(parsed->has_timeseries);
+  EXPECT_EQ(parsed->ts_window_start, 1100);
+  EXPECT_EQ(parsed->ts_windows, data.ts_windows);
+  ASSERT_TRUE(parsed->has_audit);
+  EXPECT_EQ(parsed->audit.bytes, 4096);
+  EXPECT_DOUBLE_EQ(parsed->audit.total_cost, 123.5);
+  // Full fidelity: re-serialization is byte-identical.
+  EXPECT_EQ(robust::SerializeCheckpoint(*parsed), text);
+}
+
 // ---- FaultyOracle --------------------------------------------------------
 
 TEST(FaultyOracleTest, CorruptRulesFlipOutcomes) {

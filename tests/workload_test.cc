@@ -126,6 +126,48 @@ TEST(DatalogOracleTest, GuardedExperimentEvaluation) {
   EXPECT_FALSE(russ.Unblocked(guard_exp));
 }
 
+TEST(DriftingOracleTest, RevertAtRestoresThePreDriftRegime) {
+  DriftingOracle oracle({0.9, 0.2}, {0.1, 0.2}, /*drift_at=*/10);
+  oracle.set_revert_at(25);
+  EXPECT_EQ(oracle.revert_at(), 25);
+  // Before / during / after the transient.
+  EXPECT_EQ(oracle.ProbsAt(9), (std::vector<double>{0.9, 0.2}));
+  EXPECT_EQ(oracle.ProbsAt(10), (std::vector<double>{0.1, 0.2}));
+  EXPECT_EQ(oracle.ProbsAt(24), (std::vector<double>{0.1, 0.2}));
+  EXPECT_EQ(oracle.ProbsAt(25), (std::vector<double>{0.9, 0.2}));
+  EXPECT_EQ(oracle.ProbsAt(1000), (std::vector<double>{0.9, 0.2}));
+}
+
+TEST(DriftingOracleTest, RevertIsStepwiseEvenWithAForwardRamp) {
+  DriftingOracle oracle({1.0, 0.0}, {0.0, 0.0}, /*drift_at=*/10,
+                        /*ramp_len=*/10);
+  oracle.set_revert_at(20);  // earliest legal revert: drift_at + ramp_len
+  EXPECT_NEAR(oracle.ProbsAt(14)[0], 0.5, 1e-12);  // mid-ramp
+  EXPECT_EQ(oracle.ProbsAt(19)[0], 0.0);
+  // The revert is a step back to `before`, never a reverse ramp.
+  EXPECT_EQ(oracle.ProbsAt(20)[0], 1.0);
+}
+
+TEST(DriftingOracleTest, RevertZeroDisarms) {
+  DriftingOracle oracle({0.9}, {0.1}, /*drift_at=*/5);
+  oracle.set_revert_at(8);
+  oracle.set_revert_at(0);
+  EXPECT_EQ(oracle.ProbsAt(100), (std::vector<double>{0.1}));
+}
+
+TEST(DriftingOracleTest, DrawsFollowTheRevertedDistribution) {
+  DriftingOracle oracle({1.0}, {0.0}, /*drift_at=*/5);
+  oracle.set_revert_at(10);
+  Rng rng(3);
+  int unblocked = 0;
+  for (int i = 0; i < 15; ++i) {
+    if (oracle.Next(rng).Unblocked(0)) ++unblocked;
+  }
+  EXPECT_EQ(oracle.draws(), 15);
+  // Draws 0-4 and 10-14 are certain successes, 5-9 certain failures.
+  EXPECT_EQ(unblocked, 10);
+}
+
 TEST(RandomTreeTest, ProducesValidGraphs) {
   Rng rng(11);
   for (int i = 0; i < 50; ++i) {

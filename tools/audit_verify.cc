@@ -1,6 +1,6 @@
 // audit_verify: independently re-derive an audit certificate stream.
 //
-// Usage: audit_verify <trace.jsonl> <audit.jsonl>
+// Usage: audit_verify <trace.jsonl> <audit.jsonl> [--recovery=policy]
 //
 // The audit log (obs::AuditLog) is the learner's own account of why it
 // made each statistically significant decision. This tool refuses to
@@ -26,7 +26,18 @@
 //     margin's sign (a commit/stop/met certificate must have crossed,
 //     a reject must not have);
 //   - the running per-learner sum of delta_step equals
-//     delta_spent_total and never exceeds delta_budget.
+//     delta_spent_total and never exceeds delta_budget — unless a
+//     rebaseline recovery certificate appeared earlier in the stream:
+//     rebaseline rewinds the sequential trial counter, so later rungs
+//     re-charge delta the ledger honestly keeps counting (the summary
+//     still reports budget_ok=false), and the in-stream certificate is
+//     the witness that the overspend was certified, not tampered in;
+//   - recovery certificates (learner "recovery") carry the count-based
+//     test the controller ran: delta_sum = matched trigger transitions
+//     against threshold 1, no delta charged. With --recovery=<policy>
+//     the matched count is re-derived by recounting the trace's
+//     drift/alert transitions at the certificate's window through the
+//     same MatchesTrigger predicate the controller used.
 // Plus stream-level checks: regret windows re-derived from QueryEnd
 // costs, and the summary record's counters against both streams.
 //
@@ -40,13 +51,18 @@
 #include <string>
 #include <vector>
 
+#include <sstream>
+
 #include "obs/audit/audit_reader.h"
 #include "obs/events.h"
 #include "obs/trace_reader.h"
 #include "obs/trace_sink.h"
+#include "robust/recovery/policy.h"
 #include "stats/chernoff.h"
 #include "stats/sequential.h"
 #include "util/string_util.h"
+#include "verify/diagnostics.h"
+#include "verify/verify.h"
 
 namespace stratlearn {
 namespace {
@@ -88,6 +104,14 @@ class ReplaySink final : public obs::TraceSink {
     if (window_ > 0 && window_queries_ >= window_) CloseWindow();
   }
 
+  void OnDrift(const obs::DriftEvent& e) override {
+    drift_[e.window].push_back(e);
+  }
+
+  void OnAlert(const obs::AlertEvent& e) override {
+    alerts_[e.window].push_back(e);
+  }
+
   void OnDecisionCertificate(const DecisionCertificateEvent& e) override {
     certificates_.push_back(e);
     std::vector<obs::AuditArcTally> arcs;
@@ -111,6 +135,17 @@ class ReplaySink final : public obs::TraceSink {
   int64_t queries() const { return queries_; }
   double total_cost() const { return total_cost_; }
 
+  /// Drift/alert transitions grouped by the health window that fired
+  /// them, for re-deriving recovery certificates' matched counts.
+  const std::vector<obs::DriftEvent>* DriftAt(int64_t window) const {
+    auto it = drift_.find(window);
+    return it == drift_.end() ? nullptr : &it->second;
+  }
+  const std::vector<obs::AlertEvent>* AlertsAt(int64_t window) const {
+    auto it = alerts_.find(window);
+    return it == alerts_.end() ? nullptr : &it->second;
+  }
+
  private:
   void CloseWindow() {
     ReplayRegret r;
@@ -127,6 +162,8 @@ class ReplaySink final : public obs::TraceSink {
 
   int64_t window_;
   std::map<uint32_t, obs::AuditArcTally> epoch_;
+  std::map<int64_t, std::vector<obs::DriftEvent>> drift_;
+  std::map<int64_t, std::vector<obs::AlertEvent>> alerts_;
   std::vector<DecisionCertificateEvent> certificates_;
   std::vector<std::vector<obs::AuditArcTally>> epoch_arcs_;
   std::vector<ReplayRegret> regrets_;
@@ -254,23 +291,97 @@ void CheckArcTallies(Verifier* v, const AuditCertificate& cert,
   }
 }
 
+// Recovery certificates record a count-based test, not a Hoeffding
+// bound: delta_sum is the number of trigger transitions that matched
+// the firing rule in the decision window, tested against threshold 1,
+// and no delta is ever charged (recovery resets evidence, it does not
+// certify a cost claim). When the policy file is supplied the matched
+// count is re-derived by recounting the trace's drift/alert
+// transitions at the certificate's window through the same
+// MatchesTrigger predicate the controller used; without it only the
+// structural identities are checkable.
+void CheckRecoveryMath(Verifier* v, const AuditCertificate& cert,
+                       const robust::RecoveryPolicy* policy,
+                       const ReplaySink& replay) {
+  const DecisionCertificateEvent& e = cert.event;
+  std::string where = Where(cert);
+  if (!robust::IsKnownRecoveryAction(e.verdict)) {
+    v->Mismatch(where, StrFormat("\"%s\" is not a recovery action",
+                                 e.verdict.c_str()));
+  }
+  v->ExpectInt(where, "trials", e.trials, 1);
+  v->ExpectNum(where, "threshold", e.threshold, 1.0);
+  v->ExpectNum(where, "delta_step", e.delta_step, 0.0);
+  v->ExpectNum(where, "delta_budget", e.delta_budget, 0.0);
+  v->ExpectNum(where, "delta_sum", e.delta_sum,
+               static_cast<double>(e.samples));
+  if (e.samples < 1) {
+    v->Mismatch(where, "recovery fired on zero matched transitions");
+  }
+  if (policy == nullptr) return;
+  const robust::RecoveryRule* rule = nullptr;
+  for (const robust::RecoveryRule& r : policy->rules) {
+    if (r.id == e.decision) {
+      rule = &r;
+      break;
+    }
+  }
+  if (rule == nullptr) {
+    v->Mismatch(where,
+                StrFormat("certificate names rule \"%s\" which the "
+                          "supplied policy does not define",
+                          e.decision.c_str()));
+    return;
+  }
+  if (rule->action != e.verdict) {
+    v->Mismatch(where,
+                StrFormat("policy rule \"%s\" maps to action \"%s\", "
+                          "not \"%s\"",
+                          rule->id.c_str(), rule->action.c_str(),
+                          e.verdict.c_str()));
+  }
+  bool scoped = robust::RecoveryActionIsArcScoped(rule->action);
+  int64_t matched = 0;
+  if (const std::vector<obs::DriftEvent>* drift =
+          replay.DriftAt(e.at_context)) {
+    for (const obs::DriftEvent& t : *drift) {
+      if (!robust::MatchesTrigger(*rule, t)) continue;
+      if (scoped && t.arc != e.subject) continue;
+      ++matched;
+    }
+  }
+  if (!scoped) {
+    if (const std::vector<obs::AlertEvent>* alerts =
+            replay.AlertsAt(e.at_context)) {
+      for (const obs::AlertEvent& t : *alerts) {
+        if (robust::MatchesTrigger(*rule, t)) ++matched;
+      }
+    }
+  }
+  v->ExpectInt(where, "samples (matched transitions)", e.samples, matched);
+}
+
 // Re-derive the statistical content of one certificate from its counts.
 // Each (learner, decision) pair recomputes delta_step, threshold,
 // epsilon_n and bound_samples through the same stats functions the
 // learner called, so agreement is bit-exact.
-void CheckMath(Verifier* v, const AuditCertificate& cert) {
+void CheckMath(Verifier* v, const AuditCertificate& cert,
+               const robust::RecoveryPolicy* policy,
+               const ReplaySink& replay, bool ledger_reopened) {
   const DecisionCertificateEvent& e = cert.event;
   std::string where = Where(cert);
 
-  // Universal identities.
+  // Universal identities. The budget cap is waived once a rebaseline
+  // recovery certificate re-opened the ledger (see file header).
   v->ExpectNum(where, "margin", e.margin, e.delta_sum - e.threshold);
-  if (!(e.delta_spent_total <= e.delta_budget)) {
+  if (!ledger_reopened && !(e.delta_spent_total <= e.delta_budget)) {
     v->Mismatch(where, StrFormat("delta ledger overspent: %s > budget %s",
                                  FormatDouble(e.delta_spent_total, 17).c_str(),
                                  FormatDouble(e.delta_budget, 17).c_str()));
   }
   bool wants_crossed = e.verdict == "commit" || e.verdict == "met" ||
-                       (e.verdict == "stop" && e.learner == "pib1");
+                       (e.verdict == "stop" && e.learner == "pib1") ||
+                       e.learner == "recovery";
   bool wants_below = e.verdict == "reject" ||
                      (e.verdict == "stop" && e.learner == "palo");
   if (wants_crossed && !(e.margin >= 0.0 && e.delta_sum > 0.0)) {
@@ -286,7 +397,9 @@ void CheckMath(Verifier* v, const AuditCertificate& cert) {
     return;
   }
 
-  if (e.learner == "pib" && e.decision == "climb") {
+  if (e.learner == "recovery") {
+    CheckRecoveryMath(v, cert, policy, replay);
+  } else if (e.learner == "pib" && e.decision == "climb") {
     if (e.samples < 1 || e.trials < 1 || !ValidDelta(e.delta_budget) ||
         !(e.range > 0.0)) {
       v->Mismatch(where, "counts do not support a sequential test "
@@ -405,7 +518,8 @@ void CheckMath(Verifier* v, const AuditCertificate& cert) {
   }
 }
 
-int Verify(const std::string& trace_path, const std::string& audit_path) {
+int Verify(const std::string& trace_path, const std::string& audit_path,
+           const robust::RecoveryPolicy* policy) {
   Result<AuditFile> read = obs::ReadAuditLogFile(audit_path);
   if (!read.ok()) {
     std::fprintf(stderr, "audit_verify: %s\n",
@@ -443,13 +557,18 @@ int Verify(const std::string& trace_path, const std::string& audit_path) {
                          replay.certificates().size()));
   }
   std::map<std::string, double> ledgers;
+  bool ledger_reopened = false;
   for (size_t i = 0; i < file.certificates.size(); ++i) {
     const AuditCertificate& cert = file.certificates[i];
     if (i < n) {
       CheckStreamAgreement(&v, cert, replay.certificates()[i]);
       CheckArcTallies(&v, cert, replay.epoch_arcs()[i]);
     }
-    CheckMath(&v, cert);
+    CheckMath(&v, cert, policy, replay, ledger_reopened);
+    if (cert.event.learner == "recovery" &&
+        cert.event.verdict == "rebaseline") {
+      ledger_reopened = true;
+    }
     // Running ledger: the sum of emitted delta_steps, in order, must
     // reproduce delta_spent_total exactly (the learners accumulate the
     // same way) and stay within the budget.
@@ -526,7 +645,13 @@ int Verify(const std::string& trace_path, const std::string& audit_path) {
     v.ExpectNum("summary", "total_cost", s.total_cost, replay.total_cost());
     v.ExpectNum("summary", "delta_spent_total", s.delta_spent_total,
                 spent_max);
-    if (!s.budget_ok || !budget_ok) {
+    if (s.budget_ok != budget_ok) {
+      v.Mismatch("summary",
+                 StrFormat("budget_ok=%s disagrees with the stream (%s)",
+                           s.budget_ok ? "true" : "false",
+                           budget_ok ? "true" : "false"));
+    }
+    if (!budget_ok && !ledger_reopened) {
       v.Mismatch("summary", "delta budget overspent");
     }
   }
@@ -549,14 +674,53 @@ int Verify(const std::string& trace_path, const std::string& audit_path) {
 }  // namespace stratlearn
 
 int main(int argc, char** argv) {
-  if (argc != 3) {
+  std::string policy_path;
+  std::vector<std::string> positional;
+  bool usage_error = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--recovery=", 0) == 0) {
+      policy_path = arg.substr(11);
+      if (policy_path.empty()) usage_error = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      usage_error = true;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (usage_error || positional.size() != 2) {
     std::fprintf(stderr,
-                 "usage: audit_verify <trace.jsonl> <audit.jsonl>\n"
+                 "usage: audit_verify <trace.jsonl> <audit.jsonl> "
+                 "[--recovery=<policy>]\n"
                  "  replays the raw event trace and re-derives every "
                  "decision certificate\n"
-                 "  in the audit log; exit 0 clean, 1 mismatch, 2 usage "
-                 "or malformed input\n");
+                 "  in the audit log; with --recovery, recovery "
+                 "certificates' matched-transition\n"
+                 "  counts are re-derived against the policy; exit 0 "
+                 "clean, 1 mismatch, 2 usage\n"
+                 "  or malformed input\n");
     return 2;
   }
-  return stratlearn::Verify(argv[1], argv[2]);
+  stratlearn::robust::RecoveryPolicy policy;
+  bool have_policy = false;
+  if (!policy_path.empty()) {
+    std::ifstream in(policy_path);
+    if (!in.good()) {
+      std::fprintf(stderr, "audit_verify: cannot open %s\n",
+                   policy_path.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    stratlearn::verify::DiagnosticSink sink;
+    sink.set_file(policy_path);
+    policy = stratlearn::verify::ParseRecoveryPolicy(buffer.str(), &sink);
+    if (sink.HasBlocking()) {
+      std::fputs(sink.RenderText().c_str(), stderr);
+      return 2;
+    }
+    have_policy = true;
+  }
+  return stratlearn::Verify(positional[0], positional[1],
+                            have_policy ? &policy : nullptr);
 }

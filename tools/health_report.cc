@@ -2,7 +2,7 @@
 // time series.
 //
 //   health_report <series.jsonl> --alerts=RULES [--format=text|json]
-//                 [--out=FILE]
+//                 [--out=FILE] [--recovery=POLICY]
 //
 // Replays a "stratlearn-timeseries-v1" file (written by stratlearn_cli
 // --timeseries-out) through the drift detectors and the alert rules
@@ -12,10 +12,13 @@
 // The report is a pure function of the two input files: running it
 // twice, or running it against the series of a live run, produces
 // byte-identical output. --out additionally writes the
-// "stratlearn-health-v1" JSON document to a file.
+// "stratlearn-health-v1" JSON document to a file. --recovery hooks a
+// decide-only RecoveryController onto the monitor, so the report's
+// recovery transcript matches the live --recovery run's.
 //
 // Exit code: 0 healthy, 1 alerts firing, 2 usage error (bad flags,
-// unreadable or malformed inputs, alert rules with verify errors).
+// unreadable or malformed inputs, alert rules or recovery policy with
+// verify errors).
 
 #include <cstdio>
 #include <string>
@@ -30,12 +33,13 @@ namespace {
 
 constexpr char kUsage[] =
     "health_report <series.jsonl> --alerts=RULES [--format=text|json] "
-    "[--out=FILE]";
+    "[--out=FILE] [--recovery=POLICY]";
 
 int Main(int argc, char** argv) {
   std::string alerts;
   std::string format = "text";
   std::string report_out;
+  std::string recovery;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -45,6 +49,8 @@ int Main(int argc, char** argv) {
       format = arg.substr(9);
     } else if (StartsWith(arg, "--out=")) {
       report_out = arg.substr(6);
+    } else if (StartsWith(arg, "--recovery=")) {
+      recovery = arg.substr(11);
     } else if (StartsWith(arg, "--")) {
       std::fprintf(stderr, "error: unknown flag '%s'\nusage: %s\n",
                    arg.c_str(), kUsage);
@@ -58,7 +64,7 @@ int Main(int argc, char** argv) {
     return 2;
   }
   return RunOfflineHealth(positional[0], alerts, format, report_out,
-                          kUsage);
+                          recovery, kUsage);
 }
 
 }  // namespace

